@@ -1,0 +1,364 @@
+// Benchmarks regenerating every table and figure of the paper's evaluation
+// plus the repo's ablations. Each BenchmarkFigureN exercises the exact code
+// path of `hmscs-figures -what figN` (analytical series over the full
+// cluster axis, simulation at a representative point); the full printed
+// reproduction lives in cmd/hmscs-figures and EXPERIMENTS.md.
+package hmscs
+
+import (
+	"fmt"
+	"testing"
+
+	"hmscs/internal/analytic"
+	"hmscs/internal/core"
+	"hmscs/internal/netsim"
+	"hmscs/internal/network"
+	"hmscs/internal/rng"
+	"hmscs/internal/sim"
+	"hmscs/internal/sweep"
+)
+
+// benchSimOpts keeps per-iteration simulation cost modest while exercising
+// the full pipeline.
+func benchSimOpts() sim.Options {
+	o := sim.DefaultOptions()
+	o.WarmupMessages = 500
+	o.MeasuredMessages = 2000
+	return o
+}
+
+// BenchmarkTable1Scenarios regenerates Table 1: both scenario presets with
+// their technology assignments.
+func BenchmarkTable1Scenarios(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		for _, s := range []core.Scenario{core.Case1, core.Case2} {
+			icn1, ecn, err := s.Technologies()
+			if err != nil {
+				b.Fatal(err)
+			}
+			if icn1.Name == ecn.Name {
+				b.Fatal("scenario technologies must differ")
+			}
+		}
+	}
+}
+
+// BenchmarkTable2Parameters regenerates Table 2: the full parameterised
+// platform construction from the published constants.
+func BenchmarkTable2Parameters(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		cfg, err := core.PaperConfig(core.Case1, 16, 1024, network.NonBlocking)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := cfg.BuildCenters(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// benchFigure runs one paper figure: the analytic curve over the whole
+// cluster axis plus a simulation spot-check at C=16 (the regime-change
+// point the paper highlights).
+func benchFigure(b *testing.B, figure int) {
+	b.Helper()
+	spec, err := sweep.PaperFigure(figure)
+	if err != nil {
+		b.Fatal(err)
+	}
+	simCfg, err := core.PaperConfig(spec.Scenario, 16, 1024, spec.Arch)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		opts := sweep.Options{SkipSimulation: true}
+		res, err := sweep.RunFigure(spec, opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(res.Series) != 2 {
+			b.Fatal("unexpected series count")
+		}
+		o := benchSimOpts()
+		o.Seed = uint64(i + 1)
+		sr, err := sim.Run(simCfg, o)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(sr.MeanLatency()*1e3, "latency-ms")
+	}
+}
+
+// BenchmarkFigure4 regenerates Figure 4 (Case 1, non-blocking).
+func BenchmarkFigure4(b *testing.B) { benchFigure(b, 4) }
+
+// BenchmarkFigure5 regenerates Figure 5 (Case 2, non-blocking).
+func BenchmarkFigure5(b *testing.B) { benchFigure(b, 5) }
+
+// BenchmarkFigure6 regenerates Figure 6 (Case 1, blocking).
+func BenchmarkFigure6(b *testing.B) { benchFigure(b, 6) }
+
+// BenchmarkFigure7 regenerates Figure 7 (Case 2, blocking).
+func BenchmarkFigure7(b *testing.B) { benchFigure(b, 7) }
+
+// BenchmarkBlockingRatio reproduces the §6 claim computation: the
+// blocking/non-blocking latency ratio across the cluster axis.
+func BenchmarkBlockingRatio(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		for _, c := range core.PaperClusterCounts() {
+			nbCfg, err := core.PaperConfig(core.Case2, c, 1024, network.NonBlocking)
+			if err != nil {
+				b.Fatal(err)
+			}
+			blCfg, err := core.PaperConfig(core.Case2, c, 1024, network.Blocking)
+			if err != nil {
+				b.Fatal(err)
+			}
+			nb, err := analytic.Analyze(nbCfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			bl, err := analytic.Analyze(blCfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if bl.MeanLatency <= nb.MeanLatency {
+				b.Fatalf("C=%d: blocking not slower", c)
+			}
+		}
+	}
+}
+
+// BenchmarkAblationIterationVsMVA compares the paper's effective-rate
+// iteration against the exact MVA solution across the figure axis.
+func BenchmarkAblationIterationVsMVA(b *testing.B) {
+	cfgs := make([]*core.Config, 0, 9)
+	for _, c := range core.PaperClusterCounts() {
+		cfg, err := core.PaperConfig(core.Case1, c, 1024, network.NonBlocking)
+		if err != nil {
+			b.Fatal(err)
+		}
+		cfgs = append(cfgs, cfg)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, cfg := range cfgs {
+			open, err := analytic.Analyze(cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			mva, err := analytic.AnalyzeMVA(cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			ratio := open.MeanLatency / mva.MeanLatency
+			if ratio < 0.3 || ratio > 3.5 {
+				b.Fatalf("iteration diverged from MVA: %v", ratio)
+			}
+		}
+	}
+}
+
+// BenchmarkAblationServiceDistribution quantifies the exponential-service
+// assumption: the same platform simulated with M/M/1-style and
+// M/D/1-style service.
+func BenchmarkAblationServiceDistribution(b *testing.B) {
+	cfg, err := core.PaperConfig(core.Case1, 16, 1024, network.NonBlocking)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, svc := range []struct {
+		name string
+		dist rng.Dist
+	}{
+		{"exp", rng.Exponential{MeanValue: 1}},
+		{"det", rng.Deterministic{Value: 1}},
+	} {
+		b.Run(svc.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				o := benchSimOpts()
+				o.Seed = uint64(i + 1)
+				o.ServiceDist = svc.dist
+				res, err := sim.Run(cfg, o)
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(res.MeanLatency()*1e3, "latency-ms")
+			}
+		})
+	}
+}
+
+// BenchmarkAblationOpenLoop quantifies assumption 4 (blocking sources) by
+// simulating the same platform with open-loop generation at a stable load.
+func BenchmarkAblationOpenLoop(b *testing.B) {
+	cfg, err := core.NewSuperCluster(16, 16, 20, network.GigabitEthernet,
+		network.FastEthernet, network.NonBlocking, network.PaperSwitch, 1024)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, mode := range []struct {
+		name string
+		open bool
+	}{{"closed", false}, {"open", true}} {
+		b.Run(mode.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				o := benchSimOpts()
+				o.Seed = uint64(i + 1)
+				o.OpenLoop = mode.open
+				o.MaxSimTime = 300
+				res, err := sim.Run(cfg, o)
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(res.MeanLatency()*1e3, "latency-ms")
+			}
+		})
+	}
+}
+
+// BenchmarkAnalyze measures the analytical model's evaluation cost (the
+// paper's pitch: "quick performance estimates").
+func BenchmarkAnalyze(b *testing.B) {
+	for _, c := range []int{4, 64, 256} {
+		cfg, err := core.PaperConfig(core.Case1, c, 1024, network.NonBlocking)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(fmt.Sprintf("C=%d", c), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := analytic.Analyze(cfg); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkMVA measures the exact solver's cost at the full population.
+func BenchmarkMVA(b *testing.B) {
+	cfg, err := core.PaperConfig(core.Case1, 64, 1024, network.NonBlocking)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < b.N; i++ {
+		if _, err := analytic.AnalyzeMVA(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSimulatorEventRate measures raw simulator throughput on the
+// paper platform (events are dominated by message hops).
+func BenchmarkSimulatorEventRate(b *testing.B) {
+	cfg, err := core.PaperConfig(core.Case1, 16, 1024, network.NonBlocking)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		o := benchSimOpts()
+		o.Seed = uint64(i + 1)
+		res, err := sim.Run(cfg, o)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Measured == 0 {
+			b.Fatal("no messages measured")
+		}
+	}
+}
+
+// BenchmarkAblationMulticlassHeterogeneous solves the heterogeneous
+// Cluster-of-Clusters system (the paper's future work) with the multiclass
+// closed-network solver.
+func BenchmarkAblationMulticlassHeterogeneous(b *testing.B) {
+	cfg := &core.Config{
+		Clusters: []core.Cluster{
+			{Nodes: 128, Lambda: 100, ICN1: network.GigabitEthernet, ECN1: network.FastEthernet},
+			{Nodes: 64, Lambda: 150, ICN1: network.GigabitEthernet, ECN1: network.FastEthernet},
+			{Nodes: 48, Lambda: 200, ICN1: network.Myrinet, ECN1: network.FastEthernet},
+			{Nodes: 16, Lambda: 400, ICN1: network.FastEthernet, ECN1: network.FastEthernet},
+		},
+		ICN2:         network.FastEthernet,
+		Arch:         network.NonBlocking,
+		Switch:       network.PaperSwitch,
+		MessageBytes: 1024,
+	}
+	for i := 0; i < b.N; i++ {
+		res, err := analytic.AnalyzeMulticlass(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.MeanResponse()*1e3, "latency-ms")
+	}
+}
+
+// BenchmarkAblationSCVModel evaluates the M/G/1 model variant across SCVs.
+func BenchmarkAblationSCVModel(b *testing.B) {
+	cfg, err := core.PaperConfig(core.Case1, 16, 1024, network.NonBlocking)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < b.N; i++ {
+		for _, scv := range []float64{0, 1, 4} {
+			if _, err := analytic.AnalyzeSCV(cfg, scv); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// BenchmarkEventListHeap and BenchmarkEventListCalendar compare the two
+// future-event-set implementations on the hold model (pop one, push one).
+func benchEventList(b *testing.B, mk func() *sim.Engine) {
+	b.Helper()
+	eng := mk()
+	st := rng.NewStream(1)
+	// Pre-fill with 4096 pending events.
+	var tick func()
+	tick = func() {
+		eng.Schedule(st.Exp(1e-3), tick)
+	}
+	for i := 0; i < 4096; i++ {
+		eng.Schedule(st.Exp(1e-3), tick)
+	}
+	b.ResetTimer()
+	// Each Run(maxTime) slice processes a bounded batch of events.
+	processed := 0
+	for i := 0; i < b.N; i++ {
+		// Process events in slices of simulated time; each event reschedules
+		// itself, keeping the set at a steady 4096.
+		processed += eng.Run(eng.Now() + 1e-3)
+	}
+	if processed == 0 && b.N > 0 {
+		b.Fatal("no events processed")
+	}
+}
+
+func BenchmarkEventListHeap(b *testing.B) {
+	benchEventList(b, sim.NewEngine)
+}
+
+func BenchmarkEventListCalendar(b *testing.B) {
+	benchEventList(b, func() *sim.Engine { return sim.NewEngineWithCalendar(1e-3) })
+}
+
+// BenchmarkNetsimFatTree measures the switch-level simulator's throughput.
+func BenchmarkNetsimFatTree(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		net, err := netsim.BuildFatTree(32, 8, network.FastEthernet,
+			network.Switch{Ports: 8, Latency: 10e-6}, uint64(i+1), rng.Deterministic{Value: 1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		res, err := net.Run(netsim.Options{
+			Lambda: 5000, MsgBytes: 1024, Warmup: 200, Measured: 3000, Seed: uint64(i + 1),
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.Latency.Mean()*1e3, "latency-ms")
+	}
+}

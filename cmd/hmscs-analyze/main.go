@@ -1,0 +1,80 @@
+// Command hmscs-analyze evaluates the paper's analytical model for one
+// HMSCS configuration and prints the predicted mean message latency with a
+// per-centre breakdown.
+//
+// Examples:
+//
+//	hmscs-analyze -case 1 -clusters 16 -msg 1024 -arch non-blocking
+//	hmscs-analyze -icn1 Myrinet -ecn GE -clusters 8 -lambda 100 -mva
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"hmscs/internal/analytic"
+	"hmscs/internal/cli"
+	"hmscs/internal/report"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "hmscs-analyze:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("hmscs-analyze", flag.ContinueOnError)
+	var sys cli.SystemFlags
+	sys.Register(fs)
+	mva := fs.Bool("mva", false, "also solve the exact closed-network MVA cross-check")
+	verbose := fs.Bool("v", false, "print per-centre metrics")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	cfg, err := sys.Build()
+	if err != nil {
+		return err
+	}
+	res, err := analytic.Analyze(cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(out, cfg.String())
+	rows := [][2]string{
+		{"mean message latency", cli.Ms(res.MeanLatency)},
+		{"out-of-cluster probability P", fmt.Sprintf("%.4f", res.P)},
+		{"effective-rate scale (eq. 7)", fmt.Sprintf("%.4f", res.Scale)},
+		{"blocked processors L (eq. 6)", fmt.Sprintf("%.2f", res.TotalWaiting)},
+		{"saturated at raw rates", fmt.Sprintf("%v", res.Saturated)},
+	}
+	b := res.Bottleneck()
+	rows = append(rows, [2]string{"bottleneck centre",
+		fmt.Sprintf("%v[%d] at utilisation %.3f", b.Kind, b.Cluster, b.Rho)})
+	fmt.Fprint(out, report.Table("analytical model (paper eq. 1-21)", rows))
+
+	if *verbose {
+		fmt.Fprintln(out, "per-centre metrics:")
+		for _, c := range res.Centers {
+			fmt.Fprintf(out, "  %-9s cluster=%-3d lambda=%10.1f/s  mu=%10.1f/s  rho=%.3f  W=%s\n",
+				c.Kind, c.Cluster, c.Lambda, c.Mu, c.Rho, cli.Ms(c.W))
+		}
+	}
+
+	if *mva {
+		m, err := analytic.AnalyzeMVA(cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Fprint(out, report.Table("exact MVA cross-check (closed network)", [][2]string{
+			{"mean message latency", cli.Ms(m.MeanLatency)},
+			{"system throughput", fmt.Sprintf("%.1f msg/s", m.Throughput)},
+			{"effective per-processor rate", fmt.Sprintf("%.2f msg/s", m.EffectiveLambda)},
+			{"bottleneck utilisation", fmt.Sprintf("%.3f", m.BottleneckUtilization)},
+		}))
+	}
+	return nil
+}

@@ -1,0 +1,70 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRunDefaults(t *testing.T) {
+	var out bytes.Buffer
+	if err := run(nil, &out); err != nil {
+		t.Fatal(err)
+	}
+	for _, frag := range []string{"mean message latency", "out-of-cluster probability", "bottleneck centre"} {
+		if !strings.Contains(out.String(), frag) {
+			t.Errorf("output missing %q:\n%s", frag, out.String())
+		}
+	}
+}
+
+func TestRunVerboseAndMVA(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-clusters", "4", "-v", "-mva"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	if !strings.Contains(s, "per-centre metrics") {
+		t.Error("verbose output missing")
+	}
+	if !strings.Contains(s, "exact MVA cross-check") {
+		t.Error("MVA output missing")
+	}
+	if !strings.Contains(s, "ICN2") {
+		t.Error("per-centre rows missing")
+	}
+}
+
+func TestRunCustomTechnologies(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-icn1", "Myrinet", "-ecn", "IB", "-clusters", "8", "-lambda", "50"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "Myrinet") {
+		t.Errorf("output missing technology:\n%s", out.String())
+	}
+}
+
+func TestRunBlocking(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-arch", "blocking", "-clusters", "8", "-msg", "512"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "blocking") {
+		t.Error("architecture missing from output")
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	var out bytes.Buffer
+	for _, args := range [][]string{
+		{"-clusters", "3"},
+		{"-arch", "mesh"},
+		{"-case", "9"},
+		{"-unknownflag"},
+	} {
+		if err := run(args, &out); err == nil {
+			t.Errorf("args %v accepted", args)
+		}
+	}
+}

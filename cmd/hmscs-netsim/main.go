@@ -1,0 +1,129 @@
+// Command hmscs-netsim runs the switch-level network simulator on one
+// communication network and compares it against the single-server
+// abstraction the paper (and internal/sim) uses — a fidelity ladder:
+// analytic M/M/1 model ← system simulator ← switch-level simulator.
+//
+// Examples:
+//
+//	hmscs-netsim -topo fat-tree -n 32 -ports 8 -lambda 20000 -msg 1024
+//	hmscs-netsim -topo linear-array -n 96 -ports 8 -tech FE
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"hmscs/internal/cli"
+	"hmscs/internal/netsim"
+	"hmscs/internal/network"
+	"hmscs/internal/queueing"
+	"hmscs/internal/report"
+	"hmscs/internal/rng"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "hmscs-netsim:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("hmscs-netsim", flag.ContinueOnError)
+	topo := fs.String("topo", "fat-tree", "topology: fat-tree or linear-array")
+	n := fs.Int("n", 32, "endpoints")
+	ports := fs.Int("ports", 8, "switch ports")
+	swLat := fs.Float64("swlat", 10, "switch latency in µs")
+	tech := fs.String("tech", "GE", "link technology (GE, FE, Myrinet, Infiniband)")
+	lambda := fs.Float64("lambda", 10000, "per-endpoint message rate (msg/s)")
+	msg := fs.Int("msg", 1024, "message size in bytes")
+	messages := fs.Int("messages", 10000, "measured messages")
+	warmup := fs.Int("warmup", 1000, "warm-up messages")
+	seed := fs.Uint64("seed", 1, "random seed")
+	service := fs.String("service", "det", "per-link service distribution: det or exp")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	technology, err := network.TechnologyByName(*tech)
+	if err != nil {
+		return err
+	}
+	var dist rng.Dist
+	switch *service {
+	case "det":
+		dist = rng.Deterministic{Value: 1}
+	case "exp":
+		dist = rng.Exponential{MeanValue: 1}
+	default:
+		return fmt.Errorf("unknown service distribution %q", *service)
+	}
+	sw := network.Switch{Ports: *ports, Latency: *swLat * 1e-6}
+
+	var net *netsim.Network
+	switch *topo {
+	case "fat-tree":
+		net, err = netsim.BuildFatTree(*n, *ports, technology, sw, *seed, dist)
+	case "linear-array":
+		net, err = netsim.BuildLinearArray(*n, *ports, technology, sw, *seed, dist)
+	default:
+		err = fmt.Errorf("unknown topology %q", *topo)
+	}
+	if err != nil {
+		return err
+	}
+
+	res, err := net.Run(netsim.Options{
+		Lambda:   *lambda,
+		MsgBytes: *msg,
+		Warmup:   *warmup,
+		Measured: *messages,
+		Seed:     *seed,
+	})
+	if err != nil {
+		return err
+	}
+
+	fmt.Fprintf(out, "%s: %d endpoints, %d-port switches, %s, λ=%g msg/s, M=%dB\n",
+		*topo, *n, *ports, technology.Name, *lambda, *msg)
+	rows := [][2]string{
+		{"mean end-to-end latency", cli.Ms(res.Latency.Mean())},
+		{"latency 95% CI (per-msg)", cli.Ms(res.Latency.CI(0.95))},
+		{"mean switches traversed", fmt.Sprintf("%.3f", res.SwitchHops.Mean())},
+		{"throughput", fmt.Sprintf("%.1f msg/s", res.Throughput)},
+		{"max host-link utilisation", fmt.Sprintf("%.3f", res.MaxHostLinkUtil)},
+		{"max fabric-link utilisation", fmt.Sprintf("%.3f", res.MaxInterSwitchUtil)},
+		{"contention-free reference", cli.Ms(net.ContentionFreeLatency(*msg))},
+	}
+	if res.TimedOut {
+		rows = append(rows, [2]string{"warning", "run hit the time limit"})
+	}
+	fmt.Fprint(out, report.Table("switch-level simulation", rows))
+
+	// The single-server abstraction the paper uses for this network, for
+	// comparison: an M/M/1 with the eq. 11/21 service time fed by the
+	// realised throughput.
+	arch := network.NonBlocking
+	if *topo == "linear-array" {
+		arch = network.Blocking
+	}
+	model, err := network.NewModel(technology, arch, sw, *n)
+	if err != nil {
+		return err
+	}
+	st, err := queueing.NewMM1(res.Throughput, model.ServiceRate(*msg))
+	if err != nil {
+		return err
+	}
+	w, errW := st.W()
+	abstraction := "unstable at this throughput"
+	if errW == nil {
+		abstraction = cli.Ms(w)
+	}
+	fmt.Fprint(out, report.Table("paper's single-server abstraction (same offered throughput)", [][2]string{
+		{"eq. 11/21 service time", cli.Ms(model.MeanServiceTime(*msg))},
+		{"M/M/1 sojourn at measured throughput", abstraction},
+	}))
+	return nil
+}

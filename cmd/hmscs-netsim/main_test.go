@@ -1,0 +1,49 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRunFatTree(t *testing.T) {
+	var out bytes.Buffer
+	err := run([]string{"-topo", "fat-tree", "-n", "16", "-ports", "8",
+		"-messages", "1500", "-warmup", "200", "-lambda", "5000"}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, frag := range []string{"fat-tree", "mean end-to-end latency", "switches traversed", "abstraction"} {
+		if !strings.Contains(out.String(), frag) {
+			t.Errorf("output missing %q:\n%s", frag, out.String())
+		}
+	}
+}
+
+func TestRunLinearArray(t *testing.T) {
+	var out bytes.Buffer
+	err := run([]string{"-topo", "linear-array", "-n", "24", "-ports", "8",
+		"-messages", "1000", "-warmup", "100", "-tech", "FE", "-service", "exp"}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "linear-array") {
+		t.Errorf("output missing topology name:\n%s", out.String())
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	var out bytes.Buffer
+	cases := [][]string{
+		{"-topo", "torus"},
+		{"-tech", "bogus"},
+		{"-service", "pareto"},
+		{"-n", "1"},
+		{"-badflag"},
+	}
+	for _, args := range cases {
+		if err := run(args, &out); err == nil {
+			t.Errorf("args %v accepted", args)
+		}
+	}
+}

@@ -1,0 +1,124 @@
+// Command hmscs-sim runs the discrete-event simulator on one HMSCS
+// configuration, mirroring the paper's validation procedure, and prints the
+// measured mean latency with per-centre statistics.
+//
+// Examples:
+//
+//	hmscs-sim -case 1 -clusters 16 -msg 1024 -reps 3
+//	hmscs-sim -arch blocking -service det -pattern local:0.9 -v
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"hmscs/internal/analytic"
+	"hmscs/internal/cli"
+	"hmscs/internal/report"
+	"hmscs/internal/sim"
+	"hmscs/internal/stats"
+	"hmscs/internal/trace"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "hmscs-sim:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("hmscs-sim", flag.ContinueOnError)
+	var sys cli.SystemFlags
+	var sf cli.SimFlags
+	sys.Register(fs)
+	sf.Register(fs)
+	verbose := fs.Bool("v", false, "print per-centre statistics of replication 1")
+	compare := fs.Bool("compare", true, "also run the analytical model and report the error")
+	traceCSV := fs.String("trace", "", "record replication 1's message journeys to this CSV file")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	cfg, err := sys.Build()
+	if err != nil {
+		return err
+	}
+	opts, err := sf.Build()
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(out, cfg.String())
+
+	if sf.Reps < 1 {
+		return fmt.Errorf("need at least 1 replication")
+	}
+	agg, err := sim.RunReplications(cfg, opts, sf.Reps)
+	if err != nil {
+		return err
+	}
+	rows := [][2]string{
+		{"mean message latency", cli.Ms(agg.MeanLatency)},
+		{"95% CI half-width", cli.Ms(agg.CI95)},
+		{"replications", fmt.Sprintf("%d x %d messages", sf.Reps, opts.MeasuredMessages)},
+		{"system throughput", fmt.Sprintf("%.1f msg/s", agg.Throughput)},
+		{"effective per-processor rate", fmt.Sprintf("%.2f msg/s", agg.EffectiveLambda)},
+		{"bottleneck utilisation", fmt.Sprintf("%.3f", agg.BottleneckUtilization)},
+	}
+	if agg.AnyTimedOut {
+		rows = append(rows, [2]string{"warning", "at least one replication hit the time limit"})
+	}
+	fmt.Fprint(out, report.Table("simulation", rows))
+
+	if *verbose || *traceCSV != "" {
+		o := opts
+		if *traceCSV != "" {
+			o.Trace = trace.NewRecorder(0)
+		}
+		one, err := sim.Run(cfg, o)
+		if err != nil {
+			return err
+		}
+		if *verbose {
+			fmt.Fprintln(out, "per-centre statistics (replication 1):")
+			for _, c := range one.Centers {
+				fmt.Fprintf(out, "  %-9s util=%.3f  meanQ=%7.2f  maxQ=%6.0f  served=%d\n",
+					c.Name, c.Utilization, c.MeanQueueLength, c.MaxQueueLength, c.Served)
+			}
+		}
+		if *traceCSV != "" {
+			f, err := os.Create(*traceCSV)
+			if err != nil {
+				return err
+			}
+			if err := o.Trace.WriteCSV(f); err != nil {
+				f.Close()
+				return err
+			}
+			if err := f.Close(); err != nil {
+				return err
+			}
+			fmt.Fprintf(out, "trace: %d events written to %s (%d dropped)\n",
+				o.Trace.Len(), *traceCSV, o.Trace.Dropped())
+			fmt.Fprintln(out, "per-hop time breakdown (queue + service):")
+			for _, h := range o.Trace.HopBreakdown() {
+				fmt.Fprintf(out, "  %-9s n=%-7d mean=%s max=%s\n",
+					h.Where, h.Count, cli.Ms(h.Mean), cli.Ms(h.Max))
+			}
+		}
+	}
+
+	if *compare {
+		an, err := analytic.Analyze(cfg)
+		if err != nil {
+			return err
+		}
+		rel := stats.RelError(an.MeanLatency, agg.MeanLatency)
+		fmt.Fprint(out, report.Table("model vs simulation", [][2]string{
+			{"analytical latency", cli.Ms(an.MeanLatency)},
+			{"relative error", fmt.Sprintf("%.1f%%", rel*100)},
+		}))
+	}
+	return nil
+}

@@ -1,0 +1,93 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func fastArgs(extra ...string) []string {
+	base := []string{"-clusters", "4", "-messages", "1000", "-warmup", "200", "-reps", "2"}
+	return append(base, extra...)
+}
+
+func TestRunBasic(t *testing.T) {
+	var out bytes.Buffer
+	if err := run(fastArgs(), &out); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	for _, frag := range []string{"mean message latency", "95% CI", "model vs simulation", "relative error"} {
+		if !strings.Contains(s, frag) {
+			t.Errorf("output missing %q:\n%s", frag, s)
+		}
+	}
+}
+
+func TestRunVerbose(t *testing.T) {
+	var out bytes.Buffer
+	if err := run(fastArgs("-v"), &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "per-centre statistics") {
+		t.Error("verbose stats missing")
+	}
+	if !strings.Contains(out.String(), "ICN2") {
+		t.Error("centre rows missing")
+	}
+}
+
+func TestRunNoCompare(t *testing.T) {
+	var out bytes.Buffer
+	if err := run(fastArgs("-compare=false"), &out); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(out.String(), "model vs simulation") {
+		t.Error("comparison printed despite -compare=false")
+	}
+}
+
+func TestRunServiceAndPattern(t *testing.T) {
+	var out bytes.Buffer
+	if err := run(fastArgs("-service", "det", "-pattern", "local:0.7", "-open"), &out); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	var out bytes.Buffer
+	for _, args := range [][]string{
+		{"-reps", "0"},
+		{"-service", "zeta"},
+		{"-pattern", "spiral"},
+		{"-clusters", "5"},
+	} {
+		if err := run(args, &out); err == nil {
+			t.Errorf("args %v accepted", args)
+		}
+	}
+}
+
+func TestRunTraceCSV(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "trace.csv")
+	var out bytes.Buffer
+	if err := run(fastArgs("-trace", path, "-reps", "1"), &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "per-hop time breakdown") {
+		t.Errorf("breakdown missing:\n%s", out.String())
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(string(data), "msg_id,time_s,kind,where") {
+		t.Error("trace CSV header missing")
+	}
+	if strings.Count(string(data), "\n") < 1000 {
+		t.Error("trace CSV suspiciously short")
+	}
+}

@@ -1,0 +1,180 @@
+// Command hmscs-sweep sweeps one design parameter of an HMSCS system —
+// cluster count, load, message size, switch ports, or traffic locality —
+// and prints analysis/simulation latency pairs per point. It is the
+// design-space-exploration companion to the fixed figures of hmscs-figures.
+//
+// Examples:
+//
+//	hmscs-sweep -var clusters -ints 1,2,4,8,16,32,64,128,256
+//	hmscs-sweep -var lambda -floats 25,50,100,200,400 -clusters 16
+//	hmscs-sweep -var locality -floats 0,0.25,0.5,0.75,0.95 -arch blocking
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"hmscs/internal/analytic"
+	"hmscs/internal/cli"
+	"hmscs/internal/core"
+	"hmscs/internal/sim"
+	"hmscs/internal/workload"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "hmscs-sweep:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("hmscs-sweep", flag.ContinueOnError)
+	var sys cli.SystemFlags
+	var sf cli.SimFlags
+	sys.Register(fs)
+	sf.Register(fs)
+	variable := fs.String("var", "clusters", "swept parameter: clusters, lambda, msg, ports, locality")
+	ints := fs.String("ints", "", "comma-separated integer sweep values (clusters, msg, ports)")
+	floats := fs.String("floats", "", "comma-separated float sweep values (lambda, locality)")
+	fast := fs.Bool("fast", false, "skip simulation")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	simOpts, err := sf.Build()
+	if err != nil {
+		return err
+	}
+
+	fmt.Fprintf(out, "sweep of %s\n", *variable)
+	fmt.Fprintln(out, "| value | analysis (ms) | simulation (ms) | 95% CI (ms) | rel.err |")
+	fmt.Fprintln(out, "|---:|---:|---:|---:|---:|")
+
+	emit := func(label string, cfg *core.Config, pattern workload.Pattern, locality float64) error {
+		var an *analytic.Result
+		var err error
+		if locality >= 0 {
+			an, err = analytic.AnalyzeLocality(cfg, locality)
+		} else {
+			an, err = analytic.Analyze(cfg)
+		}
+		if err != nil {
+			return err
+		}
+		if *fast {
+			fmt.Fprintf(out, "| %s | %.3f | - | - | - |\n", label, an.MeanLatency*1e3)
+			return nil
+		}
+		o := simOpts
+		if pattern != nil {
+			o.Pattern = pattern
+		}
+		agg, err := sim.RunReplications(cfg, o, sf.Reps)
+		if err != nil {
+			return err
+		}
+		rel := 0.0
+		if agg.MeanLatency > 0 {
+			rel = (an.MeanLatency - agg.MeanLatency) / agg.MeanLatency
+		}
+		fmt.Fprintf(out, "| %s | %.3f | %.3f | %.3f | %+.1f%% |\n",
+			label, an.MeanLatency*1e3, agg.MeanLatency*1e3, agg.CI95*1e3, rel*100)
+		return nil
+	}
+
+	switch *variable {
+	case "clusters":
+		values, err := cli.ParseIntList(orDefault(*ints, "1,2,4,8,16,32,64,128,256"))
+		if err != nil {
+			return err
+		}
+		for _, v := range values {
+			s := sys
+			s.Clusters = v
+			cfg, err := s.Build()
+			if err != nil {
+				return err
+			}
+			if err := emit(fmt.Sprint(v), cfg, nil, -1); err != nil {
+				return err
+			}
+		}
+	case "msg":
+		values, err := cli.ParseIntList(orDefault(*ints, "128,256,512,1024,2048,4096"))
+		if err != nil {
+			return err
+		}
+		for _, v := range values {
+			s := sys
+			s.Msg = v
+			cfg, err := s.Build()
+			if err != nil {
+				return err
+			}
+			if err := emit(fmt.Sprintf("%dB", v), cfg, nil, -1); err != nil {
+				return err
+			}
+		}
+	case "ports":
+		values, err := cli.ParseIntList(orDefault(*ints, "8,16,24,32,48,64"))
+		if err != nil {
+			return err
+		}
+		for _, v := range values {
+			s := sys
+			s.Ports = v
+			cfg, err := s.Build()
+			if err != nil {
+				return err
+			}
+			if err := emit(fmt.Sprintf("%d ports", v), cfg, nil, -1); err != nil {
+				return err
+			}
+		}
+	case "lambda":
+		values, err := cli.ParseFloatList(orDefault(*floats, "25,50,100,250,500"))
+		if err != nil {
+			return err
+		}
+		for _, v := range values {
+			s := sys
+			s.Lambda = v
+			cfg, err := s.Build()
+			if err != nil {
+				return err
+			}
+			if err := emit(fmt.Sprintf("%g/s", v), cfg, nil, -1); err != nil {
+				return err
+			}
+		}
+	case "locality":
+		values, err := cli.ParseFloatList(orDefault(*floats, "0,0.25,0.5,0.75,0.95"))
+		if err != nil {
+			return err
+		}
+		cfg, err := sys.Build()
+		if err != nil {
+			return err
+		}
+		for _, v := range values {
+			if v < 0 || v > 1 {
+				return fmt.Errorf("locality %g out of [0,1]", v)
+			}
+			if err := emit(fmt.Sprintf("%.2f", v), cfg, workload.LocalBias{Locality: v}, v); err != nil {
+				return err
+			}
+		}
+	default:
+		return fmt.Errorf("unknown sweep variable %q", *variable)
+	}
+	return nil
+}
+
+func orDefault(s, def string) string {
+	if s == "" {
+		return def
+	}
+	return s
+}

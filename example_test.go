@@ -1,0 +1,101 @@
+package hmscs_test
+
+import (
+	"fmt"
+
+	"hmscs"
+)
+
+// ExampleAnalyze evaluates the paper's analytical model on the §6
+// validation platform.
+func ExampleAnalyze() {
+	cfg, err := hmscs.PaperConfig(hmscs.Case1, 16, 1024, hmscs.NonBlocking)
+	if err != nil {
+		panic(err)
+	}
+	res, err := hmscs.Analyze(cfg)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("P = %.4f (eq. 8)\n", res.P)
+	fmt.Printf("latency = %.3f ms\n", res.MeanLatency*1e3)
+	fmt.Printf("bottleneck = %v\n", res.Bottleneck().Kind)
+	// Output:
+	// P = 0.9412 (eq. 8)
+	// latency = 34.121 ms
+	// bottleneck = ICN2
+}
+
+// ExampleSimulate runs the discrete-event validation with a fixed seed.
+func ExampleSimulate() {
+	cfg, err := hmscs.PaperConfig(hmscs.Case2, 8, 512, hmscs.NonBlocking)
+	if err != nil {
+		panic(err)
+	}
+	opts := hmscs.DefaultSimOptions()
+	opts.Seed = 7
+	opts.WarmupMessages = 500
+	opts.MeasuredMessages = 2000
+	res, err := hmscs.Simulate(cfg, opts)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("measured %d messages\n", res.Measured)
+	fmt.Printf("latency within model's 10%%: %v\n", func() bool {
+		pred, err := hmscs.Analyze(cfg)
+		if err != nil {
+			panic(err)
+		}
+		rel := (pred.MeanLatency - res.MeanLatency()) / res.MeanLatency()
+		return rel < 0.1 && rel > -0.1
+	}())
+	// Output:
+	// measured 2000 messages
+	// latency within model's 10%: true
+}
+
+// ExampleNewSuperCluster builds a custom design and compares the two
+// interconnect architectures.
+func ExampleNewSuperCluster() {
+	nb, err := hmscs.NewSuperCluster(8, 16, 100,
+		hmscs.GigabitEthernet, hmscs.FastEthernet,
+		hmscs.NonBlocking, hmscs.PaperSwitch, 1024)
+	if err != nil {
+		panic(err)
+	}
+	bl, err := hmscs.NewSuperCluster(8, 16, 100,
+		hmscs.GigabitEthernet, hmscs.FastEthernet,
+		hmscs.Blocking, hmscs.PaperSwitch, 1024)
+	if err != nil {
+		panic(err)
+	}
+	rNB, err := hmscs.Analyze(nb)
+	if err != nil {
+		panic(err)
+	}
+	rBL, err := hmscs.Analyze(bl)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("blocking slower: %v\n", rBL.MeanLatency > rNB.MeanLatency)
+	// Output:
+	// blocking slower: true
+}
+
+// ExampleFigure regenerates one paper figure analytically.
+func ExampleFigure() {
+	spec, err := hmscs.Figure(4)
+	if err != nil {
+		panic(err)
+	}
+	opts := hmscs.DefaultSweepOptions()
+	opts.SkipSimulation = true
+	res, err := hmscs.RunFigure(spec, opts)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("%s: %d curves x %d points\n",
+		res.Spec.Name, len(res.Series), len(res.Series[0].Clusters))
+	// Output:
+	// Figure 4: 2 curves x 9 points
+}

@@ -1,0 +1,123 @@
+// Capacity planning: given a latency budget, how much per-processor load
+// can each candidate interconnect design sustain? This is the paper's
+// motivating use case — "a performance model is a useful tool for exploring
+// the design space" — turned into a concrete procedure: binary-search the
+// highest λ whose predicted mean latency stays within the SLO, then confirm
+// the winner by simulation.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"hmscs"
+)
+
+type design struct {
+	name     string
+	scenario hmscs.Scenario
+	arch     hmscs.Architecture
+}
+
+const (
+	clusters = 16
+	msgBytes = 1024
+	sloMs    = 5.0 // mean-latency budget in milliseconds
+)
+
+func main() {
+	designs := []design{
+		{"Case-1 non-blocking (GE intra / FE inter, fat-tree)", hmscs.Case1, hmscs.NonBlocking},
+		{"Case-2 non-blocking (FE intra / GE inter, fat-tree)", hmscs.Case2, hmscs.NonBlocking},
+		{"Case-1 blocking (GE intra / FE inter, switch chain)", hmscs.Case1, hmscs.Blocking},
+		{"Case-2 blocking (FE intra / GE inter, switch chain)", hmscs.Case2, hmscs.Blocking},
+	}
+	fmt.Printf("latency budget: %.1f ms mean, platform: %d clusters x %d nodes, %dB messages\n\n",
+		sloMs, clusters, 256/clusters, msgBytes)
+
+	bestLambda, bestIdx := 0.0, -1
+	for i, d := range designs {
+		lambda, err := maxLambda(d)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-55s max sustainable λ = %8.2f msg/s/processor\n", d.name, lambda)
+		if lambda > bestLambda {
+			bestLambda, bestIdx = lambda, i
+		}
+	}
+
+	winner := designs[bestIdx]
+	fmt.Printf("\nwinner: %s\n", winner.name)
+
+	// Confirm the winning operating point by simulation at 95% of the
+	// predicted capacity.
+	op := bestLambda * 0.95
+	cfg, err := buildAt(winner, op)
+	if err != nil {
+		log.Fatal(err)
+	}
+	agg, err := hmscs.SimulateReplications(cfg, hmscs.DefaultSimOptions(), 3)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("simulated at λ=%.2f: %.3f ms ± %.3f (budget %.1f ms) — %s\n",
+		op, agg.MeanLatency*1e3, agg.CI95*1e3, sloMs,
+		verdict(agg.MeanLatency*1e3 <= sloMs))
+}
+
+func verdict(ok bool) string {
+	if ok {
+		return "within budget"
+	}
+	return "OVER BUDGET"
+}
+
+func buildAt(d design, lambda float64) (*hmscs.Config, error) {
+	var icn1, ecn hmscs.Technology
+	switch d.scenario {
+	case hmscs.Case1:
+		icn1, ecn = hmscs.GigabitEthernet, hmscs.FastEthernet
+	default:
+		icn1, ecn = hmscs.FastEthernet, hmscs.GigabitEthernet
+	}
+	return hmscs.NewSuperCluster(clusters, 256/clusters, lambda, icn1, ecn,
+		d.arch, hmscs.PaperSwitch, msgBytes)
+}
+
+// maxLambda binary-searches the largest per-processor rate whose predicted
+// mean latency is within the SLO.
+func maxLambda(d design) (float64, error) {
+	lo, hi := 0.01, 1e5
+	ok := func(lambda float64) (bool, error) {
+		cfg, err := buildAt(d, lambda)
+		if err != nil {
+			return false, err
+		}
+		res, err := hmscs.Analyze(cfg)
+		if err != nil {
+			return false, err
+		}
+		return res.MeanLatency*1e3 <= sloMs, nil
+	}
+	good, err := ok(lo)
+	if err != nil {
+		return 0, err
+	}
+	if !good {
+		return 0, nil // even idle load misses the budget
+	}
+	for i := 0; i < 60; i++ {
+		mid := (lo + hi) / 2
+		good, err := ok(mid)
+		if err != nil {
+			return 0, err
+		}
+		if good {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return lo, nil
+}

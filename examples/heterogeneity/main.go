@@ -1,0 +1,97 @@
+// Heterogeneity study: the paper's future work is the Cluster-of-Clusters
+// class, where clusters differ in size, load and network technology. The
+// generalised model and simulator in this repo support it directly; this
+// example builds an LLNL-style conglomerate of four unequal clusters,
+// compares model and simulation, and evaluates technology upgrades.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"hmscs"
+)
+
+func main() {
+	// Four clusters inspired by the paper's LLNL example (§3): a big
+	// capability cluster, a mid-size Linux cluster, a smaller one with a
+	// fast fabric, and a tiny visualisation cluster that talks a lot.
+	base := []hmscs.Cluster{
+		{Nodes: 128, Lambda: 100, ICN1: hmscs.GigabitEthernet, ECN1: hmscs.FastEthernet},
+		{Nodes: 64, Lambda: 150, ICN1: hmscs.GigabitEthernet, ECN1: hmscs.FastEthernet},
+		{Nodes: 48, Lambda: 200, ICN1: hmscs.Myrinet, ECN1: hmscs.FastEthernet},
+		{Nodes: 16, Lambda: 400, ICN1: hmscs.FastEthernet, ECN1: hmscs.FastEthernet},
+	}
+
+	fmt.Println("=== cluster-of-clusters (heterogeneous) vs model ===")
+	cfg := &hmscs.Config{
+		Clusters:     append([]hmscs.Cluster(nil), base...),
+		ICN2:         hmscs.FastEthernet,
+		Arch:         hmscs.NonBlocking,
+		Switch:       hmscs.PaperSwitch,
+		MessageBytes: 1024,
+	}
+	pred, err := hmscs.Analyze(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	opts := hmscs.DefaultSimOptions()
+	opts.MeasuredMessages = 8000
+	agg, err := hmscs.SimulateReplications(cfg, opts, 3)
+	if err != nil {
+		log.Fatal(err)
+	}
+	multi, err := hmscs.AnalyzeMulticlass(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("open model (symmetric weighting): %8.3f ms\n", pred.MeanLatency*1e3)
+	fmt.Printf("multiclass closed model:          %8.3f ms\n", multi.MeanResponse()*1e3)
+	fmt.Printf("simulation:                       %8.3f ms ± %.3f\n", agg.MeanLatency*1e3, agg.CI95*1e3)
+	fmt.Printf("per-cluster out-of-cluster probabilities:")
+	for i := range cfg.Clusters {
+		fmt.Printf("  P%d=%.3f", i, cfg.POut(i))
+	}
+	fmt.Println()
+	b := pred.Bottleneck()
+	fmt.Printf("bottleneck: %v[%d] at %.1f%% utilisation\n\n", b.Kind, b.Cluster, b.Rho*100)
+
+	fmt.Println("=== what should we upgrade? (model-driven, instant) ===")
+	fmt.Println("variant                                   | latency (ms) | vs baseline")
+	variants := []struct {
+		name  string
+		mutor func(*hmscs.Config)
+	}{
+		{"baseline (FE backbone)", func(*hmscs.Config) {}},
+		{"ICN2 -> Gigabit Ethernet", func(c *hmscs.Config) { c.ICN2 = hmscs.GigabitEthernet }},
+		{"ICN2 -> Infiniband", func(c *hmscs.Config) { c.ICN2 = hmscs.Infiniband }},
+		{"all ECN1 -> Gigabit Ethernet", func(c *hmscs.Config) {
+			for i := range c.Clusters {
+				c.Clusters[i].ECN1 = hmscs.GigabitEthernet
+			}
+		}},
+		{"full inter-cluster fabric -> Infiniband", func(c *hmscs.Config) {
+			c.ICN2 = hmscs.Infiniband
+			for i := range c.Clusters {
+				c.Clusters[i].ECN1 = hmscs.Infiniband
+			}
+		}},
+	}
+	baselineMs := pred.MeanLatency * 1e3
+	for _, v := range variants {
+		c := &hmscs.Config{
+			Clusters:     append([]hmscs.Cluster(nil), base...),
+			ICN2:         hmscs.FastEthernet,
+			Arch:         hmscs.NonBlocking,
+			Switch:       hmscs.PaperSwitch,
+			MessageBytes: 1024,
+		}
+		v.mutor(c)
+		r, err := hmscs.Analyze(c)
+		if err != nil {
+			log.Fatal(err)
+		}
+		msLatency := r.MeanLatency * 1e3
+		fmt.Printf("%-42s| %10.3f   | %6.2fx\n", v.name, msLatency, baselineMs/msLatency)
+	}
+}

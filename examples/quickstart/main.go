@@ -1,0 +1,53 @@
+// Quickstart: describe a multi-cluster system, predict its mean message
+// latency with the paper's analytical model, validate the prediction with
+// the discrete-event simulator, and inspect the bottleneck.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"hmscs"
+)
+
+func main() {
+	// The paper's validation platform: 256 processors in 16 clusters,
+	// Gigabit Ethernet inside each cluster, Fast Ethernet between clusters
+	// (Table 1 Case 1), non-blocking fat-tree switches, 1 KiB messages.
+	cfg, err := hmscs.PaperConfig(hmscs.Case1, 16, 1024, hmscs.NonBlocking)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("system:", cfg)
+
+	// 1. Analytical model (instant).
+	pred, err := hmscs.Analyze(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("analytical latency:  %.3f ms (P=%.3f, effective-rate scale %.3f)\n",
+		pred.MeanLatency*1e3, pred.P, pred.Scale)
+	b := pred.Bottleneck()
+	fmt.Printf("predicted bottleneck: %v at %.1f%% utilisation\n", b.Kind, b.Rho*100)
+
+	// 2. Discrete-event simulation (the paper's validation, 10k messages).
+	opts := hmscs.DefaultSimOptions()
+	meas, err := hmscs.Simulate(cfg, opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("simulated latency:   %.3f ms over %d messages\n",
+		meas.MeanLatency()*1e3, meas.Measured)
+
+	// 3. Compare.
+	rel := (pred.MeanLatency - meas.MeanLatency()) / meas.MeanLatency()
+	fmt.Printf("model error:         %+.1f%%\n", rel*100)
+
+	// 4. Exact MVA cross-check (ours, not in the paper).
+	mva, err := hmscs.AnalyzeMVA(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("exact MVA latency:   %.3f ms (throughput %.0f msg/s)\n",
+		mva.MeanLatency*1e3, mva.Throughput)
+}

@@ -1,0 +1,77 @@
+// Topology comparison: when is the cheap blocking interconnect good
+// enough? The paper notes the linear switch array "is not suited for random
+// traffic patterns, but for localized traffic patterns" (§5.3). This
+// example quantifies that: it simulates both architectures across a range
+// of traffic localities and reports the crossover, then shows how the
+// switch port count moves the non-blocking fat-tree's stage boundary (the
+// paper's observed C=16 regime change).
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"hmscs"
+	"hmscs/internal/workload"
+)
+
+func main() {
+	const clusters, msg = 16, 1024
+	const lambda = 100.0
+
+	fmt.Println("=== blocking vs non-blocking across traffic locality ===")
+	fmt.Println("(Case-1 technologies, C=16, N0=16, λ=100 msg/s, M=1024B)")
+	fmt.Println("locality | non-blocking (ms) | blocking (ms) | blocking penalty")
+	for _, locality := range []float64{0, 0.25, 0.5, 0.75, 0.9, 0.99} {
+		nb, err := simulateAt(hmscs.NonBlocking, clusters, msg, lambda, locality)
+		if err != nil {
+			log.Fatal(err)
+		}
+		bl, err := simulateAt(hmscs.Blocking, clusters, msg, lambda, locality)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  %5.2f  | %13.3f     | %9.3f     | %5.2fx\n",
+			locality, nb*1e3, bl*1e3, bl/nb)
+	}
+	fmt.Println()
+
+	fmt.Println("=== switch port count vs fat-tree stages (paper eq. 12-13) ===")
+	fmt.Println("ports | stages(d) for N=256 | switches(k) | predicted latency (ms)")
+	for _, ports := range []int{8, 16, 24, 32, 48, 64} {
+		cfg, err := hmscs.NewSuperCluster(1, 256, lambda,
+			hmscs.GigabitEthernet, hmscs.FastEthernet,
+			hmscs.NonBlocking, hmscs.Switch{Ports: ports, Latency: 10e-6}, msg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		res, err := hmscs.Analyze(cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		centers, err := cfg.BuildCenters()
+		if err != nil {
+			log.Fatal(err)
+		}
+		top := centers.ICN1[0].Topology()
+		fmt.Printf("  %3d |        %d            |   %3d       | %10.3f\n",
+			ports, int(top.SwitchesTraversed()+1)/2, top.Switches(), res.MeanLatency*1e3)
+	}
+}
+
+func simulateAt(arch hmscs.Architecture, clusters, msg int, lambda, locality float64) (float64, error) {
+	cfg, err := hmscs.NewSuperCluster(clusters, 256/clusters, lambda,
+		hmscs.GigabitEthernet, hmscs.FastEthernet, arch, hmscs.PaperSwitch, msg)
+	if err != nil {
+		return 0, err
+	}
+	opts := hmscs.DefaultSimOptions()
+	opts.WarmupMessages = 1000
+	opts.MeasuredMessages = 5000
+	opts.Pattern = workload.LocalBias{Locality: locality}
+	agg, err := hmscs.SimulateReplications(cfg, opts, 3)
+	if err != nil {
+		return 0, err
+	}
+	return agg.MeanLatency, nil
+}

@@ -1,0 +1,188 @@
+// Package hmscs is a Go reproduction of Javadi, Akbari & Abawajy,
+// "Performance Analysis of Heterogeneous Multi-Cluster Systems" (ICPP
+// Workshops 2005): an analytical queueing model for the mean message
+// latency of multi-cluster systems, together with the discrete-event
+// simulator used to validate it.
+//
+// The public facade re-exports the building blocks:
+//
+//   - system description (Config, Cluster, scenario presets of Table 1/2)
+//   - the analytical model (Analyze) and the exact MVA cross-check
+//     (AnalyzeMVA)
+//   - the discrete-event simulator (Simulate, SimulateReplications)
+//   - the figure harness (Figure, RunFigure) regenerating Figures 4-7
+//
+// Quick start:
+//
+//	cfg, err := hmscs.PaperConfig(hmscs.Case1, 16, 1024, hmscs.NonBlocking)
+//	if err != nil { ... }
+//	pred, err := hmscs.Analyze(cfg)      // model: mean latency in seconds
+//	meas, err := hmscs.Simulate(cfg, hmscs.DefaultSimOptions()) // simulator
+package hmscs
+
+import (
+	"hmscs/internal/analytic"
+	"hmscs/internal/core"
+	"hmscs/internal/network"
+	"hmscs/internal/queueing"
+	"hmscs/internal/sim"
+	"hmscs/internal/sweep"
+)
+
+// System description -------------------------------------------------------
+
+// Config describes an HMSCS multi-cluster system. See core.Config.
+type Config = core.Config
+
+// Cluster describes one cluster of a system.
+type Cluster = core.Cluster
+
+// Scenario selects a Table 1 network-heterogeneity case.
+type Scenario = core.Scenario
+
+// Table 1 scenarios.
+const (
+	// Case1 uses Gigabit Ethernet inside clusters and Fast Ethernet between
+	// them.
+	Case1 = core.Case1
+	// Case2 swaps the two technologies.
+	Case2 = core.Case2
+)
+
+// Technology holds an interconnect's latency/bandwidth parameters.
+type Technology = network.Technology
+
+// Built-in technologies (Table 2 plus extensions).
+var (
+	GigabitEthernet = network.GigabitEthernet
+	FastEthernet    = network.FastEthernet
+	Myrinet         = network.Myrinet
+	Infiniband      = network.Infiniband
+)
+
+// Architecture selects the interconnect model of paper §5.
+type Architecture = network.Architecture
+
+// Interconnect architectures.
+const (
+	// NonBlocking is the full-bisection multi-stage fat-tree (§5.2).
+	NonBlocking = network.NonBlocking
+	// Blocking is the bisection-width-1 linear switch array (§5.3).
+	Blocking = network.Blocking
+)
+
+// Switch holds switch-fabric parameters (ports, latency).
+type Switch = network.Switch
+
+// PaperSwitch is Table 2's 24-port, 10µs switch.
+var PaperSwitch = network.PaperSwitch
+
+// PaperLambda is the per-processor generation rate used by the paper's
+// experiments under the millisecond reading documented in DESIGN.md.
+const PaperLambda = core.PaperLambda
+
+// NewSuperCluster builds the paper's homogeneous Super-Cluster system.
+func NewSuperCluster(c, n0 int, lambda float64, icn1, ecn Technology,
+	arch Architecture, sw Switch, msgBytes int) (*Config, error) {
+	return core.NewSuperCluster(c, n0, lambda, icn1, ecn, arch, sw, msgBytes)
+}
+
+// PaperConfig builds the §6 validation platform (N=256, Table 2) for the
+// given scenario, cluster count, message size and architecture.
+func PaperConfig(s Scenario, clusters, msgBytes int, arch Architecture) (*Config, error) {
+	return core.PaperConfig(s, clusters, msgBytes, arch)
+}
+
+// Analytical model ----------------------------------------------------------
+
+// AnalyticResult is the model's output: mean latency (eq. 15), the
+// effective-rate scale (eq. 7) and per-centre metrics.
+type AnalyticResult = analytic.Result
+
+// MVAResult is the exact closed-network cross-check's output.
+type MVAResult = analytic.MVAResult
+
+// Analyze evaluates the paper's analytical model.
+func Analyze(cfg *Config) (*AnalyticResult, error) { return analytic.Analyze(cfg) }
+
+// AnalyzeMVA solves the homogeneous system exactly by Mean Value Analysis.
+func AnalyzeMVA(cfg *Config) (*MVAResult, error) { return analytic.AnalyzeMVA(cfg) }
+
+// AnalyzeSCV generalises the model to M/G/1 service centres with the given
+// squared coefficient of variation (0 = deterministic, 1 = exponential).
+func AnalyzeSCV(cfg *Config, scv float64) (*AnalyticResult, error) {
+	return analytic.AnalyzeSCV(cfg, scv)
+}
+
+// AnalyzeLocality generalises eq. 8's uniform-destination assumption to
+// traffic with an explicit locality parameter (probability a message stays
+// inside its source cluster), matching workload.LocalBias.
+func AnalyzeLocality(cfg *Config, locality float64) (*AnalyticResult, error) {
+	return analytic.AnalyzeLocality(cfg, locality)
+}
+
+// MulticlassResult is the multiclass closed-network solution (one customer
+// class per cluster) for heterogeneous systems.
+type MulticlassResult = queueing.MulticlassResult
+
+// AnalyzeMulticlass solves the system as a closed multiclass network — the
+// principled model for heterogeneous Cluster-of-Clusters systems, where
+// clusters differ in size and request rate.
+func AnalyzeMulticlass(cfg *Config) (*MulticlassResult, error) {
+	return analytic.AnalyzeMulticlass(cfg)
+}
+
+// LoadConfig reads a JSON system description (see SaveConfig).
+func LoadConfig(path string) (*Config, error) { return core.LoadConfig(path) }
+
+// SaveConfig writes a configuration as JSON for later reuse with the CLIs'
+// -config flag.
+func SaveConfig(cfg *Config, path string) error { return core.SaveConfig(cfg, path) }
+
+// Simulation ----------------------------------------------------------------
+
+// SimOptions controls a simulation run (seed, message counts, service
+// distribution, open/closed loop, traffic pattern).
+type SimOptions = sim.Options
+
+// SimResult is one simulation run's output.
+type SimResult = sim.Result
+
+// ReplicatedResult aggregates independent replications.
+type ReplicatedResult = sim.Replicated
+
+// DefaultSimOptions mirrors the paper's procedure (10,000 messages) with a
+// warm-up prefix.
+func DefaultSimOptions() SimOptions { return sim.DefaultOptions() }
+
+// Simulate runs one discrete-event simulation of the configuration.
+func Simulate(cfg *Config, opts SimOptions) (*SimResult, error) { return sim.Run(cfg, opts) }
+
+// SimulateReplications runs n independent replications in parallel and
+// aggregates mean latency with a 95% confidence interval.
+func SimulateReplications(cfg *Config, opts SimOptions, n int) (*ReplicatedResult, error) {
+	return sim.RunReplications(cfg, opts, n)
+}
+
+// Figure harness -------------------------------------------------------------
+
+// FigureSpec describes one of the paper's validation figures.
+type FigureSpec = sweep.FigureSpec
+
+// FigureResult holds a fully evaluated figure.
+type FigureResult = sweep.FigureResult
+
+// SweepOptions tunes a figure evaluation.
+type SweepOptions = sweep.Options
+
+// Figure returns the specification of paper Figure n (4-7).
+func Figure(n int) (FigureSpec, error) { return sweep.PaperFigure(n) }
+
+// RunFigure evaluates a figure: analysis plus simulation per point.
+func RunFigure(spec FigureSpec, opts SweepOptions) (*FigureResult, error) {
+	return sweep.RunFigure(spec, opts)
+}
+
+// DefaultSweepOptions evaluates figures with the paper's per-run procedure
+// and 3 replications.
+func DefaultSweepOptions() SweepOptions { return sweep.DefaultOptions() }

@@ -1,0 +1,286 @@
+// Package analytic implements the paper's analytical performance model for
+// HMSCS multi-cluster systems (§4–5): every communication network is an
+// M/M/1 service centre fed by the Jackson-network arrival rates of
+// eq. 1–5, processors block while a request is in flight, and the effective
+// generation rate is found by the fixed-point iteration of eq. 7. The
+// primary output is the mean message latency of eq. 15.
+//
+// The package also provides an exact Mean Value Analysis solution of the
+// same system viewed as a closed queueing network, used as a cross-check
+// for the paper's open-model approximation (an ablation the paper does not
+// include).
+package analytic
+
+import (
+	"fmt"
+	"math"
+
+	"hmscs/internal/core"
+	"hmscs/internal/queueing"
+)
+
+// CenterKind labels the three kinds of service centres of Figure 2.
+type CenterKind int
+
+const (
+	// ICN1 is a cluster's intra-communication network.
+	ICN1 CenterKind = iota
+	// ECN1 is a cluster's inter-communication network.
+	ECN1
+	// ICN2 is the global second-stage network.
+	ICN2
+)
+
+func (k CenterKind) String() string {
+	switch k {
+	case ICN1:
+		return "ICN1"
+	case ECN1:
+		return "ECN1"
+	case ICN2:
+		return "ICN2"
+	default:
+		return fmt.Sprintf("CenterKind(%d)", int(k))
+	}
+}
+
+// CenterMetrics reports the steady-state M/M/1 quantities of one service
+// centre at the converged effective rate.
+type CenterMetrics struct {
+	Kind    CenterKind
+	Cluster int     // cluster index, -1 for ICN2
+	Lambda  float64 // arrival rate at the fixed point
+	Mu      float64 // service rate
+	Rho     float64 // utilisation
+	W       float64 // mean sojourn time (eq. 16)
+	L       float64 // mean number in system
+}
+
+// Result is the analytical model's output for one configuration.
+type Result struct {
+	// P is the out-of-cluster probability of eq. 8 for cluster 0 (equal
+	// across clusters in the homogeneous case).
+	P float64
+	// Scale is the converged effective-rate factor λ_eff/λ of eq. 7.
+	Scale float64
+	// Iterations is the number of fixed-point refinement steps used.
+	Iterations int
+	// MeanLatency is T_C of eq. 15, in seconds.
+	MeanLatency float64
+	// TotalWaiting is L of eq. 6: the mean number of blocked processors.
+	TotalWaiting float64
+	// Saturated reports that the raw rates (scale=1) would overload at
+	// least one centre, so the effective-rate iteration governs behaviour.
+	Saturated bool
+	// Centers holds per-centre metrics at the fixed point.
+	Centers []CenterMetrics
+}
+
+// Bottleneck returns the centre with the highest utilisation.
+func (r *Result) Bottleneck() CenterMetrics {
+	best := r.Centers[0]
+	for _, c := range r.Centers[1:] {
+		if c.Rho > best.Rho {
+			best = c
+		}
+	}
+	return best
+}
+
+// CenterW returns the mean sojourn time of the given centre, or NaN when it
+// does not exist (e.g. ICN2 cluster index must be -1).
+func (r *Result) CenterW(kind CenterKind, cluster int) float64 {
+	for _, c := range r.Centers {
+		if c.Kind == kind && c.Cluster == cluster {
+			return c.W
+		}
+	}
+	return math.NaN()
+}
+
+// model bundles the pre-computed service rates for a configuration.
+type model struct {
+	cfg      *core.Config
+	muICN1   []float64
+	muECN1   []float64
+	muICN2   float64
+	nTotal   int
+	saturCap float64 // L value used for unstable probes = total processors
+}
+
+func newModel(cfg *core.Config) (*model, error) {
+	centers, err := cfg.BuildCenters()
+	if err != nil {
+		return nil, err
+	}
+	sI1, sE1, sI2 := centers.ServiceTimes(cfg.MessageBytes)
+	m := &model{
+		cfg:    cfg,
+		muICN1: make([]float64, len(sI1)),
+		muECN1: make([]float64, len(sE1)),
+		muICN2: 1 / sI2,
+		nTotal: cfg.TotalNodes(),
+	}
+	for i := range sI1 {
+		m.muICN1[i] = 1 / sI1[i]
+		m.muECN1[i] = 1 / sE1[i]
+	}
+	m.saturCap = float64(m.nTotal)
+	return m, nil
+}
+
+// totalWaiting returns L(s), the mean number of blocked processors when all
+// generation rates are scaled by s. Any saturated centre clamps the result
+// to the total processor count, which keeps the fixed-point map
+// well-defined on all of [0,1] (paper eq. 6 with the physical cap).
+func (m *model) totalWaiting(s float64) float64 {
+	r := m.cfg.ArrivalRates(s)
+	total := 0.0
+	add := func(lambda, mu float64) bool {
+		if lambda >= mu {
+			return false
+		}
+		rho := lambda / mu
+		total += rho / (1 - rho)
+		return true
+	}
+	for i := range m.muICN1 {
+		if !add(r.ICN1[i], m.muICN1[i]) || !add(r.ECN1[i], m.muECN1[i]) {
+			return m.saturCap
+		}
+	}
+	if !add(r.ICN2, m.muICN2) {
+		return m.saturCap
+	}
+	if total > m.saturCap {
+		return m.saturCap
+	}
+	return total
+}
+
+// fixedPoint solves s = (N − L(s))/N by bisection. h(s) = s − g(s) is
+// strictly increasing (L is increasing in s), h(0) < 0 and h(1) >= 0, so a
+// unique root exists in (0, 1].
+func (m *model) fixedPoint() (scale float64, iters int) {
+	g := func(s float64) float64 {
+		return (float64(m.nTotal) - m.totalWaiting(s)) / float64(m.nTotal)
+	}
+	lo, hi := 0.0, 1.0
+	if h := 1 - g(1); h <= 0 {
+		// No blocking pressure at all: the raw rate is the fixed point.
+		return 1, 1
+	}
+	const tol = 1e-12
+	n := 0
+	for hi-lo > tol && n < 200 {
+		mid := (lo + hi) / 2
+		if mid-g(mid) < 0 {
+			lo = mid
+		} else {
+			hi = mid
+		}
+		n++
+	}
+	return (lo + hi) / 2, n
+}
+
+// Analyze evaluates the paper's analytical model for the configuration and
+// returns the mean message latency and per-centre metrics.
+func Analyze(cfg *core.Config) (*Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	m, err := newModel(cfg)
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{P: cfg.POut(0)}
+
+	// Detect saturation at the raw rates before iterating.
+	res.Saturated = m.totalWaiting(1) >= m.saturCap
+
+	res.Scale, res.Iterations = m.fixedPoint()
+	rates := cfg.ArrivalRates(res.Scale)
+
+	// Per-centre metrics at the fixed point. The bisection can land within
+	// tolerance of a saturation boundary; nudge just below it so the M/M/1
+	// formulas stay finite.
+	adjust := func(lambda, mu float64) float64 {
+		if lambda < mu {
+			return lambda
+		}
+		return mu * (1 - 1e-9)
+	}
+	c := cfg.NumClusters()
+	res.Centers = make([]CenterMetrics, 0, 2*c+1)
+	mkCenter := func(kind CenterKind, cluster int, lambda, mu float64) (CenterMetrics, error) {
+		lambda = adjust(lambda, mu)
+		st, err := queueing.NewMM1(lambda, mu)
+		if err != nil {
+			return CenterMetrics{}, err
+		}
+		w, err := st.W()
+		if err != nil {
+			return CenterMetrics{}, err
+		}
+		l, err := st.L()
+		if err != nil {
+			return CenterMetrics{}, err
+		}
+		return CenterMetrics{Kind: kind, Cluster: cluster, Lambda: lambda,
+			Mu: mu, Rho: st.Rho(), W: w, L: l}, nil
+	}
+	for i := 0; i < c; i++ {
+		cm, err := mkCenter(ICN1, i, rates.ICN1[i], m.muICN1[i])
+		if err != nil {
+			return nil, err
+		}
+		res.Centers = append(res.Centers, cm)
+		cm, err = mkCenter(ECN1, i, rates.ECN1[i], m.muECN1[i])
+		if err != nil {
+			return nil, err
+		}
+		res.Centers = append(res.Centers, cm)
+	}
+	cm, err := mkCenter(ICN2, -1, rates.ICN2, m.muICN2)
+	if err != nil {
+		return nil, err
+	}
+	res.Centers = append(res.Centers, cm)
+
+	for _, cc := range res.Centers {
+		res.TotalWaiting += cc.L
+	}
+
+	res.MeanLatency = meanLatency(cfg, res)
+	return res, nil
+}
+
+// meanLatency evaluates eq. 15 generalised to heterogeneous clusters: a
+// message from cluster i is local with probability (Nᵢ−1)/(N_T−1) and costs
+// W_I1ᵢ; otherwise it targets cluster j with probability Nⱼ/(N_T−1) and
+// costs W_E1ᵢ + W_I2 + W_E1ⱼ. Source clusters are weighted by their share
+// of generated traffic.
+func meanLatency(cfg *core.Config, res *Result) float64 {
+	nt := cfg.TotalNodes()
+	wI2 := res.CenterW(ICN2, -1)
+	// Pre-compute Σⱼ Nⱼ·W_E1ⱼ so the destination-side term is O(1) per
+	// source cluster.
+	wE1 := make([]float64, len(cfg.Clusters))
+	sumNW := 0.0
+	for j := range cfg.Clusters {
+		wE1[j] = res.CenterW(ECN1, j)
+		sumNW += float64(cfg.Clusters[j].Nodes) * wE1[j]
+	}
+	total := 0.0
+	for i := range cfg.Clusters {
+		wi := cfg.TrafficWeight(i)
+		ni := cfg.Clusters[i].Nodes
+		local := float64(ni-1) / float64(nt-1)
+		pi := cfg.POut(i)
+		destE1 := (sumNW - float64(ni)*wE1[i]) / float64(nt-1)
+		li := local*res.CenterW(ICN1, i) + pi*(wE1[i]+wI2) + destE1
+		total += wi * li
+	}
+	return total
+}

@@ -1,0 +1,76 @@
+package analytic
+
+import (
+	"math"
+	"testing"
+
+	"hmscs/internal/core"
+	"hmscs/internal/network"
+)
+
+// TestGoldenFigureValues pins the analytic latency (milliseconds) at
+// representative points of every paper figure, as recorded in
+// EXPERIMENTS.md. The model is deterministic, so any drift here means a
+// formula changed — the values themselves were validated against
+// simulation to within ~1%.
+func TestGoldenFigureValues(t *testing.T) {
+	cases := []struct {
+		name     string
+		scenario core.Scenario
+		arch     network.Architecture
+		clusters int
+		msg      int
+		wantMs   float64
+	}{
+		{"fig4 C=1 M=512", core.Case1, network.NonBlocking, 1, 512, 25.688},
+		{"fig4 C=16 M=1024", core.Case1, network.NonBlocking, 16, 1024, 34.121},
+		{"fig4 C=256 M=1024", core.Case1, network.NonBlocking, 256, 1024, 41.642},
+		{"fig5 C=2 M=512", core.Case2, network.NonBlocking, 2, 512, 10.999},
+		{"fig5 C=256 M=1024", core.Case2, network.NonBlocking, 256, 1024, 27.089},
+		{"fig6 C=8 M=1024", core.Case1, network.Blocking, 8, 1024, 97.168},
+		{"fig6 C=256 M=512", core.Case1, network.Blocking, 256, 512, 1623.218},
+		{"fig7 C=8 M=512", core.Case2, network.Blocking, 8, 512, 20.507},
+		{"fig7 C=256 M=1024", core.Case2, network.Blocking, 256, 1024, 385.213},
+	}
+	for _, c := range cases {
+		cfg, err := core.PaperConfig(c.scenario, c.clusters, c.msg, c.arch)
+		if err != nil {
+			t.Fatalf("%s: %v", c.name, err)
+		}
+		res, err := Analyze(cfg)
+		if err != nil {
+			t.Fatalf("%s: %v", c.name, err)
+		}
+		gotMs := res.MeanLatency * 1e3
+		if math.Abs(gotMs-c.wantMs) > 0.01 {
+			t.Errorf("%s: latency = %.3f ms, golden %.3f ms (EXPERIMENTS.md stale?)",
+				c.name, gotMs, c.wantMs)
+		}
+	}
+}
+
+// TestGoldenDerivedQuantities pins the intermediate quantities of the
+// C=16 platform that the paper discusses explicitly.
+func TestGoldenDerivedQuantities(t *testing.T) {
+	cfg, err := core.PaperConfig(core.Case1, 16, 1024, network.NonBlocking)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Analyze(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.P-240.0/255.0) > 1e-12 {
+		t.Errorf("P = %v, want 240/255 (eq. 8)", res.P)
+	}
+	if math.Abs(res.Scale-0.1049) > 0.001 {
+		t.Errorf("effective-rate scale = %v, golden 0.1049", res.Scale)
+	}
+	b := res.Bottleneck()
+	if b.Kind != ICN2 {
+		t.Errorf("bottleneck = %v, want ICN2", b.Kind)
+	}
+	if math.Abs(b.Mu-6348.2) > 1 {
+		t.Errorf("ICN2 mu = %v, golden 6348.2/s (eq. 11 with d=1)", b.Mu)
+	}
+}

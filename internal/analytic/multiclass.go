@@ -1,0 +1,65 @@
+package analytic
+
+import (
+	"fmt"
+
+	"hmscs/internal/core"
+	"hmscs/internal/queueing"
+)
+
+// AnalyzeMulticlass solves a (possibly heterogeneous) HMSCS system as a
+// closed multiclass queueing network: one customer class per cluster, with
+// the class's population, think time and visit ratios taken from the
+// cluster's size, rate and destination distribution. It is the principled
+// closed-network treatment of the paper's "future work" Cluster-of-
+// Clusters systems, where the single-class MVA mapping does not apply.
+//
+// Station order: ICN1[0..C), ECN1[0..C), ICN2.
+func AnalyzeMulticlass(cfg *core.Config) (*queueing.MulticlassResult, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	centers, err := cfg.BuildCenters()
+	if err != nil {
+		return nil, err
+	}
+	sI1, sE1, sI2 := centers.ServiceTimes(cfg.MessageBytes)
+	c := cfg.NumClusters()
+	nt := cfg.TotalNodes()
+	k := 2*c + 1
+	in := &queueing.MulticlassInput{
+		StationNames: make([]string, k),
+		Service:      make([]float64, k),
+		Visits:       make([][]float64, c),
+		Pop:          make([]int, c),
+		Think:        make([]float64, c),
+	}
+	for i := 0; i < c; i++ {
+		in.StationNames[i] = fmt.Sprintf("ICN1[%d]", i)
+		in.Service[i] = sI1[i]
+		in.StationNames[c+i] = fmt.Sprintf("ECN1[%d]", i)
+		in.Service[c+i] = sE1[i]
+	}
+	in.StationNames[2*c] = "ICN2"
+	in.Service[2*c] = sI2
+
+	for r := 0; r < c; r++ {
+		in.Pop[r] = cfg.Clusters[r].Nodes
+		in.Think[r] = 1 / cfg.Clusters[r].Lambda
+		v := make([]float64, k)
+		pr := cfg.POut(r)
+		// Local message: own ICN1.
+		v[r] = float64(cfg.Clusters[r].Nodes-1) / float64(nt-1)
+		// Remote message: own ECN1 outbound, ICN2, destination's ECN1.
+		v[c+r] += pr
+		for j := 0; j < c; j++ {
+			if j == r {
+				continue
+			}
+			v[c+j] += float64(cfg.Clusters[j].Nodes) / float64(nt-1)
+		}
+		v[2*c] = pr
+		in.Visits[r] = v
+	}
+	return queueing.SolveMulticlass(in)
+}

@@ -1,0 +1,47 @@
+package analytic
+
+import (
+	"hmscs/internal/core"
+	"hmscs/internal/queueing"
+)
+
+// MVAResult is the exact closed-network solution of a homogeneous HMSCS
+// system, used as a reference for the paper's open-model approximation.
+type MVAResult struct {
+	// MeanLatency is the mean time a message spends in the network per
+	// generated request (interactive response-time law), comparable to the
+	// analytic Result.MeanLatency and the simulator's measured latency.
+	MeanLatency float64
+	// Throughput is the system-wide message completion rate (msg/s).
+	Throughput float64
+	// BottleneckUtilization is the utilisation of the busiest centre.
+	BottleneckUtilization float64
+	// EffectiveLambda is the realised per-processor generation rate,
+	// Throughput / N; the closed-network analogue of eq. 7's λ_eff.
+	EffectiveLambda float64
+}
+
+// AnalyzeMVA solves the homogeneous system exactly as a closed queueing
+// network: N customers (processors) cycling between a think stage of mean
+// 1/λ and the communication centres with the symmetric visit ratios of
+// core.MVAStations.
+func AnalyzeMVA(cfg *core.Config) (*MVAResult, error) {
+	stations, think, err := cfg.MVAStations()
+	if err != nil {
+		return nil, err
+	}
+	n := cfg.TotalNodes()
+	r, err := queueing.MVA(stations, think, n)
+	if err != nil {
+		return nil, err
+	}
+	// MVA's X(N) counts cycles completed by the whole population, i.e.
+	// system messages per second; one cycle = one message.
+	res := &MVAResult{
+		MeanLatency:           r.ResponseTime(think),
+		Throughput:            r.Throughput,
+		EffectiveLambda:       r.Throughput / float64(n),
+		BottleneckUtilization: r.Utilization[r.BottleneckIndex()],
+	}
+	return res, nil
+}

@@ -1,0 +1,198 @@
+// Package cli holds the flag plumbing shared by the hmscs command-line
+// tools: building a core.Config from common flags and formatting helpers.
+package cli
+
+import (
+	"flag"
+	"fmt"
+	"strconv"
+	"strings"
+
+	"hmscs/internal/core"
+	"hmscs/internal/network"
+	"hmscs/internal/rng"
+	"hmscs/internal/sim"
+	"hmscs/internal/workload"
+)
+
+// SystemFlags collects the flags that describe an HMSCS system.
+type SystemFlags struct {
+	Config   string
+	Case     int
+	Clusters int
+	Nodes    int // per cluster; 0 = derive from -total
+	Total    int
+	Msg      int
+	Arch     string
+	Lambda   float64
+	ICN1     string
+	ECN      string
+	Ports    int
+	SwLat    float64
+}
+
+// Register installs the system flags on the given FlagSet with paper
+// defaults.
+func (s *SystemFlags) Register(fs *flag.FlagSet) {
+	fs.StringVar(&s.Config, "config", "", "JSON system description (overrides all other system flags; see core.SaveConfig)")
+	fs.IntVar(&s.Case, "case", 1, "Table 1 scenario (1 or 2); ignored when -icn1/-ecn are set")
+	fs.IntVar(&s.Clusters, "clusters", 16, "number of clusters C")
+	fs.IntVar(&s.Nodes, "nodes", 0, "processors per cluster N0 (0 = total/clusters)")
+	fs.IntVar(&s.Total, "total", core.PaperTotalNodes, "total processors when -nodes is 0")
+	fs.IntVar(&s.Msg, "msg", 1024, "message size in bytes")
+	fs.StringVar(&s.Arch, "arch", "non-blocking", "interconnect architecture: non-blocking or blocking")
+	fs.Float64Var(&s.Lambda, "lambda", core.PaperLambda, "per-processor message rate (msg/s)")
+	fs.StringVar(&s.ICN1, "icn1", "", "override ICN1 technology (GE, FE, Myrinet, Infiniband)")
+	fs.StringVar(&s.ECN, "ecn", "", "override ECN1/ICN2 technology")
+	fs.IntVar(&s.Ports, "ports", network.PaperSwitch.Ports, "switch ports Pr")
+	fs.Float64Var(&s.SwLat, "swlat", network.PaperSwitch.Latency*1e6, "switch latency in µs")
+}
+
+// Build converts the flags into a validated configuration.
+func (s *SystemFlags) Build() (*core.Config, error) {
+	if s.Config != "" {
+		return core.LoadConfig(s.Config)
+	}
+	arch, err := network.ParseArchitecture(s.Arch)
+	if err != nil {
+		return nil, err
+	}
+	n0 := s.Nodes
+	if n0 == 0 {
+		if s.Clusters <= 0 || s.Total%s.Clusters != 0 {
+			return nil, fmt.Errorf("cli: -clusters %d must divide -total %d (or pass -nodes)", s.Clusters, s.Total)
+		}
+		n0 = s.Total / s.Clusters
+	}
+	var icn1, ecn network.Technology
+	switch {
+	case s.ICN1 != "" || s.ECN != "":
+		if s.ICN1 == "" || s.ECN == "" {
+			return nil, fmt.Errorf("cli: -icn1 and -ecn must be set together")
+		}
+		if icn1, err = network.TechnologyByName(s.ICN1); err != nil {
+			return nil, err
+		}
+		if ecn, err = network.TechnologyByName(s.ECN); err != nil {
+			return nil, err
+		}
+	default:
+		if icn1, ecn, err = core.Scenario(s.Case).Technologies(); err != nil {
+			return nil, err
+		}
+	}
+	sw := network.Switch{Ports: s.Ports, Latency: s.SwLat * 1e-6}
+	return core.NewSuperCluster(s.Clusters, n0, s.Lambda, icn1, ecn, arch, sw, s.Msg)
+}
+
+// SimFlags collects the flags that control a simulation run.
+type SimFlags struct {
+	Seed     uint64
+	Messages int
+	Warmup   int
+	Reps     int
+	Open     bool
+	Service  string
+	Pattern  string
+}
+
+// Register installs the simulation flags with paper defaults.
+func (s *SimFlags) Register(fs *flag.FlagSet) {
+	fs.Uint64Var(&s.Seed, "seed", 1, "random seed")
+	fs.IntVar(&s.Messages, "messages", 10000, "measured messages per run (paper: 10000)")
+	fs.IntVar(&s.Warmup, "warmup", 2000, "warm-up messages discarded before measurement")
+	fs.IntVar(&s.Reps, "reps", 3, "independent replications")
+	fs.BoolVar(&s.Open, "open", false, "open-loop sources (ablation of assumption 4)")
+	fs.StringVar(&s.Service, "service", "exp", "service distribution: exp, det, erlang4, h2")
+	fs.StringVar(&s.Pattern, "pattern", "uniform", "traffic pattern: uniform, local:<p>, hotspot:<p>")
+}
+
+// Build converts the flags into simulation options.
+func (s *SimFlags) Build() (sim.Options, error) {
+	opts := sim.DefaultOptions()
+	opts.Seed = s.Seed
+	opts.MeasuredMessages = s.Messages
+	opts.WarmupMessages = s.Warmup
+	opts.OpenLoop = s.Open
+	switch s.Service {
+	case "exp":
+		opts.ServiceDist = rng.Exponential{MeanValue: 1}
+	case "det":
+		opts.ServiceDist = rng.Deterministic{Value: 1}
+	case "erlang4":
+		opts.ServiceDist = rng.Erlang{K: 4, MeanValue: 1}
+	case "h2":
+		h, err := rng.NewHyperExp(1, 4)
+		if err != nil {
+			return opts, err
+		}
+		opts.ServiceDist = h
+	default:
+		return opts, fmt.Errorf("cli: unknown service distribution %q", s.Service)
+	}
+	pattern, err := ParsePattern(s.Pattern)
+	if err != nil {
+		return opts, err
+	}
+	opts.Pattern = pattern
+	return opts, nil
+}
+
+// ParsePattern parses a traffic-pattern spec: "uniform", "local:<p>" or
+// "hotspot:<p>" (hot node 0).
+func ParsePattern(spec string) (workload.Pattern, error) {
+	switch {
+	case spec == "uniform" || spec == "":
+		return workload.Uniform{}, nil
+	case strings.HasPrefix(spec, "local:"):
+		p, err := strconv.ParseFloat(strings.TrimPrefix(spec, "local:"), 64)
+		if err != nil || p < 0 || p > 1 {
+			return nil, fmt.Errorf("cli: bad locality in %q", spec)
+		}
+		return workload.LocalBias{Locality: p}, nil
+	case strings.HasPrefix(spec, "hotspot:"):
+		p, err := strconv.ParseFloat(strings.TrimPrefix(spec, "hotspot:"), 64)
+		if err != nil || p < 0 || p > 1 {
+			return nil, fmt.Errorf("cli: bad hotspot fraction in %q", spec)
+		}
+		return workload.Hotspot{Node: 0, Fraction: p}, nil
+	}
+	return nil, fmt.Errorf("cli: unknown pattern %q", spec)
+}
+
+// ParseIntList parses a comma-separated integer list like "1,2,4,8".
+func ParseIntList(spec string) ([]int, error) {
+	if strings.TrimSpace(spec) == "" {
+		return nil, fmt.Errorf("cli: empty list")
+	}
+	parts := strings.Split(spec, ",")
+	out := make([]int, 0, len(parts))
+	for _, p := range parts {
+		v, err := strconv.Atoi(strings.TrimSpace(p))
+		if err != nil {
+			return nil, fmt.Errorf("cli: bad integer %q in list", p)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+// ParseFloatList parses a comma-separated float list like "0.25,2.5,25".
+func ParseFloatList(spec string) ([]float64, error) {
+	if strings.TrimSpace(spec) == "" {
+		return nil, fmt.Errorf("cli: empty list")
+	}
+	parts := strings.Split(spec, ",")
+	out := make([]float64, 0, len(parts))
+	for _, p := range parts {
+		v, err := strconv.ParseFloat(strings.TrimSpace(p), 64)
+		if err != nil {
+			return nil, fmt.Errorf("cli: bad float %q in list", p)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+// Ms formats seconds as milliseconds with 3 decimals.
+func Ms(sec float64) string { return fmt.Sprintf("%.3f ms", sec*1e3) }

@@ -1,0 +1,220 @@
+package cli
+
+import (
+	"flag"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"hmscs/internal/core"
+	"hmscs/internal/network"
+	"hmscs/internal/workload"
+)
+
+func newSystemFlags(t *testing.T, args ...string) *SystemFlags {
+	t.Helper()
+	fs := flag.NewFlagSet("test", flag.ContinueOnError)
+	var s SystemFlags
+	s.Register(fs)
+	if err := fs.Parse(args); err != nil {
+		t.Fatal(err)
+	}
+	return &s
+}
+
+func TestSystemFlagsDefaultsBuildPaperPlatform(t *testing.T) {
+	s := newSystemFlags(t)
+	cfg, err := s.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.NumClusters() != 16 || cfg.TotalNodes() != 256 {
+		t.Fatalf("defaults: C=%d N=%d", cfg.NumClusters(), cfg.TotalNodes())
+	}
+	if cfg.Clusters[0].ICN1.Name != "GigabitEthernet" {
+		t.Fatal("default case-1 technologies wrong")
+	}
+	if cfg.MessageBytes != 1024 {
+		t.Fatalf("msg = %d", cfg.MessageBytes)
+	}
+}
+
+func TestSystemFlagsCase2(t *testing.T) {
+	s := newSystemFlags(t, "-case", "2", "-clusters", "8", "-msg", "512", "-arch", "blocking")
+	cfg, err := s.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Clusters[0].ICN1.Name != "FastEthernet" {
+		t.Fatal("case 2 ICN1 wrong")
+	}
+	if cfg.NumClusters() != 8 || cfg.Clusters[0].Nodes != 32 {
+		t.Fatal("cluster split wrong")
+	}
+}
+
+func TestSystemFlagsTechOverride(t *testing.T) {
+	s := newSystemFlags(t, "-icn1", "Myrinet", "-ecn", "IB")
+	cfg, err := s.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Clusters[0].ICN1.Name != "Myrinet" || cfg.ICN2.Name != "Infiniband" {
+		t.Fatal("override not applied")
+	}
+	// Partial override is an error.
+	s2 := newSystemFlags(t, "-icn1", "Myrinet")
+	if _, err := s2.Build(); err == nil {
+		t.Fatal("partial override accepted")
+	}
+}
+
+func TestSystemFlagsErrors(t *testing.T) {
+	if _, err := newSystemFlags(t, "-clusters", "3").Build(); err == nil {
+		t.Fatal("non-dividing cluster count accepted")
+	}
+	if _, err := newSystemFlags(t, "-arch", "torus").Build(); err == nil {
+		t.Fatal("bad arch accepted")
+	}
+	if _, err := newSystemFlags(t, "-case", "7").Build(); err == nil {
+		t.Fatal("bad case accepted")
+	}
+	if _, err := newSystemFlags(t, "-icn1", "bogus", "-ecn", "FE").Build(); err == nil {
+		t.Fatal("bad technology accepted")
+	}
+}
+
+func TestSystemFlagsConfigFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "sys.json")
+	orig, err := core.PaperConfig(core.Case2, 8, 512, network.Blocking)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := core.SaveConfig(orig, path); err != nil {
+		t.Fatal(err)
+	}
+	// The -config flag overrides every other system flag.
+	s := newSystemFlags(t, "-config", path, "-clusters", "99", "-msg", "4096")
+	cfg, err := s.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.NumClusters() != 8 || cfg.MessageBytes != 512 {
+		t.Fatalf("config file not honoured: %s", cfg)
+	}
+	// Missing file errors.
+	s2 := newSystemFlags(t, "-config", filepath.Join(dir, "nope.json"))
+	if _, err := s2.Build(); err == nil {
+		t.Fatal("missing config accepted")
+	}
+}
+
+func TestSystemFlagsExplicitNodes(t *testing.T) {
+	s := newSystemFlags(t, "-clusters", "3", "-nodes", "5")
+	cfg, err := s.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.TotalNodes() != 15 {
+		t.Fatalf("total = %d", cfg.TotalNodes())
+	}
+}
+
+func TestSimFlags(t *testing.T) {
+	fs := flag.NewFlagSet("test", flag.ContinueOnError)
+	var s SimFlags
+	s.Register(fs)
+	if err := fs.Parse([]string{"-seed", "9", "-messages", "500", "-service", "det", "-pattern", "local:0.8"}); err != nil {
+		t.Fatal(err)
+	}
+	opts, err := s.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if opts.Seed != 9 || opts.MeasuredMessages != 500 {
+		t.Fatal("options not applied")
+	}
+	if opts.ServiceDist.SCV() != 0 {
+		t.Fatal("det service not applied")
+	}
+	if _, ok := opts.Pattern.(workload.LocalBias); !ok {
+		t.Fatalf("pattern = %T", opts.Pattern)
+	}
+}
+
+func TestSimFlagsServiceFamilies(t *testing.T) {
+	for _, svc := range []string{"exp", "det", "erlang4", "h2"} {
+		fs := flag.NewFlagSet("test", flag.ContinueOnError)
+		var s SimFlags
+		s.Register(fs)
+		if err := fs.Parse([]string{"-service", svc}); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := s.Build(); err != nil {
+			t.Errorf("service %q: %v", svc, err)
+		}
+	}
+	fs := flag.NewFlagSet("test", flag.ContinueOnError)
+	var s SimFlags
+	s.Register(fs)
+	if err := fs.Parse([]string{"-service", "cauchy"}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Build(); err == nil {
+		t.Fatal("unknown service accepted")
+	}
+}
+
+func TestParsePattern(t *testing.T) {
+	if _, err := ParsePattern("uniform"); err != nil {
+		t.Fatal(err)
+	}
+	p, err := ParsePattern("hotspot:0.3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h, ok := p.(workload.Hotspot); !ok || h.Fraction != 0.3 {
+		t.Fatalf("pattern = %#v", p)
+	}
+	for _, bad := range []string{"local:2", "local:x", "hotspot:-1", "zipf"} {
+		if _, err := ParsePattern(bad); err == nil {
+			t.Errorf("pattern %q accepted", bad)
+		}
+	}
+}
+
+func TestParseIntList(t *testing.T) {
+	got, err := ParseIntList("1, 2,4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 || got[2] != 4 {
+		t.Fatalf("list = %v", got)
+	}
+	if _, err := ParseIntList(""); err == nil {
+		t.Fatal("empty list accepted")
+	}
+	if _, err := ParseIntList("1,x"); err == nil {
+		t.Fatal("bad entry accepted")
+	}
+}
+
+func TestParseFloatList(t *testing.T) {
+	got, err := ParseFloatList("0.25, 2.5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[1] != 2.5 {
+		t.Fatalf("list = %v", got)
+	}
+	if _, err := ParseFloatList("a"); err == nil {
+		t.Fatal("bad float accepted")
+	}
+}
+
+func TestMs(t *testing.T) {
+	if got := Ms(0.0123); !strings.Contains(got, "12.300") {
+		t.Fatalf("Ms = %q", got)
+	}
+}

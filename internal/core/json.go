@@ -1,0 +1,144 @@
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+
+	"hmscs/internal/network"
+)
+
+// jsonTech serialises a technology either as a well-known name ("GE") or
+// as explicit parameters.
+type jsonTech struct {
+	Name        string  `json:"name,omitempty"`
+	LatencyUS   float64 `json:"latency_us,omitempty"`
+	BandwidthMB float64 `json:"bandwidth_mb_s,omitempty"`
+}
+
+func techToJSON(t network.Technology) jsonTech {
+	switch t {
+	case network.GigabitEthernet, network.FastEthernet, network.Myrinet, network.Infiniband:
+		return jsonTech{Name: t.Name}
+	}
+	return jsonTech{Name: t.Name, LatencyUS: t.Latency * 1e6, BandwidthMB: t.Bandwidth / 1e6}
+}
+
+func techFromJSON(j jsonTech) (network.Technology, error) {
+	if j.LatencyUS == 0 && j.BandwidthMB == 0 {
+		return network.TechnologyByName(j.Name)
+	}
+	t := network.Technology{
+		Name:      j.Name,
+		Latency:   j.LatencyUS * 1e-6,
+		Bandwidth: j.BandwidthMB * 1e6,
+	}
+	if err := t.Validate(); err != nil {
+		return network.Technology{}, err
+	}
+	return t, nil
+}
+
+// jsonCluster mirrors Cluster for serialisation.
+type jsonCluster struct {
+	Nodes  int      `json:"nodes"`
+	Lambda float64  `json:"lambda_per_s"`
+	ICN1   jsonTech `json:"icn1"`
+	ECN1   jsonTech `json:"ecn1"`
+}
+
+// jsonConfig is the on-disk form of a Config.
+type jsonConfig struct {
+	Clusters     []jsonCluster `json:"clusters"`
+	ICN2         jsonTech      `json:"icn2"`
+	Arch         string        `json:"arch"`
+	SwitchPorts  int           `json:"switch_ports"`
+	SwitchLatUS  float64       `json:"switch_latency_us"`
+	MessageBytes int           `json:"message_bytes"`
+}
+
+// MarshalJSON serialises the configuration with human-friendly units
+// (microseconds, MB/s) and technology names for the built-ins.
+func (c *Config) MarshalJSON() ([]byte, error) {
+	j := jsonConfig{
+		ICN2:         techToJSON(c.ICN2),
+		Arch:         c.Arch.String(),
+		SwitchPorts:  c.Switch.Ports,
+		SwitchLatUS:  c.Switch.Latency * 1e6,
+		MessageBytes: c.MessageBytes,
+	}
+	for _, cl := range c.Clusters {
+		j.Clusters = append(j.Clusters, jsonCluster{
+			Nodes:  cl.Nodes,
+			Lambda: cl.Lambda,
+			ICN1:   techToJSON(cl.ICN1),
+			ECN1:   techToJSON(cl.ECN1),
+		})
+	}
+	return json.MarshalIndent(j, "", "  ")
+}
+
+// UnmarshalJSON parses the on-disk form and validates the result.
+func (c *Config) UnmarshalJSON(data []byte) error {
+	var j jsonConfig
+	if err := json.Unmarshal(data, &j); err != nil {
+		return fmt.Errorf("core: parsing config: %w", err)
+	}
+	arch, err := network.ParseArchitecture(j.Arch)
+	if err != nil {
+		return err
+	}
+	icn2, err := techFromJSON(j.ICN2)
+	if err != nil {
+		return fmt.Errorf("core: icn2: %w", err)
+	}
+	out := Config{
+		ICN2:         icn2,
+		Arch:         arch,
+		Switch:       network.Switch{Ports: j.SwitchPorts, Latency: j.SwitchLatUS * 1e-6},
+		MessageBytes: j.MessageBytes,
+	}
+	for i, jc := range j.Clusters {
+		icn1, err := techFromJSON(jc.ICN1)
+		if err != nil {
+			return fmt.Errorf("core: cluster %d icn1: %w", i, err)
+		}
+		ecn1, err := techFromJSON(jc.ECN1)
+		if err != nil {
+			return fmt.Errorf("core: cluster %d ecn1: %w", i, err)
+		}
+		out.Clusters = append(out.Clusters, Cluster{
+			Nodes: jc.Nodes, Lambda: jc.Lambda, ICN1: icn1, ECN1: ecn1,
+		})
+	}
+	if err := out.Validate(); err != nil {
+		return err
+	}
+	*c = out
+	return nil
+}
+
+// LoadConfig reads and validates a configuration file.
+func LoadConfig(path string) (*Config, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("core: reading config: %w", err)
+	}
+	cfg := &Config{}
+	if err := cfg.UnmarshalJSON(data); err != nil {
+		return nil, err
+	}
+	return cfg, nil
+}
+
+// SaveConfig writes the configuration as indented JSON.
+func SaveConfig(cfg *Config, path string) error {
+	if err := cfg.Validate(); err != nil {
+		return err
+	}
+	data, err := cfg.MarshalJSON()
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

@@ -1,0 +1,118 @@
+package core
+
+import (
+	"encoding/json"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"hmscs/internal/network"
+)
+
+func TestConfigJSONRoundTrip(t *testing.T) {
+	orig := mustPaperConfig(t, Case1, 16, 1024, network.Blocking)
+	data, err := orig.MarshalJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Config
+	if err := back.UnmarshalJSON(data); err != nil {
+		t.Fatal(err)
+	}
+	if back.NumClusters() != 16 || back.TotalNodes() != 256 {
+		t.Fatalf("round trip lost structure: C=%d N=%d", back.NumClusters(), back.TotalNodes())
+	}
+	if back.Arch != network.Blocking || back.MessageBytes != 1024 {
+		t.Fatal("round trip lost scalar fields")
+	}
+	if back.Clusters[0].ICN1 != network.GigabitEthernet {
+		t.Fatalf("round trip lost technology: %+v", back.Clusters[0].ICN1)
+	}
+	if back.Switch.Ports != orig.Switch.Ports {
+		t.Fatalf("round trip lost switch ports: %+v vs %+v", back.Switch, orig.Switch)
+	}
+	// The µs conversion may leave one ULP of float noise.
+	if d := back.Switch.Latency - orig.Switch.Latency; d > 1e-12 || d < -1e-12 {
+		t.Fatalf("round trip drifted switch latency: %+v vs %+v", back.Switch, orig.Switch)
+	}
+}
+
+func TestConfigJSONCustomTechnology(t *testing.T) {
+	custom := network.Technology{Name: "Quadrics", Latency: 5e-6, Bandwidth: 340e6}
+	orig := &Config{
+		Clusters: []Cluster{
+			{Nodes: 8, Lambda: 42, ICN1: custom, ECN1: network.FastEthernet},
+		},
+		ICN2: custom, Arch: network.NonBlocking,
+		Switch: network.PaperSwitch, MessageBytes: 2048,
+	}
+	data, err := orig.MarshalJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), "Quadrics") || !strings.Contains(string(data), "latency_us") {
+		t.Fatalf("custom technology not serialised explicitly:\n%s", data)
+	}
+	var back Config
+	if err := back.UnmarshalJSON(data); err != nil {
+		t.Fatal(err)
+	}
+	if back.ICN2.Name != "Quadrics" || back.ICN2.Bandwidth != 340e6 {
+		t.Fatalf("custom technology lost: %+v", back.ICN2)
+	}
+}
+
+func TestConfigJSONHumanUnits(t *testing.T) {
+	cfg := mustPaperConfig(t, Case2, 4, 512, network.NonBlocking)
+	data, err := json.Marshal(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := string(data)
+	// Built-in technologies serialise by name only.
+	if !strings.Contains(s, "FastEthernet") || strings.Contains(s, "1.05e+07") {
+		t.Fatalf("expected name-only technologies:\n%s", s)
+	}
+	if !strings.Contains(s, `"switch_latency_us":10`) {
+		t.Fatalf("switch latency not in µs:\n%s", s)
+	}
+}
+
+func TestConfigJSONRejectsInvalid(t *testing.T) {
+	cases := map[string]string{
+		"bad json":    `{`,
+		"bad arch":    `{"clusters":[{"nodes":2,"lambda_per_s":1,"icn1":{"name":"GE"},"ecn1":{"name":"FE"}}],"icn2":{"name":"FE"},"arch":"star","switch_ports":24,"switch_latency_us":10,"message_bytes":64}`,
+		"bad tech":    `{"clusters":[{"nodes":2,"lambda_per_s":1,"icn1":{"name":"token-ring"},"ecn1":{"name":"FE"}}],"icn2":{"name":"FE"},"arch":"blocking","switch_ports":24,"switch_latency_us":10,"message_bytes":64}`,
+		"no clusters": `{"clusters":[],"icn2":{"name":"FE"},"arch":"blocking","switch_ports":24,"switch_latency_us":10,"message_bytes":64}`,
+		"bad lambda":  `{"clusters":[{"nodes":2,"lambda_per_s":0,"icn1":{"name":"GE"},"ecn1":{"name":"FE"}}],"icn2":{"name":"FE"},"arch":"blocking","switch_ports":24,"switch_latency_us":10,"message_bytes":64}`,
+	}
+	for name, data := range cases {
+		var cfg Config
+		if err := cfg.UnmarshalJSON([]byte(data)); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}
+
+func TestSaveAndLoadConfig(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "system.json")
+	orig := mustPaperConfig(t, Case1, 8, 1024, network.NonBlocking)
+	if err := SaveConfig(orig, path); err != nil {
+		t.Fatal(err)
+	}
+	back, err := LoadConfig(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.String() != orig.String() {
+		t.Fatalf("round trip mismatch:\n%s\n%s", back.String(), orig.String())
+	}
+	if _, err := LoadConfig(filepath.Join(dir, "missing.json")); err == nil {
+		t.Error("missing file accepted")
+	}
+	// Saving an invalid config must fail before touching the disk.
+	if err := SaveConfig(&Config{}, path); err == nil {
+		t.Error("invalid config saved")
+	}
+}

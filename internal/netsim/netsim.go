@@ -1,0 +1,370 @@
+// Package netsim is a switch-level network simulator: where the system
+// simulator (internal/sim) follows the paper in abstracting each
+// communication network into a single queueing server, netsim builds the
+// actual switch graph — the multi-stage fat-tree of §5.2 or the linear
+// switch array of §5.3 — with a FIFO queue per directed link and
+// store-and-forward forwarding.
+//
+// It exists to test the paper's two structural claims directly:
+//
+//   - Theorem 1: the fat-tree has full bisection bandwidth, so under
+//     uniform traffic no internal link saturates before the edge links do;
+//   - eq. 19/21: the linear array's inter-switch links form a
+//     bisection-width-1 bottleneck whose average path length is (k+1)/3
+//     and whose saturation throughput collapses with N.
+package netsim
+
+import (
+	"fmt"
+	"math"
+
+	"hmscs/internal/network"
+	"hmscs/internal/rng"
+	"hmscs/internal/sim"
+	"hmscs/internal/stats"
+)
+
+// Kind labels the modelled topology.
+type Kind int
+
+const (
+	// FatTree is the two-level folded-Clos fat-tree of paper §5.2.
+	FatTree Kind = iota
+	// LinearArray is the cascaded switch chain of paper §5.3.
+	LinearArray
+)
+
+func (k Kind) String() string {
+	if k == FatTree {
+		return "fat-tree"
+	}
+	return "linear-array"
+}
+
+// link is one directed channel with its own FIFO queue.
+type link struct {
+	name   string
+	center *sim.Center
+	// interSwitch marks switch-to-switch channels (the bisection-relevant
+	// ones in the linear array).
+	interSwitch bool
+}
+
+// Network is an instantiated switch graph ready to simulate.
+type Network struct {
+	Kind Kind
+	N    int // endpoints
+	Pr   int // switch ports
+	Tech network.Technology
+	Sw   network.Switch
+
+	eng   *sim.Engine
+	links []*link
+
+	// Topology-specific routing state.
+	leafOf     []int // endpoint -> leaf/chain switch index
+	numLeaves  int
+	numSpines  int
+	upLinks    [][]int // leaf -> per-spine uplink link index (fat-tree)
+	downLinks  [][]int // spine -> per-leaf downlink link index (fat-tree)
+	hostUp     []int   // endpoint -> host->switch link index
+	hostDown   []int   // endpoint -> switch->host link index
+	chainRight []int   // chain switch i -> i+1 link index (linear array)
+	chainLeft  []int   // chain switch i+1 -> i link index
+}
+
+func (n *Network) addLink(name string, stream *rng.Stream, dist rng.Dist, interSwitch bool) int {
+	l := &link{
+		name:        name,
+		center:      sim.NewCenter(name, n.eng, dist, stream),
+		interSwitch: interSwitch,
+	}
+	n.links = append(n.links, l)
+	return len(n.links) - 1
+}
+
+// BuildFatTree constructs the two-level folded Clos matching the paper's
+// construction for d = ⌈log_{Pr/2}(N/2)⌉ ≤ 2: leaves with Pr/2 host ports
+// and Pr/2 up ports, spines with Pr down ports, every spine wired to every
+// leaf. (All networks of the paper's N=256 platform have d ≤ 2. A single
+// switch, d=1, degenerates to one leaf and no spines.)
+func BuildFatTree(n, pr int, tech network.Technology, sw network.Switch, seed uint64, dist rng.Dist) (*Network, error) {
+	if err := validateBuild(n, pr, tech, sw); err != nil {
+		return nil, err
+	}
+	net := &Network{
+		Kind: FatTree, N: n, Pr: pr, Tech: tech, Sw: sw,
+		eng: sim.NewEngine(),
+	}
+	master := rng.NewStream(seed)
+	half := pr / 2
+	if n <= pr {
+		// Single switch: hosts hang off one crossbar.
+		net.numLeaves, net.numSpines = 1, 0
+		net.leafOf = make([]int, n)
+		net.hostUp = make([]int, n)
+		net.hostDown = make([]int, n)
+		for e := 0; e < n; e++ {
+			net.hostUp[e] = net.addLink(fmt.Sprintf("h%d->sw0", e), master.Split(), dist, false)
+			net.hostDown[e] = net.addLink(fmt.Sprintf("sw0->h%d", e), master.Split(), dist, false)
+		}
+		return net, nil
+	}
+	numLeaves := ceilDiv(n, half)
+	numSpines := ceilDiv(n, pr)
+	if numLeaves > pr {
+		return nil, fmt.Errorf("netsim: N=%d Pr=%d needs %d leaves > %d spine ports (depth > 2 not supported)",
+			n, pr, numLeaves, pr)
+	}
+	net.numLeaves, net.numSpines = numLeaves, numSpines
+	net.leafOf = make([]int, n)
+	net.hostUp = make([]int, n)
+	net.hostDown = make([]int, n)
+	for e := 0; e < n; e++ {
+		leaf := e / half
+		net.leafOf[e] = leaf
+		net.hostUp[e] = net.addLink(fmt.Sprintf("h%d->leaf%d", e, leaf), master.Split(), dist, false)
+		net.hostDown[e] = net.addLink(fmt.Sprintf("leaf%d->h%d", leaf, e), master.Split(), dist, false)
+	}
+	net.upLinks = make([][]int, numLeaves)
+	net.downLinks = make([][]int, numSpines)
+	for s := 0; s < numSpines; s++ {
+		net.downLinks[s] = make([]int, numLeaves)
+	}
+	for l := 0; l < numLeaves; l++ {
+		net.upLinks[l] = make([]int, numSpines)
+		for s := 0; s < numSpines; s++ {
+			net.upLinks[l][s] = net.addLink(fmt.Sprintf("leaf%d->spine%d", l, s), master.Split(), dist, true)
+			net.downLinks[s][l] = net.addLink(fmt.Sprintf("spine%d->leaf%d", s, l), master.Split(), dist, true)
+		}
+	}
+	return net, nil
+}
+
+// BuildLinearArray constructs the paper's blocking topology: k = ⌈N/Pr⌉
+// switches in a chain, hosts distributed Pr per switch, one channel per
+// direction between neighbours.
+func BuildLinearArray(n, pr int, tech network.Technology, sw network.Switch, seed uint64, dist rng.Dist) (*Network, error) {
+	if err := validateBuild(n, pr, tech, sw); err != nil {
+		return nil, err
+	}
+	net := &Network{
+		Kind: LinearArray, N: n, Pr: pr, Tech: tech, Sw: sw,
+		eng: sim.NewEngine(),
+	}
+	master := rng.NewStream(seed)
+	k := ceilDiv(n, pr)
+	net.numLeaves = k
+	net.leafOf = make([]int, n)
+	net.hostUp = make([]int, n)
+	net.hostDown = make([]int, n)
+	for e := 0; e < n; e++ {
+		s := e / pr
+		net.leafOf[e] = s
+		net.hostUp[e] = net.addLink(fmt.Sprintf("h%d->sw%d", e, s), master.Split(), dist, false)
+		net.hostDown[e] = net.addLink(fmt.Sprintf("sw%d->h%d", s, e), master.Split(), dist, false)
+	}
+	net.chainRight = make([]int, k-1)
+	net.chainLeft = make([]int, k-1)
+	for i := 0; i < k-1; i++ {
+		net.chainRight[i] = net.addLink(fmt.Sprintf("sw%d->sw%d", i, i+1), master.Split(), dist, true)
+		net.chainLeft[i] = net.addLink(fmt.Sprintf("sw%d->sw%d", i+1, i), master.Split(), dist, true)
+	}
+	return net, nil
+}
+
+func validateBuild(n, pr int, tech network.Technology, sw network.Switch) error {
+	if n < 2 {
+		return fmt.Errorf("netsim: need at least 2 endpoints, got %d", n)
+	}
+	if err := tech.Validate(); err != nil {
+		return err
+	}
+	if err := sw.Validate(); err != nil {
+		return err
+	}
+	if pr != sw.Ports {
+		return fmt.Errorf("netsim: pr %d disagrees with switch ports %d", pr, sw.Ports)
+	}
+	return nil
+}
+
+func ceilDiv(a, b int) int { return (a + b - 1) / b }
+
+// route returns the ordered link ids from src to dst and the number of
+// switches traversed. For the fat-tree the spine is chosen uniformly at
+// random (multipath routing).
+func (n *Network) route(st *rng.Stream, src, dst int) (path []int, switches int) {
+	switch n.Kind {
+	case FatTree:
+		if n.numSpines == 0 || n.leafOf[src] == n.leafOf[dst] {
+			return []int{n.hostUp[src], n.hostDown[dst]}, 1
+		}
+		spine := st.Intn(n.numSpines)
+		return []int{
+			n.hostUp[src],
+			n.upLinks[n.leafOf[src]][spine],
+			n.downLinks[spine][n.leafOf[dst]],
+			n.hostDown[dst],
+		}, 3
+	default: // LinearArray
+		a, b := n.leafOf[src], n.leafOf[dst]
+		path = []int{n.hostUp[src]}
+		switches = 1
+		for i := a; i < b; i++ {
+			path = append(path, n.chainRight[i])
+			switches++
+		}
+		for i := a; i > b; i-- {
+			path = append(path, n.chainLeft[i-1])
+			switches++
+		}
+		return append(path, n.hostDown[dst]), switches
+	}
+}
+
+// Options controls one netsim run.
+type Options struct {
+	// Lambda is the per-endpoint generation rate (msg/s) while idle;
+	// sources block until delivery (the paper's closed-loop assumption).
+	Lambda float64
+	// MsgBytes is the fixed message length.
+	MsgBytes int
+	// Warmup and Measured follow the system simulator's semantics.
+	Warmup   int
+	Measured int
+	// Seed drives destination choice and think times.
+	Seed uint64
+	// MaxSimTime caps the simulated clock (0 = no cap).
+	MaxSimTime float64
+}
+
+// Result is a netsim run's output.
+type Result struct {
+	// Latency is the end-to-end message latency accumulator (seconds).
+	Latency stats.Welford
+	// SwitchHops is the per-message switches-traversed accumulator,
+	// comparable to 2d−1 (fat-tree) and (k+1)/3 (linear array).
+	SwitchHops stats.Welford
+	// Throughput is the measured delivery rate over the window (msg/s).
+	Throughput float64
+	// MaxLinkUtilization distinguishes edge from fabric pressure.
+	MaxHostLinkUtil    float64
+	MaxInterSwitchUtil float64
+	// TimedOut reports hitting MaxSimTime before Measured messages.
+	TimedOut bool
+}
+
+// Run executes a closed-loop uniform-traffic experiment on the network.
+// The network is single-use.
+func (n *Network) Run(opts Options) (*Result, error) {
+	if !(opts.Lambda > 0) {
+		return nil, fmt.Errorf("netsim: lambda %g must be positive", opts.Lambda)
+	}
+	if opts.MsgBytes < 1 {
+		return nil, fmt.Errorf("netsim: message size %d must be >= 1", opts.MsgBytes)
+	}
+	if opts.Measured < 1 {
+		return nil, fmt.Errorf("netsim: need at least 1 measured message")
+	}
+	if opts.Warmup < 0 {
+		return nil, fmt.Errorf("netsim: negative warmup %d", opts.Warmup)
+	}
+	maxT := opts.MaxSimTime
+	if maxT <= 0 {
+		maxT = math.Inf(1)
+	}
+	res := &Result{}
+	master := rng.NewStream(opts.Seed ^ 0xabcdef12345)
+	streams := make([]*rng.Stream, n.N)
+	for i := range streams {
+		streams[i] = master.Split()
+	}
+	serviceMean := float64(opts.MsgBytes) * n.Tech.Beta()
+	completed := 0
+	measureStart := 0.0
+
+	var generate func(p int)
+	deliver := func(p int, born float64, hops int) {
+		completed++
+		if completed == opts.Warmup {
+			measureStart = n.eng.Now()
+		}
+		if completed > opts.Warmup && res.Latency.Count() < int64(opts.Measured) {
+			res.Latency.Add(n.eng.Now() - born)
+			res.SwitchHops.Add(float64(hops))
+			if res.Latency.Count() == int64(opts.Measured) {
+				n.eng.Stop()
+			}
+		}
+		generate(p)
+	}
+	generate = func(p int) {
+		st := streams[p]
+		n.eng.Schedule(st.ExpRate(opts.Lambda), func() {
+			dst := st.Intn(n.N - 1)
+			if dst >= p {
+				dst++
+			}
+			path, hops := n.route(st, p, dst)
+			born := n.eng.Now()
+			// Fixed latencies paid once per message: NIC latency alpha and
+			// the per-switch fabric latency.
+			fixed := n.Tech.Latency + float64(hops)*n.Sw.Latency
+			i := -1
+			var step func()
+			step = func() {
+				i++
+				if i == len(path) {
+					n.eng.Schedule(fixed, func() { deliver(p, born, hops) })
+					return
+				}
+				n.links[path[i]].center.Submit(serviceMean, step)
+			}
+			step()
+		})
+	}
+	for p := 0; p < n.N; p++ {
+		generate(p)
+	}
+	n.eng.Run(maxT)
+	if res.Latency.Count() < int64(opts.Measured) {
+		res.TimedOut = true
+	}
+	window := n.eng.Now() - measureStart
+	if window > 0 && res.Latency.Count() > 0 {
+		res.Throughput = float64(res.Latency.Count()) / window
+	}
+	for _, l := range n.links {
+		l.center.Flush()
+		u := l.center.Utilization()
+		if l.interSwitch {
+			res.MaxInterSwitchUtil = math.Max(res.MaxInterSwitchUtil, u)
+		} else {
+			res.MaxHostLinkUtil = math.Max(res.MaxHostLinkUtil, u)
+		}
+	}
+	return res, nil
+}
+
+// ContentionFreeLatency returns the zero-load end-to-end time for a
+// message crossing the maximum-distance path, the netsim analogue of the
+// paper's eq. 11 / eq. 19 wire time (store-and-forward charges the
+// transmission once per hop).
+func (n *Network) ContentionFreeLatency(msgBytes int) float64 {
+	perHop := float64(msgBytes) * n.Tech.Beta()
+	var hops, switches float64
+	switch n.Kind {
+	case FatTree:
+		if n.numSpines == 0 {
+			hops, switches = 2, 1
+		} else {
+			hops, switches = 4, 3
+		}
+	default:
+		k := float64(ceilDiv(n.N, n.Pr))
+		switches = (k + 1) / 3
+		hops = switches + 1
+	}
+	return n.Tech.Latency + switches*n.Sw.Latency + hops*perHop
+}

@@ -1,0 +1,189 @@
+package queueing
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func referenceStations() []MVAStation {
+	return []MVAStation{
+		{Name: "cpu", VisitRatio: 1, ServiceTime: 0.005},
+		{Name: "disk", VisitRatio: 3, ServiceTime: 0.010},
+		{Name: "net", VisitRatio: 0.5, ServiceTime: 0.020},
+	}
+}
+
+func TestApproxMVACloseToExact(t *testing.T) {
+	st := referenceStations()
+	for _, n := range []int{1, 5, 20, 100, 500} {
+		exact, err := MVA(st, 0.5, n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		approx, err := ApproxMVA(st, 0.5, n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rel := math.Abs(approx.Throughput-exact.Throughput) / exact.Throughput
+		if rel > 0.05 {
+			t.Errorf("n=%d: AMVA throughput %v vs exact %v (%.1f%% off)",
+				n, approx.Throughput, exact.Throughput, rel*100)
+		}
+	}
+}
+
+func TestApproxMVAExactAtPopulationOne(t *testing.T) {
+	// With one customer there is no queueing; Schweitzer's correction term
+	// vanishes ((n-1)/n = 0) and AMVA must equal exact MVA.
+	st := referenceStations()
+	exact, err := MVA(st, 1.0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	approx, err := ApproxMVA(st, 1.0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(approx.Throughput-exact.Throughput) > 1e-9 {
+		t.Fatalf("AMVA at n=1: %v vs exact %v", approx.Throughput, exact.Throughput)
+	}
+}
+
+func TestApproxMVARespectsBounds(t *testing.T) {
+	st := referenceStations()
+	for _, n := range []int{1, 10, 100, 1000} {
+		r, err := ApproxMVA(st, 0.25, n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := AsymptoticBounds(st, 0.25, n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := b.CheckAgainstBounds(r, 0.25); err != nil {
+			t.Errorf("n=%d: %v", n, err)
+		}
+	}
+}
+
+func TestApproxMVAErrors(t *testing.T) {
+	st := referenceStations()
+	if _, err := ApproxMVA(st, 0.5, 0); err == nil {
+		t.Error("population 0 accepted")
+	}
+	if _, err := ApproxMVA(st, -1, 1); err == nil {
+		t.Error("negative think time accepted")
+	}
+	if _, err := ApproxMVA(nil, 0.5, 1); err == nil {
+		t.Error("no stations accepted")
+	}
+	if _, err := ApproxMVA([]MVAStation{{VisitRatio: -1}}, 0.5, 1); err == nil {
+		t.Error("negative visit ratio accepted")
+	}
+}
+
+func TestAsymptoticBoundsKnownValues(t *testing.T) {
+	st := []MVAStation{
+		{Name: "a", VisitRatio: 1, ServiceTime: 0.1}, // D=0.1, the bottleneck
+		{Name: "b", VisitRatio: 2, ServiceTime: 0.02},
+	}
+	b, err := AsymptoticBounds(st, 1.0, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(b.DMax-0.1) > 1e-12 || math.Abs(b.DTotal-0.14) > 1e-12 {
+		t.Fatalf("demands: DMax=%v DTotal=%v", b.DMax, b.DTotal)
+	}
+	// At N=50 the bottleneck bound 1/0.1 = 10 beats 50/1.14.
+	if math.Abs(b.XUpper-10) > 1e-9 {
+		t.Fatalf("XUpper = %v, want 10", b.XUpper)
+	}
+	// N* = (1 + 0.14)/0.1 = 11.4.
+	if math.Abs(b.NStar-11.4) > 1e-9 {
+		t.Fatalf("NStar = %v, want 11.4", b.NStar)
+	}
+	// R lower bound: max(0.14, 50*0.1 - 1) = 4.
+	if math.Abs(b.RLower-4) > 1e-9 {
+		t.Fatalf("RLower = %v, want 4", b.RLower)
+	}
+}
+
+func TestExactMVAWithinBounds(t *testing.T) {
+	st := referenceStations()
+	for _, n := range []int{1, 7, 42, 300} {
+		r, err := MVA(st, 0.5, n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := AsymptoticBounds(st, 0.5, n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := b.CheckAgainstBounds(r, 0.5); err != nil {
+			t.Errorf("n=%d: %v", n, err)
+		}
+	}
+}
+
+func TestAsymptoticBoundsErrors(t *testing.T) {
+	st := referenceStations()
+	if _, err := AsymptoticBounds(st, 0.5, 0); err == nil {
+		t.Error("population 0 accepted")
+	}
+	if _, err := AsymptoticBounds(st, -1, 1); err == nil {
+		t.Error("negative think time accepted")
+	}
+	if _, err := AsymptoticBounds(nil, 0.5, 1); err == nil {
+		t.Error("no stations accepted")
+	}
+	if _, err := AsymptoticBounds([]MVAStation{{ServiceTime: -1}}, 0, 1); err == nil {
+		t.Error("negative service time accepted")
+	}
+}
+
+func TestBoundsDetectViolations(t *testing.T) {
+	st := referenceStations()
+	b, err := AsymptoticBounds(st, 0.5, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	good, err := MVA(st, 0.5, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := *good
+	bad.Throughput = b.XUpper * 2
+	if err := b.CheckAgainstBounds(&bad, 0.5); err == nil {
+		t.Error("inflated throughput passed bounds")
+	}
+	bad = *good
+	bad.Throughput = b.XLower / 2
+	if err := b.CheckAgainstBounds(&bad, 0.5); err == nil {
+		t.Error("deflated throughput passed bounds")
+	}
+}
+
+func TestQuickAMVAWithinBounds(t *testing.T) {
+	f := func(nRaw uint8, d1Raw, d2Raw, zRaw uint16) bool {
+		n := int(nRaw)%200 + 1
+		st := []MVAStation{
+			{Name: "a", VisitRatio: 1, ServiceTime: float64(d1Raw%1000)/1e4 + 1e-4},
+			{Name: "b", VisitRatio: 1, ServiceTime: float64(d2Raw%1000)/1e4 + 1e-4},
+		}
+		z := float64(zRaw%1000) / 100
+		r, err := ApproxMVA(st, z, n)
+		if err != nil {
+			return false
+		}
+		b, err := AsymptoticBounds(st, z, n)
+		if err != nil {
+			return false
+		}
+		// Allow a tiny numerical slack beyond the analytic envelope.
+		return r.Throughput <= b.XUpper*1.0001 && r.Throughput >= b.XLower*0.9999
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,121 @@
+package queueing
+
+import (
+	"fmt"
+	"math"
+)
+
+// JacksonNetwork is an open network of M/M/1 stations with probabilistic
+// routing. External Poisson arrivals enter station i at rate Gamma[i]; a
+// customer leaving station i moves to station j with probability
+// Routing[i][j] (rows may sum to less than 1, the remainder leaves the
+// network). Jackson's theorem lets each station be analysed as an
+// independent M/M/1 once the traffic equations are solved.
+type JacksonNetwork struct {
+	Gamma   []float64   // external arrival rate per station
+	Mu      []float64   // service rate per station
+	Routing [][]float64 // Routing[i][j] = P(next station is j | leaving i)
+}
+
+// Validate checks dimensions, non-negativity and substochastic routing rows.
+func (n *JacksonNetwork) Validate() error {
+	k := len(n.Mu)
+	if k == 0 {
+		return fmt.Errorf("queueing: jackson network has no stations")
+	}
+	if len(n.Gamma) != k {
+		return fmt.Errorf("queueing: gamma has %d entries for %d stations", len(n.Gamma), k)
+	}
+	if len(n.Routing) != k {
+		return fmt.Errorf("queueing: routing has %d rows for %d stations", len(n.Routing), k)
+	}
+	for i := 0; i < k; i++ {
+		if !(n.Gamma[i] >= 0) {
+			return fmt.Errorf("queueing: station %d external rate %g is negative", i, n.Gamma[i])
+		}
+		if !(n.Mu[i] > 0) {
+			return fmt.Errorf("queueing: station %d service rate %g must be positive", i, n.Mu[i])
+		}
+		if len(n.Routing[i]) != k {
+			return fmt.Errorf("queueing: routing row %d has %d entries for %d stations", i, len(n.Routing[i]), k)
+		}
+		row := 0.0
+		for j, p := range n.Routing[i] {
+			if !(p >= 0) {
+				return fmt.Errorf("queueing: routing[%d][%d] = %g is negative", i, j, p)
+			}
+			row += p
+		}
+		if row > 1+1e-9 {
+			return fmt.Errorf("queueing: routing row %d sums to %g > 1", i, row)
+		}
+	}
+	return nil
+}
+
+// TrafficEquations solves λ = γ + Rᵀλ for the per-station total arrival
+// rates by fixed-point iteration (guaranteed to converge for substochastic
+// routing since the spectral radius of R is below 1 when the network is
+// open).
+func (n *JacksonNetwork) TrafficEquations() ([]float64, error) {
+	if err := n.Validate(); err != nil {
+		return nil, err
+	}
+	k := len(n.Mu)
+	lambda := make([]float64, k)
+	copy(lambda, n.Gamma)
+	next := make([]float64, k)
+	for iter := 0; iter < 10000; iter++ {
+		for j := 0; j < k; j++ {
+			sum := n.Gamma[j]
+			for i := 0; i < k; i++ {
+				sum += lambda[i] * n.Routing[i][j]
+			}
+			next[j] = sum
+		}
+		maxDelta := 0.0
+		for j := 0; j < k; j++ {
+			maxDelta = math.Max(maxDelta, math.Abs(next[j]-lambda[j]))
+		}
+		copy(lambda, next)
+		if maxDelta < 1e-12 {
+			return lambda, nil
+		}
+	}
+	return nil, fmt.Errorf("queueing: traffic equations did not converge (network may be effectively closed)")
+}
+
+// StationMetrics contains per-station steady-state quantities of a solved
+// Jackson network.
+type StationMetrics struct {
+	Lambda float64 // total arrival rate
+	Rho    float64 // utilisation
+	W      float64 // mean sojourn time
+	L      float64 // mean number in system
+}
+
+// Solve solves the traffic equations and computes M/M/1 metrics per station.
+// It returns ErrUnstable if any station is saturated.
+func (n *JacksonNetwork) Solve() ([]StationMetrics, error) {
+	lambda, err := n.TrafficEquations()
+	if err != nil {
+		return nil, err
+	}
+	out := make([]StationMetrics, len(lambda))
+	for i := range lambda {
+		st, err := NewMM1(lambda[i], n.Mu[i])
+		if err != nil {
+			return nil, err
+		}
+		w, err := st.W()
+		if err != nil {
+			return nil, fmt.Errorf("station %d (lambda=%g mu=%g): %w", i, lambda[i], n.Mu[i], err)
+		}
+		l, err := st.L()
+		if err != nil {
+			return nil, err
+		}
+		out[i] = StationMetrics{Lambda: lambda[i], Rho: st.Rho(), W: w, L: l}
+	}
+	return out, nil
+}

@@ -1,0 +1,124 @@
+package queueing
+
+import (
+	"math"
+	"testing"
+)
+
+func TestJacksonSingleStation(t *testing.T) {
+	n := &JacksonNetwork{
+		Gamma:   []float64{2},
+		Mu:      []float64{5},
+		Routing: [][]float64{{0}},
+	}
+	m, err := n.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(m[0].Lambda-2) > 1e-9 {
+		t.Fatalf("lambda = %v", m[0].Lambda)
+	}
+	if math.Abs(m[0].W-1.0/3.0) > 1e-9 {
+		t.Fatalf("W = %v, want 1/3", m[0].W)
+	}
+}
+
+func TestJacksonTandem(t *testing.T) {
+	// Two stations in tandem: all of station 0's output feeds station 1.
+	n := &JacksonNetwork{
+		Gamma:   []float64{3, 0},
+		Mu:      []float64{5, 4},
+		Routing: [][]float64{{0, 1}, {0, 0}},
+	}
+	m, err := n.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(m[1].Lambda-3) > 1e-9 {
+		t.Fatalf("station 1 lambda = %v, want 3", m[1].Lambda)
+	}
+	if math.Abs(m[0].W-0.5) > 1e-9 || math.Abs(m[1].W-1) > 1e-9 {
+		t.Fatalf("W = %v, %v; want 0.5, 1", m[0].W, m[1].W)
+	}
+}
+
+func TestJacksonFeedback(t *testing.T) {
+	// Single station where customers return with probability 1/2:
+	// effective lambda = gamma / (1 - 1/2) = 2*gamma.
+	n := &JacksonNetwork{
+		Gamma:   []float64{1},
+		Mu:      []float64{10},
+		Routing: [][]float64{{0.5}},
+	}
+	lambda, err := n.TrafficEquations()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(lambda[0]-2) > 1e-9 {
+		t.Fatalf("lambda = %v, want 2", lambda[0])
+	}
+}
+
+func TestJacksonUnstableStation(t *testing.T) {
+	n := &JacksonNetwork{
+		Gamma:   []float64{6},
+		Mu:      []float64{5},
+		Routing: [][]float64{{0}},
+	}
+	if _, err := n.Solve(); err == nil {
+		t.Fatal("saturated station should fail to solve")
+	}
+}
+
+func TestJacksonValidation(t *testing.T) {
+	cases := []struct {
+		name string
+		net  JacksonNetwork
+	}{
+		{"no stations", JacksonNetwork{}},
+		{"gamma size", JacksonNetwork{Gamma: []float64{1, 2}, Mu: []float64{1}, Routing: [][]float64{{0}}}},
+		{"routing rows", JacksonNetwork{Gamma: []float64{1}, Mu: []float64{1}, Routing: nil}},
+		{"row width", JacksonNetwork{Gamma: []float64{1}, Mu: []float64{1}, Routing: [][]float64{{0, 0}}}},
+		{"negative gamma", JacksonNetwork{Gamma: []float64{-1}, Mu: []float64{1}, Routing: [][]float64{{0}}}},
+		{"zero mu", JacksonNetwork{Gamma: []float64{1}, Mu: []float64{0}, Routing: [][]float64{{0}}}},
+		{"negative prob", JacksonNetwork{Gamma: []float64{1}, Mu: []float64{1}, Routing: [][]float64{{-0.2}}}},
+		{"superstochastic", JacksonNetwork{Gamma: []float64{1}, Mu: []float64{1}, Routing: [][]float64{{1.5}}}},
+	}
+	for _, c := range cases {
+		if err := c.net.Validate(); err == nil {
+			t.Errorf("%s: validation should fail", c.name)
+		}
+	}
+}
+
+func TestJacksonHMSCSShape(t *testing.T) {
+	// A miniature HMSCS-style network: source feeds ICN1 (p=1-P) and
+	// ECN1 (p=P); ECN1 forwards to ICN2; ICN2 routes back through ECN1.
+	// Station order: 0=ICN1, 1=ECN1, 2=ICN2.
+	P := 0.8
+	lambdaProc := 100.0 // aggregate processor rate entering the network
+	n := &JacksonNetwork{
+		Gamma: []float64{lambdaProc * (1 - P), lambdaProc * P, 0},
+		Mu:    []float64{5000, 8000, 9000},
+		Routing: [][]float64{
+			{0, 0, 0},   // ICN1 -> leave
+			{0, 0, 0.5}, // ECN1: half the visits are outbound (to ICN2), half inbound (leave)
+			{0, 1, 0},   // ICN2 -> back through an ECN1
+		},
+	}
+	m, err := n.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// ECN1 should carry the outbound P*lambda plus the return flow, i.e.
+	// lambdaE = P*lambda + lambdaI2 where lambdaI2 = 0.5*lambdaE.
+	// Solving: lambdaE = P*lambda / 0.5 = 2*P*lambda, matching eq. (5).
+	wantE := 2 * P * lambdaProc
+	if math.Abs(m[1].Lambda-wantE) > 1e-6 {
+		t.Fatalf("ECN1 lambda = %v, want %v (eq. 5 shape)", m[1].Lambda, wantE)
+	}
+	wantI2 := P * lambdaProc
+	if math.Abs(m[2].Lambda-wantI2) > 1e-6 {
+		t.Fatalf("ICN2 lambda = %v, want %v", m[2].Lambda, wantI2)
+	}
+}

@@ -1,0 +1,226 @@
+// Package queueing implements the analytical queueing building blocks the
+// paper's model rests on: single-station formulas (M/M/1, M/M/c, M/G/1),
+// the open Jackson network solver used for the HMSCS latency model, and an
+// exact closed-network Mean Value Analysis solver used as a cross-check for
+// the paper's effective-rate iteration.
+//
+// Conventions: rates are per second, times in seconds. Every constructor
+// validates its inputs; stations report ErrUnstable when the offered load
+// reaches or exceeds capacity.
+package queueing
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// ErrUnstable is returned when a station's utilisation is >= 1, i.e. the
+// queue has no steady state.
+var ErrUnstable = errors.New("queueing: station is unstable (utilisation >= 1)")
+
+// MM1 describes a single-server queue with Poisson arrivals and exponential
+// service. This is the service-centre model the paper assumes for every
+// communication network (eq. 16).
+type MM1 struct {
+	Lambda float64 // arrival rate
+	Mu     float64 // service rate
+}
+
+// NewMM1 validates rates and returns the station. Stability is not required
+// at construction time: the effective-rate iteration probes unstable points
+// and handles ErrUnstable from the metric methods.
+func NewMM1(lambda, mu float64) (MM1, error) {
+	if !(lambda >= 0) || math.IsInf(lambda, 1) {
+		return MM1{}, fmt.Errorf("queueing: invalid arrival rate %g", lambda)
+	}
+	if !(mu > 0) || math.IsInf(mu, 1) {
+		return MM1{}, fmt.Errorf("queueing: invalid service rate %g", mu)
+	}
+	return MM1{Lambda: lambda, Mu: mu}, nil
+}
+
+// Rho returns the utilisation λ/µ.
+func (q MM1) Rho() float64 { return q.Lambda / q.Mu }
+
+// Stable reports whether the queue has a steady state.
+func (q MM1) Stable() bool { return q.Lambda < q.Mu }
+
+// W returns the mean sojourn (waiting + service) time 1/(µ−λ), the paper's
+// eq. (16).
+func (q MM1) W() (float64, error) {
+	if !q.Stable() {
+		return math.Inf(1), ErrUnstable
+	}
+	return 1 / (q.Mu - q.Lambda), nil
+}
+
+// Wq returns the mean time spent waiting in queue (excluding service).
+func (q MM1) Wq() (float64, error) {
+	w, err := q.W()
+	if err != nil {
+		return w, err
+	}
+	return w - 1/q.Mu, nil
+}
+
+// L returns the mean number in system ρ/(1−ρ), used for the paper's eq. (6)
+// count of waiting processors.
+func (q MM1) L() (float64, error) {
+	if !q.Stable() {
+		return math.Inf(1), ErrUnstable
+	}
+	rho := q.Rho()
+	return rho / (1 - rho), nil
+}
+
+// Lq returns the mean queue length excluding the customer in service.
+func (q MM1) Lq() (float64, error) {
+	l, err := q.L()
+	if err != nil {
+		return l, err
+	}
+	return l - q.Rho(), nil
+}
+
+// ProbN returns the steady-state probability of exactly n customers.
+func (q MM1) ProbN(n int) (float64, error) {
+	if n < 0 {
+		return 0, fmt.Errorf("queueing: negative occupancy %d", n)
+	}
+	if !q.Stable() {
+		return 0, ErrUnstable
+	}
+	rho := q.Rho()
+	return (1 - rho) * math.Pow(rho, float64(n)), nil
+}
+
+// MG1 describes a single-server queue with Poisson arrivals and general
+// service with the given mean and squared coefficient of variation. Used in
+// ablations where simulator service is deterministic (M/D/1, SCV=0) or
+// high-variance (M/H2/1, SCV>1).
+type MG1 struct {
+	Lambda      float64
+	ServiceMean float64
+	ServiceSCV  float64
+}
+
+// NewMG1 validates the parameters.
+func NewMG1(lambda, mean, scv float64) (MG1, error) {
+	if !(lambda >= 0) {
+		return MG1{}, fmt.Errorf("queueing: invalid arrival rate %g", lambda)
+	}
+	if !(mean > 0) {
+		return MG1{}, fmt.Errorf("queueing: invalid service mean %g", mean)
+	}
+	if !(scv >= 0) {
+		return MG1{}, fmt.Errorf("queueing: invalid service SCV %g", scv)
+	}
+	return MG1{Lambda: lambda, ServiceMean: mean, ServiceSCV: scv}, nil
+}
+
+// Rho returns the utilisation λ·E[S].
+func (q MG1) Rho() float64 { return q.Lambda * q.ServiceMean }
+
+// Stable reports whether the queue has a steady state.
+func (q MG1) Stable() bool { return q.Rho() < 1 }
+
+// Wq returns the Pollaczek–Khinchine mean waiting time
+// ρ·E[S]·(1+c²)/(2(1−ρ)).
+func (q MG1) Wq() (float64, error) {
+	if !q.Stable() {
+		return math.Inf(1), ErrUnstable
+	}
+	rho := q.Rho()
+	return rho * q.ServiceMean * (1 + q.ServiceSCV) / (2 * (1 - rho)), nil
+}
+
+// W returns the mean sojourn time Wq + E[S].
+func (q MG1) W() (float64, error) {
+	wq, err := q.Wq()
+	if err != nil {
+		return wq, err
+	}
+	return wq + q.ServiceMean, nil
+}
+
+// L returns the mean number in system via Little's law.
+func (q MG1) L() (float64, error) {
+	w, err := q.W()
+	if err != nil {
+		return w, err
+	}
+	return q.Lambda * w, nil
+}
+
+// MMc describes a c-server queue with Poisson arrivals and exponential
+// service, used to model multi-link trunked networks in extensions.
+type MMc struct {
+	Lambda  float64
+	Mu      float64 // per-server rate
+	Servers int
+}
+
+// NewMMc validates the parameters.
+func NewMMc(lambda, mu float64, c int) (MMc, error) {
+	if !(lambda >= 0) {
+		return MMc{}, fmt.Errorf("queueing: invalid arrival rate %g", lambda)
+	}
+	if !(mu > 0) {
+		return MMc{}, fmt.Errorf("queueing: invalid service rate %g", mu)
+	}
+	if c < 1 {
+		return MMc{}, fmt.Errorf("queueing: need at least one server, got %d", c)
+	}
+	return MMc{Lambda: lambda, Mu: mu, Servers: c}, nil
+}
+
+// Rho returns the per-server utilisation λ/(cµ).
+func (q MMc) Rho() float64 { return q.Lambda / (float64(q.Servers) * q.Mu) }
+
+// Stable reports whether the queue has a steady state.
+func (q MMc) Stable() bool { return q.Rho() < 1 }
+
+// ErlangC returns the probability an arriving customer must wait.
+func (q MMc) ErlangC() (float64, error) {
+	if !q.Stable() {
+		return 1, ErrUnstable
+	}
+	c := q.Servers
+	a := q.Lambda / q.Mu // offered load in Erlangs
+	// Compute the Erlang-C formula with a numerically stable recurrence on
+	// the Erlang-B blocking probability: B(0)=1, B(k)=a·B(k−1)/(k+a·B(k−1)).
+	b := 1.0
+	for k := 1; k <= c; k++ {
+		b = a * b / (float64(k) + a*b)
+	}
+	rho := q.Rho()
+	return b / (1 - rho*(1-b)), nil
+}
+
+// Wq returns the mean waiting time in queue.
+func (q MMc) Wq() (float64, error) {
+	pc, err := q.ErlangC()
+	if err != nil {
+		return math.Inf(1), err
+	}
+	return pc / (float64(q.Servers)*q.Mu - q.Lambda), nil
+}
+
+// W returns the mean sojourn time.
+func (q MMc) W() (float64, error) {
+	wq, err := q.Wq()
+	if err != nil {
+		return wq, err
+	}
+	return wq + 1/q.Mu, nil
+}
+
+// L returns the mean number in system via Little's law.
+func (q MMc) L() (float64, error) {
+	w, err := q.W()
+	if err != nil {
+		return w, err
+	}
+	return q.Lambda * w, nil
+}

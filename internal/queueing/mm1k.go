@@ -1,0 +1,85 @@
+package queueing
+
+import (
+	"fmt"
+	"math"
+)
+
+// MM1K is a single-server queue with exponential service and a finite
+// capacity of K customers (including the one in service); arrivals finding
+// the system full are lost. It models communication networks with bounded
+// buffers, the finite-memory refinement of the paper's M/M/1 centres.
+type MM1K struct {
+	Lambda   float64
+	Mu       float64
+	Capacity int
+}
+
+// NewMM1K validates the parameters. Unlike M/M/1, the finite system has a
+// steady state for every utilisation, including rho >= 1.
+func NewMM1K(lambda, mu float64, k int) (MM1K, error) {
+	if !(lambda >= 0) || math.IsInf(lambda, 1) {
+		return MM1K{}, fmt.Errorf("queueing: invalid arrival rate %g", lambda)
+	}
+	if !(mu > 0) || math.IsInf(mu, 1) {
+		return MM1K{}, fmt.Errorf("queueing: invalid service rate %g", mu)
+	}
+	if k < 1 {
+		return MM1K{}, fmt.Errorf("queueing: capacity must be >= 1, got %d", k)
+	}
+	return MM1K{Lambda: lambda, Mu: mu, Capacity: k}, nil
+}
+
+// Rho returns the offered utilisation λ/µ (may exceed 1).
+func (q MM1K) Rho() float64 { return q.Lambda / q.Mu }
+
+// ProbN returns the steady-state probability of n customers in the system.
+func (q MM1K) ProbN(n int) (float64, error) {
+	if n < 0 || n > q.Capacity {
+		return 0, fmt.Errorf("queueing: occupancy %d outside [0,%d]", n, q.Capacity)
+	}
+	rho := q.Rho()
+	k := float64(q.Capacity)
+	if math.Abs(rho-1) < 1e-12 {
+		return 1 / (k + 1), nil
+	}
+	return (1 - rho) * math.Pow(rho, float64(n)) / (1 - math.Pow(rho, k+1)), nil
+}
+
+// BlockingProb returns the probability an arrival is lost, P(N = K).
+func (q MM1K) BlockingProb() float64 {
+	p, err := q.ProbN(q.Capacity)
+	if err != nil {
+		// Capacity is validated at construction; ProbN(q.Capacity) is
+		// always in range.
+		panic(err)
+	}
+	return p
+}
+
+// EffectiveLambda returns the accepted arrival rate λ(1 − P_block).
+func (q MM1K) EffectiveLambda() float64 { return q.Lambda * (1 - q.BlockingProb()) }
+
+// L returns the mean number in system.
+func (q MM1K) L() float64 {
+	rho := q.Rho()
+	k := float64(q.Capacity)
+	if math.Abs(rho-1) < 1e-12 {
+		return k / 2
+	}
+	rk1 := math.Pow(rho, k+1)
+	return rho/(1-rho) - (k+1)*rk1/(1-rk1)
+}
+
+// W returns the mean sojourn time of accepted customers (Little's law on
+// the effective arrival rate).
+func (q MM1K) W() float64 {
+	eff := q.EffectiveLambda()
+	if eff <= 0 {
+		return 1 / q.Mu
+	}
+	return q.L() / eff
+}
+
+// Throughput returns the departure rate, equal to the accepted rate.
+func (q MM1K) Throughput() float64 { return q.EffectiveLambda() }

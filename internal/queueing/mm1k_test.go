@@ -1,0 +1,133 @@
+package queueing
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestMM1KProbabilitiesSumToOne(t *testing.T) {
+	for _, rho := range []float64{0.3, 0.9, 1.0, 1.5} {
+		q, err := NewMM1K(rho*2, 2, 10)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sum := 0.0
+		for n := 0; n <= 10; n++ {
+			p, err := q.ProbN(n)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if p < 0 || p > 1 {
+				t.Fatalf("rho=%v: P(N=%d)=%v", rho, n, p)
+			}
+			sum += p
+		}
+		if math.Abs(sum-1) > 1e-9 {
+			t.Fatalf("rho=%v: probabilities sum to %v", rho, sum)
+		}
+	}
+}
+
+func TestMM1KApproachesMM1ForLargeK(t *testing.T) {
+	mm1, _ := NewMM1(3, 4)
+	wantL, _ := mm1.L()
+	q, err := NewMM1K(3, 4, 500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(q.L()-wantL) > 1e-6 {
+		t.Fatalf("L = %v, want M/M/1's %v for huge capacity", q.L(), wantL)
+	}
+	if q.BlockingProb() > 1e-20 {
+		t.Fatalf("blocking prob %v should vanish for huge capacity", q.BlockingProb())
+	}
+}
+
+func TestMM1KCriticalLoad(t *testing.T) {
+	// At rho exactly 1 the distribution is uniform over 0..K.
+	q, err := NewMM1K(2, 2, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for n := 0; n <= 4; n++ {
+		p, err := q.ProbN(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(p-0.2) > 1e-12 {
+			t.Fatalf("P(N=%d) = %v, want 0.2", n, p)
+		}
+	}
+	if math.Abs(q.L()-2) > 1e-12 {
+		t.Fatalf("L = %v, want K/2 = 2", q.L())
+	}
+}
+
+func TestMM1KOverload(t *testing.T) {
+	// Overloaded finite queue: throughput approaches mu, blocking is high.
+	q, err := NewMM1K(100, 10, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.BlockingProb() < 0.8 {
+		t.Fatalf("blocking prob = %v under 10x overload", q.BlockingProb())
+	}
+	if q.Throughput() > 10 {
+		t.Fatalf("throughput %v exceeds service rate", q.Throughput())
+	}
+	if q.Throughput() < 9 {
+		t.Fatalf("throughput %v too low for a saturated server", q.Throughput())
+	}
+	// W is bounded by K services.
+	if q.W() > 5.0/10+1e-9 {
+		t.Fatalf("W = %v exceeds K/mu", q.W())
+	}
+}
+
+func TestMM1KLittleLaw(t *testing.T) {
+	q, err := NewMM1K(5, 7, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(q.L()-q.EffectiveLambda()*q.W()) > 1e-9 {
+		t.Fatalf("Little violated: L=%v effLambda*W=%v", q.L(), q.EffectiveLambda()*q.W())
+	}
+}
+
+func TestMM1KValidation(t *testing.T) {
+	if _, err := NewMM1K(-1, 1, 2); err == nil {
+		t.Error("negative lambda accepted")
+	}
+	if _, err := NewMM1K(1, 0, 2); err == nil {
+		t.Error("zero mu accepted")
+	}
+	if _, err := NewMM1K(1, 1, 0); err == nil {
+		t.Error("zero capacity accepted")
+	}
+	q, _ := NewMM1K(1, 1, 3)
+	if _, err := q.ProbN(-1); err == nil {
+		t.Error("negative occupancy accepted")
+	}
+	if _, err := q.ProbN(4); err == nil {
+		t.Error("occupancy beyond capacity accepted")
+	}
+}
+
+func TestQuickMM1KThroughputBounded(t *testing.T) {
+	f := func(lRaw, mRaw uint16, kRaw uint8) bool {
+		lambda := float64(lRaw%1000) + 0.1
+		mu := float64(mRaw%1000) + 0.1
+		k := int(kRaw%30) + 1
+		q, err := NewMM1K(lambda, mu, k)
+		if err != nil {
+			return false
+		}
+		x := q.Throughput()
+		// Throughput can exceed neither the offered load nor the server.
+		return x <= lambda+1e-9 && x <= mu+1e-9 && x >= 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,160 @@
+package queueing
+
+import (
+	"math"
+	"testing"
+)
+
+func twoClassInput() *MulticlassInput {
+	return &MulticlassInput{
+		StationNames: []string{"a", "b"},
+		Service:      []float64{0.01, 0.02},
+		Visits: [][]float64{
+			{1, 0.5},
+			{0.2, 1},
+		},
+		Pop:   []int{10, 6},
+		Think: []float64{0.5, 0.25},
+	}
+}
+
+func TestMulticlassValidate(t *testing.T) {
+	good := twoClassInput()
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	cases := []func(*MulticlassInput){
+		func(in *MulticlassInput) { in.Service = nil },
+		func(in *MulticlassInput) { in.Pop = nil },
+		func(in *MulticlassInput) { in.Think = in.Think[:1] },
+		func(in *MulticlassInput) { in.Visits[0] = in.Visits[0][:1] },
+		func(in *MulticlassInput) { in.Service[0] = -1 },
+		func(in *MulticlassInput) { in.Pop[1] = -2 },
+		func(in *MulticlassInput) { in.Think[0] = -1 },
+		func(in *MulticlassInput) { in.Visits[1][0] = -0.5 },
+		func(in *MulticlassInput) { in.StationNames = []string{"only-one"} },
+	}
+	for i, mutate := range cases {
+		in := twoClassInput()
+		mutate(in)
+		if err := in.Validate(); err == nil {
+			t.Errorf("case %d: invalid input accepted", i)
+		}
+	}
+}
+
+func TestMulticlassReducesToSingleClassAMVA(t *testing.T) {
+	// One class must reproduce the single-class Schweitzer solution.
+	stations := []MVAStation{
+		{Name: "a", VisitRatio: 1, ServiceTime: 0.01},
+		{Name: "b", VisitRatio: 2, ServiceTime: 0.005},
+	}
+	single, err := ApproxMVA(stations, 0.3, 25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := &MulticlassInput{
+		Service: []float64{0.01, 0.005},
+		Visits:  [][]float64{{1, 2}},
+		Pop:     []int{25},
+		Think:   []float64{0.3},
+	}
+	multi, err := SolveMulticlass(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(multi.ThroughputByClass[0]-single.Throughput)/single.Throughput > 1e-6 {
+		t.Fatalf("single-class reduction: multi X=%v vs AMVA X=%v",
+			multi.ThroughputByClass[0], single.Throughput)
+	}
+}
+
+func TestMulticlassSymmetricClassesEqual(t *testing.T) {
+	// Two identical classes must get identical metrics.
+	in := &MulticlassInput{
+		Service: []float64{0.01, 0.02},
+		Visits:  [][]float64{{1, 1}, {1, 1}},
+		Pop:     []int{12, 12},
+		Think:   []float64{0.1, 0.1},
+	}
+	res, err := SolveMulticlass(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.ThroughputByClass[0]-res.ThroughputByClass[1]) > 1e-9 {
+		t.Fatalf("symmetric classes diverged: %v vs %v",
+			res.ThroughputByClass[0], res.ThroughputByClass[1])
+	}
+	if math.Abs(res.ResponseByClass[0]-res.ResponseByClass[1]) > 1e-9 {
+		t.Fatal("symmetric responses diverged")
+	}
+}
+
+func TestMulticlassBottleneckBound(t *testing.T) {
+	in := twoClassInput()
+	res, err := SolveMulticlass(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, u := range res.Utilization {
+		if u > 1+1e-9 {
+			t.Fatalf("station %d utilisation %v exceeds 1", i, u)
+		}
+	}
+	// Per-class throughput cannot exceed the think-limited bound.
+	for c := range in.Pop {
+		bound := float64(in.Pop[c]) / in.Think[c]
+		if res.ThroughputByClass[c] > bound+1e-9 {
+			t.Fatalf("class %d throughput %v exceeds population bound %v",
+				c, res.ThroughputByClass[c], bound)
+		}
+	}
+}
+
+func TestMulticlassEmptyClassIgnored(t *testing.T) {
+	in := twoClassInput()
+	in.Pop[1] = 0
+	res, err := SolveMulticlass(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ThroughputByClass[1] != 0 {
+		t.Fatalf("empty class has throughput %v", res.ThroughputByClass[1])
+	}
+	if res.ThroughputByClass[0] <= 0 {
+		t.Fatal("non-empty class lost its throughput")
+	}
+}
+
+func TestMulticlassMeanResponse(t *testing.T) {
+	in := twoClassInput()
+	res, err := SolveMulticlass(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := res.MeanResponse()
+	lo := math.Min(res.ResponseByClass[0], res.ResponseByClass[1])
+	hi := math.Max(res.ResponseByClass[0], res.ResponseByClass[1])
+	if m < lo || m > hi {
+		t.Fatalf("mean response %v outside [%v, %v]", m, lo, hi)
+	}
+}
+
+func TestMulticlassAsymmetricLoads(t *testing.T) {
+	// A class with 10x the demand on a shared station must see a larger
+	// response time through that station.
+	in := &MulticlassInput{
+		Service: []float64{0.01},
+		Visits:  [][]float64{{1}, {10}},
+		Pop:     []int{5, 5},
+		Think:   []float64{1, 1},
+	}
+	res, err := SolveMulticlass(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ResponseByClass[1] <= res.ResponseByClass[0] {
+		t.Fatalf("heavy class response %v not above light class %v",
+			res.ResponseByClass[1], res.ResponseByClass[0])
+	}
+}

@@ -1,0 +1,97 @@
+package queueing
+
+import (
+	"fmt"
+)
+
+// MVAStation describes one queueing station of a closed product-form
+// network: a single-server FCFS station with exponential service, visited
+// VisitRatio times per customer cycle with mean service time ServiceTime
+// per visit.
+type MVAStation struct {
+	Name        string
+	VisitRatio  float64
+	ServiceTime float64
+}
+
+// MVAResult holds the exact steady-state solution of a closed network for
+// one population size.
+type MVAResult struct {
+	Population  int
+	Throughput  float64   // customer cycles per second (X)
+	CycleTime   float64   // Z + sum of residence times
+	Residence   []float64 // per-station residence time per cycle (V_i * W_i)
+	WaitPerVis  []float64 // per-station sojourn time per visit (W_i)
+	QueueLength []float64 // per-station mean number in station (Q_i)
+	Utilization []float64 // per-station utilisation (X * V_i * S_i)
+}
+
+// MVA runs exact single-class Mean Value Analysis for a closed network of
+// the given stations plus a delay (think time) station Z, for population n.
+// It is used as the "exact" reference against which the paper's open-model
+// effective-rate iteration is compared: the HMSCS system with blocking
+// sources is precisely such a closed network.
+func MVA(stations []MVAStation, thinkTime float64, population int) (*MVAResult, error) {
+	if population < 1 {
+		return nil, fmt.Errorf("queueing: MVA population must be >= 1, got %d", population)
+	}
+	if thinkTime < 0 {
+		return nil, fmt.Errorf("queueing: MVA think time %g is negative", thinkTime)
+	}
+	if len(stations) == 0 {
+		return nil, fmt.Errorf("queueing: MVA needs at least one station")
+	}
+	for i, s := range stations {
+		if !(s.VisitRatio >= 0) {
+			return nil, fmt.Errorf("queueing: station %d (%s) visit ratio %g is negative", i, s.Name, s.VisitRatio)
+		}
+		if !(s.ServiceTime >= 0) {
+			return nil, fmt.Errorf("queueing: station %d (%s) service time %g is negative", i, s.Name, s.ServiceTime)
+		}
+	}
+	k := len(stations)
+	q := make([]float64, k) // Q_i(n-1), starts at 0 for n=0
+	res := &MVAResult{Population: population}
+	var x float64
+	wait := make([]float64, k)
+	residence := make([]float64, k)
+	for n := 1; n <= population; n++ {
+		cycle := thinkTime
+		for i, s := range stations {
+			wait[i] = s.ServiceTime * (1 + q[i])
+			residence[i] = s.VisitRatio * wait[i]
+			cycle += residence[i]
+		}
+		x = float64(n) / cycle
+		for i := range stations {
+			q[i] = x * residence[i]
+		}
+		res.CycleTime = cycle
+	}
+	res.Throughput = x
+	res.Residence = append([]float64(nil), residence...)
+	res.WaitPerVis = append([]float64(nil), wait...)
+	res.QueueLength = append([]float64(nil), q...)
+	res.Utilization = make([]float64, k)
+	for i, s := range stations {
+		res.Utilization[i] = x * s.VisitRatio * s.ServiceTime
+	}
+	return res, nil
+}
+
+// ResponseTime returns the mean time a customer spends outside the delay
+// station per cycle (the interactive response-time law R = N/X − Z).
+func (r *MVAResult) ResponseTime(thinkTime float64) float64 {
+	return float64(r.Population)/r.Throughput - thinkTime
+}
+
+// BottleneckIndex returns the station with the highest utilisation.
+func (r *MVAResult) BottleneckIndex() int {
+	best, idx := -1.0, 0
+	for i, u := range r.Utilization {
+		if u > best {
+			best, idx = u, i
+		}
+	}
+	return idx
+}

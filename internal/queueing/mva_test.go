@@ -1,0 +1,149 @@
+package queueing
+
+import (
+	"math"
+	"testing"
+)
+
+func TestMVASingleCustomer(t *testing.T) {
+	// With one customer there is never queueing: cycle = Z + sum(V*S).
+	st := []MVAStation{
+		{Name: "a", VisitRatio: 1, ServiceTime: 0.2},
+		{Name: "b", VisitRatio: 2, ServiceTime: 0.1},
+	}
+	r, err := MVA(st, 0.5, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantCycle := 0.5 + 0.2 + 0.2
+	if math.Abs(r.CycleTime-wantCycle) > 1e-12 {
+		t.Fatalf("cycle = %v, want %v", r.CycleTime, wantCycle)
+	}
+	if math.Abs(r.Throughput-1/wantCycle) > 1e-12 {
+		t.Fatalf("X = %v", r.Throughput)
+	}
+}
+
+func TestMVAClassicTextbook(t *testing.T) {
+	// Lazowska et al. style example: one CPU (D=0.005), one disk (D=0.030),
+	// Z=15s, N=20. The disk is the bottleneck: X <= 1/0.030 = 33.3.
+	st := []MVAStation{
+		{Name: "cpu", VisitRatio: 1, ServiceTime: 0.005},
+		{Name: "disk", VisitRatio: 1, ServiceTime: 0.030},
+	}
+	r, err := MVA(st, 15, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Throughput > 1/0.030+1e-9 {
+		t.Fatalf("throughput %v exceeds bottleneck bound %v", r.Throughput, 1/0.030)
+	}
+	if r.Throughput > float64(20)/15.0 {
+		t.Fatalf("throughput %v exceeds population bound", r.Throughput)
+	}
+	if got := r.BottleneckIndex(); got != 1 {
+		t.Fatalf("bottleneck = station %d, want 1 (disk)", got)
+	}
+	// At N=20 with these demands the system is far from saturation:
+	// X should be close to N/(Z + D_total).
+	approx := 20.0 / (15 + 0.035)
+	if math.Abs(r.Throughput-approx)/approx > 0.05 {
+		t.Fatalf("X = %v, want about %v", r.Throughput, approx)
+	}
+}
+
+func TestMVAAsymptoticBottleneck(t *testing.T) {
+	// With a huge population the bottleneck saturates: X -> 1/D_max.
+	st := []MVAStation{
+		{Name: "net", VisitRatio: 1, ServiceTime: 0.01},
+	}
+	r, err := MVA(st, 1.0, 5000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(r.Throughput-100) > 0.5 {
+		t.Fatalf("saturated X = %v, want about 100", r.Throughput)
+	}
+	if r.Utilization[0] < 0.99 {
+		t.Fatalf("bottleneck utilisation = %v", r.Utilization[0])
+	}
+}
+
+func TestMVALittlesLawPerStation(t *testing.T) {
+	st := []MVAStation{
+		{Name: "a", VisitRatio: 1, ServiceTime: 0.05},
+		{Name: "b", VisitRatio: 0.7, ServiceTime: 0.02},
+		{Name: "c", VisitRatio: 2.5, ServiceTime: 0.01},
+	}
+	r, err := MVA(st, 0.3, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	totalQ := 0.0
+	for i := range st {
+		// Q_i = X * V_i * W_i
+		want := r.Throughput * r.Residence[i]
+		if math.Abs(r.QueueLength[i]-want) > 1e-9 {
+			t.Fatalf("station %d: Q=%v, X*R=%v", i, r.QueueLength[i], want)
+		}
+		totalQ += r.QueueLength[i]
+	}
+	// Total customers = queued + thinking.
+	thinking := r.Throughput * 0.3
+	if math.Abs(totalQ+thinking-12) > 1e-9 {
+		t.Fatalf("population check failed: %v + %v != 12", totalQ, thinking)
+	}
+}
+
+func TestMVAResponseTimeLaw(t *testing.T) {
+	st := []MVAStation{{Name: "x", VisitRatio: 1, ServiceTime: 0.1}}
+	r, err := MVA(st, 2.0, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt := r.ResponseTime(2.0)
+	want := float64(30)/r.Throughput - 2.0
+	if math.Abs(rt-want) > 1e-12 {
+		t.Fatalf("response time = %v, want %v", rt, want)
+	}
+	if rt < 0.1 {
+		t.Fatalf("response time %v below bare service time", rt)
+	}
+}
+
+func TestMVAErrors(t *testing.T) {
+	good := []MVAStation{{Name: "a", VisitRatio: 1, ServiceTime: 1}}
+	if _, err := MVA(good, 0, 0); err == nil {
+		t.Error("population 0 accepted")
+	}
+	if _, err := MVA(good, -1, 1); err == nil {
+		t.Error("negative think time accepted")
+	}
+	if _, err := MVA(nil, 0, 1); err == nil {
+		t.Error("no stations accepted")
+	}
+	if _, err := MVA([]MVAStation{{VisitRatio: -1, ServiceTime: 1}}, 0, 1); err == nil {
+		t.Error("negative visit ratio accepted")
+	}
+	if _, err := MVA([]MVAStation{{VisitRatio: 1, ServiceTime: -1}}, 0, 1); err == nil {
+		t.Error("negative service time accepted")
+	}
+}
+
+func TestMVAThroughputMonotoneInPopulation(t *testing.T) {
+	st := []MVAStation{
+		{Name: "a", VisitRatio: 1, ServiceTime: 0.02},
+		{Name: "b", VisitRatio: 1, ServiceTime: 0.05},
+	}
+	prev := 0.0
+	for n := 1; n <= 50; n++ {
+		r, err := MVA(st, 1.0, n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.Throughput < prev-1e-12 {
+			t.Fatalf("throughput decreased at n=%d: %v < %v", n, r.Throughput, prev)
+		}
+		prev = r.Throughput
+	}
+}

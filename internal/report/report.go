@@ -1,0 +1,168 @@
+// Package report renders sweep results as Markdown tables, CSV, and ASCII
+// plots mirroring the paper's figures.
+package report
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"hmscs/internal/sweep"
+)
+
+// ms converts seconds to milliseconds, the unit of the paper's y axes.
+func ms(sec float64) float64 { return sec * 1e3 }
+
+// FigureMarkdown renders a figure as a Markdown table with one row per
+// cluster count and analysis/simulation columns per message size.
+func FigureMarkdown(fr *sweep.FigureResult) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "### %s — %s, %s networks\n\n", fr.Spec.Name, fr.Spec.Scenario, fr.Spec.Arch)
+	b.WriteString("| Clusters |")
+	for _, s := range fr.Series {
+		fmt.Fprintf(&b, " Analysis M=%d (ms) | Simulation M=%d (ms) |", s.MsgSize, s.MsgSize)
+	}
+	b.WriteString("\n|---:|")
+	for range fr.Series {
+		b.WriteString("---:|---:|")
+	}
+	b.WriteString("\n")
+	if len(fr.Series) == 0 {
+		return b.String()
+	}
+	for i, c := range fr.Series[0].Clusters {
+		fmt.Fprintf(&b, "| %d |", c)
+		for _, s := range fr.Series {
+			fmt.Fprintf(&b, " %.3f |", ms(s.Analytic[i]))
+			if s.SimCI[i] > 0 {
+				fmt.Fprintf(&b, " %.3f ± %.3f |", ms(s.Simulated[i]), ms(s.SimCI[i]))
+			} else {
+				fmt.Fprintf(&b, " %.3f |", ms(s.Simulated[i]))
+			}
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+// FigureCSV renders a figure as CSV with columns
+// clusters,msg_size,analytic_ms,simulated_ms,sim_ci_ms.
+func FigureCSV(fr *sweep.FigureResult) string {
+	var b strings.Builder
+	b.WriteString("figure,scenario,arch,clusters,msg_bytes,analytic_ms,simulated_ms,sim_ci_ms\n")
+	for _, s := range fr.Series {
+		for i, c := range s.Clusters {
+			fmt.Fprintf(&b, "%s,%s,%s,%d,%d,%.6f,%.6f,%.6f\n",
+				fr.Spec.Name, fr.Spec.Scenario, fr.Spec.Arch,
+				c, s.MsgSize, ms(s.Analytic[i]), ms(s.Simulated[i]), ms(s.SimCI[i]))
+		}
+	}
+	return b.String()
+}
+
+// ASCIIPlot draws the figure's curves on a character grid: x is the cluster
+// count (log scale, as in the paper), y the latency in milliseconds.
+// Analysis points render as letters (a, b, ...) per series and simulation
+// points as digits (1, 2, ...).
+func ASCIIPlot(fr *sweep.FigureResult, width, height int) string {
+	if width < 20 {
+		width = 60
+	}
+	if height < 5 {
+		height = 20
+	}
+	if len(fr.Series) == 0 || len(fr.Series[0].Clusters) == 0 {
+		return "(empty figure)\n"
+	}
+	// Bounds.
+	maxY := 0.0
+	minX, maxX := math.Inf(1), math.Inf(-1)
+	for _, s := range fr.Series {
+		for i, c := range s.Clusters {
+			maxY = math.Max(maxY, math.Max(ms(s.Analytic[i]), ms(s.Simulated[i])))
+			minX = math.Min(minX, float64(c))
+			maxX = math.Max(maxX, float64(c))
+		}
+	}
+	if maxY <= 0 {
+		maxY = 1
+	}
+	lx := func(c float64) int {
+		if maxX == minX {
+			return 0
+		}
+		f := (math.Log2(c) - math.Log2(minX)) / (math.Log2(maxX) - math.Log2(minX))
+		col := int(f * float64(width-1))
+		if col < 0 {
+			col = 0
+		}
+		if col >= width {
+			col = width - 1
+		}
+		return col
+	}
+	ly := func(v float64) int {
+		row := int(v / maxY * float64(height-1))
+		if row < 0 {
+			row = 0
+		}
+		if row >= height {
+			row = height - 1
+		}
+		return height - 1 - row
+	}
+	grid := make([][]byte, height)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", width))
+	}
+	for si, s := range fr.Series {
+		aMark := byte('a' + si)
+		sMark := byte('1' + si)
+		for i, c := range s.Clusters {
+			grid[ly(ms(s.Analytic[i]))][lx(float64(c))] = aMark
+			if s.Simulated[i] > 0 {
+				grid[ly(ms(s.Simulated[i]))][lx(float64(c))] = sMark
+			}
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s — %s, %s (y: latency ms, x: clusters log2 %g..%g)\n",
+		fr.Spec.Name, fr.Spec.Scenario, fr.Spec.Arch, minX, maxX)
+	for r, row := range grid {
+		label := "        "
+		if r == 0 {
+			label = fmt.Sprintf("%7.2f ", maxY)
+		} else if r == height-1 {
+			label = fmt.Sprintf("%7.2f ", 0.0)
+		}
+		b.WriteString(label)
+		b.WriteString("|")
+		b.Write(row)
+		b.WriteString("\n")
+	}
+	b.WriteString("        +" + strings.Repeat("-", width) + "\n")
+	b.WriteString("legend: ")
+	for si, s := range fr.Series {
+		fmt.Fprintf(&b, "[%c]=analysis M=%d  [%c]=simulation M=%d  ",
+			byte('a'+si), s.MsgSize, byte('1'+si), s.MsgSize)
+	}
+	b.WriteString("\n")
+	return b.String()
+}
+
+// Table renders a generic two-column table of labelled values, used by the
+// CLIs for scalar outputs.
+func Table(title string, rows [][2]string) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", title)
+	maxKey := 0
+	for _, r := range rows {
+		if len(r[0]) > maxKey {
+			maxKey = len(r[0])
+		}
+	}
+	for _, r := range rows {
+		fmt.Fprintf(&b, "  %-*s  %s\n", maxKey, r[0], r[1])
+	}
+	return b.String()
+}

@@ -1,0 +1,138 @@
+package report
+
+import (
+	"strings"
+	"testing"
+
+	"hmscs/internal/core"
+	"hmscs/internal/network"
+	"hmscs/internal/sweep"
+)
+
+func sampleFigure() *sweep.FigureResult {
+	return &sweep.FigureResult{
+		Spec: sweep.FigureSpec{
+			Name:     "Figure X",
+			Scenario: core.Case1,
+			Arch:     network.NonBlocking,
+		},
+		Series: []sweep.SeriesResult{
+			{
+				MsgSize:   512,
+				Clusters:  []int{1, 4, 16},
+				Analytic:  []float64{0.010, 0.015, 0.020},
+				Simulated: []float64{0.011, 0.014, 0.021},
+				SimCI:     []float64{0.001, 0, 0.002},
+			},
+			{
+				MsgSize:   1024,
+				Clusters:  []int{1, 4, 16},
+				Analytic:  []float64{0.020, 0.025, 0.030},
+				Simulated: []float64{0.021, 0.026, 0.029},
+				SimCI:     []float64{0, 0, 0},
+			},
+		},
+	}
+}
+
+func TestFigureMarkdown(t *testing.T) {
+	out := FigureMarkdown(sampleFigure())
+	for _, frag := range []string{
+		"Figure X", "Case-1", "non-blocking",
+		"M=512", "M=1024",
+		"| 1 |", "| 4 |", "| 16 |",
+		"10.000", "21.000",
+		"±", // CI rendering
+	} {
+		if !strings.Contains(out, frag) {
+			t.Errorf("markdown missing %q:\n%s", frag, out)
+		}
+	}
+	// Rows: header + separator + 3 data rows + title/blank lines.
+	if got := strings.Count(out, "\n| 1 |"); got != 1 {
+		t.Errorf("row for C=1 appears %d times", got)
+	}
+}
+
+func TestFigureMarkdownEmpty(t *testing.T) {
+	fr := &sweep.FigureResult{Spec: sweep.FigureSpec{Name: "empty", Scenario: core.Case1}}
+	out := FigureMarkdown(fr)
+	if !strings.Contains(out, "empty") {
+		t.Fatal("empty figure should still render a header")
+	}
+}
+
+func TestFigureCSV(t *testing.T) {
+	out := FigureCSV(sampleFigure())
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 1+6 { // header + 2 series x 3 points
+		t.Fatalf("csv has %d lines", len(lines))
+	}
+	if !strings.HasPrefix(lines[0], "figure,scenario,arch,clusters,msg_bytes") {
+		t.Fatalf("header = %q", lines[0])
+	}
+	if !strings.Contains(lines[1], "Figure X,Case-1,non-blocking,1,512") {
+		t.Fatalf("first row = %q", lines[1])
+	}
+	for _, l := range lines[1:] {
+		if got := strings.Count(l, ","); got != 7 {
+			t.Fatalf("row %q has %d commas", l, got)
+		}
+	}
+}
+
+func TestASCIIPlot(t *testing.T) {
+	out := ASCIIPlot(sampleFigure(), 40, 10)
+	for _, frag := range []string{"Figure X", "legend:", "[a]=analysis M=512", "[2]=simulation M=1024"} {
+		if !strings.Contains(out, frag) {
+			t.Errorf("plot missing %q:\n%s", frag, out)
+		}
+	}
+	// Marks must appear on the grid.
+	for _, mark := range []string{"a", "b", "1", "2"} {
+		if !strings.Contains(out, mark) {
+			t.Errorf("plot missing mark %q", mark)
+		}
+	}
+}
+
+func TestASCIIPlotDegenerate(t *testing.T) {
+	empty := &sweep.FigureResult{Spec: sweep.FigureSpec{Name: "e", Scenario: core.Case1}}
+	if out := ASCIIPlot(empty, 40, 10); !strings.Contains(out, "empty") {
+		t.Fatalf("empty plot = %q", out)
+	}
+	// Tiny dimensions fall back to defaults without panicking.
+	out := ASCIIPlot(sampleFigure(), 1, 1)
+	if len(out) == 0 {
+		t.Fatal("degenerate dimensions produced nothing")
+	}
+	// Single-point series (minX == maxX) must not divide by zero.
+	single := sampleFigure()
+	for i := range single.Series {
+		single.Series[i].Clusters = single.Series[i].Clusters[:1]
+		single.Series[i].Analytic = single.Series[i].Analytic[:1]
+		single.Series[i].Simulated = single.Series[i].Simulated[:1]
+		single.Series[i].SimCI = single.Series[i].SimCI[:1]
+	}
+	if out := ASCIIPlot(single, 30, 8); len(out) == 0 {
+		t.Fatal("single-point plot failed")
+	}
+}
+
+func TestTable(t *testing.T) {
+	out := Table("Summary", [][2]string{
+		{"latency", "12.3 ms"},
+		{"throughput", "456 msg/s"},
+	})
+	if !strings.Contains(out, "Summary") || !strings.Contains(out, "latency") {
+		t.Fatalf("table = %q", out)
+	}
+	// Alignment: both value columns should start at the same offset.
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("lines = %d", len(lines))
+	}
+	if strings.Index(lines[1], "12.3") != strings.Index(lines[2], "456") {
+		t.Fatal("columns not aligned")
+	}
+}

@@ -1,0 +1,140 @@
+package rng
+
+import (
+	"fmt"
+	"math"
+)
+
+// Dist is a non-negative random variate family with a known mean. Service
+// centres in the simulator are parameterised by a Dist so that the M/M/1
+// assumption of the analytical model can be relaxed (M/D/1, M/E_k/1,
+// M/H2/1) in ablation experiments.
+type Dist interface {
+	// Sample draws one variate using the supplied stream.
+	Sample(st *Stream) float64
+	// Mean returns the distribution mean.
+	Mean() float64
+	// SCV returns the squared coefficient of variation (variance / mean^2),
+	// used by analytical approximations for non-exponential service.
+	SCV() float64
+	// String describes the distribution, e.g. "Exp(mean=1.5e-04)".
+	String() string
+}
+
+// Deterministic is a point mass at Value.
+type Deterministic struct{ Value float64 }
+
+// Sample implements Dist.
+func (d Deterministic) Sample(*Stream) float64 { return d.Value }
+
+// Mean implements Dist.
+func (d Deterministic) Mean() float64 { return d.Value }
+
+// SCV implements Dist.
+func (d Deterministic) SCV() float64 { return 0 }
+
+func (d Deterministic) String() string { return fmt.Sprintf("Det(%g)", d.Value) }
+
+// Exponential is an exponential distribution with the given mean.
+type Exponential struct{ MeanValue float64 }
+
+// Sample implements Dist.
+func (d Exponential) Sample(st *Stream) float64 { return st.Exp(d.MeanValue) }
+
+// Mean implements Dist.
+func (d Exponential) Mean() float64 { return d.MeanValue }
+
+// SCV implements Dist.
+func (d Exponential) SCV() float64 { return 1 }
+
+func (d Exponential) String() string { return fmt.Sprintf("Exp(mean=%g)", d.MeanValue) }
+
+// Erlang is an Erlang-K distribution with the given total mean. SCV = 1/K,
+// so large K approaches deterministic service.
+type Erlang struct {
+	K         int
+	MeanValue float64
+}
+
+// Sample implements Dist.
+func (d Erlang) Sample(st *Stream) float64 { return st.Erlang(d.K, d.MeanValue) }
+
+// Mean implements Dist.
+func (d Erlang) Mean() float64 { return d.MeanValue }
+
+// SCV implements Dist.
+func (d Erlang) SCV() float64 { return 1 / float64(d.K) }
+
+func (d Erlang) String() string { return fmt.Sprintf("Erlang(k=%d,mean=%g)", d.K, d.MeanValue) }
+
+// HyperExp is a balanced two-phase hyper-exponential distribution with a
+// target mean and SCV > 1. It uses the standard balanced-means fitting:
+// p1/mean1 = p2/mean2.
+type HyperExp struct {
+	MeanValue float64
+	SCVValue  float64
+
+	p     float64
+	mean1 float64
+	mean2 float64
+}
+
+// NewHyperExp fits a balanced H2 distribution to the given mean and SCV.
+// SCV must be > 1 (otherwise use Erlang or Exponential).
+func NewHyperExp(mean, scv float64) (*HyperExp, error) {
+	if !(mean > 0) {
+		return nil, fmt.Errorf("rng: HyperExp mean must be positive, got %g", mean)
+	}
+	if !(scv > 1) {
+		return nil, fmt.Errorf("rng: HyperExp SCV must exceed 1, got %g", scv)
+	}
+	// Balanced-means fit (see Tijms, "Stochastic Models"): with
+	// p = (1 + sqrt((c²−1)/(c²+1)))/2, mean1 = mean/(2p), mean2 = mean/(2(1−p)).
+	p := 0.5 * (1 + math.Sqrt((scv-1)/(scv+1)))
+	return &HyperExp{
+		MeanValue: mean,
+		SCVValue:  scv,
+		p:         p,
+		mean1:     mean / (2 * p),
+		mean2:     mean / (2 * (1 - p)),
+	}, nil
+}
+
+// Sample implements Dist.
+func (d *HyperExp) Sample(st *Stream) float64 {
+	return st.HyperExp2(d.p, d.mean1, d.mean2)
+}
+
+// Mean implements Dist.
+func (d *HyperExp) Mean() float64 { return d.MeanValue }
+
+// SCV implements Dist.
+func (d *HyperExp) SCV() float64 { return d.SCVValue }
+
+func (d *HyperExp) String() string {
+	return fmt.Sprintf("H2(mean=%g,scv=%g)", d.MeanValue, d.SCVValue)
+}
+
+// ScaleMean returns a distribution of the same family whose mean is m.
+// This is how the simulator instantiates a per-centre service distribution
+// from a family template.
+func ScaleMean(d Dist, m float64) Dist {
+	switch v := d.(type) {
+	case Deterministic:
+		return Deterministic{Value: m}
+	case Exponential:
+		return Exponential{MeanValue: m}
+	case Erlang:
+		return Erlang{K: v.K, MeanValue: m}
+	case *HyperExp:
+		h, err := NewHyperExp(m, v.SCVValue)
+		if err != nil {
+			// The template was already validated; a scaling failure can only
+			// mean m <= 0, which is a programming error upstream.
+			panic(err)
+		}
+		return h
+	default:
+		panic(fmt.Sprintf("rng: ScaleMean: unsupported distribution %T", d))
+	}
+}

@@ -1,0 +1,142 @@
+package rng
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+// sampleMoments draws n variates and returns sample mean and SCV.
+func sampleMoments(t *testing.T, d Dist, seed uint64, n int) (mean, scv float64) {
+	t.Helper()
+	st := NewStream(seed)
+	sum, sumSq := 0.0, 0.0
+	for i := 0; i < n; i++ {
+		v := d.Sample(st)
+		if v < 0 {
+			t.Fatalf("%s produced negative variate %v", d, v)
+		}
+		sum += v
+		sumSq += v * v
+	}
+	mean = sum / float64(n)
+	variance := sumSq/float64(n) - mean*mean
+	return mean, variance / (mean * mean)
+}
+
+func TestDeterministic(t *testing.T) {
+	d := Deterministic{Value: 3.5}
+	st := NewStream(1)
+	for i := 0; i < 10; i++ {
+		if v := d.Sample(st); v != 3.5 {
+			t.Fatalf("Deterministic sample = %v", v)
+		}
+	}
+	if d.Mean() != 3.5 || d.SCV() != 0 {
+		t.Fatalf("Deterministic moments wrong: mean=%v scv=%v", d.Mean(), d.SCV())
+	}
+}
+
+func TestExponentialMoments(t *testing.T) {
+	d := Exponential{MeanValue: 0.2}
+	mean, scv := sampleMoments(t, d, 2, 200000)
+	if math.Abs(mean-0.2)/0.2 > 0.02 {
+		t.Fatalf("Exponential sample mean = %v, want 0.2", mean)
+	}
+	if math.Abs(scv-1) > 0.1 {
+		t.Fatalf("Exponential sample SCV = %v, want 1", scv)
+	}
+}
+
+func TestErlangMoments(t *testing.T) {
+	d := Erlang{K: 5, MeanValue: 1.0}
+	mean, scv := sampleMoments(t, d, 3, 200000)
+	if math.Abs(mean-1.0) > 0.02 {
+		t.Fatalf("Erlang sample mean = %v, want 1", mean)
+	}
+	if math.Abs(scv-0.2) > 0.05 {
+		t.Fatalf("Erlang sample SCV = %v, want 0.2", scv)
+	}
+	if d.SCV() != 0.2 {
+		t.Fatalf("Erlang declared SCV = %v", d.SCV())
+	}
+}
+
+func TestHyperExpFit(t *testing.T) {
+	for _, scv := range []float64{1.5, 2, 4, 10} {
+		h, err := NewHyperExp(2.0, scv)
+		if err != nil {
+			t.Fatalf("NewHyperExp(2, %v): %v", scv, err)
+		}
+		mean, gotSCV := sampleMoments(t, h, 4, 400000)
+		if math.Abs(mean-2.0)/2.0 > 0.03 {
+			t.Fatalf("H2(scv=%v) sample mean = %v, want 2", scv, mean)
+		}
+		if math.Abs(gotSCV-scv)/scv > 0.15 {
+			t.Fatalf("H2 sample SCV = %v, want %v", gotSCV, scv)
+		}
+	}
+}
+
+func TestHyperExpRejectsBadParams(t *testing.T) {
+	if _, err := NewHyperExp(0, 2); err == nil {
+		t.Error("NewHyperExp(0,2) should fail")
+	}
+	if _, err := NewHyperExp(1, 1); err == nil {
+		t.Error("NewHyperExp(1,1) should fail: SCV must exceed 1")
+	}
+	if _, err := NewHyperExp(-1, 3); err == nil {
+		t.Error("NewHyperExp(-1,3) should fail")
+	}
+}
+
+func TestScaleMeanPreservesFamily(t *testing.T) {
+	h, err := NewHyperExp(1, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []Dist{
+		Deterministic{Value: 1},
+		Exponential{MeanValue: 1},
+		Erlang{K: 3, MeanValue: 1},
+		h,
+	}
+	for _, d := range cases {
+		scaled := ScaleMean(d, 7.5)
+		if math.Abs(scaled.Mean()-7.5) > 1e-12 {
+			t.Errorf("ScaleMean(%s, 7.5).Mean() = %v", d, scaled.Mean())
+		}
+		if math.Abs(scaled.SCV()-d.SCV()) > 1e-12 {
+			t.Errorf("ScaleMean(%s) changed SCV from %v to %v", d, d.SCV(), scaled.SCV())
+		}
+	}
+}
+
+func TestDistStrings(t *testing.T) {
+	h, _ := NewHyperExp(1, 2)
+	for _, tc := range []struct {
+		d    Dist
+		want string
+	}{
+		{Deterministic{Value: 2}, "Det"},
+		{Exponential{MeanValue: 2}, "Exp"},
+		{Erlang{K: 2, MeanValue: 2}, "Erlang"},
+		{h, "H2"},
+	} {
+		if s := tc.d.String(); !strings.Contains(s, tc.want) {
+			t.Errorf("String() = %q, want it to mention %q", s, tc.want)
+		}
+	}
+}
+
+func TestQuickScaleMeanExponential(t *testing.T) {
+	f := func(m uint32) bool {
+		mean := float64(m%100000)/1000 + 1e-6
+		d := ScaleMean(Exponential{MeanValue: 1}, mean)
+		return math.Abs(d.Mean()-mean) < 1e-12
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

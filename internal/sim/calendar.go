@@ -1,0 +1,182 @@
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+)
+
+// eventList is the future-event-set abstraction behind the engine, with
+// two implementations: the default binary heap and a calendar queue. The
+// calendar queue (Brown 1988) gives O(1) amortised enqueue/dequeue when
+// event times are roughly uniform — the common case for queueing
+// simulations — at the cost of resize machinery. Engine uses the heap by
+// default; NewEngineWithCalendar selects the calendar, and property tests
+// pin the two to identical output.
+type eventList interface {
+	push(e event)
+	pop() (event, bool)
+	len() int
+}
+
+// heapList adapts eventHeap to the eventList interface.
+type heapList struct{ h eventHeap }
+
+func (l *heapList) push(e event) { heap.Push(&l.h, e) }
+func (l *heapList) pop() (event, bool) {
+	if len(l.h) == 0 {
+		return event{}, false
+	}
+	return heap.Pop(&l.h).(event), true
+}
+func (l *heapList) len() int { return len(l.h) }
+
+func less(a, b event) bool {
+	if a.at != b.at {
+		return a.at < b.at
+	}
+	return a.seq < b.seq
+}
+
+// calendarQueue is a classic single-level calendar: an array of buckets,
+// each holding the events whose timestamp falls in one width-w window of
+// the repeating "year" (w × #buckets). Events are kept sorted inside their
+// bucket; dequeue sweeps from the current bucket forward within the
+// current year and falls back to a direct minimum search when a full year
+// is empty.
+type calendarQueue struct {
+	buckets [][]event
+	width   float64
+	size    int
+
+	cursor    int     // bucket the sweep resumes at
+	bucketTop float64 // end of the cursor bucket's current window
+	lastPop   float64 // monotonicity guard
+}
+
+// newCalendarQueue creates a calendar tuned for the given expected
+// inter-event spacing; the structure adapts its geometry as it resizes.
+func newCalendarQueue(widthHint float64) *calendarQueue {
+	if !(widthHint > 0) || math.IsInf(widthHint, 1) {
+		widthHint = 1e-3
+	}
+	cq := &calendarQueue{
+		buckets: make([][]event, 8),
+		width:   widthHint,
+	}
+	cq.bucketTop = cq.width
+	return cq
+}
+
+func (cq *calendarQueue) len() int { return cq.size }
+
+func (cq *calendarQueue) bucketFor(t float64) int {
+	return int(math.Mod(t/cq.width, float64(len(cq.buckets))))
+}
+
+func (cq *calendarQueue) push(e event) {
+	if e.at < cq.lastPop {
+		panic(fmt.Sprintf("sim: calendar push into the past: %v < %v", e.at, cq.lastPop))
+	}
+	idx := cq.bucketFor(e.at)
+	b := cq.buckets[idx]
+	pos := len(b)
+	for pos > 0 && less(e, b[pos-1]) {
+		pos--
+	}
+	b = append(b, event{})
+	copy(b[pos+1:], b[pos:])
+	b[pos] = e
+	cq.buckets[idx] = b
+	cq.size++
+	if cq.size > 2*len(cq.buckets) {
+		cq.resize(2 * len(cq.buckets))
+	}
+}
+
+func (cq *calendarQueue) pop() (event, bool) {
+	if cq.size == 0 {
+		return event{}, false
+	}
+	n := len(cq.buckets)
+	idx, top := cq.cursor, cq.bucketTop
+	for scanned := 0; scanned < n; scanned++ {
+		b := cq.buckets[idx]
+		if len(b) > 0 && b[0].at < top {
+			e := b[0]
+			cq.buckets[idx] = b[1:]
+			cq.size--
+			cq.cursor, cq.bucketTop = idx, top
+			cq.lastPop = e.at
+			cq.maybeShrink()
+			return e, true
+		}
+		idx = (idx + 1) % n
+		top += cq.width
+	}
+	// A whole year is empty before the next event: find the global
+	// minimum directly and re-anchor the sweep there.
+	bestIdx := -1
+	var best event
+	for i, b := range cq.buckets {
+		if len(b) > 0 && (bestIdx < 0 || less(b[0], best)) {
+			best, bestIdx = b[0], i
+		}
+	}
+	if bestIdx < 0 {
+		return event{}, false // unreachable while size bookkeeping is correct
+	}
+	cq.buckets[bestIdx] = cq.buckets[bestIdx][1:]
+	cq.size--
+	cq.cursor = bestIdx
+	cq.bucketTop = (math.Floor(best.at/cq.width) + 1) * cq.width
+	cq.lastPop = best.at
+	cq.maybeShrink()
+	return best, true
+}
+
+func (cq *calendarQueue) maybeShrink() {
+	if cq.size < len(cq.buckets)/4 && len(cq.buckets) > 8 {
+		cq.resize(len(cq.buckets) / 2)
+	}
+}
+
+func (cq *calendarQueue) resize(newBuckets int) {
+	old := cq.buckets
+	// Re-estimate the bucket width from the live events so the calendar
+	// adapts to the actual event spacing.
+	var minT, maxT float64
+	first := true
+	for _, b := range old {
+		for _, e := range b {
+			if first {
+				minT, maxT = e.at, e.at
+				first = false
+			} else {
+				minT = math.Min(minT, e.at)
+				maxT = math.Max(maxT, e.at)
+			}
+		}
+	}
+	if !first && maxT > minT && cq.size > 1 {
+		w := (maxT - minT) / float64(cq.size) * 2
+		if w > 0 && !math.IsInf(w, 1) && !math.IsNaN(w) {
+			cq.width = w
+		}
+	}
+	live := make([]event, 0, cq.size)
+	for _, b := range old {
+		live = append(live, b...)
+	}
+	cq.buckets = make([][]event, newBuckets)
+	cq.size = 0
+	guard := cq.lastPop
+	cq.lastPop = 0 // allow re-push of all live events
+	for _, e := range live {
+		cq.push(e)
+	}
+	cq.lastPop = guard
+	// Re-anchor the sweep at the last popped time.
+	cq.cursor = cq.bucketFor(cq.lastPop)
+	cq.bucketTop = (math.Floor(cq.lastPop/cq.width) + 1) * cq.width
+}

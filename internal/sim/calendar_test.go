@@ -1,0 +1,220 @@
+package sim
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"hmscs/internal/rng"
+)
+
+func TestCalendarBasicOrder(t *testing.T) {
+	cq := newCalendarQueue(1)
+	times := []float64{5, 1, 3, 2, 4}
+	for i, at := range times {
+		cq.push(event{at: at, seq: uint64(i)})
+	}
+	if cq.len() != 5 {
+		t.Fatalf("len = %d", cq.len())
+	}
+	prev := -1.0
+	for i := 0; i < 5; i++ {
+		e, ok := cq.pop()
+		if !ok {
+			t.Fatalf("pop %d failed", i)
+		}
+		if e.at < prev {
+			t.Fatalf("out of order: %v after %v", e.at, prev)
+		}
+		prev = e.at
+	}
+	if _, ok := cq.pop(); ok {
+		t.Fatal("pop from empty succeeded")
+	}
+}
+
+func TestCalendarFIFOTieBreak(t *testing.T) {
+	cq := newCalendarQueue(1)
+	for i := 0; i < 20; i++ {
+		cq.push(event{at: 7.5, seq: uint64(i)})
+	}
+	for i := 0; i < 20; i++ {
+		e, ok := cq.pop()
+		if !ok || e.seq != uint64(i) {
+			t.Fatalf("tie-break broken at %d: got seq %d", i, e.seq)
+		}
+	}
+}
+
+func TestCalendarSparseJumps(t *testing.T) {
+	// Events separated by many empty years force the direct-search path.
+	cq := newCalendarQueue(0.001)
+	times := []float64{0.0005, 10, 10.0001, 5000, 5001}
+	for i, at := range times {
+		cq.push(event{at: at, seq: uint64(i)})
+	}
+	prev := -1.0
+	for range times {
+		e, ok := cq.pop()
+		if !ok {
+			t.Fatal("pop failed")
+		}
+		if e.at < prev {
+			t.Fatalf("order violated: %v after %v", e.at, prev)
+		}
+		prev = e.at
+	}
+}
+
+func TestCalendarInterleavedPushPop(t *testing.T) {
+	// The simulator's access pattern: pop one, push a few slightly in the
+	// future, repeatedly — with resizes triggered by growth.
+	cq := newCalendarQueue(0.01)
+	st := rng.NewStream(1)
+	now := 0.0
+	cq.push(event{at: 0, seq: 0})
+	seq := uint64(1)
+	// Phase 1: every pop schedules at least one successor, so the queue
+	// cannot drain; bursts trigger growth resizes.
+	for popped := 0; popped < 15000; popped++ {
+		e, ok := cq.pop()
+		if !ok {
+			t.Fatal("queue drained during phase 1")
+		}
+		if e.at < now {
+			t.Fatalf("time went backwards: %v < %v", e.at, now)
+		}
+		now = e.at
+		for k := 1 + st.Intn(2); k > 0; k-- {
+			cq.push(event{at: now + st.Exp(0.02), seq: seq})
+			seq++
+		}
+	}
+	// Phase 2: drain completely, exercising shrink resizes.
+	for {
+		e, ok := cq.pop()
+		if !ok {
+			break
+		}
+		if e.at < now {
+			t.Fatalf("drain phase went backwards: %v < %v", e.at, now)
+		}
+		now = e.at
+	}
+	if cq.len() != 0 {
+		t.Fatalf("size bookkeeping wrong after drain: %d", cq.len())
+	}
+}
+
+func TestCalendarPushIntoPastPanics(t *testing.T) {
+	cq := newCalendarQueue(1)
+	cq.push(event{at: 10, seq: 0})
+	if e, ok := cq.pop(); !ok || e.at != 10 {
+		t.Fatal("setup pop failed")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("push into the past did not panic")
+		}
+	}()
+	cq.push(event{at: 5, seq: 1})
+}
+
+func TestCalendarMatchesHeapExactly(t *testing.T) {
+	// Drive both event lists with an identical random schedule and demand
+	// identical pop sequences (including seq tie-breaks).
+	st := rng.NewStream(42)
+	h := &heapList{}
+	cq := newCalendarQueue(0.5)
+	now := 0.0
+	seq := uint64(0)
+	pushBoth := func(at float64) {
+		seq++
+		h.push(event{at: at, seq: seq})
+		cq.push(event{at: at, seq: seq})
+	}
+	for i := 0; i < 50; i++ {
+		pushBoth(st.Exp(2.0))
+	}
+	for steps := 0; steps < 30000; steps++ {
+		he, hok := h.pop()
+		ce, cok := cq.pop()
+		if hok != cok {
+			t.Fatalf("step %d: heap ok=%v calendar ok=%v", steps, hok, cok)
+		}
+		if !hok {
+			break
+		}
+		if he.at != ce.at || he.seq != ce.seq {
+			t.Fatalf("step %d: heap (%v,%d) vs calendar (%v,%d)",
+				steps, he.at, he.seq, ce.at, ce.seq)
+		}
+		now = he.at
+		// Occasionally push new events ahead of the clock, with bursts.
+		if steps < 25000 {
+			for k := st.Intn(3); k > 0; k-- {
+				pushBoth(now + st.Exp(1.5))
+			}
+		}
+		if h.len() != cq.len() {
+			t.Fatalf("step %d: lengths diverged %d vs %d", steps, h.len(), cq.len())
+		}
+	}
+}
+
+func TestQuickCalendarOrderInvariant(t *testing.T) {
+	f := func(raw []uint16) bool {
+		cq := newCalendarQueue(0.1)
+		for i, r := range raw {
+			cq.push(event{at: float64(r) / 100, seq: uint64(i)})
+		}
+		prev := math.Inf(-1)
+		for {
+			e, ok := cq.pop()
+			if !ok {
+				break
+			}
+			if e.at < prev {
+				return false
+			}
+			prev = e.at
+		}
+		return cq.len() == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEngineWithCalendarMatchesHeapSimulation(t *testing.T) {
+	// The full simulator must be bit-identical under either event list.
+	runWith := func(eng *Engine) []float64 {
+		st := rng.NewStream(7)
+		c := NewCenter("q", eng, rng.Exponential{MeanValue: 1}, rng.NewStream(8))
+		var lat []float64
+		submitted := 0
+		var arrive func()
+		arrive = func() {
+			if submitted >= 5000 {
+				return
+			}
+			submitted++
+			t0 := eng.Now()
+			c.Submit(0.8, func() { lat = append(lat, eng.Now()-t0) })
+			eng.Schedule(st.ExpRate(1.0), arrive)
+		}
+		eng.Schedule(st.ExpRate(1.0), arrive)
+		eng.Run(math.Inf(1))
+		return lat
+	}
+	a := runWith(NewEngine())
+	b := runWith(NewEngineWithCalendar(0.5))
+	if len(a) != len(b) {
+		t.Fatalf("latency counts differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("latency %d differs: %v vs %v", i, a[i], b[i])
+		}
+	}
+}

@@ -1,0 +1,108 @@
+package sim
+
+import (
+	"fmt"
+
+	"hmscs/internal/rng"
+	"hmscs/internal/stats"
+)
+
+// job is one message waiting for or receiving service at a centre.
+type job struct {
+	serviceMean float64
+	done        func()
+}
+
+// Center is a FIFO single-server service centre modelling one
+// communication network. Service times are drawn from the configured
+// distribution family scaled to each job's mean (so variable message sizes
+// and non-exponential ablations are both supported).
+type Center struct {
+	Name string
+
+	eng     *Engine
+	distTpl rng.Dist
+	stream  *rng.Stream
+
+	busy  bool
+	queue []job // FIFO via head index to avoid reallocating per message
+	head  int
+
+	qlen   stats.TimeWeighted // number in system (queue + in service)
+	busyTW stats.TimeWeighted // 0/1 busy signal
+	served int64
+	inSys  int
+}
+
+// NewCenter creates a centre served according to the given distribution
+// family (its mean is rescaled per job) drawing from its own random stream.
+func NewCenter(name string, eng *Engine, distTpl rng.Dist, stream *rng.Stream) *Center {
+	c := &Center{Name: name, eng: eng, distTpl: distTpl, stream: stream}
+	c.qlen.Observe(eng.Now(), 0)
+	c.busyTW.Observe(eng.Now(), 0)
+	return c
+}
+
+// Submit enqueues a message whose mean service time is serviceMean; done
+// runs when its service completes.
+func (c *Center) Submit(serviceMean float64, done func()) {
+	if serviceMean <= 0 {
+		panic(fmt.Sprintf("sim: centre %s got service mean %v", c.Name, serviceMean))
+	}
+	c.inSys++
+	c.qlen.Observe(c.eng.Now(), float64(c.inSys))
+	j := job{serviceMean: serviceMean, done: done}
+	if c.busy {
+		c.queue = append(c.queue, j)
+		return
+	}
+	c.start(j)
+}
+
+func (c *Center) start(j job) {
+	c.busy = true
+	c.busyTW.Observe(c.eng.Now(), 1)
+	d := rng.ScaleMean(c.distTpl, j.serviceMean)
+	c.eng.Schedule(d.Sample(c.stream), func() { c.finish(j) })
+}
+
+func (c *Center) finish(j job) {
+	c.served++
+	c.inSys--
+	c.qlen.Observe(c.eng.Now(), float64(c.inSys))
+	if c.head < len(c.queue) {
+		next := c.queue[c.head]
+		c.queue[c.head] = job{} // release references
+		c.head++
+		if c.head == len(c.queue) { // queue drained: reset storage
+			c.queue = c.queue[:0]
+			c.head = 0
+		}
+		c.start(next)
+	} else {
+		c.busy = false
+		c.busyTW.Observe(c.eng.Now(), 0)
+	}
+	j.done()
+}
+
+// QueueLength returns the current number of messages in the centre.
+func (c *Center) QueueLength() int { return c.inSys }
+
+// Served returns the number of completed services.
+func (c *Center) Served() int64 { return c.served }
+
+// Flush closes the time-weighted statistics at the current clock.
+func (c *Center) Flush() {
+	c.qlen.FlushTo(c.eng.Now())
+	c.busyTW.FlushTo(c.eng.Now())
+}
+
+// Utilization returns the time-averaged busy fraction.
+func (c *Center) Utilization() float64 { return c.busyTW.Mean() }
+
+// MeanQueueLength returns the time-averaged number in system.
+func (c *Center) MeanQueueLength() float64 { return c.qlen.Mean() }
+
+// MaxQueueLength returns the peak number in system.
+func (c *Center) MaxQueueLength() float64 { return c.qlen.Max() }

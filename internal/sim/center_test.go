@@ -1,0 +1,148 @@
+package sim
+
+import (
+	"math"
+	"testing"
+
+	"hmscs/internal/rng"
+	"hmscs/internal/stats"
+)
+
+// TestCenterMM1 drives a single centre with Poisson arrivals and exponential
+// service and checks the measured sojourn time against 1/(mu-lambda).
+func TestCenterMM1(t *testing.T) {
+	eng := NewEngine()
+	arrivals := rng.NewStream(1)
+	c := NewCenter("q", eng, rng.Exponential{MeanValue: 1}, rng.NewStream(2))
+
+	lambda, mu := 0.7, 1.0
+	var lat stats.Welford
+	const nMsgs = 200000
+	submitted := 0
+	var arrive func()
+	arrive = func() {
+		if submitted >= nMsgs {
+			return
+		}
+		submitted++
+		t0 := eng.Now()
+		c.Submit(1/mu, func() {
+			lat.Add(eng.Now() - t0)
+		})
+		eng.Schedule(arrivals.ExpRate(lambda), arrive)
+	}
+	eng.Schedule(arrivals.ExpRate(lambda), arrive)
+	eng.Run(math.Inf(1))
+	c.Flush()
+
+	wantW := 1 / (mu - lambda)
+	if got := lat.Mean(); math.Abs(got-wantW)/wantW > 0.05 {
+		t.Fatalf("measured W = %v, want %v (M/M/1)", got, wantW)
+	}
+	if u := c.Utilization(); math.Abs(u-lambda/mu) > 0.02 {
+		t.Fatalf("utilisation = %v, want %v", u, lambda/mu)
+	}
+	wantL := (lambda / mu) / (1 - lambda/mu)
+	if l := c.MeanQueueLength(); math.Abs(l-wantL)/wantL > 0.06 {
+		t.Fatalf("mean queue = %v, want %v", l, wantL)
+	}
+	if c.Served() != nMsgs {
+		t.Fatalf("served = %d", c.Served())
+	}
+}
+
+// TestCenterMD1 checks the deterministic-service ablation against the
+// Pollaczek-Khinchine M/D/1 formula.
+func TestCenterMD1(t *testing.T) {
+	eng := NewEngine()
+	arrivals := rng.NewStream(3)
+	c := NewCenter("q", eng, rng.Deterministic{Value: 1}, rng.NewStream(4))
+
+	lambda, mean := 0.6, 1.0
+	var lat stats.Welford
+	const nMsgs = 100000
+	done := 0
+	var arrive func()
+	arrive = func() {
+		if done >= nMsgs {
+			return
+		}
+		t0 := eng.Now()
+		c.Submit(mean, func() {
+			lat.Add(eng.Now() - t0)
+			done++
+		})
+		eng.Schedule(arrivals.ExpRate(lambda), arrive)
+	}
+	eng.Schedule(arrivals.ExpRate(lambda), arrive)
+	eng.Run(math.Inf(1))
+
+	rho := lambda * mean
+	wantW := mean + rho*mean/(2*(1-rho)) // M/D/1 sojourn
+	if got := lat.Mean(); math.Abs(got-wantW)/wantW > 0.05 {
+		t.Fatalf("measured W = %v, want %v (M/D/1)", got, wantW)
+	}
+}
+
+func TestCenterFIFO(t *testing.T) {
+	eng := NewEngine()
+	c := NewCenter("q", eng, rng.Deterministic{Value: 1}, rng.NewStream(5))
+	var order []int
+	for i := 0; i < 5; i++ {
+		i := i
+		c.Submit(1.0, func() { order = append(order, i) })
+	}
+	eng.Run(math.Inf(1))
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("service order = %v, want FIFO", order)
+		}
+	}
+	if eng.Now() != 5 {
+		t.Fatalf("five deterministic services took %v", eng.Now())
+	}
+}
+
+func TestCenterQueueDrainReset(t *testing.T) {
+	// After the queue fully drains, new arrivals must still be served
+	// correctly (exercises the head-index reset).
+	eng := NewEngine()
+	c := NewCenter("q", eng, rng.Deterministic{Value: 1}, rng.NewStream(6))
+	served := 0
+	for burst := 0; burst < 3; burst++ {
+		for i := 0; i < 4; i++ {
+			c.Submit(0.25, func() { served++ })
+		}
+		eng.Run(math.Inf(1))
+		if c.QueueLength() != 0 {
+			t.Fatalf("queue not drained after burst %d", burst)
+		}
+	}
+	if served != 12 {
+		t.Fatalf("served = %d", served)
+	}
+}
+
+func TestCenterRejectsBadServiceMean(t *testing.T) {
+	eng := NewEngine()
+	c := NewCenter("q", eng, rng.Exponential{MeanValue: 1}, rng.NewStream(7))
+	defer func() {
+		if recover() == nil {
+			t.Fatal("zero service mean did not panic")
+		}
+	}()
+	c.Submit(0, func() {})
+}
+
+func TestCenterMaxQueueLength(t *testing.T) {
+	eng := NewEngine()
+	c := NewCenter("q", eng, rng.Deterministic{Value: 1}, rng.NewStream(8))
+	for i := 0; i < 7; i++ {
+		c.Submit(1, func() {})
+	}
+	eng.Run(math.Inf(1))
+	c.Flush()
+	if c.MaxQueueLength() != 7 {
+		t.Fatalf("max queue = %v, want 7", c.MaxQueueLength())
+	}
+}

@@ -1,0 +1,32 @@
+package sim
+
+import (
+	"fmt"
+
+	"hmscs/internal/stats"
+)
+
+// LatencyCI returns a 95% confidence half-width for the mean latency of a
+// single run using the batch-means method, with the batch count chosen
+// from the sample's measured autocorrelation. It requires the run to have
+// been executed with Options.RecordSample.
+//
+// Within-run latencies are serially correlated (consecutive messages share
+// queue state), so the naive Welford standard error understates the
+// uncertainty; batch means over long batches restore an honest interval.
+// Multi-replication runs (RunReplications) do not need this — their CI
+// comes from independent replications.
+func (r *Result) LatencyCI() (float64, error) {
+	if len(r.Sample) == 0 {
+		return 0, fmt.Errorf("sim: LatencyCI needs Options.RecordSample")
+	}
+	nBatches, err := stats.SuggestBatches(r.Sample)
+	if err != nil {
+		return 0, err
+	}
+	w, err := stats.BatchMeans(r.Sample, nBatches)
+	if err != nil {
+		return 0, err
+	}
+	return w.CI(0.95), nil
+}

@@ -1,0 +1,123 @@
+package sim
+
+import (
+	"math"
+	"testing"
+)
+
+func TestEngineOrdersEvents(t *testing.T) {
+	e := NewEngine()
+	var order []int
+	e.Schedule(3, func() { order = append(order, 3) })
+	e.Schedule(1, func() { order = append(order, 1) })
+	e.Schedule(2, func() { order = append(order, 2) })
+	n := e.Run(math.Inf(1))
+	if n != 3 {
+		t.Fatalf("executed %d events", n)
+	}
+	if len(order) != 3 || order[0] != 1 || order[1] != 2 || order[2] != 3 {
+		t.Fatalf("order = %v", order)
+	}
+	if e.Now() != 3 {
+		t.Fatalf("clock = %v", e.Now())
+	}
+}
+
+func TestEngineFIFOTieBreak(t *testing.T) {
+	e := NewEngine()
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		e.Schedule(1.0, func() { order = append(order, i) })
+	}
+	e.Run(math.Inf(1))
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("simultaneous events ran out of order: %v", order)
+		}
+	}
+}
+
+func TestEngineNestedScheduling(t *testing.T) {
+	e := NewEngine()
+	count := 0
+	var tick func()
+	tick = func() {
+		count++
+		if count < 100 {
+			e.Schedule(0.5, tick)
+		}
+	}
+	e.Schedule(0.5, tick)
+	e.Run(math.Inf(1))
+	if count != 100 {
+		t.Fatalf("count = %d", count)
+	}
+	if math.Abs(e.Now()-50) > 1e-9 {
+		t.Fatalf("clock = %v, want 50", e.Now())
+	}
+}
+
+func TestEngineStop(t *testing.T) {
+	e := NewEngine()
+	ran := 0
+	for i := 0; i < 10; i++ {
+		e.Schedule(float64(i), func() {
+			ran++
+			if ran == 3 {
+				e.Stop()
+			}
+		})
+	}
+	e.Run(math.Inf(1))
+	if ran != 3 {
+		t.Fatalf("ran %d events after Stop at 3", ran)
+	}
+	if e.Pending() != 7 {
+		t.Fatalf("pending = %d", e.Pending())
+	}
+}
+
+func TestEngineMaxTime(t *testing.T) {
+	e := NewEngine()
+	ran := 0
+	e.Schedule(1, func() { ran++ })
+	e.Schedule(5, func() { ran++ })
+	e.Run(2)
+	if ran != 1 {
+		t.Fatalf("ran %d events before maxTime", ran)
+	}
+	if e.Now() != 2 {
+		t.Fatalf("clock = %v, want clamped to 2", e.Now())
+	}
+}
+
+func TestEngineZeroDelay(t *testing.T) {
+	e := NewEngine()
+	ran := false
+	e.Schedule(0, func() { ran = true })
+	e.Run(math.Inf(1))
+	if !ran || e.Now() != 0 {
+		t.Fatal("zero-delay event mishandled")
+	}
+}
+
+func TestEngineNegativeDelayPanics(t *testing.T) {
+	e := NewEngine()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("negative delay did not panic")
+		}
+	}()
+	e.Schedule(-1, func() {})
+}
+
+func TestEngineNaNDelayPanics(t *testing.T) {
+	e := NewEngine()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NaN delay did not panic")
+		}
+	}()
+	e.Schedule(math.NaN(), func() {})
+}

@@ -1,0 +1,85 @@
+package sim
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"hmscs/internal/core"
+	"hmscs/internal/stats"
+)
+
+// Replicated aggregates independent simulation replications of one
+// configuration: the across-replication distribution of the mean latency is
+// the basis for confidence intervals free of within-run autocorrelation.
+type Replicated struct {
+	// MeanLatency is the grand mean across replications (seconds).
+	MeanLatency float64
+	// CI95 is the 95% confidence half-width on MeanLatency from the
+	// replication means (Student-t).
+	CI95 float64
+	// PerReplication holds each replication's mean latency.
+	PerReplication []float64
+	// Throughput is the mean measured throughput (msg/s).
+	Throughput float64
+	// EffectiveLambda is the mean realised per-processor rate.
+	EffectiveLambda float64
+	// BottleneckUtilization is the mean utilisation of the busiest centre.
+	BottleneckUtilization float64
+	// AnyTimedOut reports whether any replication hit MaxSimTime.
+	AnyTimedOut bool
+}
+
+// RunReplications executes n independent replications (seeds seedBase+1..n)
+// in parallel across CPUs and aggregates them.
+func RunReplications(cfg *core.Config, opts Options, n int) (*Replicated, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("sim: need at least 1 replication, got %d", n)
+	}
+	results := make([]*Result, n)
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			o := opts
+			o.Seed = opts.Seed + uint64(i)*0x9e3779b97f4a7c15
+			results[i], errs[i] = Run(cfg, o)
+		}(i)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	agg := &Replicated{PerReplication: make([]float64, n)}
+	var lat, thru, eff, bottleneck stats.Welford
+	for i, r := range results {
+		m := r.MeanLatency()
+		agg.PerReplication[i] = m
+		lat.Add(m)
+		thru.Add(r.Throughput)
+		eff.Add(r.EffectiveLambda)
+		maxU := 0.0
+		for _, c := range r.Centers {
+			if c.Utilization > maxU {
+				maxU = c.Utilization
+			}
+		}
+		bottleneck.Add(maxU)
+		agg.AnyTimedOut = agg.AnyTimedOut || r.TimedOut
+	}
+	agg.MeanLatency = lat.Mean()
+	if n >= 2 {
+		agg.CI95 = lat.CI(0.95)
+	}
+	agg.Throughput = thru.Mean()
+	agg.EffectiveLambda = eff.Mean()
+	agg.BottleneckUtilization = bottleneck.Mean()
+	return agg, nil
+}

@@ -1,0 +1,357 @@
+package sim
+
+import (
+	"fmt"
+	"math"
+
+	"hmscs/internal/core"
+	"hmscs/internal/network"
+	"hmscs/internal/rng"
+	"hmscs/internal/stats"
+	"hmscs/internal/trace"
+	"hmscs/internal/workload"
+)
+
+// Options controls one simulation run.
+type Options struct {
+	// Seed selects the replication's random streams.
+	Seed uint64
+	// WarmupMessages are completed and discarded before measurement starts.
+	WarmupMessages int
+	// MeasuredMessages is the number of latency samples collected; the
+	// paper's experiments use 10,000.
+	MeasuredMessages int
+	// ServiceDist is the service-time family of every centre; its mean is
+	// rescaled per message. Default is Exponential (the model's
+	// assumption); Deterministic gives the M/D/1 ablation.
+	ServiceDist rng.Dist
+	// OpenLoop, when true, lets processors generate without waiting for
+	// completions (ablation of the paper's assumption 4).
+	OpenLoop bool
+	// Pattern picks destinations; default is the paper's uniform pattern.
+	Pattern workload.Pattern
+	// SizeDist draws per-message sizes; default is the config's fixed M.
+	SizeDist workload.SizeDist
+	// RecordSample keeps the raw measured latencies for histograms and
+	// batch-means confidence intervals.
+	RecordSample bool
+	// MaxSimTime aborts a run at this simulated time (safety valve for
+	// pathological configurations); zero means no limit.
+	MaxSimTime float64
+	// Trace, when non-nil, records every message's journey (generation,
+	// per-hop completion, delivery) into the recorder.
+	Trace *trace.Recorder
+}
+
+// DefaultOptions mirrors the paper's experimental procedure with a warm-up
+// prefix added (the paper gathers 10,000 messages per run).
+func DefaultOptions() Options {
+	return Options{
+		Seed:             1,
+		WarmupMessages:   2000,
+		MeasuredMessages: 10000,
+		ServiceDist:      rng.Exponential{MeanValue: 1},
+		Pattern:          workload.Uniform{},
+	}
+}
+
+// CenterStats reports one centre's simulation statistics.
+type CenterStats struct {
+	Name            string
+	Utilization     float64
+	MeanQueueLength float64
+	MaxQueueLength  float64
+	Served          int64
+}
+
+// Result is the outcome of one simulation run.
+type Result struct {
+	// Latency accumulates the measured message latencies (seconds).
+	Latency stats.Welford
+	// Sample holds raw latencies when Options.RecordSample is set.
+	Sample []float64
+	// SimTime is the simulated clock at the end of the run.
+	SimTime float64
+	// Generated counts every message created; Measured counts recorded ones.
+	Generated int64
+	Measured  int64
+	// Throughput is the measured completion rate (msg/s) over the
+	// measurement window.
+	Throughput float64
+	// EffectiveLambda is Throughput divided by the processor count: the
+	// realised per-processor rate, comparable to the model's λ_eff.
+	EffectiveLambda float64
+	// Centers holds per-centre statistics in the order ICN1[0..C),
+	// ECN1[0..C), ICN2.
+	Centers []CenterStats
+	// TimedOut reports that MaxSimTime stopped the run early.
+	TimedOut bool
+}
+
+// MeanLatency returns the measured mean message latency in seconds.
+func (r *Result) MeanLatency() float64 { return r.Latency.Mean() }
+
+// layout maps global node ids onto clusters; it implements workload.System.
+type layout struct {
+	prefix []int // prefix[i] = first node id of cluster i; len = C+1
+}
+
+func newLayout(cfg *core.Config) *layout {
+	l := &layout{prefix: make([]int, len(cfg.Clusters)+1)}
+	for i, cl := range cfg.Clusters {
+		l.prefix[i+1] = l.prefix[i] + cl.Nodes
+	}
+	return l
+}
+
+func (l *layout) TotalNodes() int  { return l.prefix[len(l.prefix)-1] }
+func (l *layout) NumClusters() int { return len(l.prefix) - 1 }
+func (l *layout) ClusterOf(node int) int {
+	// Binary search over the prefix array.
+	lo, hi := 0, len(l.prefix)-1
+	for lo+1 < hi {
+		mid := (lo + hi) / 2
+		if l.prefix[mid] <= node {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+func (l *layout) ClusterRange(c int) (int, int) { return l.prefix[c], l.prefix[c+1] }
+
+// serviceModel wraps a network model with a per-size cache of mean service
+// times, so the fixed-size fast path costs one map lookup per hop.
+type serviceModel struct {
+	model *network.Model
+	cache map[int]float64
+}
+
+func newServiceModel(m *network.Model) *serviceModel {
+	return &serviceModel{model: m, cache: make(map[int]float64, 4)}
+}
+
+func (s *serviceModel) mean(size int) float64 {
+	if t, ok := s.cache[size]; ok {
+		return t
+	}
+	t := s.model.MeanServiceTime(size)
+	s.cache[size] = t
+	return t
+}
+
+// Simulator executes one HMSCS configuration.
+type Simulator struct {
+	cfg  *core.Config
+	opts Options
+	eng  *Engine
+	lay  *layout
+
+	icn1 []*Center
+	ecn1 []*Center
+	icn2 *Center
+
+	svcICN1 []*serviceModel
+	svcECN1 []*serviceModel
+	svcICN2 *serviceModel
+
+	procStreams []*rng.Stream
+
+	res          Result
+	measureStart float64
+	completed    int64
+}
+
+// New builds a simulator for the configuration. Options zero values fall
+// back to DefaultOptions (per field where that is unambiguous).
+func New(cfg *core.Config, opts Options) (*Simulator, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	def := DefaultOptions()
+	if opts.MeasuredMessages <= 0 {
+		opts.MeasuredMessages = def.MeasuredMessages
+	}
+	if opts.WarmupMessages < 0 {
+		return nil, fmt.Errorf("sim: negative warm-up %d", opts.WarmupMessages)
+	}
+	if opts.ServiceDist == nil {
+		opts.ServiceDist = def.ServiceDist
+	}
+	if opts.Pattern == nil {
+		opts.Pattern = def.Pattern
+	}
+	if opts.SizeDist == nil {
+		opts.SizeDist = workload.FixedSize{Bytes: cfg.MessageBytes}
+	}
+	if opts.MaxSimTime <= 0 {
+		opts.MaxSimTime = math.Inf(1)
+	}
+
+	centers, err := cfg.BuildCenters()
+	if err != nil {
+		return nil, err
+	}
+
+	s := &Simulator{cfg: cfg, opts: opts, eng: NewEngine(), lay: newLayout(cfg)}
+	master := rng.NewStream(opts.Seed)
+
+	c := cfg.NumClusters()
+	s.icn1 = make([]*Center, c)
+	s.ecn1 = make([]*Center, c)
+	s.svcICN1 = make([]*serviceModel, c)
+	s.svcECN1 = make([]*serviceModel, c)
+	for i := 0; i < c; i++ {
+		s.icn1[i] = NewCenter(fmt.Sprintf("ICN1[%d]", i), s.eng, opts.ServiceDist, master.Split())
+		s.ecn1[i] = NewCenter(fmt.Sprintf("ECN1[%d]", i), s.eng, opts.ServiceDist, master.Split())
+		s.svcICN1[i] = newServiceModel(centers.ICN1[i])
+		s.svcECN1[i] = newServiceModel(centers.ECN1[i])
+	}
+	s.icn2 = NewCenter("ICN2", s.eng, opts.ServiceDist, master.Split())
+	s.svcICN2 = newServiceModel(centers.ICN2)
+
+	n := s.lay.TotalNodes()
+	s.procStreams = make([]*rng.Stream, n)
+	for p := 0; p < n; p++ {
+		s.procStreams[p] = master.Split()
+	}
+	return s, nil
+}
+
+// Run executes the simulation and returns its result. The simulator is
+// single-use.
+func (s *Simulator) Run() (*Result, error) {
+	if s.opts.RecordSample {
+		s.res.Sample = make([]float64, 0, s.opts.MeasuredMessages)
+	}
+	// Start every processor's first think period.
+	for p := 0; p < s.lay.TotalNodes(); p++ {
+		s.scheduleGeneration(p)
+	}
+	s.eng.Run(s.opts.MaxSimTime)
+	if s.res.Measured < int64(s.opts.MeasuredMessages) {
+		s.res.TimedOut = true
+	}
+
+	s.res.SimTime = s.eng.Now()
+	window := s.eng.Now() - s.measureStart
+	if window > 0 && s.res.Measured > 0 {
+		s.res.Throughput = float64(s.res.Measured) / window
+		s.res.EffectiveLambda = s.res.Throughput / float64(s.lay.TotalNodes())
+	}
+	for _, c := range s.allCenters() {
+		c.Flush()
+		s.res.Centers = append(s.res.Centers, CenterStats{
+			Name:            c.Name,
+			Utilization:     c.Utilization(),
+			MeanQueueLength: c.MeanQueueLength(),
+			MaxQueueLength:  c.MaxQueueLength(),
+			Served:          c.Served(),
+		})
+	}
+	return &s.res, nil
+}
+
+func (s *Simulator) allCenters() []*Center {
+	all := make([]*Center, 0, 2*len(s.icn1)+1)
+	all = append(all, s.icn1...)
+	all = append(all, s.ecn1...)
+	all = append(all, s.icn2)
+	return all
+}
+
+// scheduleGeneration arms processor p's next message after an exponential
+// think time (assumption 1).
+func (s *Simulator) scheduleGeneration(p int) {
+	cl := s.lay.ClusterOf(p)
+	lambda := s.cfg.Clusters[cl].Lambda
+	delay := s.procStreams[p].ExpRate(lambda)
+	s.eng.Schedule(delay, func() { s.generate(p) })
+}
+
+// generate creates one message at processor p and routes it.
+func (s *Simulator) generate(p int) {
+	s.res.Generated++
+	msgID := s.res.Generated
+	st := s.procStreams[p]
+	dest := s.opts.Pattern.Dest(st, s.lay, p)
+	size := s.opts.SizeDist.Sample(st)
+	born := s.eng.Now()
+	srcCl := s.lay.ClusterOf(p)
+	dstCl := s.lay.ClusterOf(dest)
+	if s.opts.Trace != nil {
+		s.opts.Trace.Record(msgID, born, trace.Generated, fmt.Sprintf("proc:%d", p))
+	}
+
+	// In open-loop mode the source immediately starts its next think
+	// period; in the paper's closed-loop mode it blocks until completion.
+	if s.opts.OpenLoop {
+		s.scheduleGeneration(p)
+	}
+
+	// hop wraps a continuation so the trace records service completion at
+	// the named centre.
+	hop := func(c *Center, next func()) func() {
+		if s.opts.Trace == nil {
+			return next
+		}
+		return func() {
+			s.opts.Trace.Record(msgID, s.eng.Now(), trace.HopDone, c.Name)
+			next()
+		}
+	}
+	complete := func() {
+		if s.opts.Trace != nil {
+			s.opts.Trace.Record(msgID, s.eng.Now(), trace.Delivered, fmt.Sprintf("proc:%d", dest))
+		}
+		s.deliver(p, born)
+	}
+	if srcCl == dstCl {
+		// Local message: one pass through the source cluster's ICN1.
+		c := s.icn1[srcCl]
+		c.Submit(s.svcICN1[srcCl].mean(size), hop(c, complete))
+		return
+	}
+	// Remote: ECN1(src) -> ICN2 -> ECN1(dst), per Figure 2.
+	first, second, third := s.ecn1[srcCl], s.icn2, s.ecn1[dstCl]
+	first.Submit(s.svcECN1[srcCl].mean(size), hop(first, func() {
+		second.Submit(s.svcICN2.mean(size), hop(second, func() {
+			third.Submit(s.svcECN1[dstCl].mean(size), hop(third, complete))
+		}))
+	}))
+}
+
+// deliver sinks a completed message: records its latency (after warm-up)
+// and, in closed-loop mode, releases the source processor.
+func (s *Simulator) deliver(src int, born float64) {
+	s.completed++
+	// The measurement window opens when the last warm-up message completes
+	// (immediately, at time zero, when there is no warm-up).
+	if s.completed == int64(s.opts.WarmupMessages) {
+		s.measureStart = s.eng.Now()
+	}
+	if s.completed > int64(s.opts.WarmupMessages) && s.res.Measured < int64(s.opts.MeasuredMessages) {
+		lat := s.eng.Now() - born
+		s.res.Latency.Add(lat)
+		if s.opts.RecordSample {
+			s.res.Sample = append(s.res.Sample, lat)
+		}
+		s.res.Measured++
+		if s.res.Measured == int64(s.opts.MeasuredMessages) {
+			s.eng.Stop()
+		}
+	}
+	if !s.opts.OpenLoop {
+		s.scheduleGeneration(src)
+	}
+}
+
+// Run is the package-level convenience: build and run one simulation.
+func Run(cfg *core.Config, opts Options) (*Result, error) {
+	s, err := New(cfg, opts)
+	if err != nil {
+		return nil, err
+	}
+	return s.Run()
+}

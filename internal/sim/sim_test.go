@@ -1,0 +1,429 @@
+package sim
+
+import (
+	"math"
+	"testing"
+
+	"hmscs/internal/core"
+	"hmscs/internal/network"
+	"hmscs/internal/rng"
+	"hmscs/internal/workload"
+)
+
+// smallCfg builds a light C=4 x N0=8 system that simulates quickly.
+func smallCfg(t *testing.T, lambda float64, arch network.Architecture) *core.Config {
+	t.Helper()
+	cfg, err := core.NewSuperCluster(4, 8, lambda, network.GigabitEthernet,
+		network.FastEthernet, arch, network.PaperSwitch, 1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cfg
+}
+
+func quickOpts(seed uint64, measured int) Options {
+	o := DefaultOptions()
+	o.Seed = seed
+	o.WarmupMessages = 500
+	o.MeasuredMessages = measured
+	return o
+}
+
+func TestSimDeterministicAcrossRuns(t *testing.T) {
+	cfg := smallCfg(t, 50, network.NonBlocking)
+	a, err := Run(cfg, quickOpts(42, 2000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(cfg, quickOpts(42, 2000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.MeanLatency() != b.MeanLatency() {
+		t.Fatalf("same seed gave different latencies: %v vs %v", a.MeanLatency(), b.MeanLatency())
+	}
+	if a.SimTime != b.SimTime || a.Generated != b.Generated {
+		t.Fatal("same seed gave different run shapes")
+	}
+}
+
+func TestSimDifferentSeedsDiffer(t *testing.T) {
+	cfg := smallCfg(t, 50, network.NonBlocking)
+	a, err := Run(cfg, quickOpts(1, 2000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(cfg, quickOpts(2, 2000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.MeanLatency() == b.MeanLatency() {
+		t.Fatal("different seeds produced identical means (suspicious)")
+	}
+}
+
+func TestSimLightLoadMatchesServiceTimes(t *testing.T) {
+	// At negligible load the mean latency must approach the no-queueing
+	// mix: (1-P)*T_I1 + P*(T_I2 + 2*T_E1).
+	cfg := smallCfg(t, 0.01, network.NonBlocking)
+	res, err := Run(cfg, quickOpts(7, 4000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	centers, err := cfg.BuildCenters()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sI1, sE1, sI2 := centers.ServiceTimes(1024)
+	p := cfg.POut(0)
+	want := (1-p)*sI1[0] + p*(sI2+2*sE1[0])
+	got := res.MeanLatency()
+	if math.Abs(got-want)/want > 0.05 {
+		t.Fatalf("light-load latency = %v, want about %v", got, want)
+	}
+}
+
+func TestSimMeasuredCountAndWarmup(t *testing.T) {
+	cfg := smallCfg(t, 50, network.NonBlocking)
+	opts := quickOpts(3, 1500)
+	opts.WarmupMessages = 300
+	res, err := Run(cfg, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Measured != 1500 {
+		t.Fatalf("measured = %d, want 1500", res.Measured)
+	}
+	if res.Latency.Count() != 1500 {
+		t.Fatalf("latency samples = %d", res.Latency.Count())
+	}
+	if res.Generated < 1800 {
+		t.Fatalf("generated = %d, must cover warmup+measured", res.Generated)
+	}
+	if res.TimedOut {
+		t.Fatal("run should not time out")
+	}
+}
+
+func TestSimRecordSample(t *testing.T) {
+	cfg := smallCfg(t, 50, network.NonBlocking)
+	opts := quickOpts(4, 800)
+	opts.RecordSample = true
+	res, err := Run(cfg, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Sample) != 800 {
+		t.Fatalf("sample length = %d", len(res.Sample))
+	}
+	sum := 0.0
+	for _, v := range res.Sample {
+		sum += v
+	}
+	if math.Abs(sum/800-res.MeanLatency()) > 1e-12 {
+		t.Fatal("sample mean disagrees with accumulator")
+	}
+}
+
+func TestSimServedConservation(t *testing.T) {
+	// Every measured+warmup message passed either one ICN1 (local) or one
+	// ICN2 (remote); in-flight messages at stop may add a few.
+	cfg := smallCfg(t, 50, network.NonBlocking)
+	res, err := Run(cfg, quickOpts(5, 3000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var icn1, icn2, ecn1 int64
+	for _, c := range res.Centers {
+		switch {
+		case c.Name == "ICN2":
+			icn2 += c.Served
+		case len(c.Name) >= 4 && c.Name[:4] == "ICN1":
+			icn1 += c.Served
+		default:
+			ecn1 += c.Served
+		}
+	}
+	completed := res.Measured + 500 // + warmup
+	if icn1+icn2 < completed {
+		t.Fatalf("ICN1(%d)+ICN2(%d) served < completed %d", icn1, icn2, completed)
+	}
+	// Remote messages traverse two ECN1 stages and one ICN2.
+	if ecn1 < 2*icn2-4 { // allow in-flight slack
+		t.Fatalf("ECN1 served %d inconsistent with ICN2 %d", ecn1, icn2)
+	}
+	// Uniform traffic with C=4, N0=8: P = 24/31, so remote should dominate.
+	if icn2 <= icn1 {
+		t.Fatalf("remote (%d) should outnumber local (%d) at P=%v", icn2, icn1, cfg.POut(0))
+	}
+}
+
+func TestSimClosedLoopCapsInFlight(t *testing.T) {
+	// In closed-loop mode there can never be more in-flight messages than
+	// processors; with heavy overload the effective lambda must sit well
+	// below the configured lambda.
+	cfg := smallCfg(t, 10000, network.NonBlocking) // grossly overloaded
+	res, err := Run(cfg, quickOpts(6, 3000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.EffectiveLambda >= 10000*0.5 {
+		t.Fatalf("effective lambda = %v, expected severe throttling", res.EffectiveLambda)
+	}
+	// Bottleneck must be pegged.
+	maxU := 0.0
+	for _, c := range res.Centers {
+		if c.Utilization > maxU {
+			maxU = c.Utilization
+		}
+	}
+	if maxU < 0.9 {
+		t.Fatalf("bottleneck utilisation = %v under overload", maxU)
+	}
+}
+
+func TestSimOpenVsClosedLightLoad(t *testing.T) {
+	// At light load, blocking sources barely matter: open and closed loop
+	// must agree.
+	cfg := smallCfg(t, 0.05, network.NonBlocking)
+	closed, err := Run(cfg, quickOpts(8, 3000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := quickOpts(8, 3000)
+	o.OpenLoop = true
+	open, err := Run(cfg, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b := closed.MeanLatency(), open.MeanLatency()
+	if math.Abs(a-b)/a > 0.1 {
+		t.Fatalf("open %v vs closed %v diverge at light load", b, a)
+	}
+}
+
+func TestSimBlockingSlower(t *testing.T) {
+	nb, err := Run(smallCfg(t, 20, network.NonBlocking), quickOpts(9, 3000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	bl, err := Run(smallCfg(t, 20, network.Blocking), quickOpts(9, 3000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bl.MeanLatency() <= nb.MeanLatency() {
+		t.Fatalf("blocking %v not slower than non-blocking %v", bl.MeanLatency(), nb.MeanLatency())
+	}
+}
+
+func TestSimMaxSimTime(t *testing.T) {
+	cfg := smallCfg(t, 0.001, network.NonBlocking) // ~nothing happens
+	opts := quickOpts(10, 100000)
+	opts.MaxSimTime = 1.0
+	res, err := Run(cfg, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.TimedOut {
+		t.Fatal("run should have timed out")
+	}
+	if res.SimTime > 1.0+1e-9 {
+		t.Fatalf("sim time %v exceeded limit", res.SimTime)
+	}
+}
+
+func TestSimSingleCluster(t *testing.T) {
+	cfg, err := core.NewSuperCluster(1, 16, 10, network.GigabitEthernet,
+		network.FastEthernet, network.NonBlocking, network.PaperSwitch, 512)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(cfg, quickOpts(11, 2000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// All traffic is local: ICN2 and ECN1 must be idle.
+	for _, c := range res.Centers {
+		if c.Name != "ICN1[0]" && c.Served != 0 {
+			t.Fatalf("centre %s served %d messages in a single-cluster system", c.Name, c.Served)
+		}
+	}
+}
+
+func TestSimHeterogeneousClusters(t *testing.T) {
+	cfg := &core.Config{
+		Clusters: []core.Cluster{
+			{Nodes: 4, Lambda: 100, ICN1: network.GigabitEthernet, ECN1: network.FastEthernet},
+			{Nodes: 12, Lambda: 10, ICN1: network.FastEthernet, ECN1: network.FastEthernet},
+		},
+		ICN2:         network.GigabitEthernet,
+		Arch:         network.NonBlocking,
+		Switch:       network.PaperSwitch,
+		MessageBytes: 512,
+	}
+	res, err := Run(cfg, quickOpts(12, 3000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MeanLatency() <= 0 {
+		t.Fatal("no latency measured")
+	}
+	// Cluster 0 generates 400/s vs cluster 1's 120/s: its ECN1 must be
+	// busier per the asymmetric load.
+	var u0, u1 float64
+	for _, c := range res.Centers {
+		if c.Name == "ECN1[0]" {
+			u0 = c.Utilization
+		}
+		if c.Name == "ECN1[1]" {
+			u1 = c.Utilization
+		}
+	}
+	if u0 == 0 && u1 == 0 {
+		t.Fatal("no ECN1 utilisation recorded")
+	}
+}
+
+func TestSimCustomPatternLocalOnly(t *testing.T) {
+	cfg := smallCfg(t, 20, network.NonBlocking)
+	opts := quickOpts(13, 2000)
+	opts.Pattern = workload.LocalBias{Locality: 1}
+	res, err := Run(cfg, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range res.Centers {
+		if c.Name == "ICN2" && c.Served != 0 {
+			t.Fatalf("fully local pattern still sent %d messages through ICN2", c.Served)
+		}
+	}
+}
+
+func TestSimDeterministicServiceReducesLatency(t *testing.T) {
+	// At moderate load M/D/1 waits are shorter than M/M/1 (PK formula),
+	// so the deterministic-service ablation must report lower latency.
+	cfg := smallCfg(t, 100, network.NonBlocking)
+	expRes, err := Run(cfg, quickOpts(14, 5000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := quickOpts(14, 5000)
+	o.ServiceDist = rng.Deterministic{Value: 1}
+	detRes, err := Run(cfg, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if detRes.MeanLatency() >= expRes.MeanLatency() {
+		t.Fatalf("deterministic service latency %v not below exponential %v",
+			detRes.MeanLatency(), expRes.MeanLatency())
+	}
+}
+
+func TestSimVariableMessageSizes(t *testing.T) {
+	cfg := smallCfg(t, 10, network.NonBlocking)
+	opts := quickOpts(15, 2000)
+	opts.SizeDist = workload.Bimodal{Small: 64, Large: 4096, SmallProb: 0.9}
+	res, err := Run(cfg, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MeanLatency() <= 0 {
+		t.Fatal("no latency measured")
+	}
+}
+
+func TestSimRejectsInvalid(t *testing.T) {
+	if _, err := Run(&core.Config{}, DefaultOptions()); err == nil {
+		t.Fatal("invalid config accepted")
+	}
+	cfg := smallCfg(t, 10, network.NonBlocking)
+	opts := DefaultOptions()
+	opts.WarmupMessages = -1
+	if _, err := Run(cfg, opts); err == nil {
+		t.Fatal("negative warmup accepted")
+	}
+}
+
+func TestRunReplications(t *testing.T) {
+	cfg := smallCfg(t, 50, network.NonBlocking)
+	opts := quickOpts(100, 1500)
+	agg, err := RunReplications(cfg, opts, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(agg.PerReplication) != 5 {
+		t.Fatalf("replications = %d", len(agg.PerReplication))
+	}
+	if agg.CI95 <= 0 {
+		t.Fatalf("CI95 = %v", agg.CI95)
+	}
+	// Replications must differ (independent seeds) but agree loosely.
+	for i := 1; i < 5; i++ {
+		if agg.PerReplication[i] == agg.PerReplication[0] {
+			t.Fatal("replications identical; seed derivation broken")
+		}
+	}
+	if agg.MeanLatency <= 0 || agg.Throughput <= 0 {
+		t.Fatal("aggregate metrics missing")
+	}
+	if _, err := RunReplications(cfg, opts, 0); err == nil {
+		t.Fatal("zero replications accepted")
+	}
+}
+
+func TestLayout(t *testing.T) {
+	cfg := &core.Config{
+		Clusters: []core.Cluster{
+			{Nodes: 3, Lambda: 1, ICN1: network.GigabitEthernet, ECN1: network.FastEthernet},
+			{Nodes: 5, Lambda: 1, ICN1: network.GigabitEthernet, ECN1: network.FastEthernet},
+			{Nodes: 2, Lambda: 1, ICN1: network.GigabitEthernet, ECN1: network.FastEthernet},
+		},
+		ICN2: network.FastEthernet, Arch: network.NonBlocking,
+		Switch: network.PaperSwitch, MessageBytes: 64,
+	}
+	l := newLayout(cfg)
+	if l.TotalNodes() != 10 || l.NumClusters() != 3 {
+		t.Fatalf("layout totals wrong: %d nodes, %d clusters", l.TotalNodes(), l.NumClusters())
+	}
+	wantCluster := []int{0, 0, 0, 1, 1, 1, 1, 1, 2, 2}
+	for node, want := range wantCluster {
+		if got := l.ClusterOf(node); got != want {
+			t.Fatalf("ClusterOf(%d) = %d, want %d", node, got, want)
+		}
+	}
+	lo, hi := l.ClusterRange(1)
+	if lo != 3 || hi != 8 {
+		t.Fatalf("ClusterRange(1) = [%d,%d)", lo, hi)
+	}
+}
+
+func TestLatencyCIBatchMeans(t *testing.T) {
+	cfg := smallCfg(t, 100, network.NonBlocking)
+	opts := quickOpts(31, 4000)
+	opts.RecordSample = true
+	res, err := Run(cfg, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ci, err := res.LatencyCI()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ci <= 0 {
+		t.Fatalf("CI = %v", ci)
+	}
+	// The batch-means CI must not be smaller than the (optimistic) naive
+	// standard-error-based interval by more than numerical noise.
+	naive := res.Latency.CI(0.95)
+	if ci < naive*0.5 {
+		t.Fatalf("batch-means CI %v implausibly below naive %v", ci, naive)
+	}
+	// Without a recorded sample the method refuses.
+	plain, err := Run(cfg, quickOpts(31, 500))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := plain.LatencyCI(); err == nil {
+		t.Fatal("LatencyCI without sample accepted")
+	}
+}

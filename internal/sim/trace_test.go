@@ -1,0 +1,92 @@
+package sim
+
+import (
+	"testing"
+
+	"hmscs/internal/network"
+	"hmscs/internal/trace"
+)
+
+func TestSimWithTraceRecordsJourneys(t *testing.T) {
+	cfg := smallCfg(t, 50, network.NonBlocking)
+	opts := quickOpts(21, 500)
+	opts.Trace = trace.NewRecorder(0)
+	res, err := Run(cfg, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := opts.Trace
+	if rec.Len() == 0 {
+		t.Fatal("no trace events recorded")
+	}
+	// Every generated message has a Generated event.
+	gen := 0
+	for _, e := range rec.Events() {
+		if e.Kind == trace.Generated {
+			gen++
+		}
+	}
+	if int64(gen) != res.Generated {
+		t.Fatalf("generated events %d != generated messages %d", gen, res.Generated)
+	}
+	// A delivered message's journey is well-formed: Generated first, then
+	// 1 (local) or 3 (remote) hops, then Delivered.
+	checked := 0
+	for id := int64(1); id <= 50; id++ {
+		j := rec.Journey(id)
+		if len(j) == 0 || j[len(j)-1].Kind != trace.Delivered {
+			continue // still in flight at stop
+		}
+		if j[0].Kind != trace.Generated {
+			t.Fatalf("journey %d does not start with generation: %+v", id, j)
+		}
+		hops := len(j) - 2
+		if hops != 1 && hops != 3 {
+			t.Fatalf("journey %d has %d hops, want 1 or 3: %+v", id, hops, j)
+		}
+		for k := 1; k < len(j); k++ {
+			if j[k].Time < j[k-1].Time {
+				t.Fatalf("journey %d not time-ordered: %+v", id, j)
+			}
+		}
+		checked++
+	}
+	if checked < 30 {
+		t.Fatalf("only %d complete journeys found", checked)
+	}
+	// Hop breakdown covers the centres.
+	stats := rec.HopBreakdown()
+	if len(stats) == 0 {
+		t.Fatal("no hop stats")
+	}
+	sawICN2 := false
+	for _, s := range stats {
+		if s.Where == "ICN2" {
+			sawICN2 = true
+			if s.Mean <= 0 {
+				t.Fatal("ICN2 mean hop time not positive")
+			}
+		}
+	}
+	if !sawICN2 {
+		t.Fatal("ICN2 missing from hop breakdown")
+	}
+}
+
+func TestSimTraceDoesNotChangeResults(t *testing.T) {
+	cfg := smallCfg(t, 50, network.NonBlocking)
+	plain, err := Run(cfg, quickOpts(22, 1000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	traced := quickOpts(22, 1000)
+	traced.Trace = trace.NewRecorder(0)
+	withTrace, err := Run(cfg, traced)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.MeanLatency() != withTrace.MeanLatency() {
+		t.Fatalf("tracing changed the simulation: %v vs %v",
+			plain.MeanLatency(), withTrace.MeanLatency())
+	}
+}

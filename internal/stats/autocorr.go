@@ -1,0 +1,85 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+)
+
+// Autocorrelation returns the lag-k sample autocorrelation of the series.
+// Simulation outputs (per-message latencies) are serially correlated;
+// this estimator justifies the batch size used by BatchMeans.
+func Autocorrelation(sample []float64, lag int) (float64, error) {
+	n := len(sample)
+	if lag < 0 {
+		return 0, fmt.Errorf("stats: negative lag %d", lag)
+	}
+	if n <= lag+1 {
+		return 0, fmt.Errorf("stats: %d observations cannot support lag %d", n, lag)
+	}
+	mean := 0.0
+	for _, x := range sample {
+		mean += x
+	}
+	mean /= float64(n)
+	var num, den float64
+	for i := 0; i < n; i++ {
+		d := sample[i] - mean
+		den += d * d
+		if i+lag < n {
+			num += d * (sample[i+lag] - mean)
+		}
+	}
+	if den == 0 {
+		return 0, fmt.Errorf("stats: constant series has undefined autocorrelation")
+	}
+	return num / den, nil
+}
+
+// EffectiveSampleSize estimates how many independent observations the
+// correlated series is worth, using the initial-positive-sequence
+// truncation of the autocorrelation sum (Geyer). It is the honest divisor
+// for variance estimates from a single run.
+func EffectiveSampleSize(sample []float64) (float64, error) {
+	n := len(sample)
+	if n < 4 {
+		return 0, fmt.Errorf("stats: need at least 4 observations, got %d", n)
+	}
+	sum := 0.0
+	maxLag := n / 4
+	for lag := 1; lag <= maxLag; lag++ {
+		r, err := Autocorrelation(sample, lag)
+		if err != nil {
+			return 0, err
+		}
+		if r <= 0 {
+			break
+		}
+		sum += r
+	}
+	ess := float64(n) / (1 + 2*sum)
+	if ess < 1 {
+		ess = 1
+	}
+	return ess, nil
+}
+
+// SuggestBatches proposes a batch count for BatchMeans such that batches
+// are long relative to the series' correlation length: the count is the
+// effective sample size capped to [2, 64].
+func SuggestBatches(sample []float64) (int, error) {
+	ess, err := EffectiveSampleSize(sample)
+	if err != nil {
+		return 0, err
+	}
+	b := int(math.Sqrt(ess))
+	if b < 2 {
+		b = 2
+	}
+	if b > 64 {
+		b = 64
+	}
+	if b > len(sample) {
+		b = len(sample)
+	}
+	return b, nil
+}

@@ -1,0 +1,161 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Histogram is a fixed-bucket linear histogram over [Lo, Hi) with overflow
+// and underflow buckets. It is used for message-latency distributions.
+type Histogram struct {
+	lo, hi    float64
+	width     float64
+	buckets   []int64
+	underflow int64
+	overflow  int64
+	total     int64
+}
+
+// NewHistogram creates a histogram with n equal-width buckets spanning
+// [lo, hi). It returns an error if the range is empty or n < 1.
+func NewHistogram(lo, hi float64, n int) (*Histogram, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("stats: histogram needs at least 1 bucket, got %d", n)
+	}
+	if !(hi > lo) {
+		return nil, fmt.Errorf("stats: histogram range [%g,%g) is empty", lo, hi)
+	}
+	return &Histogram{lo: lo, hi: hi, width: (hi - lo) / float64(n), buckets: make([]int64, n)}, nil
+}
+
+// Add records one observation.
+func (h *Histogram) Add(x float64) {
+	h.total++
+	switch {
+	case x < h.lo:
+		h.underflow++
+	case x >= h.hi:
+		h.overflow++
+	default:
+		i := int((x - h.lo) / h.width)
+		if i >= len(h.buckets) { // guard float rounding at the upper edge
+			i = len(h.buckets) - 1
+		}
+		h.buckets[i]++
+	}
+}
+
+// Total returns the number of observations recorded.
+func (h *Histogram) Total() int64 { return h.total }
+
+// Bucket returns the count in bucket i.
+func (h *Histogram) Bucket(i int) int64 { return h.buckets[i] }
+
+// NumBuckets returns the number of in-range buckets.
+func (h *Histogram) NumBuckets() int { return len(h.buckets) }
+
+// Underflow and Overflow return the out-of-range counts.
+func (h *Histogram) Underflow() int64 { return h.underflow }
+
+// Overflow returns the count of observations at or above the upper bound.
+func (h *Histogram) Overflow() int64 { return h.overflow }
+
+// Quantile returns an approximate q-quantile assuming uniform density
+// within each bucket. Out-of-range mass is clamped to the range edges.
+func (h *Histogram) Quantile(q float64) float64 {
+	if h.total == 0 || q < 0 || q > 1 {
+		return math.NaN()
+	}
+	target := q * float64(h.total)
+	cum := float64(h.underflow)
+	if target <= cum {
+		return h.lo
+	}
+	for i, c := range h.buckets {
+		next := cum + float64(c)
+		if target <= next && c > 0 {
+			frac := (target - cum) / float64(c)
+			return h.lo + (float64(i)+frac)*h.width
+		}
+		cum = next
+	}
+	return h.hi
+}
+
+// Render draws an ASCII bar chart of the histogram, maxWidth characters wide.
+func (h *Histogram) Render(maxWidth int) string {
+	if maxWidth < 1 {
+		maxWidth = 40
+	}
+	var peak int64 = 1
+	for _, c := range h.buckets {
+		if c > peak {
+			peak = c
+		}
+	}
+	var b strings.Builder
+	for i, c := range h.buckets {
+		lo := h.lo + float64(i)*h.width
+		bar := int(float64(c) / float64(peak) * float64(maxWidth))
+		fmt.Fprintf(&b, "%12.4g | %s %d\n", lo, strings.Repeat("#", bar), c)
+	}
+	if h.underflow > 0 {
+		fmt.Fprintf(&b, "   underflow | %d\n", h.underflow)
+	}
+	if h.overflow > 0 {
+		fmt.Fprintf(&b, "    overflow | %d\n", h.overflow)
+	}
+	return b.String()
+}
+
+// Percentile returns the p-th percentile (0..100) of a sample by sorting a
+// copy. Intended for modest sample sizes (e.g. per-run latencies).
+func Percentile(sample []float64, p float64) float64 {
+	if len(sample) == 0 || p < 0 || p > 100 {
+		return math.NaN()
+	}
+	s := make([]float64, len(sample))
+	copy(s, sample)
+	sort.Float64s(s)
+	if len(s) == 1 {
+		return s[0]
+	}
+	rank := p / 100 * float64(len(s)-1)
+	lo := int(math.Floor(rank))
+	hi := int(math.Ceil(rank))
+	if lo == hi {
+		return s[lo]
+	}
+	frac := rank - float64(lo)
+	return s[lo]*(1-frac) + s[hi]*frac
+}
+
+// BatchMeans splits a serially correlated sample into nBatches contiguous
+// batches and returns a Welford accumulator over the batch means, which is
+// the standard way to build confidence intervals from one long simulation
+// run. It returns an error when there are fewer observations than batches.
+func BatchMeans(sample []float64, nBatches int) (*Welford, error) {
+	if nBatches < 2 {
+		return nil, fmt.Errorf("stats: need at least 2 batches, got %d", nBatches)
+	}
+	if len(sample) < nBatches {
+		return nil, fmt.Errorf("stats: %d observations cannot fill %d batches", len(sample), nBatches)
+	}
+	per := len(sample) / nBatches
+	var w Welford
+	for b := 0; b < nBatches; b++ {
+		start := b * per
+		end := start + per
+		if b == nBatches-1 {
+			end = len(sample) // last batch absorbs the remainder
+		}
+		sum := 0.0
+		for _, v := range sample[start:end] {
+			sum += v
+		}
+		w.Add(sum / float64(end-start))
+	}
+	return &w, nil
+}

@@ -1,0 +1,158 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"hmscs/internal/rng"
+)
+
+func TestHistogramBasic(t *testing.T) {
+	h, err := NewHistogram(0, 10, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, x := range []float64{-1, 0, 0.5, 5, 9.999, 10, 42} {
+		h.Add(x)
+	}
+	if h.Total() != 7 {
+		t.Fatalf("total = %d", h.Total())
+	}
+	if h.Underflow() != 1 {
+		t.Fatalf("underflow = %d", h.Underflow())
+	}
+	if h.Overflow() != 2 {
+		t.Fatalf("overflow = %d", h.Overflow())
+	}
+	if h.Bucket(0) != 2 { // 0 and 0.5
+		t.Fatalf("bucket 0 = %d", h.Bucket(0))
+	}
+	if h.Bucket(5) != 1 {
+		t.Fatalf("bucket 5 = %d", h.Bucket(5))
+	}
+	if h.Bucket(9) != 1 { // 9.999
+		t.Fatalf("bucket 9 = %d", h.Bucket(9))
+	}
+	if h.NumBuckets() != 10 {
+		t.Fatalf("buckets = %d", h.NumBuckets())
+	}
+}
+
+func TestHistogramRejectsBadArgs(t *testing.T) {
+	if _, err := NewHistogram(0, 10, 0); err == nil {
+		t.Error("0 buckets should fail")
+	}
+	if _, err := NewHistogram(5, 5, 3); err == nil {
+		t.Error("empty range should fail")
+	}
+	if _, err := NewHistogram(5, 4, 3); err == nil {
+		t.Error("inverted range should fail")
+	}
+}
+
+func TestHistogramQuantile(t *testing.T) {
+	h, err := NewHistogram(0, 100, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := rng.NewStream(1)
+	for i := 0; i < 100000; i++ {
+		h.Add(st.Uniform(0, 100))
+	}
+	for _, q := range []float64{0.1, 0.5, 0.9} {
+		got := h.Quantile(q)
+		want := q * 100
+		if math.Abs(got-want) > 2 {
+			t.Errorf("quantile(%v) = %v, want about %v", q, got, want)
+		}
+	}
+	if !math.IsNaN(h.Quantile(-0.1)) || !math.IsNaN(h.Quantile(1.1)) {
+		t.Error("out-of-range quantile should be NaN")
+	}
+}
+
+func TestHistogramRender(t *testing.T) {
+	h, err := NewHistogram(0, 4, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.Add(-1)
+	h.Add(0.5)
+	h.Add(1.5)
+	h.Add(1.6)
+	h.Add(99)
+	out := h.Render(20)
+	if !strings.Contains(out, "underflow") || !strings.Contains(out, "overflow") {
+		t.Errorf("render missing under/overflow rows:\n%s", out)
+	}
+	if !strings.Contains(out, "#") {
+		t.Errorf("render has no bars:\n%s", out)
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	s := []float64{3, 1, 2, 5, 4}
+	if Percentile(s, 0) != 1 || Percentile(s, 100) != 5 {
+		t.Fatal("extreme percentiles wrong")
+	}
+	if Percentile(s, 50) != 3 {
+		t.Fatalf("median = %v", Percentile(s, 50))
+	}
+	// Interpolated: 25th percentile of 1..5 at rank 1.0 -> exactly 2.
+	if got := Percentile(s, 25); math.Abs(got-2) > 1e-12 {
+		t.Fatalf("p25 = %v", got)
+	}
+	if !math.IsNaN(Percentile(nil, 50)) {
+		t.Fatal("empty sample should be NaN")
+	}
+	// Must not mutate the input.
+	if s[0] != 3 {
+		t.Fatal("Percentile mutated its input")
+	}
+}
+
+func TestBatchMeans(t *testing.T) {
+	sample := make([]float64, 100)
+	for i := range sample {
+		sample[i] = float64(i % 10)
+	}
+	w, err := BatchMeans(sample, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.Count() != 10 {
+		t.Fatalf("batches = %d", w.Count())
+	}
+	// Every batch of 10 consecutive values 0..9 has mean 4.5.
+	if math.Abs(w.Mean()-4.5) > 1e-12 {
+		t.Fatalf("batch mean = %v", w.Mean())
+	}
+	if w.Variance() > 1e-20 {
+		t.Fatalf("variance should be 0 for identical batches, got %v", w.Variance())
+	}
+}
+
+func TestBatchMeansErrors(t *testing.T) {
+	if _, err := BatchMeans([]float64{1, 2, 3}, 1); err == nil {
+		t.Error("1 batch should fail")
+	}
+	if _, err := BatchMeans([]float64{1}, 2); err == nil {
+		t.Error("too few observations should fail")
+	}
+}
+
+func TestBatchMeansRemainder(t *testing.T) {
+	// 7 observations in 3 batches: 2+2+3. Overall mean of batch means should
+	// still be finite and within the sample range.
+	w, err := BatchMeans([]float64{1, 1, 2, 2, 3, 3, 3}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.Count() != 3 {
+		t.Fatalf("batches = %d", w.Count())
+	}
+	if w.Mean() < 1 || w.Mean() > 3 {
+		t.Fatalf("batch mean out of range: %v", w.Mean())
+	}
+}

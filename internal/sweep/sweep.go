@@ -1,0 +1,166 @@
+// Package sweep runs the parameter sweeps behind the paper's evaluation:
+// for each point of a figure it evaluates the analytical model and runs the
+// simulator, producing the paired series that Figures 4–7 plot (mean
+// message latency vs. number of clusters, for two message sizes).
+package sweep
+
+import (
+	"fmt"
+
+	"hmscs/internal/analytic"
+	"hmscs/internal/core"
+	"hmscs/internal/network"
+	"hmscs/internal/sim"
+	"hmscs/internal/validate"
+)
+
+// FigureSpec describes one of the paper's validation figures (or a custom
+// variant of it).
+type FigureSpec struct {
+	// Name labels the output, e.g. "Figure 4".
+	Name string
+	// Scenario is the Table 1 case.
+	Scenario core.Scenario
+	// Arch selects blocking/non-blocking.
+	Arch network.Architecture
+	// MessageSizes lists the plotted curves (bytes).
+	MessageSizes []int
+	// ClusterCounts is the x axis.
+	ClusterCounts []int
+}
+
+// PaperFigure returns the specification of Figures 4-7.
+func PaperFigure(n int) (FigureSpec, error) {
+	base := FigureSpec{
+		MessageSizes:  append([]int(nil), core.PaperMessageSizes...),
+		ClusterCounts: core.PaperClusterCounts(),
+	}
+	switch n {
+	case 4:
+		base.Name, base.Scenario, base.Arch = "Figure 4", core.Case1, network.NonBlocking
+	case 5:
+		base.Name, base.Scenario, base.Arch = "Figure 5", core.Case2, network.NonBlocking
+	case 6:
+		base.Name, base.Scenario, base.Arch = "Figure 6", core.Case1, network.Blocking
+	case 7:
+		base.Name, base.Scenario, base.Arch = "Figure 7", core.Case2, network.Blocking
+	default:
+		return FigureSpec{}, fmt.Errorf("sweep: the paper has figures 4-7, not %d", n)
+	}
+	return base, nil
+}
+
+// Options tunes a sweep run.
+type Options struct {
+	// Sim carries the per-run simulation options (seed, message counts,
+	// service distribution...). Zero values take sim defaults.
+	Sim sim.Options
+	// Replications per point; at least 1. More replications give CIs.
+	Replications int
+	// SkipSimulation evaluates only the analytical model (fast mode).
+	SkipSimulation bool
+}
+
+// DefaultOptions mirrors the paper's procedure with 3 replications.
+func DefaultOptions() Options {
+	return Options{Sim: sim.DefaultOptions(), Replications: 3}
+}
+
+// SeriesResult is one curve of a figure: a message size swept across
+// cluster counts.
+type SeriesResult struct {
+	MsgSize  int
+	Clusters []int
+	// Analytic and Simulated are mean latencies in seconds; SimCI holds
+	// the 95% half-widths (zeros when simulation was skipped).
+	Analytic  []float64
+	Simulated []float64
+	SimCI     []float64
+}
+
+// ValidationSeries converts the curve into a validate.Series.
+func (s *SeriesResult) ValidationSeries(name string) *validate.Series {
+	out := &validate.Series{Name: name}
+	for i := range s.Clusters {
+		out.Points = append(out.Points, validate.Point{
+			X:         float64(s.Clusters[i]),
+			Analytic:  s.Analytic[i],
+			Simulated: s.Simulated[i],
+			SimCI:     s.SimCI[i],
+		})
+	}
+	return out
+}
+
+// FigureResult is a fully evaluated figure.
+type FigureResult struct {
+	Spec   FigureSpec
+	Series []SeriesResult
+}
+
+// RunFigure evaluates a figure specification: for every (message size,
+// cluster count) it runs the analytical model and, unless skipped, the
+// simulator.
+func RunFigure(spec FigureSpec, opts Options) (*FigureResult, error) {
+	if opts.Replications < 1 {
+		opts.Replications = 1
+	}
+	res := &FigureResult{Spec: spec}
+	for _, msg := range spec.MessageSizes {
+		series := SeriesResult{MsgSize: msg}
+		for _, c := range spec.ClusterCounts {
+			cfg, err := core.PaperConfig(spec.Scenario, c, msg, spec.Arch)
+			if err != nil {
+				return nil, fmt.Errorf("sweep: %s C=%d: %w", spec.Name, c, err)
+			}
+			an, err := analytic.Analyze(cfg)
+			if err != nil {
+				return nil, fmt.Errorf("sweep: %s C=%d analysis: %w", spec.Name, c, err)
+			}
+			series.Clusters = append(series.Clusters, c)
+			series.Analytic = append(series.Analytic, an.MeanLatency)
+			if opts.SkipSimulation {
+				series.Simulated = append(series.Simulated, 0)
+				series.SimCI = append(series.SimCI, 0)
+				continue
+			}
+			agg, err := sim.RunReplications(cfg, opts.Sim, opts.Replications)
+			if err != nil {
+				return nil, fmt.Errorf("sweep: %s C=%d simulation: %w", spec.Name, c, err)
+			}
+			series.Simulated = append(series.Simulated, agg.MeanLatency)
+			series.SimCI = append(series.SimCI, agg.CI95)
+		}
+		res.Series = append(res.Series, series)
+	}
+	return res, nil
+}
+
+// CustomSweep evaluates an arbitrary list of configurations analytically
+// and by simulation, returning latencies in input order. It is the
+// building block for the non-figure sweeps (λ, Pr, locality...).
+func CustomSweep(cfgs []*core.Config, opts Options) (analytics, simulated, simCI []float64, err error) {
+	if opts.Replications < 1 {
+		opts.Replications = 1
+	}
+	analytics = make([]float64, len(cfgs))
+	simulated = make([]float64, len(cfgs))
+	simCI = make([]float64, len(cfgs))
+	for i, cfg := range cfgs {
+		an, err := analytic.Analyze(cfg)
+		if err != nil {
+			return nil, nil, nil, fmt.Errorf("sweep: config %d analysis: %w", i, err)
+		}
+		analytics[i] = an.MeanLatency
+		if opts.SkipSimulation {
+			continue
+		}
+		agg, err := sim.RunReplications(cfg, opts.Sim, opts.Replications)
+		if err != nil {
+			return nil, nil, nil, fmt.Errorf("sweep: config %d simulation: %w", i, err)
+		}
+		simulated[i] = agg.MeanLatency
+		simCI[i] = agg.CI95
+	}
+	return analytics, simulated, simCI, nil
+}

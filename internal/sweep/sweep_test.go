@@ -1,0 +1,210 @@
+package sweep
+
+import (
+	"strings"
+	"testing"
+
+	"hmscs/internal/core"
+	"hmscs/internal/network"
+	"hmscs/internal/sim"
+)
+
+func fastOpts() Options {
+	o := DefaultOptions()
+	o.Sim.WarmupMessages = 500
+	o.Sim.MeasuredMessages = 3000
+	o.Replications = 2
+	return o
+}
+
+func TestPaperFigureSpecs(t *testing.T) {
+	cases := []struct {
+		n        int
+		scenario core.Scenario
+		arch     network.Architecture
+	}{
+		{4, core.Case1, network.NonBlocking},
+		{5, core.Case2, network.NonBlocking},
+		{6, core.Case1, network.Blocking},
+		{7, core.Case2, network.Blocking},
+	}
+	for _, c := range cases {
+		spec, err := PaperFigure(c.n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if spec.Scenario != c.scenario || spec.Arch != c.arch {
+			t.Errorf("figure %d spec = %+v", c.n, spec)
+		}
+		if len(spec.MessageSizes) != 2 || len(spec.ClusterCounts) != 9 {
+			t.Errorf("figure %d axes wrong", c.n)
+		}
+	}
+	for _, n := range []int{0, 3, 8} {
+		if _, err := PaperFigure(n); err == nil {
+			t.Errorf("figure %d accepted", n)
+		}
+	}
+}
+
+func TestRunFigureAnalyticOnly(t *testing.T) {
+	spec, err := PaperFigure(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := DefaultOptions()
+	opts.SkipSimulation = true
+	res, err := RunFigure(spec, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Series) != 2 {
+		t.Fatalf("series = %d", len(res.Series))
+	}
+	for _, s := range res.Series {
+		if len(s.Clusters) != 9 {
+			t.Fatalf("points = %d", len(s.Clusters))
+		}
+		for i, a := range s.Analytic {
+			if a <= 0 {
+				t.Fatalf("analytic latency %v at C=%d", a, s.Clusters[i])
+			}
+			if s.Simulated[i] != 0 {
+				t.Fatal("simulation ran despite SkipSimulation")
+			}
+		}
+	}
+	// M=1024 curve must dominate M=512 everywhere (same platform, larger
+	// messages).
+	for i := range res.Series[0].Clusters {
+		if res.Series[1].MsgSize == 1024 && res.Series[1].Analytic[i] <= res.Series[0].Analytic[i] {
+			t.Fatalf("M=1024 not slower at C=%d", res.Series[0].Clusters[i])
+		}
+	}
+}
+
+func TestRunFigureWithSimulationAgrees(t *testing.T) {
+	// Reduced figure 4: two cluster counts, small run. The analytic model
+	// must track simulation within 15% MAPE (the full sweep achieves ~2%).
+	spec, err := PaperFigure(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec.ClusterCounts = []int{2, 16}
+	spec.MessageSizes = []int{1024}
+	res, err := RunFigure(spec, fastOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	vs := res.Series[0].ValidationSeries("fig4-reduced")
+	if err := vs.Check(0.15); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunFigureBlockingAgrees(t *testing.T) {
+	spec, err := PaperFigure(6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec.ClusterCounts = []int{8, 32}
+	spec.MessageSizes = []int{512}
+	res, err := RunFigure(spec, fastOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	vs := res.Series[0].ValidationSeries("fig6-reduced")
+	if err := vs.Check(0.15); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunFigureRejectsBadSpec(t *testing.T) {
+	spec := FigureSpec{
+		Name:          "bogus",
+		Scenario:      core.Case1,
+		Arch:          network.NonBlocking,
+		MessageSizes:  []int{1024},
+		ClusterCounts: []int{3}, // does not divide 256
+	}
+	if _, err := RunFigure(spec, Options{SkipSimulation: true}); err == nil {
+		t.Fatal("bad cluster count accepted")
+	}
+	if !strings.Contains(spec.Name, "bogus") {
+		t.Fatal("sanity")
+	}
+}
+
+func TestCustomSweep(t *testing.T) {
+	var cfgs []*core.Config
+	for _, lambda := range []float64{10, 50} {
+		cfg, err := core.NewSuperCluster(4, 8, lambda, network.GigabitEthernet,
+			network.FastEthernet, network.NonBlocking, network.PaperSwitch, 1024)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfgs = append(cfgs, cfg)
+	}
+	opts := fastOpts()
+	an, simVals, ci, err := CustomSweep(cfgs, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(an) != 2 || len(simVals) != 2 || len(ci) != 2 {
+		t.Fatal("output lengths wrong")
+	}
+	// Higher load must not reduce latency.
+	if an[1] < an[0] {
+		t.Fatalf("analytic latency fell with load: %v -> %v", an[0], an[1])
+	}
+	if simVals[1] < simVals[0]*0.9 {
+		t.Fatalf("simulated latency fell with load: %v -> %v", simVals[0], simVals[1])
+	}
+}
+
+func TestCustomSweepAnalyticOnly(t *testing.T) {
+	cfg, err := core.PaperConfig(core.Case1, 4, 512, network.NonBlocking)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := Options{SkipSimulation: true}
+	an, simVals, _, err := CustomSweep([]*core.Config{cfg}, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if an[0] <= 0 || simVals[0] != 0 {
+		t.Fatal("analytic-only sweep wrong")
+	}
+}
+
+func TestCustomSweepPropagatesErrors(t *testing.T) {
+	bad := &core.Config{}
+	if _, _, _, err := CustomSweep([]*core.Config{bad}, Options{SkipSimulation: true}); err == nil {
+		t.Fatal("invalid config accepted")
+	}
+}
+
+func TestSimulationMatchesDefaultSeedDeterminism(t *testing.T) {
+	spec, err := PaperFigure(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec.ClusterCounts = []int{4}
+	spec.MessageSizes = []int{512}
+	opts := fastOpts()
+	opts.Sim.Seed = 99
+	opts.Replications = 1
+	a, err := RunFigure(spec, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunFigure(spec, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Series[0].Simulated[0] != b.Series[0].Simulated[0] {
+		t.Fatal("sweep is not reproducible with fixed seed")
+	}
+}
+
+var _ = sim.DefaultOptions // keep import for clarity of fastOpts

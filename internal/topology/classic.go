@@ -1,0 +1,201 @@
+package topology
+
+import (
+	"fmt"
+	"math"
+)
+
+// This file provides the classic direct topologies with their standard
+// bisection widths. They are not part of the paper's two interconnect
+// models but back the bisection-bandwidth discussion of §5.1 and the
+// topology-comparison example, and give the blocking/non-blocking dichotomy
+// context: any topology whose bisection width is below ⌈N/2⌉ exhibits the
+// same throughput slash the paper models for the linear array.
+
+// Crossbar is a single ideal N-port switch.
+type Crossbar struct{ N int }
+
+// NewCrossbar validates and constructs a crossbar.
+func NewCrossbar(n int) (*Crossbar, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("topology: crossbar needs at least 1 node, got %d", n)
+	}
+	return &Crossbar{N: n}, nil
+}
+
+// Name implements Topology.
+func (c *Crossbar) Name() string { return "crossbar" }
+
+// Nodes implements Topology.
+func (c *Crossbar) Nodes() int { return c.N }
+
+// Switches implements Topology.
+func (c *Crossbar) Switches() int { return 1 }
+
+// SwitchesTraversed implements Topology.
+func (c *Crossbar) SwitchesTraversed() float64 { return 1 }
+
+// BisectionWidth implements Topology.
+func (c *Crossbar) BisectionWidth() int { return ceilDiv(c.N, 2) }
+
+// FullBisection implements Topology.
+func (c *Crossbar) FullBisection() bool { return true }
+
+// Ring is a cycle of N nodes with one link between neighbours.
+type Ring struct{ N int }
+
+// NewRing validates and constructs a ring.
+func NewRing(n int) (*Ring, error) {
+	if n < 3 {
+		return nil, fmt.Errorf("topology: ring needs at least 3 nodes, got %d", n)
+	}
+	return &Ring{N: n}, nil
+}
+
+// Name implements Topology.
+func (r *Ring) Name() string { return "ring" }
+
+// Nodes implements Topology.
+func (r *Ring) Nodes() int { return r.N }
+
+// Switches implements Topology.
+func (r *Ring) Switches() int { return r.N }
+
+// SwitchesTraversed returns the mean shortest-path hop count ≈ N/4.
+func (r *Ring) SwitchesTraversed() float64 { return float64(r.N) / 4 }
+
+// BisectionWidth implements Topology: any equal split cuts two links.
+func (r *Ring) BisectionWidth() int { return 2 }
+
+// FullBisection implements Topology.
+func (r *Ring) FullBisection() bool { return 2 >= ceilDiv(r.N, 2) }
+
+// Mesh2D is a k x k two-dimensional mesh without wraparound.
+type Mesh2D struct{ K int }
+
+// NewMesh2D validates and constructs a k x k mesh.
+func NewMesh2D(k int) (*Mesh2D, error) {
+	if k < 2 {
+		return nil, fmt.Errorf("topology: mesh side must be >= 2, got %d", k)
+	}
+	return &Mesh2D{K: k}, nil
+}
+
+// Name implements Topology.
+func (m *Mesh2D) Name() string { return "mesh2d" }
+
+// Nodes implements Topology.
+func (m *Mesh2D) Nodes() int { return m.K * m.K }
+
+// Switches implements Topology.
+func (m *Mesh2D) Switches() int { return m.K * m.K }
+
+// SwitchesTraversed returns the mean Manhattan distance ≈ 2k/3.
+func (m *Mesh2D) SwitchesTraversed() float64 { return 2 * float64(m.K) / 3 }
+
+// BisectionWidth implements Topology: a vertical cut crosses k links.
+func (m *Mesh2D) BisectionWidth() int { return m.K }
+
+// FullBisection implements Topology.
+func (m *Mesh2D) FullBisection() bool { return m.K >= ceilDiv(m.Nodes(), 2) }
+
+// Torus2D is a k x k two-dimensional torus (mesh with wraparound).
+type Torus2D struct{ K int }
+
+// NewTorus2D validates and constructs a k x k torus.
+func NewTorus2D(k int) (*Torus2D, error) {
+	if k < 3 {
+		return nil, fmt.Errorf("topology: torus side must be >= 3, got %d", k)
+	}
+	return &Torus2D{K: k}, nil
+}
+
+// Name implements Topology.
+func (t *Torus2D) Name() string { return "torus2d" }
+
+// Nodes implements Topology.
+func (t *Torus2D) Nodes() int { return t.K * t.K }
+
+// Switches implements Topology.
+func (t *Torus2D) Switches() int { return t.K * t.K }
+
+// SwitchesTraversed returns the mean hop count ≈ k/2.
+func (t *Torus2D) SwitchesTraversed() float64 { return float64(t.K) / 2 }
+
+// BisectionWidth implements Topology: wraparound doubles the mesh cut.
+func (t *Torus2D) BisectionWidth() int { return 2 * t.K }
+
+// FullBisection implements Topology.
+func (t *Torus2D) FullBisection() bool { return 2*t.K >= ceilDiv(t.Nodes(), 2) }
+
+// Hypercube is an n-dimensional binary hypercube with 2^n nodes.
+type Hypercube struct{ Dim int }
+
+// NewHypercube validates and constructs a hypercube of the given dimension.
+func NewHypercube(dim int) (*Hypercube, error) {
+	if dim < 1 || dim > 30 {
+		return nil, fmt.Errorf("topology: hypercube dimension must be in [1,30], got %d", dim)
+	}
+	return &Hypercube{Dim: dim}, nil
+}
+
+// Name implements Topology.
+func (h *Hypercube) Name() string { return "hypercube" }
+
+// Nodes implements Topology.
+func (h *Hypercube) Nodes() int { return 1 << h.Dim }
+
+// Switches implements Topology.
+func (h *Hypercube) Switches() int { return h.Nodes() }
+
+// SwitchesTraversed returns the mean Hamming distance n/2.
+func (h *Hypercube) SwitchesTraversed() float64 { return float64(h.Dim) / 2 }
+
+// BisectionWidth implements Topology: N/2 links cross any dimension cut.
+func (h *Hypercube) BisectionWidth() int { return h.Nodes() / 2 }
+
+// FullBisection implements Topology.
+func (h *Hypercube) FullBisection() bool { return true }
+
+// BinaryTree is a complete binary tree with N leaves (the compute nodes at
+// the leaves, switches at internal vertices). The paper's §5.1 example: its
+// bisection width is 1.
+type BinaryTree struct{ Leaves int }
+
+// NewBinaryTree validates and constructs a binary tree over the given
+// number of leaves, which must be a power of two >= 2.
+func NewBinaryTree(leaves int) (*BinaryTree, error) {
+	if leaves < 2 || leaves&(leaves-1) != 0 {
+		return nil, fmt.Errorf("topology: binary tree leaves must be a power of two >= 2, got %d", leaves)
+	}
+	return &BinaryTree{Leaves: leaves}, nil
+}
+
+// Name implements Topology.
+func (b *BinaryTree) Name() string { return "binary-tree" }
+
+// Nodes implements Topology.
+func (b *BinaryTree) Nodes() int { return b.Leaves }
+
+// Switches implements Topology.
+func (b *BinaryTree) Switches() int { return b.Leaves - 1 }
+
+// SwitchesTraversed returns an estimate of the mean path length: most
+// random pairs must climb near the root, ≈ 2·log2(leaves) − 1 hops.
+func (b *BinaryTree) SwitchesTraversed() float64 {
+	return 2*math.Log2(float64(b.Leaves)) - 1
+}
+
+// BisectionWidth implements Topology: removing one root link splits the
+// tree (the paper's example).
+func (b *BinaryTree) BisectionWidth() int { return 1 }
+
+// FullBisection implements Topology.
+func (b *BinaryTree) FullBisection() bool { return b.Leaves <= 2 }
+
+// NPerBisectionSteps returns the paper's §5.1 figure of merit: with
+// bisection width b much smaller than n, shipping values across the machine
+// costs n/b serialised steps.
+func NPerBisectionSteps(t Topology) float64 {
+	return float64(t.Nodes()) / float64(t.BisectionWidth())
+}

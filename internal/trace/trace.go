@@ -1,0 +1,160 @@
+// Package trace records per-message journeys through the simulator: when
+// each message was generated, when it cleared each service centre, and when
+// it was delivered. Traces back post-mortem analysis (per-hop latency
+// decomposition) and export to CSV for external plotting.
+package trace
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+// Kind labels a trace event.
+type Kind int
+
+const (
+	// Generated marks message creation at the source processor.
+	Generated Kind = iota
+	// HopDone marks completion of service at one centre.
+	HopDone
+	// Delivered marks final delivery at the destination.
+	Delivered
+)
+
+func (k Kind) String() string {
+	switch k {
+	case Generated:
+		return "generated"
+	case HopDone:
+		return "hop-done"
+	case Delivered:
+		return "delivered"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// Event is one step of one message's journey.
+type Event struct {
+	MsgID int64
+	Time  float64 // simulation seconds
+	Kind  Kind
+	Where string // centre name, or "proc:<id>" for endpoints
+}
+
+// Recorder accumulates events up to a configurable cap. It is not
+// goroutine-safe: use one recorder per simulation run.
+type Recorder struct {
+	maxEvents int
+	events    []Event
+	dropped   int64
+}
+
+// NewRecorder creates a recorder that keeps at most maxEvents events
+// (older events are never evicted; once full, new events are counted as
+// dropped). maxEvents <= 0 selects a 1M-event default.
+func NewRecorder(maxEvents int) *Recorder {
+	if maxEvents <= 0 {
+		maxEvents = 1 << 20
+	}
+	return &Recorder{maxEvents: maxEvents}
+}
+
+// Record appends one event.
+func (r *Recorder) Record(msgID int64, t float64, kind Kind, where string) {
+	if len(r.events) >= r.maxEvents {
+		r.dropped++
+		return
+	}
+	r.events = append(r.events, Event{MsgID: msgID, Time: t, Kind: kind, Where: where})
+}
+
+// Len returns the number of retained events.
+func (r *Recorder) Len() int { return len(r.events) }
+
+// Dropped returns the number of events discarded after the cap was hit.
+func (r *Recorder) Dropped() int64 { return r.dropped }
+
+// Events returns the retained events in record order.
+func (r *Recorder) Events() []Event { return r.events }
+
+// Journey returns the events of one message in time order.
+func (r *Recorder) Journey(msgID int64) []Event {
+	var out []Event
+	for _, e := range r.events {
+		if e.MsgID == msgID {
+			out = append(out, e)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Time < out[j].Time })
+	return out
+}
+
+// WriteCSV streams the events as msg_id,time_s,kind,where rows.
+func (r *Recorder) WriteCSV(w io.Writer) error {
+	if _, err := fmt.Fprintln(w, "msg_id,time_s,kind,where"); err != nil {
+		return err
+	}
+	for _, e := range r.events {
+		if _, err := fmt.Fprintf(w, "%d,%.9f,%s,%s\n", e.MsgID, e.Time, e.Kind, e.Where); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// HopStat summarises the time messages spend between consecutive events at
+// one location.
+type HopStat struct {
+	Where string
+	Count int64
+	Mean  float64
+	Max   float64
+}
+
+// HopBreakdown computes, for each centre, the mean time from the previous
+// event of the same message to that centre's hop-done event: queueing plus
+// service at that hop.
+func (r *Recorder) HopBreakdown() []HopStat {
+	type acc struct {
+		count int64
+		sum   float64
+		max   float64
+	}
+	last := make(map[int64]float64)
+	per := make(map[string]*acc)
+	for _, e := range r.events {
+		switch e.Kind {
+		case Generated:
+			last[e.MsgID] = e.Time
+		case HopDone, Delivered:
+			prev, ok := last[e.MsgID]
+			if !ok {
+				continue // journey head fell outside the retained window
+			}
+			dt := e.Time - prev
+			a := per[e.Where]
+			if a == nil {
+				a = &acc{}
+				per[e.Where] = a
+			}
+			a.count++
+			a.sum += dt
+			if dt > a.max {
+				a.max = dt
+			}
+			if e.Kind == Delivered {
+				delete(last, e.MsgID)
+			} else {
+				last[e.MsgID] = e.Time
+			}
+		}
+	}
+	out := make([]HopStat, 0, len(per))
+	for where, a := range per {
+		out = append(out, HopStat{Where: where, Count: a.count, Mean: a.sum / float64(a.count), Max: a.max})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Where < out[j].Where })
+	return out
+}

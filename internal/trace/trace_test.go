@@ -1,0 +1,113 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRecorderBasics(t *testing.T) {
+	r := NewRecorder(100)
+	r.Record(1, 0.0, Generated, "proc:0")
+	r.Record(1, 0.5, HopDone, "ICN1[0]")
+	r.Record(1, 0.7, Delivered, "proc:3")
+	if r.Len() != 3 {
+		t.Fatalf("len = %d", r.Len())
+	}
+	if r.Dropped() != 0 {
+		t.Fatalf("dropped = %d", r.Dropped())
+	}
+	j := r.Journey(1)
+	if len(j) != 3 || j[0].Kind != Generated || j[2].Kind != Delivered {
+		t.Fatalf("journey = %+v", j)
+	}
+	if len(r.Journey(99)) != 0 {
+		t.Fatal("phantom journey")
+	}
+}
+
+func TestRecorderCap(t *testing.T) {
+	r := NewRecorder(2)
+	for i := 0; i < 5; i++ {
+		r.Record(int64(i), float64(i), Generated, "x")
+	}
+	if r.Len() != 2 {
+		t.Fatalf("len = %d", r.Len())
+	}
+	if r.Dropped() != 3 {
+		t.Fatalf("dropped = %d", r.Dropped())
+	}
+}
+
+func TestRecorderDefaultCap(t *testing.T) {
+	r := NewRecorder(0)
+	r.Record(1, 0, Generated, "x")
+	if r.Len() != 1 {
+		t.Fatal("default-cap recorder rejected an event")
+	}
+}
+
+func TestWriteCSV(t *testing.T) {
+	r := NewRecorder(10)
+	r.Record(7, 1.25, Generated, "proc:2")
+	r.Record(7, 1.5, Delivered, "proc:9")
+	var b strings.Builder
+	if err := r.WriteCSV(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("csv lines = %d", len(lines))
+	}
+	if lines[0] != "msg_id,time_s,kind,where" {
+		t.Fatalf("header = %q", lines[0])
+	}
+	if !strings.Contains(lines[1], "7,1.250000000,generated,proc:2") {
+		t.Fatalf("row = %q", lines[1])
+	}
+}
+
+func TestHopBreakdown(t *testing.T) {
+	r := NewRecorder(100)
+	// Message 1: gen at 0, ECN1 at 2, ICN2 at 5, delivered at 6.
+	r.Record(1, 0, Generated, "proc:0")
+	r.Record(1, 2, HopDone, "ECN1[0]")
+	r.Record(1, 5, HopDone, "ICN2")
+	r.Record(1, 6, Delivered, "proc:8")
+	// Message 2: gen at 10, ECN1 at 14.
+	r.Record(2, 10, Generated, "proc:1")
+	r.Record(2, 14, HopDone, "ECN1[0]")
+	stats := r.HopBreakdown()
+	byWhere := map[string]HopStat{}
+	for _, s := range stats {
+		byWhere[s.Where] = s
+	}
+	e := byWhere["ECN1[0]"]
+	if e.Count != 2 || e.Mean != 3 || e.Max != 4 {
+		t.Fatalf("ECN1 stats = %+v", e)
+	}
+	if byWhere["ICN2"].Mean != 3 {
+		t.Fatalf("ICN2 stats = %+v", byWhere["ICN2"])
+	}
+	if byWhere["proc:8"].Mean != 1 {
+		t.Fatalf("delivery stats = %+v", byWhere["proc:8"])
+	}
+}
+
+func TestHopBreakdownIgnoresHeadlessJourneys(t *testing.T) {
+	r := NewRecorder(100)
+	// Hop without a preceding Generated (fell outside the cap window).
+	r.Record(1, 5, HopDone, "ICN2")
+	if len(r.HopBreakdown()) != 0 {
+		t.Fatal("headless hop produced stats")
+	}
+}
+
+func TestKindString(t *testing.T) {
+	if Generated.String() != "generated" || HopDone.String() != "hop-done" || Delivered.String() != "delivered" {
+		t.Fatal("kind strings wrong")
+	}
+	if !strings.Contains(Kind(9).String(), "9") {
+		t.Fatal("unknown kind should render its value")
+	}
+}

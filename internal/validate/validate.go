@@ -1,0 +1,127 @@
+// Package validate compares analytical predictions against simulation
+// measurements, the paper's §6 methodology: for each configuration the two
+// estimates are paired, and series-level error summaries decide whether the
+// model "predicts the average message latency with good degree of accuracy".
+package validate
+
+import (
+	"fmt"
+	"math"
+
+	"hmscs/internal/stats"
+)
+
+// Point pairs one configuration's analytic prediction with its simulated
+// measurement.
+type Point struct {
+	// X is the sweep coordinate (e.g. the number of clusters).
+	X float64
+	// Analytic is the model's mean latency (seconds).
+	Analytic float64
+	// Simulated is the measured mean latency (seconds).
+	Simulated float64
+	// SimCI is the 95% confidence half-width of Simulated (0 when a single
+	// replication was run).
+	SimCI float64
+}
+
+// RelErr returns |analytic − simulated| / simulated.
+func (p Point) RelErr() float64 { return stats.RelError(p.Analytic, p.Simulated) }
+
+// WithinCI reports whether the analytic value lies inside the simulation's
+// confidence interval inflated by the given factor.
+func (p Point) WithinCI(inflate float64) bool {
+	if p.SimCI <= 0 {
+		return false
+	}
+	return math.Abs(p.Analytic-p.Simulated) <= inflate*p.SimCI
+}
+
+// Series is a sweep of paired points, e.g. one curve of a paper figure.
+type Series struct {
+	Name   string
+	Points []Point
+}
+
+// MAPE returns the mean absolute percentage error of the analytic curve
+// against the simulated one (as a fraction).
+func (s *Series) MAPE() (float64, error) {
+	if len(s.Points) == 0 {
+		return 0, fmt.Errorf("validate: series %q is empty", s.Name)
+	}
+	sum := 0.0
+	for _, p := range s.Points {
+		e := p.RelErr()
+		if math.IsNaN(e) {
+			return 0, fmt.Errorf("validate: series %q has zero simulated value at x=%g", s.Name, p.X)
+		}
+		sum += e
+	}
+	return sum / float64(len(s.Points)), nil
+}
+
+// MaxRelErr returns the worst per-point relative error.
+func (s *Series) MaxRelErr() float64 {
+	worst := 0.0
+	for _, p := range s.Points {
+		if e := p.RelErr(); e > worst {
+			worst = e
+		}
+	}
+	return worst
+}
+
+// Check verifies the series against a MAPE threshold, returning a
+// descriptive error on failure.
+func (s *Series) Check(maxMAPE float64) error {
+	m, err := s.MAPE()
+	if err != nil {
+		return err
+	}
+	if m > maxMAPE {
+		return fmt.Errorf("validate: series %q MAPE %.1f%% exceeds threshold %.1f%% (worst point %.1f%%)",
+			s.Name, m*100, maxMAPE*100, s.MaxRelErr()*100)
+	}
+	return nil
+}
+
+// ShapeMonotoneAfter verifies the qualitative claim that the curve rises
+// (weakly, within tolerance) for x >= from — the paper's figures all climb
+// toward C=256 after the single-switch dip region.
+func (s *Series) ShapeMonotoneAfter(from, slack float64) error {
+	var prev *Point
+	for i := range s.Points {
+		p := &s.Points[i]
+		if p.X < from {
+			continue
+		}
+		if prev != nil && p.Simulated < prev.Simulated*(1-slack) {
+			return fmt.Errorf("validate: series %q drops from %.4g to %.4g between x=%g and x=%g",
+				s.Name, prev.Simulated, p.Simulated, prev.X, p.X)
+		}
+		prev = p
+	}
+	return nil
+}
+
+// RatioSeries computes per-x ratios between two series (e.g. blocking over
+// non-blocking latency, the paper's 1.4x-3.1x claim). The series must share
+// x coordinates.
+func RatioSeries(num, den *Series) ([]float64, error) {
+	if len(num.Points) != len(den.Points) {
+		return nil, fmt.Errorf("validate: ratio of series with %d vs %d points",
+			len(num.Points), len(den.Points))
+	}
+	out := make([]float64, len(num.Points))
+	for i := range num.Points {
+		if num.Points[i].X != den.Points[i].X {
+			return nil, fmt.Errorf("validate: x mismatch at %d: %g vs %g",
+				i, num.Points[i].X, den.Points[i].X)
+		}
+		if den.Points[i].Simulated == 0 {
+			return nil, fmt.Errorf("validate: zero denominator at x=%g", den.Points[i].X)
+		}
+		out[i] = num.Points[i].Simulated / den.Points[i].Simulated
+	}
+	return out, nil
+}

@@ -1,0 +1,117 @@
+package validate
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestPointRelErrAndCI(t *testing.T) {
+	p := Point{X: 4, Analytic: 11, Simulated: 10, SimCI: 0.5}
+	if math.Abs(p.RelErr()-0.1) > 1e-12 {
+		t.Fatalf("rel err = %v", p.RelErr())
+	}
+	if p.WithinCI(1) {
+		t.Fatal("1.0 difference should be outside 0.5 CI")
+	}
+	if !p.WithinCI(2.5) {
+		t.Fatal("should be within inflated CI")
+	}
+	noCI := Point{Analytic: 1, Simulated: 1, SimCI: 0}
+	if noCI.WithinCI(1) {
+		t.Fatal("zero CI can never contain")
+	}
+}
+
+func TestSeriesMAPE(t *testing.T) {
+	s := &Series{Name: "x", Points: []Point{
+		{X: 1, Analytic: 11, Simulated: 10},
+		{X: 2, Analytic: 18, Simulated: 20},
+	}}
+	m, err := s.MAPE()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(m-0.1) > 1e-12 {
+		t.Fatalf("MAPE = %v, want 0.1", m)
+	}
+	if math.Abs(s.MaxRelErr()-0.1) > 1e-12 {
+		t.Fatalf("max rel err = %v", s.MaxRelErr())
+	}
+}
+
+func TestSeriesMAPEErrors(t *testing.T) {
+	empty := &Series{Name: "empty"}
+	if _, err := empty.MAPE(); err == nil {
+		t.Fatal("empty series accepted")
+	}
+	zero := &Series{Name: "zero", Points: []Point{{X: 1, Analytic: 1, Simulated: 0}}}
+	if _, err := zero.MAPE(); err == nil {
+		t.Fatal("zero simulated value accepted")
+	}
+}
+
+func TestSeriesCheck(t *testing.T) {
+	s := &Series{Name: "curve", Points: []Point{
+		{X: 1, Analytic: 12, Simulated: 10},
+	}}
+	if err := s.Check(0.25); err != nil {
+		t.Fatalf("20%% error should pass 25%% threshold: %v", err)
+	}
+	err := s.Check(0.1)
+	if err == nil {
+		t.Fatal("20% error should fail 10% threshold")
+	}
+	if !strings.Contains(err.Error(), "curve") {
+		t.Fatalf("error should name the series: %v", err)
+	}
+}
+
+func TestShapeMonotoneAfter(t *testing.T) {
+	rising := &Series{Name: "rise", Points: []Point{
+		{X: 1, Simulated: 5}, {X: 2, Simulated: 3}, // dip before 'from'
+		{X: 16, Simulated: 2}, {X: 64, Simulated: 4}, {X: 256, Simulated: 9},
+	}}
+	if err := rising.ShapeMonotoneAfter(16, 0.05); err != nil {
+		t.Fatalf("rising curve rejected: %v", err)
+	}
+	falling := &Series{Name: "fall", Points: []Point{
+		{X: 16, Simulated: 5}, {X: 64, Simulated: 2},
+	}}
+	if err := falling.ShapeMonotoneAfter(16, 0.05); err == nil {
+		t.Fatal("falling curve accepted")
+	}
+	// Small wobble within slack passes.
+	wobble := &Series{Name: "wobble", Points: []Point{
+		{X: 16, Simulated: 5}, {X: 64, Simulated: 4.9},
+	}}
+	if err := wobble.ShapeMonotoneAfter(16, 0.05); err != nil {
+		t.Fatalf("wobble within slack rejected: %v", err)
+	}
+}
+
+func TestRatioSeries(t *testing.T) {
+	num := &Series{Points: []Point{{X: 1, Simulated: 6}, {X: 2, Simulated: 10}}}
+	den := &Series{Points: []Point{{X: 1, Simulated: 2}, {X: 2, Simulated: 5}}}
+	r, err := RatioSeries(num, den)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r[0] != 3 || r[1] != 2 {
+		t.Fatalf("ratios = %v", r)
+	}
+	// Length mismatch.
+	if _, err := RatioSeries(num, &Series{}); err == nil {
+		t.Fatal("length mismatch accepted")
+	}
+	// X mismatch.
+	bad := &Series{Points: []Point{{X: 9, Simulated: 1}, {X: 2, Simulated: 1}}}
+	if _, err := RatioSeries(num, bad); err == nil {
+		t.Fatal("x mismatch accepted")
+	}
+	// Zero denominator.
+	zero := &Series{Points: []Point{{X: 1, Simulated: 0}, {X: 2, Simulated: 1}}}
+	if _, err := RatioSeries(num, zero); err == nil {
+		t.Fatal("zero denominator accepted")
+	}
+}

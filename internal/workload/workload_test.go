@@ -1,0 +1,262 @@
+package workload
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"hmscs/internal/rng"
+)
+
+// fakeSystem is a simple layout: nc clusters of size each.
+type fakeSystem struct {
+	nc, size int
+}
+
+func (f fakeSystem) TotalNodes() int  { return f.nc * f.size }
+func (f fakeSystem) NumClusters() int { return f.nc }
+func (f fakeSystem) ClusterOf(node int) int {
+	return node / f.size
+}
+func (f fakeSystem) ClusterRange(c int) (int, int) {
+	return c * f.size, (c + 1) * f.size
+}
+
+func TestUniformNeverSelf(t *testing.T) {
+	sys := fakeSystem{nc: 4, size: 4}
+	st := rng.NewStream(1)
+	p := Uniform{}
+	for src := 0; src < sys.TotalNodes(); src++ {
+		for i := 0; i < 500; i++ {
+			d := p.Dest(st, sys, src)
+			if d == src {
+				t.Fatalf("uniform chose self for src=%d", src)
+			}
+			if d < 0 || d >= sys.TotalNodes() {
+				t.Fatalf("dest %d out of range", d)
+			}
+		}
+	}
+}
+
+func TestUniformIsUniform(t *testing.T) {
+	sys := fakeSystem{nc: 2, size: 4}
+	st := rng.NewStream(2)
+	p := Uniform{}
+	counts := make([]int, sys.TotalNodes())
+	const draws = 70000
+	for i := 0; i < draws; i++ {
+		counts[p.Dest(st, sys, 3)]++
+	}
+	want := float64(draws) / 7 // 7 possible destinations
+	for node, c := range counts {
+		if node == 3 {
+			if c != 0 {
+				t.Fatalf("self chosen %d times", c)
+			}
+			continue
+		}
+		if math.Abs(float64(c)-want) > 6*math.Sqrt(want) {
+			t.Errorf("node %d: count %d deviates from %v", node, c, want)
+		}
+	}
+}
+
+func TestLocalBiasExtremes(t *testing.T) {
+	sys := fakeSystem{nc: 4, size: 8}
+	st := rng.NewStream(3)
+	// Locality 1: always local.
+	all := LocalBias{Locality: 1}
+	for i := 0; i < 2000; i++ {
+		d := all.Dest(st, sys, 10) // cluster 1 (nodes 8..15)
+		if sys.ClusterOf(d) != 1 {
+			t.Fatalf("locality=1 escaped cluster: dest=%d", d)
+		}
+		if d == 10 {
+			t.Fatal("self selected")
+		}
+	}
+	// Locality 0: always remote.
+	none := LocalBias{Locality: 0}
+	for i := 0; i < 2000; i++ {
+		d := none.Dest(st, sys, 10)
+		if sys.ClusterOf(d) == 1 {
+			t.Fatalf("locality=0 stayed in cluster: dest=%d", d)
+		}
+	}
+}
+
+func TestLocalBiasDegenerateClusters(t *testing.T) {
+	// Single-node clusters: local destination impossible, must go remote.
+	sys := fakeSystem{nc: 4, size: 1}
+	st := rng.NewStream(4)
+	p := LocalBias{Locality: 1}
+	for i := 0; i < 100; i++ {
+		d := p.Dest(st, sys, 2)
+		if d == 2 {
+			t.Fatal("self selected in degenerate cluster")
+		}
+	}
+	// Single cluster: remote impossible, must stay local.
+	sys1 := fakeSystem{nc: 1, size: 8}
+	q := LocalBias{Locality: 0}
+	for i := 0; i < 100; i++ {
+		d := q.Dest(st, sys1, 0)
+		if d == 0 || d >= 8 {
+			t.Fatalf("bad dest %d in single-cluster system", d)
+		}
+	}
+}
+
+func TestLocalBiasMatchesUniformAtNaturalLocality(t *testing.T) {
+	// With locality = (size-1)/(n-1), LocalBias statistically matches
+	// Uniform's local fraction.
+	sys := fakeSystem{nc: 4, size: 8}
+	natural := 7.0 / 31.0
+	st := rng.NewStream(5)
+	p := LocalBias{Locality: natural}
+	local := 0
+	const draws = 100000
+	for i := 0; i < draws; i++ {
+		if sys.ClusterOf(p.Dest(st, sys, 0)) == 0 {
+			local++
+		}
+	}
+	got := float64(local) / draws
+	if math.Abs(got-natural) > 0.01 {
+		t.Fatalf("local fraction = %v, want %v", got, natural)
+	}
+}
+
+func TestHotspot(t *testing.T) {
+	sys := fakeSystem{nc: 2, size: 8}
+	st := rng.NewStream(6)
+	p := Hotspot{Node: 5, Fraction: 0.5}
+	hits := 0
+	const draws = 50000
+	for i := 0; i < draws; i++ {
+		if p.Dest(st, sys, 0) == 5 {
+			hits++
+		}
+	}
+	// Expect 0.5 + 0.5/15 of traffic at the hotspot.
+	want := 0.5 + 0.5/15.0
+	if math.Abs(float64(hits)/draws-want) > 0.01 {
+		t.Fatalf("hotspot fraction = %v, want %v", float64(hits)/draws, want)
+	}
+	// The hot node itself must never send to itself.
+	for i := 0; i < 1000; i++ {
+		if p.Dest(st, sys, 5) == 5 {
+			t.Fatal("hotspot node targeted itself")
+		}
+	}
+}
+
+func TestPermutation(t *testing.T) {
+	st := rng.NewStream(7)
+	sys := fakeSystem{nc: 2, size: 8}
+	p, err := NewPermutation(st, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := make(map[int]bool)
+	for src := 0; src < 16; src++ {
+		d := p.Dest(st, sys, src)
+		if d == src {
+			t.Fatalf("permutation has fixed point at %d", src)
+		}
+		if seen[d] {
+			t.Fatalf("destination %d reused", d)
+		}
+		seen[d] = true
+		// Deterministic: same answer every time.
+		if p.Dest(st, sys, src) != d {
+			t.Fatal("permutation is not deterministic")
+		}
+	}
+	if _, err := NewPermutation(st, 1); err == nil {
+		t.Fatal("n=1 permutation accepted")
+	}
+}
+
+func TestFixedSize(t *testing.T) {
+	f := FixedSize{Bytes: 1024}
+	st := rng.NewStream(8)
+	for i := 0; i < 10; i++ {
+		if f.Sample(st) != 1024 {
+			t.Fatal("fixed size varied")
+		}
+	}
+	if f.Mean() != 1024 {
+		t.Fatal("mean wrong")
+	}
+}
+
+func TestBimodal(t *testing.T) {
+	b := Bimodal{Small: 64, Large: 4096, SmallProb: 0.75}
+	st := rng.NewStream(9)
+	sum := 0.0
+	const draws = 200000
+	for i := 0; i < draws; i++ {
+		s := b.Sample(st)
+		if s != 64 && s != 4096 {
+			t.Fatalf("unexpected size %d", s)
+		}
+		sum += float64(s)
+	}
+	if math.Abs(sum/draws-b.Mean())/b.Mean() > 0.02 {
+		t.Fatalf("sample mean %v vs declared %v", sum/draws, b.Mean())
+	}
+}
+
+func TestUniformSize(t *testing.T) {
+	u := UniformSize{Lo: 100, Hi: 200}
+	st := rng.NewStream(10)
+	for i := 0; i < 10000; i++ {
+		s := u.Sample(st)
+		if s < 100 || s > 200 {
+			t.Fatalf("size %d out of range", s)
+		}
+	}
+	if u.Mean() != 150 {
+		t.Fatalf("mean = %v", u.Mean())
+	}
+	// Degenerate range.
+	d := UniformSize{Lo: 5, Hi: 5}
+	if d.Sample(st) != 5 {
+		t.Fatal("degenerate uniform size wrong")
+	}
+}
+
+func TestPatternNames(t *testing.T) {
+	st := rng.NewStream(11)
+	perm, _ := NewPermutation(st, 4)
+	for _, p := range []Pattern{Uniform{}, LocalBias{Locality: 0.5}, Hotspot{Node: 1, Fraction: 0.1}, perm} {
+		if p.Name() == "" {
+			t.Errorf("%T has empty name", p)
+		}
+	}
+	for _, s := range []SizeDist{FixedSize{64}, Bimodal{64, 128, 0.5}, UniformSize{1, 2}} {
+		if s.Name() == "" {
+			t.Errorf("%T has empty name", s)
+		}
+	}
+}
+
+func TestQuickUniformDestValid(t *testing.T) {
+	st := rng.NewStream(12)
+	f := func(ncRaw, sizeRaw, srcRaw uint8) bool {
+		nc := int(ncRaw%8) + 1
+		size := int(sizeRaw%8) + 1
+		sys := fakeSystem{nc: nc, size: size}
+		if sys.TotalNodes() < 2 {
+			return true
+		}
+		src := int(srcRaw) % sys.TotalNodes()
+		d := Uniform{}.Dest(st, sys, src)
+		return d != src && d >= 0 && d < sys.TotalNodes()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,92 @@
+package workload
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"hmscs/internal/rng"
+)
+
+// Zipf draws destinations from a Zipf distribution over node ids: node k
+// has weight 1/(k+1)^S. It models the skewed popularity of shared services
+// (storage nodes, head nodes) in real clusters, between the uniform
+// pattern and a single hotspot.
+type Zipf struct {
+	S   float64 // skew exponent; 0 = uniform
+	cum []float64
+	n   int
+}
+
+// NewZipf prepares a Zipf pattern over n nodes with skew s >= 0.
+func NewZipf(n int, s float64) (*Zipf, error) {
+	if n < 2 {
+		return nil, fmt.Errorf("workload: zipf needs at least 2 nodes, got %d", n)
+	}
+	if !(s >= 0) || math.IsInf(s, 1) {
+		return nil, fmt.Errorf("workload: zipf skew %g is invalid", s)
+	}
+	z := &Zipf{S: s, n: n, cum: make([]float64, n)}
+	total := 0.0
+	for k := 0; k < n; k++ {
+		total += 1 / math.Pow(float64(k+1), s)
+		z.cum[k] = total
+	}
+	for k := range z.cum {
+		z.cum[k] /= total
+	}
+	return z, nil
+}
+
+// Name implements Pattern.
+func (z *Zipf) Name() string { return fmt.Sprintf("zipf(s=%.2f)", z.S) }
+
+// Dest implements Pattern by inverse-CDF sampling with rejection of the
+// source node.
+func (z *Zipf) Dest(st *rng.Stream, sys System, src int) int {
+	if sys.TotalNodes() != z.n {
+		panic(fmt.Sprintf("workload: zipf built for %d nodes used on %d", z.n, sys.TotalNodes()))
+	}
+	for {
+		u := st.Float64()
+		d := sort.SearchFloat64s(z.cum, u)
+		if d >= z.n {
+			d = z.n - 1
+		}
+		if d != src {
+			return d
+		}
+	}
+}
+
+// Transpose is the matrix-transpose exchange: node i sends to the node
+// whose index is i's bit-reversal-free transpose in an r x c grid
+// (dst = (i mod c)·r + i div c). A classic adversarial pattern for
+// low-bisection networks: every message crosses the machine.
+type Transpose struct {
+	Rows, Cols int
+}
+
+// NewTranspose validates the grid shape.
+func NewTranspose(rows, cols int) (*Transpose, error) {
+	if rows < 1 || cols < 1 || rows*cols < 2 {
+		return nil, fmt.Errorf("workload: transpose grid %dx%d is degenerate", rows, cols)
+	}
+	return &Transpose{Rows: rows, Cols: cols}, nil
+}
+
+// Name implements Pattern.
+func (t *Transpose) Name() string { return fmt.Sprintf("transpose(%dx%d)", t.Rows, t.Cols) }
+
+// Dest implements Pattern. Fixed points (diagonal nodes) fall back to the
+// uniform pattern so the contract "never return src" holds.
+func (t *Transpose) Dest(st *rng.Stream, sys System, src int) int {
+	n := t.Rows * t.Cols
+	if src < n {
+		d := (src%t.Cols)*t.Rows + src/t.Cols
+		if d != src && d < sys.TotalNodes() {
+			return d
+		}
+	}
+	return Uniform{}.Dest(st, sys, src)
+}

@@ -1,0 +1,127 @@
+package workload
+
+import (
+	"math"
+	"testing"
+
+	"hmscs/internal/rng"
+)
+
+func TestZipfUniformWhenSkewZero(t *testing.T) {
+	sys := fakeSystem{nc: 2, size: 8}
+	z, err := NewZipf(16, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := rng.NewStream(1)
+	counts := make([]int, 16)
+	const draws = 80000
+	for i := 0; i < draws; i++ {
+		counts[z.Dest(st, sys, 0)]++
+	}
+	want := float64(draws) / 15
+	for node := 1; node < 16; node++ {
+		if math.Abs(float64(counts[node])-want) > 6*math.Sqrt(want) {
+			t.Errorf("node %d: count %d deviates from %v", node, counts[node], want)
+		}
+	}
+	if counts[0] != 0 {
+		t.Fatal("self selected")
+	}
+}
+
+func TestZipfSkewConcentrates(t *testing.T) {
+	sys := fakeSystem{nc: 2, size: 8}
+	z, err := NewZipf(16, 1.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := rng.NewStream(2)
+	counts := make([]int, 16)
+	const draws = 50000
+	for i := 0; i < draws; i++ {
+		counts[z.Dest(st, sys, 15)]++
+	}
+	// Node 0 is the most popular; it must dominate node 8 decisively.
+	if counts[0] < 4*counts[8] {
+		t.Fatalf("skew not visible: node0=%d node8=%d", counts[0], counts[8])
+	}
+	// Monotone non-increasing in expectation over a coarse split.
+	firstHalf, secondHalf := 0, 0
+	for k := 0; k < 8; k++ {
+		firstHalf += counts[k]
+	}
+	for k := 8; k < 16; k++ {
+		secondHalf += counts[k]
+	}
+	if firstHalf <= secondHalf {
+		t.Fatal("zipf mass not concentrated in low ids")
+	}
+}
+
+func TestZipfValidation(t *testing.T) {
+	if _, err := NewZipf(1, 1); err == nil {
+		t.Error("n=1 accepted")
+	}
+	if _, err := NewZipf(8, -1); err == nil {
+		t.Error("negative skew accepted")
+	}
+	if _, err := NewZipf(8, math.Inf(1)); err == nil {
+		t.Error("infinite skew accepted")
+	}
+}
+
+func TestZipfPanicsOnWrongSystemSize(t *testing.T) {
+	z, err := NewZipf(8, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("size mismatch did not panic")
+		}
+	}()
+	z.Dest(rng.NewStream(3), fakeSystem{nc: 2, size: 8}, 0) // 16 != 8
+}
+
+func TestTranspose(t *testing.T) {
+	sys := fakeSystem{nc: 4, size: 4}
+	tr, err := NewTranspose(4, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := rng.NewStream(4)
+	// Node 1 (row 0, col 1) -> node 4 (row 1, col 0).
+	if d := tr.Dest(st, sys, 1); d != 4 {
+		t.Fatalf("transpose(1) = %d, want 4", d)
+	}
+	// Symmetric partner.
+	if d := tr.Dest(st, sys, 4); d != 1 {
+		t.Fatalf("transpose(4) = %d, want 1", d)
+	}
+	// Diagonal nodes (fixed points) must not self-send.
+	for _, diag := range []int{0, 5, 10, 15} {
+		for i := 0; i < 50; i++ {
+			if d := tr.Dest(st, sys, diag); d == diag {
+				t.Fatalf("diagonal node %d sent to itself", diag)
+			}
+		}
+	}
+}
+
+func TestTransposeValidation(t *testing.T) {
+	if _, err := NewTranspose(1, 1); err == nil {
+		t.Error("1x1 accepted")
+	}
+	if _, err := NewTranspose(0, 4); err == nil {
+		t.Error("0 rows accepted")
+	}
+}
+
+func TestZipfTransposeNames(t *testing.T) {
+	z, _ := NewZipf(4, 0.5)
+	tr, _ := NewTranspose(2, 2)
+	if z.Name() == "" || tr.Name() == "" {
+		t.Fatal("empty names")
+	}
+}
