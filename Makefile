@@ -1,0 +1,34 @@
+# Development targets for the hmscs reproduction.
+
+GO ?= go
+
+.PHONY: all build test race vet fmt-check bench clean
+
+all: build test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+vet:
+	$(GO) vet ./...
+
+fmt-check:
+	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+
+# bench regenerates BENCH_sim.json: ns/op and allocs/op for the
+# figure/table reproduction paths, tracked PR over PR.
+bench:
+	$(GO) test -run '^$$' -bench 'Figure|Table' -benchmem . | tee bench.out
+	$(GO) run ./tools/benchjson < bench.out > BENCH_sim.json
+	@rm -f bench.out
+	@echo "wrote BENCH_sim.json"
+
+clean:
+	rm -f bench.out BENCH_sim.json

@@ -310,19 +310,27 @@ func BenchmarkAblationSCVModel(b *testing.B) {
 	}
 }
 
+// holdModel is the classic event-set benchmark handler: every dispatched
+// event reschedules itself, keeping the set at a steady size.
+type holdModel struct {
+	eng *sim.Engine
+	st  *rng.Stream
+}
+
+func (h *holdModel) Handle(sim.EventKind, int32) {
+	h.eng.Schedule(h.st.Exp(1e-3), 0, 0)
+}
+
 // BenchmarkEventListHeap and BenchmarkEventListCalendar compare the two
 // future-event-set implementations on the hold model (pop one, push one).
 func benchEventList(b *testing.B, mk func() *sim.Engine) {
 	b.Helper()
 	eng := mk()
 	st := rng.NewStream(1)
+	eng.SetHandler(&holdModel{eng: eng, st: st})
 	// Pre-fill with 4096 pending events.
-	var tick func()
-	tick = func() {
-		eng.Schedule(st.Exp(1e-3), tick)
-	}
 	for i := 0; i < 4096; i++ {
-		eng.Schedule(st.Exp(1e-3), tick)
+		eng.Schedule(st.Exp(1e-3), 0, 0)
 	}
 	b.ResetTimer()
 	// Each Run(maxTime) slice processes a bounded batch of events.

@@ -1,6 +1,7 @@
 // Command hmscs-analyze evaluates the paper's analytical model for one
 // HMSCS configuration and prints the predicted mean message latency with a
-// per-centre breakdown.
+// per-centre breakdown. The default -lambda is the paper's rate under the
+// millisecond reading documented in DESIGN.md §2.
 //
 // Examples:
 //

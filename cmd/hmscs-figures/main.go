@@ -43,6 +43,7 @@ func run(args []string, out io.Writer) error {
 	reps := fs.Int("reps", 3, "simulation replications per point")
 	messages := fs.Int("messages", 10000, "measured messages per replication (paper: 10000)")
 	seed := fs.Uint64("seed", 1, "base random seed")
+	parallel := fs.Int("parallel", 0, "concurrent simulation workers (0 = all cores, 1 = sequential); results are identical for every value")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -52,6 +53,7 @@ func run(args []string, out io.Writer) error {
 	opts.Sim.MeasuredMessages = *messages
 	opts.Sim.Seed = *seed
 	opts.SkipSimulation = *fast
+	opts.Parallelism = *parallel
 
 	selected := strings.Split(*what, ",")
 	want := func(key string) bool {
@@ -66,23 +68,30 @@ func run(args []string, out io.Writer) error {
 	if want("tables") {
 		printTables(out)
 	}
-	results := map[int]*sweep.FigureResult{}
+	// Batch every requested figure into one orchestrator call so all their
+	// (point × replication) units share the worker pool.
+	var figNums []int
+	var specs []sweep.FigureSpec
 	for n := 4; n <= 7; n++ {
-		key := fmt.Sprintf("fig%d", n)
-		if !want(key) && !(want("ratio") && (n == 4 || n == 5 || n == 6 || n == 7)) {
+		if !want(fmt.Sprintf("fig%d", n)) && !want("ratio") {
 			continue
 		}
 		spec, err := sweep.PaperFigure(n)
 		if err != nil {
 			return err
 		}
-		res, err := sweep.RunFigure(spec, opts)
-		if err != nil {
-			return err
-		}
-		results[n] = res
-		if want(key) {
-			emitFigure(out, res, *format, *fast)
+		figNums = append(figNums, n)
+		specs = append(specs, spec)
+	}
+	figResults, err := sweep.RunFigures(specs, opts)
+	if err != nil {
+		return err
+	}
+	results := map[int]*sweep.FigureResult{}
+	for i, n := range figNums {
+		results[n] = figResults[i]
+		if want(fmt.Sprintf("fig%d", n)) {
+			emitFigure(out, figResults[i], *format, *fast)
 		}
 	}
 	if want("ratio") {
@@ -134,7 +143,7 @@ func printFutureWork(out io.Writer, opts sweep.Options) error {
 	fmt.Fprintf(out, "| generalised open model (eq. 1-15 heterogeneous) | %.3f |\n", openModel.MeanLatency*1e3)
 	fmt.Fprintf(out, "| multiclass closed model (one class per cluster) | %.3f |\n", multi.MeanResponse()*1e3)
 	if !opts.SkipSimulation {
-		agg, err := sim.RunReplications(cfg, opts.Sim, opts.Replications)
+		agg, err := sim.RunReplicationsN(cfg, opts.Sim, opts.Replications, opts.Parallelism)
 		if err != nil {
 			return err
 		}
@@ -270,13 +279,13 @@ func printAblation(out io.Writer, opts sweep.Options) error {
 		if opts.SkipSimulation {
 			row += " - | - | - |"
 		} else {
-			simExp, err := sim.RunReplications(cfg, opts.Sim, opts.Replications)
+			simExp, err := sim.RunReplicationsN(cfg, opts.Sim, opts.Replications, opts.Parallelism)
 			if err != nil {
 				return err
 			}
 			detOpts := opts.Sim
 			detOpts.ServiceDist = rng.Deterministic{Value: 1}
-			simDet, err := sim.RunReplications(cfg, detOpts, opts.Replications)
+			simDet, err := sim.RunReplicationsN(cfg, detOpts, opts.Replications, opts.Parallelism)
 			if err != nil {
 				return err
 			}
@@ -284,7 +293,7 @@ func printAblation(out io.Writer, opts sweep.Options) error {
 			openOpts.OpenLoop = true
 			// Open-loop saturation has unbounded queues; cap the run time.
 			openOpts.MaxSimTime = 120
-			simOpen, err := sim.RunReplications(cfg, openOpts, opts.Replications)
+			simOpen, err := sim.RunReplicationsN(cfg, openOpts, opts.Replications, opts.Parallelism)
 			if err != nil {
 				return err
 			}

@@ -2,6 +2,8 @@
 // communication network and compares it against the single-server
 // abstraction the paper (and internal/sim) uses — a fidelity ladder:
 // analytic M/M/1 model ← system simulator ← switch-level simulator.
+// The simulator runs on the typed allocation-free event core shared with
+// internal/sim (see DESIGN.md §3).
 //
 // Examples:
 //

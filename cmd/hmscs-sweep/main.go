@@ -3,6 +3,10 @@
 // and prints analysis/simulation latency pairs per point. It is the
 // design-space-exploration companion to the fixed figures of hmscs-figures.
 //
+// Points are evaluated concurrently on a bounded worker pool (-parallel;
+// default all cores) with deterministic per-point seeds, so the printed
+// table is identical at every parallelism level.
+//
 // Examples:
 //
 //	hmscs-sweep -var clusters -ints 1,2,4,8,16,32,64,128,256
@@ -16,10 +20,8 @@ import (
 	"io"
 	"os"
 
-	"hmscs/internal/analytic"
 	"hmscs/internal/cli"
-	"hmscs/internal/core"
-	"hmscs/internal/sim"
+	"hmscs/internal/sweep"
 	"hmscs/internal/workload"
 )
 
@@ -28,6 +30,12 @@ func main() {
 		fmt.Fprintln(os.Stderr, "hmscs-sweep:", err)
 		os.Exit(1)
 	}
+}
+
+// job is one sweep point: a labelled sweep.PointSpec.
+type job struct {
+	label string
+	sweep.PointSpec
 }
 
 func run(args []string, out io.Writer) error {
@@ -48,128 +56,138 @@ func run(args []string, out io.Writer) error {
 		return err
 	}
 
+	jobs, err := buildJobs(sys, *variable, *ints, *floats)
+	if err != nil {
+		return err
+	}
+
+	// Hand the points to the sweep orchestrator: (point × replication)
+	// units on the worker pool with deterministic seeds, so the table is
+	// identical at every parallelism level.
+	points := make([]sweep.PointSpec, len(jobs))
+	for i, j := range jobs {
+		points[i] = j.PointSpec
+	}
+	opts := sweep.Options{
+		Sim:            simOpts,
+		Replications:   sf.Reps,
+		SkipSimulation: *fast,
+		Parallelism:    sf.Parallel,
+	}
+	analytics, simulated, simCI, err := sweep.RunPoints(points, opts)
+	if err != nil {
+		return err
+	}
+
+	rows := make([]string, len(jobs))
+	for i, j := range jobs {
+		if *fast {
+			rows[i] = fmt.Sprintf("| %s | %.3f | - | - | - |", j.label, analytics[i]*1e3)
+			continue
+		}
+		rel := 0.0
+		if simulated[i] > 0 {
+			rel = (analytics[i] - simulated[i]) / simulated[i]
+		}
+		rows[i] = fmt.Sprintf("| %s | %.3f | %.3f | %.3f | %+.1f%% |",
+			j.label, analytics[i]*1e3, simulated[i]*1e3, simCI[i]*1e3, rel*100)
+	}
+
 	fmt.Fprintf(out, "sweep of %s\n", *variable)
 	fmt.Fprintln(out, "| value | analysis (ms) | simulation (ms) | 95% CI (ms) | rel.err |")
 	fmt.Fprintln(out, "|---:|---:|---:|---:|---:|")
-
-	emit := func(label string, cfg *core.Config, pattern workload.Pattern, locality float64) error {
-		var an *analytic.Result
-		var err error
-		if locality >= 0 {
-			an, err = analytic.AnalyzeLocality(cfg, locality)
-		} else {
-			an, err = analytic.Analyze(cfg)
-		}
-		if err != nil {
-			return err
-		}
-		if *fast {
-			fmt.Fprintf(out, "| %s | %.3f | - | - | - |\n", label, an.MeanLatency*1e3)
-			return nil
-		}
-		o := simOpts
-		if pattern != nil {
-			o.Pattern = pattern
-		}
-		agg, err := sim.RunReplications(cfg, o, sf.Reps)
-		if err != nil {
-			return err
-		}
-		rel := 0.0
-		if agg.MeanLatency > 0 {
-			rel = (an.MeanLatency - agg.MeanLatency) / agg.MeanLatency
-		}
-		fmt.Fprintf(out, "| %s | %.3f | %.3f | %.3f | %+.1f%% |\n",
-			label, an.MeanLatency*1e3, agg.MeanLatency*1e3, agg.CI95*1e3, rel*100)
-		return nil
+	for _, row := range rows {
+		fmt.Fprintln(out, row)
 	}
+	return nil
+}
 
-	switch *variable {
+// buildJobs expands the swept variable into labelled configurations.
+func buildJobs(sys cli.SystemFlags, variable, ints, floats string) ([]job, error) {
+	var jobs []job
+	switch variable {
 	case "clusters":
-		values, err := cli.ParseIntList(orDefault(*ints, "1,2,4,8,16,32,64,128,256"))
+		values, err := cli.ParseIntList(orDefault(ints, "1,2,4,8,16,32,64,128,256"))
 		if err != nil {
-			return err
+			return nil, err
 		}
 		for _, v := range values {
 			s := sys
 			s.Clusters = v
 			cfg, err := s.Build()
 			if err != nil {
-				return err
+				return nil, err
 			}
-			if err := emit(fmt.Sprint(v), cfg, nil, -1); err != nil {
-				return err
-			}
+			jobs = append(jobs, job{label: fmt.Sprint(v), PointSpec: sweep.PointSpec{Cfg: cfg, Locality: -1}})
 		}
 	case "msg":
-		values, err := cli.ParseIntList(orDefault(*ints, "128,256,512,1024,2048,4096"))
+		values, err := cli.ParseIntList(orDefault(ints, "128,256,512,1024,2048,4096"))
 		if err != nil {
-			return err
+			return nil, err
 		}
 		for _, v := range values {
 			s := sys
 			s.Msg = v
 			cfg, err := s.Build()
 			if err != nil {
-				return err
+				return nil, err
 			}
-			if err := emit(fmt.Sprintf("%dB", v), cfg, nil, -1); err != nil {
-				return err
-			}
+			jobs = append(jobs, job{label: fmt.Sprintf("%dB", v), PointSpec: sweep.PointSpec{Cfg: cfg, Locality: -1}})
 		}
 	case "ports":
-		values, err := cli.ParseIntList(orDefault(*ints, "8,16,24,32,48,64"))
+		values, err := cli.ParseIntList(orDefault(ints, "8,16,24,32,48,64"))
 		if err != nil {
-			return err
+			return nil, err
 		}
 		for _, v := range values {
 			s := sys
 			s.Ports = v
 			cfg, err := s.Build()
 			if err != nil {
-				return err
+				return nil, err
 			}
-			if err := emit(fmt.Sprintf("%d ports", v), cfg, nil, -1); err != nil {
-				return err
-			}
+			jobs = append(jobs, job{label: fmt.Sprintf("%d ports", v), PointSpec: sweep.PointSpec{Cfg: cfg, Locality: -1}})
 		}
 	case "lambda":
-		values, err := cli.ParseFloatList(orDefault(*floats, "25,50,100,250,500"))
+		values, err := cli.ParseFloatList(orDefault(floats, "25,50,100,250,500"))
 		if err != nil {
-			return err
+			return nil, err
 		}
 		for _, v := range values {
 			s := sys
 			s.Lambda = v
 			cfg, err := s.Build()
 			if err != nil {
-				return err
+				return nil, err
 			}
-			if err := emit(fmt.Sprintf("%g/s", v), cfg, nil, -1); err != nil {
-				return err
-			}
+			jobs = append(jobs, job{label: fmt.Sprintf("%g/s", v), PointSpec: sweep.PointSpec{Cfg: cfg, Locality: -1}})
 		}
 	case "locality":
-		values, err := cli.ParseFloatList(orDefault(*floats, "0,0.25,0.5,0.75,0.95"))
+		values, err := cli.ParseFloatList(orDefault(floats, "0,0.25,0.5,0.75,0.95"))
 		if err != nil {
-			return err
+			return nil, err
 		}
 		cfg, err := sys.Build()
 		if err != nil {
-			return err
+			return nil, err
 		}
 		for _, v := range values {
 			if v < 0 || v > 1 {
-				return fmt.Errorf("locality %g out of [0,1]", v)
+				return nil, fmt.Errorf("locality %g out of [0,1]", v)
 			}
-			if err := emit(fmt.Sprintf("%.2f", v), cfg, workload.LocalBias{Locality: v}, v); err != nil {
-				return err
-			}
+			jobs = append(jobs, job{
+				label: fmt.Sprintf("%.2f", v),
+				PointSpec: sweep.PointSpec{
+					Cfg:      cfg,
+					Pattern:  workload.LocalBias{Locality: v},
+					Locality: v,
+				},
+			})
 		}
 	default:
-		return fmt.Errorf("unknown sweep variable %q", *variable)
+		return nil, fmt.Errorf("unknown sweep variable %q", variable)
 	}
-	return nil
+	return jobs, nil
 }
 
 func orDefault(s, def string) string {

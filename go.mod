@@ -1,0 +1,3 @@
+module hmscs
+
+go 1.24

@@ -178,11 +178,33 @@ type SweepOptions = sweep.Options
 // Figure returns the specification of paper Figure n (4-7).
 func Figure(n int) (FigureSpec, error) { return sweep.PaperFigure(n) }
 
-// RunFigure evaluates a figure: analysis plus simulation per point.
+// RunFigure evaluates a figure: analysis plus simulation per point. Its
+// (point × replication) units run on a worker pool bounded by
+// SweepOptions.Parallelism, with results bit-identical at every
+// parallelism level.
 func RunFigure(spec FigureSpec, opts SweepOptions) (*FigureResult, error) {
 	return sweep.RunFigure(spec, opts)
 }
 
+// RunFigures evaluates a batch of paper figures (numbers 4-7; an empty
+// list means all four), scheduling every figure's simulation units onto
+// one shared worker pool — the fastest way to regenerate the whole
+// evaluation. The i-th result corresponds to the i-th requested figure.
+func RunFigures(ns []int, opts SweepOptions) ([]*FigureResult, error) {
+	if len(ns) == 0 {
+		ns = []int{4, 5, 6, 7}
+	}
+	specs := make([]sweep.FigureSpec, len(ns))
+	for i, n := range ns {
+		spec, err := sweep.PaperFigure(n)
+		if err != nil {
+			return nil, err
+		}
+		specs[i] = spec
+	}
+	return sweep.RunFigures(specs, opts)
+}
+
 // DefaultSweepOptions evaluates figures with the paper's per-run procedure
-// and 3 replications.
+// and 3 replications across all CPUs.
 func DefaultSweepOptions() SweepOptions { return sweep.DefaultOptions() }

@@ -41,7 +41,7 @@ func (s *SystemFlags) Register(fs *flag.FlagSet) {
 	fs.IntVar(&s.Total, "total", core.PaperTotalNodes, "total processors when -nodes is 0")
 	fs.IntVar(&s.Msg, "msg", 1024, "message size in bytes")
 	fs.StringVar(&s.Arch, "arch", "non-blocking", "interconnect architecture: non-blocking or blocking")
-	fs.Float64Var(&s.Lambda, "lambda", core.PaperLambda, "per-processor message rate (msg/s)")
+	fs.Float64Var(&s.Lambda, "lambda", core.PaperLambda, "per-processor message rate (msg/s; default is the paper's λ under the millisecond reading, see DESIGN.md §2)")
 	fs.StringVar(&s.ICN1, "icn1", "", "override ICN1 technology (GE, FE, Myrinet, Infiniband)")
 	fs.StringVar(&s.ECN, "ecn", "", "override ECN1/ICN2 technology")
 	fs.IntVar(&s.Ports, "ports", network.PaperSwitch.Ports, "switch ports Pr")
@@ -91,6 +91,7 @@ type SimFlags struct {
 	Messages int
 	Warmup   int
 	Reps     int
+	Parallel int
 	Open     bool
 	Service  string
 	Pattern  string
@@ -102,6 +103,7 @@ func (s *SimFlags) Register(fs *flag.FlagSet) {
 	fs.IntVar(&s.Messages, "messages", 10000, "measured messages per run (paper: 10000)")
 	fs.IntVar(&s.Warmup, "warmup", 2000, "warm-up messages discarded before measurement")
 	fs.IntVar(&s.Reps, "reps", 3, "independent replications")
+	fs.IntVar(&s.Parallel, "parallel", 0, "concurrent simulation workers (0 = all cores, 1 = sequential); results are identical for every value")
 	fs.BoolVar(&s.Open, "open", false, "open-loop sources (ablation of assumption 4)")
 	fs.StringVar(&s.Service, "service", "exp", "service distribution: exp, det, erlang4, h2")
 	fs.StringVar(&s.Pattern, "pattern", "uniform", "traffic pattern: uniform, local:<p>, hotspot:<p>")

@@ -12,6 +12,10 @@
 //   - eq. 19/21: the linear array's inter-switch links form a
 //     bisection-width-1 bottleneck whose average path length is (k+1)/3
 //     and whose saturation throughput collapses with N.
+//
+// Like the system simulator, netsim runs on sim's typed event core: each
+// message is a pooled record whose route is walked by a per-hop state
+// machine, so the steady-state event loop does not allocate.
 package netsim
 
 import (
@@ -41,6 +45,19 @@ func (k Kind) String() string {
 	return "linear-array"
 }
 
+// Event kinds of the switch-level simulator.
+const (
+	// nvGenerate fires when an endpoint's think time expires; idx is the
+	// endpoint id.
+	nvGenerate sim.EventKind = iota
+	// nvLinkDone fires when a link completes a transmission; idx is the
+	// link id.
+	nvLinkDone
+	// nvDeliver fires after the fixed (NIC + switch fabric) latency of a
+	// message that cleared its last link; idx is the message index.
+	nvDeliver
+)
+
 // link is one directed channel with its own FIFO queue.
 type link struct {
 	name   string
@@ -50,7 +67,19 @@ type link struct {
 	interSwitch bool
 }
 
-// Network is an instantiated switch graph ready to simulate.
+// nmsg is one in-flight message in the pooled message table. The path
+// buffer is retained across pool recycling, so steady-state routing does
+// not allocate.
+type nmsg struct {
+	born float64
+	path []int32
+	pos  int32
+	src  int32
+	hops int32
+}
+
+// Network is an instantiated switch graph ready to simulate. It implements
+// sim.Handler: the engine dispatches typed events back into it.
 type Network struct {
 	Kind Kind
 	N    int // endpoints
@@ -65,22 +94,33 @@ type Network struct {
 	leafOf     []int // endpoint -> leaf/chain switch index
 	numLeaves  int
 	numSpines  int
-	upLinks    [][]int // leaf -> per-spine uplink link index (fat-tree)
-	downLinks  [][]int // spine -> per-leaf downlink link index (fat-tree)
-	hostUp     []int   // endpoint -> host->switch link index
-	hostDown   []int   // endpoint -> switch->host link index
-	chainRight []int   // chain switch i -> i+1 link index (linear array)
-	chainLeft  []int   // chain switch i+1 -> i link index
+	upLinks    [][]int32 // leaf -> per-spine uplink link index (fat-tree)
+	downLinks  [][]int32 // spine -> per-leaf downlink link index (fat-tree)
+	hostUp     []int32   // endpoint -> host->switch link index
+	hostDown   []int32   // endpoint -> switch->host link index
+	chainRight []int32   // chain switch i -> i+1 link index (linear array)
+	chainLeft  []int32   // chain switch i+1 -> i link index
+
+	// Run state.
+	opts         Options
+	res          *Result
+	streams      []*rng.Stream
+	serviceMean  float64
+	completed    int
+	measureStart float64
+	msgs         []nmsg
+	free         []int32
 }
 
-func (n *Network) addLink(name string, stream *rng.Stream, dist rng.Dist, interSwitch bool) int {
+func (n *Network) addLink(name string, stream *rng.Stream, dist rng.Dist, interSwitch bool) int32 {
+	id := int32(len(n.links))
 	l := &link{
 		name:        name,
-		center:      sim.NewCenter(name, n.eng, dist, stream),
+		center:      sim.NewCenter(name, n.eng, dist, stream, nvLinkDone, id),
 		interSwitch: interSwitch,
 	}
 	n.links = append(n.links, l)
-	return len(n.links) - 1
+	return id
 }
 
 // BuildFatTree constructs the two-level folded Clos matching the paper's
@@ -96,14 +136,15 @@ func BuildFatTree(n, pr int, tech network.Technology, sw network.Switch, seed ui
 		Kind: FatTree, N: n, Pr: pr, Tech: tech, Sw: sw,
 		eng: sim.NewEngine(),
 	}
+	net.eng.SetHandler(net)
 	master := rng.NewStream(seed)
 	half := pr / 2
 	if n <= pr {
 		// Single switch: hosts hang off one crossbar.
 		net.numLeaves, net.numSpines = 1, 0
 		net.leafOf = make([]int, n)
-		net.hostUp = make([]int, n)
-		net.hostDown = make([]int, n)
+		net.hostUp = make([]int32, n)
+		net.hostDown = make([]int32, n)
 		for e := 0; e < n; e++ {
 			net.hostUp[e] = net.addLink(fmt.Sprintf("h%d->sw0", e), master.Split(), dist, false)
 			net.hostDown[e] = net.addLink(fmt.Sprintf("sw0->h%d", e), master.Split(), dist, false)
@@ -118,21 +159,21 @@ func BuildFatTree(n, pr int, tech network.Technology, sw network.Switch, seed ui
 	}
 	net.numLeaves, net.numSpines = numLeaves, numSpines
 	net.leafOf = make([]int, n)
-	net.hostUp = make([]int, n)
-	net.hostDown = make([]int, n)
+	net.hostUp = make([]int32, n)
+	net.hostDown = make([]int32, n)
 	for e := 0; e < n; e++ {
 		leaf := e / half
 		net.leafOf[e] = leaf
 		net.hostUp[e] = net.addLink(fmt.Sprintf("h%d->leaf%d", e, leaf), master.Split(), dist, false)
 		net.hostDown[e] = net.addLink(fmt.Sprintf("leaf%d->h%d", leaf, e), master.Split(), dist, false)
 	}
-	net.upLinks = make([][]int, numLeaves)
-	net.downLinks = make([][]int, numSpines)
+	net.upLinks = make([][]int32, numLeaves)
+	net.downLinks = make([][]int32, numSpines)
 	for s := 0; s < numSpines; s++ {
-		net.downLinks[s] = make([]int, numLeaves)
+		net.downLinks[s] = make([]int32, numLeaves)
 	}
 	for l := 0; l < numLeaves; l++ {
-		net.upLinks[l] = make([]int, numSpines)
+		net.upLinks[l] = make([]int32, numSpines)
 		for s := 0; s < numSpines; s++ {
 			net.upLinks[l][s] = net.addLink(fmt.Sprintf("leaf%d->spine%d", l, s), master.Split(), dist, true)
 			net.downLinks[s][l] = net.addLink(fmt.Sprintf("spine%d->leaf%d", s, l), master.Split(), dist, true)
@@ -152,20 +193,21 @@ func BuildLinearArray(n, pr int, tech network.Technology, sw network.Switch, see
 		Kind: LinearArray, N: n, Pr: pr, Tech: tech, Sw: sw,
 		eng: sim.NewEngine(),
 	}
+	net.eng.SetHandler(net)
 	master := rng.NewStream(seed)
 	k := ceilDiv(n, pr)
 	net.numLeaves = k
 	net.leafOf = make([]int, n)
-	net.hostUp = make([]int, n)
-	net.hostDown = make([]int, n)
+	net.hostUp = make([]int32, n)
+	net.hostDown = make([]int32, n)
 	for e := 0; e < n; e++ {
 		s := e / pr
 		net.leafOf[e] = s
 		net.hostUp[e] = net.addLink(fmt.Sprintf("h%d->sw%d", e, s), master.Split(), dist, false)
 		net.hostDown[e] = net.addLink(fmt.Sprintf("sw%d->h%d", s, e), master.Split(), dist, false)
 	}
-	net.chainRight = make([]int, k-1)
-	net.chainLeft = make([]int, k-1)
+	net.chainRight = make([]int32, k-1)
+	net.chainLeft = make([]int32, k-1)
 	for i := 0; i < k-1; i++ {
 		net.chainRight[i] = net.addLink(fmt.Sprintf("sw%d->sw%d", i, i+1), master.Split(), dist, true)
 		net.chainLeft[i] = net.addLink(fmt.Sprintf("sw%d->sw%d", i+1, i), master.Split(), dist, true)
@@ -191,25 +233,26 @@ func validateBuild(n, pr int, tech network.Technology, sw network.Switch) error 
 
 func ceilDiv(a, b int) int { return (a + b - 1) / b }
 
-// route returns the ordered link ids from src to dst and the number of
-// switches traversed. For the fat-tree the spine is chosen uniformly at
-// random (multipath routing).
-func (n *Network) route(st *rng.Stream, src, dst int) (path []int, switches int) {
+// appendRoute appends the ordered link ids from src to dst onto buf and
+// returns the extended buffer plus the number of switches traversed. For
+// the fat-tree the spine is chosen uniformly at random (multipath
+// routing). Reusing buf keeps steady-state routing allocation-free.
+func (n *Network) appendRoute(buf []int32, st *rng.Stream, src, dst int) (path []int32, switches int) {
 	switch n.Kind {
 	case FatTree:
 		if n.numSpines == 0 || n.leafOf[src] == n.leafOf[dst] {
-			return []int{n.hostUp[src], n.hostDown[dst]}, 1
+			return append(buf, n.hostUp[src], n.hostDown[dst]), 1
 		}
 		spine := st.Intn(n.numSpines)
-		return []int{
+		return append(buf,
 			n.hostUp[src],
 			n.upLinks[n.leafOf[src]][spine],
 			n.downLinks[spine][n.leafOf[dst]],
 			n.hostDown[dst],
-		}, 3
+		), 3
 	default: // LinearArray
 		a, b := n.leafOf[src], n.leafOf[dst]
-		path = []int{n.hostUp[src]}
+		path = append(buf, n.hostUp[src])
 		switches = 1
 		for i := a; i < b; i++ {
 			path = append(path, n.chainRight[i])
@@ -221,6 +264,13 @@ func (n *Network) route(st *rng.Stream, src, dst int) (path []int, switches int)
 		}
 		return append(path, n.hostDown[dst]), switches
 	}
+}
+
+// route returns src->dst's link ids in a fresh slice; tests and one-off
+// inspection use it, the simulation loop uses appendRoute with a pooled
+// buffer.
+func (n *Network) route(st *rng.Stream, src, dst int) ([]int32, int) {
+	return n.appendRoute(nil, st, src, dst)
 }
 
 // Options controls one netsim run.
@@ -255,6 +305,86 @@ type Result struct {
 	TimedOut bool
 }
 
+// allocMsg takes a message slot from the pool, keeping any recycled path
+// buffer.
+func (n *Network) allocMsg() int32 {
+	if ln := len(n.free); ln > 0 {
+		mi := n.free[ln-1]
+		n.free = n.free[:ln-1]
+		return mi
+	}
+	n.msgs = append(n.msgs, nmsg{})
+	return int32(len(n.msgs) - 1)
+}
+
+// Handle implements sim.Handler: the per-message hop state machine.
+func (n *Network) Handle(kind sim.EventKind, idx int32) {
+	switch kind {
+	case nvGenerate:
+		n.generate(int(idx))
+	case nvLinkDone:
+		mi := n.links[idx].center.CompleteService()
+		m := &n.msgs[mi]
+		m.pos++
+		if int(m.pos) == len(m.path) {
+			// Fixed latencies paid once per message: NIC latency alpha and
+			// the per-switch fabric latency.
+			fixed := n.Tech.Latency + float64(m.hops)*n.Sw.Latency
+			n.eng.Schedule(fixed, nvDeliver, mi)
+			return
+		}
+		n.links[m.path[m.pos]].center.Submit(n.serviceMean, mi)
+	case nvDeliver:
+		m := &n.msgs[idx]
+		src, born, hops := int(m.src), m.born, int(m.hops)
+		n.free = append(n.free, idx)
+		n.deliver(src, born, hops)
+	default:
+		panic(fmt.Sprintf("netsim: unknown event kind %d", kind))
+	}
+}
+
+// generate creates one message at endpoint p, routes it, and submits its
+// first link.
+func (n *Network) generate(p int) {
+	st := n.streams[p]
+	dst := st.Intn(n.N - 1)
+	if dst >= p {
+		dst++
+	}
+	mi := n.allocMsg()
+	m := &n.msgs[mi]
+	var switches int
+	m.path, switches = n.appendRoute(m.path[:0], st, p, dst)
+	m.born = n.eng.Now()
+	m.pos = 0
+	m.src = int32(p)
+	m.hops = int32(switches)
+	n.links[m.path[0]].center.Submit(n.serviceMean, mi)
+}
+
+// scheduleGeneration arms endpoint p's next message after an exponential
+// think time.
+func (n *Network) scheduleGeneration(p int) {
+	n.eng.Schedule(n.streams[p].ExpRate(n.opts.Lambda), nvGenerate, int32(p))
+}
+
+// deliver sinks a completed message and, closed-loop, re-arms its source.
+func (n *Network) deliver(p int, born float64, hops int) {
+	n.completed++
+	if n.completed == n.opts.Warmup {
+		n.measureStart = n.eng.Now()
+	}
+	if n.completed > n.opts.Warmup && n.res.Latency.Count() < int64(n.opts.Measured) {
+		n.res.Latency.Add(n.eng.Now() - born)
+		n.res.SwitchHops.Add(float64(hops))
+		if n.res.Latency.Count() == int64(n.opts.Measured) {
+			n.eng.Stop()
+		}
+	}
+	n.scheduleGeneration(p)
+}
+
 // Run executes a closed-loop uniform-traffic experiment on the network.
 // The network is single-use.
 func (n *Network) Run(opts Options) (*Result, error) {
@@ -274,77 +404,39 @@ func (n *Network) Run(opts Options) (*Result, error) {
 	if maxT <= 0 {
 		maxT = math.Inf(1)
 	}
-	res := &Result{}
+	n.opts = opts
+	n.res = &Result{}
 	master := rng.NewStream(opts.Seed ^ 0xabcdef12345)
-	streams := make([]*rng.Stream, n.N)
-	for i := range streams {
-		streams[i] = master.Split()
+	n.streams = make([]*rng.Stream, n.N)
+	for i := range n.streams {
+		n.streams[i] = master.Split()
 	}
-	serviceMean := float64(opts.MsgBytes) * n.Tech.Beta()
-	completed := 0
-	measureStart := 0.0
+	n.serviceMean = float64(opts.MsgBytes) * n.Tech.Beta()
+	// Closed-loop: at most one in-flight message per endpoint.
+	n.msgs = make([]nmsg, 0, n.N)
+	n.free = make([]int32, 0, n.N)
 
-	var generate func(p int)
-	deliver := func(p int, born float64, hops int) {
-		completed++
-		if completed == opts.Warmup {
-			measureStart = n.eng.Now()
-		}
-		if completed > opts.Warmup && res.Latency.Count() < int64(opts.Measured) {
-			res.Latency.Add(n.eng.Now() - born)
-			res.SwitchHops.Add(float64(hops))
-			if res.Latency.Count() == int64(opts.Measured) {
-				n.eng.Stop()
-			}
-		}
-		generate(p)
-	}
-	generate = func(p int) {
-		st := streams[p]
-		n.eng.Schedule(st.ExpRate(opts.Lambda), func() {
-			dst := st.Intn(n.N - 1)
-			if dst >= p {
-				dst++
-			}
-			path, hops := n.route(st, p, dst)
-			born := n.eng.Now()
-			// Fixed latencies paid once per message: NIC latency alpha and
-			// the per-switch fabric latency.
-			fixed := n.Tech.Latency + float64(hops)*n.Sw.Latency
-			i := -1
-			var step func()
-			step = func() {
-				i++
-				if i == len(path) {
-					n.eng.Schedule(fixed, func() { deliver(p, born, hops) })
-					return
-				}
-				n.links[path[i]].center.Submit(serviceMean, step)
-			}
-			step()
-		})
-	}
 	for p := 0; p < n.N; p++ {
-		generate(p)
+		n.scheduleGeneration(p)
 	}
 	n.eng.Run(maxT)
-	if res.Latency.Count() < int64(opts.Measured) {
-		res.TimedOut = true
+	if n.res.Latency.Count() < int64(n.opts.Measured) {
+		n.res.TimedOut = true
 	}
-	window := n.eng.Now() - measureStart
-	if window > 0 && res.Latency.Count() > 0 {
-		res.Throughput = float64(res.Latency.Count()) / window
+	window := n.eng.Now() - n.measureStart
+	if window > 0 && n.res.Latency.Count() > 0 {
+		n.res.Throughput = float64(n.res.Latency.Count()) / window
 	}
 	for _, l := range n.links {
 		l.center.Flush()
 		u := l.center.Utilization()
 		if l.interSwitch {
-			res.MaxInterSwitchUtil = math.Max(res.MaxInterSwitchUtil, u)
+			n.res.MaxInterSwitchUtil = math.Max(n.res.MaxInterSwitchUtil, u)
 		} else {
-			res.MaxHostLinkUtil = math.Max(res.MaxHostLinkUtil, u)
+			n.res.MaxHostLinkUtil = math.Max(n.res.MaxHostLinkUtil, u)
 		}
 	}
-	return res, nil
+	return n.res, nil
 }
 
 // ContentionFreeLatency returns the zero-load end-to-end time for a

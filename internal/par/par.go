@@ -1,0 +1,62 @@
+// Package par is the bounded-worker-pool primitive shared by the
+// replication runner and the sweep orchestrator: fan a fixed index space
+// out over up to P goroutines with results written by index, so outputs
+// (and the reported error) are deterministic regardless of completion
+// order.
+package par
+
+import (
+	"runtime"
+	"sync"
+)
+
+// ForEach runs fn(i) for every i in [0, n) on up to parallelism concurrent
+// workers. parallelism <= 0 means runtime.NumCPU(). With parallelism 1 the
+// calls run sequentially on the calling goroutine.
+//
+// Every index is attempted even if some fail; the returned error is the
+// lowest-index failure, so the outcome is independent of goroutine
+// scheduling.
+func ForEach(n, parallelism int, fn func(i int) error) error {
+	if n <= 0 {
+		return nil
+	}
+	if parallelism <= 0 {
+		parallelism = runtime.NumCPU()
+	}
+	if parallelism > n {
+		parallelism = n
+	}
+	if parallelism == 1 {
+		var first error
+		for i := 0; i < n; i++ {
+			if err := fn(i); err != nil && first == nil {
+				first = err
+			}
+		}
+		return first
+	}
+	errs := make([]error, n)
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < parallelism; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				errs[i] = fn(i)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

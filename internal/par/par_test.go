@@ -1,0 +1,61 @@
+package par
+
+import (
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"testing"
+)
+
+func TestForEachCoversAllIndices(t *testing.T) {
+	for _, p := range []int{0, 1, 2, 7, 64} {
+		const n = 100
+		var hits [n]int32
+		err := ForEach(n, p, func(i int) error {
+			atomic.AddInt32(&hits[i], 1)
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("parallelism %d: %v", p, err)
+		}
+		for i, h := range hits {
+			if h != 1 {
+				t.Fatalf("parallelism %d: index %d ran %d times", p, i, h)
+			}
+		}
+	}
+}
+
+func TestForEachReturnsLowestIndexError(t *testing.T) {
+	for _, p := range []int{1, 4} {
+		err := ForEach(10, p, func(i int) error {
+			if i == 7 || i == 3 {
+				return fmt.Errorf("unit %d failed", i)
+			}
+			return nil
+		})
+		if err == nil || err.Error() != "unit 3 failed" {
+			t.Fatalf("parallelism %d: err = %v, want lowest-index failure", p, err)
+		}
+	}
+}
+
+func TestForEachRunsEveryIndexDespiteErrors(t *testing.T) {
+	var ran int32
+	err := ForEach(20, 4, func(i int) error {
+		atomic.AddInt32(&ran, 1)
+		return errors.New("boom")
+	})
+	if err == nil {
+		t.Fatal("error swallowed")
+	}
+	if ran != 20 {
+		t.Fatalf("ran %d of 20 units", ran)
+	}
+}
+
+func TestForEachZeroUnits(t *testing.T) {
+	if err := ForEach(0, 4, func(int) error { return errors.New("must not run") }); err != nil {
+		t.Fatal(err)
+	}
+}

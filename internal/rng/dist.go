@@ -115,6 +115,30 @@ func (d *HyperExp) String() string {
 	return fmt.Sprintf("H2(mean=%g,scv=%g)", d.MeanValue, d.SCVValue)
 }
 
+// SampleScaled draws one variate from d's family rescaled to mean m,
+// without constructing an intermediate distribution value. It draws
+// exactly the same variate as ScaleMean(d, m).Sample(st) — the simulator's
+// hot path relies on that equivalence (and on this function not
+// allocating).
+func SampleScaled(d Dist, st *Stream, m float64) float64 {
+	switch v := d.(type) {
+	case Deterministic:
+		return m
+	case Exponential:
+		return st.Exp(m)
+	case Erlang:
+		return st.Erlang(v.K, m)
+	case *HyperExp:
+		// The balanced fit's phase probability depends only on the SCV, so
+		// rescaling keeps p and scales the phase means: mean1 = m/(2p),
+		// mean2 = m/(2(1-p)) — exactly what NewHyperExp(m, v.SCVValue)
+		// computes.
+		return st.HyperExp2(v.p, m/(2*v.p), m/(2*(1-v.p)))
+	default:
+		return ScaleMean(d, m).Sample(st)
+	}
+}
+
 // ScaleMean returns a distribution of the same family whose mean is m.
 // This is how the simulator instantiates a per-centre service distribution
 // from a family template.

@@ -1,7 +1,6 @@
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 	"math"
 )
@@ -16,20 +15,14 @@ import (
 type eventList interface {
 	push(e event)
 	pop() (event, bool)
+	// retain returns the most recently popped event to the set without
+	// consuming it: the engine uses it when an event lies past the run
+	// horizon. now is the clock the engine stopped at (now < e.at); the
+	// calendar rewinds its monotonicity floor and sweep anchor to it so
+	// later schedules between now and e.at stay legal and ordered.
+	retain(e event, now float64)
 	len() int
 }
-
-// heapList adapts eventHeap to the eventList interface.
-type heapList struct{ h eventHeap }
-
-func (l *heapList) push(e event) { heap.Push(&l.h, e) }
-func (l *heapList) pop() (event, bool) {
-	if len(l.h) == 0 {
-		return event{}, false
-	}
-	return heap.Pop(&l.h).(event), true
-}
-func (l *heapList) len() int { return len(l.h) }
 
 func less(a, b event) bool {
 	if a.at != b.at {
@@ -49,29 +42,45 @@ type calendarQueue struct {
 	width   float64
 	size    int
 
-	cursor    int     // bucket the sweep resumes at
-	bucketTop float64 // end of the cursor bucket's current window
-	lastPop   float64 // monotonicity guard
+	// curWin is the absolute window index the sweep resumes at: window w
+	// covers [w·width, (w+1)·width) and lives in bucket w mod len(buckets).
+	// Membership tests compare window indices (floor(at/width)), the same
+	// quantity bucket placement uses, so a time sitting within one ulp of
+	// a window boundary can never be skipped by accumulated float drift.
+	curWin  int64
+	lastPop float64 // monotonicity guard
+}
+
+// setWidth installs a new bucket width, rejecting degenerate geometry
+// (zero, negative, infinite, or NaN widths would make bucketFor divide by
+// zero or collapse every event into one bucket). This is the single guard
+// point for width hints from callers and re-estimates from resize.
+func (cq *calendarQueue) setWidth(w float64) {
+	if w > 0 && !math.IsInf(w, 1) && !math.IsNaN(w) {
+		cq.width = w
+	} else if cq.width == 0 {
+		cq.width = 1e-3
+	}
 }
 
 // newCalendarQueue creates a calendar tuned for the given expected
 // inter-event spacing; the structure adapts its geometry as it resizes.
 func newCalendarQueue(widthHint float64) *calendarQueue {
-	if !(widthHint > 0) || math.IsInf(widthHint, 1) {
-		widthHint = 1e-3
-	}
-	cq := &calendarQueue{
-		buckets: make([][]event, 8),
-		width:   widthHint,
-	}
-	cq.bucketTop = cq.width
+	cq := &calendarQueue{buckets: make([][]event, 8)}
+	cq.setWidth(widthHint)
 	return cq
 }
 
 func (cq *calendarQueue) len() int { return cq.size }
 
+// windowOf returns the absolute window index of time t.
+func (cq *calendarQueue) windowOf(t float64) int64 {
+	return int64(math.Floor(t / cq.width))
+}
+
 func (cq *calendarQueue) bucketFor(t float64) int {
-	return int(math.Mod(t/cq.width, float64(len(cq.buckets))))
+	n := int64(len(cq.buckets))
+	return int(((cq.windowOf(t) % n) + n) % n)
 }
 
 func (cq *calendarQueue) push(e event) {
@@ -98,21 +107,20 @@ func (cq *calendarQueue) pop() (event, bool) {
 	if cq.size == 0 {
 		return event{}, false
 	}
-	n := len(cq.buckets)
-	idx, top := cq.cursor, cq.bucketTop
-	for scanned := 0; scanned < n; scanned++ {
-		b := cq.buckets[idx]
-		if len(b) > 0 && b[0].at < top {
+	n := int64(len(cq.buckets))
+	win := cq.curWin
+	for scanned := int64(0); scanned < n; scanned++ {
+		b := cq.buckets[((win%n)+n)%n]
+		if len(b) > 0 && cq.windowOf(b[0].at) <= win {
 			e := b[0]
-			cq.buckets[idx] = b[1:]
+			cq.buckets[((win%n)+n)%n] = b[1:]
 			cq.size--
-			cq.cursor, cq.bucketTop = idx, top
+			cq.curWin = win
 			cq.lastPop = e.at
 			cq.maybeShrink()
 			return e, true
 		}
-		idx = (idx + 1) % n
-		top += cq.width
+		win++
 	}
 	// A whole year is empty before the next event: find the global
 	// minimum directly and re-anchor the sweep there.
@@ -128,11 +136,16 @@ func (cq *calendarQueue) pop() (event, bool) {
 	}
 	cq.buckets[bestIdx] = cq.buckets[bestIdx][1:]
 	cq.size--
-	cq.cursor = bestIdx
-	cq.bucketTop = (math.Floor(best.at/cq.width) + 1) * cq.width
+	cq.curWin = cq.windowOf(best.at)
 	cq.lastPop = best.at
 	cq.maybeShrink()
 	return best, true
+}
+
+func (cq *calendarQueue) retain(e event, now float64) {
+	cq.lastPop = now
+	cq.curWin = cq.windowOf(now)
+	cq.push(e)
 }
 
 func (cq *calendarQueue) maybeShrink() {
@@ -159,10 +172,7 @@ func (cq *calendarQueue) resize(newBuckets int) {
 		}
 	}
 	if !first && maxT > minT && cq.size > 1 {
-		w := (maxT - minT) / float64(cq.size) * 2
-		if w > 0 && !math.IsInf(w, 1) && !math.IsNaN(w) {
-			cq.width = w
-		}
+		cq.setWidth((maxT - minT) / float64(cq.size) * 2)
 	}
 	live := make([]event, 0, cq.size)
 	for _, b := range old {
@@ -176,7 +186,6 @@ func (cq *calendarQueue) resize(newBuckets int) {
 		cq.push(e)
 	}
 	cq.lastPop = guard
-	// Re-anchor the sweep at the last popped time.
-	cq.cursor = cq.bucketFor(cq.lastPop)
-	cq.bucketTop = (math.Floor(cq.lastPop/cq.width) + 1) * cq.width
+	// Re-anchor the sweep at the last popped time under the new geometry.
+	cq.curWin = cq.windowOf(cq.lastPop)
 }

@@ -186,24 +186,123 @@ func TestQuickCalendarOrderInvariant(t *testing.T) {
 	}
 }
 
+// TestCalendarRepushLockstep replays the engine's bounded-horizon access
+// pattern — pop, and when the event lies past the horizon push it straight
+// back — against a reference heap. This is the regression test for two
+// bugs: the boundary event being dropped rather than retained, and the
+// sweep skipping an event sitting within one ulp of its bucket-window end
+// (the old accumulated `top += width` drifted below the true boundary,
+// stranding the event for a whole calendar year).
+func TestCalendarRepushLockstep(t *testing.T) {
+	st := rng.NewStream(1)
+	cq := newCalendarQueue(1e-3)
+	h := &heapList{}
+	seq := uint64(0)
+	pushBoth := func(at float64) {
+		seq++
+		cq.push(event{at: at, seq: seq})
+		h.push(event{at: at, seq: seq})
+	}
+	for i := 0; i < 4096; i++ {
+		pushBoth(st.Exp(1e-3))
+	}
+	now, maxT := 0.0, 0.0
+	for step := 0; step < 150000; step++ {
+		maxT += 1e-3 / 40
+		for {
+			ce, cok := cq.pop()
+			he, hok := h.pop()
+			if cok != hok || (cok && (ce.at != he.at || ce.seq != he.seq)) {
+				t.Fatalf("step %d now %v: calendar (%v,%d,%v) vs heap (%v,%d,%v)",
+					step, now, ce.at, ce.seq, cok, he.at, he.seq, hok)
+			}
+			if !cok {
+				t.Fatal("queues drained")
+			}
+			if ce.at > maxT {
+				// Past the horizon: both retain the event, like Engine.Run.
+				cq.push(ce)
+				h.push(he)
+				break
+			}
+			now = ce.at
+			pushBoth(now + st.Exp(1e-3))
+		}
+	}
+}
+
+// TestEngineSlicedRunRetainsBoundaryEvent pins Engine.Run's maxTime
+// behaviour: an event past the horizon stays pending rather than being
+// silently dropped, so repeated bounded runs lose nothing.
+func TestEngineSlicedRunRetainsBoundaryEvent(t *testing.T) {
+	for _, mk := range []func() *Engine{
+		NewEngine,
+		func() *Engine { return NewEngineWithCalendar(1e-3) },
+	} {
+		eng := mk()
+		st := rng.NewStream(9)
+		eng.SetHandler(handlerFunc(func(EventKind, int32) {
+			eng.Schedule(st.Exp(1e-3), 0, 0)
+		}))
+		for i := 0; i < 512; i++ {
+			eng.Schedule(st.Exp(1e-3), 0, 0)
+		}
+		for i := 0; i < 5000; i++ {
+			eng.Run(eng.Now() + 1e-3)
+			if p := eng.Pending(); p != 512 {
+				t.Fatalf("slice %d: pending = %d, want steady 512", i, p)
+			}
+		}
+	}
+}
+
+// TestEngineScheduleAfterBoundedRun pins the retain contract: after a
+// bounded Run stops short of a future event, scheduling between the
+// horizon and that event must work and dispatch in time order (the naive
+// pop-and-push-back left the calendar's monotonicity floor at the future
+// event's time, panicking on the later Schedule).
+func TestEngineScheduleAfterBoundedRun(t *testing.T) {
+	for _, mk := range []func() *Engine{
+		NewEngine,
+		func() *Engine { return NewEngineWithCalendar(1e-3) },
+	} {
+		eng := mk()
+		var order []int32
+		eng.SetHandler(handlerFunc(func(_ EventKind, idx int32) { order = append(order, idx) }))
+		eng.Schedule(10, 0, 10)
+		if n := eng.Run(1); n != 0 {
+			t.Fatalf("bounded run executed %d events", n)
+		}
+		if eng.Pending() != 1 {
+			t.Fatalf("boundary event lost: pending = %d", eng.Pending())
+		}
+		eng.Schedule(1, 0, 2) // t = 2, below the retained event's t = 10
+		eng.Run(math.Inf(1))
+		if len(order) != 2 || order[0] != 2 || order[1] != 10 {
+			t.Fatalf("dispatch order = %v, want [2 10]", order)
+		}
+	}
+}
+
 func TestEngineWithCalendarMatchesHeapSimulation(t *testing.T) {
-	// The full simulator must be bit-identical under either event list.
+	// A centre-driven workload must be bit-identical under either event
+	// list.
 	runWith := func(eng *Engine) []float64 {
 		st := rng.NewStream(7)
-		c := NewCenter("q", eng, rng.Exponential{MeanValue: 1}, rng.NewStream(8))
+		h := newCenterHarness(eng, rng.Exponential{MeanValue: 1}, rng.NewStream(8))
 		var lat []float64
-		submitted := 0
-		var arrive func()
-		arrive = func() {
-			if submitted >= 5000 {
+		born := make([]float64, 0, 5000)
+		h.onArrive = func() {
+			if len(born) >= 5000 {
 				return
 			}
-			submitted++
-			t0 := eng.Now()
-			c.Submit(0.8, func() { lat = append(lat, eng.Now()-t0) })
-			eng.Schedule(st.ExpRate(1.0), arrive)
+			msg := int32(len(born))
+			born = append(born, eng.Now())
+			h.c.Submit(0.8, msg)
+			eng.Schedule(st.ExpRate(1.0), tkArrive, 0)
 		}
-		eng.Schedule(st.ExpRate(1.0), arrive)
+		h.onDone = func(msg int32) { lat = append(lat, eng.Now()-born[msg]) }
+		eng.Schedule(st.ExpRate(1.0), tkArrive, 0)
 		eng.Run(math.Inf(1))
 		return lat
 	}

@@ -7,26 +7,34 @@ import (
 	"hmscs/internal/stats"
 )
 
-// job is one message waiting for or receiving service at a centre.
-type job struct {
+// pendingJob is one message waiting for service at a centre: a plain value
+// (no pointers), so the queue never allocates per message.
+type pendingJob struct {
 	serviceMean float64
-	done        func()
+	msg         int32
 }
 
 // Center is a FIFO single-server service centre modelling one
 // communication network. Service times are drawn from the configured
 // distribution family scaled to each job's mean (so variable message sizes
 // and non-exponential ablations are both supported).
+//
+// A centre does not call back into its owner: when a service completes the
+// engine dispatches (doneKind, id) to the owner's Handler, which calls
+// CompleteService to collect the finished message index and route it.
 type Center struct {
 	Name string
 
-	eng     *Engine
-	distTpl rng.Dist
-	stream  *rng.Stream
+	id       int32
+	doneKind EventKind
+	eng      *Engine
+	distTpl  rng.Dist
+	stream   *rng.Stream
 
-	busy  bool
-	queue []job // FIFO via head index to avoid reallocating per message
-	head  int
+	busy      bool
+	inService pendingJob
+	queue     []pendingJob // FIFO via head index to avoid reallocating per message
+	head      int
 
 	qlen   stats.TimeWeighted // number in system (queue + in service)
 	busyTW stats.TimeWeighted // 0/1 busy signal
@@ -35,23 +43,30 @@ type Center struct {
 }
 
 // NewCenter creates a centre served according to the given distribution
-// family (its mean is rescaled per job) drawing from its own random stream.
-func NewCenter(name string, eng *Engine, distTpl rng.Dist, stream *rng.Stream) *Center {
-	c := &Center{Name: name, eng: eng, distTpl: distTpl, stream: stream}
+// family (its mean is rescaled per job) drawing from its own random
+// stream. Service completions are announced by scheduling (doneKind, id)
+// on the engine.
+func NewCenter(name string, eng *Engine, distTpl rng.Dist, stream *rng.Stream, doneKind EventKind, id int32) *Center {
+	c := &Center{Name: name, eng: eng, distTpl: distTpl, stream: stream, doneKind: doneKind, id: id}
 	c.qlen.Observe(eng.Now(), 0)
 	c.busyTW.Observe(eng.Now(), 0)
 	return c
 }
 
-// Submit enqueues a message whose mean service time is serviceMean; done
-// runs when its service completes.
-func (c *Center) Submit(serviceMean float64, done func()) {
+// ID returns the centre id passed to NewCenter (the idx of its completion
+// events).
+func (c *Center) ID() int32 { return c.id }
+
+// Submit enqueues message msg whose mean service time is serviceMean. When
+// its service completes the engine dispatches (doneKind, id) to the
+// handler, which must call CompleteService.
+func (c *Center) Submit(serviceMean float64, msg int32) {
 	if serviceMean <= 0 {
 		panic(fmt.Sprintf("sim: centre %s got service mean %v", c.Name, serviceMean))
 	}
 	c.inSys++
 	c.qlen.Observe(c.eng.Now(), float64(c.inSys))
-	j := job{serviceMean: serviceMean, done: done}
+	j := pendingJob{serviceMean: serviceMean, msg: msg}
 	if c.busy {
 		c.queue = append(c.queue, j)
 		return
@@ -59,20 +74,25 @@ func (c *Center) Submit(serviceMean float64, done func()) {
 	c.start(j)
 }
 
-func (c *Center) start(j job) {
+func (c *Center) start(j pendingJob) {
 	c.busy = true
 	c.busyTW.Observe(c.eng.Now(), 1)
-	d := rng.ScaleMean(c.distTpl, j.serviceMean)
-	c.eng.Schedule(d.Sample(c.stream), func() { c.finish(j) })
+	c.inService = j
+	d := rng.SampleScaled(c.distTpl, c.stream, j.serviceMean)
+	c.eng.Schedule(d, c.doneKind, c.id)
 }
 
-func (c *Center) finish(j job) {
+// CompleteService finishes the message in service — updating statistics
+// and starting the next queued job — and returns the finished message
+// index for the handler to route onward. It must be called exactly once
+// per (doneKind, id) event.
+func (c *Center) CompleteService() int32 {
+	done := c.inService.msg
 	c.served++
 	c.inSys--
 	c.qlen.Observe(c.eng.Now(), float64(c.inSys))
 	if c.head < len(c.queue) {
 		next := c.queue[c.head]
-		c.queue[c.head] = job{} // release references
 		c.head++
 		if c.head == len(c.queue) { // queue drained: reset storage
 			c.queue = c.queue[:0]
@@ -83,7 +103,7 @@ func (c *Center) finish(j job) {
 		c.busy = false
 		c.busyTW.Observe(c.eng.Now(), 0)
 	}
-	j.done()
+	return done
 }
 
 // QueueLength returns the current number of messages in the centre.

@@ -8,46 +8,81 @@ import (
 	"hmscs/internal/stats"
 )
 
+// Event kinds used by the centre test harness.
+const (
+	tkArrive EventKind = iota
+	tkDone
+)
+
+// centerHarness drives one centre from typed events: tkArrive fires the
+// test's arrival logic, tkDone completes the centre's service in progress
+// and hands the finished message index to the test.
+type centerHarness struct {
+	eng      *Engine
+	c        *Center
+	onArrive func()
+	onDone   func(msg int32)
+}
+
+func newCenterHarness(eng *Engine, dist rng.Dist, stream *rng.Stream) *centerHarness {
+	h := &centerHarness{eng: eng}
+	h.c = NewCenter("q", eng, dist, stream, tkDone, 0)
+	eng.SetHandler(h)
+	return h
+}
+
+func (h *centerHarness) Handle(kind EventKind, idx int32) {
+	switch kind {
+	case tkArrive:
+		h.onArrive()
+	case tkDone:
+		msg := h.c.CompleteService()
+		if h.onDone != nil {
+			h.onDone(msg)
+		}
+	}
+}
+
 // TestCenterMM1 drives a single centre with Poisson arrivals and exponential
 // service and checks the measured sojourn time against 1/(mu-lambda).
 func TestCenterMM1(t *testing.T) {
 	eng := NewEngine()
 	arrivals := rng.NewStream(1)
-	c := NewCenter("q", eng, rng.Exponential{MeanValue: 1}, rng.NewStream(2))
+	h := newCenterHarness(eng, rng.Exponential{MeanValue: 1}, rng.NewStream(2))
 
 	lambda, mu := 0.7, 1.0
 	var lat stats.Welford
 	const nMsgs = 200000
-	submitted := 0
-	var arrive func()
-	arrive = func() {
-		if submitted >= nMsgs {
+	born := make([]float64, 0, nMsgs)
+	h.onArrive = func() {
+		if len(born) >= nMsgs {
 			return
 		}
-		submitted++
-		t0 := eng.Now()
-		c.Submit(1/mu, func() {
-			lat.Add(eng.Now() - t0)
-		})
-		eng.Schedule(arrivals.ExpRate(lambda), arrive)
+		msg := int32(len(born))
+		born = append(born, eng.Now())
+		h.c.Submit(1/mu, msg)
+		eng.Schedule(arrivals.ExpRate(lambda), tkArrive, 0)
 	}
-	eng.Schedule(arrivals.ExpRate(lambda), arrive)
+	h.onDone = func(msg int32) {
+		lat.Add(eng.Now() - born[msg])
+	}
+	eng.Schedule(arrivals.ExpRate(lambda), tkArrive, 0)
 	eng.Run(math.Inf(1))
-	c.Flush()
+	h.c.Flush()
 
 	wantW := 1 / (mu - lambda)
 	if got := lat.Mean(); math.Abs(got-wantW)/wantW > 0.05 {
 		t.Fatalf("measured W = %v, want %v (M/M/1)", got, wantW)
 	}
-	if u := c.Utilization(); math.Abs(u-lambda/mu) > 0.02 {
+	if u := h.c.Utilization(); math.Abs(u-lambda/mu) > 0.02 {
 		t.Fatalf("utilisation = %v, want %v", u, lambda/mu)
 	}
 	wantL := (lambda / mu) / (1 - lambda/mu)
-	if l := c.MeanQueueLength(); math.Abs(l-wantL)/wantL > 0.06 {
+	if l := h.c.MeanQueueLength(); math.Abs(l-wantL)/wantL > 0.06 {
 		t.Fatalf("mean queue = %v, want %v", l, wantL)
 	}
-	if c.Served() != nMsgs {
-		t.Fatalf("served = %d", c.Served())
+	if h.c.Served() != nMsgs {
+		t.Fatalf("served = %d", h.c.Served())
 	}
 }
 
@@ -56,25 +91,27 @@ func TestCenterMM1(t *testing.T) {
 func TestCenterMD1(t *testing.T) {
 	eng := NewEngine()
 	arrivals := rng.NewStream(3)
-	c := NewCenter("q", eng, rng.Deterministic{Value: 1}, rng.NewStream(4))
+	h := newCenterHarness(eng, rng.Deterministic{Value: 1}, rng.NewStream(4))
 
 	lambda, mean := 0.6, 1.0
 	var lat stats.Welford
 	const nMsgs = 100000
+	born := make([]float64, 0, nMsgs)
 	done := 0
-	var arrive func()
-	arrive = func() {
+	h.onArrive = func() {
 		if done >= nMsgs {
 			return
 		}
-		t0 := eng.Now()
-		c.Submit(mean, func() {
-			lat.Add(eng.Now() - t0)
-			done++
-		})
-		eng.Schedule(arrivals.ExpRate(lambda), arrive)
+		msg := int32(len(born))
+		born = append(born, eng.Now())
+		h.c.Submit(mean, msg)
+		eng.Schedule(arrivals.ExpRate(lambda), tkArrive, 0)
 	}
-	eng.Schedule(arrivals.ExpRate(lambda), arrive)
+	h.onDone = func(msg int32) {
+		lat.Add(eng.Now() - born[msg])
+		done++
+	}
+	eng.Schedule(arrivals.ExpRate(lambda), tkArrive, 0)
 	eng.Run(math.Inf(1))
 
 	rho := lambda * mean
@@ -86,15 +123,15 @@ func TestCenterMD1(t *testing.T) {
 
 func TestCenterFIFO(t *testing.T) {
 	eng := NewEngine()
-	c := NewCenter("q", eng, rng.Deterministic{Value: 1}, rng.NewStream(5))
-	var order []int
+	h := newCenterHarness(eng, rng.Deterministic{Value: 1}, rng.NewStream(5))
+	var order []int32
+	h.onDone = func(msg int32) { order = append(order, msg) }
 	for i := 0; i < 5; i++ {
-		i := i
-		c.Submit(1.0, func() { order = append(order, i) })
+		h.c.Submit(1.0, int32(i))
 	}
 	eng.Run(math.Inf(1))
 	for i, v := range order {
-		if v != i {
+		if v != int32(i) {
 			t.Fatalf("service order = %v, want FIFO", order)
 		}
 	}
@@ -107,14 +144,15 @@ func TestCenterQueueDrainReset(t *testing.T) {
 	// After the queue fully drains, new arrivals must still be served
 	// correctly (exercises the head-index reset).
 	eng := NewEngine()
-	c := NewCenter("q", eng, rng.Deterministic{Value: 1}, rng.NewStream(6))
+	h := newCenterHarness(eng, rng.Deterministic{Value: 1}, rng.NewStream(6))
 	served := 0
+	h.onDone = func(int32) { served++ }
 	for burst := 0; burst < 3; burst++ {
 		for i := 0; i < 4; i++ {
-			c.Submit(0.25, func() { served++ })
+			h.c.Submit(0.25, int32(i))
 		}
 		eng.Run(math.Inf(1))
-		if c.QueueLength() != 0 {
+		if h.c.QueueLength() != 0 {
 			t.Fatalf("queue not drained after burst %d", burst)
 		}
 	}
@@ -125,24 +163,24 @@ func TestCenterQueueDrainReset(t *testing.T) {
 
 func TestCenterRejectsBadServiceMean(t *testing.T) {
 	eng := NewEngine()
-	c := NewCenter("q", eng, rng.Exponential{MeanValue: 1}, rng.NewStream(7))
+	h := newCenterHarness(eng, rng.Exponential{MeanValue: 1}, rng.NewStream(7))
 	defer func() {
 		if recover() == nil {
 			t.Fatal("zero service mean did not panic")
 		}
 	}()
-	c.Submit(0, func() {})
+	h.c.Submit(0, 0)
 }
 
 func TestCenterMaxQueueLength(t *testing.T) {
 	eng := NewEngine()
-	c := NewCenter("q", eng, rng.Deterministic{Value: 1}, rng.NewStream(8))
+	h := newCenterHarness(eng, rng.Deterministic{Value: 1}, rng.NewStream(8))
 	for i := 0; i < 7; i++ {
-		c.Submit(1, func() {})
+		h.c.Submit(1, int32(i))
 	}
 	eng.Run(math.Inf(1))
-	c.Flush()
-	if c.MaxQueueLength() != 7 {
-		t.Fatalf("max queue = %v, want 7", c.MaxQueueLength())
+	h.c.Flush()
+	if h.c.MaxQueueLength() != 7 {
+		t.Fatalf("max queue = %v, want 7", h.c.MaxQueueLength())
 	}
 }

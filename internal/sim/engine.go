@@ -6,6 +6,11 @@
 // non-exponential service, arbitrary traffic patterns and message-size
 // distributions, warm-up control, and multi-replication runs with
 // confidence intervals.
+//
+// The execution core is allocation-free: events are plain typed records
+// (kind + payload index) kept in value slices, and the engine dispatches
+// them to a Handler instead of invoking heap-allocated closures. See
+// DESIGN.md §3 for the event-core design.
 package sim
 
 import (
@@ -13,44 +18,96 @@ import (
 	"math"
 )
 
-// event is one scheduled callback.
+// EventKind discriminates event records. Kinds are owned by the Handler
+// (the simulator built on top of the engine), not by the engine itself.
+type EventKind uint8
+
+// event is one scheduled occurrence: a timestamp, a FIFO tie-break, and a
+// (kind, idx) payload the handler interprets. It is a plain value — no
+// pointers — so event lists never allocate per event.
 type event struct {
-	at  float64
-	seq uint64 // FIFO tie-break for simultaneous events
-	fn  func()
+	at   float64
+	seq  uint64 // FIFO tie-break for simultaneous events
+	kind EventKind
+	idx  int32
 }
 
-// eventHeap is a binary min-heap ordered by (time, seq).
+// Handler dispatches events popped by the engine. idx is the payload the
+// scheduler passed: a processor id, a service-centre id, a message index
+// into a pooled table — whatever the kind implies.
+type Handler interface {
+	Handle(kind EventKind, idx int32)
+}
+
+// eventHeap is a binary min-heap ordered by (time, seq), with manual
+// sift-up/sift-down so pushes and pops never box events into interfaces.
 type eventHeap []event
 
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
+func (h *eventHeap) push(e event) {
+	*h = append(*h, e)
+	// Sift up.
+	s := *h
+	i := len(s) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !less(s[i], s[parent]) {
+			break
+		}
+		s[i], s[parent] = s[parent], s[i]
+		i = parent
 	}
-	return h[i].seq < h[j].seq
-}
-func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(event)) }
-func (h *eventHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	*h = old[:n-1]
-	return e
 }
 
-// Engine is a sequential discrete-event execution core: a clock and a
-// future-event set.
+func (h *eventHeap) pop() (event, bool) {
+	s := *h
+	n := len(s)
+	if n == 0 {
+		return event{}, false
+	}
+	top := s[0]
+	s[0] = s[n-1]
+	s = s[:n-1]
+	*h = s
+	// Sift down.
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		smallest := i
+		if l < len(s) && less(s[l], s[smallest]) {
+			smallest = l
+		}
+		if r < len(s) && less(s[r], s[smallest]) {
+			smallest = r
+		}
+		if smallest == i {
+			break
+		}
+		s[i], s[smallest] = s[smallest], s[i]
+		i = smallest
+	}
+	return top, true
+}
+
+// heapList adapts eventHeap to the eventList interface.
+type heapList struct{ h eventHeap }
+
+func (l *heapList) push(e event)              { l.h.push(e) }
+func (l *heapList) pop() (event, bool)        { return l.h.pop() }
+func (l *heapList) retain(e event, _ float64) { l.h.push(e) }
+func (l *heapList) len() int                  { return len(l.h) }
+
+// Engine is a sequential discrete-event execution core: a clock, a
+// future-event set, and a handler the events are dispatched to.
 type Engine struct {
 	now     float64
 	seq     uint64
 	events  eventList
+	handler Handler
 	stopped bool
 }
 
 // NewEngine returns an engine with the clock at zero, backed by the
-// default binary-heap event set.
+// default binary-heap event set. Call SetHandler before Run.
 func NewEngine() *Engine { return &Engine{events: &heapList{}} }
 
 // NewEngineWithCalendar returns an engine backed by a calendar queue tuned
@@ -60,26 +117,33 @@ func NewEngineWithCalendar(widthHint float64) *Engine {
 	return &Engine{events: newCalendarQueue(widthHint)}
 }
 
+// SetHandler installs the dispatcher that Run delivers events to.
+func (e *Engine) SetHandler(h Handler) { e.handler = h }
+
 // Now returns the current simulation time in seconds.
 func (e *Engine) Now() float64 { return e.now }
 
-// Schedule runs fn after the given delay. A negative delay is a programming
-// error and panics; simultaneous events run in scheduling order.
-func (e *Engine) Schedule(delay float64, fn func()) {
+// Schedule enqueues an event of the given kind after delay. A negative
+// delay is a programming error and panics; simultaneous events are
+// dispatched in scheduling order.
+func (e *Engine) Schedule(delay float64, kind EventKind, idx int32) {
 	if delay < 0 || math.IsNaN(delay) {
 		panic(fmt.Sprintf("sim: scheduling with invalid delay %v", delay))
 	}
 	e.seq++
-	e.events.push(event{at: e.now + delay, seq: e.seq, fn: fn})
+	e.events.push(event{at: e.now + delay, seq: e.seq, kind: kind, idx: idx})
 }
 
 // Stop makes Run return after the current event completes.
 func (e *Engine) Stop() { e.stopped = true }
 
-// Run processes events until the calendar empties, Stop is called, or the
-// clock passes maxTime (use math.Inf(1) for no limit). It returns the
-// number of events executed.
+// Run dispatches events to the handler until the calendar empties, Stop is
+// called, or the clock passes maxTime (use math.Inf(1) for no limit). It
+// returns the number of events executed.
 func (e *Engine) Run(maxTime float64) int {
+	if e.handler == nil {
+		panic("sim: engine Run without a handler (call SetHandler first)")
+	}
 	executed := 0
 	e.stopped = false
 	for !e.stopped {
@@ -88,14 +152,18 @@ func (e *Engine) Run(maxTime float64) int {
 			break
 		}
 		if ev.at > maxTime {
+			// Leave the event for a later Run with a larger horizon: the
+			// clock advances to the deadline but nothing past it is lost,
+			// and scheduling between the deadline and the event stays legal.
 			e.now = maxTime
+			e.events.retain(ev, maxTime)
 			return executed
 		}
 		if ev.at < e.now {
 			panic(fmt.Sprintf("sim: time went backwards: %v < %v", ev.at, e.now))
 		}
 		e.now = ev.at
-		ev.fn()
+		e.handler.Handle(ev.kind, ev.idx)
 		executed++
 	}
 	return executed

@@ -5,12 +5,18 @@ import (
 	"testing"
 )
 
+// handlerFunc adapts a function to the Handler interface for tests.
+type handlerFunc func(kind EventKind, idx int32)
+
+func (f handlerFunc) Handle(kind EventKind, idx int32) { f(kind, idx) }
+
 func TestEngineOrdersEvents(t *testing.T) {
 	e := NewEngine()
-	var order []int
-	e.Schedule(3, func() { order = append(order, 3) })
-	e.Schedule(1, func() { order = append(order, 1) })
-	e.Schedule(2, func() { order = append(order, 2) })
+	var order []int32
+	e.SetHandler(handlerFunc(func(_ EventKind, idx int32) { order = append(order, idx) }))
+	e.Schedule(3, 0, 3)
+	e.Schedule(1, 0, 1)
+	e.Schedule(2, 0, 2)
 	n := e.Run(math.Inf(1))
 	if n != 3 {
 		t.Fatalf("executed %d events", n)
@@ -25,30 +31,45 @@ func TestEngineOrdersEvents(t *testing.T) {
 
 func TestEngineFIFOTieBreak(t *testing.T) {
 	e := NewEngine()
-	var order []int
+	var order []int32
+	e.SetHandler(handlerFunc(func(_ EventKind, idx int32) { order = append(order, idx) }))
 	for i := 0; i < 10; i++ {
-		i := i
-		e.Schedule(1.0, func() { order = append(order, i) })
+		e.Schedule(1.0, 0, int32(i))
 	}
 	e.Run(math.Inf(1))
 	for i, v := range order {
-		if v != i {
+		if v != int32(i) {
 			t.Fatalf("simultaneous events ran out of order: %v", order)
 		}
+	}
+}
+
+func TestEngineDispatchesKindAndIndex(t *testing.T) {
+	e := NewEngine()
+	type rec struct {
+		kind EventKind
+		idx  int32
+	}
+	var got []rec
+	e.SetHandler(handlerFunc(func(kind EventKind, idx int32) { got = append(got, rec{kind, idx}) }))
+	e.Schedule(1, 2, 77)
+	e.Schedule(2, 5, -3)
+	e.Run(math.Inf(1))
+	if len(got) != 2 || got[0] != (rec{2, 77}) || got[1] != (rec{5, -3}) {
+		t.Fatalf("dispatched payloads = %v", got)
 	}
 }
 
 func TestEngineNestedScheduling(t *testing.T) {
 	e := NewEngine()
 	count := 0
-	var tick func()
-	tick = func() {
+	e.SetHandler(handlerFunc(func(EventKind, int32) {
 		count++
 		if count < 100 {
-			e.Schedule(0.5, tick)
+			e.Schedule(0.5, 0, 0)
 		}
-	}
-	e.Schedule(0.5, tick)
+	}))
+	e.Schedule(0.5, 0, 0)
 	e.Run(math.Inf(1))
 	if count != 100 {
 		t.Fatalf("count = %d", count)
@@ -61,13 +82,14 @@ func TestEngineNestedScheduling(t *testing.T) {
 func TestEngineStop(t *testing.T) {
 	e := NewEngine()
 	ran := 0
+	e.SetHandler(handlerFunc(func(EventKind, int32) {
+		ran++
+		if ran == 3 {
+			e.Stop()
+		}
+	}))
 	for i := 0; i < 10; i++ {
-		e.Schedule(float64(i), func() {
-			ran++
-			if ran == 3 {
-				e.Stop()
-			}
-		})
+		e.Schedule(float64(i), 0, 0)
 	}
 	e.Run(math.Inf(1))
 	if ran != 3 {
@@ -81,8 +103,9 @@ func TestEngineStop(t *testing.T) {
 func TestEngineMaxTime(t *testing.T) {
 	e := NewEngine()
 	ran := 0
-	e.Schedule(1, func() { ran++ })
-	e.Schedule(5, func() { ran++ })
+	e.SetHandler(handlerFunc(func(EventKind, int32) { ran++ }))
+	e.Schedule(1, 0, 0)
+	e.Schedule(5, 0, 0)
 	e.Run(2)
 	if ran != 1 {
 		t.Fatalf("ran %d events before maxTime", ran)
@@ -95,7 +118,8 @@ func TestEngineMaxTime(t *testing.T) {
 func TestEngineZeroDelay(t *testing.T) {
 	e := NewEngine()
 	ran := false
-	e.Schedule(0, func() { ran = true })
+	e.SetHandler(handlerFunc(func(EventKind, int32) { ran = true }))
+	e.Schedule(0, 0, 0)
 	e.Run(math.Inf(1))
 	if !ran || e.Now() != 0 {
 		t.Fatal("zero-delay event mishandled")
@@ -109,7 +133,7 @@ func TestEngineNegativeDelayPanics(t *testing.T) {
 			t.Fatal("negative delay did not panic")
 		}
 	}()
-	e.Schedule(-1, func() {})
+	e.Schedule(-1, 0, 0)
 }
 
 func TestEngineNaNDelayPanics(t *testing.T) {
@@ -119,5 +143,16 @@ func TestEngineNaNDelayPanics(t *testing.T) {
 			t.Fatal("NaN delay did not panic")
 		}
 	}()
-	e.Schedule(math.NaN(), func() {})
+	e.Schedule(math.NaN(), 0, 0)
+}
+
+func TestEngineRunWithoutHandlerPanics(t *testing.T) {
+	e := NewEngine()
+	e.Schedule(1, 0, 0)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Run without a handler did not panic")
+		}
+	}()
+	e.Run(math.Inf(1))
 }

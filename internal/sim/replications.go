@@ -2,10 +2,9 @@ package sim
 
 import (
 	"fmt"
-	"runtime"
-	"sync"
 
 	"hmscs/internal/core"
+	"hmscs/internal/par"
 	"hmscs/internal/stats"
 )
 
@@ -30,33 +29,19 @@ type Replicated struct {
 	AnyTimedOut bool
 }
 
-// RunReplications executes n independent replications (seeds seedBase+1..n)
-// in parallel across CPUs and aggregates them.
-func RunReplications(cfg *core.Config, opts Options, n int) (*Replicated, error) {
-	if n < 1 {
-		return nil, fmt.Errorf("sim: need at least 1 replication, got %d", n)
-	}
-	results := make([]*Result, n)
-	errs := make([]error, n)
-	var wg sync.WaitGroup
-	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
-	for i := 0; i < n; i++ {
-		wg.Add(1)
-		go func(i int) {
-			defer wg.Done()
-			sem <- struct{}{}
-			defer func() { <-sem }()
-			o := opts
-			o.Seed = opts.Seed + uint64(i)*0x9e3779b97f4a7c15
-			results[i], errs[i] = Run(cfg, o)
-		}(i)
-	}
-	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return nil, err
-		}
-	}
+// ReplicationSeed derives replication i's seed from the base seed. The
+// golden-ratio stride keeps the seeds far apart in SplitMix64 space; the
+// sweep orchestrator uses the same derivation so that parallel and
+// sequential executions of the same experiment draw identical streams.
+func ReplicationSeed(base uint64, i int) uint64 {
+	return base + uint64(i)*0x9e3779b97f4a7c15
+}
+
+// AggregateResults folds per-replication results (in replication order)
+// into the across-replication summary. It is deterministic: the output
+// depends only on the slice contents and order, never on timing.
+func AggregateResults(results []*Result) *Replicated {
+	n := len(results)
 	agg := &Replicated{PerReplication: make([]float64, n)}
 	var lat, thru, eff, bottleneck stats.Welford
 	for i, r := range results {
@@ -81,5 +66,33 @@ func RunReplications(cfg *core.Config, opts Options, n int) (*Replicated, error)
 	agg.Throughput = thru.Mean()
 	agg.EffectiveLambda = eff.Mean()
 	agg.BottleneckUtilization = bottleneck.Mean()
-	return agg, nil
+	return agg
+}
+
+// RunReplications executes n independent replications (seeds derived from
+// opts.Seed by ReplicationSeed) in parallel across CPUs and aggregates
+// them.
+func RunReplications(cfg *core.Config, opts Options, n int) (*Replicated, error) {
+	return RunReplicationsN(cfg, opts, n, 0)
+}
+
+// RunReplicationsN is RunReplications with an explicit worker bound:
+// parallelism <= 0 uses all CPUs, 1 runs sequentially. The aggregate is
+// bit-identical for every parallelism value.
+func RunReplicationsN(cfg *core.Config, opts Options, n, parallelism int) (*Replicated, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("sim: need at least 1 replication, got %d", n)
+	}
+	results := make([]*Result, n)
+	err := par.ForEach(n, parallelism, func(i int) error {
+		o := opts
+		o.Seed = ReplicationSeed(opts.Seed, i)
+		var err error
+		results[i], err = Run(cfg, o)
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+	return AggregateResults(results), nil
 }

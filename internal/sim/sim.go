@@ -41,6 +41,15 @@ type Options struct {
 	// Trace, when non-nil, records every message's journey (generation,
 	// per-hop completion, delivery) into the recorder.
 	Trace *trace.Recorder
+	// CalendarQueue selects the calendar-queue future-event set instead of
+	// the default binary heap. Results are bit-identical either way (a
+	// property the determinism tests pin); only the event-set cost model
+	// differs.
+	CalendarQueue bool
+	// CalendarWidthHint is the expected inter-event spacing (seconds) used
+	// to seed the calendar geometry; 0 derives it from the configuration's
+	// aggregate generation rate.
+	CalendarWidthHint float64
 }
 
 // DefaultOptions mirrors the paper's experimental procedure with a warm-up
@@ -141,22 +150,54 @@ func (s *serviceModel) mean(size int) float64 {
 	return t
 }
 
-// Simulator executes one HMSCS configuration.
+// Event kinds of the system simulator.
+const (
+	// evGenerate fires when a processor's think time expires; idx is the
+	// processor id.
+	evGenerate EventKind = iota
+	// evCenterDone fires when a centre completes a service; idx is the
+	// centre id (index into Simulator.centers).
+	evCenterDone
+)
+
+// message is one in-flight message's state in the pooled message table: a
+// plain value record advanced by the per-hop state machine instead of a
+// chain of closures.
+type message struct {
+	born  float64
+	id    int64 // trace id (== Generated count at creation)
+	src   int32
+	dst   int32
+	srcCl int32
+	dstCl int32
+	size  int32
+	hop   int8 // completed hops on the remote path
+}
+
+// Simulator executes one HMSCS configuration. It implements Handler: the
+// engine dispatches typed events back into it.
 type Simulator struct {
 	cfg  *core.Config
 	opts Options
 	eng  *Engine
 	lay  *layout
 
-	icn1 []*Center
-	ecn1 []*Center
-	icn2 *Center
+	// centers is the flat centre table indexed by centre id:
+	// ICN1[0..C), ECN1[C..2C), ICN2 at 2C.
+	centers []*Center
+	icn1    []*Center
+	ecn1    []*Center
+	icn2    *Center
 
 	svcICN1 []*serviceModel
 	svcECN1 []*serviceModel
 	svcICN2 *serviceModel
 
 	procStreams []*rng.Stream
+
+	// msgs is the pooled message table; free holds recycled indices.
+	msgs []message
+	free []int32
 
 	res          Result
 	measureStart float64
@@ -194,21 +235,29 @@ func New(cfg *core.Config, opts Options) (*Simulator, error) {
 		return nil, err
 	}
 
-	s := &Simulator{cfg: cfg, opts: opts, eng: NewEngine(), lay: newLayout(cfg)}
+	s := &Simulator{cfg: cfg, opts: opts, lay: newLayout(cfg)}
+	if opts.CalendarQueue {
+		s.eng = NewEngineWithCalendar(calendarHint(cfg, opts.CalendarWidthHint))
+	} else {
+		s.eng = NewEngine()
+	}
+	s.eng.SetHandler(s)
 	master := rng.NewStream(opts.Seed)
 
 	c := cfg.NumClusters()
-	s.icn1 = make([]*Center, c)
-	s.ecn1 = make([]*Center, c)
+	s.centers = make([]*Center, 2*c+1)
+	s.icn1 = s.centers[:c]
+	s.ecn1 = s.centers[c : 2*c]
 	s.svcICN1 = make([]*serviceModel, c)
 	s.svcECN1 = make([]*serviceModel, c)
 	for i := 0; i < c; i++ {
-		s.icn1[i] = NewCenter(fmt.Sprintf("ICN1[%d]", i), s.eng, opts.ServiceDist, master.Split())
-		s.ecn1[i] = NewCenter(fmt.Sprintf("ECN1[%d]", i), s.eng, opts.ServiceDist, master.Split())
+		s.icn1[i] = NewCenter(fmt.Sprintf("ICN1[%d]", i), s.eng, opts.ServiceDist, master.Split(), evCenterDone, int32(i))
+		s.ecn1[i] = NewCenter(fmt.Sprintf("ECN1[%d]", i), s.eng, opts.ServiceDist, master.Split(), evCenterDone, int32(c+i))
 		s.svcICN1[i] = newServiceModel(centers.ICN1[i])
 		s.svcECN1[i] = newServiceModel(centers.ECN1[i])
 	}
-	s.icn2 = NewCenter("ICN2", s.eng, opts.ServiceDist, master.Split())
+	s.icn2 = NewCenter("ICN2", s.eng, opts.ServiceDist, master.Split(), evCenterDone, int32(2*c))
+	s.centers[2*c] = s.icn2
 	s.svcICN2 = newServiceModel(centers.ICN2)
 
 	n := s.lay.TotalNodes()
@@ -216,14 +265,41 @@ func New(cfg *core.Config, opts Options) (*Simulator, error) {
 	for p := 0; p < n; p++ {
 		s.procStreams[p] = master.Split()
 	}
+	// Closed-loop runs have at most one in-flight message per processor;
+	// pre-size the pool for that and let open-loop runs grow it.
+	s.msgs = make([]message, 0, n)
+	s.free = make([]int32, 0, n)
 	return s, nil
+}
+
+// calendarHint derives an expected inter-event spacing for the calendar
+// queue from the configuration's aggregate generation rate.
+func calendarHint(cfg *core.Config, explicit float64) float64 {
+	if explicit > 0 {
+		return explicit
+	}
+	total := 0.0
+	for _, cl := range cfg.Clusters {
+		total += float64(cl.Nodes) * cl.Lambda
+	}
+	if total <= 0 {
+		return 0 // newCalendarQueue falls back to its default
+	}
+	return 1 / total
 }
 
 // Run executes the simulation and returns its result. The simulator is
 // single-use.
 func (s *Simulator) Run() (*Result, error) {
 	if s.opts.RecordSample {
-		s.res.Sample = make([]float64, 0, s.opts.MeasuredMessages)
+		sampleCap := s.opts.MeasuredMessages
+		if !math.IsInf(s.opts.MaxSimTime, 1) && sampleCap > 4096 {
+			// A timed-out run may collect far fewer samples than requested;
+			// start small and let append grow, so a truncated run does not
+			// retain an oversized backing array.
+			sampleCap = 4096
+		}
+		s.res.Sample = make([]float64, 0, sampleCap)
 	}
 	// Start every processor's first think period.
 	for p := 0; p < s.lay.TotalNodes(); p++ {
@@ -233,6 +309,11 @@ func (s *Simulator) Run() (*Result, error) {
 	if s.res.Measured < int64(s.opts.MeasuredMessages) {
 		s.res.TimedOut = true
 	}
+	if s.res.TimedOut && len(s.res.Sample) < cap(s.res.Sample)/2 {
+		// Respect MaxSimTime truncation: do not retain a mostly empty
+		// backing array for the lifetime of the result.
+		s.res.Sample = append(make([]float64, 0, len(s.res.Sample)), s.res.Sample...)
+	}
 
 	s.res.SimTime = s.eng.Now()
 	window := s.eng.Now() - s.measureStart
@@ -240,7 +321,7 @@ func (s *Simulator) Run() (*Result, error) {
 		s.res.Throughput = float64(s.res.Measured) / window
 		s.res.EffectiveLambda = s.res.Throughput / float64(s.lay.TotalNodes())
 	}
-	for _, c := range s.allCenters() {
+	for _, c := range s.centers {
 		c.Flush()
 		s.res.Centers = append(s.res.Centers, CenterStats{
 			Name:            c.Name,
@@ -253,12 +334,28 @@ func (s *Simulator) Run() (*Result, error) {
 	return &s.res, nil
 }
 
-func (s *Simulator) allCenters() []*Center {
-	all := make([]*Center, 0, 2*len(s.icn1)+1)
-	all = append(all, s.icn1...)
-	all = append(all, s.ecn1...)
-	all = append(all, s.icn2)
-	return all
+// Handle implements Handler: the engine's event dispatch.
+func (s *Simulator) Handle(kind EventKind, idx int32) {
+	switch kind {
+	case evGenerate:
+		s.generate(int(idx))
+	case evCenterDone:
+		c := s.centers[idx]
+		s.advance(c, c.CompleteService())
+	default:
+		panic(fmt.Sprintf("sim: unknown event kind %d", kind))
+	}
+}
+
+// allocMsg takes a message slot from the pool.
+func (s *Simulator) allocMsg() int32 {
+	if n := len(s.free); n > 0 {
+		mi := s.free[n-1]
+		s.free = s.free[:n-1]
+		return mi
+	}
+	s.msgs = append(s.msgs, message{})
+	return int32(len(s.msgs) - 1)
 }
 
 // scheduleGeneration arms processor p's next message after an exponential
@@ -267,21 +364,29 @@ func (s *Simulator) scheduleGeneration(p int) {
 	cl := s.lay.ClusterOf(p)
 	lambda := s.cfg.Clusters[cl].Lambda
 	delay := s.procStreams[p].ExpRate(lambda)
-	s.eng.Schedule(delay, func() { s.generate(p) })
+	s.eng.Schedule(delay, evGenerate, int32(p))
 }
 
-// generate creates one message at processor p and routes it.
+// generate creates one message at processor p and submits its first hop.
 func (s *Simulator) generate(p int) {
 	s.res.Generated++
-	msgID := s.res.Generated
 	st := s.procStreams[p]
 	dest := s.opts.Pattern.Dest(st, s.lay, p)
 	size := s.opts.SizeDist.Sample(st)
-	born := s.eng.Now()
-	srcCl := s.lay.ClusterOf(p)
-	dstCl := s.lay.ClusterOf(dest)
+
+	mi := s.allocMsg()
+	m := &s.msgs[mi]
+	*m = message{
+		born:  s.eng.Now(),
+		id:    s.res.Generated,
+		src:   int32(p),
+		dst:   int32(dest),
+		srcCl: int32(s.lay.ClusterOf(p)),
+		dstCl: int32(s.lay.ClusterOf(dest)),
+		size:  int32(size),
+	}
 	if s.opts.Trace != nil {
-		s.opts.Trace.Record(msgID, born, trace.Generated, fmt.Sprintf("proc:%d", p))
+		s.opts.Trace.Record(m.id, m.born, trace.Generated, fmt.Sprintf("proc:%d", p))
 	}
 
 	// In open-loop mode the source immediately starts its next think
@@ -290,40 +395,50 @@ func (s *Simulator) generate(p int) {
 		s.scheduleGeneration(p)
 	}
 
-	// hop wraps a continuation so the trace records service completion at
-	// the named centre.
-	hop := func(c *Center, next func()) func() {
-		if s.opts.Trace == nil {
-			return next
-		}
-		return func() {
-			s.opts.Trace.Record(msgID, s.eng.Now(), trace.HopDone, c.Name)
-			next()
-		}
-	}
-	complete := func() {
-		if s.opts.Trace != nil {
-			s.opts.Trace.Record(msgID, s.eng.Now(), trace.Delivered, fmt.Sprintf("proc:%d", dest))
-		}
-		s.deliver(p, born)
-	}
-	if srcCl == dstCl {
+	if m.srcCl == m.dstCl {
 		// Local message: one pass through the source cluster's ICN1.
-		c := s.icn1[srcCl]
-		c.Submit(s.svcICN1[srcCl].mean(size), hop(c, complete))
+		s.icn1[m.srcCl].Submit(s.svcICN1[m.srcCl].mean(size), mi)
 		return
 	}
 	// Remote: ECN1(src) -> ICN2 -> ECN1(dst), per Figure 2.
-	first, second, third := s.ecn1[srcCl], s.icn2, s.ecn1[dstCl]
-	first.Submit(s.svcECN1[srcCl].mean(size), hop(first, func() {
-		second.Submit(s.svcICN2.mean(size), hop(second, func() {
-			third.Submit(s.svcECN1[dstCl].mean(size), hop(third, complete))
-		}))
-	}))
+	s.ecn1[m.srcCl].Submit(s.svcECN1[m.srcCl].mean(size), mi)
 }
 
-// deliver sinks a completed message: records its latency (after warm-up)
-// and, in closed-loop mode, releases the source processor.
+// advance is the per-message hop state machine: centre c has finished
+// serving message mi, so route it to its next stage or the sink.
+func (s *Simulator) advance(c *Center, mi int32) {
+	m := &s.msgs[mi]
+	if s.opts.Trace != nil {
+		s.opts.Trace.Record(m.id, s.eng.Now(), trace.HopDone, c.Name)
+	}
+	if m.srcCl == m.dstCl {
+		s.complete(mi)
+		return
+	}
+	m.hop++
+	switch m.hop {
+	case 1:
+		s.icn2.Submit(s.svcICN2.mean(int(m.size)), mi)
+	case 2:
+		s.ecn1[m.dstCl].Submit(s.svcECN1[m.dstCl].mean(int(m.size)), mi)
+	default:
+		s.complete(mi)
+	}
+}
+
+// complete sinks a delivered message and recycles its pool slot.
+func (s *Simulator) complete(mi int32) {
+	m := &s.msgs[mi]
+	if s.opts.Trace != nil {
+		s.opts.Trace.Record(m.id, s.eng.Now(), trace.Delivered, fmt.Sprintf("proc:%d", m.dst))
+	}
+	src, born := int(m.src), m.born
+	s.free = append(s.free, mi)
+	s.deliver(src, born)
+}
+
+// deliver records a completed message's latency (after warm-up) and, in
+// closed-loop mode, releases the source processor.
 func (s *Simulator) deliver(src int, born float64) {
 	s.completed++
 	// The measurement window opens when the last warm-up message completes

@@ -2,6 +2,12 @@
 // for each point of a figure it evaluates the analytical model and runs the
 // simulator, producing the paired series that Figures 4–7 plot (mean
 // message latency vs. number of clusters, for two message sizes).
+//
+// Simulation work is decomposed into (figure point × replication) units
+// scheduled onto a bounded worker pool (Options.Parallelism). Every unit's
+// seed is derived deterministically from the base seed and its replication
+// index — sim.ReplicationSeed — so the results are bit-identical for every
+// parallelism level, including fully sequential execution.
 package sweep
 
 import (
@@ -10,8 +16,10 @@ import (
 	"hmscs/internal/analytic"
 	"hmscs/internal/core"
 	"hmscs/internal/network"
+	"hmscs/internal/par"
 	"hmscs/internal/sim"
 	"hmscs/internal/validate"
+	"hmscs/internal/workload"
 )
 
 // FigureSpec describes one of the paper's validation figures (or a custom
@@ -59,9 +67,14 @@ type Options struct {
 	Replications int
 	// SkipSimulation evaluates only the analytical model (fast mode).
 	SkipSimulation bool
+	// Parallelism bounds the worker pool that executes the
+	// (point × replication) simulation units: <= 0 uses all CPUs, 1 runs
+	// sequentially. Results are bit-identical for every value.
+	Parallelism int
 }
 
-// DefaultOptions mirrors the paper's procedure with 3 replications.
+// DefaultOptions mirrors the paper's procedure with 3 replications, using
+// all CPUs.
 func DefaultOptions() Options {
 	return Options{Sim: sim.DefaultOptions(), Replications: 3}
 }
@@ -98,69 +111,203 @@ type FigureResult struct {
 	Series []SeriesResult
 }
 
-// RunFigure evaluates a figure specification: for every (message size,
-// cluster count) it runs the analytical model and, unless skipped, the
-// simulator.
-func RunFigure(spec FigureSpec, opts Options) (*FigureResult, error) {
-	if opts.Replications < 1 {
-		opts.Replications = 1
-	}
-	res := &FigureResult{Spec: spec}
-	for _, msg := range spec.MessageSizes {
-		series := SeriesResult{MsgSize: msg}
-		for _, c := range spec.ClusterCounts {
-			cfg, err := core.PaperConfig(spec.Scenario, c, msg, spec.Arch)
-			if err != nil {
-				return nil, fmt.Errorf("sweep: %s C=%d: %w", spec.Name, c, err)
-			}
-			an, err := analytic.Analyze(cfg)
-			if err != nil {
-				return nil, fmt.Errorf("sweep: %s C=%d analysis: %w", spec.Name, c, err)
-			}
-			series.Clusters = append(series.Clusters, c)
-			series.Analytic = append(series.Analytic, an.MeanLatency)
-			if opts.SkipSimulation {
-				series.Simulated = append(series.Simulated, 0)
-				series.SimCI = append(series.SimCI, 0)
-				continue
-			}
-			agg, err := sim.RunReplications(cfg, opts.Sim, opts.Replications)
-			if err != nil {
-				return nil, fmt.Errorf("sweep: %s C=%d simulation: %w", spec.Name, c, err)
-			}
-			series.Simulated = append(series.Simulated, agg.MeanLatency)
-			series.SimCI = append(series.SimCI, agg.CI95)
-		}
-		res.Series = append(res.Series, series)
-	}
-	return res, nil
+// point is one (figure, series, cluster count) cell of the batch: the
+// orchestrator's unit of aggregation. Its simulation splits further into
+// Replications work units.
+type point struct {
+	fig, si, pi int
+	cfg         *core.Config
 }
 
-// CustomSweep evaluates an arbitrary list of configurations analytically
-// and by simulation, returning latencies in input order. It is the
-// building block for the non-figure sweeps (λ, Pr, locality...).
-func CustomSweep(cfgs []*core.Config, opts Options) (analytics, simulated, simCI []float64, err error) {
+// simUnit is one point of a simulation fan-out: a configuration, the sim
+// options for its replications, and an error-context wrapper.
+type simUnit struct {
+	cfg  *core.Config
+	opts sim.Options
+	wrap func(error) error
+}
+
+// runUnits executes every unit's reps replications as (unit × replication)
+// work items on the bounded pool and folds each unit's results in
+// replication order. This is the single home of the decomposition / seed
+// derivation / aggregation contract that makes sweeps bit-identical at
+// every parallelism level.
+func runUnits(units []simUnit, reps, parallelism int) ([]*sim.Replicated, error) {
+	results := make([][]*sim.Result, len(units))
+	for i := range results {
+		results[i] = make([]*sim.Result, reps)
+	}
+	err := par.ForEach(len(units)*reps, parallelism, func(u int) error {
+		ui, rep := u/reps, u%reps
+		o := units[ui].opts
+		o.Seed = sim.ReplicationSeed(units[ui].opts.Seed, rep)
+		r, err := sim.Run(units[ui].cfg, o)
+		if err != nil {
+			return units[ui].wrap(err)
+		}
+		results[ui][rep] = r
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	aggs := make([]*sim.Replicated, len(units))
+	for i := range results {
+		aggs[i] = sim.AggregateResults(results[i])
+	}
+	return aggs, nil
+}
+
+// RunFigure evaluates a figure specification: for every (message size,
+// cluster count) it runs the analytical model and, unless skipped, the
+// simulator — fanning (point × replication) units across the worker pool.
+func RunFigure(spec FigureSpec, opts Options) (*FigureResult, error) {
+	res, err := RunFigures([]FigureSpec{spec}, opts)
+	if err != nil {
+		return nil, err
+	}
+	return res[0], nil
+}
+
+// RunFigures evaluates a batch of figures, scheduling every figure's
+// (point × replication) simulation units onto one bounded worker pool so
+// a whole-paper regeneration saturates the machine instead of crawling
+// figure by figure. Results are identical to evaluating the figures one
+// at a time.
+func RunFigures(specs []FigureSpec, opts Options) ([]*FigureResult, error) {
 	if opts.Replications < 1 {
 		opts.Replications = 1
 	}
-	analytics = make([]float64, len(cfgs))
-	simulated = make([]float64, len(cfgs))
-	simCI = make([]float64, len(cfgs))
-	for i, cfg := range cfgs {
-		an, err := analytic.Analyze(cfg)
+	// Phase 1 (sequential, cheap): build configurations, evaluate the
+	// analytical model, and lay out the result structure.
+	out := make([]*FigureResult, len(specs))
+	var points []*point
+	for fi, spec := range specs {
+		fr := &FigureResult{Spec: spec, Series: make([]SeriesResult, len(spec.MessageSizes))}
+		out[fi] = fr
+		for si, msg := range spec.MessageSizes {
+			series := &fr.Series[si]
+			series.MsgSize = msg
+			for pi, c := range spec.ClusterCounts {
+				cfg, err := core.PaperConfig(spec.Scenario, c, msg, spec.Arch)
+				if err != nil {
+					return nil, fmt.Errorf("sweep: %s C=%d: %w", spec.Name, c, err)
+				}
+				an, err := analytic.Analyze(cfg)
+				if err != nil {
+					return nil, fmt.Errorf("sweep: %s C=%d analysis: %w", spec.Name, c, err)
+				}
+				series.Clusters = append(series.Clusters, c)
+				series.Analytic = append(series.Analytic, an.MeanLatency)
+				series.Simulated = append(series.Simulated, 0)
+				series.SimCI = append(series.SimCI, 0)
+				if !opts.SkipSimulation {
+					points = append(points, &point{fig: fi, si: si, pi: pi, cfg: cfg})
+				}
+			}
+		}
+	}
+	if opts.SkipSimulation {
+		return out, nil
+	}
+
+	// Phase 2 (parallel): every (point, replication) is one pool unit.
+	units := make([]simUnit, len(points))
+	for i, pt := range points {
+		spec := specs[pt.fig]
+		c := spec.ClusterCounts[pt.pi]
+		units[i] = simUnit{
+			cfg:  pt.cfg,
+			opts: opts.Sim,
+			wrap: func(err error) error {
+				return fmt.Errorf("sweep: %s C=%d simulation: %w", spec.Name, c, err)
+			},
+		}
+	}
+	aggs, err := runUnits(units, opts.Replications, opts.Parallelism)
+	if err != nil {
+		return nil, err
+	}
+	for i, pt := range points {
+		series := &out[pt.fig].Series[pt.si]
+		series.Simulated[pt.pi] = aggs[i].MeanLatency
+		series.SimCI[pt.pi] = aggs[i].CI95
+	}
+	return out, nil
+}
+
+// PointSpec is one unit of a custom sweep: a configuration plus optional
+// workload overrides for the point.
+type PointSpec struct {
+	Cfg *core.Config
+	// Pattern, when non-nil, overrides Options.Sim.Pattern for this
+	// point's simulations.
+	Pattern workload.Pattern
+	// Locality >= 0 evaluates the analytical side with AnalyzeLocality
+	// (the model generalisation matching workload.LocalBias); negative
+	// uses the paper's uniform-destination model.
+	Locality float64
+}
+
+// RunPoints evaluates an arbitrary list of sweep points analytically and
+// by simulation, returning latencies in input order. It is the building
+// block for the non-figure sweeps (λ, Pr, locality...). Simulation units
+// fan out as (point × replication) across the Options.Parallelism worker
+// pool with the same deterministic seed derivation as RunFigures, so the
+// outputs are bit-identical at every parallelism level.
+func RunPoints(points []PointSpec, opts Options) (analytics, simulated, simCI []float64, err error) {
+	if opts.Replications < 1 {
+		opts.Replications = 1
+	}
+	analytics = make([]float64, len(points))
+	simulated = make([]float64, len(points))
+	simCI = make([]float64, len(points))
+	for i, p := range points {
+		var an *analytic.Result
+		if p.Locality >= 0 {
+			an, err = analytic.AnalyzeLocality(p.Cfg, p.Locality)
+		} else {
+			an, err = analytic.Analyze(p.Cfg)
+		}
 		if err != nil {
 			return nil, nil, nil, fmt.Errorf("sweep: config %d analysis: %w", i, err)
 		}
 		analytics[i] = an.MeanLatency
-		if opts.SkipSimulation {
-			continue
+	}
+	if opts.SkipSimulation {
+		return analytics, simulated, simCI, nil
+	}
+	units := make([]simUnit, len(points))
+	for i, p := range points {
+		o := opts.Sim
+		if p.Pattern != nil {
+			o.Pattern = p.Pattern
 		}
-		agg, err := sim.RunReplications(cfg, opts.Sim, opts.Replications)
-		if err != nil {
-			return nil, nil, nil, fmt.Errorf("sweep: config %d simulation: %w", i, err)
+		units[i] = simUnit{
+			cfg:  p.Cfg,
+			opts: o,
+			wrap: func(err error) error {
+				return fmt.Errorf("sweep: config %d simulation: %w", i, err)
+			},
 		}
-		simulated[i] = agg.MeanLatency
-		simCI[i] = agg.CI95
+	}
+	aggs, err := runUnits(units, opts.Replications, opts.Parallelism)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	for i := range points {
+		simulated[i] = aggs[i].MeanLatency
+		simCI[i] = aggs[i].CI95
 	}
 	return analytics, simulated, simCI, nil
+}
+
+// CustomSweep evaluates an arbitrary list of configurations with the
+// paper's uniform traffic: RunPoints without per-point overrides.
+func CustomSweep(cfgs []*core.Config, opts Options) (analytics, simulated, simCI []float64, err error) {
+	points := make([]PointSpec, len(cfgs))
+	for i, cfg := range cfgs {
+		points[i] = PointSpec{Cfg: cfg, Locality: -1}
+	}
+	return RunPoints(points, opts)
 }

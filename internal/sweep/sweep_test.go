@@ -184,6 +184,142 @@ func TestCustomSweepPropagatesErrors(t *testing.T) {
 	}
 }
 
+// TestParallelismInvariance is the orchestrator's core guarantee: a sweep
+// with any Parallelism value reproduces the sequential run bit for bit.
+func TestParallelismInvariance(t *testing.T) {
+	spec, err := PaperFigure(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec.ClusterCounts = []int{2, 8, 16}
+	spec.MessageSizes = []int{512, 1024}
+	opts := fastOpts()
+	opts.Sim.MeasuredMessages = 1500
+	opts.Replications = 3
+	opts.Parallelism = 1
+	seq, err := RunFigure(spec, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range []int{0, 2, 16} {
+		opts.Parallelism = p
+		par, err := RunFigure(spec, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for si := range seq.Series {
+			for i := range seq.Series[si].Clusters {
+				if seq.Series[si].Simulated[i] != par.Series[si].Simulated[i] ||
+					seq.Series[si].SimCI[i] != par.Series[si].SimCI[i] {
+					t.Fatalf("parallelism %d diverged at series %d point %d: %v±%v vs %v±%v",
+						p, si, i,
+						seq.Series[si].Simulated[i], seq.Series[si].SimCI[i],
+						par.Series[si].Simulated[i], par.Series[si].SimCI[i])
+				}
+			}
+		}
+	}
+}
+
+// TestRunFiguresMatchesIndividualRuns checks the batch facade returns the
+// same figures as evaluating them one by one.
+func TestRunFiguresMatchesIndividualRuns(t *testing.T) {
+	var specs []FigureSpec
+	for _, n := range []int{4, 6} {
+		spec, err := PaperFigure(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		spec.ClusterCounts = []int{4, 16}
+		spec.MessageSizes = []int{512}
+		specs = append(specs, spec)
+	}
+	opts := fastOpts()
+	opts.Sim.MeasuredMessages = 1200
+	batch, err := RunFigures(specs, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(batch) != 2 {
+		t.Fatalf("batch results = %d", len(batch))
+	}
+	for i, spec := range specs {
+		single, err := RunFigure(spec, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for si := range single.Series {
+			for pi := range single.Series[si].Clusters {
+				if single.Series[si].Simulated[pi] != batch[i].Series[si].Simulated[pi] ||
+					single.Series[si].Analytic[pi] != batch[i].Series[si].Analytic[pi] {
+					t.Fatalf("figure %s diverged between batch and single evaluation", spec.Name)
+				}
+			}
+		}
+	}
+}
+
+// TestCustomSweepParallelismInvariance pins CustomSweep to identical
+// output across pool sizes.
+func TestCustomSweepParallelismInvariance(t *testing.T) {
+	var cfgs []*core.Config
+	for _, lambda := range []float64{10, 30, 50} {
+		cfg, err := core.NewSuperCluster(4, 8, lambda, network.GigabitEthernet,
+			network.FastEthernet, network.NonBlocking, network.PaperSwitch, 1024)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfgs = append(cfgs, cfg)
+	}
+	opts := fastOpts()
+	opts.Sim.MeasuredMessages = 1200
+	opts.Parallelism = 1
+	_, seqSim, seqCI, err := CustomSweep(cfgs, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts.Parallelism = 0
+	_, parSim, parCI, err := CustomSweep(cfgs, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range cfgs {
+		if seqSim[i] != parSim[i] || seqCI[i] != parCI[i] {
+			t.Fatalf("config %d diverged: %v±%v vs %v±%v", i, seqSim[i], seqCI[i], parSim[i], parCI[i])
+		}
+	}
+}
+
+// TestRunFigureMatchesRunReplications pins the orchestrator's per-point
+// aggregation to sim.RunReplications (they must share seed derivation and
+// the aggregation fold).
+func TestRunFigureMatchesRunReplications(t *testing.T) {
+	spec, err := PaperFigure(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec.ClusterCounts = []int{8}
+	spec.MessageSizes = []int{1024}
+	opts := fastOpts()
+	opts.Sim.MeasuredMessages = 1500
+	res, err := RunFigure(spec, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg, err := core.PaperConfig(spec.Scenario, 8, 1024, spec.Arch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	agg, err := sim.RunReplications(cfg, opts.Sim, opts.Replications)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Series[0].Simulated[0] != agg.MeanLatency || res.Series[0].SimCI[0] != agg.CI95 {
+		t.Fatalf("orchestrator %v±%v disagrees with RunReplications %v±%v",
+			res.Series[0].Simulated[0], res.Series[0].SimCI[0], agg.MeanLatency, agg.CI95)
+	}
+}
+
 func TestSimulationMatchesDefaultSeedDeterminism(t *testing.T) {
 	spec, err := PaperFigure(4)
 	if err != nil {

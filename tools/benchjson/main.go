@@ -1,0 +1,105 @@
+// Command benchjson converts `go test -bench -benchmem` output on stdin
+// into a JSON benchmark report on stdout, so CI and the Makefile can
+// track ns/op and allocs/op over time (see `make bench`).
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Entry is one benchmark line.
+type Entry struct {
+	Name        string  `json:"name"`
+	Iterations  int64   `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  float64 `json:"bytes_per_op,omitempty"`
+	AllocsPerOp float64 `json:"allocs_per_op,omitempty"`
+	// Extra holds custom metrics (e.g. latency-ms from ReportMetric).
+	Extra map[string]float64 `json:"extra,omitempty"`
+}
+
+// Report is the full parsed run.
+type Report struct {
+	Goos       string  `json:"goos,omitempty"`
+	Goarch     string  `json:"goarch,omitempty"`
+	Pkg        string  `json:"pkg,omitempty"`
+	CPU        string  `json:"cpu,omitempty"`
+	Benchmarks []Entry `json:"benchmarks"`
+}
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var rep Report
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case strings.HasPrefix(line, "goos:"):
+			rep.Goos = strings.TrimSpace(strings.TrimPrefix(line, "goos:"))
+		case strings.HasPrefix(line, "goarch:"):
+			rep.Goarch = strings.TrimSpace(strings.TrimPrefix(line, "goarch:"))
+		case strings.HasPrefix(line, "pkg:"):
+			rep.Pkg = strings.TrimSpace(strings.TrimPrefix(line, "pkg:"))
+		case strings.HasPrefix(line, "cpu:"):
+			rep.CPU = strings.TrimSpace(strings.TrimPrefix(line, "cpu:"))
+		case strings.HasPrefix(line, "Benchmark"):
+			if e, ok := parseBenchLine(line); ok {
+				rep.Benchmarks = append(rep.Benchmarks, e)
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	return enc.Encode(&rep)
+}
+
+// parseBenchLine parses one benchmark result line, e.g.
+//
+//	BenchmarkFigure4-8  3  19145442 ns/op  34.25 latency-ms  1404325 B/op  6567 allocs/op
+func parseBenchLine(line string) (Entry, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 {
+		return Entry{}, false
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return Entry{}, false
+	}
+	e := Entry{Name: fields[0], Iterations: iters}
+	// The remainder alternates (value, unit).
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return Entry{}, false
+		}
+		switch unit := fields[i+1]; unit {
+		case "ns/op":
+			e.NsPerOp = v
+		case "B/op":
+			e.BytesPerOp = v
+		case "allocs/op":
+			e.AllocsPerOp = v
+		default:
+			if e.Extra == nil {
+				e.Extra = map[string]float64{}
+			}
+			e.Extra[unit] = v
+		}
+	}
+	return e, true
+}
