@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race vet fmt-check bench clean
+.PHONY: all build test race vet fmt-check bench bench-compare golden golden-check clean
 
 all: build test
 
@@ -29,6 +29,33 @@ bench:
 	$(GO) run ./tools/benchjson < bench.out > BENCH_sim.json
 	@rm -f bench.out
 	@echo "wrote BENCH_sim.json"
+
+# bench-compare gates a change against a baseline report: fails when
+# ns/op or allocs/op regressed by more than 25% (CI runs this against the
+# PR base; locally, pass OLD=path/to/baseline.json).
+OLD ?= BENCH_sim.json
+bench-compare:
+	$(GO) test -run '^$$' -bench 'Figure|Table' -benchmem -benchtime 3x . > bench.out
+	$(GO) run ./tools/benchjson < bench.out > /tmp/bench-new.json
+	@rm -f bench.out
+	$(GO) run ./tools/benchjson -compare $(OLD) /tmp/bench-new.json
+
+# The pinned command behind testdata/golden-figures.txt: Figures 4-7 with
+# a fixed seed and reduced replications, deterministic at any -parallel.
+GOLDEN_CMD = $(GO) run ./cmd/hmscs-figures -what fig4,fig5,fig6,fig7 -format csv \
+	-seed 12345 -reps 2 -messages 2000
+
+# golden regenerates the committed golden CSVs (run after an intentional
+# change to the simulator or the emitters, and eyeball the diff).
+golden:
+	$(GOLDEN_CMD) > testdata/golden-figures.txt
+	@echo "wrote testdata/golden-figures.txt"
+
+# golden-check fails when the current tree no longer reproduces the
+# committed figures bit for bit (CI's golden-figure job).
+golden-check:
+	$(GOLDEN_CMD) > /tmp/golden-figures.txt
+	diff -u testdata/golden-figures.txt /tmp/golden-figures.txt
 
 clean:
 	rm -f bench.out BENCH_sim.json

@@ -7,17 +7,21 @@
 //
 //	hmscs-analyze -case 1 -clusters 16 -msg 1024 -arch non-blocking
 //	hmscs-analyze -icn1 Myrinet -ecn GE -clusters 8 -lambda 100 -mva
+//	hmscs-analyze -clusters 64 -precision 0.02   # validate by simulation to ±2%
 package main
 
 import (
 	"flag"
 	"fmt"
 	"io"
+	"math"
 	"os"
 
 	"hmscs/internal/analytic"
 	"hmscs/internal/cli"
 	"hmscs/internal/report"
+	"hmscs/internal/sim"
+	"hmscs/internal/stats"
 )
 
 func main() {
@@ -33,7 +37,15 @@ func run(args []string, out io.Writer) error {
 	sys.Register(fs)
 	mva := fs.Bool("mva", false, "also solve the exact closed-network MVA cross-check")
 	verbose := fs.Bool("v", false, "print per-centre metrics")
+	seed := fs.Uint64("seed", 1, "random seed for the -precision simulation check")
+	var precision, confidence float64
+	var maxReps int
+	cli.RegisterPrecision(fs, &precision, &confidence, &maxReps)
 	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	prec, err := cli.BuildPrecision(precision, confidence, maxReps)
+	if err != nil {
 		return err
 	}
 	cfg, err := sys.Build()
@@ -76,6 +88,30 @@ func run(args []string, out io.Writer) error {
 			{"effective per-processor rate", fmt.Sprintf("%.2f msg/s", m.EffectiveLambda)},
 			{"bottleneck utilisation", fmt.Sprintf("%.3f", m.BottleneckUtilization)},
 		}))
+	}
+
+	if prec != nil {
+		// Validate the prediction by simulation, adaptively extending the
+		// replication set until the estimate is tight enough to judge.
+		opts := sim.DefaultOptions()
+		opts.Seed = *seed
+		simRes, err := sim.RunPrecision(cfg, opts, *prec, 0)
+		if err != nil {
+			return err
+		}
+		e := simRes.Estimate
+		rel := stats.RelError(res.MeanLatency, e.Mean)
+		rows := [][2]string{
+			{"simulated latency", fmt.Sprintf("%s ± %s (%.0f%% CI, %d adaptive reps)",
+				cli.Ms(e.Mean), cli.Ms(e.HalfWidth), e.Confidence*100, e.Reps)},
+			{"model relative error", fmt.Sprintf("%.1f%%", rel*100)},
+			{"model inside CI", fmt.Sprintf("%v", math.Abs(res.MeanLatency-e.Mean) <= e.HalfWidth)},
+		}
+		if !e.Converged {
+			rows = append(rows, [2]string{"warning",
+				fmt.Sprintf("precision target not met within -max-reps %d", prec.MaxReps)})
+		}
+		fmt.Fprint(out, report.Table("simulation check (adaptive stopping)", rows))
 	}
 	return nil
 }

@@ -20,6 +20,7 @@ import (
 	"strings"
 
 	"hmscs/internal/analytic"
+	"hmscs/internal/cli"
 	"hmscs/internal/core"
 	"hmscs/internal/network"
 	"hmscs/internal/report"
@@ -44,7 +45,14 @@ func run(args []string, out io.Writer) error {
 	messages := fs.Int("messages", 10000, "measured messages per replication (paper: 10000)")
 	seed := fs.Uint64("seed", 1, "base random seed")
 	parallel := fs.Int("parallel", 0, "concurrent simulation workers (0 = all cores, 1 = sequential); results are identical for every value")
+	var precision, confidence float64
+	var maxReps int
+	cli.RegisterPrecision(fs, &precision, &confidence, &maxReps)
 	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	prec, err := cli.BuildPrecision(precision, confidence, maxReps)
+	if err != nil {
 		return err
 	}
 
@@ -54,6 +62,7 @@ func run(args []string, out io.Writer) error {
 	opts.Sim.Seed = *seed
 	opts.SkipSimulation = *fast
 	opts.Parallelism = *parallel
+	opts.Precision = prec
 
 	selected := strings.Split(*what, ",")
 	want := func(key string) bool {
@@ -143,12 +152,21 @@ func printFutureWork(out io.Writer, opts sweep.Options) error {
 	fmt.Fprintf(out, "| generalised open model (eq. 1-15 heterogeneous) | %.3f |\n", openModel.MeanLatency*1e3)
 	fmt.Fprintf(out, "| multiclass closed model (one class per cluster) | %.3f |\n", multi.MeanResponse()*1e3)
 	if !opts.SkipSimulation {
-		agg, err := sim.RunReplicationsN(cfg, opts.Sim, opts.Replications, opts.Parallelism)
-		if err != nil {
-			return err
+		if opts.Precision != nil {
+			res, err := sim.RunPrecision(cfg, opts.Sim, *opts.Precision, opts.Parallelism)
+			if err != nil {
+				return err
+			}
+			fmt.Fprintf(out, "| simulation (%d adaptive reps) | %.3f ± %.3f |\n",
+				res.Estimate.Reps, res.Estimate.Mean*1e3, res.Estimate.HalfWidth*1e3)
+		} else {
+			agg, err := sim.RunReplicationsN(cfg, opts.Sim, opts.Replications, opts.Parallelism)
+			if err != nil {
+				return err
+			}
+			fmt.Fprintf(out, "| simulation (%d reps) | %.3f ± %.3f |\n",
+				opts.Replications, agg.MeanLatency*1e3, agg.CI95*1e3)
 		}
-		fmt.Fprintf(out, "| simulation (%d reps) | %.3f ± %.3f |\n",
-			opts.Replications, agg.MeanLatency*1e3, agg.CI95*1e3)
 	}
 	fmt.Fprintln(out)
 	return nil
@@ -183,6 +201,9 @@ func printTables(out io.Writer) {
 func emitFigure(out io.Writer, res *sweep.FigureResult, format string, fast bool) {
 	if format == "table" || format == "all" {
 		fmt.Fprintln(out, report.FigureMarkdown(res))
+		if stats := report.StatsMarkdown(res); stats != "" {
+			fmt.Fprintln(out, stats)
+		}
 	}
 	if format == "csv" || format == "all" {
 		fmt.Fprintln(out, report.FigureCSV(res))

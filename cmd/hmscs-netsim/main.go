@@ -20,9 +20,11 @@ import (
 	"hmscs/internal/cli"
 	"hmscs/internal/netsim"
 	"hmscs/internal/network"
+	"hmscs/internal/output"
 	"hmscs/internal/queueing"
 	"hmscs/internal/report"
 	"hmscs/internal/rng"
+	"hmscs/internal/sim"
 )
 
 func main() {
@@ -45,7 +47,14 @@ func run(args []string, out io.Writer) error {
 	warmup := fs.Int("warmup", 1000, "warm-up messages")
 	seed := fs.Uint64("seed", 1, "random seed")
 	service := fs.String("service", "det", "per-link service distribution: det or exp")
+	var precision, confidence float64
+	var maxReps int
+	cli.RegisterPrecision(fs, &precision, &confidence, &maxReps)
 	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	prec, err := cli.BuildPrecision(precision, confidence, maxReps)
+	if err != nil {
 		return err
 	}
 	technology, err := network.TechnologyByName(*tech)
@@ -63,41 +72,67 @@ func run(args []string, out io.Writer) error {
 	}
 	sw := network.Switch{Ports: *ports, Latency: *swLat * 1e-6}
 
-	var net *netsim.Network
-	switch *topo {
-	case "fat-tree":
-		net, err = netsim.BuildFatTree(*n, *ports, technology, sw, *seed, dist)
-	case "linear-array":
-		net, err = netsim.BuildLinearArray(*n, *ports, technology, sw, *seed, dist)
-	default:
-		err = fmt.Errorf("unknown topology %q", *topo)
+	build := func(seed uint64) (*netsim.Network, error) {
+		switch *topo {
+		case "fat-tree":
+			return netsim.BuildFatTree(*n, *ports, technology, sw, seed, dist)
+		case "linear-array":
+			return netsim.BuildLinearArray(*n, *ports, technology, sw, seed, dist)
+		}
+		return nil, fmt.Errorf("unknown topology %q", *topo)
 	}
-	if err != nil {
-		return err
-	}
-
-	res, err := net.Run(netsim.Options{
+	baseOpts := netsim.Options{
 		Lambda:   *lambda,
 		MsgBytes: *msg,
 		Warmup:   *warmup,
 		Measured: *messages,
 		Seed:     *seed,
-	})
-	if err != nil {
-		return err
 	}
 
 	fmt.Fprintf(out, "%s: %d endpoints, %d-port switches, %s, λ=%g msg/s, M=%dB\n",
 		*topo, *n, *ports, technology.Name, *lambda, *msg)
-	rows := [][2]string{
-		{"mean end-to-end latency", cli.Ms(res.Latency.Mean())},
-		{"latency 95% CI (per-msg)", cli.Ms(res.Latency.CI(0.95))},
-		{"mean switches traversed", fmt.Sprintf("%.3f", res.SwitchHops.Mean())},
-		{"throughput", fmt.Sprintf("%.1f msg/s", res.Throughput)},
-		{"max host-link utilisation", fmt.Sprintf("%.3f", res.MaxHostLinkUtil)},
-		{"max fabric-link utilisation", fmt.Sprintf("%.3f", res.MaxInterSwitchUtil)},
-		{"contention-free reference", cli.Ms(net.ContentionFreeLatency(*msg))},
+
+	var res *netsim.Result
+	var net *netsim.Network
+	var rows [][2]string
+	if prec != nil {
+		var est sim.Estimate
+		net, res, est, err = runPrecision(build, baseOpts, *prec)
+		if err != nil {
+			return err
+		}
+		rows = [][2]string{
+			{"mean end-to-end latency", cli.Ms(est.Mean)},
+			{fmt.Sprintf("latency %.0f%% CI half-width", est.Confidence*100),
+				fmt.Sprintf("%s (±%.2f%%)", cli.Ms(est.HalfWidth), est.RelHalfWidth()*100)},
+			{"replications used", fmt.Sprintf("%d (adaptive, target ±%.2g%%)", est.Reps, prec.RelWidth*100)},
+			{"effective sample size", fmt.Sprintf("%.0f", est.ESS)},
+		}
+		if !est.Converged {
+			rows = append(rows, [2]string{"warning",
+				fmt.Sprintf("precision target not met within -max-reps %d", prec.MaxReps)})
+		}
+	} else {
+		net, err = build(*seed)
+		if err != nil {
+			return err
+		}
+		res, err = net.Run(baseOpts)
+		if err != nil {
+			return err
+		}
+		rows = [][2]string{
+			{"mean end-to-end latency", cli.Ms(res.Latency.Mean())},
+			{"latency 95% CI (per-msg)", cli.Ms(res.Latency.CI(0.95))},
+		}
 	}
+	rows = append(rows,
+		[2]string{"mean switches traversed", fmt.Sprintf("%.3f", res.SwitchHops.Mean())},
+		[2]string{"throughput", fmt.Sprintf("%.1f msg/s", res.Throughput)},
+		[2]string{"max host-link utilisation", fmt.Sprintf("%.3f", res.MaxHostLinkUtil)},
+		[2]string{"max fabric-link utilisation", fmt.Sprintf("%.3f", res.MaxInterSwitchUtil)},
+		[2]string{"contention-free reference", cli.Ms(net.ContentionFreeLatency(*msg))},
+	)
 	if res.TimedOut {
 		rows = append(rows, [2]string{"warning", "run hit the time limit"})
 	}
@@ -128,4 +163,48 @@ func run(args []string, out io.Writer) error {
 		{"M/M/1 sojourn at measured throughput", abstraction},
 	}))
 	return nil
+}
+
+// runPrecision executes netsim replications under the sequential stopping
+// rule (output.RunSequential drives the schedule): each replication
+// rebuilds the network with a deterministically derived seed and runs a
+// quarter-length measurement window with MSER-5 warmup deletion in place
+// of the fixed -warmup prefix. The returned result is the last
+// replication's (for topology-level metrics such as link utilisation).
+func runPrecision(build func(uint64) (*netsim.Network, error), base netsim.Options, prec output.Precision) (*netsim.Network, *netsim.Result, output.Estimate, error) {
+	o := base
+	o.Measured = base.Measured / 4
+	if o.Measured < 500 {
+		o.Measured = 500
+	}
+	o.Warmup = 0
+	o.RecordSample = true
+	var (
+		net *netsim.Network
+		res *netsim.Result
+	)
+	est, err := output.RunSequential(prec, func(rep int) (float64, float64, error) {
+		seed := sim.ReplicationSeed(base.Seed, rep)
+		n, err := build(seed)
+		if err != nil {
+			return 0, 0, err
+		}
+		ro := o
+		ro.Seed = seed
+		r, err := n.Run(ro)
+		if err != nil {
+			return 0, 0, err
+		}
+		a, err := output.AnalyzeRun(r.Sample, prec.Confidence)
+		if err != nil {
+			return 0, 0, fmt.Errorf("replication %d analysis: %w", rep, err)
+		}
+		r.Sample = nil
+		net, res = n, r
+		return a.Mean, a.ESS, nil
+	})
+	if err != nil {
+		return nil, nil, output.Estimate{}, err
+	}
+	return net, res, est, nil
 }

@@ -4,11 +4,16 @@
 //
 // Replications run concurrently on a bounded worker pool (-parallel;
 // default all cores) with deterministic per-replication seeds, so the
-// reported aggregate is identical at every parallelism level.
+// reported aggregate is identical at every parallelism level. With
+// -precision the fixed -reps/-warmup procedure is replaced by the
+// adaptive output-analysis engine: MSER-5 warmup deletion per replication
+// and a sequential stopping rule that extends the replication set until
+// the confidence interval on the mean hits the requested relative width.
 //
 // Examples:
 //
 //	hmscs-sim -case 1 -clusters 16 -msg 1024 -reps 3
+//	hmscs-sim -case 1 -clusters 256 -precision 0.02   # run until ±2% @95%
 //	hmscs-sim -arch blocking -service det -pattern local:0.9 -v
 package main
 
@@ -58,18 +63,52 @@ func run(args []string, out io.Writer) error {
 	if sf.Reps < 1 {
 		return fmt.Errorf("need at least 1 replication")
 	}
-	agg, err := sim.RunReplicationsN(cfg, opts, sf.Reps, sf.Parallel)
+	prec, err := sf.PrecisionSpec()
 	if err != nil {
 		return err
 	}
-	rows := [][2]string{
-		{"mean message latency", cli.Ms(agg.MeanLatency)},
-		{"95% CI half-width", cli.Ms(agg.CI95)},
-		{"replications", fmt.Sprintf("%d x %d messages", sf.Reps, opts.MeasuredMessages)},
-		{"system throughput", fmt.Sprintf("%.1f msg/s", agg.Throughput)},
-		{"effective per-processor rate", fmt.Sprintf("%.2f msg/s", agg.EffectiveLambda)},
-		{"bottleneck utilisation", fmt.Sprintf("%.3f", agg.BottleneckUtilization)},
+	var agg *sim.Replicated
+	var rows [][2]string
+	if prec != nil {
+		res, err := sim.RunPrecision(cfg, opts, *prec, sf.Parallel)
+		if err != nil {
+			return err
+		}
+		agg = res.Replicated
+		e := res.Estimate
+		rows = [][2]string{
+			{"mean message latency", cli.Ms(e.Mean)},
+			{fmt.Sprintf("%.0f%% CI half-width", e.Confidence*100),
+				fmt.Sprintf("%s (±%.2f%%)", cli.Ms(e.HalfWidth), e.RelHalfWidth()*100)},
+			{"replications used", fmt.Sprintf("%d (adaptive, target ±%.2g%%)", e.Reps, prec.RelWidth*100)},
+			{"effective sample size", fmt.Sprintf("%.0f", e.ESS)},
+			{"warmup deleted (MSER-5)", fmt.Sprintf("%.1f%% of each replication", res.TruncatedFrac*100)},
+			{"messages simulated", fmt.Sprintf("%d", res.TotalGenerated)},
+		}
+		if !e.Converged {
+			rows = append(rows, [2]string{"warning",
+				fmt.Sprintf("precision target not met within -max-reps %d", prec.MaxReps)})
+		}
+		if res.TruncationSuspect > 0 {
+			rows = append(rows, [2]string{"warning",
+				fmt.Sprintf("%d replication(s) too short to separate transient from steady state; raise -messages", res.TruncationSuspect)})
+		}
+	} else {
+		agg, err = sim.RunReplicationsN(cfg, opts, sf.Reps, sf.Parallel)
+		if err != nil {
+			return err
+		}
+		rows = [][2]string{
+			{"mean message latency", cli.Ms(agg.MeanLatency)},
+			{"95% CI half-width", cli.Ms(agg.CI95)},
+			{"replications", fmt.Sprintf("%d x %d messages", sf.Reps, opts.MeasuredMessages)},
+		}
 	}
+	rows = append(rows,
+		[2]string{"system throughput", fmt.Sprintf("%.1f msg/s", agg.Throughput)},
+		[2]string{"effective per-processor rate", fmt.Sprintf("%.2f msg/s", agg.EffectiveLambda)},
+		[2]string{"bottleneck utilisation", fmt.Sprintf("%.3f", agg.BottleneckUtilization)},
+	)
 	if agg.AnyTimedOut {
 		rows = append(rows, [2]string{"warning", "at least one replication hit the time limit"})
 	}

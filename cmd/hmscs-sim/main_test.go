@@ -91,3 +91,29 @@ func TestRunTraceCSV(t *testing.T) {
 		t.Error("trace CSV suspiciously short")
 	}
 }
+
+func TestRunPrecisionMode(t *testing.T) {
+	var out bytes.Buffer
+	if err := run(fastArgs("-precision", "0.05", "-messages", "4000"), &out); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	for _, frag := range []string{
+		"replications used", "adaptive, target ±5%", "effective sample size",
+		"MSER-5", "messages simulated",
+	} {
+		if !strings.Contains(s, frag) {
+			t.Errorf("precision output missing %q:\n%s", frag, s)
+		}
+	}
+}
+
+func TestRunPrecisionRejectsBadTarget(t *testing.T) {
+	var out bytes.Buffer
+	if err := run(fastArgs("-precision", "1.5"), &out); err == nil {
+		t.Fatal("precision 1.5 accepted")
+	}
+	if err := run(fastArgs("-precision", "0.02", "-confidence", "1.5"), &out); err == nil {
+		t.Fatal("confidence 1.5 accepted")
+	}
+}

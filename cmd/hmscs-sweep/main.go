@@ -12,6 +12,7 @@
 //	hmscs-sweep -var clusters -ints 1,2,4,8,16,32,64,128,256
 //	hmscs-sweep -var lambda -floats 25,50,100,200,400 -clusters 16
 //	hmscs-sweep -var locality -floats 0,0.25,0.5,0.75,0.95 -arch blocking
+//	hmscs-sweep -var lambda -precision 0.02   # adaptive replications per point
 package main
 
 import (
@@ -68,36 +69,61 @@ func run(args []string, out io.Writer) error {
 	for i, j := range jobs {
 		points[i] = j.PointSpec
 	}
+	prec, err := sf.PrecisionSpec()
+	if err != nil {
+		return err
+	}
 	opts := sweep.Options{
 		Sim:            simOpts,
 		Replications:   sf.Reps,
 		SkipSimulation: *fast,
 		Parallelism:    sf.Parallel,
+		Precision:      prec,
 	}
-	analytics, simulated, simCI, err := sweep.RunPoints(points, opts)
+	results, err := sweep.RunPoints(points, opts)
 	if err != nil {
 		return err
 	}
 
 	rows := make([]string, len(jobs))
 	for i, j := range jobs {
+		r := results[i]
 		if *fast {
-			rows[i] = fmt.Sprintf("| %s | %.3f | - | - | - |", j.label, analytics[i]*1e3)
+			rows[i] = fmt.Sprintf("| %s | %.3f | - | - | - | - | - |", j.label, r.Analytic*1e3)
 			continue
 		}
 		rel := 0.0
-		if simulated[i] > 0 {
-			rel = (analytics[i] - simulated[i]) / simulated[i]
+		if r.Simulated > 0 {
+			rel = (r.Analytic - r.Simulated) / r.Simulated
 		}
-		rows[i] = fmt.Sprintf("| %s | %.3f | %.3f | %.3f | %+.1f%% |",
-			j.label, analytics[i]*1e3, simulated[i]*1e3, simCI[i]*1e3, rel*100)
+		converged := ""
+		if prec != nil && !r.Stat.Converged {
+			converged = " (!)"
+		}
+		// ESS is only measurable when raw samples were recorded (precision
+		// mode); print "-" rather than a misleading zero in fixed mode.
+		ess := "-"
+		if r.Stat.ESS > 0 {
+			ess = fmt.Sprintf("%.0f", r.Stat.ESS)
+		}
+		rows[i] = fmt.Sprintf("| %s | %.3f | %.3f | %.3f | %d%s | %s | %+.1f%% |",
+			j.label, r.Analytic*1e3, r.Simulated*1e3, r.Stat.HalfWidth*1e3,
+			r.Stat.Reps, converged, ess, rel*100)
 	}
 
 	fmt.Fprintf(out, "sweep of %s\n", *variable)
-	fmt.Fprintln(out, "| value | analysis (ms) | simulation (ms) | 95% CI (ms) | rel.err |")
-	fmt.Fprintln(out, "|---:|---:|---:|---:|---:|")
+	conf := 95.0
+	if prec != nil {
+		conf = prec.Confidence * 100
+	}
+	fmt.Fprintf(out, "| value | analysis (ms) | simulation (ms) | %.0f%% CI (ms) | reps | ESS | rel.err |\n", conf)
+	fmt.Fprintln(out, "|---:|---:|---:|---:|---:|---:|---:|")
 	for _, row := range rows {
 		fmt.Fprintln(out, row)
+	}
+	if prec != nil {
+		fmt.Fprintf(out, "adaptive stopping: target ±%.2g%% at %.0f%% confidence, max %d replications; (!) marks points that hit the cap\n",
+			prec.RelWidth*100, conf, prec.MaxReps)
 	}
 	return nil
 }

@@ -24,6 +24,7 @@ import (
 	"hmscs/internal/analytic"
 	"hmscs/internal/core"
 	"hmscs/internal/network"
+	"hmscs/internal/output"
 	"hmscs/internal/queueing"
 	"hmscs/internal/sim"
 	"hmscs/internal/sweep"
@@ -162,6 +163,24 @@ func Simulate(cfg *Config, opts SimOptions) (*SimResult, error) { return sim.Run
 // aggregates mean latency with a 95% confidence interval.
 func SimulateReplications(cfg *Config, opts SimOptions, n int) (*ReplicatedResult, error) {
 	return sim.RunReplications(cfg, opts, n)
+}
+
+// Precision is a relative-precision target for adaptive simulation: run
+// until the confidence half-width on the mean latency is at most
+// RelWidth·mean (see internal/output for the stopping rule).
+type Precision = output.Precision
+
+// PrecisionResult is an adaptive run's aggregate plus its stopping
+// bookkeeping (replications used, effective sample size, convergence).
+type PrecisionResult = sim.PrecisionResult
+
+// SimulateToPrecision replaces the fixed replication count with the
+// sequential stopping rule: replications (each a quarter of
+// opts.MeasuredMessages, warmup handled by MSER-5 deletion) are added on
+// the worker pool until the target is met. Results are bit-identical at
+// every parallelism level.
+func SimulateToPrecision(cfg *Config, opts SimOptions, target Precision) (*PrecisionResult, error) {
+	return sim.RunPrecision(cfg, opts, target, 0)
 }
 
 // Figure harness -------------------------------------------------------------

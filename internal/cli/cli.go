@@ -10,6 +10,7 @@ import (
 
 	"hmscs/internal/core"
 	"hmscs/internal/network"
+	"hmscs/internal/output"
 	"hmscs/internal/rng"
 	"hmscs/internal/sim"
 	"hmscs/internal/workload"
@@ -87,14 +88,17 @@ func (s *SystemFlags) Build() (*core.Config, error) {
 
 // SimFlags collects the flags that control a simulation run.
 type SimFlags struct {
-	Seed     uint64
-	Messages int
-	Warmup   int
-	Reps     int
-	Parallel int
-	Open     bool
-	Service  string
-	Pattern  string
+	Seed       uint64
+	Messages   int
+	Warmup     int
+	Reps       int
+	Parallel   int
+	Open       bool
+	Service    string
+	Pattern    string
+	Precision  float64
+	Confidence float64
+	MaxReps    int
 }
 
 // Register installs the simulation flags with paper defaults.
@@ -107,6 +111,35 @@ func (s *SimFlags) Register(fs *flag.FlagSet) {
 	fs.BoolVar(&s.Open, "open", false, "open-loop sources (ablation of assumption 4)")
 	fs.StringVar(&s.Service, "service", "exp", "service distribution: exp, det, erlang4, h2")
 	fs.StringVar(&s.Pattern, "pattern", "uniform", "traffic pattern: uniform, local:<p>, hotspot:<p>")
+	RegisterPrecision(fs, &s.Precision, &s.Confidence, &s.MaxReps)
+}
+
+// RegisterPrecision installs the adaptive output-analysis flags shared by
+// every binary that can simulate: a relative-precision target, the
+// confidence level it is judged at, and the replication cap.
+func RegisterPrecision(fs *flag.FlagSet, precision, confidence *float64, maxReps *int) {
+	fs.Float64Var(precision, "precision", 0, "adaptive stopping: extend replications until the CI half-width is at most this fraction of the mean (e.g. 0.02 = ±2%); replications are a quarter of -messages each with MSER-5 warmup deletion instead of -warmup/-reps; 0 = fixed -reps mode")
+	fs.Float64Var(confidence, "confidence", 0.95, "confidence level for -precision stopping and its reported intervals (fixed -reps mode always reports 95%)")
+	fs.IntVar(maxReps, "max-reps", 64, "replication cap for -precision mode (reported as not converged when hit)")
+}
+
+// PrecisionSpec converts the precision flags into an output.Precision
+// target, or nil when -precision was left at 0 (fixed-replication mode).
+func (s *SimFlags) PrecisionSpec() (*output.Precision, error) {
+	return BuildPrecision(s.Precision, s.Confidence, s.MaxReps)
+}
+
+// BuildPrecision validates and assembles a precision target from flag
+// values; a zero precision means fixed-replication mode (nil target).
+func BuildPrecision(precision, confidence float64, maxReps int) (*output.Precision, error) {
+	if precision == 0 {
+		return nil, nil
+	}
+	p := output.Precision{RelWidth: precision, Confidence: confidence, MaxReps: maxReps}.Normalized()
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return &p, nil
 }
 
 // Build converts the flags into simulation options.

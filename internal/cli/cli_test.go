@@ -218,3 +218,38 @@ func TestMs(t *testing.T) {
 		t.Fatalf("Ms = %q", got)
 	}
 }
+
+func TestPrecisionFlags(t *testing.T) {
+	fs := flag.NewFlagSet("t", flag.ContinueOnError)
+	var sf SimFlags
+	sf.Register(fs)
+	if err := fs.Parse([]string{"-precision", "0.02", "-confidence", "0.99", "-max-reps", "20"}); err != nil {
+		t.Fatal(err)
+	}
+	p, err := sf.PrecisionSpec()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p == nil || p.RelWidth != 0.02 || p.Confidence != 0.99 || p.MaxReps != 20 || p.MinReps != 4 {
+		t.Fatalf("precision spec = %+v", p)
+	}
+
+	// Default (0) means fixed-replication mode.
+	fs2 := flag.NewFlagSet("t", flag.ContinueOnError)
+	var sf2 SimFlags
+	sf2.Register(fs2)
+	if err := fs2.Parse(nil); err != nil {
+		t.Fatal(err)
+	}
+	if p, err := sf2.PrecisionSpec(); err != nil || p != nil {
+		t.Fatalf("unset precision produced %+v, %v", p, err)
+	}
+
+	// Invalid targets surface as errors, not bad runs.
+	if _, err := BuildPrecision(2, 0.95, 64); err == nil {
+		t.Fatal("precision 2 accepted")
+	}
+	if _, err := BuildPrecision(0.02, 0.95, 2); err == nil {
+		t.Fatal("max-reps below minimum accepted")
+	}
+}

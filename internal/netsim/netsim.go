@@ -287,12 +287,18 @@ type Options struct {
 	Seed uint64
 	// MaxSimTime caps the simulated clock (0 = no cap).
 	MaxSimTime float64
+	// RecordSample keeps the raw measured latencies for the output-analysis
+	// engine (MSER-5 warmup deletion, batch-means intervals).
+	RecordSample bool
 }
 
 // Result is a netsim run's output.
 type Result struct {
 	// Latency is the end-to-end message latency accumulator (seconds).
 	Latency stats.Welford
+	// Sample holds the raw measured latencies when Options.RecordSample is
+	// set, in completion order.
+	Sample []float64
 	// SwitchHops is the per-message switches-traversed accumulator,
 	// comparable to 2d−1 (fat-tree) and (k+1)/3 (linear array).
 	SwitchHops stats.Welford
@@ -376,7 +382,11 @@ func (n *Network) deliver(p int, born float64, hops int) {
 		n.measureStart = n.eng.Now()
 	}
 	if n.completed > n.opts.Warmup && n.res.Latency.Count() < int64(n.opts.Measured) {
-		n.res.Latency.Add(n.eng.Now() - born)
+		lat := n.eng.Now() - born
+		n.res.Latency.Add(lat)
+		if n.opts.RecordSample {
+			n.res.Sample = append(n.res.Sample, lat)
+		}
 		n.res.SwitchHops.Add(float64(hops))
 		if n.res.Latency.Count() == int64(n.opts.Measured) {
 			n.eng.Stop()

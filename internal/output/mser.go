@@ -1,0 +1,66 @@
+package output
+
+import (
+	"fmt"
+	"math"
+)
+
+// MSERBatch is the mini-batch size of the MSER-5 statistic: the series is
+// reduced to means of 5 consecutive observations before the truncation
+// search, which smooths the raw series without blunting the transient.
+const MSERBatch = 5
+
+// MSER5 returns the warmup truncation point (an observation index, always
+// a multiple of 5) chosen by the MSER-5 rule: delete the prefix that
+// minimises the marginal standard error of the remaining batch means,
+//
+//	MSER(d) = S²(d) / (m - d)²,
+//
+// where m is the batch count and S²(d) the sum of squared deviations of
+// batches d..m-1 around their own mean. Deleting high-variance transient
+// batches shrinks the numerator faster than the shrinking sample inflates
+// the denominator, so the minimiser sits just past the initialisation
+// transient (White 1997; Franklin & White 2008 recommend the 5-batch
+// variant).
+//
+// The search is restricted to the first half of the series: a minimiser in
+// the second half means the run is too short to distinguish transient from
+// steady state, and the rule returns the half-point with ok = false so the
+// caller can extend the run instead of trusting the estimate. Ties pick
+// the smallest deletion, keeping the rule deterministic.
+func MSER5(sample []float64) (cut int, ok bool, err error) {
+	m := len(sample) / MSERBatch
+	if m < 4 {
+		return 0, false, fmt.Errorf("output: MSER-5 needs at least %d observations, got %d", 4*MSERBatch, len(sample))
+	}
+	means := make([]float64, m)
+	for b := 0; b < m; b++ {
+		sum := 0.0
+		for _, v := range sample[b*MSERBatch : (b+1)*MSERBatch] {
+			sum += v
+		}
+		means[b] = sum / MSERBatch
+	}
+	// Suffix sums let each candidate deletion be scored in O(1):
+	// S²(d) = Σy² - (Σy)²/(m-d) over batches d..m-1.
+	s1 := make([]float64, m+1)
+	s2 := make([]float64, m+1)
+	for b := m - 1; b >= 0; b-- {
+		s1[b] = s1[b+1] + means[b]
+		s2[b] = s2[b+1] + means[b]*means[b]
+	}
+	best, bestD := math.Inf(1), 0
+	maxD := m / 2
+	for d := 0; d <= maxD; d++ {
+		k := float64(m - d)
+		ss := s2[d] - s1[d]*s1[d]/k
+		if ss < 0 {
+			ss = 0 // guard the subtraction against rounding
+		}
+		mser := ss / (k * k)
+		if mser < best {
+			best, bestD = mser, d
+		}
+	}
+	return bestD * MSERBatch, bestD < maxD, nil
+}

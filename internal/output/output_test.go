@@ -1,0 +1,218 @@
+package output
+
+import (
+	"math"
+	"testing"
+
+	"hmscs/internal/rng"
+)
+
+func TestMSER5CutsTransient(t *testing.T) {
+	// Steady noise around 1.0 preceded by a decaying transient starting at
+	// 11: MSER-5 must delete (most of) the transient prefix.
+	st := rng.NewStream(7)
+	sample := make([]float64, 2000)
+	for i := range sample {
+		noise := (st.Float64() - 0.5) * 0.2
+		sample[i] = 1 + noise + 10*math.Exp(-float64(i)/50)
+	}
+	cut, ok, err := MSER5(sample)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Fatal("minimiser hit the search bound on an easy transient")
+	}
+	if cut < 50 || cut > 500 {
+		t.Fatalf("cut = %d, want a prefix near the ~50-sample transient", cut)
+	}
+	if cut%MSERBatch != 0 {
+		t.Fatalf("cut %d not a multiple of the MSER batch", cut)
+	}
+}
+
+func TestMSER5StationarySeriesCutsLittle(t *testing.T) {
+	st := rng.NewStream(11)
+	sample := make([]float64, 2000)
+	for i := range sample {
+		sample[i] = st.Float64()
+	}
+	cut, _, err := MSER5(sample)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cut > len(sample)/4 {
+		t.Fatalf("cut %d of %d on a stationary series", cut, len(sample))
+	}
+}
+
+func TestMSER5TooShort(t *testing.T) {
+	if _, _, err := MSER5(make([]float64, 10)); err == nil {
+		t.Fatal("short series accepted")
+	}
+}
+
+func TestMSER5Deterministic(t *testing.T) {
+	st := rng.NewStream(3)
+	sample := make([]float64, 500)
+	for i := range sample {
+		sample[i] = st.Float64()
+	}
+	c1, ok1, _ := MSER5(sample)
+	c2, ok2, _ := MSER5(sample)
+	if c1 != c2 || ok1 != ok2 {
+		t.Fatalf("MSER-5 not deterministic: %d/%v vs %d/%v", c1, ok1, c2, ok2)
+	}
+}
+
+// ar1 generates a stationary AR(1) series with the given mean and lag-1
+// coefficient phi; its autocorrelation structure is known exactly, which
+// is what makes it the right stress test for batch-size search.
+func ar1(st *rng.Stream, n int, mean, phi, sigma float64) []float64 {
+	out := make([]float64, n)
+	x := 0.0
+	for i := range out {
+		x = phi*x + sigma*st.Normal()
+		out[i] = mean + x
+	}
+	return out
+}
+
+func TestBatchMeansCICoarsensForCorrelation(t *testing.T) {
+	iid := ar1(rng.NewStream(5), 2048, 10, 0, 1)
+	corr := ar1(rng.NewStream(6), 2048, 10, 0.98, 1)
+	bIID, err := BatchMeansCI(iid, 0.95)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bCorr, err := BatchMeansCI(corr, 0.95)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bCorr.BatchSize <= bIID.BatchSize {
+		t.Fatalf("correlated series got batches of %d, iid %d — search did not coarsen",
+			bCorr.BatchSize, bIID.BatchSize)
+	}
+	if bCorr.HalfWidth <= bIID.HalfWidth {
+		t.Fatalf("correlated half-width %g not wider than iid %g", bCorr.HalfWidth, bIID.HalfWidth)
+	}
+}
+
+func TestBatchMeansCIErrors(t *testing.T) {
+	if _, err := BatchMeansCI(make([]float64, 4), 0.95); err == nil {
+		t.Fatal("short series accepted")
+	}
+	if _, err := BatchMeansCI(make([]float64, 100), 1.5); err == nil {
+		t.Fatal("bad confidence accepted")
+	}
+}
+
+func TestPrecisionDefaultsAndValidation(t *testing.T) {
+	p := Precision{RelWidth: 0.02}.Normalized()
+	if p.Confidence != 0.95 || p.MinReps != 4 || p.MaxReps != 64 {
+		t.Fatalf("defaults = %+v", p)
+	}
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for _, bad := range []Precision{
+		{},
+		{RelWidth: -0.1},
+		{RelWidth: 1.5},
+		{RelWidth: 0.02, Confidence: 2},
+		{RelWidth: 0.02, MinReps: 2, MaxReps: 64},
+		{RelWidth: 0.02, MinReps: 10, MaxReps: 5},
+	} {
+		if err := bad.Validate(); err == nil {
+			t.Fatalf("accepted %+v", bad)
+		}
+	}
+}
+
+func TestStopperChunksAreDeterministicAndBounded(t *testing.T) {
+	p := Precision{RelWidth: 0.02, MaxReps: 32}.Normalized()
+	s := NewStopper(p)
+	if got := s.NextChunk(); got != p.MinReps {
+		t.Fatalf("first chunk = %d, want MinReps %d", got, p.MinReps)
+	}
+	st := rng.NewStream(9)
+	total := 0
+	for !s.Satisfied() && !s.Exhausted() {
+		chunk := s.NextChunk()
+		if chunk < 1 || total > 0 && chunk > total {
+			t.Fatalf("chunk %d after %d reps violates growth bounds", chunk, total)
+		}
+		for k := 0; k < chunk; k++ {
+			s.Add(100 + st.Normal())
+		}
+		total += chunk
+		if total > p.MaxReps {
+			t.Fatalf("scheduled %d reps past the cap %d", total, p.MaxReps)
+		}
+	}
+	if s.N() != total {
+		t.Fatalf("stopper counted %d, fed %d", s.N(), total)
+	}
+}
+
+// TestStopperCoverageKnownMean is the engine-level coverage check: a
+// synthetic "replication" stream with known mean must, across many seeds,
+// produce intervals that (a) meet the requested relative precision and
+// (b) cover the true mean at no less than 93% despite the sequential
+// stopping (which biases coverage slightly below nominal). The seed list
+// is fixed, so the test is deterministic.
+func TestStopperCoverageKnownMean(t *testing.T) {
+	const (
+		trueMean = 50.0
+		relSD    = 0.08 // per-replication SD: 8% of the mean
+		trials   = 400
+	)
+	p := Precision{RelWidth: 0.02, Confidence: 0.95, MaxReps: 256}.Normalized()
+	covered, converged := 0, 0
+	for trial := 0; trial < trials; trial++ {
+		st := rng.NewStream(uint64(1000 + trial))
+		s := NewStopper(p)
+		for !s.Satisfied() && !s.Exhausted() {
+			chunk := s.NextChunk()
+			for k := 0; k < chunk; k++ {
+				s.Add(trueMean * (1 + relSD*st.Normal()))
+			}
+		}
+		if s.Satisfied() {
+			converged++
+			if s.RelHalfWidth() > p.RelWidth {
+				t.Fatalf("trial %d: satisfied but rel half-width %.4f > %.4f",
+					trial, s.RelHalfWidth(), p.RelWidth)
+			}
+		}
+		if math.Abs(s.Mean()-trueMean) <= s.HalfWidth() {
+			covered++
+		}
+	}
+	if converged < trials*95/100 {
+		t.Fatalf("only %d/%d trials converged", converged, trials)
+	}
+	cov := float64(covered) / trials
+	if cov < 0.93 {
+		t.Fatalf("empirical coverage %.3f below 0.93 (%d/%d)", cov, covered, trials)
+	}
+	t.Logf("coverage %.3f (%d/%d), converged %d", cov, covered, trials, converged)
+}
+
+func TestAnalyzeRunShortSampleStillEstimates(t *testing.T) {
+	st := rng.NewStream(2)
+	sample := make([]float64, 12)
+	for i := range sample {
+		sample[i] = st.Float64()
+	}
+	a, err := AnalyzeRun(sample, 0.95)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Truncated != 0 || a.Mean <= 0 {
+		t.Fatalf("short-sample fallback broken: %+v", a)
+	}
+	if _, err := AnalyzeRun(nil, 0.95); err == nil {
+		t.Fatal("empty sample accepted")
+	}
+}

@@ -7,6 +7,7 @@ import (
 	"math"
 	"strings"
 
+	"hmscs/internal/sim"
 	"hmscs/internal/sweep"
 )
 
@@ -45,17 +46,74 @@ func FigureMarkdown(fr *sweep.FigureResult) string {
 	return b.String()
 }
 
-// FigureCSV renders a figure as CSV with columns
-// clusters,msg_size,analytic_ms,simulated_ms,sim_ci_ms.
+// FigureCSV renders a figure as CSV, one row per point, carrying the full
+// estimate quality (replication count, effective sample size, relative CI
+// half-width) alongside the latencies so variance information is never
+// dropped on the way to a plot.
 func FigureCSV(fr *sweep.FigureResult) string {
 	var b strings.Builder
-	b.WriteString("figure,scenario,arch,clusters,msg_bytes,analytic_ms,simulated_ms,sim_ci_ms\n")
+	b.WriteString("figure,scenario,arch,clusters,msg_bytes,analytic_ms,simulated_ms,sim_ci_ms,sim_reps,sim_ess,sim_rel_ci_pct\n")
 	for _, s := range fr.Series {
 		for i, c := range s.Clusters {
-			fmt.Fprintf(&b, "%s,%s,%s,%d,%d,%.6f,%.6f,%.6f\n",
+			reps, ess, relPct := 0, 0.0, 0.0
+			if s.Stats != nil {
+				st := s.Stats[i]
+				reps, ess = st.Reps, st.ESS
+				if st.Mean > 0 {
+					relPct = st.RelHalfWidth() * 100
+				}
+			}
+			fmt.Fprintf(&b, "%s,%s,%s,%d,%d,%.6f,%.6f,%.6f,%d,%.1f,%.3f\n",
 				fr.Spec.Name, fr.Spec.Scenario, fr.Spec.Arch,
-				c, s.MsgSize, ms(s.Analytic[i]), ms(s.Simulated[i]), ms(s.SimCI[i]))
+				c, s.MsgSize, ms(s.Analytic[i]), ms(s.Simulated[i]), ms(s.SimCI[i]),
+				reps, ess, relPct)
 		}
+	}
+	return b.String()
+}
+
+// StatsMarkdown renders the per-point estimate quality of a figure —
+// replication counts, effective sample sizes, and configured-confidence
+// half-widths — as a Markdown table. It returns "" unless at least one
+// point carries adaptive-stopping statistics (ESS is only known when raw
+// samples were recorded, i.e. precision mode).
+func StatsMarkdown(fr *sweep.FigureResult) string {
+	any := false
+	for _, s := range fr.Series {
+		for _, st := range s.Stats {
+			if st.ESS > 0 {
+				any = true
+			}
+		}
+	}
+	if !any || len(fr.Series) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "#### %s — estimate quality (adaptive stopping)\n\n", fr.Spec.Name)
+	b.WriteString("| Clusters |")
+	for _, s := range fr.Series {
+		fmt.Fprintf(&b, " reps M=%d | ESS M=%d | ±CI M=%d (ms) |", s.MsgSize, s.MsgSize, s.MsgSize)
+	}
+	b.WriteString("\n|---:|")
+	for range fr.Series {
+		b.WriteString("---:|---:|---:|")
+	}
+	b.WriteString("\n")
+	for i, c := range fr.Series[0].Clusters {
+		fmt.Fprintf(&b, "| %d |", c)
+		for _, s := range fr.Series {
+			var st sim.Estimate
+			if i < len(s.Stats) {
+				st = s.Stats[i]
+			}
+			mark := ""
+			if !st.Converged {
+				mark = " (!)"
+			}
+			fmt.Fprintf(&b, " %d%s | %.0f | %.3f |", st.Reps, mark, st.ESS, ms(st.HalfWidth))
+		}
+		b.WriteString("\n")
 	}
 	return b.String()
 }
@@ -115,6 +173,22 @@ func ASCIIPlot(fr *sweep.FigureResult, width, height int) string {
 	for r := range grid {
 		grid[r] = []byte(strings.Repeat(" ", width))
 	}
+	// CI bars first, so the point marks drawn after overwrite their centre
+	// cell: each simulated point with a confidence interval renders as a
+	// vertical '|' whisker spanning mean ± half-width.
+	for _, s := range fr.Series {
+		for i, c := range s.Clusters {
+			if s.Simulated[i] <= 0 || s.SimCI[i] <= 0 {
+				continue
+			}
+			col := lx(float64(c))
+			lo := ly(ms(s.Simulated[i] - s.SimCI[i]))
+			hi := ly(ms(s.Simulated[i] + s.SimCI[i]))
+			for r := hi; r <= lo; r++ { // rows grow downward
+				grid[r][col] = '|'
+			}
+		}
+	}
 	for si, s := range fr.Series {
 		aMark := byte('a' + si)
 		sMark := byte('1' + si)
@@ -146,7 +220,7 @@ func ASCIIPlot(fr *sweep.FigureResult, width, height int) string {
 		fmt.Fprintf(&b, "[%c]=analysis M=%d  [%c]=simulation M=%d  ",
 			byte('a'+si), s.MsgSize, byte('1'+si), s.MsgSize)
 	}
-	b.WriteString("\n")
+	b.WriteString("[|]=95% CI\n")
 	return b.String()
 }
 

@@ -6,6 +6,7 @@ import (
 
 	"hmscs/internal/core"
 	"hmscs/internal/network"
+	"hmscs/internal/sim"
 	"hmscs/internal/sweep"
 )
 
@@ -74,10 +75,61 @@ func TestFigureCSV(t *testing.T) {
 	if !strings.Contains(lines[1], "Figure X,Case-1,non-blocking,1,512") {
 		t.Fatalf("first row = %q", lines[1])
 	}
+	wantCommas := strings.Count(lines[0], ",")
+	if wantCommas != 10 {
+		t.Fatalf("header has %d columns, want 11: %q", wantCommas+1, lines[0])
+	}
 	for _, l := range lines[1:] {
-		if got := strings.Count(l, ","); got != 7 {
-			t.Fatalf("row %q has %d commas", l, got)
+		if got := strings.Count(l, ","); got != wantCommas {
+			t.Fatalf("row %q has %d commas, want %d", l, got, wantCommas)
 		}
+	}
+	for _, col := range []string{"sim_ci_ms", "sim_reps", "sim_ess", "sim_rel_ci_pct"} {
+		if !strings.Contains(lines[0], col) {
+			t.Fatalf("header missing %q: %q", col, lines[0])
+		}
+	}
+}
+
+func TestStatsMarkdown(t *testing.T) {
+	fr := sampleFigure()
+	// Without recorded-sample stats the quality table stays silent.
+	if out := StatsMarkdown(fr); out != "" {
+		t.Fatalf("stats table rendered without stats: %q", out)
+	}
+	for si := range fr.Series {
+		fr.Series[si].Stats = []sim.Estimate{
+			{Mean: 0.011, Confidence: 0.95, HalfWidth: 0.0002, Reps: 6, ESS: 420, Converged: true},
+			{Mean: 0.014, Confidence: 0.95, HalfWidth: 0.0003, Reps: 4, ESS: 300, Converged: true},
+			{Mean: 0.021, Confidence: 0.95, HalfWidth: 0.0009, Reps: 16, ESS: 900, Converged: false},
+		}
+	}
+	out := StatsMarkdown(fr)
+	for _, frag := range []string{"estimate quality", "reps M=512", "ESS M=1024", "420", "16 (!)"} {
+		if !strings.Contains(out, frag) {
+			t.Errorf("stats table missing %q:\n%s", frag, out)
+		}
+	}
+}
+
+func TestASCIIPlotCIBars(t *testing.T) {
+	fr := sampleFigure()
+	// Inflate one CI so the whisker spans several rows.
+	fr.Series[0].SimCI[0] = 0.008
+	out := ASCIIPlot(fr, 40, 16)
+	if !strings.Contains(out, "|]=95% CI") {
+		t.Fatalf("legend missing CI bar entry:\n%s", out)
+	}
+	// The whisker glyph must appear inside the grid (column 10+ to skip
+	// the axis border).
+	found := false
+	for _, line := range strings.Split(out, "\n") {
+		if i := strings.LastIndex(line, "|"); i > 12 && strings.Contains(line[9:], "|") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("no CI whisker drawn:\n%s", out)
 	}
 }
 

@@ -141,6 +141,15 @@ func (st *Stream) ExpRate(rate float64) float64 {
 	return -math.Log(st.Float64Open()) / rate
 }
 
+// Normal returns a standard normal variate (Box-Muller; one of the pair
+// is discarded to keep the stream's consumption rate deterministic at two
+// uniforms per call).
+func (st *Stream) Normal() float64 {
+	u := st.Float64Open()
+	v := st.Float64Open()
+	return math.Sqrt(-2*math.Log(u)) * math.Cos(2*math.Pi*v)
+}
+
 // Erlang returns an Erlang-k variate with the given total mean (the sum of
 // k exponential phases each with mean mean/k). k must be >= 1.
 func (st *Stream) Erlang(k int, mean float64) float64 {

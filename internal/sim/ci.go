@@ -2,31 +2,32 @@ package sim
 
 import (
 	"fmt"
+	"math"
 
-	"hmscs/internal/stats"
+	"hmscs/internal/output"
 )
 
 // LatencyCI returns a 95% confidence half-width for the mean latency of a
-// single run using the batch-means method, with the batch count chosen
-// from the sample's measured autocorrelation. It requires the run to have
-// been executed with Options.RecordSample.
+// single run through the output-analysis engine: MSER-5 warmup deletion
+// followed by batch means with an autocorrelation-aware batch-size search
+// (see internal/output). It requires the run to have been executed with
+// Options.RecordSample.
 //
 // Within-run latencies are serially correlated (consecutive messages share
 // queue state), so the naive Welford standard error understates the
-// uncertainty; batch means over long batches restore an honest interval.
-// Multi-replication runs (RunReplications) do not need this — their CI
-// comes from independent replications.
+// uncertainty; batch means over batches longer than the correlation length
+// restore an honest interval. Multi-replication runs (RunReplications) do
+// not need this — their CI comes from independent replications.
 func (r *Result) LatencyCI() (float64, error) {
 	if len(r.Sample) == 0 {
 		return 0, fmt.Errorf("sim: LatencyCI needs Options.RecordSample")
 	}
-	nBatches, err := stats.SuggestBatches(r.Sample)
+	a, err := output.AnalyzeRun(r.Sample, 0.95)
 	if err != nil {
 		return 0, err
 	}
-	w, err := stats.BatchMeans(r.Sample, nBatches)
-	if err != nil {
-		return 0, err
+	if math.IsNaN(a.Batch.HalfWidth) {
+		return 0, fmt.Errorf("sim: %d observations are too few for a batch-means interval", len(r.Sample))
 	}
-	return w.CI(0.95), nil
+	return a.Batch.HalfWidth, nil
 }

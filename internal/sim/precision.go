@@ -1,0 +1,208 @@
+package sim
+
+import (
+	"fmt"
+
+	"hmscs/internal/core"
+	"hmscs/internal/output"
+	"hmscs/internal/par"
+)
+
+// Estimate describes the statistical quality of a mean-latency estimate
+// (seconds, here): the output-analysis engine's summary, threaded through
+// sweep results and the report emitters so variance information survives
+// all the way to the CSVs.
+type Estimate = output.Estimate
+
+// PrecisionResult is the outcome of a precision-mode run: the usual
+// replication aggregate plus the adaptive-stopping bookkeeping.
+type PrecisionResult struct {
+	*Replicated
+	// Estimate is the MSER-truncated across-replication estimate at the
+	// requested confidence; its Mean is what the stopping rule tracked
+	// (and equals Replicated.MeanLatency).
+	Estimate Estimate
+	// TotalGenerated counts every message simulated across all
+	// replications — the cost that adaptive stopping saves.
+	TotalGenerated int64
+	// TruncatedFrac is the mean fraction of each replication's sample that
+	// MSER-5 deleted as initialisation transient.
+	TruncatedFrac float64
+	// TruncationSuspect counts replications whose MSER-5 minimiser hit
+	// its search bound (or whose series was too short to search at all):
+	// their point estimates may retain initialisation bias, a sign the
+	// per-replication window should grow (raise -messages).
+	TruncationSuspect int
+}
+
+// PrecisionUnit is one configuration in a batched precision run.
+type PrecisionUnit struct {
+	Cfg  *core.Config
+	Opts Options
+	// Wrap, when non-nil, decorates simulation errors with unit context.
+	Wrap func(error) error
+}
+
+// precisionRepMessages sizes a precision-mode replication: a quarter of
+// the configured measurement window (floored), so the initial MinReps
+// pilot costs about one fixed-mode replication and the stopping rule
+// spends the remaining budget only where the variance demands it.
+func precisionRepMessages(measured int) int {
+	per := measured / 4
+	if per < 500 {
+		per = 500
+	}
+	return per
+}
+
+// unitState tracks one unit's replication set between scheduling rounds.
+type unitState struct {
+	stopper  *output.Stopper
+	results  []*Result
+	analyses []output.RunAnalysis
+	done     bool
+}
+
+// workItem is one (unit, replication) cell of a scheduling round.
+type workItem struct {
+	ui, rep int
+}
+
+// RunPrecisionUnits runs every unit's replications under the sequential
+// stopping rule, fanning (unit × replication) work across one bounded
+// worker pool. Per round, each unconverged unit contributes its next
+// deterministic chunk of replications; seeds derive from the unit's base
+// seed by ReplicationSeed, per-replication analysis depends only on that
+// replication's sample, and stopping decisions consume estimates in
+// replication order — so results are bit-identical at every parallelism
+// level, including the set of replications each unit runs.
+//
+// Precision mode replaces the fixed warm-up prefix with per-replication
+// MSER-5 truncation (Options.WarmupMessages is ignored) and shortens each
+// replication to a quarter of Options.MeasuredMessages, extending the
+// replication set instead of the run length until the confidence
+// half-width on the mean latency is at most prec.RelWidth of the mean.
+func RunPrecisionUnits(units []PrecisionUnit, prec output.Precision, parallelism int) ([]*PrecisionResult, error) {
+	prec = prec.Normalized()
+	if err := prec.Validate(); err != nil {
+		return nil, err
+	}
+	states := make([]*unitState, len(units))
+	for i := range states {
+		states[i] = &unitState{stopper: output.NewStopper(prec)}
+	}
+	for {
+		// Collect this round's work: each pending unit's next chunk.
+		var items []workItem
+		for ui, st := range states {
+			if st.done {
+				continue
+			}
+			chunk := st.stopper.NextChunk()
+			base := len(st.results)
+			for k := 0; k < chunk; k++ {
+				items = append(items, workItem{ui: ui, rep: base + k})
+			}
+			st.results = append(st.results, make([]*Result, chunk)...)
+			st.analyses = append(st.analyses, make([]output.RunAnalysis, chunk)...)
+		}
+		if len(items) == 0 {
+			break
+		}
+		err := par.ForEach(len(items), parallelism, func(k int) error {
+			it := items[k]
+			u := units[it.ui]
+			o := u.Opts
+			if o.MeasuredMessages <= 0 {
+				o.MeasuredMessages = DefaultOptions().MeasuredMessages
+			}
+			o.MeasuredMessages = precisionRepMessages(o.MeasuredMessages)
+			o.WarmupMessages = 0
+			o.RecordSample = true
+			o.Seed = ReplicationSeed(u.Opts.Seed, it.rep)
+			r, err := Run(u.Cfg, o)
+			if err != nil {
+				if u.Wrap != nil {
+					err = u.Wrap(err)
+				}
+				return err
+			}
+			a, err := output.AnalyzeRun(r.Sample, prec.Confidence)
+			if err != nil {
+				err = fmt.Errorf("sim: replication %d analysis: %w", it.rep, err)
+				if u.Wrap != nil {
+					err = u.Wrap(err)
+				}
+				return err
+			}
+			r.Sample = nil // the analysis is done; release the raw series
+			states[it.ui].results[it.rep] = r
+			states[it.ui].analyses[it.rep] = a
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		// Feed the new estimates in replication order and decide.
+		for _, st := range states {
+			if st.done {
+				continue
+			}
+			for st.stopper.N() < len(st.analyses) {
+				st.stopper.Add(st.analyses[st.stopper.N()].Mean)
+			}
+			if st.stopper.Satisfied() || st.stopper.Exhausted() {
+				st.done = true
+			}
+		}
+	}
+	out := make([]*PrecisionResult, len(units))
+	for ui, st := range states {
+		out[ui] = finishPrecision(st, prec)
+	}
+	return out, nil
+}
+
+// finishPrecision folds one unit's replication set into its result.
+func finishPrecision(st *unitState, prec output.Precision) *PrecisionResult {
+	means := make([]float64, len(st.analyses))
+	ess, truncFrac := 0.0, 0.0
+	suspect := 0
+	var totalGen int64
+	for i, a := range st.analyses {
+		means[i] = a.Mean
+		ess += a.ESS
+		if n := st.results[i].Measured; n > 0 {
+			truncFrac += float64(a.Truncated) / float64(n)
+		}
+		if !a.TruncationOK {
+			suspect++
+		}
+		totalGen += st.results[i].Generated
+	}
+	agg := aggregateResults(st.results, means)
+	return &PrecisionResult{
+		Replicated: agg,
+		Estimate: Estimate{
+			Mean:       st.stopper.Mean(),
+			Confidence: prec.Confidence,
+			HalfWidth:  st.stopper.HalfWidth(),
+			Reps:       st.stopper.N(),
+			ESS:        ess,
+			Converged:  st.stopper.Satisfied(),
+		},
+		TotalGenerated:    totalGen,
+		TruncatedFrac:     truncFrac / float64(len(st.analyses)),
+		TruncationSuspect: suspect,
+	}
+}
+
+// RunPrecision is the single-configuration convenience over
+// RunPrecisionUnits.
+func RunPrecision(cfg *core.Config, opts Options, prec output.Precision, parallelism int) (*PrecisionResult, error) {
+	res, err := RunPrecisionUnits([]PrecisionUnit{{Cfg: cfg, Opts: opts}}, prec, parallelism)
+	if err != nil {
+		return nil, err
+	}
+	return res[0], nil
+}

@@ -41,11 +41,21 @@ func ReplicationSeed(base uint64, i int) uint64 {
 // into the across-replication summary. It is deterministic: the output
 // depends only on the slice contents and order, never on timing.
 func AggregateResults(results []*Result) *Replicated {
+	return aggregateResults(results, nil)
+}
+
+// aggregateResults is AggregateResults with optional per-replication mean
+// overrides (precision mode substitutes MSER-truncated means for the raw
+// within-run means).
+func aggregateResults(results []*Result, means []float64) *Replicated {
 	n := len(results)
 	agg := &Replicated{PerReplication: make([]float64, n)}
 	var lat, thru, eff, bottleneck stats.Welford
 	for i, r := range results {
 		m := r.MeanLatency()
+		if means != nil {
+			m = means[i]
+		}
 		agg.PerReplication[i] = m
 		lat.Add(m)
 		thru.Add(r.Throughput)

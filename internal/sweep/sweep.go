@@ -16,6 +16,7 @@ import (
 	"hmscs/internal/analytic"
 	"hmscs/internal/core"
 	"hmscs/internal/network"
+	"hmscs/internal/output"
 	"hmscs/internal/par"
 	"hmscs/internal/sim"
 	"hmscs/internal/validate"
@@ -71,6 +72,12 @@ type Options struct {
 	// (point × replication) simulation units: <= 0 uses all CPUs, 1 runs
 	// sequentially. Results are bit-identical for every value.
 	Parallelism int
+	// Precision, when non-nil, replaces the fixed Replications count with
+	// the sequential stopping rule: every point's replication set extends
+	// until the confidence half-width of its mean latency is at most
+	// Precision.RelWidth of the mean (see internal/output). Results stay
+	// bit-identical at every Parallelism value.
+	Precision *output.Precision
 }
 
 // DefaultOptions mirrors the paper's procedure with 3 replications, using
@@ -89,6 +96,10 @@ type SeriesResult struct {
 	Analytic  []float64
 	Simulated []float64
 	SimCI     []float64
+	// Stats carries the full per-point estimate quality (replication
+	// count, effective sample size, configured-confidence half-width);
+	// zero-valued entries when simulation was skipped.
+	Stats []sim.Estimate
 }
 
 // ValidationSeries converts the curve into a validate.Series.
@@ -127,17 +138,37 @@ type simUnit struct {
 	wrap func(error) error
 }
 
-// runUnits executes every unit's reps replications as (unit × replication)
+// runUnits executes every unit's replications as (unit × replication)
 // work items on the bounded pool and folds each unit's results in
-// replication order. This is the single home of the decomposition / seed
-// derivation / aggregation contract that makes sweeps bit-identical at
-// every parallelism level.
-func runUnits(units []simUnit, reps, parallelism int) ([]*sim.Replicated, error) {
+// replication order. With a fixed replication count every unit runs
+// exactly opts.Replications; with opts.Precision set, each unit's set
+// extends under the sequential stopping rule instead. Either way this is
+// the single home of the decomposition / seed derivation / aggregation
+// contract that makes sweeps bit-identical at every parallelism level.
+func runUnits(units []simUnit, opts Options) ([]*sim.Replicated, []sim.Estimate, error) {
+	if opts.Precision != nil {
+		pu := make([]sim.PrecisionUnit, len(units))
+		for i, u := range units {
+			pu[i] = sim.PrecisionUnit{Cfg: u.cfg, Opts: u.opts, Wrap: u.wrap}
+		}
+		res, err := sim.RunPrecisionUnits(pu, *opts.Precision, opts.Parallelism)
+		if err != nil {
+			return nil, nil, err
+		}
+		aggs := make([]*sim.Replicated, len(units))
+		ests := make([]sim.Estimate, len(units))
+		for i, r := range res {
+			aggs[i] = r.Replicated
+			ests[i] = r.Estimate
+		}
+		return aggs, ests, nil
+	}
+	reps := opts.Replications
 	results := make([][]*sim.Result, len(units))
 	for i := range results {
 		results[i] = make([]*sim.Result, reps)
 	}
-	err := par.ForEach(len(units)*reps, parallelism, func(u int) error {
+	err := par.ForEach(len(units)*reps, opts.Parallelism, func(u int) error {
 		ui, rep := u/reps, u%reps
 		o := units[ui].opts
 		o.Seed = sim.ReplicationSeed(units[ui].opts.Seed, rep)
@@ -149,13 +180,21 @@ func runUnits(units []simUnit, reps, parallelism int) ([]*sim.Replicated, error)
 		return nil
 	})
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	aggs := make([]*sim.Replicated, len(units))
+	ests := make([]sim.Estimate, len(units))
 	for i := range results {
 		aggs[i] = sim.AggregateResults(results[i])
+		ests[i] = sim.Estimate{
+			Mean:       aggs[i].MeanLatency,
+			Confidence: 0.95,
+			HalfWidth:  aggs[i].CI95,
+			Reps:       reps,
+			Converged:  true,
+		}
 	}
-	return aggs, nil
+	return aggs, ests, nil
 }
 
 // RunFigure evaluates a figure specification: for every (message size,
@@ -201,6 +240,7 @@ func RunFigures(specs []FigureSpec, opts Options) ([]*FigureResult, error) {
 				series.Analytic = append(series.Analytic, an.MeanLatency)
 				series.Simulated = append(series.Simulated, 0)
 				series.SimCI = append(series.SimCI, 0)
+				series.Stats = append(series.Stats, sim.Estimate{})
 				if !opts.SkipSimulation {
 					points = append(points, &point{fig: fi, si: si, pi: pi, cfg: cfg})
 				}
@@ -224,7 +264,7 @@ func RunFigures(specs []FigureSpec, opts Options) ([]*FigureResult, error) {
 			},
 		}
 	}
-	aggs, err := runUnits(units, opts.Replications, opts.Parallelism)
+	aggs, ests, err := runUnits(units, opts)
 	if err != nil {
 		return nil, err
 	}
@@ -232,6 +272,7 @@ func RunFigures(specs []FigureSpec, opts Options) ([]*FigureResult, error) {
 		series := &out[pt.fig].Series[pt.si]
 		series.Simulated[pt.pi] = aggs[i].MeanLatency
 		series.SimCI[pt.pi] = aggs[i].CI95
+		series.Stats[pt.pi] = ests[i]
 	}
 	return out, nil
 }
@@ -249,33 +290,47 @@ type PointSpec struct {
 	Locality float64
 }
 
+// PointResult pairs one sweep point's analytical prediction with its
+// simulation estimate and the estimate's statistical quality, so variance
+// information reaches the emitters instead of being dropped.
+type PointResult struct {
+	// Analytic and Simulated are mean latencies in seconds (Simulated and
+	// Stat are zero when simulation was skipped).
+	Analytic  float64
+	Simulated float64
+	// SimCI is the across-replication 95% half-width on Simulated.
+	SimCI float64
+	// Stat is the full estimate: replication count, effective sample
+	// size, and the half-width at the configured confidence level.
+	Stat sim.Estimate
+}
+
 // RunPoints evaluates an arbitrary list of sweep points analytically and
-// by simulation, returning latencies in input order. It is the building
+// by simulation, returning results in input order. It is the building
 // block for the non-figure sweeps (λ, Pr, locality...). Simulation units
 // fan out as (point × replication) across the Options.Parallelism worker
 // pool with the same deterministic seed derivation as RunFigures, so the
 // outputs are bit-identical at every parallelism level.
-func RunPoints(points []PointSpec, opts Options) (analytics, simulated, simCI []float64, err error) {
+func RunPoints(points []PointSpec, opts Options) ([]PointResult, error) {
 	if opts.Replications < 1 {
 		opts.Replications = 1
 	}
-	analytics = make([]float64, len(points))
-	simulated = make([]float64, len(points))
-	simCI = make([]float64, len(points))
+	out := make([]PointResult, len(points))
 	for i, p := range points {
 		var an *analytic.Result
+		var err error
 		if p.Locality >= 0 {
 			an, err = analytic.AnalyzeLocality(p.Cfg, p.Locality)
 		} else {
 			an, err = analytic.Analyze(p.Cfg)
 		}
 		if err != nil {
-			return nil, nil, nil, fmt.Errorf("sweep: config %d analysis: %w", i, err)
+			return nil, fmt.Errorf("sweep: config %d analysis: %w", i, err)
 		}
-		analytics[i] = an.MeanLatency
+		out[i].Analytic = an.MeanLatency
 	}
 	if opts.SkipSimulation {
-		return analytics, simulated, simCI, nil
+		return out, nil
 	}
 	units := make([]simUnit, len(points))
 	for i, p := range points {
@@ -291,20 +346,21 @@ func RunPoints(points []PointSpec, opts Options) (analytics, simulated, simCI []
 			},
 		}
 	}
-	aggs, err := runUnits(units, opts.Replications, opts.Parallelism)
+	aggs, ests, err := runUnits(units, opts)
 	if err != nil {
-		return nil, nil, nil, err
+		return nil, err
 	}
 	for i := range points {
-		simulated[i] = aggs[i].MeanLatency
-		simCI[i] = aggs[i].CI95
+		out[i].Simulated = aggs[i].MeanLatency
+		out[i].SimCI = aggs[i].CI95
+		out[i].Stat = ests[i]
 	}
-	return analytics, simulated, simCI, nil
+	return out, nil
 }
 
 // CustomSweep evaluates an arbitrary list of configurations with the
 // paper's uniform traffic: RunPoints without per-point overrides.
-func CustomSweep(cfgs []*core.Config, opts Options) (analytics, simulated, simCI []float64, err error) {
+func CustomSweep(cfgs []*core.Config, opts Options) ([]PointResult, error) {
 	points := make([]PointSpec, len(cfgs))
 	for i, cfg := range cfgs {
 		points[i] = PointSpec{Cfg: cfg, Locality: -1}

@@ -6,6 +6,7 @@ import (
 
 	"hmscs/internal/core"
 	"hmscs/internal/network"
+	"hmscs/internal/output"
 	"hmscs/internal/sim"
 )
 
@@ -146,19 +147,24 @@ func TestCustomSweep(t *testing.T) {
 		cfgs = append(cfgs, cfg)
 	}
 	opts := fastOpts()
-	an, simVals, ci, err := CustomSweep(cfgs, opts)
+	res, err := CustomSweep(cfgs, opts)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(an) != 2 || len(simVals) != 2 || len(ci) != 2 {
-		t.Fatal("output lengths wrong")
+	if len(res) != 2 {
+		t.Fatal("output length wrong")
 	}
 	// Higher load must not reduce latency.
-	if an[1] < an[0] {
-		t.Fatalf("analytic latency fell with load: %v -> %v", an[0], an[1])
+	if res[1].Analytic < res[0].Analytic {
+		t.Fatalf("analytic latency fell with load: %v -> %v", res[0].Analytic, res[1].Analytic)
 	}
-	if simVals[1] < simVals[0]*0.9 {
-		t.Fatalf("simulated latency fell with load: %v -> %v", simVals[0], simVals[1])
+	if res[1].Simulated < res[0].Simulated*0.9 {
+		t.Fatalf("simulated latency fell with load: %v -> %v", res[0].Simulated, res[1].Simulated)
+	}
+	for i, r := range res {
+		if r.Stat.Reps != opts.Replications || r.Stat.HalfWidth != r.SimCI {
+			t.Fatalf("point %d estimate not threaded: %+v", i, r.Stat)
+		}
 	}
 }
 
@@ -168,18 +174,18 @@ func TestCustomSweepAnalyticOnly(t *testing.T) {
 		t.Fatal(err)
 	}
 	opts := Options{SkipSimulation: true}
-	an, simVals, _, err := CustomSweep([]*core.Config{cfg}, opts)
+	res, err := CustomSweep([]*core.Config{cfg}, opts)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if an[0] <= 0 || simVals[0] != 0 {
+	if res[0].Analytic <= 0 || res[0].Simulated != 0 {
 		t.Fatal("analytic-only sweep wrong")
 	}
 }
 
 func TestCustomSweepPropagatesErrors(t *testing.T) {
 	bad := &core.Config{}
-	if _, _, _, err := CustomSweep([]*core.Config{bad}, Options{SkipSimulation: true}); err == nil {
+	if _, err := CustomSweep([]*core.Config{bad}, Options{SkipSimulation: true}); err == nil {
 		t.Fatal("invalid config accepted")
 	}
 }
@@ -274,18 +280,56 @@ func TestCustomSweepParallelismInvariance(t *testing.T) {
 	opts := fastOpts()
 	opts.Sim.MeasuredMessages = 1200
 	opts.Parallelism = 1
-	_, seqSim, seqCI, err := CustomSweep(cfgs, opts)
+	seq, err := CustomSweep(cfgs, opts)
 	if err != nil {
 		t.Fatal(err)
 	}
 	opts.Parallelism = 0
-	_, parSim, parCI, err := CustomSweep(cfgs, opts)
+	par, err := CustomSweep(cfgs, opts)
 	if err != nil {
 		t.Fatal(err)
 	}
 	for i := range cfgs {
-		if seqSim[i] != parSim[i] || seqCI[i] != parCI[i] {
-			t.Fatalf("config %d diverged: %v±%v vs %v±%v", i, seqSim[i], seqCI[i], parSim[i], parCI[i])
+		if seq[i].Simulated != par[i].Simulated || seq[i].SimCI != par[i].SimCI {
+			t.Fatalf("config %d diverged: %v±%v vs %v±%v", i,
+				seq[i].Simulated, seq[i].SimCI, par[i].Simulated, par[i].SimCI)
+		}
+	}
+}
+
+// TestPrecisionSweepParallelismInvariance pins the adaptive-stopping sweep
+// to bit-identical output — estimates, replication counts, and effective
+// sample sizes — at every parallelism level.
+func TestPrecisionSweepParallelismInvariance(t *testing.T) {
+	spec, err := PaperFigure(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec.ClusterCounts = []int{2, 16}
+	spec.MessageSizes = []int{1024}
+	opts := fastOpts()
+	opts.Sim.MeasuredMessages = 2000
+	opts.Precision = &output.Precision{RelWidth: 0.05, MaxReps: 16}
+	opts.Parallelism = 1
+	seq, err := RunFigure(spec, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range []int{0, 4} {
+		opts.Parallelism = p
+		par, err := RunFigure(spec, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range seq.Series[0].Clusters {
+			s, q := seq.Series[0], par.Series[0]
+			if s.Simulated[i] != q.Simulated[i] || s.Stats[i] != q.Stats[i] {
+				t.Fatalf("parallelism %d diverged at point %d: %+v vs %+v",
+					p, i, s.Stats[i], q.Stats[i])
+			}
+			if s.Stats[i].Reps < 3 || s.Stats[i].ESS <= 0 {
+				t.Fatalf("implausible precision stats at point %d: %+v", i, s.Stats[i])
+			}
 		}
 	}
 }

@@ -1,13 +1,24 @@
 // Command benchjson converts `go test -bench -benchmem` output on stdin
 // into a JSON benchmark report on stdout, so CI and the Makefile can
 // track ns/op and allocs/op over time (see `make bench`).
+//
+// With -compare it instead acts as CI's regression gate: it loads two
+// reports, matches benchmarks by name, and exits non-zero when any
+// benchmark's ns/op or allocs/op regressed by more than -threshold
+// (default 25%):
+//
+//	benchjson -compare old.json new.json
+//	benchjson -compare -threshold 0.10 old.json new.json
 package main
 
 import (
 	"bufio"
 	"encoding/json"
+	"flag"
 	"fmt"
+	"io"
 	"os"
+	"sort"
 	"strconv"
 	"strings"
 )
@@ -33,6 +44,24 @@ type Report struct {
 }
 
 func main() {
+	compare := flag.Bool("compare", false, "compare two report files (old.json new.json) and fail on regression")
+	threshold := flag.Float64("threshold", 0.25, "allowed relative regression in ns/op and allocs/op before -compare fails")
+	flag.Parse()
+	if *compare {
+		if flag.NArg() != 2 {
+			fmt.Fprintln(os.Stderr, "benchjson: -compare needs exactly two report files: old.json new.json")
+			os.Exit(2)
+		}
+		regressed, err := runCompare(flag.Arg(0), flag.Arg(1), *threshold, os.Stdout)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(2)
+		}
+		if regressed {
+			os.Exit(1)
+		}
+		return
+	}
 	if err := run(); err != nil {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
 		os.Exit(1)
@@ -102,4 +131,86 @@ func parseBenchLine(line string) (Entry, bool) {
 		}
 	}
 	return e, true
+}
+
+// loadReport reads one JSON benchmark report.
+func loadReport(path string) (*Report, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var rep Report
+	if err := json.NewDecoder(f).Decode(&rep); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &rep, nil
+}
+
+// runCompare diffs two reports benchmark by benchmark and reports whether
+// any metric regressed past the threshold. Benchmarks present on only one
+// side are listed but never fail the gate (added/removed benchmarks are a
+// review question, not a perf regression). Fast benchmarks (under 100µs
+// per op) are compared but exempt from failing on ns/op: at smoke-bench
+// iteration counts their timing swings are scheduler noise, not signal —
+// allocs/op, which is exact, still gates them.
+func runCompare(oldPath, newPath string, threshold float64, out io.Writer) (bool, error) {
+	oldRep, err := loadReport(oldPath)
+	if err != nil {
+		return false, err
+	}
+	newRep, err := loadReport(newPath)
+	if err != nil {
+		return false, err
+	}
+	oldBy := make(map[string]Entry, len(oldRep.Benchmarks))
+	for _, e := range oldRep.Benchmarks {
+		oldBy[e.Name] = e
+	}
+	const minNsFloor = 100_000 // below 100µs/op, ns/op deltas are noise
+	regressed := false
+	fmt.Fprintf(out, "benchmark comparison (threshold %+.0f%%)\n", threshold*100)
+	for _, n := range newRep.Benchmarks {
+		o, ok := oldBy[n.Name]
+		if !ok {
+			fmt.Fprintf(out, "  %-40s new benchmark (no baseline)\n", n.Name)
+			continue
+		}
+		delete(oldBy, n.Name)
+		nsDelta := relDelta(o.NsPerOp, n.NsPerOp)
+		allocDelta := relDelta(o.AllocsPerOp, n.AllocsPerOp)
+		status := "ok"
+		if nsDelta > threshold && n.NsPerOp >= minNsFloor {
+			status = "REGRESSION (ns/op)"
+			regressed = true
+		}
+		if allocDelta > threshold {
+			status = "REGRESSION (allocs/op)"
+			regressed = true
+		}
+		fmt.Fprintf(out, "  %-40s ns/op %12.0f -> %12.0f (%+6.1f%%)  allocs/op %8.0f -> %8.0f (%+6.1f%%)  %s\n",
+			n.Name, o.NsPerOp, n.NsPerOp, nsDelta*100,
+			o.AllocsPerOp, n.AllocsPerOp, allocDelta*100, status)
+	}
+	removed := make([]string, 0, len(oldBy))
+	for name := range oldBy {
+		removed = append(removed, name)
+	}
+	sort.Strings(removed)
+	for _, name := range removed {
+		fmt.Fprintf(out, "  %-40s removed (was in baseline)\n", name)
+	}
+	if regressed {
+		fmt.Fprintln(out, "FAIL: at least one benchmark regressed past the threshold")
+	}
+	return regressed, nil
+}
+
+// relDelta returns (new-old)/old, treating a zero baseline as no change
+// (a metric that was absent cannot regress).
+func relDelta(old, new float64) float64 {
+	if old == 0 {
+		return 0
+	}
+	return (new - old) / old
 }

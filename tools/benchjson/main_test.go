@@ -1,0 +1,108 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestParseBenchLine(t *testing.T) {
+	e, ok := parseBenchLine("BenchmarkFigure4-8  3  19145442 ns/op  34.25 latency-ms  1404325 B/op  6567 allocs/op")
+	if !ok {
+		t.Fatal("line rejected")
+	}
+	if e.Name != "BenchmarkFigure4-8" || e.Iterations != 3 ||
+		e.NsPerOp != 19145442 || e.AllocsPerOp != 6567 || e.Extra["latency-ms"] != 34.25 {
+		t.Fatalf("parsed = %+v", e)
+	}
+	if _, ok := parseBenchLine("BenchmarkBroken notanumber"); ok {
+		t.Fatal("garbage accepted")
+	}
+}
+
+// writeReport drops a report file for the compare tests.
+func writeReport(t *testing.T, dir, name string, entries []Entry) string {
+	t.Helper()
+	path := filepath.Join(dir, name)
+	data, err := json.Marshal(&Report{Benchmarks: entries})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestCompareGate(t *testing.T) {
+	dir := t.TempDir()
+	oldPath := writeReport(t, dir, "old.json", []Entry{
+		{Name: "BenchmarkA", NsPerOp: 1_000_000, AllocsPerOp: 100},
+		{Name: "BenchmarkB", NsPerOp: 2_000_000, AllocsPerOp: 50},
+		{Name: "BenchmarkGone", NsPerOp: 10_000, AllocsPerOp: 1},
+	})
+
+	// Within threshold: pass (including a removed and an added benchmark).
+	okPath := writeReport(t, dir, "ok.json", []Entry{
+		{Name: "BenchmarkA", NsPerOp: 1_100_000, AllocsPerOp: 110},
+		{Name: "BenchmarkB", NsPerOp: 1_900_000, AllocsPerOp: 50},
+		{Name: "BenchmarkNew", NsPerOp: 5_000_000, AllocsPerOp: 9},
+	})
+	var b strings.Builder
+	regressed, err := runCompare(oldPath, okPath, 0.25, &b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if regressed {
+		t.Fatalf("within-threshold changes flagged:\n%s", b.String())
+	}
+	for _, frag := range []string{"BenchmarkNew", "no baseline", "BenchmarkGone", "removed"} {
+		if !strings.Contains(b.String(), frag) {
+			t.Errorf("report missing %q:\n%s", frag, b.String())
+		}
+	}
+
+	// ns/op blow-up: fail.
+	slowPath := writeReport(t, dir, "slow.json", []Entry{
+		{Name: "BenchmarkA", NsPerOp: 1_300_000, AllocsPerOp: 100},
+		{Name: "BenchmarkB", NsPerOp: 2_000_000, AllocsPerOp: 50},
+	})
+	b.Reset()
+	regressed, err = runCompare(oldPath, slowPath, 0.25, &b)
+	if err != nil || !regressed {
+		t.Fatalf("30%% ns/op regression not flagged (err=%v):\n%s", err, b.String())
+	}
+	if !strings.Contains(b.String(), "REGRESSION (ns/op)") {
+		t.Fatalf("missing ns/op verdict:\n%s", b.String())
+	}
+
+	// allocs/op blow-up: fail even with flat ns/op.
+	allocPath := writeReport(t, dir, "alloc.json", []Entry{
+		{Name: "BenchmarkA", NsPerOp: 1_000_000, AllocsPerOp: 140},
+	})
+	b.Reset()
+	regressed, err = runCompare(oldPath, allocPath, 0.25, &b)
+	if err != nil || !regressed {
+		t.Fatalf("alloc regression not flagged (err=%v):\n%s", err, b.String())
+	}
+
+	// Fast benchmarks (<100µs/op) are exempt from ns/op gating.
+	noisePath := writeReport(t, dir, "noise.json", []Entry{
+		{Name: "BenchmarkGone", NsPerOp: 20_000, AllocsPerOp: 1},
+	})
+	b.Reset()
+	regressed, err = runCompare(oldPath, noisePath, 0.25, &b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if regressed {
+		t.Fatalf("fast-benchmark jitter flagged:\n%s", b.String())
+	}
+
+	// Missing file: error, not a silent pass.
+	if _, err := runCompare(filepath.Join(dir, "absent.json"), okPath, 0.25, &b); err == nil {
+		t.Fatal("missing baseline accepted")
+	}
+}
