@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race vet fmt-check bench bench-compare golden golden-check clean
+.PHONY: all build test race vet fmt-check bench bench-compare golden golden-check scenarios-check links-check clean
 
 all: build test
 
@@ -56,6 +56,15 @@ golden:
 golden-check:
 	$(GOLDEN_CMD) > /tmp/golden-figures.txt
 	diff -u testdata/golden-figures.txt /tmp/golden-figures.txt
+
+# scenarios-check replays every command in docs/SCENARIOS.md as a smoke
+# run (-messages 100 -reps 1, adapted per binary), so the cookbook cannot
+# rot. links-check verifies intra-repo Markdown links resolve.
+scenarios-check:
+	$(GO) run ./tools/docscheck -scenarios docs/SCENARIOS.md
+
+links-check:
+	$(GO) run ./tools/docscheck -links .
 
 clean:
 	rm -f bench.out BENCH_sim.json

@@ -38,6 +38,8 @@ func run(args []string, out io.Writer) error {
 	mva := fs.Bool("mva", false, "also solve the exact closed-network MVA cross-check")
 	verbose := fs.Bool("v", false, "print per-centre metrics")
 	seed := fs.Uint64("seed", 1, "random seed for the -precision simulation check")
+	var arrivalFlags cli.ArrivalFlags
+	arrivalFlags.Register(fs)
 	var precision, confidence float64
 	var maxReps int
 	cli.RegisterPrecision(fs, &precision, &confidence, &maxReps)
@@ -48,17 +50,31 @@ func run(args []string, out io.Writer) error {
 	if err != nil {
 		return err
 	}
+	arrival, err := arrivalFlags.Build()
+	if err != nil {
+		return err
+	}
 	cfg, err := sys.Build()
 	if err != nil {
 		return err
 	}
-	res, err := analytic.Analyze(cfg)
+	// A finite non-Poisson interarrival SCV selects the Allen–Cunneen
+	// G/G/1 correction; Poisson (and infinite-variance heavy tails, which
+	// admit no finite correction) evaluates the paper's M/M/1 model.
+	scv := arrival.SCV()
+	var res *analytic.Result
+	if scv != 1 && !math.IsInf(scv, 1) && !math.IsNaN(scv) {
+		res, err = analytic.AnalyzeArrival(cfg, scv)
+	} else {
+		res, err = analytic.Analyze(cfg)
+	}
 	if err != nil {
 		return err
 	}
 	fmt.Fprintln(out, cfg.String())
 	rows := [][2]string{
 		{"mean message latency", cli.Ms(res.MeanLatency)},
+		{"arrival process", fmt.Sprintf("%s (interarrival SCV %.3g)", arrival.Name(), scv)},
 		{"out-of-cluster probability P", fmt.Sprintf("%.4f", res.P)},
 		{"effective-rate scale (eq. 7)", fmt.Sprintf("%.4f", res.Scale)},
 		{"blocked processors L (eq. 6)", fmt.Sprintf("%.2f", res.TotalWaiting)},
@@ -95,6 +111,7 @@ func run(args []string, out io.Writer) error {
 		// replication set until the estimate is tight enough to judge.
 		opts := sim.DefaultOptions()
 		opts.Seed = *seed
+		opts.Arrival = arrival
 		simRes, err := sim.RunPrecision(cfg, opts, *prec, 0)
 		if err != nil {
 			return err

@@ -10,6 +10,7 @@
 //	hmscs-figures -what all            # everything, full paper procedure
 //	hmscs-figures -what fig4 -format plot
 //	hmscs-figures -what ratio -fast    # analytic-only, instant
+//	hmscs-figures -what fig4 -arrival mmpp -burst-ratio 10   # bursty variant
 package main
 
 import (
@@ -45,6 +46,8 @@ func run(args []string, out io.Writer) error {
 	messages := fs.Int("messages", 10000, "measured messages per replication (paper: 10000)")
 	seed := fs.Uint64("seed", 1, "base random seed")
 	parallel := fs.Int("parallel", 0, "concurrent simulation workers (0 = all cores, 1 = sequential); results are identical for every value")
+	var arrivalFlags cli.ArrivalFlags
+	arrivalFlags.Register(fs)
 	var precision, confidence float64
 	var maxReps int
 	cli.RegisterPrecision(fs, &precision, &confidence, &maxReps)
@@ -55,11 +58,16 @@ func run(args []string, out io.Writer) error {
 	if err != nil {
 		return err
 	}
+	arrival, err := arrivalFlags.Build()
+	if err != nil {
+		return err
+	}
 
 	opts := sweep.DefaultOptions()
 	opts.Replications = *reps
 	opts.Sim.MeasuredMessages = *messages
 	opts.Sim.Seed = *seed
+	opts.Sim.Arrival = arrival
 	opts.SkipSimulation = *fast
 	opts.Parallelism = *parallel
 	opts.Precision = prec

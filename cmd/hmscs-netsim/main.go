@@ -3,12 +3,16 @@
 // abstraction the paper (and internal/sim) uses — a fidelity ladder:
 // analytic M/M/1 model ← system simulator ← switch-level simulator.
 // The simulator runs on the typed allocation-free event core shared with
-// internal/sim (see DESIGN.md §3).
+// internal/sim (see DESIGN.md §3) and draws its traffic from the same
+// workload generator (arrival × pattern × size, DESIGN.md §6), so every
+// arrival process and destination pattern of hmscs-sim also runs here.
 //
 // Examples:
 //
 //	hmscs-netsim -topo fat-tree -n 32 -ports 8 -lambda 20000 -msg 1024
 //	hmscs-netsim -topo linear-array -n 96 -ports 8 -tech FE
+//	hmscs-netsim -topo linear-array -n 64 -arrival mmpp -burst-ratio 20
+//	hmscs-netsim -n 32 -pattern hotspot:0.3 -precision 0.05
 package main
 
 import (
@@ -23,7 +27,6 @@ import (
 	"hmscs/internal/output"
 	"hmscs/internal/queueing"
 	"hmscs/internal/report"
-	"hmscs/internal/rng"
 	"hmscs/internal/sim"
 )
 
@@ -36,61 +39,24 @@ func main() {
 
 func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("hmscs-netsim", flag.ContinueOnError)
-	topo := fs.String("topo", "fat-tree", "topology: fat-tree or linear-array")
-	n := fs.Int("n", 32, "endpoints")
-	ports := fs.Int("ports", 8, "switch ports")
-	swLat := fs.Float64("swlat", 10, "switch latency in µs")
-	tech := fs.String("tech", "GE", "link technology (GE, FE, Myrinet, Infiniband)")
-	lambda := fs.Float64("lambda", 10000, "per-endpoint message rate (msg/s)")
-	msg := fs.Int("msg", 1024, "message size in bytes")
-	messages := fs.Int("messages", 10000, "measured messages")
-	warmup := fs.Int("warmup", 1000, "warm-up messages")
-	seed := fs.Uint64("seed", 1, "random seed")
-	service := fs.String("service", "det", "per-link service distribution: det or exp")
-	var precision, confidence float64
-	var maxReps int
-	cli.RegisterPrecision(fs, &precision, &confidence, &maxReps)
+	var nf cli.NetFlags
+	nf.Register(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	prec, err := cli.BuildPrecision(precision, confidence, maxReps)
+	prec, err := nf.PrecisionSpec()
 	if err != nil {
 		return err
 	}
-	technology, err := network.TechnologyByName(*tech)
+	exp, err := nf.Build()
 	if err != nil {
 		return err
 	}
-	var dist rng.Dist
-	switch *service {
-	case "det":
-		dist = rng.Deterministic{Value: 1}
-	case "exp":
-		dist = rng.Exponential{MeanValue: 1}
-	default:
-		return fmt.Errorf("unknown service distribution %q", *service)
-	}
-	sw := network.Switch{Ports: *ports, Latency: *swLat * 1e-6}
+	build, baseOpts := exp.Build, exp.Opts
 
-	build := func(seed uint64) (*netsim.Network, error) {
-		switch *topo {
-		case "fat-tree":
-			return netsim.BuildFatTree(*n, *ports, technology, sw, seed, dist)
-		case "linear-array":
-			return netsim.BuildLinearArray(*n, *ports, technology, sw, seed, dist)
-		}
-		return nil, fmt.Errorf("unknown topology %q", *topo)
-	}
-	baseOpts := netsim.Options{
-		Lambda:   *lambda,
-		MsgBytes: *msg,
-		Warmup:   *warmup,
-		Measured: *messages,
-		Seed:     *seed,
-	}
-
-	fmt.Fprintf(out, "%s: %d endpoints, %d-port switches, %s, λ=%g msg/s, M=%dB\n",
-		*topo, *n, *ports, technology.Name, *lambda, *msg)
+	fmt.Fprintf(out, "%s: %d endpoints, %d-port switches, %s, λ=%g msg/s, M=%dB, %s arrivals\n",
+		nf.Topo, nf.N, nf.Ports, exp.Tech.Name, nf.Lambda, nf.Msg,
+		baseOpts.Workload.Arrival.Name())
 
 	var res *netsim.Result
 	var net *netsim.Network
@@ -113,7 +79,7 @@ func run(args []string, out io.Writer) error {
 				fmt.Sprintf("precision target not met within -max-reps %d", prec.MaxReps)})
 		}
 	} else {
-		net, err = build(*seed)
+		net, err = build(nf.Seed)
 		if err != nil {
 			return err
 		}
@@ -131,7 +97,7 @@ func run(args []string, out io.Writer) error {
 		[2]string{"throughput", fmt.Sprintf("%.1f msg/s", res.Throughput)},
 		[2]string{"max host-link utilisation", fmt.Sprintf("%.3f", res.MaxHostLinkUtil)},
 		[2]string{"max fabric-link utilisation", fmt.Sprintf("%.3f", res.MaxInterSwitchUtil)},
-		[2]string{"contention-free reference", cli.Ms(net.ContentionFreeLatency(*msg))},
+		[2]string{"contention-free reference", cli.Ms(net.ContentionFreeLatency(nf.Msg))},
 	)
 	if res.TimedOut {
 		rows = append(rows, [2]string{"warning", "run hit the time limit"})
@@ -142,14 +108,14 @@ func run(args []string, out io.Writer) error {
 	// comparison: an M/M/1 with the eq. 11/21 service time fed by the
 	// realised throughput.
 	arch := network.NonBlocking
-	if *topo == "linear-array" {
+	if nf.Topo == "linear-array" {
 		arch = network.Blocking
 	}
-	model, err := network.NewModel(technology, arch, sw, *n)
+	model, err := network.NewModel(exp.Tech, arch, exp.Switch, nf.N)
 	if err != nil {
 		return err
 	}
-	st, err := queueing.NewMM1(res.Throughput, model.ServiceRate(*msg))
+	st, err := queueing.NewMM1(res.Throughput, model.ServiceRate(nf.Msg))
 	if err != nil {
 		return err
 	}
@@ -159,7 +125,7 @@ func run(args []string, out io.Writer) error {
 		abstraction = cli.Ms(w)
 	}
 	fmt.Fprint(out, report.Table("paper's single-server abstraction (same offered throughput)", [][2]string{
-		{"eq. 11/21 service time", cli.Ms(model.MeanServiceTime(*msg))},
+		{"eq. 11/21 service time", cli.Ms(model.MeanServiceTime(nf.Msg))},
 		{"M/M/1 sojourn at measured throughput", abstraction},
 	}))
 	return nil

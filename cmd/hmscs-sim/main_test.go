@@ -56,6 +56,20 @@ func TestRunServiceAndPattern(t *testing.T) {
 	}
 }
 
+func TestRunNaNArrivalSCVFallsBack(t *testing.T) {
+	// A Weibull shape this extreme overflows Gamma to +Inf/+Inf = NaN SCV;
+	// the -compare path must fall back to the plain model, not error out
+	// after the simulation already ran.
+	var out bytes.Buffer
+	if err := run(fastArgs("-arrival", "weibull:0.01"), &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "analytical latency") ||
+		strings.Contains(out.String(), "G/G/1") {
+		t.Errorf("NaN SCV did not fall back to the plain model:\n%s", out.String())
+	}
+}
+
 func TestRunErrors(t *testing.T) {
 	var out bytes.Buffer
 	for _, args := range [][]string{
@@ -74,7 +88,7 @@ func TestRunTraceCSV(t *testing.T) {
 	dir := t.TempDir()
 	path := filepath.Join(dir, "trace.csv")
 	var out bytes.Buffer
-	if err := run(fastArgs("-trace", path, "-reps", "1"), &out); err != nil {
+	if err := run(fastArgs("-trace-out", path, "-reps", "1"), &out); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(out.String(), "per-hop time breakdown") {

@@ -1,6 +1,6 @@
 // Command hmscs-sweep sweeps one design parameter of an HMSCS system —
-// cluster count, load, message size, switch ports, or traffic locality —
-// and prints analysis/simulation latency pairs per point. It is the
+// cluster count, load, message size, switch ports, traffic locality, or
+// arrival process — and prints analysis/simulation latency pairs per point. It is the
 // design-space-exploration companion to the fixed figures of hmscs-figures.
 //
 // Points are evaluated concurrently on a bounded worker pool (-parallel;
@@ -13,6 +13,7 @@
 //	hmscs-sweep -var lambda -floats 25,50,100,200,400 -clusters 16
 //	hmscs-sweep -var locality -floats 0,0.25,0.5,0.75,0.95 -arch blocking
 //	hmscs-sweep -var lambda -precision 0.02   # adaptive replications per point
+//	hmscs-sweep -var arrival -specs poisson,mmpp,pareto:1.5 -burst-ratio 20
 package main
 
 import (
@@ -20,6 +21,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"strings"
 
 	"hmscs/internal/cli"
 	"hmscs/internal/sweep"
@@ -45,9 +47,10 @@ func run(args []string, out io.Writer) error {
 	var sf cli.SimFlags
 	sys.Register(fs)
 	sf.Register(fs)
-	variable := fs.String("var", "clusters", "swept parameter: clusters, lambda, msg, ports, locality")
+	variable := fs.String("var", "clusters", "swept parameter: clusters, lambda, msg, ports, locality, arrival")
 	ints := fs.String("ints", "", "comma-separated integer sweep values (clusters, msg, ports)")
 	floats := fs.String("floats", "", "comma-separated float sweep values (lambda, locality)")
+	specs := fs.String("specs", "", "comma-separated arrival specs for -var arrival (e.g. poisson,periodic,mmpp,pareto:1.5)")
 	fast := fs.Bool("fast", false, "skip simulation")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -57,7 +60,7 @@ func run(args []string, out io.Writer) error {
 		return err
 	}
 
-	jobs, err := buildJobs(sys, *variable, *ints, *floats)
+	jobs, err := buildJobs(sys, sf, *variable, *ints, *floats, *specs)
 	if err != nil {
 		return err
 	}
@@ -129,9 +132,28 @@ func run(args []string, out io.Writer) error {
 }
 
 // buildJobs expands the swept variable into labelled configurations.
-func buildJobs(sys cli.SystemFlags, variable, ints, floats string) ([]job, error) {
+func buildJobs(sys cli.SystemFlags, sf cli.SimFlags, variable, ints, floats, specs string) ([]job, error) {
 	var jobs []job
 	switch variable {
+	case "arrival":
+		if specs == "" {
+			specs = "poisson,periodic,mmpp,pareto:1.5,weibull:0.5"
+		}
+		cfg, err := sys.Build()
+		if err != nil {
+			return nil, err
+		}
+		for _, spec := range strings.Split(specs, ",") {
+			arr, err := cli.ParseArrival(strings.TrimSpace(spec),
+				sf.Arrival.BurstRatio, sf.Arrival.TraceFile)
+			if err != nil {
+				return nil, err
+			}
+			jobs = append(jobs, job{
+				label:     arr.Name(),
+				PointSpec: sweep.PointSpec{Cfg: cfg, Arrival: arr, Locality: -1},
+			})
+		}
 	case "clusters":
 		values, err := cli.ParseIntList(orDefault(ints, "1,2,4,8,16,32,64,128,256"))
 		if err != nil {

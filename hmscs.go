@@ -28,6 +28,7 @@ import (
 	"hmscs/internal/queueing"
 	"hmscs/internal/sim"
 	"hmscs/internal/sweep"
+	"hmscs/internal/workload"
 )
 
 // System description -------------------------------------------------------
@@ -122,6 +123,15 @@ func AnalyzeLocality(cfg *Config, locality float64) (*AnalyticResult, error) {
 	return analytic.AnalyzeLocality(cfg, locality)
 }
 
+// AnalyzeArrival generalises the model from Poisson to renewal-ish arrivals
+// with the given interarrival squared coefficient of variation, via the
+// Allen–Cunneen G/G/1 approximation: each centre's queueing delay is the
+// M/M/1 delay scaled by (Ca²+1)/2. It is the model-side counterpart of
+// SimOptions.Arrival (see DESIGN.md §6).
+func AnalyzeArrival(cfg *Config, arrivalSCV float64) (*AnalyticResult, error) {
+	return analytic.AnalyzeArrival(cfg, arrivalSCV)
+}
+
 // MulticlassResult is the multiclass closed-network solution (one customer
 // class per cluster) for heterogeneous systems.
 type MulticlassResult = queueing.MulticlassResult
@@ -140,10 +150,49 @@ func LoadConfig(path string) (*Config, error) { return core.LoadConfig(path) }
 // -config flag.
 func SaveConfig(cfg *Config, path string) error { return core.SaveConfig(cfg, path) }
 
+// Workload ------------------------------------------------------------------
+
+// Arrival is an arrival-process family (next-interarrival sampling, mean
+// rate preservation, interarrival SCV). Set SimOptions.Arrival to one of
+// the implementations below to relax the paper's Poisson assumption 2.
+type Arrival = workload.Arrival
+
+// PoissonArrivals is the paper's assumption 2 (the default).
+var PoissonArrivals = workload.Poisson{}
+
+// PeriodicArrivals is the deterministic arrival process (SCV 0).
+var PeriodicArrivals = workload.Periodic{}
+
+// NewMMPP builds a mean-rate-preserving two-phase Markov-modulated Poisson
+// process: burstRatio is the burst-to-idle rate ratio (+Inf = on-off
+// source), burstFrac the stationary fraction of time spent bursting.
+func NewMMPP(burstRatio, burstFrac float64) (*workload.MMPP, error) {
+	return workload.NewMMPP(burstRatio, burstFrac)
+}
+
+// NewParetoArrivals builds a heavy-tailed renewal arrival process with
+// Pareto(alpha) interarrival gaps (alpha > 1; alpha ≤ 2 has infinite
+// variance).
+func NewParetoArrivals(alpha float64) (*workload.Pareto, error) {
+	return workload.NewPareto(alpha)
+}
+
+// NewWeibullArrivals builds a renewal arrival process with Weibull(shape)
+// interarrival gaps (shape < 1 is heavier-tailed than exponential).
+func NewWeibullArrivals(shape float64) (*workload.Weibull, error) {
+	return workload.NewWeibull(shape)
+}
+
+// NewTraceArrivals builds a trace-replay arrival process from non-decreasing
+// absolute timestamps; replay is RNG-free and deterministic.
+func NewTraceArrivals(timestamps []float64) (*workload.Trace, error) {
+	return workload.NewTrace(timestamps)
+}
+
 // Simulation ----------------------------------------------------------------
 
 // SimOptions controls a simulation run (seed, message counts, service
-// distribution, open/closed loop, traffic pattern).
+// distribution, open/closed loop, arrival process, traffic pattern).
 type SimOptions = sim.Options
 
 // SimResult is one simulation run's output.

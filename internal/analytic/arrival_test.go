@@ -1,0 +1,69 @@
+package analytic
+
+import (
+	"math"
+	"testing"
+
+	"hmscs/internal/core"
+	"hmscs/internal/network"
+)
+
+func arrivalCfg(t *testing.T, c int) *core.Config {
+	t.Helper()
+	cfg, err := core.PaperConfig(core.Case1, c, 1024, network.NonBlocking)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cfg
+}
+
+// TestAnalyzeArrivalSCV1MatchesAnalyze: with Ca² = 1 the Allen–Cunneen
+// factor is 1 and the correction must reproduce the paper's M/M/1 model.
+func TestAnalyzeArrivalSCV1MatchesAnalyze(t *testing.T) {
+	for _, c := range []int{2, 16, 256} {
+		cfg := arrivalCfg(t, c)
+		base, err := Analyze(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := AnalyzeArrival(cfg, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rel := math.Abs(got.MeanLatency-base.MeanLatency) / base.MeanLatency; rel > 1e-9 {
+			t.Fatalf("C=%d: SCV=1 latency %v differs from Analyze %v (rel %v)",
+				c, got.MeanLatency, base.MeanLatency, rel)
+		}
+		if math.Abs(got.Scale-base.Scale) > 1e-9 {
+			t.Fatalf("C=%d: SCV=1 scale %v differs from Analyze %v", c, got.Scale, base.Scale)
+		}
+	}
+}
+
+// TestAnalyzeArrivalMonotoneInSCV: burstier arrivals at equal mean load
+// must predict equal-or-higher latency, strictly higher when queues exist.
+func TestAnalyzeArrivalMonotoneInSCV(t *testing.T) {
+	cfg := arrivalCfg(t, 16)
+	prev := 0.0
+	for i, scv := range []float64{0, 0.5, 1, 2, 5, 20} {
+		res, err := AnalyzeArrival(cfg, scv)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if i > 0 && res.MeanLatency <= prev {
+			t.Fatalf("SCV=%g latency %v not above previous %v", scv, res.MeanLatency, prev)
+		}
+		prev = res.MeanLatency
+	}
+}
+
+// TestAnalyzeArrivalRejectsBadSCV: negative or infinite SCVs have no finite
+// correction and must be refused, not silently clamped.
+func TestAnalyzeArrivalRejectsBadSCV(t *testing.T) {
+	cfg := arrivalCfg(t, 4)
+	for _, scv := range []float64{-1, math.Inf(1), math.NaN()} {
+		if _, err := AnalyzeArrival(cfg, scv); err == nil {
+			t.Errorf("SCV=%v accepted", scv)
+		}
+	}
+}

@@ -5,10 +5,13 @@ package cli
 import (
 	"flag"
 	"fmt"
+	"math"
+	"os"
 	"strconv"
 	"strings"
 
 	"hmscs/internal/core"
+	"hmscs/internal/netsim"
 	"hmscs/internal/network"
 	"hmscs/internal/output"
 	"hmscs/internal/rng"
@@ -96,6 +99,7 @@ type SimFlags struct {
 	Open       bool
 	Service    string
 	Pattern    string
+	Arrival    ArrivalFlags
 	Precision  float64
 	Confidence float64
 	MaxReps    int
@@ -111,7 +115,108 @@ func (s *SimFlags) Register(fs *flag.FlagSet) {
 	fs.BoolVar(&s.Open, "open", false, "open-loop sources (ablation of assumption 4)")
 	fs.StringVar(&s.Service, "service", "exp", "service distribution: exp, det, erlang4, h2")
 	fs.StringVar(&s.Pattern, "pattern", "uniform", "traffic pattern: uniform, local:<p>, hotspot:<p>")
+	s.Arrival.Register(fs)
 	RegisterPrecision(fs, &s.Precision, &s.Confidence, &s.MaxReps)
+}
+
+// ArrivalFlags collects the arrival-process flags shared by every binary
+// that generates traffic (ablation of the paper's Poisson assumption 2).
+type ArrivalFlags struct {
+	Spec       string
+	BurstRatio float64
+	TraceFile  string
+}
+
+// Register installs -arrival, -burst-ratio and -trace.
+func (a *ArrivalFlags) Register(fs *flag.FlagSet) {
+	fs.StringVar(&a.Spec, "arrival", "poisson",
+		"arrival process: poisson, periodic, mmpp[:<burst-frac>[:<dwell>]], pareto[:<alpha>], weibull[:<shape>], trace (see docs/SCENARIOS.md)")
+	fs.Float64Var(&a.BurstRatio, "burst-ratio", 10,
+		"MMPP burst-to-idle rate ratio (inf = on-off source); used by -arrival mmpp")
+	fs.StringVar(&a.TraceFile, "trace", "",
+		"arrival-trace CSV (one timestamp per line or first column); required by -arrival trace")
+}
+
+// Build parses the flags into an arrival process. A plain "poisson" spec
+// returns workload.Poisson{}, which the simulators treat as the default.
+func (a *ArrivalFlags) Build() (workload.Arrival, error) {
+	return ParseArrival(a.Spec, a.BurstRatio, a.TraceFile)
+}
+
+// ParseArrival parses an arrival-process spec:
+//
+//	poisson                          the paper's assumption 2
+//	periodic | det                   deterministic gaps (SCV 0)
+//	mmpp[:<frac>[:<dwell>]]          MMPP-2 at burst ratio burstRatio,
+//	                                 burst fraction frac (default 0.1),
+//	                                 dwell in mean interarrivals
+//	pareto[:<alpha>]                 heavy-tailed renewal (default α 1.5)
+//	weibull[:<shape>]                Weibull renewal (default k 0.5)
+//	trace                            replay traceFile's timestamps
+func ParseArrival(spec string, burstRatio float64, traceFile string) (workload.Arrival, error) {
+	name, args, _ := strings.Cut(spec, ":")
+	parseArg := func(s string, def float64) (float64, error) {
+		if s == "" {
+			return def, nil
+		}
+		if strings.EqualFold(s, "inf") {
+			return math.Inf(1), nil
+		}
+		v, err := strconv.ParseFloat(s, 64)
+		if err != nil {
+			return 0, fmt.Errorf("cli: bad arrival parameter %q in %q", s, spec)
+		}
+		return v, nil
+	}
+	switch name {
+	case "", "poisson":
+		return workload.Poisson{}, nil
+	case "periodic", "det", "deterministic":
+		return workload.Periodic{}, nil
+	case "mmpp":
+		fracSpec, dwellSpec, _ := strings.Cut(args, ":")
+		frac, err := parseArg(fracSpec, 0.1)
+		if err != nil {
+			return nil, err
+		}
+		dwell, err := parseArg(dwellSpec, workload.DefaultMMPPDwell)
+		if err != nil {
+			return nil, err
+		}
+		m, err := workload.NewMMPP(burstRatio, frac)
+		if err != nil {
+			return nil, err
+		}
+		m.Dwell = dwell
+		return m, nil
+	case "pareto":
+		alpha, err := parseArg(args, 1.5)
+		if err != nil {
+			return nil, err
+		}
+		return workload.NewPareto(alpha)
+	case "weibull":
+		shape, err := parseArg(args, 0.5)
+		if err != nil {
+			return nil, err
+		}
+		return workload.NewWeibull(shape)
+	case "trace":
+		if traceFile == "" {
+			return nil, fmt.Errorf("cli: -arrival trace requires -trace <file>")
+		}
+		f, err := os.Open(traceFile)
+		if err != nil {
+			return nil, fmt.Errorf("cli: %w", err)
+		}
+		defer f.Close()
+		ts, err := workload.ReadTrace(f)
+		if err != nil {
+			return nil, err
+		}
+		return workload.NewTrace(ts)
+	}
+	return nil, fmt.Errorf("cli: unknown arrival process %q", spec)
 }
 
 // RegisterPrecision installs the adaptive output-analysis flags shared by
@@ -170,6 +275,11 @@ func (s *SimFlags) Build() (sim.Options, error) {
 		return opts, err
 	}
 	opts.Pattern = pattern
+	arrival, err := s.Arrival.Build()
+	if err != nil {
+		return opts, err
+	}
+	opts.Arrival = arrival
 	return opts, nil
 }
 
@@ -227,6 +337,117 @@ func ParseFloatList(spec string) ([]float64, error) {
 		out = append(out, v)
 	}
 	return out, nil
+}
+
+// NetFlags collects the flags of the switch-level simulator (hmscs-netsim):
+// topology and link parameters, run length, and the shared workload axes
+// (arrival process, destination pattern). It is the single home of this
+// plumbing — hmscs-netsim used to carry a private copy.
+type NetFlags struct {
+	Topo       string
+	N          int
+	Ports      int
+	SwLat      float64
+	Tech       string
+	Lambda     float64
+	Msg        int
+	Messages   int
+	Warmup     int
+	Seed       uint64
+	Service    string
+	Pattern    string
+	Arrival    ArrivalFlags
+	Precision  float64
+	Confidence float64
+	MaxReps    int
+}
+
+// Register installs the netsim flags with their historical defaults.
+func (n *NetFlags) Register(fs *flag.FlagSet) {
+	fs.StringVar(&n.Topo, "topo", "fat-tree", "topology: fat-tree or linear-array")
+	fs.IntVar(&n.N, "n", 32, "endpoints")
+	fs.IntVar(&n.Ports, "ports", 8, "switch ports")
+	fs.Float64Var(&n.SwLat, "swlat", 10, "switch latency in µs")
+	fs.StringVar(&n.Tech, "tech", "GE", "link technology (GE, FE, Myrinet, Infiniband)")
+	fs.Float64Var(&n.Lambda, "lambda", 10000, "per-endpoint message rate (msg/s)")
+	fs.IntVar(&n.Msg, "msg", 1024, "message size in bytes")
+	fs.IntVar(&n.Messages, "messages", 10000, "measured messages")
+	fs.IntVar(&n.Warmup, "warmup", 1000, "warm-up messages")
+	fs.Uint64Var(&n.Seed, "seed", 1, "random seed")
+	fs.StringVar(&n.Service, "service", "det", "per-link service distribution: det or exp")
+	fs.StringVar(&n.Pattern, "pattern", "uniform", "traffic pattern: uniform, local:<p>, hotspot:<p> (switches act as clusters)")
+	n.Arrival.Register(fs)
+	RegisterPrecision(fs, &n.Precision, &n.Confidence, &n.MaxReps)
+}
+
+// NetExperiment is NetFlags.Build's output: a seed-parameterised network
+// factory (precision mode rebuilds per replication), the base run options,
+// and the resolved link/switch parameters — exposed so callers never
+// re-parse the flags Build already validated.
+type NetExperiment struct {
+	// Build constructs the network for one replication seed.
+	Build func(seed uint64) (*netsim.Network, error)
+	// Opts are the base run options (seed taken from -seed).
+	Opts netsim.Options
+	// Tech is the resolved link technology.
+	Tech network.Technology
+	// Switch holds the switch-fabric parameters (ports, latency).
+	Switch network.Switch
+}
+
+// Build converts the flags into a ready-to-run experiment.
+func (n *NetFlags) Build() (*NetExperiment, error) {
+	technology, err := network.TechnologyByName(n.Tech)
+	if err != nil {
+		return nil, err
+	}
+	var dist rng.Dist
+	switch n.Service {
+	case "det":
+		dist = rng.Deterministic{Value: 1}
+	case "exp":
+		dist = rng.Exponential{MeanValue: 1}
+	default:
+		return nil, fmt.Errorf("cli: unknown link service distribution %q", n.Service)
+	}
+	pattern, err := ParsePattern(n.Pattern)
+	if err != nil {
+		return nil, err
+	}
+	arrival, err := n.Arrival.Build()
+	if err != nil {
+		return nil, err
+	}
+	sw := network.Switch{Ports: n.Ports, Latency: n.SwLat * 1e-6}
+	topo := n.Topo
+	nEnd, ports := n.N, n.Ports
+	return &NetExperiment{
+		Build: func(seed uint64) (*netsim.Network, error) {
+			switch topo {
+			case "fat-tree":
+				return netsim.BuildFatTree(nEnd, ports, technology, sw, seed, dist)
+			case "linear-array":
+				return netsim.BuildLinearArray(nEnd, ports, technology, sw, seed, dist)
+			}
+			return nil, fmt.Errorf("cli: unknown topology %q", topo)
+		},
+		Opts: netsim.Options{
+			Lambda:   n.Lambda,
+			MsgBytes: n.Msg,
+			Warmup:   n.Warmup,
+			Measured: n.Messages,
+			Seed:     n.Seed,
+			Workload: workload.Generator{Arrival: arrival, Pattern: pattern},
+		},
+		Tech:   technology,
+		Switch: sw,
+	}, nil
+}
+
+// PrecisionSpec converts the precision flags into an output.Precision
+// target, or nil when -precision was left at 0.
+func (n *NetFlags) PrecisionSpec() (*output.Precision, error) {
+	return BuildPrecision(n.Precision, n.Confidence, n.MaxReps)
 }
 
 // Ms formats seconds as milliseconds with 3 decimals.

@@ -2,6 +2,8 @@ package cli
 
 import (
 	"flag"
+	"math"
+	"os"
 	"path/filepath"
 	"strings"
 	"testing"
@@ -251,5 +253,145 @@ func TestPrecisionFlags(t *testing.T) {
 	}
 	if _, err := BuildPrecision(0.02, 0.95, 2); err == nil {
 		t.Fatal("max-reps below minimum accepted")
+	}
+}
+
+func TestParseArrivalSpecs(t *testing.T) {
+	cases := []struct {
+		spec  string
+		ratio float64
+		want  string
+	}{
+		{"poisson", 10, "poisson"},
+		{"", 10, "poisson"},
+		{"periodic", 10, "periodic"},
+		{"det", 10, "periodic"},
+		{"mmpp", 10, "mmpp(r=10,f=0.10)"},
+		{"mmpp:0.25", 20, "mmpp(r=20,f=0.25)"},
+		{"mmpp", math.Inf(1), "mmpp(r=+Inf,f=0.10)"},
+		{"pareto", 10, "pareto(a=1.5)"},
+		{"pareto:2.5", 10, "pareto(a=2.5)"},
+		{"weibull:0.8", 10, "weibull(k=0.8)"},
+	}
+	for _, tc := range cases {
+		arr, err := ParseArrival(tc.spec, tc.ratio, "")
+		if err != nil {
+			t.Errorf("ParseArrival(%q): %v", tc.spec, err)
+			continue
+		}
+		if arr.Name() != tc.want {
+			t.Errorf("ParseArrival(%q) = %s, want %s", tc.spec, arr.Name(), tc.want)
+		}
+	}
+	// The dwell argument reaches the MMPP.
+	arr, err := ParseArrival("mmpp:0.2:120", 5, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m, ok := arr.(*workload.MMPP); !ok || m.Dwell != 120 {
+		t.Fatalf("dwell not threaded: %#v", arr)
+	}
+	for _, spec := range []string{"mmpp:x", "pareto:0.5", "weibull:-1", "spiral", "trace"} {
+		if _, err := ParseArrival(spec, 10, ""); err == nil {
+			t.Errorf("spec %q accepted", spec)
+		}
+	}
+}
+
+func TestParseArrivalTraceFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "trace.csv")
+	if err := os.WriteFile(path, []byte("0\n0.5\n0.6\n2\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	arr, err := ParseArrival("trace", 10, path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, ok := arr.(*workload.Trace)
+	if !ok || tr.Len() != 3 {
+		t.Fatalf("trace not loaded: %#v", arr)
+	}
+	if _, err := ParseArrival("trace", 10, filepath.Join(t.TempDir(), "missing.csv")); err == nil {
+		t.Error("missing trace file accepted")
+	}
+}
+
+func TestSimFlagsThreadArrival(t *testing.T) {
+	fs := flag.NewFlagSet("test", flag.ContinueOnError)
+	var sf SimFlags
+	sf.Register(fs)
+	if err := fs.Parse([]string{"-arrival", "mmpp", "-burst-ratio", "20"}); err != nil {
+		t.Fatal(err)
+	}
+	opts, err := sf.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if opts.Arrival == nil || opts.Arrival.Name() != "mmpp(r=20,f=0.10)" {
+		t.Fatalf("arrival not threaded: %#v", opts.Arrival)
+	}
+}
+
+func TestNetFlagsBuild(t *testing.T) {
+	fs := flag.NewFlagSet("test", flag.ContinueOnError)
+	var nf NetFlags
+	nf.Register(fs)
+	args := []string{"-topo", "linear-array", "-n", "24", "-ports", "8",
+		"-tech", "FE", "-pattern", "hotspot:0.3", "-arrival", "periodic"}
+	if err := fs.Parse(args); err != nil {
+		t.Fatal(err)
+	}
+	exp, err := nf.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	net, err := exp.Build(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if net.Kind.String() != "linear-array" || net.N != 24 {
+		t.Fatalf("built %s N=%d", net.Kind, net.N)
+	}
+	if exp.Opts.Workload.Arrival.Name() != "periodic" {
+		t.Fatalf("netsim arrival = %s", exp.Opts.Workload.Arrival.Name())
+	}
+	if exp.Opts.Workload.Pattern.Name() != "hotspot(node=0,p=0.30)" {
+		t.Fatalf("netsim pattern = %s", exp.Opts.Workload.Pattern.Name())
+	}
+	if exp.Tech.Name != "FastEthernet" || exp.Switch.Ports != 8 {
+		t.Fatalf("resolved tech/switch wrong: %s / %d ports", exp.Tech.Name, exp.Switch.Ports)
+	}
+}
+
+func TestNetFlagsRejectsBadValues(t *testing.T) {
+	for _, args := range [][]string{
+		{"-service", "zeta"},
+		{"-tech", "bogus"},
+		{"-pattern", "spiral"},
+		{"-arrival", "spiral"},
+	} {
+		fs := flag.NewFlagSet("test", flag.ContinueOnError)
+		var nf NetFlags
+		nf.Register(fs)
+		if err := fs.Parse(args); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := nf.Build(); err == nil {
+			t.Errorf("args %v accepted", args)
+		}
+	}
+	// The topology is validated lazily by the build closure.
+	fs := flag.NewFlagSet("test", flag.ContinueOnError)
+	var nf NetFlags
+	nf.Register(fs)
+	if err := fs.Parse([]string{"-topo", "torus"}); err != nil {
+		t.Fatal(err)
+	}
+	exp, err := nf.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := exp.Build(1); err == nil {
+		t.Error("bad topology accepted")
 	}
 }

@@ -15,7 +15,12 @@
 //
 // Like the system simulator, netsim runs on sim's typed event core: each
 // message is a pooled record whose route is walked by a per-hop state
-// machine, so the steady-state event loop does not allocate.
+// machine, so the steady-state event loop does not allocate. Traffic comes
+// from the same workload.Generator the system simulator consumes — arrival
+// process (Poisson, MMPP bursty, heavy-tailed, trace replay), destination
+// pattern (uniform, hotspot, Zipf, ...) and message-size distribution —
+// with switches acting as the pattern's "clusters", so every scenario of
+// the system simulator also runs at switch level.
 package netsim
 
 import (
@@ -26,6 +31,7 @@ import (
 	"hmscs/internal/rng"
 	"hmscs/internal/sim"
 	"hmscs/internal/stats"
+	"hmscs/internal/workload"
 )
 
 // Kind labels the modelled topology.
@@ -38,6 +44,7 @@ const (
 	LinearArray
 )
 
+// String returns the topology's report label.
 func (k Kind) String() string {
 	if k == FatTree {
 		return "fat-tree"
@@ -73,6 +80,7 @@ type link struct {
 type nmsg struct {
 	born float64
 	path []int32
+	svc  float64 // per-link mean transmission time for this message's size
 	pos  int32
 	src  int32
 	hops int32
@@ -92,6 +100,7 @@ type Network struct {
 
 	// Topology-specific routing state.
 	leafOf     []int // endpoint -> leaf/chain switch index
+	hostsPer   int   // endpoints per leaf/chain switch (last one may be short)
 	numLeaves  int
 	numSpines  int
 	upLinks    [][]int32 // leaf -> per-spine uplink link index (fat-tree)
@@ -105,11 +114,36 @@ type Network struct {
 	opts         Options
 	res          *Result
 	streams      []*rng.Stream
-	serviceMean  float64
+	gen          workload.Generator
+	sources      []workload.Source
+	beta         float64 // seconds per byte on every link
 	completed    int
 	measureStart float64
 	msgs         []nmsg
 	free         []int32
+}
+
+// TotalNodes implements workload.System: the endpoint count.
+func (n *Network) TotalNodes() int { return n.N }
+
+// NumClusters implements workload.System: switches play the role of
+// clusters, so locality/hotspot patterns exercise the fabric exactly where
+// the topology differs.
+func (n *Network) NumClusters() int { return n.numLeaves }
+
+// ClusterOf implements workload.System: the leaf/chain switch owning the
+// endpoint.
+func (n *Network) ClusterOf(node int) int { return n.leafOf[node] }
+
+// ClusterRange implements workload.System: the half-open endpoint range of
+// switch c.
+func (n *Network) ClusterRange(c int) (int, int) {
+	lo := c * n.hostsPer
+	hi := lo + n.hostsPer
+	if hi > n.N {
+		hi = n.N
+	}
+	return lo, hi
 }
 
 func (n *Network) addLink(name string, stream *rng.Stream, dist rng.Dist, interSwitch bool) int32 {
@@ -142,6 +176,7 @@ func BuildFatTree(n, pr int, tech network.Technology, sw network.Switch, seed ui
 	if n <= pr {
 		// Single switch: hosts hang off one crossbar.
 		net.numLeaves, net.numSpines = 1, 0
+		net.hostsPer = n
 		net.leafOf = make([]int, n)
 		net.hostUp = make([]int32, n)
 		net.hostDown = make([]int32, n)
@@ -158,6 +193,7 @@ func BuildFatTree(n, pr int, tech network.Technology, sw network.Switch, seed ui
 			n, pr, numLeaves, pr)
 	}
 	net.numLeaves, net.numSpines = numLeaves, numSpines
+	net.hostsPer = half
 	net.leafOf = make([]int, n)
 	net.hostUp = make([]int32, n)
 	net.hostDown = make([]int32, n)
@@ -197,6 +233,7 @@ func BuildLinearArray(n, pr int, tech network.Technology, sw network.Switch, see
 	master := rng.NewStream(seed)
 	k := ceilDiv(n, pr)
 	net.numLeaves = k
+	net.hostsPer = pr
 	net.leafOf = make([]int, n)
 	net.hostUp = make([]int32, n)
 	net.hostDown = make([]int32, n)
@@ -278,8 +315,14 @@ type Options struct {
 	// Lambda is the per-endpoint generation rate (msg/s) while idle;
 	// sources block until delivery (the paper's closed-loop assumption).
 	Lambda float64
-	// MsgBytes is the fixed message length.
+	// MsgBytes is the fixed message length (the default Workload.Size).
 	MsgBytes int
+	// Workload selects the traffic's arrival process, destination pattern
+	// and size distribution — the same workload.Generator the system
+	// simulator consumes. The zero value is the paper's workload: Poisson
+	// arrivals at Lambda, uniform destinations, fixed MsgBytes messages
+	// (bit-identical to the pre-unification private source).
+	Workload workload.Generator
 	// Warmup and Measured follow the system simulator's semantics.
 	Warmup   int
 	Measured int
@@ -339,7 +382,7 @@ func (n *Network) Handle(kind sim.EventKind, idx int32) {
 			n.eng.Schedule(fixed, nvDeliver, mi)
 			return
 		}
-		n.links[m.path[m.pos]].center.Submit(n.serviceMean, mi)
+		n.links[m.path[m.pos]].center.Submit(m.svc, mi)
 	case nvDeliver:
 		m := &n.msgs[idx]
 		src, born, hops := int(m.src), m.born, int(m.hops)
@@ -351,28 +394,30 @@ func (n *Network) Handle(kind sim.EventKind, idx int32) {
 }
 
 // generate creates one message at endpoint p, routes it, and submits its
-// first link.
+// first link. Destination and size come from the shared workload generator;
+// with the default uniform pattern and fixed size the stream draws are
+// identical to the pre-unification hardcoded source.
 func (n *Network) generate(p int) {
 	st := n.streams[p]
-	dst := st.Intn(n.N - 1)
-	if dst >= p {
-		dst++
-	}
+	dst := n.gen.Pattern.Dest(st, n, p)
+	size := n.gen.Size.Sample(st)
 	mi := n.allocMsg()
 	m := &n.msgs[mi]
 	var switches int
 	m.path, switches = n.appendRoute(m.path[:0], st, p, dst)
 	m.born = n.eng.Now()
+	m.svc = float64(size) * n.beta
 	m.pos = 0
 	m.src = int32(p)
 	m.hops = int32(switches)
-	n.links[m.path[0]].center.Submit(n.serviceMean, mi)
+	n.links[m.path[0]].center.Submit(m.svc, mi)
 }
 
-// scheduleGeneration arms endpoint p's next message after an exponential
-// think time.
+// scheduleGeneration arms endpoint p's next message after the think time
+// drawn from its arrival source (exponential under the default Poisson
+// process).
 func (n *Network) scheduleGeneration(p int) {
-	n.eng.Schedule(n.streams[p].ExpRate(n.opts.Lambda), nvGenerate, int32(p))
+	n.eng.Schedule(n.sources[p].Next(n.streams[p]), nvGenerate, int32(p))
 }
 
 // deliver sinks a completed message and, closed-loop, re-arms its source.
@@ -418,10 +463,14 @@ func (n *Network) Run(opts Options) (*Result, error) {
 	n.res = &Result{}
 	master := rng.NewStream(opts.Seed ^ 0xabcdef12345)
 	n.streams = make([]*rng.Stream, n.N)
+	rates := make([]float64, n.N)
 	for i := range n.streams {
 		n.streams[i] = master.Split()
+		rates[i] = opts.Lambda
 	}
-	n.serviceMean = float64(opts.MsgBytes) * n.Tech.Beta()
+	n.gen = opts.Workload.Normalized(workload.FixedSize{Bytes: opts.MsgBytes})
+	n.sources = n.gen.Sources(rates)
+	n.beta = n.Tech.Beta()
 	// Closed-loop: at most one in-flight message per endpoint.
 	n.msgs = make([]nmsg, 0, n.N)
 	n.free = make([]int32, 0, n.N)

@@ -7,6 +7,7 @@ import (
 	"hmscs/internal/network"
 	"hmscs/internal/rng"
 	"hmscs/internal/topology"
+	"hmscs/internal/workload"
 )
 
 var det = rng.Deterministic{Value: 1}
@@ -298,5 +299,102 @@ func TestDeterministicAcrossRuns(t *testing.T) {
 	a, b := mk(), mk()
 	if a.Latency.Mean() != b.Latency.Mean() || a.Throughput != b.Throughput {
 		t.Fatal("netsim not reproducible under a fixed seed")
+	}
+}
+
+// TestWorkloadZeroValueBitIdentical pins the unification's compatibility
+// contract: the zero-value Workload (Poisson, uniform, fixed size) must be
+// bit-identical to passing the paper's axes explicitly.
+func TestWorkloadZeroValueBitIdentical(t *testing.T) {
+	base := Options{Lambda: 200, MsgBytes: 256, Warmup: 100, Measured: 2000, Seed: 3}
+	runWith := func(w workload.Generator) *Result {
+		net := buildFT(t, 16, 8)
+		o := base
+		o.Workload = w
+		res, err := net.Run(o)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	a := runWith(workload.Generator{})
+	b := runWith(workload.Generator{
+		Arrival: workload.Poisson{},
+		Pattern: workload.Uniform{},
+		Size:    workload.FixedSize{Bytes: 256},
+	})
+	if a.Latency.Mean() != b.Latency.Mean() || a.Latency.Count() != b.Latency.Count() ||
+		a.Throughput != b.Throughput || a.SwitchHops.Mean() != b.SwitchHops.Mean() {
+		t.Fatal("explicit paper workload differs from zero value")
+	}
+}
+
+// TestNetworkImplementsSystem checks the switch-as-cluster layout exposed
+// to destination patterns.
+func TestNetworkImplementsSystem(t *testing.T) {
+	var sys workload.System = buildFT(t, 16, 8) // 4 leaves of 4 hosts
+	if sys.TotalNodes() != 16 || sys.NumClusters() != 4 {
+		t.Fatalf("layout %d/%d, want 16/4", sys.TotalNodes(), sys.NumClusters())
+	}
+	if sys.ClusterOf(0) != 0 || sys.ClusterOf(15) != 3 {
+		t.Fatal("ClusterOf wrong")
+	}
+	if lo, hi := sys.ClusterRange(2); lo != 8 || hi != 12 {
+		t.Fatalf("ClusterRange(2) = [%d,%d), want [8,12)", lo, hi)
+	}
+	// Linear array: 24 endpoints on 8-port switches = 3 chain switches.
+	sys = buildLA(t, 20, 8) // last switch short: 8,8,4
+	if sys.NumClusters() != 3 {
+		t.Fatalf("chain clusters = %d, want 3", sys.NumClusters())
+	}
+	if lo, hi := sys.ClusterRange(2); lo != 16 || hi != 20 {
+		t.Fatalf("short last switch range = [%d,%d), want [16,20)", lo, hi)
+	}
+}
+
+// TestHotspotPatternConcentratesLoad runs a hotspot workload at switch
+// level — the scenario the private traffic source could not express — and
+// checks the hot endpoint's downlink dominates.
+func TestHotspotPatternConcentratesLoad(t *testing.T) {
+	net := buildFT(t, 16, 8)
+	res, err := net.Run(Options{
+		Lambda: 500, MsgBytes: 256, Warmup: 200, Measured: 4000, Seed: 4,
+		Workload: workload.Generator{Pattern: workload.Hotspot{Node: 0, Fraction: 0.8}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hotDown := net.links[net.hostDown[0]].center.Utilization()
+	otherDown := net.links[net.hostDown[9]].center.Utilization()
+	if hotDown < 4*otherDown {
+		t.Fatalf("hot downlink util %.3f not dominating other %.3f", hotDown, otherDown)
+	}
+	if res.Latency.Count() != 4000 {
+		t.Fatalf("measured %d", res.Latency.Count())
+	}
+}
+
+// TestBurstyArrivalsRaiseSwitchLatency: the arrival axis reaches the
+// switch-level simulator too — MMPP at equal offered load must congest the
+// fabric more than Poisson.
+func TestBurstyArrivalsRaiseSwitchLatency(t *testing.T) {
+	run := func(arr workload.Arrival) float64 {
+		net := buildLA(t, 24, 8)
+		res, err := net.Run(Options{
+			Lambda: 1500, MsgBytes: 1024, Warmup: 300, Measured: 4000, Seed: 5,
+			Workload: workload.Generator{Arrival: arr},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Latency.Mean()
+	}
+	mmpp, err := workload.NewMMPP(10, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	poisson, bursty := run(nil), run(mmpp)
+	if bursty <= poisson {
+		t.Fatalf("MMPP latency %.6fs not above Poisson %.6fs at equal load", bursty, poisson)
 	}
 }

@@ -14,11 +14,27 @@ import (
 // ms converts seconds to milliseconds, the unit of the paper's y axes.
 func ms(sec float64) float64 { return sec * 1e3 }
 
+// arrivalNote renders the figure's arrival process and interarrival SCV
+// for headers, e.g. ", mmpp(r=10,f=0.10) arrivals (SCV 5.49)". The paper's
+// Poisson baseline renders as "" so default output stays familiar.
+func arrivalNote(fr *sweep.FigureResult) string {
+	if len(fr.Series) == 0 {
+		return ""
+	}
+	s := fr.Series[0]
+	if s.Arrival == "" || s.Arrival == "poisson" {
+		return ""
+	}
+	return fmt.Sprintf(", %s arrivals (SCV %.3g)", s.Arrival, s.ArrivalSCV)
+}
+
 // FigureMarkdown renders a figure as a Markdown table with one row per
-// cluster count and analysis/simulation columns per message size.
+// cluster count and analysis/simulation columns per message size. A
+// non-Poisson arrival process is named in the header with its SCV.
 func FigureMarkdown(fr *sweep.FigureResult) string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "### %s — %s, %s networks\n\n", fr.Spec.Name, fr.Spec.Scenario, fr.Spec.Arch)
+	fmt.Fprintf(&b, "### %s — %s, %s networks%s\n\n",
+		fr.Spec.Name, fr.Spec.Scenario, fr.Spec.Arch, arrivalNote(fr))
 	b.WriteString("| Clusters |")
 	for _, s := range fr.Series {
 		fmt.Fprintf(&b, " Analysis M=%d (ms) | Simulation M=%d (ms) |", s.MsgSize, s.MsgSize)
@@ -46,14 +62,19 @@ func FigureMarkdown(fr *sweep.FigureResult) string {
 	return b.String()
 }
 
-// FigureCSV renders a figure as CSV, one row per point, carrying the full
+// FigureCSV renders a figure as CSV, one row per point, carrying the
+// workload's arrival process (name and interarrival SCV) and the full
 // estimate quality (replication count, effective sample size, relative CI
-// half-width) alongside the latencies so variance information is never
-// dropped on the way to a plot.
+// half-width) alongside the latencies so neither burstiness nor variance
+// information is dropped on the way to a plot.
 func FigureCSV(fr *sweep.FigureResult) string {
 	var b strings.Builder
-	b.WriteString("figure,scenario,arch,clusters,msg_bytes,analytic_ms,simulated_ms,sim_ci_ms,sim_reps,sim_ess,sim_rel_ci_pct\n")
+	b.WriteString("figure,scenario,arch,clusters,msg_bytes,arrival,arrival_scv,analytic_ms,simulated_ms,sim_ci_ms,sim_reps,sim_ess,sim_rel_ci_pct\n")
 	for _, s := range fr.Series {
+		arrival := s.Arrival
+		if arrival == "" {
+			arrival = "poisson"
+		}
 		for i, c := range s.Clusters {
 			reps, ess, relPct := 0, 0.0, 0.0
 			if s.Stats != nil {
@@ -63,13 +84,23 @@ func FigureCSV(fr *sweep.FigureResult) string {
 					relPct = st.RelHalfWidth() * 100
 				}
 			}
-			fmt.Fprintf(&b, "%s,%s,%s,%d,%d,%.6f,%.6f,%.6f,%d,%.1f,%.3f\n",
+			fmt.Fprintf(&b, "%s,%s,%s,%d,%d,%s,%.4g,%.6f,%.6f,%.6f,%d,%.1f,%.3f\n",
 				fr.Spec.Name, fr.Spec.Scenario, fr.Spec.Arch,
-				c, s.MsgSize, ms(s.Analytic[i]), ms(s.Simulated[i]), ms(s.SimCI[i]),
+				c, s.MsgSize, csvQuote(arrival), s.ArrivalSCV,
+				ms(s.Analytic[i]), ms(s.Simulated[i]), ms(s.SimCI[i]),
 				reps, ess, relPct)
 		}
 	}
 	return b.String()
+}
+
+// csvQuote wraps a field in double quotes when it contains a comma (arrival
+// names like "mmpp(r=10,f=0.10)" do).
+func csvQuote(s string) string {
+	if strings.ContainsAny(s, ",\"") {
+		return `"` + strings.ReplaceAll(s, `"`, `""`) + `"`
+	}
+	return s
 }
 
 // StatsMarkdown renders the per-point estimate quality of a figure —

@@ -76,15 +76,15 @@ func TestFigureCSV(t *testing.T) {
 		t.Fatalf("first row = %q", lines[1])
 	}
 	wantCommas := strings.Count(lines[0], ",")
-	if wantCommas != 10 {
-		t.Fatalf("header has %d columns, want 11: %q", wantCommas+1, lines[0])
+	if wantCommas != 12 {
+		t.Fatalf("header has %d columns, want 13: %q", wantCommas+1, lines[0])
 	}
 	for _, l := range lines[1:] {
 		if got := strings.Count(l, ","); got != wantCommas {
 			t.Fatalf("row %q has %d commas, want %d", l, got, wantCommas)
 		}
 	}
-	for _, col := range []string{"sim_ci_ms", "sim_reps", "sim_ess", "sim_rel_ci_pct"} {
+	for _, col := range []string{"arrival", "arrival_scv", "sim_ci_ms", "sim_reps", "sim_ess", "sim_rel_ci_pct"} {
 		if !strings.Contains(lines[0], col) {
 			t.Fatalf("header missing %q: %q", col, lines[0])
 		}
@@ -186,5 +186,37 @@ func TestTable(t *testing.T) {
 	}
 	if strings.Index(lines[1], "12.3") != strings.Index(lines[2], "456") {
 		t.Fatal("columns not aligned")
+	}
+}
+
+// TestArrivalColumnsAndHeader: a bursty figure must carry its arrival name
+// (CSV-quoted, since MMPP names contain commas) and SCV through both
+// emitters, while the Poisson baseline keeps the familiar header.
+func TestArrivalColumnsAndHeader(t *testing.T) {
+	fr := sampleFigure()
+	if note := arrivalNote(fr); note != "" {
+		t.Fatalf("baseline figure got arrival note %q", note)
+	}
+	for si := range fr.Series {
+		fr.Series[si].Arrival = "mmpp(r=10,f=0.10)"
+		fr.Series[si].ArrivalSCV = 2.45
+	}
+	md := FigureMarkdown(fr)
+	if !strings.Contains(md, "mmpp(r=10,f=0.10) arrivals (SCV 2.45)") {
+		t.Fatalf("markdown header missing arrival: %q", strings.SplitN(md, "\n", 2)[0])
+	}
+	csv := FigureCSV(fr)
+	lines := strings.Split(strings.TrimSpace(csv), "\n")
+	if !strings.Contains(lines[1], `"mmpp(r=10,f=0.10)",2.45`) {
+		t.Fatalf("csv row missing quoted arrival: %q", lines[1])
+	}
+}
+
+func TestCSVQuote(t *testing.T) {
+	if got := csvQuote("poisson"); got != "poisson" {
+		t.Errorf("plain field quoted: %q", got)
+	}
+	if got := csvQuote(`a,b"c`); got != `"a,b""c"` {
+		t.Errorf("quoting wrong: %q", got)
 	}
 }

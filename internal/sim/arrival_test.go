@@ -1,0 +1,166 @@
+package sim
+
+import (
+	"math"
+	"testing"
+
+	"hmscs/internal/analytic"
+	"hmscs/internal/network"
+	"hmscs/internal/output"
+	"hmscs/internal/workload"
+)
+
+// arrivalRoster returns one instance of every arrival process, for suites
+// that must cover the whole axis.
+func arrivalRoster(t *testing.T) map[string]workload.Arrival {
+	t.Helper()
+	mmpp, err := workload.NewMMPP(10, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	onoff, err := workload.NewMMPP(math.Inf(1), 0.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pareto, err := workload.NewPareto(1.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	weibull, err := workload.NewWeibull(0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	trace, err := workload.NewTrace([]float64{0, 1, 1.2, 4, 4.1, 4.3, 9, 12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return map[string]workload.Arrival{
+		"poisson":  workload.Poisson{},
+		"periodic": workload.Periodic{},
+		"mmpp":     mmpp,
+		"onoff":    onoff,
+		"pareto":   pareto,
+		"weibull":  weibull,
+		"trace":    trace,
+	}
+}
+
+// TestArrivalNilMatchesExplicitPoisson pins the tentpole's compatibility
+// contract: leaving Options.Arrival nil and setting workload.Poisson{} must
+// produce bit-identical runs (and therefore bit-identical golden figures).
+func TestArrivalNilMatchesExplicitPoisson(t *testing.T) {
+	cfg := smallCfg(t, 50, network.NonBlocking)
+	opts := quickOpts(42, 2000)
+	opts.RecordSample = true
+	a, err := Run(cfg, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts.Arrival = workload.Poisson{}
+	b, err := Run(cfg, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireIdenticalResults(t, "nil vs poisson", a, b)
+}
+
+// TestArrivalProcessesParallelismInvariant extends the parallelism
+// invariance suite across the arrival axis: every process must yield
+// bit-identical replication aggregates at -parallel 1 and -parallel 0
+// (all cores), because sources draw only from per-replication streams.
+func TestArrivalProcessesParallelismInvariant(t *testing.T) {
+	cfg := smallCfg(t, 50, network.NonBlocking)
+	for name, arr := range arrivalRoster(t) {
+		t.Run(name, func(t *testing.T) {
+			opts := quickOpts(100, 800)
+			opts.Arrival = arr
+			seq, err := RunReplicationsN(cfg, opts, 3, 1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			par, err := RunReplicationsN(cfg, opts, 3, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if seq.MeanLatency != par.MeanLatency || seq.CI95 != par.CI95 ||
+				seq.Throughput != par.Throughput {
+				t.Fatalf("%s aggregate differs: %+v vs %+v", name, seq, par)
+			}
+			for i := range seq.PerReplication {
+				if seq.PerReplication[i] != par.PerReplication[i] {
+					t.Fatalf("%s replication %d differs: %v vs %v",
+						name, i, seq.PerReplication[i], par.PerReplication[i])
+				}
+			}
+		})
+	}
+}
+
+// TestArrivalPrecisionModeParallelismInvariant: the invariance must also
+// hold for the adaptive stopping rule, including the number of
+// replications each run decides to take.
+func TestArrivalPrecisionModeParallelismInvariant(t *testing.T) {
+	cfg := smallCfg(t, 50, network.NonBlocking)
+	opts := quickOpts(7, 2000)
+	mmpp, err := workload.NewMMPP(10, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts.Arrival = mmpp
+	prec := output.Precision{RelWidth: 0.05, MaxReps: 16}
+	seq, err := RunPrecision(cfg, opts, prec, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := RunPrecision(cfg, opts, prec, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seq.Estimate != par.Estimate || seq.MeanLatency != par.MeanLatency {
+		t.Fatalf("precision aggregates differ: %+v vs %+v", seq.Estimate, par.Estimate)
+	}
+}
+
+// TestMMPPRaisesLatencyAtEqualLoad is the acceptance check of the arrival
+// subsystem: near saturation, MMPP burstiness at the same mean offered
+// load must show measurably higher mean latency than Poisson — exactly the
+// regime where the paper's Poisson model under-predicts. The run is
+// open-loop because that is where "equal offered load" is well defined:
+// the paper's closed-loop assumption 4 is itself a burst smoother (a
+// bursting source is throttled by its own outstanding message), an effect
+// DESIGN.md §6 documents.
+func TestMMPPRaisesLatencyAtEqualLoad(t *testing.T) {
+	cfg := smallCfg(t, 220, network.NonBlocking) // ICN2 near its open-loop knee
+	opts := quickOpts(5, 6000)
+	opts.OpenLoop = true
+	opts.MaxSimTime = 120
+	base, err := RunReplicationsN(cfg, opts, 3, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Dwell 5 keeps the on/off cycle (dwell/frac = 50 interarrivals) well
+	// inside the measured window, so the run sees many cycles.
+	mmpp := &workload.MMPP{BurstRatio: 10, BurstFrac: 0.1, Dwell: 5}
+	opts.Arrival = mmpp
+	burst, err := RunReplicationsN(cfg, opts, 3, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if burst.MeanLatency < base.MeanLatency*1.3 {
+		t.Fatalf("MMPP latency %.6fs not measurably above Poisson %.6fs at equal load",
+			burst.MeanLatency, base.MeanLatency)
+	}
+	// The model-side correction must move in the same direction.
+	mm1, err := analytic.AnalyzeArrival(cfg, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gg1, err := analytic.AnalyzeArrival(cfg, mmpp.SCV())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gg1.MeanLatency <= mm1.MeanLatency {
+		t.Fatalf("G/G/1 correction %.6fs not above M/M/1 %.6fs",
+			gg1.MeanLatency, mm1.MeanLatency)
+	}
+}

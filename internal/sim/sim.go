@@ -28,6 +28,11 @@ type Options struct {
 	// OpenLoop, when true, lets processors generate without waiting for
 	// completions (ablation of the paper's assumption 4).
 	OpenLoop bool
+	// Arrival selects the arrival process (ablation of the paper's Poisson
+	// assumption 2); default is workload.Poisson, which is bit-identical to
+	// the pre-subsystem hardcoded behaviour. Together with Pattern and
+	// SizeDist it forms the workload.Generator the simulator consumes.
+	Arrival workload.Arrival
 	// Pattern picks destinations; default is the paper's uniform pattern.
 	Pattern workload.Pattern
 	// SizeDist draws per-message sizes; default is the config's fixed M.
@@ -193,6 +198,11 @@ type Simulator struct {
 	svcECN1 []*serviceModel
 	svcICN2 *serviceModel
 
+	// gen is the normalized workload (arrival × pattern × size); sources
+	// holds per-processor arrival state instantiated from it.
+	gen     workload.Generator
+	sources []workload.Source
+
 	procStreams []*rng.Stream
 
 	// msgs is the pooled message table; free holds recycled indices.
@@ -220,12 +230,6 @@ func New(cfg *core.Config, opts Options) (*Simulator, error) {
 	if opts.ServiceDist == nil {
 		opts.ServiceDist = def.ServiceDist
 	}
-	if opts.Pattern == nil {
-		opts.Pattern = def.Pattern
-	}
-	if opts.SizeDist == nil {
-		opts.SizeDist = workload.FixedSize{Bytes: cfg.MessageBytes}
-	}
 	if opts.MaxSimTime <= 0 {
 		opts.MaxSimTime = math.Inf(1)
 	}
@@ -236,6 +240,8 @@ func New(cfg *core.Config, opts Options) (*Simulator, error) {
 	}
 
 	s := &Simulator{cfg: cfg, opts: opts, lay: newLayout(cfg)}
+	s.gen = workload.Generator{Arrival: opts.Arrival, Pattern: opts.Pattern, Size: opts.SizeDist}.
+		Normalized(workload.FixedSize{Bytes: cfg.MessageBytes})
 	if opts.CalendarQueue {
 		s.eng = NewEngineWithCalendar(calendarHint(cfg, opts.CalendarWidthHint))
 	} else {
@@ -262,9 +268,12 @@ func New(cfg *core.Config, opts Options) (*Simulator, error) {
 
 	n := s.lay.TotalNodes()
 	s.procStreams = make([]*rng.Stream, n)
+	rates := make([]float64, n)
 	for p := 0; p < n; p++ {
 		s.procStreams[p] = master.Split()
+		rates[p] = cfg.Clusters[s.lay.ClusterOf(p)].Lambda
 	}
+	s.sources = s.gen.Sources(rates)
 	// Closed-loop runs have at most one in-flight message per processor;
 	// pre-size the pool for that and let open-loop runs grow it.
 	s.msgs = make([]message, 0, n)
@@ -358,21 +367,19 @@ func (s *Simulator) allocMsg() int32 {
 	return int32(len(s.msgs) - 1)
 }
 
-// scheduleGeneration arms processor p's next message after an exponential
-// think time (assumption 1).
+// scheduleGeneration arms processor p's next message after the think time
+// drawn from its arrival source (assumption 1's exponential gap by default,
+// or the configured Options.Arrival process).
 func (s *Simulator) scheduleGeneration(p int) {
-	cl := s.lay.ClusterOf(p)
-	lambda := s.cfg.Clusters[cl].Lambda
-	delay := s.procStreams[p].ExpRate(lambda)
-	s.eng.Schedule(delay, evGenerate, int32(p))
+	s.eng.Schedule(s.sources[p].Next(s.procStreams[p]), evGenerate, int32(p))
 }
 
 // generate creates one message at processor p and submits its first hop.
 func (s *Simulator) generate(p int) {
 	s.res.Generated++
 	st := s.procStreams[p]
-	dest := s.opts.Pattern.Dest(st, s.lay, p)
-	size := s.opts.SizeDist.Sample(st)
+	dest := s.gen.Pattern.Dest(st, s.lay, p)
+	size := s.gen.Size.Sample(st)
 
 	mi := s.allocMsg()
 	m := &s.msgs[mi]

@@ -12,6 +12,7 @@ package sweep
 
 import (
 	"fmt"
+	"math"
 
 	"hmscs/internal/analytic"
 	"hmscs/internal/core"
@@ -91,6 +92,12 @@ func DefaultOptions() Options {
 type SeriesResult struct {
 	MsgSize  int
 	Clusters []int
+	// Arrival names the arrival process the curve's simulations used
+	// ("poisson" for the paper's assumption 2) and ArrivalSCV its
+	// interarrival squared coefficient of variation — the burstiness
+	// summary the report emitters carry alongside the latencies.
+	Arrival    string
+	ArrivalSCV float64
 	// Analytic and Simulated are mean latencies in seconds; SimCI holds
 	// the 95% half-widths (zeros when simulation was skipped).
 	Analytic  []float64
@@ -219,6 +226,10 @@ func RunFigures(specs []FigureSpec, opts Options) ([]*FigureResult, error) {
 	}
 	// Phase 1 (sequential, cheap): build configurations, evaluate the
 	// analytical model, and lay out the result structure.
+	arrival := opts.Sim.Arrival
+	if arrival == nil {
+		arrival = workload.Poisson{}
+	}
 	out := make([]*FigureResult, len(specs))
 	var points []*point
 	for fi, spec := range specs {
@@ -227,12 +238,14 @@ func RunFigures(specs []FigureSpec, opts Options) ([]*FigureResult, error) {
 		for si, msg := range spec.MessageSizes {
 			series := &fr.Series[si]
 			series.MsgSize = msg
+			series.Arrival = arrival.Name()
+			series.ArrivalSCV = arrival.SCV()
 			for pi, c := range spec.ClusterCounts {
 				cfg, err := core.PaperConfig(spec.Scenario, c, msg, spec.Arch)
 				if err != nil {
 					return nil, fmt.Errorf("sweep: %s C=%d: %w", spec.Name, c, err)
 				}
-				an, err := analytic.Analyze(cfg)
+				an, err := analyzePoint(cfg, arrival)
 				if err != nil {
 					return nil, fmt.Errorf("sweep: %s C=%d analysis: %w", spec.Name, c, err)
 				}
@@ -284,10 +297,28 @@ type PointSpec struct {
 	// Pattern, when non-nil, overrides Options.Sim.Pattern for this
 	// point's simulations.
 	Pattern workload.Pattern
+	// Arrival, when non-nil, overrides Options.Sim.Arrival for this
+	// point's simulations; the analytic side applies the SCV-aware
+	// G/G/1 correction (analytic.AnalyzeArrival) when the process's
+	// interarrival SCV departs from Poisson and is finite.
+	Arrival workload.Arrival
 	// Locality >= 0 evaluates the analytical side with AnalyzeLocality
 	// (the model generalisation matching workload.LocalBias); negative
 	// uses the paper's uniform-destination model.
 	Locality float64
+}
+
+// analyzePoint evaluates the analytic side of one point, applying the
+// arrival-SCV correction when it exists: a finite SCV ≠ 1 selects
+// AnalyzeArrival, everything else (Poisson, nil, infinite-variance heavy
+// tails) falls back to the paper's M/M/1 model.
+func analyzePoint(cfg *core.Config, arr workload.Arrival) (*analytic.Result, error) {
+	if arr != nil {
+		if scv := arr.SCV(); scv != 1 && !math.IsInf(scv, 1) && !math.IsNaN(scv) {
+			return analytic.AnalyzeArrival(cfg, scv)
+		}
+	}
+	return analytic.Analyze(cfg)
 }
 
 // PointResult pairs one sweep point's analytical prediction with its
@@ -322,7 +353,11 @@ func RunPoints(points []PointSpec, opts Options) ([]PointResult, error) {
 		if p.Locality >= 0 {
 			an, err = analytic.AnalyzeLocality(p.Cfg, p.Locality)
 		} else {
-			an, err = analytic.Analyze(p.Cfg)
+			arr := p.Arrival
+			if arr == nil {
+				arr = opts.Sim.Arrival
+			}
+			an, err = analyzePoint(p.Cfg, arr)
 		}
 		if err != nil {
 			return nil, fmt.Errorf("sweep: config %d analysis: %w", i, err)
@@ -337,6 +372,9 @@ func RunPoints(points []PointSpec, opts Options) ([]PointResult, error) {
 		o := opts.Sim
 		if p.Pattern != nil {
 			o.Pattern = p.Pattern
+		}
+		if p.Arrival != nil {
+			o.Arrival = p.Arrival
 		}
 		units[i] = simUnit{
 			cfg:  p.Cfg,

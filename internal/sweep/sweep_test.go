@@ -8,6 +8,7 @@ import (
 	"hmscs/internal/network"
 	"hmscs/internal/output"
 	"hmscs/internal/sim"
+	"hmscs/internal/workload"
 )
 
 func fastOpts() Options {
@@ -388,3 +389,65 @@ func TestSimulationMatchesDefaultSeedDeterminism(t *testing.T) {
 }
 
 var _ = sim.DefaultOptions // keep import for clarity of fastOpts
+
+// TestSeriesCarryArrival: figure series must name the arrival process and
+// its SCV, defaulting to the paper's Poisson baseline.
+func TestSeriesCarryArrival(t *testing.T) {
+	spec, err := PaperFigure(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec.ClusterCounts = []int{4}
+	spec.MessageSizes = []int{512}
+	opts := fastOpts()
+	opts.SkipSimulation = true
+	res, err := RunFigure(spec, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Series[0].Arrival != "poisson" || res.Series[0].ArrivalSCV != 1 {
+		t.Fatalf("default series arrival = %q SCV %v", res.Series[0].Arrival, res.Series[0].ArrivalSCV)
+	}
+	mmpp, err := workload.NewMMPP(10, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts.Sim.Arrival = mmpp
+	res, err = RunFigure(spec, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Series[0].Arrival != mmpp.Name() || res.Series[0].ArrivalSCV != mmpp.SCV() {
+		t.Fatalf("mmpp series arrival = %q SCV %v", res.Series[0].Arrival, res.Series[0].ArrivalSCV)
+	}
+}
+
+// TestRunPointsArrivalOverride: a per-point arrival override must reach
+// both the simulation and the analytic side (via the SCV correction).
+func TestRunPointsArrivalOverride(t *testing.T) {
+	cfg, err := core.PaperConfig(core.Case1, 4, 1024, network.NonBlocking)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mmpp, err := workload.NewMMPP(10, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	points := []PointSpec{
+		{Cfg: cfg, Locality: -1},
+		{Cfg: cfg, Arrival: mmpp, Locality: -1},
+	}
+	opts := fastOpts()
+	opts.Sim.MeasuredMessages = 2000
+	res, err := RunPoints(points, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res[1].Analytic <= res[0].Analytic {
+		t.Fatalf("G/G/1-corrected analytic %.6f not above M/M/1 %.6f",
+			res[1].Analytic, res[0].Analytic)
+	}
+	if res[1].Simulated == res[0].Simulated {
+		t.Fatal("arrival override did not reach the simulation")
+	}
+}

@@ -1,7 +1,14 @@
-// Package workload defines the traffic the simulator offers to an HMSCS
-// system: destination patterns (the paper's uniform pattern of assumption 3
-// plus locality, hotspot and permutation extensions) and message-size
-// distributions (the paper's fixed M plus extensions).
+// Package workload defines the traffic offered to a simulated system along
+// three independent axes, bundled by Generator and consumed by both the
+// system simulator (internal/sim) and the switch-level simulator
+// (internal/netsim):
+//
+//   - arrival processes (the paper's Poisson assumption 2 plus periodic,
+//     MMPP-2 bursty, Pareto/Weibull heavy-tailed renewal, and trace-replay
+//     extensions — all preserving the configured mean rate);
+//   - destination patterns (the paper's uniform assumption 3 plus locality,
+//     hotspot, Zipf, transpose and permutation extensions);
+//   - message-size distributions (the paper's fixed M plus extensions).
 package workload
 
 import (

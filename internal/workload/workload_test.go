@@ -243,6 +243,47 @@ func TestPatternNames(t *testing.T) {
 	}
 }
 
+// TestPatternsNeverReturnSource is the cross-pattern self-routing property
+// test: across pinned seeds, no pattern may ever pick the source as the
+// destination — Permutation must be fixed-point free by construction and
+// Hotspot must fall through to uniform when the hot node sends.
+func TestPatternsNeverReturnSource(t *testing.T) {
+	sys := fakeSystem{nc: 4, size: 4}
+	n := sys.TotalNodes()
+	for _, seed := range []uint64{1, 7, 42, 1234, 0xdeadbeef} {
+		st := rng.NewStream(seed)
+		perm, err := NewPermutation(st, n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		zipf, err := NewZipf(n, 1.2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		patterns := []Pattern{
+			perm,
+			Hotspot{Node: 3, Fraction: 0.9},
+			Hotspot{Node: 0, Fraction: 1},
+			zipf,
+			Uniform{},
+			LocalBias{Locality: 0.8},
+		}
+		for _, p := range patterns {
+			for src := 0; src < n; src++ {
+				for i := 0; i < 200; i++ {
+					d := p.Dest(st, sys, src)
+					if d == src {
+						t.Fatalf("seed %d: %s routed src %d to itself", seed, p.Name(), src)
+					}
+					if d < 0 || d >= n {
+						t.Fatalf("seed %d: %s dest %d out of range", seed, p.Name(), d)
+					}
+				}
+			}
+		}
+	}
+}
+
 func TestQuickUniformDestValid(t *testing.T) {
 	st := rng.NewStream(12)
 	f := func(ncRaw, sizeRaw, srcRaw uint8) bool {

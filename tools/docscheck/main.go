@@ -1,0 +1,194 @@
+// Command docscheck keeps the documentation honest. It has two modes:
+//
+//	docscheck -scenarios docs/SCENARIOS.md
+//	    extracts every `go run ./cmd/...` command from the file's fenced
+//	    sh code blocks and executes it with a fast-run suffix appended
+//	    (-messages 100 -reps 1, adapted per binary), so a cookbook
+//	    command that stops parsing fails CI;
+//
+//	docscheck -links .
+//	    walks the tree's Markdown files and verifies that every
+//	    relative (intra-repo) link target exists.
+//
+// Both modes print the failures and exit non-zero on any.
+package main
+
+import (
+	"bufio"
+	"context"
+	"flag"
+	"fmt"
+	"io/fs"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"time"
+)
+
+func main() {
+	scenarios := flag.String("scenarios", "", "Markdown file whose sh code blocks are executed with a fast-run suffix")
+	links := flag.String("links", "", "directory whose Markdown files get their relative links checked")
+	timeout := flag.Duration("timeout", 2*time.Minute, "per-command timeout in -scenarios mode")
+	flag.Parse()
+	failed := false
+	if *scenarios != "" {
+		if err := checkScenarios(*scenarios, *timeout); err != nil {
+			fmt.Fprintln(os.Stderr, "docscheck:", err)
+			failed = true
+		}
+	}
+	if *links != "" {
+		if err := checkLinks(*links); err != nil {
+			fmt.Fprintln(os.Stderr, "docscheck:", err)
+			failed = true
+		}
+	}
+	if *scenarios == "" && *links == "" {
+		fmt.Fprintln(os.Stderr, "docscheck: nothing to do (pass -scenarios and/or -links)")
+		failed = true
+	}
+	if failed {
+		os.Exit(1)
+	}
+}
+
+// extractCommands returns the `go run ./cmd/...` command lines of every
+// fenced sh block, with backslash continuations joined.
+func extractCommands(path string) ([]string, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var cmds []string
+	inBlock := false
+	var cont strings.Builder
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case strings.HasPrefix(line, "```sh"):
+			inBlock = true
+			continue
+		case strings.HasPrefix(line, "```"):
+			inBlock = false
+			continue
+		}
+		if !inBlock {
+			continue
+		}
+		if i := strings.Index(line, "#"); i >= 0 {
+			line = strings.TrimSpace(line[:i])
+		}
+		if line == "" {
+			continue
+		}
+		if strings.HasSuffix(line, "\\") {
+			cont.WriteString(strings.TrimSuffix(line, "\\"))
+			cont.WriteString(" ")
+			continue
+		}
+		cont.WriteString(line)
+		cmd := cont.String()
+		cont.Reset()
+		if strings.HasPrefix(cmd, "go run ./cmd/") {
+			cmds = append(cmds, cmd)
+		}
+	}
+	return cmds, sc.Err()
+}
+
+// fastSuffix returns the flag suffix that shrinks a cookbook command to a
+// smoke run, per binary (hmscs-netsim has no -reps; hmscs-analyze is
+// analytic-only and needs nothing).
+func fastSuffix(cmd string) []string {
+	switch {
+	case strings.Contains(cmd, "./cmd/hmscs-netsim"):
+		return []string{"-messages", "100", "-warmup", "10"}
+	case strings.Contains(cmd, "./cmd/hmscs-analyze"):
+		return nil
+	default:
+		return []string{"-messages", "100", "-reps", "1"}
+	}
+}
+
+func checkScenarios(path string, timeout time.Duration) error {
+	cmds, err := extractCommands(path)
+	if err != nil {
+		return err
+	}
+	if len(cmds) == 0 {
+		return fmt.Errorf("%s: no `go run ./cmd/...` commands found", path)
+	}
+	fmt.Printf("docscheck: %d commands from %s\n", len(cmds), path)
+	var failures int
+	for i, cmd := range cmds {
+		args := append(strings.Fields(cmd)[1:], fastSuffix(cmd)...)
+		ctx, cancel := context.WithTimeout(context.Background(), timeout)
+		out, err := exec.CommandContext(ctx, "go", args...).CombinedOutput()
+		cancel()
+		if err != nil {
+			failures++
+			fmt.Printf("FAIL [%d/%d] %s\n%s\n", i+1, len(cmds), cmd, out)
+			continue
+		}
+		fmt.Printf("ok   [%d/%d] %s\n", i+1, len(cmds), cmd)
+	}
+	if failures > 0 {
+		return fmt.Errorf("%d of %d scenario commands failed", failures, len(cmds))
+	}
+	return nil
+}
+
+var linkRe = regexp.MustCompile(`\[[^\]]*\]\(([^)\s]+)\)`)
+
+func checkLinks(root string) error {
+	var failures int
+	err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			if name := d.Name(); name == ".git" || name == "vendor" || name == "node_modules" {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(path, ".md") {
+			return nil
+		}
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		for _, m := range linkRe.FindAllStringSubmatch(string(data), -1) {
+			target := m[1]
+			if strings.HasPrefix(target, "http://") || strings.HasPrefix(target, "https://") ||
+				strings.HasPrefix(target, "mailto:") || strings.HasPrefix(target, "#") {
+				continue
+			}
+			if i := strings.IndexByte(target, '#'); i >= 0 {
+				target = target[:i]
+			}
+			if target == "" {
+				continue
+			}
+			resolved := filepath.Join(filepath.Dir(path), target)
+			if _, err := os.Stat(resolved); err != nil {
+				failures++
+				fmt.Printf("FAIL %s: broken link %q (-> %s)\n", path, m[1], resolved)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	if failures > 0 {
+		return fmt.Errorf("%d broken Markdown links", failures)
+	}
+	fmt.Println("docscheck: Markdown links ok")
+	return nil
+}
