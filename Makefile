@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race vet fmt-check bench bench-compare golden golden-check scenarios-check links-check clean
+.PHONY: all build test race vet fmt-check bench bench-compare plan golden golden-check golden-plan golden-plan-check scenarios-check links-check clean
 
 all: build test
 
@@ -23,9 +23,10 @@ fmt-check:
 		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
 
 # bench regenerates BENCH_sim.json: ns/op and allocs/op for the
-# figure/table reproduction paths, tracked PR over PR.
+# figure/table reproduction paths plus the capacity planner's screening
+# stage, tracked PR over PR.
 bench:
-	$(GO) test -run '^$$' -bench 'Figure|Table' -benchmem . | tee bench.out
+	$(GO) test -run '^$$' -bench 'Figure|Table|Plan' -benchmem . | tee bench.out
 	$(GO) run ./tools/benchjson < bench.out > BENCH_sim.json
 	@rm -f bench.out
 	@echo "wrote BENCH_sim.json"
@@ -35,10 +36,16 @@ bench:
 # PR base; locally, pass OLD=path/to/baseline.json).
 OLD ?= BENCH_sim.json
 bench-compare:
-	$(GO) test -run '^$$' -bench 'Figure|Table' -benchmem -benchtime 3x . > bench.out
+	$(GO) test -run '^$$' -bench 'Figure|Table|Plan' -benchmem -benchtime 3x . > bench.out
 	$(GO) run ./tools/benchjson < bench.out > /tmp/bench-new.json
 	@rm -f bench.out
 	$(GO) run ./tools/benchjson -compare $(OLD) /tmp/bench-new.json
+
+# plan runs the documented capacity-planning scenario: the cheapest
+# designs serving 100 msg/s/processor on >= 64 processors within 2 ms,
+# screened over the default space and sim-verified (DESIGN.md §7).
+plan:
+	$(GO) run ./cmd/hmscs-plan -slo-latency 2 -min-nodes 64 -lambda 100 -top 3
 
 # The pinned command behind testdata/golden-figures.txt: Figures 4-7 with
 # a fixed seed and reduced replications, deterministic at any -parallel.
@@ -56,6 +63,25 @@ golden:
 golden-check:
 	$(GOLDEN_CMD) > /tmp/golden-figures.txt
 	diff -u testdata/golden-figures.txt /tmp/golden-figures.txt
+
+# The pinned command behind testdata/golden-plan.txt: the documented
+# planning scenario with a fixed seed and a reduced verification budget,
+# deterministic at any -parallel.
+GOLDEN_PLAN_CMD = $(GO) run ./cmd/hmscs-plan -slo-latency 2 -min-nodes 64 \
+	-lambda 100 -top 2 -seed 12345 -messages 2000 -max-reps 6
+
+# golden-plan regenerates the committed planner output (run after an
+# intentional change to the planner, the analytic model, or the emitters,
+# and eyeball the diff).
+golden-plan:
+	$(GOLDEN_PLAN_CMD) > testdata/golden-plan.txt
+	@echo "wrote testdata/golden-plan.txt"
+
+# golden-plan-check fails when the current tree no longer reproduces the
+# committed planner output bit for bit (CI's golden-plan job).
+golden-plan-check:
+	$(GOLDEN_PLAN_CMD) > /tmp/golden-plan.txt
+	diff -u testdata/golden-plan.txt /tmp/golden-plan.txt
 
 # scenarios-check replays every command in docs/SCENARIOS.md as a smoke
 # run (-messages 100 -reps 1, adapted per binary), so the cookbook cannot

@@ -13,6 +13,7 @@ import (
 	"hmscs/internal/core"
 	"hmscs/internal/netsim"
 	"hmscs/internal/network"
+	"hmscs/internal/plan"
 	"hmscs/internal/rng"
 	"hmscs/internal/sim"
 	"hmscs/internal/sweep"
@@ -351,6 +352,32 @@ func BenchmarkEventListHeap(b *testing.B) {
 
 func BenchmarkEventListCalendar(b *testing.B) {
 	benchEventList(b, func() *sim.Engine { return sim.NewEngineWithCalendar(1e-3) })
+}
+
+// BenchmarkPlanScreen measures the capacity planner's analytic screening
+// stage over the full documented design space (1584 candidates), the
+// surrogate half of the surrogate-screen-then-simulate loop. Tracked in
+// BENCH_sim.json: regressions here directly slow every planning run.
+func BenchmarkPlanScreen(b *testing.B) {
+	sp := plan.DefaultSpace()
+	slo := plan.SLO{MaxLatency: 2e-3, MinNodes: 64}
+	cm := plan.DefaultCostModel()
+	sp.Lambda = 100
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := plan.Screen(sp, slo, cm, 1, 0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(res) < 1000 {
+			b.Fatalf("screened only %d candidates", len(res))
+		}
+		fr := plan.Frontier(res)
+		if len(fr) == 0 {
+			b.Fatal("empty frontier")
+		}
+		b.ReportMetric(float64(len(res)), "candidates/op")
+	}
 }
 
 // BenchmarkNetsimFatTree measures the switch-level simulator's throughput.

@@ -13,6 +13,9 @@
 //	hmscs-netsim -topo linear-array -n 96 -ports 8 -tech FE
 //	hmscs-netsim -topo linear-array -n 64 -arrival mmpp -burst-ratio 20
 //	hmscs-netsim -n 32 -pattern hotspot:0.3 -precision 0.05
+//	hmscs-netsim -config plan.json -net icn2   # a system's second stage at
+//	                                           # its own offered load (e.g.
+//	                                           # emitted by hmscs-plan -emit)
 package main
 
 import (
@@ -54,7 +57,7 @@ func run(args []string, out io.Writer) error {
 	}
 	build, baseOpts := exp.Build, exp.Opts
 
-	fmt.Fprintf(out, "%s: %d endpoints, %d-port switches, %s, λ=%g msg/s, M=%dB, %s arrivals\n",
+	fmt.Fprintf(out, "%s: %d endpoints, %d-port switches, %s, λ=%.6g msg/s, M=%dB, %s arrivals\n",
 		nf.Topo, nf.N, nf.Ports, exp.Tech.Name, nf.Lambda, nf.Msg,
 		baseOpts.Workload.Arrival.Name())
 

@@ -1,7 +1,11 @@
 package main
 
 import (
+	"path/filepath"
+
 	"bytes"
+	"hmscs/internal/core"
+	"hmscs/internal/network"
 	"strings"
 	"testing"
 )
@@ -45,5 +49,36 @@ func TestRunErrors(t *testing.T) {
 		if err := run(args, &out); err == nil {
 			t.Errorf("args %v accepted", args)
 		}
+	}
+}
+
+// TestRunFromPlanConfig drives the simulator from a JSON system
+// description (the hand-off format hmscs-plan emits): the selected
+// network's technology, size, and offered load all come from the file.
+func TestRunFromPlanConfig(t *testing.T) {
+	cfg, err := core.PaperConfig(core.Case1, 4, 1024, network.NonBlocking)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "sys.json")
+	if err := core.SaveConfig(cfg, path); err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	err = run([]string{"-config", path, "-net", "icn1", "-cluster", "2",
+		"-messages", "800", "-warmup", "100"}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	// Case 1's ICN1 is Gigabit Ethernet over the cluster's 64 processors.
+	for _, frag := range []string{"GigabitEthernet", "64 endpoints", "fat-tree"} {
+		if !strings.Contains(s, frag) {
+			t.Errorf("resolved header missing %q:\n%s", frag, s)
+		}
+	}
+	// An empty -net value is rejected.
+	if err := run([]string{"-config", path, "-net", "lan"}, &out); err == nil {
+		t.Error("bad -net accepted")
 	}
 }

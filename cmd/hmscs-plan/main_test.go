@@ -1,0 +1,197 @@
+package main
+
+import (
+	"bytes"
+
+	"os"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"hmscs/internal/core"
+	"hmscs/internal/plan"
+)
+
+// planArgs is the documented scenario at a test-sized verification budget:
+// the full default space (>= 1000 candidates) with top-2 verification.
+func planArgs(extra ...string) []string {
+	args := []string{
+		"-slo-latency", "2", "-min-nodes", "64", "-lambda", "100",
+		"-top", "2", "-seed", "12345", "-messages", "2000", "-max-reps", "6",
+	}
+	return append(args, extra...)
+}
+
+// TestPlanParallelismBitIdentical is the acceptance pin: the documented
+// scenario screens >= 1000 candidates, prints a Pareto frontier,
+// sim-verifies the top K — and the full output is bit-identical at
+// -parallel 1 and -parallel 8.
+func TestPlanParallelismBitIdentical(t *testing.T) {
+	var seq, par bytes.Buffer
+	if err := run(planArgs("-parallel", "1"), &seq); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(planArgs("-parallel", "8"), &par); err != nil {
+		t.Fatal(err)
+	}
+	if seq.String() != par.String() {
+		t.Fatalf("output differs between -parallel 1 and -parallel 8:\n--- 1:\n%s\n--- 8:\n%s",
+			seq.String(), par.String())
+	}
+	s := seq.String()
+	m := regexp.MustCompile(`(\d+) candidates screened`).FindStringSubmatch(s)
+	if m == nil {
+		t.Fatalf("no screening summary in output:\n%s", s)
+	}
+	if n, _ := strconv.Atoi(m[1]); n < 1000 {
+		t.Fatalf("documented scenario screened %d candidates, want >= 1000", n)
+	}
+	for _, frag := range []string{"Pareto frontier", "Verified candidates", "gap", "| met |"} {
+		if !strings.Contains(s, frag) {
+			t.Fatalf("output missing %q:\n%s", frag, s)
+		}
+	}
+}
+
+func TestPlanCSVAndEmit(t *testing.T) {
+	dir := t.TempDir()
+	var out bytes.Buffer
+	if err := run(planArgs("-format", "csv", "-emit", dir), &out); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	if !strings.Contains(s, "candidate,clusters,nodes,icn1,ecn1,icn2,arch,headroom,cost,predicted_ms") {
+		t.Fatalf("csv header missing:\n%s", s)
+	}
+	// Verified rows carry simulation columns and a gap.
+	if !strings.Contains(s, ",true\n") && !strings.Contains(s, ",false\n") {
+		t.Fatalf("no verified csv row:\n%s", s)
+	}
+	// Every emitted configuration is loadable and validated — i.e. directly
+	// runnable through the -config flag of the other binaries.
+	matches, err := filepath.Glob(filepath.Join(dir, "plan-candidate-*.json"))
+	if err != nil || len(matches) == 0 {
+		t.Fatalf("no emitted configs (%v): %v", err, matches)
+	}
+	for _, path := range matches {
+		cfg, err := core.LoadConfig(path)
+		if err != nil {
+			t.Fatalf("%s: %v", path, err)
+		}
+		if cfg.TotalNodes() < 64 {
+			t.Fatalf("%s: emitted config has %d nodes, SLO required >= 64", path, cfg.TotalNodes())
+		}
+	}
+}
+
+func TestPlanPrintSpaceRoundTrips(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-print-space"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	var sp plan.Space
+	if err := sp.UnmarshalJSON(out.Bytes()); err != nil {
+		t.Fatalf("printed space does not parse back: %v\n%s", err, out.String())
+	}
+	// And a saved space file feeds straight back into -space.
+	path := filepath.Join(t.TempDir(), "space.json")
+	if err := os.WriteFile(path, out.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out.Reset()
+	if err := run([]string{"-space", path, "-top", "0"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "candidates screened") {
+		t.Fatalf("screen-only run produced no summary:\n%s", out.String())
+	}
+}
+
+func TestPlanMMPPShiftsFrontier(t *testing.T) {
+	var poisson, mmpp bytes.Buffer
+	base := []string{"-slo-latency", "2", "-min-nodes", "64", "-lambda", "100", "-top", "0"}
+	if err := run(base, &poisson); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(append(base, "-arrival", "mmpp", "-burst-ratio", "10"), &mmpp); err != nil {
+		t.Fatal(err)
+	}
+	if poisson.String() == mmpp.String() {
+		t.Fatal("MMPP screening did not change the plan")
+	}
+	if !strings.Contains(mmpp.String(), "mmpp") {
+		t.Fatalf("arrival process not reported:\n%s", mmpp.String())
+	}
+	// The burstiness correction can only raise predicted latencies, so the
+	// cheapest frontier candidate's prediction must not drop.
+	pick := func(s string) float64 {
+		rows := regexp.MustCompile(`\| (\d+) \| [^|]+ \| [0-9.]+ \| ([0-9.]+) \|`).FindStringSubmatch(s)
+		if rows == nil {
+			t.Fatalf("no frontier row:\n%s", s)
+		}
+		v, err := strconv.ParseFloat(rows[2], 64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return v
+	}
+	if p, m := pick(poisson.String()), pick(mmpp.String()); m <= p {
+		t.Fatalf("MMPP predicted latency %.3f not above Poisson %.3f", m, p)
+	}
+}
+
+func TestPlanBadFlags(t *testing.T) {
+	cases := [][]string{
+		{"-bogus"},
+		{"-format", "xml"},
+		{"-slo-latency", "0"},
+		{"-slo-util", "1.5"},
+		{"-slo-util", "0"},
+		{"-port-costs", "nonsense"},
+		{"-port-costs", "FE=abc"},
+		{"-space", "does-not-exist.json"},
+	}
+	for _, args := range cases {
+		var out bytes.Buffer
+		if err := run(args, &out); err == nil {
+			t.Errorf("args %v accepted", args)
+		}
+	}
+}
+
+func TestPlanInfeasibleSpaceReportsEmptyFrontier(t *testing.T) {
+	var out bytes.Buffer
+	// λ=250 with >= 256 processors: the shared ICN2 cannot carry the
+	// cross-cluster traffic with any technology in the default space — the
+	// planner must say so rather than error or emit NaNs.
+	if err := run([]string{"-slo-latency", "2", "-min-nodes", "256", "-top", "3"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	if !strings.Contains(s, "0 feasible") || !strings.Contains(s, "no feasible candidate") {
+		t.Fatalf("infeasible space not reported:\n%s", s)
+	}
+	if strings.Contains(s, "NaN") || strings.Contains(s, "Inf") {
+		t.Fatalf("non-finite values leaked into output:\n%s", s)
+	}
+}
+
+func TestMainSmoke(t *testing.T) {
+	// Exercise the tiny-space fast path main() would take in CI smoke runs.
+	path := filepath.Join(t.TempDir(), "space.json")
+	sp := plan.DefaultSpace()
+	sp.MaxCandidates = 50
+	if err := plan.SaveSpace(sp, path); err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	err := run([]string{"-space", path, "-top", "1", "-messages", "1000", "-max-reps", "4"}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "50 candidates screened") {
+		t.Fatalf("unexpected summary:\n%s", out.String())
+	}
+}

@@ -156,3 +156,25 @@ func ExampleFigure() {
 	// Output:
 	// Figure 4: 2 curves x 9 points
 }
+
+// ExamplePlanScreen asks the capacity planner's screening stage the
+// paper's inverse question: which designs serve 100 msg/s per processor
+// on at least 64 processors within a 2 ms budget, and what is the
+// cheapest one?
+func ExamplePlanScreen() {
+	space := hmscs.DefaultDesignSpace()
+	space.Lambda = 100
+	slo := hmscs.SLO{MaxLatency: 2e-3, MinNodes: 64}
+	screened, err := hmscs.PlanScreen(space, slo, hmscs.DefaultCostModel(), 1, 0)
+	if err != nil {
+		panic(err)
+	}
+	frontier := hmscs.PlanFrontier(screened)
+	fmt.Printf("screened %d candidates, frontier %d\n", len(screened), len(frontier))
+	best := frontier[0]
+	fmt.Printf("cheapest: %s at cost %.2f, predicted %.3f ms\n",
+		best.Label(), best.Cost, best.Predicted*1e3)
+	// Output:
+	// screened 1584 candidates, frontier 8
+	// cheapest: C=4 N=16 GE/FE/FE nb h=1 at cost 76.00, predicted 0.812 ms
+}

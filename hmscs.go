@@ -25,6 +25,7 @@ import (
 	"hmscs/internal/core"
 	"hmscs/internal/network"
 	"hmscs/internal/output"
+	"hmscs/internal/plan"
 	"hmscs/internal/queueing"
 	"hmscs/internal/sim"
 	"hmscs/internal/sweep"
@@ -230,6 +231,53 @@ type PrecisionResult = sim.PrecisionResult
 // every parallelism level.
 func SimulateToPrecision(cfg *Config, opts SimOptions, target Precision) (*PrecisionResult, error) {
 	return sim.RunPrecision(cfg, opts, target, 0)
+}
+
+// Capacity planning ----------------------------------------------------------
+
+// DesignSpace is a declarative space of candidate deployments for the
+// SLO-driven capacity planner (see internal/plan and DESIGN.md §7).
+type DesignSpace = plan.Space
+
+// SLO is the service-level objective the planner screens against: a mean
+// latency budget, a bottleneck-utilisation cap and a deployment size.
+type SLO = plan.SLO
+
+// CostModel prices candidates: processors plus per-technology switch ports.
+type CostModel = plan.CostModel
+
+// PlanCandidate is one screened candidate with its cost, analytic latency
+// prediction, bottleneck and feasibility verdict.
+type PlanCandidate = plan.ScreenResult
+
+// PlanVerified pairs a frontier candidate with its precision-mode
+// simulation estimate and the model-vs-simulation gap.
+type PlanVerified = plan.VerifiedCandidate
+
+// DefaultDesignSpace returns the documented default planning space
+// (>= 1000 candidates around the paper's platform).
+func DefaultDesignSpace() *DesignSpace { return plan.DefaultSpace() }
+
+// DefaultCostModel prices processors at 1 node unit and switch ports at
+// relative technology prices.
+func DefaultCostModel() CostModel { return plan.DefaultCostModel() }
+
+// PlanScreen enumerates the space and screens every candidate through the
+// analytic model (with the G/G/1 correction for a finite non-Poisson
+// arrivalSCV), pricing and scoring each against the SLO. Results are
+// bit-identical at every parallelism level.
+func PlanScreen(sp *DesignSpace, slo SLO, cost CostModel, arrivalSCV float64, parallelism int) ([]PlanCandidate, error) {
+	return plan.Screen(sp, slo, cost, arrivalSCV, parallelism)
+}
+
+// PlanFrontier reduces screened candidates to the Pareto frontier on
+// (cost, predicted latency), cheapest first.
+func PlanFrontier(results []PlanCandidate) []PlanCandidate { return plan.Frontier(results) }
+
+// PlanVerify simulates the k cheapest frontier candidates to the given
+// precision target and reports the per-candidate model-vs-simulation gap.
+func PlanVerify(frontier []PlanCandidate, k int, slo SLO, opts SimOptions, prec Precision, parallelism int) ([]PlanVerified, error) {
+	return plan.VerifyTopK(frontier, k, slo, opts, prec, parallelism)
 }
 
 // Figure harness -------------------------------------------------------------

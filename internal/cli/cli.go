@@ -344,6 +344,9 @@ func ParseFloatList(spec string) ([]float64, error) {
 // (arrival process, destination pattern). It is the single home of this
 // plumbing — hmscs-netsim used to carry a private copy.
 type NetFlags struct {
+	Config     string
+	Net        string
+	Cluster    int
 	Topo       string
 	N          int
 	Ports      int
@@ -360,10 +363,17 @@ type NetFlags struct {
 	Precision  float64
 	Confidence float64
 	MaxReps    int
+
+	// resolvedTech is set when -config supplied the technology directly
+	// (it may be a custom one with no name to look up).
+	resolvedTech *network.Technology
 }
 
 // Register installs the netsim flags with their historical defaults.
 func (n *NetFlags) Register(fs *flag.FlagSet) {
+	fs.StringVar(&n.Config, "config", "", "JSON system description (e.g. emitted by hmscs-plan -emit); simulates one of its communication networks at switch level, overriding -topo/-n/-ports/-swlat/-tech/-lambda/-msg")
+	fs.StringVar(&n.Net, "net", "icn2", "which network of -config to simulate: icn1, ecn1 or icn2")
+	fs.IntVar(&n.Cluster, "cluster", 0, "cluster index for -config with -net icn1/ecn1")
 	fs.StringVar(&n.Topo, "topo", "fat-tree", "topology: fat-tree or linear-array")
 	fs.IntVar(&n.N, "n", 32, "endpoints")
 	fs.IntVar(&n.Ports, "ports", 8, "switch ports")
@@ -395,11 +405,72 @@ type NetExperiment struct {
 	Switch network.Switch
 }
 
+// resolveConfig maps one communication network of a core.Config onto the
+// switch-level simulator's parameters: the -net centre's technology and
+// endpoint count, the topology implied by the architecture, and a
+// per-endpoint rate derived from the configuration's own Jackson arrival
+// rates (core.ArrivalRates), so the network is driven at exactly the
+// offered load the analytic model and system simulator give it. The
+// resolved values overwrite the corresponding flag fields, which keeps
+// every downstream consumer (headers included) reading one source.
+func (n *NetFlags) resolveConfig() error {
+	cfg, err := core.LoadConfig(n.Config)
+	if err != nil {
+		return err
+	}
+	rates := cfg.ArrivalRates(1)
+	var tech network.Technology
+	var endpoints int
+	var rate float64
+	switch n.Net {
+	case "icn1", "ecn1":
+		if n.Cluster < 0 || n.Cluster >= cfg.NumClusters() {
+			return fmt.Errorf("cli: -cluster %d outside [0,%d)", n.Cluster, cfg.NumClusters())
+		}
+		cl := cfg.Clusters[n.Cluster]
+		if n.Net == "icn1" {
+			tech, endpoints, rate = cl.ICN1, cl.Nodes, rates.ICN1[n.Cluster]
+		} else {
+			tech, endpoints, rate = cl.ECN1, cl.Nodes+1, rates.ECN1[n.Cluster]
+		}
+	case "icn2":
+		tech, endpoints, rate = cfg.ICN2, cfg.NumClusters(), rates.ICN2
+	default:
+		return fmt.Errorf("cli: unknown network %q (want icn1, ecn1 or icn2)", n.Net)
+	}
+	if !(rate > 0) {
+		return fmt.Errorf("cli: %s of %s carries no traffic (%g msg/s)", n.Net, n.Config, rate)
+	}
+	if endpoints < 2 {
+		return fmt.Errorf("cli: %s has %d endpoint(s); switch-level simulation needs at least 2", n.Net, endpoints)
+	}
+	n.Topo = "fat-tree"
+	if cfg.Arch == network.Blocking {
+		n.Topo = "linear-array"
+	}
+	n.N = endpoints
+	n.Ports = cfg.Switch.Ports
+	n.SwLat = cfg.Switch.Latency * 1e6
+	n.Tech = tech.Name
+	n.Lambda = rate / float64(endpoints)
+	n.Msg = cfg.MessageBytes
+	n.resolvedTech = &tech
+	return nil
+}
+
 // Build converts the flags into a ready-to-run experiment.
 func (n *NetFlags) Build() (*NetExperiment, error) {
-	technology, err := network.TechnologyByName(n.Tech)
-	if err != nil {
-		return nil, err
+	var technology network.Technology
+	if n.Config != "" {
+		if err := n.resolveConfig(); err != nil {
+			return nil, err
+		}
+		technology = *n.resolvedTech
+	} else {
+		var err error
+		if technology, err = network.TechnologyByName(n.Tech); err != nil {
+			return nil, err
+		}
 	}
 	var dist rng.Dist
 	switch n.Service {

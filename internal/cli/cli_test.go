@@ -8,8 +8,11 @@ import (
 	"strings"
 	"testing"
 
+	"fmt"
+
 	"hmscs/internal/core"
 	"hmscs/internal/network"
+	"hmscs/internal/plan"
 	"hmscs/internal/workload"
 )
 
@@ -393,5 +396,175 @@ func TestNetFlagsRejectsBadValues(t *testing.T) {
 	}
 	if _, err := exp.Build(1); err == nil {
 		t.Error("bad topology accepted")
+	}
+}
+
+// heterogeneousConfigFile writes a 3-cluster unequal config for the
+// -config resolution tests and returns its path.
+func heterogeneousConfigFile(t *testing.T) string {
+	t.Helper()
+	cfg := &core.Config{
+		Clusters: []core.Cluster{
+			{Nodes: 16, Lambda: 100, ICN1: network.GigabitEthernet, ECN1: network.FastEthernet},
+			{Nodes: 8, Lambda: 200, ICN1: network.Myrinet, ECN1: network.FastEthernet},
+			{Nodes: 4, Lambda: 50, ICN1: network.FastEthernet, ECN1: network.GigabitEthernet},
+		},
+		ICN2: network.GigabitEthernet, Arch: network.NonBlocking,
+		Switch: network.PaperSwitch, MessageBytes: 512,
+	}
+	path := filepath.Join(t.TempDir(), "hetero.json")
+	if err := core.SaveConfig(cfg, path); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestNetFlagsConfigResolution(t *testing.T) {
+	path := heterogeneousConfigFile(t)
+	cfg, err := core.LoadConfig(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rates := cfg.ArrivalRates(1)
+	cases := []struct {
+		net       string
+		cluster   int
+		tech      string
+		endpoints int
+		rate      float64
+	}{
+		{"icn2", 0, "GigabitEthernet", 3, rates.ICN2},
+		{"icn1", 0, "GigabitEthernet", 16, rates.ICN1[0]},
+		{"icn1", 1, "Myrinet", 8, rates.ICN1[1]},
+		{"ecn1", 2, "GigabitEthernet", 5, rates.ECN1[2]},
+	}
+	for _, tc := range cases {
+		fs := flag.NewFlagSet("test", flag.ContinueOnError)
+		var nf NetFlags
+		nf.Register(fs)
+		args := []string{"-config", path, "-net", tc.net, "-cluster", fmt.Sprint(tc.cluster)}
+		if err := fs.Parse(args); err != nil {
+			t.Fatal(err)
+		}
+		exp, err := nf.Build()
+		if err != nil {
+			t.Fatalf("%s[%d]: %v", tc.net, tc.cluster, err)
+		}
+		if exp.Tech.Name != tc.tech {
+			t.Errorf("%s[%d]: tech %s, want %s", tc.net, tc.cluster, exp.Tech.Name, tc.tech)
+		}
+		if nf.N != tc.endpoints {
+			t.Errorf("%s[%d]: %d endpoints, want %d", tc.net, tc.cluster, nf.N, tc.endpoints)
+		}
+		want := tc.rate / float64(tc.endpoints)
+		if math.Abs(exp.Opts.Lambda-want) > 1e-9*want {
+			t.Errorf("%s[%d]: per-endpoint λ %g, want %g", tc.net, tc.cluster, exp.Opts.Lambda, want)
+		}
+		if nf.Msg != 512 || exp.Switch.Ports != cfg.Switch.Ports {
+			t.Errorf("%s[%d]: message/switch parameters not resolved", tc.net, tc.cluster)
+		}
+		if nf.Topo != "fat-tree" {
+			t.Errorf("%s[%d]: topo %s, want fat-tree for non-blocking", tc.net, tc.cluster, nf.Topo)
+		}
+	}
+}
+
+func TestNetFlagsConfigErrors(t *testing.T) {
+	path := heterogeneousConfigFile(t)
+	for _, args := range [][]string{
+		{"-config", "missing.json"},
+		{"-config", path, "-net", "icn3"},
+		{"-config", path, "-net", "icn1", "-cluster", "7"},
+		{"-config", path, "-net", "ecn1", "-cluster", "-1"},
+	} {
+		fs := flag.NewFlagSet("test", flag.ContinueOnError)
+		var nf NetFlags
+		nf.Register(fs)
+		if err := fs.Parse(args); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := nf.Build(); err == nil {
+			t.Errorf("args %v accepted", args)
+		}
+	}
+}
+
+func TestPlanFlags(t *testing.T) {
+	fs := flag.NewFlagSet("test", flag.ContinueOnError)
+	var pf PlanFlags
+	pf.Register(fs)
+	args := []string{"-slo-latency", "1.5", "-slo-util", "0.9", "-min-nodes", "64",
+		"-node-cost", "2", "-port-costs", "FE=0.5,IB=3", "-lambda", "123", "-msg", "2048"}
+	if err := fs.Parse(args); err != nil {
+		t.Fatal(err)
+	}
+	sp, err := pf.BuildSpace()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sp.Lambda != 123 || sp.MessageBytes != 2048 {
+		t.Fatalf("space overrides not applied: λ=%g M=%d", sp.Lambda, sp.MessageBytes)
+	}
+	slo, err := pf.BuildSLO()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if slo.MaxLatency != 1.5e-3 || slo.MaxUtil != 0.9 || slo.MinNodes != 64 {
+		t.Fatalf("SLO not built: %+v", slo)
+	}
+	cm, err := pf.BuildCost()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cm.NodeCost != 2 || cm.PortCost["FastEthernet"] != 0.5 || cm.PortCost["Infiniband"] != 3 {
+		t.Fatalf("cost overrides not applied: %+v", cm)
+	}
+	// Untouched technologies keep their default prices.
+	if cm.PortCost["GigabitEthernet"] != 0.1 {
+		t.Fatalf("default GE price lost: %+v", cm)
+	}
+}
+
+func TestPlanFlagsSpaceFile(t *testing.T) {
+	sp := plan.DefaultSpace()
+	sp.Clusters = []int{2}
+	sp.NodesPerCluster = []int{8}
+	sp.Splits = nil
+	path := filepath.Join(t.TempDir(), "space.json")
+	if err := plan.SaveSpace(sp, path); err != nil {
+		t.Fatal(err)
+	}
+	fs := flag.NewFlagSet("test", flag.ContinueOnError)
+	var pf PlanFlags
+	pf.Register(fs)
+	if err := fs.Parse([]string{"-space", path}); err != nil {
+		t.Fatal(err)
+	}
+	got, err := pf.BuildSpace()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Clusters) != 1 || got.Clusters[0] != 2 || got.Splits != nil {
+		t.Fatalf("space file not honoured: %+v", got)
+	}
+	// Bad flag values are rejected.
+	for _, bad := range [][]string{
+		{"-space", "missing.json"},
+		{"-port-costs", "FE"},
+		{"-port-costs", "Zeta=1"},
+		{"-slo-latency", "-2"},
+	} {
+		fs := flag.NewFlagSet("test", flag.ContinueOnError)
+		var pf PlanFlags
+		pf.Register(fs)
+		if err := fs.Parse(bad); err != nil {
+			t.Fatal(err)
+		}
+		_, errSpace := pf.BuildSpace()
+		_, errSLO := pf.BuildSLO()
+		_, errCost := pf.BuildCost()
+		if errSpace == nil && errSLO == nil && errCost == nil {
+			t.Errorf("args %v accepted", bad)
+		}
 	}
 }

@@ -1,0 +1,104 @@
+package cli
+
+import (
+	"flag"
+	"fmt"
+	"strconv"
+	"strings"
+
+	"hmscs/internal/network"
+	"hmscs/internal/plan"
+)
+
+// PlanFlags collects the capacity planner's flags: the design-space
+// source, the SLO the candidates are screened against, and the cost
+// model. They live here (like the system and precision flags) so any
+// binary that plans shares one spelling.
+type PlanFlags struct {
+	Space     string
+	SLOMs     float64
+	SLOUtil   float64
+	MinNodes  int
+	NodeCost  float64
+	PortCosts string
+	Lambda    float64
+	Msg       int
+}
+
+// Register installs the planner flags.
+func (p *PlanFlags) Register(fs *flag.FlagSet) {
+	fs.StringVar(&p.Space, "space", "", "JSON design-space description (see plan.SaveSpace); empty = the documented default space")
+	fs.Float64Var(&p.SLOMs, "slo-latency", 2, "SLO: maximum mean message latency in ms")
+	fs.Float64Var(&p.SLOUtil, "slo-util", 0.95, "SLO: maximum bottleneck-centre utilisation at the analytic fixed point")
+	fs.IntVar(&p.MinNodes, "min-nodes", 0, "SLO: minimum total processors the deployment must provide (0 = no requirement)")
+	fs.Float64Var(&p.NodeCost, "node-cost", 1, "cost of one processor in node units")
+	fs.StringVar(&p.PortCosts, "port-costs", "", "per-port cost overrides as tech=cost pairs, e.g. FE=0.02,GE=0.1 (defaults: plan.DefaultCostModel)")
+	fs.Float64Var(&p.Lambda, "lambda", 0, "override the space's per-processor offered load (msg/s; 0 = keep the space's)")
+	fs.IntVar(&p.Msg, "msg", 0, "override the space's message size in bytes (0 = keep the space's)")
+}
+
+// BuildSpace loads -space (or the default space) and applies the -lambda
+// and -msg overrides.
+func (p *PlanFlags) BuildSpace() (*plan.Space, error) {
+	sp := plan.DefaultSpace()
+	if p.Space != "" {
+		var err error
+		if sp, err = plan.LoadSpace(p.Space); err != nil {
+			return nil, err
+		}
+	}
+	if p.Lambda != 0 {
+		sp.Lambda = p.Lambda
+	}
+	if p.Msg != 0 {
+		sp.MessageBytes = p.Msg
+	}
+	return sp, sp.Validate()
+}
+
+// BuildSLO converts the SLO flags (budget given in ms). The flag default
+// already carries the utilisation cap, so an explicit 0 is a user error,
+// not a request for the default — reject it rather than letting
+// Normalized silently restore 0.95.
+func (p *PlanFlags) BuildSLO() (plan.SLO, error) {
+	if !(p.SLOUtil > 0) || p.SLOUtil > 1 {
+		return plan.SLO{}, fmt.Errorf("cli: -slo-util %g must be in (0, 1]", p.SLOUtil)
+	}
+	slo := plan.SLO{MaxLatency: p.SLOMs * 1e-3, MaxUtil: p.SLOUtil, MinNodes: p.MinNodes}.Normalized()
+	return slo, slo.Validate()
+}
+
+// BuildCost assembles the cost model: the defaults with -node-cost and
+// any -port-costs overrides applied.
+func (p *PlanFlags) BuildCost() (plan.CostModel, error) {
+	cm := plan.DefaultCostModel()
+	cm.NodeCost = p.NodeCost
+	if p.PortCosts != "" {
+		for _, pair := range strings.Split(p.PortCosts, ",") {
+			name, val, ok := strings.Cut(strings.TrimSpace(pair), "=")
+			if !ok {
+				return cm, fmt.Errorf("cli: bad port cost %q (want tech=cost)", pair)
+			}
+			tech, err := techByAnyName(name)
+			if err != nil {
+				return cm, err
+			}
+			c, err := strconv.ParseFloat(val, 64)
+			if err != nil || c < 0 {
+				return cm, fmt.Errorf("cli: bad port cost value %q in %q", val, pair)
+			}
+			cm.PortCost[tech] = c
+		}
+	}
+	return cm, cm.Validate()
+}
+
+// techByAnyName resolves a technology alias ("FE", "GE", ...) to the
+// canonical name the cost model is keyed on.
+func techByAnyName(name string) (string, error) {
+	t, err := network.TechnologyByName(strings.TrimSpace(name))
+	if err != nil {
+		return "", err
+	}
+	return t.Name, nil
+}

@@ -8,23 +8,30 @@ import (
 	"hmscs/internal/network"
 )
 
-// jsonTech serialises a technology either as a well-known name ("GE") or
-// as explicit parameters.
-type jsonTech struct {
+// TechJSON serialises a technology either as a well-known name ("GE") or
+// as explicit parameters. It is shared by configuration files and the
+// capacity planner's design-space files (internal/plan), so the two
+// round-trip technologies identically.
+type TechJSON struct {
 	Name        string  `json:"name,omitempty"`
 	LatencyUS   float64 `json:"latency_us,omitempty"`
 	BandwidthMB float64 `json:"bandwidth_mb_s,omitempty"`
 }
 
-func techToJSON(t network.Technology) jsonTech {
+// TechToJSON converts a technology to its on-disk form: built-ins
+// serialise by name alone, everything else with explicit human-friendly
+// parameters (microseconds, MB/s).
+func TechToJSON(t network.Technology) TechJSON {
 	switch t {
 	case network.GigabitEthernet, network.FastEthernet, network.Myrinet, network.Infiniband:
-		return jsonTech{Name: t.Name}
+		return TechJSON{Name: t.Name}
 	}
-	return jsonTech{Name: t.Name, LatencyUS: t.Latency * 1e6, BandwidthMB: t.Bandwidth / 1e6}
+	return TechJSON{Name: t.Name, LatencyUS: t.Latency * 1e6, BandwidthMB: t.Bandwidth / 1e6}
 }
 
-func techFromJSON(j jsonTech) (network.Technology, error) {
+// TechFromJSON parses the on-disk form: explicit parameters win; a bare
+// name resolves against the built-in technologies.
+func TechFromJSON(j TechJSON) (network.Technology, error) {
 	if j.LatencyUS == 0 && j.BandwidthMB == 0 {
 		return network.TechnologyByName(j.Name)
 	}
@@ -43,14 +50,14 @@ func techFromJSON(j jsonTech) (network.Technology, error) {
 type jsonCluster struct {
 	Nodes  int      `json:"nodes"`
 	Lambda float64  `json:"lambda_per_s"`
-	ICN1   jsonTech `json:"icn1"`
-	ECN1   jsonTech `json:"ecn1"`
+	ICN1   TechJSON `json:"icn1"`
+	ECN1   TechJSON `json:"ecn1"`
 }
 
 // jsonConfig is the on-disk form of a Config.
 type jsonConfig struct {
 	Clusters     []jsonCluster `json:"clusters"`
-	ICN2         jsonTech      `json:"icn2"`
+	ICN2         TechJSON      `json:"icn2"`
 	Arch         string        `json:"arch"`
 	SwitchPorts  int           `json:"switch_ports"`
 	SwitchLatUS  float64       `json:"switch_latency_us"`
@@ -61,7 +68,7 @@ type jsonConfig struct {
 // (microseconds, MB/s) and technology names for the built-ins.
 func (c *Config) MarshalJSON() ([]byte, error) {
 	j := jsonConfig{
-		ICN2:         techToJSON(c.ICN2),
+		ICN2:         TechToJSON(c.ICN2),
 		Arch:         c.Arch.String(),
 		SwitchPorts:  c.Switch.Ports,
 		SwitchLatUS:  c.Switch.Latency * 1e6,
@@ -71,8 +78,8 @@ func (c *Config) MarshalJSON() ([]byte, error) {
 		j.Clusters = append(j.Clusters, jsonCluster{
 			Nodes:  cl.Nodes,
 			Lambda: cl.Lambda,
-			ICN1:   techToJSON(cl.ICN1),
-			ECN1:   techToJSON(cl.ECN1),
+			ICN1:   TechToJSON(cl.ICN1),
+			ECN1:   TechToJSON(cl.ECN1),
 		})
 	}
 	return json.MarshalIndent(j, "", "  ")
@@ -88,7 +95,7 @@ func (c *Config) UnmarshalJSON(data []byte) error {
 	if err != nil {
 		return err
 	}
-	icn2, err := techFromJSON(j.ICN2)
+	icn2, err := TechFromJSON(j.ICN2)
 	if err != nil {
 		return fmt.Errorf("core: icn2: %w", err)
 	}
@@ -99,11 +106,11 @@ func (c *Config) UnmarshalJSON(data []byte) error {
 		MessageBytes: j.MessageBytes,
 	}
 	for i, jc := range j.Clusters {
-		icn1, err := techFromJSON(jc.ICN1)
+		icn1, err := TechFromJSON(jc.ICN1)
 		if err != nil {
 			return fmt.Errorf("core: cluster %d icn1: %w", i, err)
 		}
-		ecn1, err := techFromJSON(jc.ECN1)
+		ecn1, err := TechFromJSON(jc.ECN1)
 		if err != nil {
 			return fmt.Errorf("core: cluster %d ecn1: %w", i, err)
 		}

@@ -2,6 +2,7 @@ package core
 
 import (
 	"encoding/json"
+	"math"
 	"path/filepath"
 	"strings"
 	"testing"
@@ -114,5 +115,78 @@ func TestSaveAndLoadConfig(t *testing.T) {
 	// Saving an invalid config must fail before touching the disk.
 	if err := SaveConfig(&Config{}, path); err == nil {
 		t.Error("invalid config saved")
+	}
+}
+
+// TestConfigJSONHeterogeneousRoundTrip covers the Cluster-of-Clusters
+// case the capacity planner emits: unequal node counts, per-cluster rates
+// and mixed technologies must survive the round trip, re-validate, and
+// keep the generalised out-of-cluster probability.
+func TestConfigJSONHeterogeneousRoundTrip(t *testing.T) {
+	custom := network.Technology{Name: "Quadrics", Latency: 5e-6, Bandwidth: 340e6}
+	orig := &Config{
+		Clusters: []Cluster{
+			{Nodes: 32, Lambda: 100, ICN1: network.GigabitEthernet, ECN1: network.FastEthernet},
+			{Nodes: 16, Lambda: 250, ICN1: network.Myrinet, ECN1: network.GigabitEthernet},
+			{Nodes: 8, Lambda: 400, ICN1: custom, ECN1: network.FastEthernet},
+			{Nodes: 8, Lambda: 50, ICN1: network.Infiniband, ECN1: network.FastEthernet},
+		},
+		ICN2: network.GigabitEthernet, Arch: network.Blocking,
+		Switch: network.PaperSwitch, MessageBytes: 2048,
+	}
+	if err := orig.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	data, err := orig.MarshalJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Config
+	if err := back.UnmarshalJSON(data); err != nil {
+		t.Fatal(err)
+	}
+	if back.Homogeneous() {
+		t.Fatal("round trip flattened a heterogeneous config")
+	}
+	if err := back.Validate(); err != nil {
+		t.Fatalf("round-tripped config fails validation: %v", err)
+	}
+	if len(back.Clusters) != len(orig.Clusters) {
+		t.Fatalf("cluster count %d, want %d", len(back.Clusters), len(orig.Clusters))
+	}
+	for i := range orig.Clusters {
+		o, b := orig.Clusters[i], back.Clusters[i]
+		if b.Nodes != o.Nodes || b.Lambda != o.Lambda {
+			t.Fatalf("cluster %d lost layout: %+v vs %+v", i, b, o)
+		}
+		if b.ICN1.Name != o.ICN1.Name || b.ECN1.Name != o.ECN1.Name {
+			t.Fatalf("cluster %d lost technologies: %+v vs %+v", i, b, o)
+		}
+	}
+	if back.Clusters[2].ICN1.Bandwidth != custom.Bandwidth {
+		t.Fatalf("custom technology parameters lost: %+v", back.Clusters[2].ICN1)
+	}
+
+	// POut must agree with the hand-derived generalisation
+	// Pᵢ = (N_T − Nᵢ)/(N_T − 1) on both sides of the round trip.
+	nt := orig.TotalNodes()
+	if nt != 64 || back.TotalNodes() != nt {
+		t.Fatalf("total nodes %d/%d, want 64", nt, back.TotalNodes())
+	}
+	for i, cl := range orig.Clusters {
+		want := float64(nt-cl.Nodes) / float64(nt-1)
+		if got := orig.POut(i); math.Abs(got-want) > 1e-15 {
+			t.Errorf("POut(%d) = %v, want %v", i, got, want)
+		}
+		if got := back.POut(i); math.Abs(got-want) > 1e-15 {
+			t.Errorf("round-tripped POut(%d) = %v, want %v", i, got, want)
+		}
+	}
+	// The homogeneous special case reduces to the paper's eq. 8:
+	// P = (C−1)·N0 / (C·N0 − 1).
+	homog := mustPaperConfig(t, Case1, 16, 1024, network.NonBlocking)
+	c, n0 := 16.0, 16.0
+	if want, got := (c-1)*n0/(c*n0-1), homog.POut(3); math.Abs(got-want) > 1e-15 {
+		t.Errorf("homogeneous POut = %v, want eq.8 value %v", got, want)
 	}
 }

@@ -1,0 +1,99 @@
+package plan
+
+import (
+	"fmt"
+	"sort"
+
+	"hmscs/internal/output"
+	"hmscs/internal/sim"
+)
+
+// Frontier reduces screening results to the Pareto-efficient feasible set
+// on (cost, predicted latency): a candidate survives iff no other feasible
+// candidate is at most as expensive AND at most as slow (with at least one
+// strict). The frontier is returned cheapest-first; all ties break on
+// candidate index, so the result is a pure function of the input order.
+func Frontier(results []ScreenResult) []ScreenResult {
+	feasible := make([]ScreenResult, 0, len(results))
+	for _, r := range results {
+		if r.Feasible {
+			feasible = append(feasible, r)
+		}
+	}
+	sort.Slice(feasible, func(i, j int) bool {
+		a, b := feasible[i], feasible[j]
+		if a.Cost != b.Cost {
+			return a.Cost < b.Cost
+		}
+		if a.Predicted != b.Predicted {
+			return a.Predicted < b.Predicted
+		}
+		return a.Index < b.Index
+	})
+	var out []ScreenResult
+	for _, r := range feasible {
+		// Sorted by cost then latency: r is dominated iff it is no faster
+		// than the best already kept (which is at most as expensive).
+		if len(out) > 0 && r.Predicted >= out[len(out)-1].Predicted {
+			continue
+		}
+		out = append(out, r)
+	}
+	return out
+}
+
+// VerifiedCandidate pairs a frontier candidate with its precision-mode
+// simulation estimate and the model-vs-simulation gap.
+type VerifiedCandidate struct {
+	ScreenResult
+	// Sim is the precision-mode estimate of the mean message latency.
+	Sim sim.Estimate
+	// Gap is (Predicted − Sim.Mean) / Sim.Mean: the analytic surrogate's
+	// relative error at this design point, signed (positive = the model
+	// predicts higher latency than the simulation measures, i.e. the
+	// screen was conservative at this point).
+	Gap float64
+	// SimFeasible reports the simulated mean also meets the SLO budget.
+	SimFeasible bool
+}
+
+// VerifyTopK simulates the k cheapest frontier candidates to the given
+// precision target, fanning (candidate × replication) units over one
+// bounded worker pool (sim.RunPrecisionUnits). opts carries the workload
+// (arrival process, service distribution, per-replication window, base
+// seed); each candidate's replication seeds derive deterministically from
+// it, so results are bit-identical at every parallelism level.
+func VerifyTopK(frontier []ScreenResult, k int, slo SLO, opts sim.Options, prec output.Precision, parallelism int) ([]VerifiedCandidate, error) {
+	slo = slo.Normalized()
+	if k > len(frontier) {
+		k = len(frontier)
+	}
+	if k <= 0 {
+		return nil, nil
+	}
+	units := make([]sim.PrecisionUnit, k)
+	for i := 0; i < k; i++ {
+		r := frontier[i]
+		units[i] = sim.PrecisionUnit{
+			Cfg:  r.Cfg,
+			Opts: opts,
+			Wrap: func(err error) error {
+				return fmt.Errorf("plan: verifying candidate %d (%s): %w", r.Index, r.Label(), err)
+			},
+		}
+	}
+	res, err := sim.RunPrecisionUnits(units, prec, parallelism)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]VerifiedCandidate, k)
+	for i := 0; i < k; i++ {
+		v := VerifiedCandidate{ScreenResult: frontier[i], Sim: res[i].Estimate}
+		if v.Sim.Mean > 0 {
+			v.Gap = (v.Predicted - v.Sim.Mean) / v.Sim.Mean
+			v.SimFeasible = v.Sim.Mean <= slo.MaxLatency
+		}
+		out[i] = v
+	}
+	return out, nil
+}

@@ -1,0 +1,84 @@
+package report
+
+import (
+	"fmt"
+	"strings"
+
+	"hmscs/internal/plan"
+)
+
+// PlanMarkdown renders a planning run as Markdown: the Pareto frontier on
+// (cost, predicted latency) with per-candidate bottleneck utilisation, and
+// — when candidates were verified — the predicted-vs-simulated comparison
+// with precision-mode confidence intervals and the model gap.
+func PlanMarkdown(frontier []plan.ScreenResult, verified []plan.VerifiedCandidate) string {
+	var b strings.Builder
+	b.WriteString("### Pareto frontier (cost vs predicted latency)\n\n")
+	if len(frontier) == 0 {
+		b.WriteString("no feasible candidate meets the SLO — relax the budget or grow the space\n")
+		return b.String()
+	}
+	b.WriteString("| # | configuration | cost | predicted (ms) | bottleneck | util |\n")
+	b.WriteString("|---:|:---|---:|---:|:---|---:|\n")
+	for _, r := range frontier {
+		fmt.Fprintf(&b, "| %d | %s | %.2f | %.3f | %s | %.3f |\n",
+			r.Index, r.Label(), r.Cost, r.Predicted*1e3, r.BottleneckName, r.BottleneckRho)
+	}
+	if len(verified) == 0 {
+		return b.String()
+	}
+	b.WriteString("\n### Verified candidates (precision-mode simulation)\n\n")
+	b.WriteString("| # | configuration | cost | predicted (ms) | simulated (ms) | ±CI (ms) | reps | gap | SLO |\n")
+	b.WriteString("|---:|:---|---:|---:|---:|---:|---:|---:|:---|\n")
+	for _, v := range verified {
+		mark := ""
+		if !v.Sim.Converged {
+			mark = " (!)"
+		}
+		fmt.Fprintf(&b, "| %d | %s | %.2f | %.3f | %.3f | %.3f | %d%s | %+.1f%% | %s |\n",
+			v.Index, v.Label(), v.Cost, v.Predicted*1e3,
+			v.Sim.Mean*1e3, v.Sim.HalfWidth*1e3, v.Sim.Reps, mark,
+			v.Gap*100, planVerdict(v.SimFeasible))
+	}
+	return b.String()
+}
+
+func planVerdict(ok bool) string {
+	if ok {
+		return "met"
+	}
+	return "MISSED"
+}
+
+// PlanCSV renders a planning run as one CSV: every frontier row, with the
+// simulation columns filled in for verified candidates and empty-valued
+// (zeros, sim_reps 0) for frontier rows that were screened only.
+func PlanCSV(frontier []plan.ScreenResult, verified []plan.VerifiedCandidate) string {
+	byIndex := make(map[int]plan.VerifiedCandidate, len(verified))
+	for _, v := range verified {
+		byIndex[v.Index] = v
+	}
+	var b strings.Builder
+	b.WriteString("candidate,clusters,nodes,icn1,ecn1,icn2,arch,headroom,cost,predicted_ms,bottleneck,bottleneck_util,simulated_ms,sim_ci_ms,sim_reps,gap_pct,sim_slo_met\n")
+	for _, r := range frontier {
+		cfg := r.Cfg
+		nodes := make([]string, len(cfg.Clusters))
+		for i, cl := range cfg.Clusters {
+			nodes[i] = fmt.Sprint(cl.Nodes)
+		}
+		simMS, simCI, gap := 0.0, 0.0, 0.0
+		reps, sloMet := 0, ""
+		if v, ok := byIndex[r.Index]; ok {
+			simMS, simCI = v.Sim.Mean*1e3, v.Sim.HalfWidth*1e3
+			reps, gap = v.Sim.Reps, v.Gap*100
+			sloMet = fmt.Sprint(v.SimFeasible)
+		}
+		fmt.Fprintf(&b, "%d,%d,%s,%s,%s,%s,%s,%g,%.4f,%.6f,%s,%.4f,%.6f,%.6f,%d,%.2f,%s\n",
+			r.Index, cfg.NumClusters(), csvQuote(strings.Join(nodes, "+")),
+			cfg.Clusters[0].ICN1.Name, cfg.Clusters[0].ECN1.Name, cfg.ICN2.Name,
+			cfg.Arch, r.Headroom, r.Cost, r.Predicted*1e3,
+			csvQuote(r.BottleneckName), r.BottleneckRho,
+			simMS, simCI, reps, gap, sloMet)
+	}
+	return b.String()
+}

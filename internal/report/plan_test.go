@@ -1,0 +1,93 @@
+package report
+
+import (
+	"strings"
+	"testing"
+
+	"hmscs/internal/network"
+	"hmscs/internal/output"
+	"hmscs/internal/plan"
+	"hmscs/internal/sim"
+)
+
+func planFixture(t *testing.T) ([]plan.ScreenResult, []plan.VerifiedCandidate) {
+	t.Helper()
+	sp := &plan.Space{
+		Clusters:        []int{2, 4},
+		NodesPerCluster: []int{8},
+		Splits:          [][]int{{8, 4, 4}},
+		ICN1:            []network.Technology{network.GigabitEthernet},
+		ECN1:            []network.Technology{network.FastEthernet},
+		ICN2:            []network.Technology{network.FastEthernet},
+		Archs:           []network.Architecture{network.NonBlocking},
+		Lambda:          100,
+		MessageBytes:    1024,
+		Switch:          network.PaperSwitch,
+	}
+	slo := plan.SLO{MaxLatency: 5e-3}
+	res, err := plan.Screen(sp, slo, plan.DefaultCostModel(), 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fr := plan.Frontier(res)
+	if len(fr) == 0 {
+		t.Fatal("fixture frontier empty")
+	}
+	opts := sim.DefaultOptions()
+	opts.MeasuredMessages = 2000
+	verified, err := plan.VerifyTopK(fr, 1, slo.Normalized(), opts,
+		output.Precision{RelWidth: 0.1, MaxReps: 6}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fr, verified
+}
+
+func TestPlanMarkdown(t *testing.T) {
+	fr, verified := planFixture(t)
+	md := PlanMarkdown(fr, verified)
+	for _, frag := range []string{
+		"Pareto frontier", "| # | configuration | cost |",
+		"Verified candidates", "gap", "C=",
+	} {
+		if !strings.Contains(md, frag) {
+			t.Errorf("markdown missing %q:\n%s", frag, md)
+		}
+	}
+	// The empty frontier renders advice, not a bare table.
+	if s := PlanMarkdown(nil, nil); !strings.Contains(s, "no feasible candidate") {
+		t.Errorf("empty frontier rendering: %q", s)
+	}
+}
+
+func TestPlanCSV(t *testing.T) {
+	fr, verified := planFixture(t)
+	csv := PlanCSV(fr, verified)
+	lines := strings.Split(strings.TrimSpace(csv), "\n")
+	if len(lines) != len(fr)+1 {
+		t.Fatalf("csv has %d lines, want %d frontier rows + header", len(lines), len(fr))
+	}
+	if !strings.HasPrefix(lines[0], "candidate,clusters,nodes,") {
+		t.Fatalf("csv header: %q", lines[0])
+	}
+	wantCols := strings.Count(lines[0], ",")
+	for i, line := range lines[1:] {
+		if strings.Count(line, ",") < wantCols {
+			t.Errorf("row %d has fewer columns than the header: %q", i, line)
+		}
+	}
+	// The verified candidate's row carries its verdict; a heterogeneous
+	// split's node list is quoted (it contains no comma, but the layout
+	// column must match the config).
+	if !strings.Contains(csv, ",true\n") && !strings.Contains(csv, ",false\n") {
+		t.Errorf("no verified row in csv:\n%s", csv)
+	}
+	if !strings.Contains(csv, "8+4+4") {
+		// The split may or may not be on the frontier; only check when it is.
+		for _, r := range fr {
+			if !r.Cfg.Homogeneous() {
+				t.Errorf("heterogeneous layout missing from csv:\n%s", csv)
+			}
+		}
+	}
+}

@@ -102,13 +102,16 @@ func extractCommands(path string) ([]string, error) {
 
 // fastSuffix returns the flag suffix that shrinks a cookbook command to a
 // smoke run, per binary (hmscs-netsim has no -reps; hmscs-analyze is
-// analytic-only and needs nothing).
+// analytic-only and needs nothing; hmscs-plan shrinks its verification
+// budget instead of a replication count).
 func fastSuffix(cmd string) []string {
 	switch {
 	case strings.Contains(cmd, "./cmd/hmscs-netsim"):
 		return []string{"-messages", "100", "-warmup", "10"}
 	case strings.Contains(cmd, "./cmd/hmscs-analyze"):
 		return nil
+	case strings.Contains(cmd, "./cmd/hmscs-plan"):
+		return []string{"-messages", "500", "-top", "1", "-max-reps", "4"}
 	default:
 		return []string{"-messages", "100", "-reps", "1"}
 	}
