@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race vet fmt-check bench bench-compare plan golden golden-check golden-plan golden-plan-check scenarios-check links-check clean
+.PHONY: all build test race vet fmt-check bench bench-compare plan golden golden-check golden-plan golden-plan-check api api-check scenarios-check links-check clean
 
 all: build test
 
@@ -82,6 +82,17 @@ golden-plan:
 golden-plan-check:
 	$(GOLDEN_PLAN_CMD) > /tmp/golden-plan.txt
 	diff -u testdata/golden-plan.txt /tmp/golden-plan.txt
+
+# api regenerates the checked-in public-API surface (docs/api-surface.txt)
+# after an intentional facade change; api-check fails when the hmscs
+# facade drifted from it, so PRs cannot silently break the public API.
+api:
+	$(GO) run ./tools/apisurface > docs/api-surface.txt
+	@echo "wrote docs/api-surface.txt"
+
+api-check:
+	$(GO) run ./tools/apisurface > /tmp/api-surface.txt
+	diff -u docs/api-surface.txt /tmp/api-surface.txt
 
 # scenarios-check replays every command in docs/SCENARIOS.md as a smoke
 # run (-messages 100 -reps 1, adapted per binary), so the cookbook cannot

@@ -3,132 +3,61 @@
 // per-centre breakdown. The default -lambda is the paper's rate under the
 // millisecond reading documented in DESIGN.md §2.
 //
+// It is a thin shell over the unified experiment API (internal/run): the
+// flags build an "analyze" experiment spec, or load one with -spec and
+// override its fields with any explicitly-set flags.
+//
 // Examples:
 //
 //	hmscs-analyze -case 1 -clusters 16 -msg 1024 -arch non-blocking
 //	hmscs-analyze -icn1 Myrinet -ecn GE -clusters 8 -lambda 100 -mva
 //	hmscs-analyze -clusters 64 -precision 0.02   # validate by simulation to ±2%
+//	hmscs-analyze -spec experiment.json -emit run.jsonl
 package main
 
 import (
 	"flag"
 	"fmt"
 	"io"
-	"math"
 	"os"
 
-	"hmscs/internal/analytic"
 	"hmscs/internal/cli"
-	"hmscs/internal/report"
-	"hmscs/internal/sim"
-	"hmscs/internal/stats"
+	"hmscs/internal/run"
 )
 
 func main() {
-	if err := run(os.Args[1:], os.Stdout); err != nil {
+	if err := runMain(os.Args[1:], os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "hmscs-analyze:", err)
 		os.Exit(1)
 	}
 }
 
-func run(args []string, out io.Writer) error {
+func runMain(args []string, out io.Writer) error {
+	spec, err := cli.PreloadSpec(args, run.KindAnalyze)
+	if err != nil {
+		return err
+	}
 	fs := flag.NewFlagSet("hmscs-analyze", flag.ContinueOnError)
-	var sys cli.SystemFlags
-	sys.Register(fs)
-	mva := fs.Bool("mva", false, "also solve the exact closed-network MVA cross-check")
-	verbose := fs.Bool("v", false, "print per-centre metrics")
-	seed := fs.Uint64("seed", 1, "random seed for the -precision simulation check")
-	var arrivalFlags cli.ArrivalFlags
-	arrivalFlags.Register(fs)
-	var precision, confidence float64
-	var maxReps int
-	cli.RegisterPrecision(fs, &precision, &confidence, &maxReps)
+	var xf cli.ExperimentFlags
+	xf.Register(fs)
+	cli.BindSystem(fs, spec.System)
+	cli.BindArrival(fs, spec.Workload)
+	cli.BindPrecision(fs, spec.Precision)
+	fs.BoolVar(&spec.Analyze.MVA, "mva", spec.Analyze.MVA, "also solve the exact closed-network MVA cross-check")
+	fs.BoolVar(&spec.Analyze.Verbose, "v", spec.Analyze.Verbose, "print per-centre metrics")
+	fs.Uint64Var(&spec.Run.Seed, "seed", spec.Run.Seed, "random seed for the -precision simulation check")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	prec, err := cli.BuildPrecision(precision, confidence, maxReps)
+	ctx, cancel := xf.Context()
+	defer cancel()
+	sinks, closeSinks, err := xf.Sinks(out)
 	if err != nil {
 		return err
 	}
-	arrival, err := arrivalFlags.Build()
-	if err != nil {
-		return err
+	_, err = run.Run(ctx, spec, run.Options{Sinks: sinks})
+	if cerr := closeSinks(); err == nil {
+		err = cerr
 	}
-	cfg, err := sys.Build()
-	if err != nil {
-		return err
-	}
-	// A finite non-Poisson interarrival SCV selects the Allen–Cunneen
-	// G/G/1 correction; Poisson (and infinite-variance heavy tails, which
-	// admit no finite correction) evaluates the paper's M/M/1 model.
-	scv := arrival.SCV()
-	var res *analytic.Result
-	if scv != 1 && !math.IsInf(scv, 1) && !math.IsNaN(scv) {
-		res, err = analytic.AnalyzeArrival(cfg, scv)
-	} else {
-		res, err = analytic.Analyze(cfg)
-	}
-	if err != nil {
-		return err
-	}
-	fmt.Fprintln(out, cfg.String())
-	rows := [][2]string{
-		{"mean message latency", cli.Ms(res.MeanLatency)},
-		{"arrival process", fmt.Sprintf("%s (interarrival SCV %.3g)", arrival.Name(), scv)},
-		{"out-of-cluster probability P", fmt.Sprintf("%.4f", res.P)},
-		{"effective-rate scale (eq. 7)", fmt.Sprintf("%.4f", res.Scale)},
-		{"blocked processors L (eq. 6)", fmt.Sprintf("%.2f", res.TotalWaiting)},
-		{"saturated at raw rates", fmt.Sprintf("%v", res.Saturated)},
-	}
-	b := res.Bottleneck()
-	rows = append(rows, [2]string{"bottleneck centre",
-		fmt.Sprintf("%v[%d] at utilisation %.3f", b.Kind, b.Cluster, b.Rho)})
-	fmt.Fprint(out, report.Table("analytical model (paper eq. 1-21)", rows))
-
-	if *verbose {
-		fmt.Fprintln(out, "per-centre metrics:")
-		for _, c := range res.Centers {
-			fmt.Fprintf(out, "  %-9s cluster=%-3d lambda=%10.1f/s  mu=%10.1f/s  rho=%.3f  W=%s\n",
-				c.Kind, c.Cluster, c.Lambda, c.Mu, c.Rho, cli.Ms(c.W))
-		}
-	}
-
-	if *mva {
-		m, err := analytic.AnalyzeMVA(cfg)
-		if err != nil {
-			return err
-		}
-		fmt.Fprint(out, report.Table("exact MVA cross-check (closed network)", [][2]string{
-			{"mean message latency", cli.Ms(m.MeanLatency)},
-			{"system throughput", fmt.Sprintf("%.1f msg/s", m.Throughput)},
-			{"effective per-processor rate", fmt.Sprintf("%.2f msg/s", m.EffectiveLambda)},
-			{"bottleneck utilisation", fmt.Sprintf("%.3f", m.BottleneckUtilization)},
-		}))
-	}
-
-	if prec != nil {
-		// Validate the prediction by simulation, adaptively extending the
-		// replication set until the estimate is tight enough to judge.
-		opts := sim.DefaultOptions()
-		opts.Seed = *seed
-		opts.Arrival = arrival
-		simRes, err := sim.RunPrecision(cfg, opts, *prec, 0)
-		if err != nil {
-			return err
-		}
-		e := simRes.Estimate
-		rel := stats.RelError(res.MeanLatency, e.Mean)
-		rows := [][2]string{
-			{"simulated latency", fmt.Sprintf("%s ± %s (%.0f%% CI, %d adaptive reps)",
-				cli.Ms(e.Mean), cli.Ms(e.HalfWidth), e.Confidence*100, e.Reps)},
-			{"model relative error", fmt.Sprintf("%.1f%%", rel*100)},
-			{"model inside CI", fmt.Sprintf("%v", math.Abs(res.MeanLatency-e.Mean) <= e.HalfWidth)},
-		}
-		if !e.Converged {
-			rows = append(rows, [2]string{"warning",
-				fmt.Sprintf("precision target not met within -max-reps %d", prec.MaxReps)})
-		}
-		fmt.Fprint(out, report.Table("simulation check (adaptive stopping)", rows))
-	}
-	return nil
+	return err
 }

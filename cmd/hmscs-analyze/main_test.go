@@ -8,7 +8,7 @@ import (
 
 func TestRunDefaults(t *testing.T) {
 	var out bytes.Buffer
-	if err := run(nil, &out); err != nil {
+	if err := runMain(nil, &out); err != nil {
 		t.Fatal(err)
 	}
 	for _, frag := range []string{"mean message latency", "out-of-cluster probability", "bottleneck centre"} {
@@ -20,7 +20,7 @@ func TestRunDefaults(t *testing.T) {
 
 func TestRunVerboseAndMVA(t *testing.T) {
 	var out bytes.Buffer
-	if err := run([]string{"-clusters", "4", "-v", "-mva"}, &out); err != nil {
+	if err := runMain([]string{"-clusters", "4", "-v", "-mva"}, &out); err != nil {
 		t.Fatal(err)
 	}
 	s := out.String()
@@ -37,7 +37,7 @@ func TestRunVerboseAndMVA(t *testing.T) {
 
 func TestRunCustomTechnologies(t *testing.T) {
 	var out bytes.Buffer
-	if err := run([]string{"-icn1", "Myrinet", "-ecn", "IB", "-clusters", "8", "-lambda", "50"}, &out); err != nil {
+	if err := runMain([]string{"-icn1", "Myrinet", "-ecn", "IB", "-clusters", "8", "-lambda", "50"}, &out); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(out.String(), "Myrinet") {
@@ -47,7 +47,7 @@ func TestRunCustomTechnologies(t *testing.T) {
 
 func TestRunBlocking(t *testing.T) {
 	var out bytes.Buffer
-	if err := run([]string{"-arch", "blocking", "-clusters", "8", "-msg", "512"}, &out); err != nil {
+	if err := runMain([]string{"-arch", "blocking", "-clusters", "8", "-msg", "512"}, &out); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(out.String(), "blocking") {
@@ -63,7 +63,7 @@ func TestRunErrors(t *testing.T) {
 		{"-case", "9"},
 		{"-unknownflag"},
 	} {
-		if err := run(args, &out); err == nil {
+		if err := runMain(args, &out); err == nil {
 			t.Errorf("args %v accepted", args)
 		}
 	}

@@ -5,12 +5,17 @@
 // series. It also produces the derived outputs: the blocking/non-blocking
 // latency ratio claim and the model-accuracy ablations.
 //
+// It is a thin shell over the unified experiment API (internal/run): the
+// flags build a "figure" experiment spec, or load one with -spec and
+// override its fields with any explicitly-set flags.
+//
 // Examples:
 //
 //	hmscs-figures -what all            # everything, full paper procedure
 //	hmscs-figures -what fig4 -format plot
 //	hmscs-figures -what ratio -fast    # analytic-only, instant
 //	hmscs-figures -what fig4 -arrival mmpp -burst-ratio 10   # bursty variant
+//	hmscs-figures -spec experiment.json -emit run.jsonl
 package main
 
 import (
@@ -18,319 +23,48 @@ import (
 	"fmt"
 	"io"
 	"os"
-	"strings"
 
-	"hmscs/internal/analytic"
 	"hmscs/internal/cli"
-	"hmscs/internal/core"
-	"hmscs/internal/network"
-	"hmscs/internal/report"
-	"hmscs/internal/rng"
-	"hmscs/internal/sim"
-	"hmscs/internal/sweep"
+	"hmscs/internal/run"
 )
 
 func main() {
-	if err := run(os.Args[1:], os.Stdout); err != nil {
+	if err := runMain(os.Args[1:], os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "hmscs-figures:", err)
 		os.Exit(1)
 	}
 }
 
-func run(args []string, out io.Writer) error {
+func runMain(args []string, out io.Writer) error {
+	spec, err := cli.PreloadSpec(args, run.KindFigure)
+	if err != nil {
+		return err
+	}
 	fs := flag.NewFlagSet("hmscs-figures", flag.ContinueOnError)
-	what := fs.String("what", "all", "what to produce: tables, fig4, fig5, fig6, fig7, ratio, ablation, future, all")
-	format := fs.String("format", "table", "output format for figures: table, csv, plot, all")
-	fast := fs.Bool("fast", false, "skip simulation (analytic series only)")
-	reps := fs.Int("reps", 3, "simulation replications per point")
-	messages := fs.Int("messages", 10000, "measured messages per replication (paper: 10000)")
-	seed := fs.Uint64("seed", 1, "base random seed")
-	parallel := fs.Int("parallel", 0, "concurrent simulation workers (0 = all cores, 1 = sequential); results are identical for every value")
-	var arrivalFlags cli.ArrivalFlags
-	arrivalFlags.Register(fs)
-	var precision, confidence float64
-	var maxReps int
-	cli.RegisterPrecision(fs, &precision, &confidence, &maxReps)
+	var xf cli.ExperimentFlags
+	var parallel int
+	xf.Register(fs)
+	fs.StringVar(&spec.Figure.What, "what", spec.Figure.What, "what to produce: tables, fig4, fig5, fig6, fig7, ratio, ablation, future, all")
+	fs.StringVar(&spec.Figure.Format, "format", spec.Figure.Format, "output format for figures: table, csv, plot, all")
+	fs.BoolVar(&spec.Figure.Fast, "fast", spec.Figure.Fast, "skip simulation (analytic series only)")
+	fs.IntVar(&spec.Run.Reps, "reps", spec.Run.Reps, "simulation replications per point")
+	fs.IntVar(&spec.Run.Messages, "messages", spec.Run.Messages, "measured messages per replication (paper: 10000)")
+	fs.Uint64Var(&spec.Run.Seed, "seed", spec.Run.Seed, "base random seed")
+	cli.BindParallel(fs, &parallel)
+	cli.BindArrival(fs, spec.Workload)
+	cli.BindPrecision(fs, spec.Precision)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	prec, err := cli.BuildPrecision(precision, confidence, maxReps)
+	ctx, cancel := xf.Context()
+	defer cancel()
+	sinks, closeSinks, err := xf.Sinks(out)
 	if err != nil {
 		return err
 	}
-	arrival, err := arrivalFlags.Build()
-	if err != nil {
-		return err
+	_, err = run.Run(ctx, spec, run.Options{Parallelism: parallel, Sinks: sinks})
+	if cerr := closeSinks(); err == nil {
+		err = cerr
 	}
-
-	opts := sweep.DefaultOptions()
-	opts.Replications = *reps
-	opts.Sim.MeasuredMessages = *messages
-	opts.Sim.Seed = *seed
-	opts.Sim.Arrival = arrival
-	opts.SkipSimulation = *fast
-	opts.Parallelism = *parallel
-	opts.Precision = prec
-
-	selected := strings.Split(*what, ",")
-	want := func(key string) bool {
-		for _, s := range selected {
-			if s == key || s == "all" {
-				return true
-			}
-		}
-		return false
-	}
-
-	if want("tables") {
-		printTables(out)
-	}
-	// Batch every requested figure into one orchestrator call so all their
-	// (point × replication) units share the worker pool.
-	var figNums []int
-	var specs []sweep.FigureSpec
-	for n := 4; n <= 7; n++ {
-		if !want(fmt.Sprintf("fig%d", n)) && !want("ratio") {
-			continue
-		}
-		spec, err := sweep.PaperFigure(n)
-		if err != nil {
-			return err
-		}
-		figNums = append(figNums, n)
-		specs = append(specs, spec)
-	}
-	figResults, err := sweep.RunFigures(specs, opts)
-	if err != nil {
-		return err
-	}
-	results := map[int]*sweep.FigureResult{}
-	for i, n := range figNums {
-		results[n] = figResults[i]
-		if want(fmt.Sprintf("fig%d", n)) {
-			emitFigure(out, figResults[i], *format, *fast)
-		}
-	}
-	if want("ratio") {
-		if err := printRatios(out, results, *fast); err != nil {
-			return err
-		}
-	}
-	if want("ablation") {
-		if err := printAblation(out, opts); err != nil {
-			return err
-		}
-	}
-	if want("future") {
-		if err := printFutureWork(out, opts); err != nil {
-			return err
-		}
-	}
-	return nil
-}
-
-// printFutureWork evaluates the paper's stated future work — heterogeneous
-// Cluster-of-Clusters systems — comparing the generalised open model, the
-// multiclass closed model, and simulation on an LLNL-style conglomerate of
-// four unequal clusters.
-func printFutureWork(out io.Writer, opts sweep.Options) error {
-	cfg := &core.Config{
-		Clusters: []core.Cluster{
-			{Nodes: 128, Lambda: 100, ICN1: network.GigabitEthernet, ECN1: network.FastEthernet},
-			{Nodes: 64, Lambda: 150, ICN1: network.GigabitEthernet, ECN1: network.FastEthernet},
-			{Nodes: 48, Lambda: 200, ICN1: network.Myrinet, ECN1: network.FastEthernet},
-			{Nodes: 16, Lambda: 400, ICN1: network.FastEthernet, ECN1: network.FastEthernet},
-		},
-		ICN2:         network.FastEthernet,
-		Arch:         network.NonBlocking,
-		Switch:       network.PaperSwitch,
-		MessageBytes: 1024,
-	}
-	fmt.Fprintln(out, "### Future work — heterogeneous Cluster-of-Clusters (128/64/48/16 nodes)")
-	openModel, err := analytic.Analyze(cfg)
-	if err != nil {
-		return err
-	}
-	multi, err := analytic.AnalyzeMulticlass(cfg)
-	if err != nil {
-		return err
-	}
-	fmt.Fprintln(out, "| estimator | latency (ms) |")
-	fmt.Fprintln(out, "|---|---:|")
-	fmt.Fprintf(out, "| generalised open model (eq. 1-15 heterogeneous) | %.3f |\n", openModel.MeanLatency*1e3)
-	fmt.Fprintf(out, "| multiclass closed model (one class per cluster) | %.3f |\n", multi.MeanResponse()*1e3)
-	if !opts.SkipSimulation {
-		if opts.Precision != nil {
-			res, err := sim.RunPrecision(cfg, opts.Sim, *opts.Precision, opts.Parallelism)
-			if err != nil {
-				return err
-			}
-			fmt.Fprintf(out, "| simulation (%d adaptive reps) | %.3f ± %.3f |\n",
-				res.Estimate.Reps, res.Estimate.Mean*1e3, res.Estimate.HalfWidth*1e3)
-		} else {
-			agg, err := sim.RunReplicationsN(cfg, opts.Sim, opts.Replications, opts.Parallelism)
-			if err != nil {
-				return err
-			}
-			fmt.Fprintf(out, "| simulation (%d reps) | %.3f ± %.3f |\n",
-				opts.Replications, agg.MeanLatency*1e3, agg.CI95*1e3)
-		}
-	}
-	fmt.Fprintln(out)
-	return nil
-}
-
-func printTables(out io.Writer) {
-	fmt.Fprintln(out, "### Table 1 — Two Scenarios of Communication Networks")
-	fmt.Fprintln(out, "| Case | ICN1 | ECN1 and ICN2 |")
-	fmt.Fprintln(out, "|---|---|---|")
-	for _, s := range []core.Scenario{core.Case1, core.Case2} {
-		icn1, ecn, err := s.Technologies()
-		if err != nil {
-			panic(err) // both cases are statically valid
-		}
-		fmt.Fprintf(out, "| %s | %s | %s |\n", s, icn1.Name, ecn.Name)
-	}
-	fmt.Fprintln(out)
-	fmt.Fprintln(out, "### Table 2 — Model Parameters")
-	fmt.Fprintln(out, "| Item | Quantity | Unit |")
-	fmt.Fprintln(out, "|---|---:|---|")
-	ge, fe := network.GigabitEthernet, network.FastEthernet
-	fmt.Fprintf(out, "| GE Latency | %.0f | µs |\n", ge.Latency*1e6)
-	fmt.Fprintf(out, "| GE Bandwidth | %.0f | MB/s |\n", ge.Bandwidth/1e6)
-	fmt.Fprintf(out, "| FE Latency | %.0f | µs |\n", fe.Latency*1e6)
-	fmt.Fprintf(out, "| FE Bandwidth | %.1f | MB/s |\n", fe.Bandwidth/1e6)
-	fmt.Fprintf(out, "| # of Ports in Switch Fabric (Pr) | %d | Port |\n", network.PaperSwitch.Ports)
-	fmt.Fprintf(out, "| Switch Latency | %.0f | µs |\n", network.PaperSwitch.Latency*1e6)
-	fmt.Fprintf(out, "| Msg. Generation rate (λ) | %.2f | /ms (see DESIGN.md §2) |\n", core.PaperLambda/1e3)
-	fmt.Fprintln(out)
-}
-
-func emitFigure(out io.Writer, res *sweep.FigureResult, format string, fast bool) {
-	if format == "table" || format == "all" {
-		fmt.Fprintln(out, report.FigureMarkdown(res))
-		if stats := report.StatsMarkdown(res); stats != "" {
-			fmt.Fprintln(out, stats)
-		}
-	}
-	if format == "csv" || format == "all" {
-		fmt.Fprintln(out, report.FigureCSV(res))
-	}
-	if format == "plot" || format == "all" {
-		fmt.Fprintln(out, report.ASCIIPlot(res, 72, 24))
-	}
-	if !fast {
-		for _, s := range res.Series {
-			vs := s.ValidationSeries(fmt.Sprintf("%s M=%d", res.Spec.Name, s.MsgSize))
-			if mape, err := vs.MAPE(); err == nil {
-				fmt.Fprintf(out, "model-vs-simulation MAPE (%s, M=%d): %.1f%%\n",
-					res.Spec.Name, s.MsgSize, mape*100)
-			}
-		}
-		fmt.Fprintln(out)
-	}
-}
-
-// printRatios reports the paper's §6 claim that blocking latency is 1.4x to
-// 3.1x the non-blocking latency, per scenario and message size.
-func printRatios(out io.Writer, results map[int]*sweep.FigureResult, fast bool) error {
-	pairs := []struct {
-		blocking, nonBlocking int
-		label                 string
-	}{
-		{6, 4, "Case-1"},
-		{7, 5, "Case-2"},
-	}
-	fmt.Fprintln(out, "### Blocking / non-blocking latency ratio (paper claims 1.4x-3.1x)")
-	for _, p := range pairs {
-		bl, okB := results[p.blocking]
-		nb, okN := results[p.nonBlocking]
-		if !okB || !okN {
-			return fmt.Errorf("ratio needs figures %d and %d; rerun with -what all", p.blocking, p.nonBlocking)
-		}
-		for si := range bl.Series {
-			var ratios []float64
-			for i := range bl.Series[si].Clusters {
-				num, den := bl.Series[si].Simulated[i], nb.Series[si].Simulated[i]
-				if fast {
-					num, den = bl.Series[si].Analytic[i], nb.Series[si].Analytic[i]
-				}
-				if den > 0 {
-					ratios = append(ratios, num/den)
-				}
-			}
-			lo, hi := minMax(ratios)
-			fmt.Fprintf(out, "  %s M=%d: ratio range %.1fx .. %.1fx across C=%v\n",
-				p.label, bl.Series[si].MsgSize, lo, hi, bl.Series[si].Clusters)
-		}
-	}
-	fmt.Fprintln(out)
-	return nil
-}
-
-func minMax(xs []float64) (lo, hi float64) {
-	if len(xs) == 0 {
-		return 0, 0
-	}
-	lo, hi = xs[0], xs[0]
-	for _, x := range xs[1:] {
-		if x < lo {
-			lo = x
-		}
-		if x > hi {
-			hi = x
-		}
-	}
-	return lo, hi
-}
-
-// printAblation compares the paper's effective-rate iteration against exact
-// MVA and simulation, and quantifies the service-distribution and
-// source-blocking assumptions.
-func printAblation(out io.Writer, opts sweep.Options) error {
-	fmt.Fprintln(out, "### Ablation — model variants on the Figure-4 platform (Case 1, non-blocking, M=1024)")
-	fmt.Fprintln(out, "| C | paper iteration (ms) | exact MVA (ms) | sim exp (ms) | sim det (ms) | sim open-loop (ms) |")
-	fmt.Fprintln(out, "|---:|---:|---:|---:|---:|---:|")
-	for _, c := range []int{2, 8, 32, 128} {
-		cfg, err := core.PaperConfig(core.Case1, c, 1024, network.NonBlocking)
-		if err != nil {
-			return err
-		}
-		open, err := analytic.Analyze(cfg)
-		if err != nil {
-			return err
-		}
-		mva, err := analytic.AnalyzeMVA(cfg)
-		if err != nil {
-			return err
-		}
-		row := fmt.Sprintf("| %d | %.3f | %.3f |", c, open.MeanLatency*1e3, mva.MeanLatency*1e3)
-		if opts.SkipSimulation {
-			row += " - | - | - |"
-		} else {
-			simExp, err := sim.RunReplicationsN(cfg, opts.Sim, opts.Replications, opts.Parallelism)
-			if err != nil {
-				return err
-			}
-			detOpts := opts.Sim
-			detOpts.ServiceDist = rng.Deterministic{Value: 1}
-			simDet, err := sim.RunReplicationsN(cfg, detOpts, opts.Replications, opts.Parallelism)
-			if err != nil {
-				return err
-			}
-			openOpts := opts.Sim
-			openOpts.OpenLoop = true
-			// Open-loop saturation has unbounded queues; cap the run time.
-			openOpts.MaxSimTime = 120
-			simOpen, err := sim.RunReplicationsN(cfg, openOpts, opts.Replications, opts.Parallelism)
-			if err != nil {
-				return err
-			}
-			row += fmt.Sprintf(" %.3f | %.3f | %.3f |",
-				simExp.MeanLatency*1e3, simDet.MeanLatency*1e3, simOpen.MeanLatency*1e3)
-		}
-		fmt.Fprintln(out, row)
-	}
-	fmt.Fprintln(out)
-	return nil
+	return err
 }

@@ -8,7 +8,7 @@ import (
 
 func TestFiguresTables(t *testing.T) {
 	var out bytes.Buffer
-	if err := run([]string{"-what", "tables"}, &out); err != nil {
+	if err := runMain([]string{"-what", "tables"}, &out); err != nil {
 		t.Fatal(err)
 	}
 	s := out.String()
@@ -21,7 +21,7 @@ func TestFiguresTables(t *testing.T) {
 
 func TestFiguresFastSingleFigure(t *testing.T) {
 	var out bytes.Buffer
-	if err := run([]string{"-what", "fig5", "-fast", "-format", "table"}, &out); err != nil {
+	if err := runMain([]string{"-what", "fig5", "-fast", "-format", "table"}, &out); err != nil {
 		t.Fatal(err)
 	}
 	s := out.String()
@@ -38,14 +38,14 @@ func TestFiguresFastSingleFigure(t *testing.T) {
 
 func TestFiguresFastPlotAndCSV(t *testing.T) {
 	var out bytes.Buffer
-	if err := run([]string{"-what", "fig6", "-fast", "-format", "plot"}, &out); err != nil {
+	if err := runMain([]string{"-what", "fig6", "-fast", "-format", "plot"}, &out); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(out.String(), "legend:") {
 		t.Error("plot legend missing")
 	}
 	out.Reset()
-	if err := run([]string{"-what", "fig7", "-fast", "-format", "csv"}, &out); err != nil {
+	if err := runMain([]string{"-what", "fig7", "-fast", "-format", "csv"}, &out); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(out.String(), "figure,scenario,arch") {
@@ -55,7 +55,7 @@ func TestFiguresFastPlotAndCSV(t *testing.T) {
 
 func TestFiguresRatioFast(t *testing.T) {
 	var out bytes.Buffer
-	if err := run([]string{"-what", "ratio", "-fast"}, &out); err != nil {
+	if err := runMain([]string{"-what", "ratio", "-fast"}, &out); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(out.String(), "ratio range") {
@@ -65,7 +65,7 @@ func TestFiguresRatioFast(t *testing.T) {
 
 func TestFiguresAblationFast(t *testing.T) {
 	var out bytes.Buffer
-	if err := run([]string{"-what", "ablation", "-fast"}, &out); err != nil {
+	if err := runMain([]string{"-what", "ablation", "-fast"}, &out); err != nil {
 		t.Fatal(err)
 	}
 	s := out.String()
@@ -79,7 +79,7 @@ func TestFiguresAblationFast(t *testing.T) {
 
 func TestFiguresWithSimulationReduced(t *testing.T) {
 	var out bytes.Buffer
-	err := run([]string{"-what", "fig4", "-reps", "1", "-messages", "800"}, &out)
+	err := runMain([]string{"-what", "fig4", "-reps", "1", "-messages", "800"}, &out)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -90,13 +90,13 @@ func TestFiguresWithSimulationReduced(t *testing.T) {
 
 func TestFiguresBadFlags(t *testing.T) {
 	var out bytes.Buffer
-	if err := run([]string{"-bogus"}, &out); err == nil {
+	if err := runMain([]string{"-bogus"}, &out); err == nil {
 		t.Error("bad flag accepted")
 	}
 	// Unknown -what silently produces nothing but is not an error; check
 	// that at least no output is produced.
 	out.Reset()
-	if err := run([]string{"-what", "fig9"}, &out); err != nil {
+	if err := runMain([]string{"-what", "fig9"}, &out); err != nil {
 		t.Fatalf("unexpected error: %v", err)
 	}
 	if out.Len() != 0 {
@@ -106,7 +106,7 @@ func TestFiguresBadFlags(t *testing.T) {
 
 func TestFiguresFutureWork(t *testing.T) {
 	var out bytes.Buffer
-	if err := run([]string{"-what", "future", "-reps", "1", "-messages", "1500"}, &out); err != nil {
+	if err := runMain([]string{"-what", "future", "-reps", "1", "-messages", "1500"}, &out); err != nil {
 		t.Fatal(err)
 	}
 	s := out.String()
@@ -116,7 +116,7 @@ func TestFiguresFutureWork(t *testing.T) {
 		}
 	}
 	out.Reset()
-	if err := run([]string{"-what", "future", "-fast"}, &out); err != nil {
+	if err := runMain([]string{"-what", "future", "-fast"}, &out); err != nil {
 		t.Fatal(err)
 	}
 	if strings.Contains(out.String(), "simulation (") {

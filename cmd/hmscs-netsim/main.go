@@ -7,6 +7,10 @@
 // workload generator (arrival × pattern × size, DESIGN.md §6), so every
 // arrival process and destination pattern of hmscs-sim also runs here.
 //
+// It is a thin shell over the unified experiment API (internal/run): the
+// flags build a "netsim" experiment spec, or load one with -spec and
+// override its fields with any explicitly-set flags.
+//
 // Examples:
 //
 //	hmscs-netsim -topo fat-tree -n 32 -ports 8 -lambda 20000 -msg 1024
@@ -15,7 +19,8 @@
 //	hmscs-netsim -n 32 -pattern hotspot:0.3 -precision 0.05
 //	hmscs-netsim -config plan.json -net icn2   # a system's second stage at
 //	                                           # its own offered load (e.g.
-//	                                           # emitted by hmscs-plan -emit)
+//	                                           # emitted by hmscs-plan
+//	                                           # -emit-configs)
 package main
 
 import (
@@ -25,155 +30,44 @@ import (
 	"os"
 
 	"hmscs/internal/cli"
-	"hmscs/internal/netsim"
-	"hmscs/internal/network"
-	"hmscs/internal/output"
-	"hmscs/internal/queueing"
-	"hmscs/internal/report"
-	"hmscs/internal/sim"
+	"hmscs/internal/run"
 )
 
 func main() {
-	if err := run(os.Args[1:], os.Stdout); err != nil {
+	if err := runMain(os.Args[1:], os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "hmscs-netsim:", err)
 		os.Exit(1)
 	}
 }
 
-func run(args []string, out io.Writer) error {
+func runMain(args []string, out io.Writer) error {
+	spec, err := cli.PreloadSpec(args, run.KindNetsim)
+	if err != nil {
+		return err
+	}
 	fs := flag.NewFlagSet("hmscs-netsim", flag.ContinueOnError)
-	var nf cli.NetFlags
-	nf.Register(fs)
+	var xf cli.ExperimentFlags
+	xf.Register(fs)
+	cli.BindNet(fs, spec.Net)
+	cli.BindArrival(fs, spec.Workload)
+	cli.BindPrecision(fs, spec.Precision)
+	fs.IntVar(&spec.Run.Messages, "messages", spec.Run.Messages, "measured messages")
+	fs.IntVar(&spec.Run.Warmup, "warmup", spec.Run.Warmup, "warm-up messages")
+	fs.Uint64Var(&spec.Run.Seed, "seed", spec.Run.Seed, "random seed")
+	fs.StringVar(&spec.Workload.Service, "service", spec.Workload.Service, "per-link service distribution: det or exp")
+	fs.StringVar(&spec.Workload.Pattern, "pattern", spec.Workload.Pattern, "traffic pattern: uniform, local:<p>, hotspot:<p> (switches act as clusters)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	prec, err := nf.PrecisionSpec()
+	ctx, cancel := xf.Context()
+	defer cancel()
+	sinks, closeSinks, err := xf.Sinks(out)
 	if err != nil {
 		return err
 	}
-	exp, err := nf.Build()
-	if err != nil {
-		return err
+	_, err = run.Run(ctx, spec, run.Options{Sinks: sinks})
+	if cerr := closeSinks(); err == nil {
+		err = cerr
 	}
-	build, baseOpts := exp.Build, exp.Opts
-
-	fmt.Fprintf(out, "%s: %d endpoints, %d-port switches, %s, λ=%.6g msg/s, M=%dB, %s arrivals\n",
-		nf.Topo, nf.N, nf.Ports, exp.Tech.Name, nf.Lambda, nf.Msg,
-		baseOpts.Workload.Arrival.Name())
-
-	var res *netsim.Result
-	var net *netsim.Network
-	var rows [][2]string
-	if prec != nil {
-		var est sim.Estimate
-		net, res, est, err = runPrecision(build, baseOpts, *prec)
-		if err != nil {
-			return err
-		}
-		rows = [][2]string{
-			{"mean end-to-end latency", cli.Ms(est.Mean)},
-			{fmt.Sprintf("latency %.0f%% CI half-width", est.Confidence*100),
-				fmt.Sprintf("%s (±%.2f%%)", cli.Ms(est.HalfWidth), est.RelHalfWidth()*100)},
-			{"replications used", fmt.Sprintf("%d (adaptive, target ±%.2g%%)", est.Reps, prec.RelWidth*100)},
-			{"effective sample size", fmt.Sprintf("%.0f", est.ESS)},
-		}
-		if !est.Converged {
-			rows = append(rows, [2]string{"warning",
-				fmt.Sprintf("precision target not met within -max-reps %d", prec.MaxReps)})
-		}
-	} else {
-		net, err = build(nf.Seed)
-		if err != nil {
-			return err
-		}
-		res, err = net.Run(baseOpts)
-		if err != nil {
-			return err
-		}
-		rows = [][2]string{
-			{"mean end-to-end latency", cli.Ms(res.Latency.Mean())},
-			{"latency 95% CI (per-msg)", cli.Ms(res.Latency.CI(0.95))},
-		}
-	}
-	rows = append(rows,
-		[2]string{"mean switches traversed", fmt.Sprintf("%.3f", res.SwitchHops.Mean())},
-		[2]string{"throughput", fmt.Sprintf("%.1f msg/s", res.Throughput)},
-		[2]string{"max host-link utilisation", fmt.Sprintf("%.3f", res.MaxHostLinkUtil)},
-		[2]string{"max fabric-link utilisation", fmt.Sprintf("%.3f", res.MaxInterSwitchUtil)},
-		[2]string{"contention-free reference", cli.Ms(net.ContentionFreeLatency(nf.Msg))},
-	)
-	if res.TimedOut {
-		rows = append(rows, [2]string{"warning", "run hit the time limit"})
-	}
-	fmt.Fprint(out, report.Table("switch-level simulation", rows))
-
-	// The single-server abstraction the paper uses for this network, for
-	// comparison: an M/M/1 with the eq. 11/21 service time fed by the
-	// realised throughput.
-	arch := network.NonBlocking
-	if nf.Topo == "linear-array" {
-		arch = network.Blocking
-	}
-	model, err := network.NewModel(exp.Tech, arch, exp.Switch, nf.N)
-	if err != nil {
-		return err
-	}
-	st, err := queueing.NewMM1(res.Throughput, model.ServiceRate(nf.Msg))
-	if err != nil {
-		return err
-	}
-	w, errW := st.W()
-	abstraction := "unstable at this throughput"
-	if errW == nil {
-		abstraction = cli.Ms(w)
-	}
-	fmt.Fprint(out, report.Table("paper's single-server abstraction (same offered throughput)", [][2]string{
-		{"eq. 11/21 service time", cli.Ms(model.MeanServiceTime(nf.Msg))},
-		{"M/M/1 sojourn at measured throughput", abstraction},
-	}))
-	return nil
-}
-
-// runPrecision executes netsim replications under the sequential stopping
-// rule (output.RunSequential drives the schedule): each replication
-// rebuilds the network with a deterministically derived seed and runs a
-// quarter-length measurement window with MSER-5 warmup deletion in place
-// of the fixed -warmup prefix. The returned result is the last
-// replication's (for topology-level metrics such as link utilisation).
-func runPrecision(build func(uint64) (*netsim.Network, error), base netsim.Options, prec output.Precision) (*netsim.Network, *netsim.Result, output.Estimate, error) {
-	o := base
-	o.Measured = base.Measured / 4
-	if o.Measured < 500 {
-		o.Measured = 500
-	}
-	o.Warmup = 0
-	o.RecordSample = true
-	var (
-		net *netsim.Network
-		res *netsim.Result
-	)
-	est, err := output.RunSequential(prec, func(rep int) (float64, float64, error) {
-		seed := sim.ReplicationSeed(base.Seed, rep)
-		n, err := build(seed)
-		if err != nil {
-			return 0, 0, err
-		}
-		ro := o
-		ro.Seed = seed
-		r, err := n.Run(ro)
-		if err != nil {
-			return 0, 0, err
-		}
-		a, err := output.AnalyzeRun(r.Sample, prec.Confidence)
-		if err != nil {
-			return 0, 0, fmt.Errorf("replication %d analysis: %w", rep, err)
-		}
-		r.Sample = nil
-		net, res = n, r
-		return a.Mean, a.ESS, nil
-	})
-	if err != nil {
-		return nil, nil, output.Estimate{}, err
-	}
-	return net, res, est, nil
+	return err
 }

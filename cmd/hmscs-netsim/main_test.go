@@ -12,7 +12,7 @@ import (
 
 func TestRunFatTree(t *testing.T) {
 	var out bytes.Buffer
-	err := run([]string{"-topo", "fat-tree", "-n", "16", "-ports", "8",
+	err := runMain([]string{"-topo", "fat-tree", "-n", "16", "-ports", "8",
 		"-messages", "1500", "-warmup", "200", "-lambda", "5000"}, &out)
 	if err != nil {
 		t.Fatal(err)
@@ -26,7 +26,7 @@ func TestRunFatTree(t *testing.T) {
 
 func TestRunLinearArray(t *testing.T) {
 	var out bytes.Buffer
-	err := run([]string{"-topo", "linear-array", "-n", "24", "-ports", "8",
+	err := runMain([]string{"-topo", "linear-array", "-n", "24", "-ports", "8",
 		"-messages", "1000", "-warmup", "100", "-tech", "FE", "-service", "exp"}, &out)
 	if err != nil {
 		t.Fatal(err)
@@ -46,7 +46,7 @@ func TestRunErrors(t *testing.T) {
 		{"-badflag"},
 	}
 	for _, args := range cases {
-		if err := run(args, &out); err == nil {
+		if err := runMain(args, &out); err == nil {
 			t.Errorf("args %v accepted", args)
 		}
 	}
@@ -65,7 +65,7 @@ func TestRunFromPlanConfig(t *testing.T) {
 		t.Fatal(err)
 	}
 	var out bytes.Buffer
-	err = run([]string{"-config", path, "-net", "icn1", "-cluster", "2",
+	err = runMain([]string{"-config", path, "-net", "icn1", "-cluster", "2",
 		"-messages", "800", "-warmup", "100"}, &out)
 	if err != nil {
 		t.Fatal(err)
@@ -78,7 +78,7 @@ func TestRunFromPlanConfig(t *testing.T) {
 		}
 	}
 	// An empty -net value is rejected.
-	if err := run([]string{"-config", path, "-net", "lan"}, &out); err == nil {
+	if err := runMain([]string{"-config", path, "-net", "lan"}, &out); err == nil {
 		t.Error("bad -net accepted")
 	}
 }

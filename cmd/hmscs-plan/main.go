@@ -11,12 +11,16 @@
 // fixed, screening writes by candidate index, and verification derives
 // replication seeds with sim.ReplicationSeed.
 //
+// It is a thin shell over the unified experiment API (internal/run): the
+// flags build a "plan" experiment spec, or load one with -spec and
+// override its fields with any explicitly-set flags.
+//
 // Examples:
 //
 //	hmscs-plan -slo-latency 2 -top 3                  # default space, 2 ms budget
 //	hmscs-plan -slo-latency 2 -arrival mmpp -burst-ratio 10   # plan for bursty load
 //	hmscs-plan -space space.json -lambda 400 -format csv
-//	hmscs-plan -slo-latency 1.5 -emit winners/        # write deployable configs
+//	hmscs-plan -slo-latency 1.5 -emit-configs winners/  # write deployable configs
 //	hmscs-plan -print-space > space.json              # edit, then -space space.json
 package main
 
@@ -24,49 +28,49 @@ import (
 	"flag"
 	"fmt"
 	"io"
-	"math"
 	"os"
-	"path/filepath"
 
 	"hmscs/internal/cli"
-	"hmscs/internal/core"
-	"hmscs/internal/plan"
-	"hmscs/internal/report"
-	"hmscs/internal/sim"
+	"hmscs/internal/run"
 )
 
 func main() {
-	if err := run(os.Args[1:], os.Stdout); err != nil {
+	if err := runMain(os.Args[1:], os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "hmscs-plan:", err)
 		os.Exit(1)
 	}
 }
 
-func run(args []string, out io.Writer) error {
-	fs := flag.NewFlagSet("hmscs-plan", flag.ContinueOnError)
-	var pf cli.PlanFlags
-	var arrival cli.ArrivalFlags
-	pf.Register(fs)
-	arrival.Register(fs)
-	top := fs.Int("top", 3, "frontier candidates to verify by simulation (0 = screen only)")
-	seed := fs.Uint64("seed", 1, "base random seed for the verification simulations")
-	messages := fs.Int("messages", 10000, "measurement window per configuration; precision-mode replications are a quarter of this")
-	parallel := fs.Int("parallel", 0, "concurrent workers for screening and verification (0 = all cores, 1 = sequential); results are identical for every value")
-	format := fs.String("format", "md", "output format: md or csv")
-	emit := fs.String("emit", "", "directory to write each verified candidate's configuration JSON into (plan-candidate-<index>.json, runnable via -config)")
-	printSpace := fs.Bool("print-space", false, "print the design space as JSON and exit (a template for -space)")
-	var precision, confidence float64
-	var maxReps int
-	cli.RegisterPrecision(fs, &precision, &confidence, &maxReps)
-	if err := fs.Parse(args); err != nil {
-		return err
-	}
-
-	sp, err := pf.BuildSpace()
+func runMain(args []string, out io.Writer) error {
+	spec, err := cli.PreloadSpec(args, run.KindPlan)
 	if err != nil {
 		return err
 	}
+	fs := flag.NewFlagSet("hmscs-plan", flag.ContinueOnError)
+	var xf cli.ExperimentFlags
+	var parallel int
+	xf.Register(fs)
+	cli.BindPlan(fs, spec.Plan)
+	cli.BindArrival(fs, spec.Workload)
+	cli.BindPrecision(fs, spec.Precision)
+	cli.BindParallel(fs, &parallel)
+	fs.Uint64Var(&spec.Run.Seed, "seed", spec.Run.Seed, "base random seed for the verification simulations")
+	fs.IntVar(&spec.Run.Messages, "messages", spec.Run.Messages, "measurement window per configuration; precision-mode replications are a quarter of this")
+	printSpace := fs.Bool("print-space", false, "print the design space as JSON and exit (a template for -space)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	// The flag defaults already carry a valid SLO, so an explicit zero is
+	// a user error, not a request for the default — reject it here rather
+	// than letting the spec's normalization silently restore it.
+	if _, err := spec.Plan.BuildSLO(); err != nil {
+		return err
+	}
 	if *printSpace {
+		sp, err := spec.Plan.BuildSpace()
+		if err != nil {
+			return err
+		}
 		data, err := sp.MarshalJSON()
 		if err != nil {
 			return err
@@ -74,102 +78,30 @@ func run(args []string, out io.Writer) error {
 		fmt.Fprintf(out, "%s\n", data)
 		return nil
 	}
-	slo, err := pf.BuildSLO()
+	// -emit used to be this binary's config-output directory; it is now
+	// the shared JSONL stream. Catch the old spelling (a directory
+	// target) with a pointer to -emit-configs instead of silently
+	// writing an event stream where configs were expected.
+	if info, statErr := os.Stat(xf.Emit); xf.Emit != "" && statErr == nil && info.IsDir() {
+		return fmt.Errorf("-emit now streams JSONL events to a file; use -emit-configs %s to write candidate configurations", xf.Emit)
+	}
+	ctx, cancel := xf.Context()
+	defer cancel()
+	sinks, closeSinks, err := xf.Sinks(out)
 	if err != nil {
 		return err
 	}
-	cost, err := pf.BuildCost()
+	outcome, err := run.Run(ctx, spec, run.Options{Parallelism: parallel, Sinks: sinks})
+	if cerr := closeSinks(); err == nil {
+		err = cerr
+	}
 	if err != nil {
 		return err
 	}
-	arr, err := arrival.Build()
-	if err != nil {
-		return err
-	}
-	// The verification default is adaptive (±5% @ 95%); -precision only
-	// tightens or loosens it. Screen-side, a finite non-Poisson SCV plans
-	// with the G/G/1 burstiness correction, mirroring sweep.
-	if precision == 0 {
-		precision = 0.05
-	}
-	prec, err := cli.BuildPrecision(precision, confidence, maxReps)
-	if err != nil {
-		return err
-	}
-	scv := arr.SCV()
-
-	screened, err := plan.Screen(sp, slo, cost, scv, *parallel)
-	if err != nil {
-		return err
-	}
-	feasible := 0
-	for _, r := range screened {
-		if r.Feasible {
-			feasible++
-		}
-	}
-	frontier := plan.Frontier(screened)
-
-	scvNote := fmt.Sprintf("%.3g", scv)
-	if math.IsInf(scv, 1) {
-		scvNote = "+Inf (no analytic correction; screen uses the M/M/1 model)"
-	}
-	fmt.Fprintf(out, "capacity plan: %d candidates screened, %d feasible, frontier %d\n",
-		len(screened), feasible, len(frontier))
-	size := ""
-	if slo.MinNodes > 0 {
-		size = fmt.Sprintf(", >= %d processors", slo.MinNodes)
-	}
-	fmt.Fprintf(out, "SLO: mean latency <= %.3f ms, bottleneck utilisation <= %.2f%s at λ=%g msg/s/proc, M=%dB\n",
-		slo.MaxLatency*1e3, slo.MaxUtil, size, sp.Lambda, sp.MessageBytes)
-	fmt.Fprintf(out, "arrival process: %s (interarrival SCV %s)\n", arr.Name(), scvNote)
-	fmt.Fprintf(out, "cost model: %s\n\n", cost)
-
-	var verified []plan.VerifiedCandidate
-	if *top > 0 && len(frontier) > 0 {
-		opts := sim.DefaultOptions()
-		opts.Seed = *seed
-		opts.MeasuredMessages = *messages
-		opts.Arrival = arr
-		verified, err = plan.VerifyTopK(frontier, *top, slo, opts, *prec, *parallel)
-		if err != nil {
-			return err
-		}
-	}
-
-	switch *format {
-	case "md":
-		fmt.Fprint(out, report.PlanMarkdown(frontier, verified))
-		if len(verified) > 0 {
-			fmt.Fprintf(out, "\nverification: adaptive stopping to ±%.2g%% at %.0f%% confidence, max %d replications; gap = (predicted − simulated)/simulated\n",
-				prec.RelWidth*100, prec.Confidence*100, prec.MaxReps)
-		}
-	case "csv":
-		fmt.Fprint(out, report.PlanCSV(frontier, verified))
-	default:
-		return fmt.Errorf("unknown format %q (want md or csv)", *format)
-	}
-
-	if *emit != "" {
-		if err := os.MkdirAll(*emit, 0o755); err != nil {
-			return err
-		}
-		targets := verified
-		if len(targets) == 0 {
-			// Screen-only run: emit the frontier head instead.
-			for i := 0; i < len(frontier) && i < 3; i++ {
-				targets = append(targets, plan.VerifiedCandidate{ScreenResult: frontier[i]})
-			}
-		}
-		for _, v := range targets {
-			path := filepath.Join(*emit, fmt.Sprintf("plan-candidate-%d.json", v.Index))
-			if err := core.SaveConfig(v.Cfg, path); err != nil {
-				return err
-			}
-			// Progress notes go to stderr so -format csv stays parseable
-			// when stdout is redirected to a file.
-			fmt.Fprintf(os.Stderr, "wrote %s (%s)\n", path, v.Label())
-		}
+	// Progress notes go to stderr so -format csv stays parseable when
+	// stdout is redirected to a file.
+	for _, e := range outcome.Plan.Emitted {
+		fmt.Fprintf(os.Stderr, "wrote %s (%s)\n", e.Path, e.Label)
 	}
 	return nil
 }

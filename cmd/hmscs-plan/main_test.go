@@ -30,10 +30,10 @@ func planArgs(extra ...string) []string {
 // -parallel 1 and -parallel 8.
 func TestPlanParallelismBitIdentical(t *testing.T) {
 	var seq, par bytes.Buffer
-	if err := run(planArgs("-parallel", "1"), &seq); err != nil {
+	if err := runMain(planArgs("-parallel", "1"), &seq); err != nil {
 		t.Fatal(err)
 	}
-	if err := run(planArgs("-parallel", "8"), &par); err != nil {
+	if err := runMain(planArgs("-parallel", "8"), &par); err != nil {
 		t.Fatal(err)
 	}
 	if seq.String() != par.String() {
@@ -58,7 +58,7 @@ func TestPlanParallelismBitIdentical(t *testing.T) {
 func TestPlanCSVAndEmit(t *testing.T) {
 	dir := t.TempDir()
 	var out bytes.Buffer
-	if err := run(planArgs("-format", "csv", "-emit", dir), &out); err != nil {
+	if err := runMain(planArgs("-format", "csv", "-emit-configs", dir), &out); err != nil {
 		t.Fatal(err)
 	}
 	s := out.String()
@@ -88,7 +88,7 @@ func TestPlanCSVAndEmit(t *testing.T) {
 
 func TestPlanPrintSpaceRoundTrips(t *testing.T) {
 	var out bytes.Buffer
-	if err := run([]string{"-print-space"}, &out); err != nil {
+	if err := runMain([]string{"-print-space"}, &out); err != nil {
 		t.Fatal(err)
 	}
 	var sp plan.Space
@@ -101,7 +101,7 @@ func TestPlanPrintSpaceRoundTrips(t *testing.T) {
 		t.Fatal(err)
 	}
 	out.Reset()
-	if err := run([]string{"-space", path, "-top", "0"}, &out); err != nil {
+	if err := runMain([]string{"-space", path, "-top", "0"}, &out); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(out.String(), "candidates screened") {
@@ -112,10 +112,10 @@ func TestPlanPrintSpaceRoundTrips(t *testing.T) {
 func TestPlanMMPPShiftsFrontier(t *testing.T) {
 	var poisson, mmpp bytes.Buffer
 	base := []string{"-slo-latency", "2", "-min-nodes", "64", "-lambda", "100", "-top", "0"}
-	if err := run(base, &poisson); err != nil {
+	if err := runMain(base, &poisson); err != nil {
 		t.Fatal(err)
 	}
-	if err := run(append(base, "-arrival", "mmpp", "-burst-ratio", "10"), &mmpp); err != nil {
+	if err := runMain(append(base, "-arrival", "mmpp", "-burst-ratio", "10"), &mmpp); err != nil {
 		t.Fatal(err)
 	}
 	if poisson.String() == mmpp.String() {
@@ -155,7 +155,7 @@ func TestPlanBadFlags(t *testing.T) {
 	}
 	for _, args := range cases {
 		var out bytes.Buffer
-		if err := run(args, &out); err == nil {
+		if err := runMain(args, &out); err == nil {
 			t.Errorf("args %v accepted", args)
 		}
 	}
@@ -166,7 +166,7 @@ func TestPlanInfeasibleSpaceReportsEmptyFrontier(t *testing.T) {
 	// λ=250 with >= 256 processors: the shared ICN2 cannot carry the
 	// cross-cluster traffic with any technology in the default space — the
 	// planner must say so rather than error or emit NaNs.
-	if err := run([]string{"-slo-latency", "2", "-min-nodes", "256", "-top", "3"}, &out); err != nil {
+	if err := runMain([]string{"-slo-latency", "2", "-min-nodes", "256", "-top", "3"}, &out); err != nil {
 		t.Fatal(err)
 	}
 	s := out.String()
@@ -187,7 +187,7 @@ func TestMainSmoke(t *testing.T) {
 		t.Fatal(err)
 	}
 	var out bytes.Buffer
-	err := run([]string{"-space", path, "-top", "1", "-messages", "1000", "-max-reps", "4"}, &out)
+	err := runMain([]string{"-space", path, "-top", "1", "-messages", "1000", "-max-reps", "4"}, &out)
 	if err != nil {
 		t.Fatal(err)
 	}

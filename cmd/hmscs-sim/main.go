@@ -10,173 +10,71 @@
 // and a sequential stopping rule that extends the replication set until
 // the confidence interval on the mean hits the requested relative width.
 //
+// It is a thin shell over the unified experiment API (internal/run): the
+// flags build a "simulate" experiment spec, or load one with -spec and
+// override its fields with any explicitly-set flags.
+//
 // Examples:
 //
 //	hmscs-sim -case 1 -clusters 16 -msg 1024 -reps 3
 //	hmscs-sim -case 1 -clusters 256 -precision 0.02   # run until ±2% @95%
 //	hmscs-sim -arch blocking -service det -pattern local:0.9 -v
 //	hmscs-sim -clusters 256 -arrival mmpp -burst-ratio 20   # bursty, equal load
-//	hmscs-sim -arrival trace -trace arrivals.csv            # replay a trace
+//	hmscs-sim -spec experiment.json -timeout 60s
 package main
 
 import (
 	"flag"
 	"fmt"
 	"io"
-	"math"
 	"os"
 
-	"hmscs/internal/analytic"
 	"hmscs/internal/cli"
-	"hmscs/internal/report"
-	"hmscs/internal/sim"
-	"hmscs/internal/stats"
-	"hmscs/internal/trace"
+	"hmscs/internal/run"
 )
 
 func main() {
-	if err := run(os.Args[1:], os.Stdout); err != nil {
+	if err := runMain(os.Args[1:], os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "hmscs-sim:", err)
 		os.Exit(1)
 	}
 }
 
-func run(args []string, out io.Writer) error {
+func runMain(args []string, out io.Writer) error {
+	spec, err := cli.PreloadSpec(args, run.KindSimulate)
+	if err != nil {
+		return err
+	}
 	fs := flag.NewFlagSet("hmscs-sim", flag.ContinueOnError)
-	var sys cli.SystemFlags
-	var sf cli.SimFlags
-	sys.Register(fs)
-	sf.Register(fs)
-	verbose := fs.Bool("v", false, "print per-centre statistics of replication 1")
-	compare := fs.Bool("compare", true, "also run the analytical model and report the error")
-	traceCSV := fs.String("trace-out", "", "record replication 1's message journeys to this CSV file (-trace is the arrival-trace input)")
+	var xf cli.ExperimentFlags
+	var parallel int
+	xf.Register(fs)
+	cli.BindSystem(fs, spec.System)
+	cli.BindSimProcedure(fs, spec.Run)
+	cli.BindSimWorkload(fs, spec.Workload)
+	cli.BindArrival(fs, spec.Workload)
+	cli.BindPrecision(fs, spec.Precision)
+	cli.BindParallel(fs, &parallel)
+	fs.BoolVar(&spec.Simulate.Verbose, "v", spec.Simulate.Verbose, "print per-centre statistics of replication 1")
+	compare := fs.Bool("compare", !spec.Simulate.NoCompare, "also run the analytical model and report the error")
+	fs.StringVar(&spec.Simulate.TraceOut, "trace-out", spec.Simulate.TraceOut, "record replication 1's message journeys to this CSV file (-trace is the arrival-trace input)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	cfg, err := sys.Build()
-	if err != nil {
-		return err
-	}
-	opts, err := sf.Build()
-	if err != nil {
-		return err
-	}
-	fmt.Fprintln(out, cfg.String())
-
-	if sf.Reps < 1 {
+	spec.Simulate.NoCompare = !*compare
+	// An explicit -reps 0 is a user error, not a request for the default.
+	if spec.Run.Reps < 1 {
 		return fmt.Errorf("need at least 1 replication")
 	}
-	prec, err := sf.PrecisionSpec()
+	ctx, cancel := xf.Context()
+	defer cancel()
+	sinks, closeSinks, err := xf.Sinks(out)
 	if err != nil {
 		return err
 	}
-	var agg *sim.Replicated
-	var rows [][2]string
-	if prec != nil {
-		res, err := sim.RunPrecision(cfg, opts, *prec, sf.Parallel)
-		if err != nil {
-			return err
-		}
-		agg = res.Replicated
-		e := res.Estimate
-		rows = [][2]string{
-			{"mean message latency", cli.Ms(e.Mean)},
-			{fmt.Sprintf("%.0f%% CI half-width", e.Confidence*100),
-				fmt.Sprintf("%s (±%.2f%%)", cli.Ms(e.HalfWidth), e.RelHalfWidth()*100)},
-			{"replications used", fmt.Sprintf("%d (adaptive, target ±%.2g%%)", e.Reps, prec.RelWidth*100)},
-			{"effective sample size", fmt.Sprintf("%.0f", e.ESS)},
-			{"warmup deleted (MSER-5)", fmt.Sprintf("%.1f%% of each replication", res.TruncatedFrac*100)},
-			{"messages simulated", fmt.Sprintf("%d", res.TotalGenerated)},
-		}
-		if !e.Converged {
-			rows = append(rows, [2]string{"warning",
-				fmt.Sprintf("precision target not met within -max-reps %d", prec.MaxReps)})
-		}
-		if res.TruncationSuspect > 0 {
-			rows = append(rows, [2]string{"warning",
-				fmt.Sprintf("%d replication(s) too short to separate transient from steady state; raise -messages", res.TruncationSuspect)})
-		}
-	} else {
-		agg, err = sim.RunReplicationsN(cfg, opts, sf.Reps, sf.Parallel)
-		if err != nil {
-			return err
-		}
-		rows = [][2]string{
-			{"mean message latency", cli.Ms(agg.MeanLatency)},
-			{"95% CI half-width", cli.Ms(agg.CI95)},
-			{"replications", fmt.Sprintf("%d x %d messages", sf.Reps, opts.MeasuredMessages)},
-		}
+	_, err = run.Run(ctx, spec, run.Options{Parallelism: parallel, Sinks: sinks})
+	if cerr := closeSinks(); err == nil {
+		err = cerr
 	}
-	scv := opts.Arrival.SCV()
-	rows = append(rows,
-		[2]string{"arrival process", fmt.Sprintf("%s (interarrival SCV %.3g)", opts.Arrival.Name(), scv)},
-		[2]string{"system throughput", fmt.Sprintf("%.1f msg/s", agg.Throughput)},
-		[2]string{"effective per-processor rate", fmt.Sprintf("%.2f msg/s", agg.EffectiveLambda)},
-		[2]string{"bottleneck utilisation", fmt.Sprintf("%.3f", agg.BottleneckUtilization)},
-	)
-	if agg.AnyTimedOut {
-		rows = append(rows, [2]string{"warning", "at least one replication hit the time limit"})
-	}
-	fmt.Fprint(out, report.Table("simulation", rows))
-
-	if *verbose || *traceCSV != "" {
-		o := opts
-		if *traceCSV != "" {
-			o.Trace = trace.NewRecorder(0)
-		}
-		one, err := sim.Run(cfg, o)
-		if err != nil {
-			return err
-		}
-		if *verbose {
-			fmt.Fprintln(out, "per-centre statistics (replication 1):")
-			for _, c := range one.Centers {
-				fmt.Fprintf(out, "  %-9s util=%.3f  meanQ=%7.2f  maxQ=%6.0f  served=%d\n",
-					c.Name, c.Utilization, c.MeanQueueLength, c.MaxQueueLength, c.Served)
-			}
-		}
-		if *traceCSV != "" {
-			f, err := os.Create(*traceCSV)
-			if err != nil {
-				return err
-			}
-			if err := o.Trace.WriteCSV(f); err != nil {
-				f.Close()
-				return err
-			}
-			if err := f.Close(); err != nil {
-				return err
-			}
-			fmt.Fprintf(out, "trace: %d events written to %s (%d dropped)\n",
-				o.Trace.Len(), *traceCSV, o.Trace.Dropped())
-			fmt.Fprintln(out, "per-hop time breakdown (queue + service):")
-			for _, h := range o.Trace.HopBreakdown() {
-				fmt.Fprintf(out, "  %-9s n=%-7d mean=%s max=%s\n",
-					h.Where, h.Count, cli.Ms(h.Mean), cli.Ms(h.Max))
-			}
-		}
-	}
-
-	if *compare {
-		// With a finite non-Poisson interarrival SCV the model side applies
-		// the Allen–Cunneen G/G/1 correction, so the reported error isolates
-		// what the correction misses rather than the whole burstiness gap.
-		model := "analytical latency"
-		var an *analytic.Result
-		if scv != 1 && !math.IsInf(scv, 1) && !math.IsNaN(scv) {
-			an, err = analytic.AnalyzeArrival(cfg, scv)
-			model = fmt.Sprintf("analytical latency (G/G/1, Ca²=%.3g)", scv)
-		} else {
-			an, err = analytic.Analyze(cfg)
-		}
-		if err != nil {
-			return err
-		}
-		rel := stats.RelError(an.MeanLatency, agg.MeanLatency)
-		fmt.Fprint(out, report.Table("model vs simulation", [][2]string{
-			{model, cli.Ms(an.MeanLatency)},
-			{"relative error", fmt.Sprintf("%.1f%%", rel*100)},
-		}))
-	}
-	return nil
+	return err
 }

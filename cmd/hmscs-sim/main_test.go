@@ -15,7 +15,7 @@ func fastArgs(extra ...string) []string {
 
 func TestRunBasic(t *testing.T) {
 	var out bytes.Buffer
-	if err := run(fastArgs(), &out); err != nil {
+	if err := runMain(fastArgs(), &out); err != nil {
 		t.Fatal(err)
 	}
 	s := out.String()
@@ -28,7 +28,7 @@ func TestRunBasic(t *testing.T) {
 
 func TestRunVerbose(t *testing.T) {
 	var out bytes.Buffer
-	if err := run(fastArgs("-v"), &out); err != nil {
+	if err := runMain(fastArgs("-v"), &out); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(out.String(), "per-centre statistics") {
@@ -41,7 +41,7 @@ func TestRunVerbose(t *testing.T) {
 
 func TestRunNoCompare(t *testing.T) {
 	var out bytes.Buffer
-	if err := run(fastArgs("-compare=false"), &out); err != nil {
+	if err := runMain(fastArgs("-compare=false"), &out); err != nil {
 		t.Fatal(err)
 	}
 	if strings.Contains(out.String(), "model vs simulation") {
@@ -51,7 +51,7 @@ func TestRunNoCompare(t *testing.T) {
 
 func TestRunServiceAndPattern(t *testing.T) {
 	var out bytes.Buffer
-	if err := run(fastArgs("-service", "det", "-pattern", "local:0.7", "-open"), &out); err != nil {
+	if err := runMain(fastArgs("-service", "det", "-pattern", "local:0.7", "-open"), &out); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -61,7 +61,7 @@ func TestRunNaNArrivalSCVFallsBack(t *testing.T) {
 	// the -compare path must fall back to the plain model, not error out
 	// after the simulation already ran.
 	var out bytes.Buffer
-	if err := run(fastArgs("-arrival", "weibull:0.01"), &out); err != nil {
+	if err := runMain(fastArgs("-arrival", "weibull:0.01"), &out); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(out.String(), "analytical latency") ||
@@ -78,7 +78,7 @@ func TestRunErrors(t *testing.T) {
 		{"-pattern", "spiral"},
 		{"-clusters", "5"},
 	} {
-		if err := run(args, &out); err == nil {
+		if err := runMain(args, &out); err == nil {
 			t.Errorf("args %v accepted", args)
 		}
 	}
@@ -88,7 +88,7 @@ func TestRunTraceCSV(t *testing.T) {
 	dir := t.TempDir()
 	path := filepath.Join(dir, "trace.csv")
 	var out bytes.Buffer
-	if err := run(fastArgs("-trace-out", path, "-reps", "1"), &out); err != nil {
+	if err := runMain(fastArgs("-trace-out", path, "-reps", "1"), &out); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(out.String(), "per-hop time breakdown") {
@@ -108,7 +108,7 @@ func TestRunTraceCSV(t *testing.T) {
 
 func TestRunPrecisionMode(t *testing.T) {
 	var out bytes.Buffer
-	if err := run(fastArgs("-precision", "0.05", "-messages", "4000"), &out); err != nil {
+	if err := runMain(fastArgs("-precision", "0.05", "-messages", "4000"), &out); err != nil {
 		t.Fatal(err)
 	}
 	s := out.String()
@@ -124,10 +124,10 @@ func TestRunPrecisionMode(t *testing.T) {
 
 func TestRunPrecisionRejectsBadTarget(t *testing.T) {
 	var out bytes.Buffer
-	if err := run(fastArgs("-precision", "1.5"), &out); err == nil {
+	if err := runMain(fastArgs("-precision", "1.5"), &out); err == nil {
 		t.Fatal("precision 1.5 accepted")
 	}
-	if err := run(fastArgs("-precision", "0.02", "-confidence", "1.5"), &out); err == nil {
+	if err := runMain(fastArgs("-precision", "0.02", "-confidence", "1.5"), &out); err == nil {
 		t.Fatal("confidence 1.5 accepted")
 	}
 }

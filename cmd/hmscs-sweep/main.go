@@ -1,11 +1,16 @@
 // Command hmscs-sweep sweeps one design parameter of an HMSCS system —
 // cluster count, load, message size, switch ports, traffic locality, or
-// arrival process — and prints analysis/simulation latency pairs per point. It is the
-// design-space-exploration companion to the fixed figures of hmscs-figures.
+// arrival process — and prints analysis/simulation latency pairs per point.
+// It is the design-space-exploration companion to the fixed figures of
+// hmscs-figures.
 //
 // Points are evaluated concurrently on a bounded worker pool (-parallel;
 // default all cores) with deterministic per-point seeds, so the printed
 // table is identical at every parallelism level.
+//
+// It is a thin shell over the unified experiment API (internal/run): the
+// flags build a "sweep" experiment spec, or load one with -spec and
+// override its fields with any explicitly-set flags.
 //
 // Examples:
 //
@@ -13,7 +18,7 @@
 //	hmscs-sweep -var lambda -floats 25,50,100,200,400 -clusters 16
 //	hmscs-sweep -var locality -floats 0,0.25,0.5,0.75,0.95 -arch blocking
 //	hmscs-sweep -var lambda -precision 0.02   # adaptive replications per point
-//	hmscs-sweep -var arrival -specs poisson,mmpp,pareto:1.5 -burst-ratio 20
+//	hmscs-sweep -spec experiment.json -emit -
 package main
 
 import (
@@ -21,226 +26,50 @@ import (
 	"fmt"
 	"io"
 	"os"
-	"strings"
 
 	"hmscs/internal/cli"
-	"hmscs/internal/sweep"
-	"hmscs/internal/workload"
+	"hmscs/internal/run"
 )
 
 func main() {
-	if err := run(os.Args[1:], os.Stdout); err != nil {
+	if err := runMain(os.Args[1:], os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "hmscs-sweep:", err)
 		os.Exit(1)
 	}
 }
 
-// job is one sweep point: a labelled sweep.PointSpec.
-type job struct {
-	label string
-	sweep.PointSpec
-}
-
-func run(args []string, out io.Writer) error {
+func runMain(args []string, out io.Writer) error {
+	spec, err := cli.PreloadSpec(args, run.KindSweep)
+	if err != nil {
+		return err
+	}
 	fs := flag.NewFlagSet("hmscs-sweep", flag.ContinueOnError)
-	var sys cli.SystemFlags
-	var sf cli.SimFlags
-	sys.Register(fs)
-	sf.Register(fs)
-	variable := fs.String("var", "clusters", "swept parameter: clusters, lambda, msg, ports, locality, arrival")
-	ints := fs.String("ints", "", "comma-separated integer sweep values (clusters, msg, ports)")
-	floats := fs.String("floats", "", "comma-separated float sweep values (lambda, locality)")
-	specs := fs.String("specs", "", "comma-separated arrival specs for -var arrival (e.g. poisson,periodic,mmpp,pareto:1.5)")
-	fast := fs.Bool("fast", false, "skip simulation")
+	var xf cli.ExperimentFlags
+	var parallel int
+	xf.Register(fs)
+	cli.BindSystem(fs, spec.System)
+	cli.BindSimProcedure(fs, spec.Run)
+	cli.BindSimWorkload(fs, spec.Workload)
+	cli.BindArrival(fs, spec.Workload)
+	cli.BindPrecision(fs, spec.Precision)
+	cli.BindParallel(fs, &parallel)
+	fs.StringVar(&spec.Sweep.Var, "var", spec.Sweep.Var, "swept parameter: clusters, lambda, msg, ports, locality, arrival")
+	fs.StringVar(&spec.Sweep.Ints, "ints", spec.Sweep.Ints, "comma-separated integer sweep values (clusters, msg, ports)")
+	fs.StringVar(&spec.Sweep.Floats, "floats", spec.Sweep.Floats, "comma-separated float sweep values (lambda, locality)")
+	fs.StringVar(&spec.Sweep.Specs, "specs", spec.Sweep.Specs, "comma-separated arrival specs for -var arrival (e.g. poisson,periodic,mmpp,pareto:1.5)")
+	fs.BoolVar(&spec.Sweep.Fast, "fast", spec.Sweep.Fast, "skip simulation")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	simOpts, err := sf.Build()
+	ctx, cancel := xf.Context()
+	defer cancel()
+	sinks, closeSinks, err := xf.Sinks(out)
 	if err != nil {
 		return err
 	}
-
-	jobs, err := buildJobs(sys, sf, *variable, *ints, *floats, *specs)
-	if err != nil {
-		return err
+	_, err = run.Run(ctx, spec, run.Options{Parallelism: parallel, Sinks: sinks})
+	if cerr := closeSinks(); err == nil {
+		err = cerr
 	}
-
-	// Hand the points to the sweep orchestrator: (point × replication)
-	// units on the worker pool with deterministic seeds, so the table is
-	// identical at every parallelism level.
-	points := make([]sweep.PointSpec, len(jobs))
-	for i, j := range jobs {
-		points[i] = j.PointSpec
-	}
-	prec, err := sf.PrecisionSpec()
-	if err != nil {
-		return err
-	}
-	opts := sweep.Options{
-		Sim:            simOpts,
-		Replications:   sf.Reps,
-		SkipSimulation: *fast,
-		Parallelism:    sf.Parallel,
-		Precision:      prec,
-	}
-	results, err := sweep.RunPoints(points, opts)
-	if err != nil {
-		return err
-	}
-
-	rows := make([]string, len(jobs))
-	for i, j := range jobs {
-		r := results[i]
-		if *fast {
-			rows[i] = fmt.Sprintf("| %s | %.3f | - | - | - | - | - |", j.label, r.Analytic*1e3)
-			continue
-		}
-		rel := 0.0
-		if r.Simulated > 0 {
-			rel = (r.Analytic - r.Simulated) / r.Simulated
-		}
-		converged := ""
-		if prec != nil && !r.Stat.Converged {
-			converged = " (!)"
-		}
-		// ESS is only measurable when raw samples were recorded (precision
-		// mode); print "-" rather than a misleading zero in fixed mode.
-		ess := "-"
-		if r.Stat.ESS > 0 {
-			ess = fmt.Sprintf("%.0f", r.Stat.ESS)
-		}
-		rows[i] = fmt.Sprintf("| %s | %.3f | %.3f | %.3f | %d%s | %s | %+.1f%% |",
-			j.label, r.Analytic*1e3, r.Simulated*1e3, r.Stat.HalfWidth*1e3,
-			r.Stat.Reps, converged, ess, rel*100)
-	}
-
-	fmt.Fprintf(out, "sweep of %s\n", *variable)
-	conf := 95.0
-	if prec != nil {
-		conf = prec.Confidence * 100
-	}
-	fmt.Fprintf(out, "| value | analysis (ms) | simulation (ms) | %.0f%% CI (ms) | reps | ESS | rel.err |\n", conf)
-	fmt.Fprintln(out, "|---:|---:|---:|---:|---:|---:|---:|")
-	for _, row := range rows {
-		fmt.Fprintln(out, row)
-	}
-	if prec != nil {
-		fmt.Fprintf(out, "adaptive stopping: target ±%.2g%% at %.0f%% confidence, max %d replications; (!) marks points that hit the cap\n",
-			prec.RelWidth*100, conf, prec.MaxReps)
-	}
-	return nil
-}
-
-// buildJobs expands the swept variable into labelled configurations.
-func buildJobs(sys cli.SystemFlags, sf cli.SimFlags, variable, ints, floats, specs string) ([]job, error) {
-	var jobs []job
-	switch variable {
-	case "arrival":
-		if specs == "" {
-			specs = "poisson,periodic,mmpp,pareto:1.5,weibull:0.5"
-		}
-		cfg, err := sys.Build()
-		if err != nil {
-			return nil, err
-		}
-		for _, spec := range strings.Split(specs, ",") {
-			arr, err := cli.ParseArrival(strings.TrimSpace(spec),
-				sf.Arrival.BurstRatio, sf.Arrival.TraceFile)
-			if err != nil {
-				return nil, err
-			}
-			jobs = append(jobs, job{
-				label:     arr.Name(),
-				PointSpec: sweep.PointSpec{Cfg: cfg, Arrival: arr, Locality: -1},
-			})
-		}
-	case "clusters":
-		values, err := cli.ParseIntList(orDefault(ints, "1,2,4,8,16,32,64,128,256"))
-		if err != nil {
-			return nil, err
-		}
-		for _, v := range values {
-			s := sys
-			s.Clusters = v
-			cfg, err := s.Build()
-			if err != nil {
-				return nil, err
-			}
-			jobs = append(jobs, job{label: fmt.Sprint(v), PointSpec: sweep.PointSpec{Cfg: cfg, Locality: -1}})
-		}
-	case "msg":
-		values, err := cli.ParseIntList(orDefault(ints, "128,256,512,1024,2048,4096"))
-		if err != nil {
-			return nil, err
-		}
-		for _, v := range values {
-			s := sys
-			s.Msg = v
-			cfg, err := s.Build()
-			if err != nil {
-				return nil, err
-			}
-			jobs = append(jobs, job{label: fmt.Sprintf("%dB", v), PointSpec: sweep.PointSpec{Cfg: cfg, Locality: -1}})
-		}
-	case "ports":
-		values, err := cli.ParseIntList(orDefault(ints, "8,16,24,32,48,64"))
-		if err != nil {
-			return nil, err
-		}
-		for _, v := range values {
-			s := sys
-			s.Ports = v
-			cfg, err := s.Build()
-			if err != nil {
-				return nil, err
-			}
-			jobs = append(jobs, job{label: fmt.Sprintf("%d ports", v), PointSpec: sweep.PointSpec{Cfg: cfg, Locality: -1}})
-		}
-	case "lambda":
-		values, err := cli.ParseFloatList(orDefault(floats, "25,50,100,250,500"))
-		if err != nil {
-			return nil, err
-		}
-		for _, v := range values {
-			s := sys
-			s.Lambda = v
-			cfg, err := s.Build()
-			if err != nil {
-				return nil, err
-			}
-			jobs = append(jobs, job{label: fmt.Sprintf("%g/s", v), PointSpec: sweep.PointSpec{Cfg: cfg, Locality: -1}})
-		}
-	case "locality":
-		values, err := cli.ParseFloatList(orDefault(floats, "0,0.25,0.5,0.75,0.95"))
-		if err != nil {
-			return nil, err
-		}
-		cfg, err := sys.Build()
-		if err != nil {
-			return nil, err
-		}
-		for _, v := range values {
-			if v < 0 || v > 1 {
-				return nil, fmt.Errorf("locality %g out of [0,1]", v)
-			}
-			jobs = append(jobs, job{
-				label: fmt.Sprintf("%.2f", v),
-				PointSpec: sweep.PointSpec{
-					Cfg:      cfg,
-					Pattern:  workload.LocalBias{Locality: v},
-					Locality: v,
-				},
-			})
-		}
-	default:
-		return nil, fmt.Errorf("unknown sweep variable %q", variable)
-	}
-	return jobs, nil
-}
-
-func orDefault(s, def string) string {
-	if s == "" {
-		return def
-	}
-	return s
+	return err
 }

@@ -8,7 +8,7 @@ import (
 
 func TestSweepClustersFast(t *testing.T) {
 	var out bytes.Buffer
-	err := run([]string{"-var", "clusters", "-ints", "2,8", "-fast"}, &out)
+	err := runMain([]string{"-var", "clusters", "-ints", "2,8", "-fast"}, &out)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -23,7 +23,7 @@ func TestSweepClustersFast(t *testing.T) {
 
 func TestSweepLambdaWithSim(t *testing.T) {
 	var out bytes.Buffer
-	err := run([]string{"-var", "lambda", "-floats", "20,80", "-clusters", "4",
+	err := runMain([]string{"-var", "lambda", "-floats", "20,80", "-clusters", "4",
 		"-messages", "800", "-warmup", "100", "-reps", "2"}, &out)
 	if err != nil {
 		t.Fatal(err)
@@ -35,14 +35,14 @@ func TestSweepLambdaWithSim(t *testing.T) {
 
 func TestSweepMsgAndPortsFast(t *testing.T) {
 	var out bytes.Buffer
-	if err := run([]string{"-var", "msg", "-ints", "256,1024", "-fast"}, &out); err != nil {
+	if err := runMain([]string{"-var", "msg", "-ints", "256,1024", "-fast"}, &out); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(out.String(), "256B") {
 		t.Error("msg rows missing")
 	}
 	out.Reset()
-	if err := run([]string{"-var", "ports", "-ints", "8,24", "-fast"}, &out); err != nil {
+	if err := runMain([]string{"-var", "ports", "-ints", "8,24", "-fast"}, &out); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(out.String(), "8 ports") {
@@ -52,7 +52,7 @@ func TestSweepMsgAndPortsFast(t *testing.T) {
 
 func TestSweepLocality(t *testing.T) {
 	var out bytes.Buffer
-	err := run([]string{"-var", "locality", "-floats", "0,0.9", "-clusters", "4",
+	err := runMain([]string{"-var", "locality", "-floats", "0,0.9", "-clusters", "4",
 		"-messages", "600", "-warmup", "100", "-reps", "1", "-lambda", "30"}, &out)
 	if err != nil {
 		t.Fatal(err)
@@ -70,7 +70,7 @@ func TestSweepErrors(t *testing.T) {
 		{"-var", "locality", "-floats", "1.5", "-clusters", "4", "-fast"},
 		{"-var", "clusters", "-ints", "3"},
 	} {
-		if err := run(args, &out); err == nil {
+		if err := runMain(args, &out); err == nil {
 			t.Errorf("args %v accepted", args)
 		}
 	}

@@ -1,10 +1,55 @@
 package hmscs_test
 
 import (
+	"context"
+	"errors"
 	"fmt"
 
 	"hmscs"
 )
+
+// Example_experimentJSON shows the unified experiment API's spec form:
+// one JSON document describes a whole experiment, round-trips through
+// ParseExperiment/Marshal, and runs identically from Go, any binary's
+// -spec flag, or a future job queue.
+func Example_experimentJSON() {
+	spec, err := hmscs.ParseExperiment([]byte(`{
+		"v": 1,
+		"kind": "simulate",
+		"system": {"clusters": 8, "msg_bytes": 512},
+		"run": {"seed": 3, "messages": 1000, "reps": 2}
+	}`))
+	if err != nil {
+		panic(err)
+	}
+	// Unset fields were normalized to the documented defaults.
+	fmt.Printf("kind = %s\n", spec.Kind)
+	fmt.Printf("clusters = %d, arrival = %s\n", spec.System.Clusters, spec.Workload.Arrival)
+	out, err := hmscs.Run(context.Background(), spec, hmscs.RunOptions{})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("replications = %d\n", len(out.Simulate.Agg.PerReplication))
+	// Output:
+	// kind = simulate
+	// clusters = 8, arrival = poisson
+	// replications = 2
+}
+
+// ExampleRun_cancel shows the Runner's context contract: cancellation
+// aborts an experiment between replication units and surfaces ctx.Err(),
+// with the worker pool fully drained before Run returns.
+func ExampleRun_cancel() {
+	spec := hmscs.NewExperiment(hmscs.KindSweep)
+	spec.Sweep.Var = "clusters"
+	spec.Run.Reps = 8
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel() // a deadline via context.WithTimeout behaves the same way
+	_, err := hmscs.Run(ctx, spec, hmscs.RunOptions{})
+	fmt.Println("cancelled:", errors.Is(err, context.Canceled))
+	// Output:
+	// cancelled: true
+}
 
 // ExampleAnalyze evaluates the paper's analytical model on the §6
 // validation platform.

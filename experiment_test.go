@@ -1,0 +1,113 @@
+package hmscs_test
+
+import (
+	"bytes"
+	"context"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"hmscs"
+)
+
+// TestExperimentGoldenSpecs pins the unified experiment API against the
+// checked-in spec files (one per kind, testdata/experiments/): each must
+// round-trip through JSON unchanged and, run at tiny scale, produce
+// deterministic output — byte-identical across parallelism levels.
+func TestExperimentGoldenSpecs(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs every experiment kind twice")
+	}
+	files, err := filepath.Glob(filepath.Join("testdata", "experiments", "*.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(files) != 6 {
+		t.Fatalf("want one golden spec per kind (6), found %d: %v", len(files), files)
+	}
+
+	// Parse and round-trip every file up front (and check kind coverage),
+	// then fan the executions out as parallel subtests.
+	seen := map[hmscs.ExperimentKind]bool{}
+	specs := map[string]*hmscs.Experiment{}
+	for _, path := range files {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		e, err := hmscs.ParseExperiment(data)
+		if err != nil {
+			t.Fatalf("%s: %v", path, err)
+		}
+		seen[e.Kind] = true
+		specs[path] = e
+
+		// The checked-in file is the normalized marshalled form, so
+		// Marshal∘Parse must be the identity on it.
+		out, err := e.Marshal()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(out, data) {
+			t.Errorf("%s does not round-trip:\n--- file ---\n%s\n--- marshalled ---\n%s", path, data, out)
+		}
+	}
+	for _, k := range []hmscs.ExperimentKind{
+		hmscs.KindAnalyze, hmscs.KindSimulate, hmscs.KindNetsim,
+		hmscs.KindFigure, hmscs.KindSweep, hmscs.KindPlan,
+	} {
+		if !seen[k] {
+			t.Errorf("no golden spec for kind %q", k)
+		}
+	}
+
+	for _, path := range files {
+		e := specs[path]
+		t.Run(filepath.Base(path), func(t *testing.T) {
+			t.Parallel()
+			// Deterministic execution: two runs at different parallelism
+			// levels render byte-identical markdown.
+			var renders []string
+			for _, parallel := range []int{1, 4} {
+				var b strings.Builder
+				if _, err := hmscs.Run(context.Background(), e, hmscs.RunOptions{
+					Parallelism: parallel,
+					Sinks:       []hmscs.Sink{hmscs.NewMarkdownSink(&b)},
+				}); err != nil {
+					t.Fatalf("parallel %d: %v", parallel, err)
+				}
+				renders = append(renders, b.String())
+			}
+			if renders[0] != renders[1] {
+				t.Errorf("output differs between parallelism 1 and 4:\n%s\n---\n%s", renders[0], renders[1])
+			}
+			if len(renders[0]) == 0 {
+				t.Error("experiment rendered nothing")
+			}
+		})
+	}
+}
+
+// TestFacadeExperimentRoundTrip exercises the exported spec constructors
+// without touching disk.
+func TestFacadeExperimentRoundTrip(t *testing.T) {
+	e := hmscs.NewExperiment(hmscs.KindSimulate)
+	e.System.Clusters = 4
+	e.Run.Messages = 300
+	data, err := e.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := hmscs.ParseExperiment(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.System.Clusters != 4 || back.Run.Messages != 300 {
+		t.Fatalf("round trip lost fields: %+v %+v", back.System, back.Run)
+	}
+	// Unknown fields are typos, not extensions — reject them.
+	if _, err := hmscs.ParseExperiment([]byte(`{"v":1,"kind":"simulate","sytsem":{}}`)); err == nil {
+		t.Fatal("unknown field accepted")
+	}
+}

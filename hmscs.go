@@ -21,16 +21,88 @@
 package hmscs
 
 import (
+	"context"
+	"io"
+
 	"hmscs/internal/analytic"
 	"hmscs/internal/core"
 	"hmscs/internal/network"
 	"hmscs/internal/output"
 	"hmscs/internal/plan"
 	"hmscs/internal/queueing"
+	"hmscs/internal/run"
 	"hmscs/internal/sim"
 	"hmscs/internal/sweep"
 	"hmscs/internal/workload"
 )
+
+// Unified experiment API --------------------------------------------------
+
+// Experiment is the declarative, JSON-round-trippable description of one
+// hmscs experiment — the single spec behind all six command-line tools
+// (kind: analyze, simulate, netsim, figure, sweep or plan). Build one in
+// code with NewExperiment, or load a -spec file with LoadExperiment.
+type Experiment = run.Experiment
+
+// ExperimentKind selects what an Experiment does.
+type ExperimentKind = run.Kind
+
+// The experiment kinds.
+const (
+	KindAnalyze  = run.KindAnalyze
+	KindSimulate = run.KindSimulate
+	KindNetsim   = run.KindNetsim
+	KindFigure   = run.KindFigure
+	KindSweep    = run.KindSweep
+	KindPlan     = run.KindPlan
+)
+
+// RunOptions are Run's execution knobs (parallelism, progress callback,
+// sinks) — deliberately separate from the Experiment, because they change
+// how fast an experiment runs, never what it computes.
+type RunOptions = run.Options
+
+// Outcome is the structured result of one experiment.
+type Outcome = run.Outcome
+
+// Event is the typed progress notification Run emits while units
+// complete: unit started/finished, replications so far, CI width.
+type Event = run.Event
+
+// Sink consumes an experiment's output stream: progress events while it
+// runs, then the final Outcome.
+type Sink = run.Sink
+
+// NewExperiment returns a normalized experiment of the given kind with
+// every field at its documented default.
+func NewExperiment(kind ExperimentKind) *Experiment { return run.NewExperiment(kind) }
+
+// LoadExperiment reads a JSON experiment spec (the -spec file format of
+// every binary), validating and normalizing it.
+func LoadExperiment(path string) (*Experiment, error) { return run.Load(path) }
+
+// ParseExperiment reads an experiment from its JSON bytes.
+func ParseExperiment(data []byte) (*Experiment, error) { return run.Parse(data) }
+
+// Run executes the experiment under the context: cancellation or a
+// deadline aborts mid-batch between replication units on the worker pool
+// and returns ctx.Err(). Results are bit-identical at every
+// RunOptions.Parallelism, including the replication counts the adaptive
+// modes choose.
+func Run(ctx context.Context, e *Experiment, opts RunOptions) (*Outcome, error) {
+	return run.Run(ctx, e, opts)
+}
+
+// NewMarkdownSink renders outcomes as the human-readable report the
+// command-line tools print (markdown tables, ASCII plots).
+func NewMarkdownSink(w io.Writer) Sink { return run.NewMarkdownSink(w) }
+
+// NewCSVSink renders outcomes as tabular CSV.
+func NewCSVSink(w io.Writer) Sink { return run.NewCSVSink(w) }
+
+// NewJSONLSink streams progress events and the outcome summary as one
+// JSON object per line — the -emit format of every binary.
+func NewJSONLSink(w io.Writer) Sink { return run.NewJSONLSink(w) }
 
 // System description -------------------------------------------------------
 

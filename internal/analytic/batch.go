@@ -1,7 +1,7 @@
 package analytic
 
 import (
-	"math"
+	"context"
 
 	"hmscs/internal/core"
 	"hmscs/internal/par"
@@ -20,9 +20,15 @@ import (
 // lowest-index failure, so the output is bit-identical at every
 // parallelism level (<= 0 uses all CPUs, 1 runs sequentially).
 func AnalyzeBatch(cfgs []*core.Config, arrivalSCV float64, parallelism int) ([]*Result, error) {
-	correct := arrivalSCV != 1 && !math.IsInf(arrivalSCV, 1) && !math.IsNaN(arrivalSCV)
+	return AnalyzeBatchCtx(context.Background(), cfgs, arrivalSCV, parallelism)
+}
+
+// AnalyzeBatchCtx is AnalyzeBatch with cancellation: a cancelled context
+// aborts the pool between candidates and returns ctx.Err().
+func AnalyzeBatchCtx(ctx context.Context, cfgs []*core.Config, arrivalSCV float64, parallelism int) ([]*Result, error) {
+	correct := UsesArrivalCorrection(arrivalSCV)
 	out := make([]*Result, len(cfgs))
-	err := par.ForEach(len(cfgs), parallelism, func(i int) error {
+	err := par.ForEachCtx(ctx, len(cfgs), parallelism, func(i int) error {
 		var err error
 		if correct {
 			out[i], err = AnalyzeArrival(cfgs[i], arrivalSCV)

@@ -1,525 +1,205 @@
 // Package cli holds the flag plumbing shared by the hmscs command-line
-// tools: building a core.Config from common flags and formatting helpers.
+// tools. Every binary is a thin shell over the unified experiment API
+// (internal/run): flags bind directly onto the fields of a run.Experiment
+// spec, whose current values double as the flag defaults. That one
+// mechanism gives each binary the whole redesigned surface for free:
+//
+//   - with no -spec, the flag defaults are the documented defaults and a
+//     legacy invocation builds exactly the spec it always implied;
+//   - with -spec experiment.json, the file's values become the defaults
+//     and explicitly-set flags override them (so a cookbook smoke run can
+//     append -messages 100 to any spec);
+//   - -emit streams progress events and the outcome summary as JSON
+//     lines, and -timeout bounds the run through the Runner's context.
 package cli
 
 import (
+	"context"
 	"flag"
 	"fmt"
-	"math"
+	"io"
 	"os"
-	"strconv"
 	"strings"
+	"time"
 
-	"hmscs/internal/core"
-	"hmscs/internal/netsim"
-	"hmscs/internal/network"
-	"hmscs/internal/output"
-	"hmscs/internal/rng"
-	"hmscs/internal/sim"
-	"hmscs/internal/workload"
+	"hmscs/internal/run"
 )
 
-// SystemFlags collects the flags that describe an HMSCS system.
-type SystemFlags struct {
-	Config   string
-	Case     int
-	Clusters int
-	Nodes    int // per cluster; 0 = derive from -total
-	Total    int
-	Msg      int
-	Arch     string
-	Lambda   float64
-	ICN1     string
-	ECN      string
-	Ports    int
-	SwLat    float64
+// ExperimentFlags are the three flags shared by every binary: the spec
+// file, the JSONL event stream, and the deadline.
+type ExperimentFlags struct {
+	// SpecPath mirrors -spec. The binaries resolve it BEFORE flag parsing
+	// (PreloadSpec) so the loaded spec can provide the other flags'
+	// defaults; the registered flag exists so parsing accepts it and the
+	// help text documents it.
+	SpecPath string
+	// Emit is the JSONL output path ("-" for stdout).
+	Emit string
+	// Timeout bounds the experiment's wall-clock time (0 = no limit).
+	Timeout time.Duration
 }
 
-// Register installs the system flags on the given FlagSet with paper
-// defaults.
-func (s *SystemFlags) Register(fs *flag.FlagSet) {
-	fs.StringVar(&s.Config, "config", "", "JSON system description (overrides all other system flags; see core.SaveConfig)")
-	fs.IntVar(&s.Case, "case", 1, "Table 1 scenario (1 or 2); ignored when -icn1/-ecn are set")
-	fs.IntVar(&s.Clusters, "clusters", 16, "number of clusters C")
-	fs.IntVar(&s.Nodes, "nodes", 0, "processors per cluster N0 (0 = total/clusters)")
-	fs.IntVar(&s.Total, "total", core.PaperTotalNodes, "total processors when -nodes is 0")
-	fs.IntVar(&s.Msg, "msg", 1024, "message size in bytes")
-	fs.StringVar(&s.Arch, "arch", "non-blocking", "interconnect architecture: non-blocking or blocking")
-	fs.Float64Var(&s.Lambda, "lambda", core.PaperLambda, "per-processor message rate (msg/s; default is the paper's λ under the millisecond reading, see DESIGN.md §2)")
-	fs.StringVar(&s.ICN1, "icn1", "", "override ICN1 technology (GE, FE, Myrinet, Infiniband)")
-	fs.StringVar(&s.ECN, "ecn", "", "override ECN1/ICN2 technology")
-	fs.IntVar(&s.Ports, "ports", network.PaperSwitch.Ports, "switch ports Pr")
-	fs.Float64Var(&s.SwLat, "swlat", network.PaperSwitch.Latency*1e6, "switch latency in µs")
+// Register installs -spec, -emit and -timeout.
+func (x *ExperimentFlags) Register(fs *flag.FlagSet) {
+	fs.StringVar(&x.SpecPath, "spec", "", "experiment spec JSON (see run.Experiment); explicitly-set flags override its fields")
+	fs.StringVar(&x.Emit, "emit", "", "stream progress events and the outcome summary as JSON lines to this file (\"-\" = stdout)")
+	fs.DurationVar(&x.Timeout, "timeout", 0, "abort the experiment after this duration, e.g. 30s (0 = no limit); cancellation lands between replication units")
 }
 
-// Build converts the flags into a validated configuration.
-func (s *SystemFlags) Build() (*core.Config, error) {
-	if s.Config != "" {
-		return core.LoadConfig(s.Config)
+// Context returns the Runner context implied by -timeout.
+func (x *ExperimentFlags) Context() (context.Context, context.CancelFunc) {
+	if x.Timeout > 0 {
+		return context.WithTimeout(context.Background(), x.Timeout)
 	}
-	arch, err := network.ParseArchitecture(s.Arch)
+	return context.WithCancel(context.Background())
+}
+
+// Sinks assembles the binary's sink list: the markdown sink on stdout
+// (byte-identical to the pre-spec binaries) plus, with -emit, a JSONL
+// sink. The returned closer flushes and closes the -emit file and must
+// run even when Run fails.
+func (x *ExperimentFlags) Sinks(stdout io.Writer) ([]run.Sink, func() error, error) {
+	sinks := []run.Sink{run.NewMarkdownSink(stdout)}
+	closer := func() error { return nil }
+	if x.Emit != "" {
+		w := stdout
+		if x.Emit != "-" {
+			f, err := os.Create(x.Emit)
+			if err != nil {
+				return nil, nil, err
+			}
+			w = f
+			closer = f.Close
+		}
+		sinks = append(sinks, run.NewJSONLSink(w))
+	}
+	return sinks, closer, nil
+}
+
+// PreloadSpec scans args for -spec (before flag parsing, so the loaded
+// experiment can provide every other flag's defaults) and returns the
+// loaded spec, or a fresh default experiment of the binary's kind. A
+// spec of a different kind is rejected: each binary runs one kind.
+func PreloadSpec(args []string, kind run.Kind) (*run.Experiment, error) {
+	path := ""
+	for i := 0; i < len(args); i++ {
+		a := args[i]
+		if a == "--" {
+			break
+		}
+		name, value, hasValue := strings.Cut(a, "=")
+		if name != "-spec" && name != "--spec" {
+			continue
+		}
+		if hasValue {
+			path = value
+		} else if i+1 < len(args) {
+			path = args[i+1]
+		}
+	}
+	if path == "" {
+		return run.NewExperiment(kind), nil
+	}
+	e, err := run.Load(path)
 	if err != nil {
 		return nil, err
 	}
-	n0 := s.Nodes
-	if n0 == 0 {
-		if s.Clusters <= 0 || s.Total%s.Clusters != 0 {
-			return nil, fmt.Errorf("cli: -clusters %d must divide -total %d (or pass -nodes)", s.Clusters, s.Total)
-		}
-		n0 = s.Total / s.Clusters
+	if e.Kind != kind {
+		return nil, fmt.Errorf("cli: %s holds a %q experiment; this binary runs %q", path, e.Kind, kind)
 	}
-	var icn1, ecn network.Technology
-	switch {
-	case s.ICN1 != "" || s.ECN != "":
-		if s.ICN1 == "" || s.ECN == "" {
-			return nil, fmt.Errorf("cli: -icn1 and -ecn must be set together")
-		}
-		if icn1, err = network.TechnologyByName(s.ICN1); err != nil {
-			return nil, err
-		}
-		if ecn, err = network.TechnologyByName(s.ECN); err != nil {
-			return nil, err
-		}
-	default:
-		if icn1, ecn, err = core.Scenario(s.Case).Technologies(); err != nil {
-			return nil, err
-		}
-	}
-	sw := network.Switch{Ports: s.Ports, Latency: s.SwLat * 1e-6}
-	return core.NewSuperCluster(s.Clusters, n0, s.Lambda, icn1, ecn, arch, sw, s.Msg)
+	return e, nil
 }
 
-// SimFlags collects the flags that control a simulation run.
-type SimFlags struct {
-	Seed       uint64
-	Messages   int
-	Warmup     int
-	Reps       int
-	Parallel   int
-	Open       bool
-	Service    string
-	Pattern    string
-	Arrival    ArrivalFlags
-	Precision  float64
-	Confidence float64
-	MaxReps    int
+// BindSystem binds the shared system flags onto the spec's system
+// section; the section's (normalized) values are the flag defaults.
+func BindSystem(fs *flag.FlagSet, s *run.SystemSpec) {
+	fs.StringVar(&s.ConfigPath, "config", s.ConfigPath, "JSON system description (overrides all other system flags; see core.SaveConfig)")
+	fs.IntVar(&s.Case, "case", s.Case, "Table 1 scenario (1 or 2); ignored when -icn1/-ecn are set")
+	fs.IntVar(&s.Clusters, "clusters", s.Clusters, "number of clusters C")
+	fs.IntVar(&s.Nodes, "nodes", s.Nodes, "processors per cluster N0 (0 = total/clusters)")
+	fs.IntVar(&s.Total, "total", s.Total, "total processors when -nodes is 0")
+	fs.IntVar(&s.MsgBytes, "msg", s.MsgBytes, "message size in bytes")
+	fs.StringVar(&s.Arch, "arch", s.Arch, "interconnect architecture: non-blocking or blocking")
+	fs.Float64Var(&s.Lambda, "lambda", s.Lambda, "per-processor message rate (msg/s; default is the paper's λ under the millisecond reading, see DESIGN.md §2)")
+	fs.StringVar(&s.ICN1, "icn1", s.ICN1, "override ICN1 technology (GE, FE, Myrinet, Infiniband)")
+	fs.StringVar(&s.ECN, "ecn", s.ECN, "override ECN1/ICN2 technology")
+	fs.IntVar(&s.Ports, "ports", s.Ports, "switch ports Pr")
+	fs.Float64Var(&s.SwLatUS, "swlat", s.SwLatUS, "switch latency in µs")
 }
 
-// Register installs the simulation flags with paper defaults.
-func (s *SimFlags) Register(fs *flag.FlagSet) {
-	fs.Uint64Var(&s.Seed, "seed", 1, "random seed")
-	fs.IntVar(&s.Messages, "messages", 10000, "measured messages per run (paper: 10000)")
-	fs.IntVar(&s.Warmup, "warmup", 2000, "warm-up messages discarded before measurement")
-	fs.IntVar(&s.Reps, "reps", 3, "independent replications")
-	fs.IntVar(&s.Parallel, "parallel", 0, "concurrent simulation workers (0 = all cores, 1 = sequential); results are identical for every value")
-	fs.BoolVar(&s.Open, "open", false, "open-loop sources (ablation of assumption 4)")
-	fs.StringVar(&s.Service, "service", "exp", "service distribution: exp, det, erlang4, h2")
-	fs.StringVar(&s.Pattern, "pattern", "uniform", "traffic pattern: uniform, local:<p>, hotspot:<p>")
-	s.Arrival.Register(fs)
-	RegisterPrecision(fs, &s.Precision, &s.Confidence, &s.MaxReps)
-}
-
-// ArrivalFlags collects the arrival-process flags shared by every binary
-// that generates traffic (ablation of the paper's Poisson assumption 2).
-type ArrivalFlags struct {
-	Spec       string
-	BurstRatio float64
-	TraceFile  string
-}
-
-// Register installs -arrival, -burst-ratio and -trace.
-func (a *ArrivalFlags) Register(fs *flag.FlagSet) {
-	fs.StringVar(&a.Spec, "arrival", "poisson",
+// BindArrival binds -arrival, -burst-ratio and -trace onto the spec's
+// workload section.
+func BindArrival(fs *flag.FlagSet, w *run.WorkloadSpec) {
+	fs.StringVar(&w.Arrival, "arrival", w.Arrival,
 		"arrival process: poisson, periodic, mmpp[:<burst-frac>[:<dwell>]], pareto[:<alpha>], weibull[:<shape>], trace (see docs/SCENARIOS.md)")
-	fs.Float64Var(&a.BurstRatio, "burst-ratio", 10,
+	fs.Float64Var(&w.BurstRatio, "burst-ratio", w.BurstRatio,
 		"MMPP burst-to-idle rate ratio (inf = on-off source); used by -arrival mmpp")
-	fs.StringVar(&a.TraceFile, "trace", "",
+	fs.StringVar(&w.TraceFile, "trace", w.TraceFile,
 		"arrival-trace CSV (one timestamp per line or first column); required by -arrival trace")
 }
 
-// Build parses the flags into an arrival process. A plain "poisson" spec
-// returns workload.Poisson{}, which the simulators treat as the default.
-func (a *ArrivalFlags) Build() (workload.Arrival, error) {
-	return ParseArrival(a.Spec, a.BurstRatio, a.TraceFile)
+// BindPrecision binds the adaptive output-analysis flags onto the spec's
+// precision section.
+func BindPrecision(fs *flag.FlagSet, p *run.PrecisionSpec) {
+	fs.Float64Var(&p.RelWidth, "precision", p.RelWidth, "adaptive stopping: extend replications until the CI half-width is at most this fraction of the mean (e.g. 0.02 = ±2%); replications are a quarter of -messages each with MSER-5 warmup deletion instead of -warmup/-reps; 0 = fixed -reps mode")
+	fs.Float64Var(&p.Confidence, "confidence", p.Confidence, "confidence level for -precision stopping and its reported intervals (fixed -reps mode always reports 95%)")
+	fs.IntVar(&p.MaxReps, "max-reps", p.MaxReps, "replication cap for -precision mode (reported as not converged when hit)")
 }
 
-// ParseArrival parses an arrival-process spec:
-//
-//	poisson                          the paper's assumption 2
-//	periodic | det                   deterministic gaps (SCV 0)
-//	mmpp[:<frac>[:<dwell>]]          MMPP-2 at burst ratio burstRatio,
-//	                                 burst fraction frac (default 0.1),
-//	                                 dwell in mean interarrivals
-//	pareto[:<alpha>]                 heavy-tailed renewal (default α 1.5)
-//	weibull[:<shape>]                Weibull renewal (default k 0.5)
-//	trace                            replay traceFile's timestamps
-func ParseArrival(spec string, burstRatio float64, traceFile string) (workload.Arrival, error) {
-	name, args, _ := strings.Cut(spec, ":")
-	parseArg := func(s string, def float64) (float64, error) {
-		if s == "" {
-			return def, nil
-		}
-		if strings.EqualFold(s, "inf") {
-			return math.Inf(1), nil
-		}
-		v, err := strconv.ParseFloat(s, 64)
-		if err != nil {
-			return 0, fmt.Errorf("cli: bad arrival parameter %q in %q", s, spec)
-		}
-		return v, nil
-	}
-	switch name {
-	case "", "poisson":
-		return workload.Poisson{}, nil
-	case "periodic", "det", "deterministic":
-		return workload.Periodic{}, nil
-	case "mmpp":
-		fracSpec, dwellSpec, _ := strings.Cut(args, ":")
-		frac, err := parseArg(fracSpec, 0.1)
-		if err != nil {
-			return nil, err
-		}
-		dwell, err := parseArg(dwellSpec, workload.DefaultMMPPDwell)
-		if err != nil {
-			return nil, err
-		}
-		m, err := workload.NewMMPP(burstRatio, frac)
-		if err != nil {
-			return nil, err
-		}
-		m.Dwell = dwell
-		return m, nil
-	case "pareto":
-		alpha, err := parseArg(args, 1.5)
-		if err != nil {
-			return nil, err
-		}
-		return workload.NewPareto(alpha)
-	case "weibull":
-		shape, err := parseArg(args, 0.5)
-		if err != nil {
-			return nil, err
-		}
-		return workload.NewWeibull(shape)
-	case "trace":
-		if traceFile == "" {
-			return nil, fmt.Errorf("cli: -arrival trace requires -trace <file>")
-		}
-		f, err := os.Open(traceFile)
-		if err != nil {
-			return nil, fmt.Errorf("cli: %w", err)
-		}
-		defer f.Close()
-		ts, err := workload.ReadTrace(f)
-		if err != nil {
-			return nil, err
-		}
-		return workload.NewTrace(ts)
-	}
-	return nil, fmt.Errorf("cli: unknown arrival process %q", spec)
+// BindSimProcedure binds the system simulator's procedure flags (-seed,
+// -messages, -warmup, -reps, -open) onto the spec's run section.
+func BindSimProcedure(fs *flag.FlagSet, r *run.RunSpec) {
+	fs.Uint64Var(&r.Seed, "seed", r.Seed, "random seed")
+	fs.IntVar(&r.Messages, "messages", r.Messages, "measured messages per run (paper: 10000)")
+	fs.IntVar(&r.Warmup, "warmup", r.Warmup, "warm-up messages discarded before measurement")
+	fs.IntVar(&r.Reps, "reps", r.Reps, "independent replications")
+	fs.BoolVar(&r.Open, "open", r.Open, "open-loop sources (ablation of assumption 4)")
 }
 
-// RegisterPrecision installs the adaptive output-analysis flags shared by
-// every binary that can simulate: a relative-precision target, the
-// confidence level it is judged at, and the replication cap.
-func RegisterPrecision(fs *flag.FlagSet, precision, confidence *float64, maxReps *int) {
-	fs.Float64Var(precision, "precision", 0, "adaptive stopping: extend replications until the CI half-width is at most this fraction of the mean (e.g. 0.02 = ±2%); replications are a quarter of -messages each with MSER-5 warmup deletion instead of -warmup/-reps; 0 = fixed -reps mode")
-	fs.Float64Var(confidence, "confidence", 0.95, "confidence level for -precision stopping and its reported intervals (fixed -reps mode always reports 95%)")
-	fs.IntVar(maxReps, "max-reps", 64, "replication cap for -precision mode (reported as not converged when hit)")
+// BindSimWorkload binds -service and -pattern with the system
+// simulator's help text.
+func BindSimWorkload(fs *flag.FlagSet, w *run.WorkloadSpec) {
+	fs.StringVar(&w.Service, "service", w.Service, "service distribution: exp, det, erlang4, h2")
+	fs.StringVar(&w.Pattern, "pattern", w.Pattern, "traffic pattern: uniform, local:<p>, hotspot:<p>")
 }
 
-// PrecisionSpec converts the precision flags into an output.Precision
-// target, or nil when -precision was left at 0 (fixed-replication mode).
-func (s *SimFlags) PrecisionSpec() (*output.Precision, error) {
-	return BuildPrecision(s.Precision, s.Confidence, s.MaxReps)
+// BindParallel binds the worker-pool bound (an execution option, not
+// part of the spec: it changes how fast an experiment runs, never what
+// it computes).
+func BindParallel(fs *flag.FlagSet, p *int) {
+	fs.IntVar(p, "parallel", *p, "concurrent simulation workers (0 = all cores, 1 = sequential); results are identical for every value")
 }
 
-// BuildPrecision validates and assembles a precision target from flag
-// values; a zero precision means fixed-replication mode (nil target).
-func BuildPrecision(precision, confidence float64, maxReps int) (*output.Precision, error) {
-	if precision == 0 {
-		return nil, nil
-	}
-	p := output.Precision{RelWidth: precision, Confidence: confidence, MaxReps: maxReps}.Normalized()
-	if err := p.Validate(); err != nil {
-		return nil, err
-	}
-	return &p, nil
+// BindNet binds the switch-level simulator's topology and load flags
+// onto the spec's net section.
+func BindNet(fs *flag.FlagSet, n *run.NetSpec) {
+	fs.StringVar(&n.ConfigPath, "config", n.ConfigPath, "JSON system description (e.g. emitted by hmscs-plan -emit-configs); simulates one of its communication networks at switch level, overriding -topo/-n/-ports/-swlat/-tech/-lambda/-msg")
+	fs.StringVar(&n.Net, "net", n.Net, "which network of -config to simulate: icn1, ecn1 or icn2")
+	fs.IntVar(&n.Cluster, "cluster", n.Cluster, "cluster index for -config with -net icn1/ecn1")
+	fs.StringVar(&n.Topo, "topo", n.Topo, "topology: fat-tree or linear-array")
+	fs.IntVar(&n.N, "n", n.N, "endpoints")
+	fs.IntVar(&n.Ports, "ports", n.Ports, "switch ports")
+	fs.Float64Var(&n.SwLatUS, "swlat", n.SwLatUS, "switch latency in µs")
+	fs.StringVar(&n.Tech, "tech", n.Tech, "link technology (GE, FE, Myrinet, Infiniband)")
+	fs.Float64Var(&n.Lambda, "lambda", n.Lambda, "per-endpoint message rate (msg/s)")
+	fs.IntVar(&n.MsgBytes, "msg", n.MsgBytes, "message size in bytes")
 }
 
-// Build converts the flags into simulation options.
-func (s *SimFlags) Build() (sim.Options, error) {
-	opts := sim.DefaultOptions()
-	opts.Seed = s.Seed
-	opts.MeasuredMessages = s.Messages
-	opts.WarmupMessages = s.Warmup
-	opts.OpenLoop = s.Open
-	switch s.Service {
-	case "exp":
-		opts.ServiceDist = rng.Exponential{MeanValue: 1}
-	case "det":
-		opts.ServiceDist = rng.Deterministic{Value: 1}
-	case "erlang4":
-		opts.ServiceDist = rng.Erlang{K: 4, MeanValue: 1}
-	case "h2":
-		h, err := rng.NewHyperExp(1, 4)
-		if err != nil {
-			return opts, err
-		}
-		opts.ServiceDist = h
-	default:
-		return opts, fmt.Errorf("cli: unknown service distribution %q", s.Service)
-	}
-	pattern, err := ParsePattern(s.Pattern)
-	if err != nil {
-		return opts, err
-	}
-	opts.Pattern = pattern
-	arrival, err := s.Arrival.Build()
-	if err != nil {
-		return opts, err
-	}
-	opts.Arrival = arrival
-	return opts, nil
-}
-
-// ParsePattern parses a traffic-pattern spec: "uniform", "local:<p>" or
-// "hotspot:<p>" (hot node 0).
-func ParsePattern(spec string) (workload.Pattern, error) {
-	switch {
-	case spec == "uniform" || spec == "":
-		return workload.Uniform{}, nil
-	case strings.HasPrefix(spec, "local:"):
-		p, err := strconv.ParseFloat(strings.TrimPrefix(spec, "local:"), 64)
-		if err != nil || p < 0 || p > 1 {
-			return nil, fmt.Errorf("cli: bad locality in %q", spec)
-		}
-		return workload.LocalBias{Locality: p}, nil
-	case strings.HasPrefix(spec, "hotspot:"):
-		p, err := strconv.ParseFloat(strings.TrimPrefix(spec, "hotspot:"), 64)
-		if err != nil || p < 0 || p > 1 {
-			return nil, fmt.Errorf("cli: bad hotspot fraction in %q", spec)
-		}
-		return workload.Hotspot{Node: 0, Fraction: p}, nil
-	}
-	return nil, fmt.Errorf("cli: unknown pattern %q", spec)
-}
-
-// ParseIntList parses a comma-separated integer list like "1,2,4,8".
-func ParseIntList(spec string) ([]int, error) {
-	if strings.TrimSpace(spec) == "" {
-		return nil, fmt.Errorf("cli: empty list")
-	}
-	parts := strings.Split(spec, ",")
-	out := make([]int, 0, len(parts))
-	for _, p := range parts {
-		v, err := strconv.Atoi(strings.TrimSpace(p))
-		if err != nil {
-			return nil, fmt.Errorf("cli: bad integer %q in list", p)
-		}
-		out = append(out, v)
-	}
-	return out, nil
-}
-
-// ParseFloatList parses a comma-separated float list like "0.25,2.5,25".
-func ParseFloatList(spec string) ([]float64, error) {
-	if strings.TrimSpace(spec) == "" {
-		return nil, fmt.Errorf("cli: empty list")
-	}
-	parts := strings.Split(spec, ",")
-	out := make([]float64, 0, len(parts))
-	for _, p := range parts {
-		v, err := strconv.ParseFloat(strings.TrimSpace(p), 64)
-		if err != nil {
-			return nil, fmt.Errorf("cli: bad float %q in list", p)
-		}
-		out = append(out, v)
-	}
-	return out, nil
-}
-
-// NetFlags collects the flags of the switch-level simulator (hmscs-netsim):
-// topology and link parameters, run length, and the shared workload axes
-// (arrival process, destination pattern). It is the single home of this
-// plumbing — hmscs-netsim used to carry a private copy.
-type NetFlags struct {
-	Config     string
-	Net        string
-	Cluster    int
-	Topo       string
-	N          int
-	Ports      int
-	SwLat      float64
-	Tech       string
-	Lambda     float64
-	Msg        int
-	Messages   int
-	Warmup     int
-	Seed       uint64
-	Service    string
-	Pattern    string
-	Arrival    ArrivalFlags
-	Precision  float64
-	Confidence float64
-	MaxReps    int
-
-	// resolvedTech is set when -config supplied the technology directly
-	// (it may be a custom one with no name to look up).
-	resolvedTech *network.Technology
-}
-
-// Register installs the netsim flags with their historical defaults.
-func (n *NetFlags) Register(fs *flag.FlagSet) {
-	fs.StringVar(&n.Config, "config", "", "JSON system description (e.g. emitted by hmscs-plan -emit); simulates one of its communication networks at switch level, overriding -topo/-n/-ports/-swlat/-tech/-lambda/-msg")
-	fs.StringVar(&n.Net, "net", "icn2", "which network of -config to simulate: icn1, ecn1 or icn2")
-	fs.IntVar(&n.Cluster, "cluster", 0, "cluster index for -config with -net icn1/ecn1")
-	fs.StringVar(&n.Topo, "topo", "fat-tree", "topology: fat-tree or linear-array")
-	fs.IntVar(&n.N, "n", 32, "endpoints")
-	fs.IntVar(&n.Ports, "ports", 8, "switch ports")
-	fs.Float64Var(&n.SwLat, "swlat", 10, "switch latency in µs")
-	fs.StringVar(&n.Tech, "tech", "GE", "link technology (GE, FE, Myrinet, Infiniband)")
-	fs.Float64Var(&n.Lambda, "lambda", 10000, "per-endpoint message rate (msg/s)")
-	fs.IntVar(&n.Msg, "msg", 1024, "message size in bytes")
-	fs.IntVar(&n.Messages, "messages", 10000, "measured messages")
-	fs.IntVar(&n.Warmup, "warmup", 1000, "warm-up messages")
-	fs.Uint64Var(&n.Seed, "seed", 1, "random seed")
-	fs.StringVar(&n.Service, "service", "det", "per-link service distribution: det or exp")
-	fs.StringVar(&n.Pattern, "pattern", "uniform", "traffic pattern: uniform, local:<p>, hotspot:<p> (switches act as clusters)")
-	n.Arrival.Register(fs)
-	RegisterPrecision(fs, &n.Precision, &n.Confidence, &n.MaxReps)
-}
-
-// NetExperiment is NetFlags.Build's output: a seed-parameterised network
-// factory (precision mode rebuilds per replication), the base run options,
-// and the resolved link/switch parameters — exposed so callers never
-// re-parse the flags Build already validated.
-type NetExperiment struct {
-	// Build constructs the network for one replication seed.
-	Build func(seed uint64) (*netsim.Network, error)
-	// Opts are the base run options (seed taken from -seed).
-	Opts netsim.Options
-	// Tech is the resolved link technology.
-	Tech network.Technology
-	// Switch holds the switch-fabric parameters (ports, latency).
-	Switch network.Switch
-}
-
-// resolveConfig maps one communication network of a core.Config onto the
-// switch-level simulator's parameters: the -net centre's technology and
-// endpoint count, the topology implied by the architecture, and a
-// per-endpoint rate derived from the configuration's own Jackson arrival
-// rates (core.ArrivalRates), so the network is driven at exactly the
-// offered load the analytic model and system simulator give it. The
-// resolved values overwrite the corresponding flag fields, which keeps
-// every downstream consumer (headers included) reading one source.
-func (n *NetFlags) resolveConfig() error {
-	cfg, err := core.LoadConfig(n.Config)
-	if err != nil {
-		return err
-	}
-	rates := cfg.ArrivalRates(1)
-	var tech network.Technology
-	var endpoints int
-	var rate float64
-	switch n.Net {
-	case "icn1", "ecn1":
-		if n.Cluster < 0 || n.Cluster >= cfg.NumClusters() {
-			return fmt.Errorf("cli: -cluster %d outside [0,%d)", n.Cluster, cfg.NumClusters())
-		}
-		cl := cfg.Clusters[n.Cluster]
-		if n.Net == "icn1" {
-			tech, endpoints, rate = cl.ICN1, cl.Nodes, rates.ICN1[n.Cluster]
-		} else {
-			tech, endpoints, rate = cl.ECN1, cl.Nodes+1, rates.ECN1[n.Cluster]
-		}
-	case "icn2":
-		tech, endpoints, rate = cfg.ICN2, cfg.NumClusters(), rates.ICN2
-	default:
-		return fmt.Errorf("cli: unknown network %q (want icn1, ecn1 or icn2)", n.Net)
-	}
-	if !(rate > 0) {
-		return fmt.Errorf("cli: %s of %s carries no traffic (%g msg/s)", n.Net, n.Config, rate)
-	}
-	if endpoints < 2 {
-		return fmt.Errorf("cli: %s has %d endpoint(s); switch-level simulation needs at least 2", n.Net, endpoints)
-	}
-	n.Topo = "fat-tree"
-	if cfg.Arch == network.Blocking {
-		n.Topo = "linear-array"
-	}
-	n.N = endpoints
-	n.Ports = cfg.Switch.Ports
-	n.SwLat = cfg.Switch.Latency * 1e6
-	n.Tech = tech.Name
-	n.Lambda = rate / float64(endpoints)
-	n.Msg = cfg.MessageBytes
-	n.resolvedTech = &tech
-	return nil
-}
-
-// Build converts the flags into a ready-to-run experiment.
-func (n *NetFlags) Build() (*NetExperiment, error) {
-	var technology network.Technology
-	if n.Config != "" {
-		if err := n.resolveConfig(); err != nil {
-			return nil, err
-		}
-		technology = *n.resolvedTech
-	} else {
-		var err error
-		if technology, err = network.TechnologyByName(n.Tech); err != nil {
-			return nil, err
-		}
-	}
-	var dist rng.Dist
-	switch n.Service {
-	case "det":
-		dist = rng.Deterministic{Value: 1}
-	case "exp":
-		dist = rng.Exponential{MeanValue: 1}
-	default:
-		return nil, fmt.Errorf("cli: unknown link service distribution %q", n.Service)
-	}
-	pattern, err := ParsePattern(n.Pattern)
-	if err != nil {
-		return nil, err
-	}
-	arrival, err := n.Arrival.Build()
-	if err != nil {
-		return nil, err
-	}
-	sw := network.Switch{Ports: n.Ports, Latency: n.SwLat * 1e-6}
-	topo := n.Topo
-	nEnd, ports := n.N, n.Ports
-	return &NetExperiment{
-		Build: func(seed uint64) (*netsim.Network, error) {
-			switch topo {
-			case "fat-tree":
-				return netsim.BuildFatTree(nEnd, ports, technology, sw, seed, dist)
-			case "linear-array":
-				return netsim.BuildLinearArray(nEnd, ports, technology, sw, seed, dist)
-			}
-			return nil, fmt.Errorf("cli: unknown topology %q", topo)
-		},
-		Opts: netsim.Options{
-			Lambda:   n.Lambda,
-			MsgBytes: n.Msg,
-			Warmup:   n.Warmup,
-			Measured: n.Messages,
-			Seed:     n.Seed,
-			Workload: workload.Generator{Arrival: arrival, Pattern: pattern},
-		},
-		Tech:   technology,
-		Switch: sw,
-	}, nil
-}
-
-// PrecisionSpec converts the precision flags into an output.Precision
-// target, or nil when -precision was left at 0.
-func (n *NetFlags) PrecisionSpec() (*output.Precision, error) {
-	return BuildPrecision(n.Precision, n.Confidence, n.MaxReps)
+// BindPlan binds the capacity planner's flags onto the spec's plan
+// section.
+func BindPlan(fs *flag.FlagSet, p *run.PlanSpec) {
+	fs.StringVar(&p.SpacePath, "space", p.SpacePath, "JSON design-space description (see plan.SaveSpace); empty = the documented default space")
+	fs.Float64Var(&p.SLOLatencyMs, "slo-latency", p.SLOLatencyMs, "SLO: maximum mean message latency in ms")
+	fs.Float64Var(&p.SLOUtil, "slo-util", p.SLOUtil, "SLO: maximum bottleneck-centre utilisation at the analytic fixed point")
+	fs.IntVar(&p.MinNodes, "min-nodes", p.MinNodes, "SLO: minimum total processors the deployment must provide (0 = no requirement)")
+	fs.Float64Var(&p.NodeCost, "node-cost", p.NodeCost, "cost of one processor in node units")
+	fs.StringVar(&p.PortCosts, "port-costs", p.PortCosts, "per-port cost overrides as tech=cost pairs, e.g. FE=0.02,GE=0.1 (defaults: plan.DefaultCostModel)")
+	fs.Float64Var(&p.Lambda, "lambda", p.Lambda, "override the space's per-processor offered load (msg/s; 0 = keep the space's)")
+	fs.IntVar(&p.MsgBytes, "msg", p.MsgBytes, "override the space's message size in bytes (0 = keep the space's)")
+	fs.IntVar(&p.Top, "top", p.Top, "frontier candidates to verify by simulation (0 = screen only)")
+	fs.StringVar(&p.Format, "format", p.Format, "output format: md or csv")
+	fs.StringVar(&p.EmitConfigs, "emit-configs", p.EmitConfigs, "directory to write each verified candidate's configuration JSON into (plan-candidate-<index>.json, runnable via -config)")
 }
 
 // Ms formats seconds as milliseconds with 3 decimals.
-func Ms(sec float64) string { return fmt.Sprintf("%.3f ms", sec*1e3) }
+func Ms(sec float64) string { return run.Ms(sec) }

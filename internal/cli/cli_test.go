@@ -2,34 +2,32 @@ package cli
 
 import (
 	"flag"
-	"math"
 	"os"
 	"path/filepath"
 	"strings"
 	"testing"
-
-	"fmt"
+	"time"
 
 	"hmscs/internal/core"
 	"hmscs/internal/network"
-	"hmscs/internal/plan"
-	"hmscs/internal/workload"
+	"hmscs/internal/run"
 )
 
-func newSystemFlags(t *testing.T, args ...string) *SystemFlags {
+// parseSystem binds the system flags onto a fresh spec and parses args,
+// mirroring what every binary does.
+func parseSystem(t *testing.T, args ...string) *run.SystemSpec {
 	t.Helper()
+	spec := run.NewExperiment(run.KindSimulate)
 	fs := flag.NewFlagSet("test", flag.ContinueOnError)
-	var s SystemFlags
-	s.Register(fs)
+	BindSystem(fs, spec.System)
 	if err := fs.Parse(args); err != nil {
 		t.Fatal(err)
 	}
-	return &s
+	return spec.System
 }
 
 func TestSystemFlagsDefaultsBuildPaperPlatform(t *testing.T) {
-	s := newSystemFlags(t)
-	cfg, err := s.Build()
+	cfg, err := parseSystem(t).Build()
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -45,8 +43,7 @@ func TestSystemFlagsDefaultsBuildPaperPlatform(t *testing.T) {
 }
 
 func TestSystemFlagsCase2(t *testing.T) {
-	s := newSystemFlags(t, "-case", "2", "-clusters", "8", "-msg", "512", "-arch", "blocking")
-	cfg, err := s.Build()
+	cfg, err := parseSystem(t, "-case", "2", "-clusters", "8", "-msg", "512", "-arch", "blocking").Build()
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -59,8 +56,7 @@ func TestSystemFlagsCase2(t *testing.T) {
 }
 
 func TestSystemFlagsTechOverride(t *testing.T) {
-	s := newSystemFlags(t, "-icn1", "Myrinet", "-ecn", "IB")
-	cfg, err := s.Build()
+	cfg, err := parseSystem(t, "-icn1", "Myrinet", "-ecn", "IB").Build()
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -68,23 +64,22 @@ func TestSystemFlagsTechOverride(t *testing.T) {
 		t.Fatal("override not applied")
 	}
 	// Partial override is an error.
-	s2 := newSystemFlags(t, "-icn1", "Myrinet")
-	if _, err := s2.Build(); err == nil {
+	if _, err := parseSystem(t, "-icn1", "Myrinet").Build(); err == nil {
 		t.Fatal("partial override accepted")
 	}
 }
 
 func TestSystemFlagsErrors(t *testing.T) {
-	if _, err := newSystemFlags(t, "-clusters", "3").Build(); err == nil {
+	if _, err := parseSystem(t, "-clusters", "3").Build(); err == nil {
 		t.Fatal("non-dividing cluster count accepted")
 	}
-	if _, err := newSystemFlags(t, "-arch", "torus").Build(); err == nil {
+	if _, err := parseSystem(t, "-arch", "torus").Build(); err == nil {
 		t.Fatal("bad arch accepted")
 	}
-	if _, err := newSystemFlags(t, "-case", "7").Build(); err == nil {
+	if _, err := parseSystem(t, "-case", "7").Build(); err == nil {
 		t.Fatal("bad case accepted")
 	}
-	if _, err := newSystemFlags(t, "-icn1", "bogus", "-ecn", "FE").Build(); err == nil {
+	if _, err := parseSystem(t, "-icn1", "bogus", "-ecn", "FE").Build(); err == nil {
 		t.Fatal("bad technology accepted")
 	}
 }
@@ -100,8 +95,7 @@ func TestSystemFlagsConfigFile(t *testing.T) {
 		t.Fatal(err)
 	}
 	// The -config flag overrides every other system flag.
-	s := newSystemFlags(t, "-config", path, "-clusters", "99", "-msg", "4096")
-	cfg, err := s.Build()
+	cfg, err := parseSystem(t, "-config", path, "-clusters", "99", "-msg", "4096").Build()
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -109,15 +103,13 @@ func TestSystemFlagsConfigFile(t *testing.T) {
 		t.Fatalf("config file not honoured: %s", cfg)
 	}
 	// Missing file errors.
-	s2 := newSystemFlags(t, "-config", filepath.Join(dir, "nope.json"))
-	if _, err := s2.Build(); err == nil {
+	if _, err := parseSystem(t, "-config", filepath.Join(dir, "nope.json")).Build(); err == nil {
 		t.Fatal("missing config accepted")
 	}
 }
 
 func TestSystemFlagsExplicitNodes(t *testing.T) {
-	s := newSystemFlags(t, "-clusters", "3", "-nodes", "5")
-	cfg, err := s.Build()
+	cfg, err := parseSystem(t, "-clusters", "3", "-nodes", "5").Build()
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -126,445 +118,187 @@ func TestSystemFlagsExplicitNodes(t *testing.T) {
 	}
 }
 
-func TestSimFlags(t *testing.T) {
+func TestBindFlagsWriteThroughSpec(t *testing.T) {
+	spec := run.NewExperiment(run.KindSimulate)
 	fs := flag.NewFlagSet("test", flag.ContinueOnError)
-	var s SimFlags
-	s.Register(fs)
-	if err := fs.Parse([]string{"-seed", "9", "-messages", "500", "-service", "det", "-pattern", "local:0.8"}); err != nil {
+	BindSimProcedure(fs, spec.Run)
+	BindSimWorkload(fs, spec.Workload)
+	BindArrival(fs, spec.Workload)
+	BindPrecision(fs, spec.Precision)
+	args := []string{"-seed", "9", "-messages", "500", "-service", "det",
+		"-pattern", "local:0.8", "-arrival", "mmpp", "-burst-ratio", "20",
+		"-precision", "0.02", "-confidence", "0.99", "-max-reps", "20"}
+	if err := fs.Parse(args); err != nil {
 		t.Fatal(err)
 	}
-	opts, err := s.Build()
-	if err != nil {
-		t.Fatal(err)
+	if spec.Run.Seed != 9 || spec.Run.Messages != 500 {
+		t.Fatalf("run section not written: %+v", spec.Run)
 	}
-	if opts.Seed != 9 || opts.MeasuredMessages != 500 {
-		t.Fatal("options not applied")
+	if spec.Workload.Service != "det" || spec.Workload.Pattern != "local:0.8" {
+		t.Fatalf("workload section not written: %+v", spec.Workload)
 	}
-	if opts.ServiceDist.SCV() != 0 {
-		t.Fatal("det service not applied")
+	if spec.Workload.Arrival != "mmpp" || spec.Workload.BurstRatio != 20 {
+		t.Fatalf("arrival not written: %+v", spec.Workload)
 	}
-	if _, ok := opts.Pattern.(workload.LocalBias); !ok {
-		t.Fatalf("pattern = %T", opts.Pattern)
-	}
-}
-
-func TestSimFlagsServiceFamilies(t *testing.T) {
-	for _, svc := range []string{"exp", "det", "erlang4", "h2"} {
-		fs := flag.NewFlagSet("test", flag.ContinueOnError)
-		var s SimFlags
-		s.Register(fs)
-		if err := fs.Parse([]string{"-service", svc}); err != nil {
-			t.Fatal(err)
-		}
-		if _, err := s.Build(); err != nil {
-			t.Errorf("service %q: %v", svc, err)
-		}
-	}
-	fs := flag.NewFlagSet("test", flag.ContinueOnError)
-	var s SimFlags
-	s.Register(fs)
-	if err := fs.Parse([]string{"-service", "cauchy"}); err != nil {
-		t.Fatal(err)
-	}
-	if _, err := s.Build(); err == nil {
-		t.Fatal("unknown service accepted")
-	}
-}
-
-func TestParsePattern(t *testing.T) {
-	if _, err := ParsePattern("uniform"); err != nil {
-		t.Fatal(err)
-	}
-	p, err := ParsePattern("hotspot:0.3")
-	if err != nil {
-		t.Fatal(err)
-	}
-	if h, ok := p.(workload.Hotspot); !ok || h.Fraction != 0.3 {
-		t.Fatalf("pattern = %#v", p)
-	}
-	for _, bad := range []string{"local:2", "local:x", "hotspot:-1", "zipf"} {
-		if _, err := ParsePattern(bad); err == nil {
-			t.Errorf("pattern %q accepted", bad)
-		}
-	}
-}
-
-func TestParseIntList(t *testing.T) {
-	got, err := ParseIntList("1, 2,4")
-	if err != nil {
-		t.Fatal(err)
-	}
-	if len(got) != 3 || got[2] != 4 {
-		t.Fatalf("list = %v", got)
-	}
-	if _, err := ParseIntList(""); err == nil {
-		t.Fatal("empty list accepted")
-	}
-	if _, err := ParseIntList("1,x"); err == nil {
-		t.Fatal("bad entry accepted")
-	}
-}
-
-func TestParseFloatList(t *testing.T) {
-	got, err := ParseFloatList("0.25, 2.5")
-	if err != nil {
-		t.Fatal(err)
-	}
-	if len(got) != 2 || got[1] != 2.5 {
-		t.Fatalf("list = %v", got)
-	}
-	if _, err := ParseFloatList("a"); err == nil {
-		t.Fatal("bad float accepted")
-	}
-}
-
-func TestMs(t *testing.T) {
-	if got := Ms(0.0123); !strings.Contains(got, "12.300") {
-		t.Fatalf("Ms = %q", got)
-	}
-}
-
-func TestPrecisionFlags(t *testing.T) {
-	fs := flag.NewFlagSet("t", flag.ContinueOnError)
-	var sf SimFlags
-	sf.Register(fs)
-	if err := fs.Parse([]string{"-precision", "0.02", "-confidence", "0.99", "-max-reps", "20"}); err != nil {
-		t.Fatal(err)
-	}
-	p, err := sf.PrecisionSpec()
+	p, err := spec.Precision.Build()
 	if err != nil {
 		t.Fatal(err)
 	}
 	if p == nil || p.RelWidth != 0.02 || p.Confidence != 0.99 || p.MaxReps != 20 || p.MinReps != 4 {
 		t.Fatalf("precision spec = %+v", p)
 	}
+}
 
-	// Default (0) means fixed-replication mode.
-	fs2 := flag.NewFlagSet("t", flag.ContinueOnError)
-	var sf2 SimFlags
-	sf2.Register(fs2)
-	if err := fs2.Parse(nil); err != nil {
+func TestBindNetAndPlanWriteThrough(t *testing.T) {
+	spec := run.NewExperiment(run.KindNetsim)
+	fs := flag.NewFlagSet("test", flag.ContinueOnError)
+	BindNet(fs, spec.Net)
+	if err := fs.Parse([]string{"-topo", "linear-array", "-n", "24", "-tech", "FE"}); err != nil {
 		t.Fatal(err)
 	}
-	if p, err := sf2.PrecisionSpec(); err != nil || p != nil {
+	if spec.Net.Topo != "linear-array" || spec.Net.N != 24 || spec.Net.Tech != "FE" {
+		t.Fatalf("net section not written: %+v", spec.Net)
+	}
+	if spec.Net.Ports != 8 || spec.Net.Lambda != 10000 {
+		t.Fatalf("net defaults lost: %+v", spec.Net)
+	}
+
+	pspec := run.NewExperiment(run.KindPlan)
+	fs2 := flag.NewFlagSet("test", flag.ContinueOnError)
+	BindPlan(fs2, pspec.Plan)
+	if err := fs2.Parse([]string{"-slo-latency", "1.5", "-min-nodes", "64", "-port-costs", "FE=0.5"}); err != nil {
+		t.Fatal(err)
+	}
+	if pspec.Plan.SLOLatencyMs != 1.5 || pspec.Plan.MinNodes != 64 || pspec.Plan.PortCosts != "FE=0.5" {
+		t.Fatalf("plan section not written: %+v", pspec.Plan)
+	}
+	if pspec.Plan.SLOUtil != 0.95 || pspec.Plan.Top != 3 || pspec.Plan.Format != "md" {
+		t.Fatalf("plan defaults lost: %+v", pspec.Plan)
+	}
+}
+
+func TestPrecisionDefaultIsFixedMode(t *testing.T) {
+	spec := run.NewExperiment(run.KindSimulate)
+	fs := flag.NewFlagSet("test", flag.ContinueOnError)
+	BindPrecision(fs, spec.Precision)
+	if err := fs.Parse(nil); err != nil {
+		t.Fatal(err)
+	}
+	if p, err := spec.Precision.Build(); err != nil || p != nil {
 		t.Fatalf("unset precision produced %+v, %v", p, err)
 	}
+}
 
-	// Invalid targets surface as errors, not bad runs.
-	if _, err := BuildPrecision(2, 0.95, 64); err == nil {
-		t.Fatal("precision 2 accepted")
+func TestPreloadSpecDefaultsWhenAbsent(t *testing.T) {
+	spec, err := PreloadSpec([]string{"-clusters", "8"}, run.KindSimulate)
+	if err != nil {
+		t.Fatal(err)
 	}
-	if _, err := BuildPrecision(0.02, 0.95, 2); err == nil {
-		t.Fatal("max-reps below minimum accepted")
+	if spec.Kind != run.KindSimulate || spec.System.Clusters != 16 {
+		t.Fatalf("default spec = %+v", spec)
 	}
 }
 
-func TestParseArrivalSpecs(t *testing.T) {
-	cases := []struct {
-		spec  string
-		ratio float64
-		want  string
-	}{
-		{"poisson", 10, "poisson"},
-		{"", 10, "poisson"},
-		{"periodic", 10, "periodic"},
-		{"det", 10, "periodic"},
-		{"mmpp", 10, "mmpp(r=10,f=0.10)"},
-		{"mmpp:0.25", 20, "mmpp(r=20,f=0.25)"},
-		{"mmpp", math.Inf(1), "mmpp(r=+Inf,f=0.10)"},
-		{"pareto", 10, "pareto(a=1.5)"},
-		{"pareto:2.5", 10, "pareto(a=2.5)"},
-		{"weibull:0.8", 10, "weibull(k=0.8)"},
+func TestPreloadSpecLoadsAndChecksKind(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "exp.json")
+	if err := os.WriteFile(path, []byte(`{"v":1,"kind":"simulate","system":{"clusters":4}}`), 0o644); err != nil {
+		t.Fatal(err)
 	}
-	for _, tc := range cases {
-		arr, err := ParseArrival(tc.spec, tc.ratio, "")
+	for _, args := range [][]string{
+		{"-spec", path},
+		{"-spec=" + path},
+		{"-messages", "100", "-spec", path},
+	} {
+		spec, err := PreloadSpec(args, run.KindSimulate)
 		if err != nil {
-			t.Errorf("ParseArrival(%q): %v", tc.spec, err)
-			continue
+			t.Fatalf("args %v: %v", args, err)
 		}
-		if arr.Name() != tc.want {
-			t.Errorf("ParseArrival(%q) = %s, want %s", tc.spec, arr.Name(), tc.want)
+		if spec.System.Clusters != 4 {
+			t.Fatalf("args %v: spec not loaded: %+v", args, spec.System)
 		}
 	}
-	// The dwell argument reaches the MMPP.
-	arr, err := ParseArrival("mmpp:0.2:120", 5, "")
-	if err != nil {
-		t.Fatal(err)
+	// A spec of another kind is rejected: each binary runs one kind.
+	if _, err := PreloadSpec([]string{"-spec", path}, run.KindAnalyze); err == nil {
+		t.Fatal("kind mismatch accepted")
 	}
-	if m, ok := arr.(*workload.MMPP); !ok || m.Dwell != 120 {
-		t.Fatalf("dwell not threaded: %#v", arr)
-	}
-	for _, spec := range []string{"mmpp:x", "pareto:0.5", "weibull:-1", "spiral", "trace"} {
-		if _, err := ParseArrival(spec, 10, ""); err == nil {
-			t.Errorf("spec %q accepted", spec)
-		}
+	if _, err := PreloadSpec([]string{"-spec", filepath.Join(dir, "missing.json")}, run.KindSimulate); err == nil {
+		t.Fatal("missing spec accepted")
 	}
 }
 
-func TestParseArrivalTraceFile(t *testing.T) {
-	path := filepath.Join(t.TempDir(), "trace.csv")
-	if err := os.WriteFile(path, []byte("0\n0.5\n0.6\n2\n"), 0o644); err != nil {
+func TestPreloadSpecFlagsOverride(t *testing.T) {
+	// The loaded spec provides the flag defaults; explicitly-set flags win.
+	dir := t.TempDir()
+	path := filepath.Join(dir, "exp.json")
+	if err := os.WriteFile(path, []byte(`{"v":1,"kind":"simulate","run":{"messages":5000,"seed":7}}`), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	arr, err := ParseArrival("trace", 10, path)
+	args := []string{"-spec", path, "-messages", "100"}
+	spec, err := PreloadSpec(args, run.KindSimulate)
 	if err != nil {
 		t.Fatal(err)
 	}
-	tr, ok := arr.(*workload.Trace)
-	if !ok || tr.Len() != 3 {
-		t.Fatalf("trace not loaded: %#v", arr)
-	}
-	if _, err := ParseArrival("trace", 10, filepath.Join(t.TempDir(), "missing.csv")); err == nil {
-		t.Error("missing trace file accepted")
-	}
-}
-
-func TestSimFlagsThreadArrival(t *testing.T) {
 	fs := flag.NewFlagSet("test", flag.ContinueOnError)
-	var sf SimFlags
-	sf.Register(fs)
-	if err := fs.Parse([]string{"-arrival", "mmpp", "-burst-ratio", "20"}); err != nil {
-		t.Fatal(err)
-	}
-	opts, err := sf.Build()
-	if err != nil {
-		t.Fatal(err)
-	}
-	if opts.Arrival == nil || opts.Arrival.Name() != "mmpp(r=20,f=0.10)" {
-		t.Fatalf("arrival not threaded: %#v", opts.Arrival)
-	}
-}
-
-func TestNetFlagsBuild(t *testing.T) {
-	fs := flag.NewFlagSet("test", flag.ContinueOnError)
-	var nf NetFlags
-	nf.Register(fs)
-	args := []string{"-topo", "linear-array", "-n", "24", "-ports", "8",
-		"-tech", "FE", "-pattern", "hotspot:0.3", "-arrival", "periodic"}
+	var xf ExperimentFlags
+	xf.Register(fs)
+	BindSimProcedure(fs, spec.Run)
 	if err := fs.Parse(args); err != nil {
 		t.Fatal(err)
 	}
-	exp, err := nf.Build()
-	if err != nil {
-		t.Fatal(err)
+	if spec.Run.Messages != 100 {
+		t.Fatalf("explicit -messages did not override spec: %d", spec.Run.Messages)
 	}
-	net, err := exp.Build(1)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if net.Kind.String() != "linear-array" || net.N != 24 {
-		t.Fatalf("built %s N=%d", net.Kind, net.N)
-	}
-	if exp.Opts.Workload.Arrival.Name() != "periodic" {
-		t.Fatalf("netsim arrival = %s", exp.Opts.Workload.Arrival.Name())
-	}
-	if exp.Opts.Workload.Pattern.Name() != "hotspot(node=0,p=0.30)" {
-		t.Fatalf("netsim pattern = %s", exp.Opts.Workload.Pattern.Name())
-	}
-	if exp.Tech.Name != "FastEthernet" || exp.Switch.Ports != 8 {
-		t.Fatalf("resolved tech/switch wrong: %s / %d ports", exp.Tech.Name, exp.Switch.Ports)
+	if spec.Run.Seed != 7 {
+		t.Fatalf("unset flag clobbered spec value: seed = %d", spec.Run.Seed)
 	}
 }
 
-func TestNetFlagsRejectsBadValues(t *testing.T) {
-	for _, args := range [][]string{
-		{"-service", "zeta"},
-		{"-tech", "bogus"},
-		{"-pattern", "spiral"},
-		{"-arrival", "spiral"},
-	} {
-		fs := flag.NewFlagSet("test", flag.ContinueOnError)
-		var nf NetFlags
-		nf.Register(fs)
-		if err := fs.Parse(args); err != nil {
-			t.Fatal(err)
-		}
-		if _, err := nf.Build(); err == nil {
-			t.Errorf("args %v accepted", args)
-		}
+func TestExperimentFlagsContextTimeout(t *testing.T) {
+	x := ExperimentFlags{Timeout: time.Minute}
+	ctx, cancel := x.Context()
+	defer cancel()
+	if _, ok := ctx.Deadline(); !ok {
+		t.Fatal("timeout did not set a deadline")
 	}
-	// The topology is validated lazily by the build closure.
-	fs := flag.NewFlagSet("test", flag.ContinueOnError)
-	var nf NetFlags
-	nf.Register(fs)
-	if err := fs.Parse([]string{"-topo", "torus"}); err != nil {
-		t.Fatal(err)
-	}
-	exp, err := nf.Build()
-	if err != nil {
-		t.Fatal(err)
-	}
-	if _, err := exp.Build(1); err == nil {
-		t.Error("bad topology accepted")
+	x2 := ExperimentFlags{}
+	ctx2, cancel2 := x2.Context()
+	defer cancel2()
+	if _, ok := ctx2.Deadline(); ok {
+		t.Fatal("deadline without -timeout")
 	}
 }
 
-// heterogeneousConfigFile writes a 3-cluster unequal config for the
-// -config resolution tests and returns its path.
-func heterogeneousConfigFile(t *testing.T) string {
-	t.Helper()
-	cfg := &core.Config{
-		Clusters: []core.Cluster{
-			{Nodes: 16, Lambda: 100, ICN1: network.GigabitEthernet, ECN1: network.FastEthernet},
-			{Nodes: 8, Lambda: 200, ICN1: network.Myrinet, ECN1: network.FastEthernet},
-			{Nodes: 4, Lambda: 50, ICN1: network.FastEthernet, ECN1: network.GigabitEthernet},
-		},
-		ICN2: network.GigabitEthernet, Arch: network.NonBlocking,
-		Switch: network.PaperSwitch, MessageBytes: 512,
-	}
-	path := filepath.Join(t.TempDir(), "hetero.json")
-	if err := core.SaveConfig(cfg, path); err != nil {
-		t.Fatal(err)
-	}
-	return path
-}
-
-func TestNetFlagsConfigResolution(t *testing.T) {
-	path := heterogeneousConfigFile(t)
-	cfg, err := core.LoadConfig(path)
+func TestExperimentFlagsSinks(t *testing.T) {
+	dir := t.TempDir()
+	var buf strings.Builder
+	x := ExperimentFlags{Emit: filepath.Join(dir, "ev.jsonl")}
+	sinks, closer, err := x.Sinks(&buf)
 	if err != nil {
 		t.Fatal(err)
 	}
-	rates := cfg.ArrivalRates(1)
-	cases := []struct {
-		net       string
-		cluster   int
-		tech      string
-		endpoints int
-		rate      float64
-	}{
-		{"icn2", 0, "GigabitEthernet", 3, rates.ICN2},
-		{"icn1", 0, "GigabitEthernet", 16, rates.ICN1[0]},
-		{"icn1", 1, "Myrinet", 8, rates.ICN1[1]},
-		{"ecn1", 2, "GigabitEthernet", 5, rates.ECN1[2]},
+	if len(sinks) != 2 {
+		t.Fatalf("want markdown+jsonl sinks, got %d", len(sinks))
 	}
-	for _, tc := range cases {
-		fs := flag.NewFlagSet("test", flag.ContinueOnError)
-		var nf NetFlags
-		nf.Register(fs)
-		args := []string{"-config", path, "-net", tc.net, "-cluster", fmt.Sprint(tc.cluster)}
-		if err := fs.Parse(args); err != nil {
-			t.Fatal(err)
-		}
-		exp, err := nf.Build()
-		if err != nil {
-			t.Fatalf("%s[%d]: %v", tc.net, tc.cluster, err)
-		}
-		if exp.Tech.Name != tc.tech {
-			t.Errorf("%s[%d]: tech %s, want %s", tc.net, tc.cluster, exp.Tech.Name, tc.tech)
-		}
-		if nf.N != tc.endpoints {
-			t.Errorf("%s[%d]: %d endpoints, want %d", tc.net, tc.cluster, nf.N, tc.endpoints)
-		}
-		want := tc.rate / float64(tc.endpoints)
-		if math.Abs(exp.Opts.Lambda-want) > 1e-9*want {
-			t.Errorf("%s[%d]: per-endpoint λ %g, want %g", tc.net, tc.cluster, exp.Opts.Lambda, want)
-		}
-		if nf.Msg != 512 || exp.Switch.Ports != cfg.Switch.Ports {
-			t.Errorf("%s[%d]: message/switch parameters not resolved", tc.net, tc.cluster)
-		}
-		if nf.Topo != "fat-tree" {
-			t.Errorf("%s[%d]: topo %s, want fat-tree for non-blocking", tc.net, tc.cluster, nf.Topo)
-		}
+	if err := closer(); err != nil {
+		t.Fatal(err)
+	}
+	// Without -emit only the markdown sink remains.
+	x2 := ExperimentFlags{}
+	sinks2, closer2, err := x2.Sinks(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sinks2) != 1 {
+		t.Fatalf("want 1 sink, got %d", len(sinks2))
+	}
+	if err := closer2(); err != nil {
+		t.Fatal(err)
 	}
 }
 
-func TestNetFlagsConfigErrors(t *testing.T) {
-	path := heterogeneousConfigFile(t)
-	for _, args := range [][]string{
-		{"-config", "missing.json"},
-		{"-config", path, "-net", "icn3"},
-		{"-config", path, "-net", "icn1", "-cluster", "7"},
-		{"-config", path, "-net", "ecn1", "-cluster", "-1"},
-	} {
-		fs := flag.NewFlagSet("test", flag.ContinueOnError)
-		var nf NetFlags
-		nf.Register(fs)
-		if err := fs.Parse(args); err != nil {
-			t.Fatal(err)
-		}
-		if _, err := nf.Build(); err == nil {
-			t.Errorf("args %v accepted", args)
-		}
-	}
-}
-
-func TestPlanFlags(t *testing.T) {
-	fs := flag.NewFlagSet("test", flag.ContinueOnError)
-	var pf PlanFlags
-	pf.Register(fs)
-	args := []string{"-slo-latency", "1.5", "-slo-util", "0.9", "-min-nodes", "64",
-		"-node-cost", "2", "-port-costs", "FE=0.5,IB=3", "-lambda", "123", "-msg", "2048"}
-	if err := fs.Parse(args); err != nil {
-		t.Fatal(err)
-	}
-	sp, err := pf.BuildSpace()
-	if err != nil {
-		t.Fatal(err)
-	}
-	if sp.Lambda != 123 || sp.MessageBytes != 2048 {
-		t.Fatalf("space overrides not applied: λ=%g M=%d", sp.Lambda, sp.MessageBytes)
-	}
-	slo, err := pf.BuildSLO()
-	if err != nil {
-		t.Fatal(err)
-	}
-	if slo.MaxLatency != 1.5e-3 || slo.MaxUtil != 0.9 || slo.MinNodes != 64 {
-		t.Fatalf("SLO not built: %+v", slo)
-	}
-	cm, err := pf.BuildCost()
-	if err != nil {
-		t.Fatal(err)
-	}
-	if cm.NodeCost != 2 || cm.PortCost["FastEthernet"] != 0.5 || cm.PortCost["Infiniband"] != 3 {
-		t.Fatalf("cost overrides not applied: %+v", cm)
-	}
-	// Untouched technologies keep their default prices.
-	if cm.PortCost["GigabitEthernet"] != 0.1 {
-		t.Fatalf("default GE price lost: %+v", cm)
-	}
-}
-
-func TestPlanFlagsSpaceFile(t *testing.T) {
-	sp := plan.DefaultSpace()
-	sp.Clusters = []int{2}
-	sp.NodesPerCluster = []int{8}
-	sp.Splits = nil
-	path := filepath.Join(t.TempDir(), "space.json")
-	if err := plan.SaveSpace(sp, path); err != nil {
-		t.Fatal(err)
-	}
-	fs := flag.NewFlagSet("test", flag.ContinueOnError)
-	var pf PlanFlags
-	pf.Register(fs)
-	if err := fs.Parse([]string{"-space", path}); err != nil {
-		t.Fatal(err)
-	}
-	got, err := pf.BuildSpace()
-	if err != nil {
-		t.Fatal(err)
-	}
-	if len(got.Clusters) != 1 || got.Clusters[0] != 2 || got.Splits != nil {
-		t.Fatalf("space file not honoured: %+v", got)
-	}
-	// Bad flag values are rejected.
-	for _, bad := range [][]string{
-		{"-space", "missing.json"},
-		{"-port-costs", "FE"},
-		{"-port-costs", "Zeta=1"},
-		{"-slo-latency", "-2"},
-	} {
-		fs := flag.NewFlagSet("test", flag.ContinueOnError)
-		var pf PlanFlags
-		pf.Register(fs)
-		if err := fs.Parse(bad); err != nil {
-			t.Fatal(err)
-		}
-		_, errSpace := pf.BuildSpace()
-		_, errSLO := pf.BuildSLO()
-		_, errCost := pf.BuildCost()
-		if errSpace == nil && errSLO == nil && errCost == nil {
-			t.Errorf("args %v accepted", bad)
-		}
+func TestMs(t *testing.T) {
+	if got := Ms(0.0123); !strings.Contains(got, "12.300") {
+		t.Fatalf("Ms = %q", got)
 	}
 }

@@ -6,20 +6,36 @@
 package par
 
 import (
+	"context"
 	"runtime"
 	"sync"
 )
 
-// ForEach runs fn(i) for every i in [0, n) on up to parallelism concurrent
-// workers. parallelism <= 0 means runtime.NumCPU(). With parallelism 1 the
-// calls run sequentially on the calling goroutine.
-//
-// Every index is attempted even if some fail; the returned error is the
-// lowest-index failure, so the outcome is independent of goroutine
-// scheduling.
+// ForEach runs fn(i) for every i in [0, n) on up to parallelism
+// concurrent workers with no cancellation: ForEachCtx with a background
+// context.
 func ForEach(n, parallelism int, fn func(i int) error) error {
+	return ForEachCtx(context.Background(), n, parallelism, fn)
+}
+
+// ForEachCtx runs fn(i) for every i in [0, n) on up to parallelism
+// concurrent workers. parallelism <= 0 means runtime.NumCPU(). With
+// parallelism 1 the calls run sequentially on the calling goroutine.
+//
+// The pool aborts promptly: the first failure (or the context's
+// cancellation) stops new units from being dispatched, so a failing or
+// cancelled batch does not run to the end before reporting. Units
+// already dispatched run to completion — cancellation lands between
+// units, never inside one — and the pool is fully drained before
+// ForEachCtx returns, so no worker goroutines outlive the call.
+//
+// The returned error is deterministic for a deterministic fn: units are
+// dispatched in index order, so the lowest-index failure always runs
+// (and is always the error reported) before any abort it triggers. When
+// no unit failed, a cancelled context reports ctx.Err().
+func ForEachCtx(ctx context.Context, n, parallelism int, fn func(i int) error) error {
 	if n <= 0 {
-		return nil
+		return ctx.Err()
 	}
 	if parallelism <= 0 {
 		parallelism = runtime.NumCPU()
@@ -28,28 +44,45 @@ func ForEach(n, parallelism int, fn func(i int) error) error {
 		parallelism = n
 	}
 	if parallelism == 1 {
-		var first error
 		for i := 0; i < n; i++ {
-			if err := fn(i); err != nil && first == nil {
-				first = err
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			if err := fn(i); err != nil {
+				return err
 			}
 		}
-		return first
+		return nil
 	}
 	errs := make([]error, n)
 	idx := make(chan int)
+	stop := make(chan struct{})
+	var stopOnce sync.Once
 	var wg sync.WaitGroup
 	for w := 0; w < parallelism; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
 			for i := range idx {
-				errs[i] = fn(i)
+				if ctx.Err() != nil {
+					continue // drain without running new units
+				}
+				if err := fn(i); err != nil {
+					errs[i] = err
+					stopOnce.Do(func() { close(stop) })
+				}
 			}
 		}()
 	}
+dispatch:
 	for i := 0; i < n; i++ {
-		idx <- i
+		select {
+		case idx <- i:
+		case <-stop:
+			break dispatch
+		case <-ctx.Done():
+			break dispatch
+		}
 	}
 	close(idx)
 	wg.Wait()
@@ -58,5 +91,5 @@ func ForEach(n, parallelism int, fn func(i int) error) error {
 			return err
 		}
 	}
-	return nil
+	return ctx.Err()
 }

@@ -1,10 +1,12 @@
 package plan
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
 	"hmscs/internal/output"
+	"hmscs/internal/progress"
 	"hmscs/internal/sim"
 )
 
@@ -64,6 +66,14 @@ type VerifiedCandidate struct {
 // seed); each candidate's replication seeds derive deterministically from
 // it, so results are bit-identical at every parallelism level.
 func VerifyTopK(frontier []ScreenResult, k int, slo SLO, opts sim.Options, prec output.Precision, parallelism int) ([]VerifiedCandidate, error) {
+	return VerifyTopKCtx(context.Background(), frontier, k, slo, opts, prec, parallelism, nil)
+}
+
+// VerifyTopKCtx is VerifyTopK with cancellation and progress: a
+// cancelled context aborts the verification pool between replication
+// units and returns ctx.Err(); prog receives the adaptive-stopping
+// events of sim.RunPrecisionUnitsCtx.
+func VerifyTopKCtx(ctx context.Context, frontier []ScreenResult, k int, slo SLO, opts sim.Options, prec output.Precision, parallelism int, prog progress.Func) ([]VerifiedCandidate, error) {
 	slo = slo.Normalized()
 	if k > len(frontier) {
 		k = len(frontier)
@@ -82,7 +92,7 @@ func VerifyTopK(frontier []ScreenResult, k int, slo SLO, opts sim.Options, prec 
 			},
 		}
 	}
-	res, err := sim.RunPrecisionUnits(units, prec, parallelism)
+	res, err := sim.RunPrecisionUnitsCtx(ctx, units, prec, parallelism, prog)
 	if err != nil {
 		return nil, err
 	}

@@ -1,6 +1,7 @@
 package plan
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -75,6 +76,12 @@ type ScreenResult struct {
 // scores it against the SLO. Results are in enumeration order and
 // bit-identical at every parallelism level.
 func Screen(sp *Space, slo SLO, cost CostModel, arrivalSCV float64, parallelism int) ([]ScreenResult, error) {
+	return ScreenCtx(context.Background(), sp, slo, cost, arrivalSCV, parallelism)
+}
+
+// ScreenCtx is Screen with cancellation: a cancelled context aborts the
+// screening pool between candidates and returns ctx.Err().
+func ScreenCtx(ctx context.Context, sp *Space, slo SLO, cost CostModel, arrivalSCV float64, parallelism int) ([]ScreenResult, error) {
 	slo = slo.Normalized()
 	if err := slo.Validate(); err != nil {
 		return nil, err
@@ -86,16 +93,16 @@ func Screen(sp *Space, slo SLO, cost CostModel, arrivalSCV float64, parallelism 
 	if err != nil {
 		return nil, err
 	}
-	return screenCandidates(cands, slo, cost, arrivalSCV, parallelism)
+	return screenCandidates(ctx, cands, slo, cost, arrivalSCV, parallelism)
 }
 
 // screenCandidates scores an already-enumerated candidate list.
-func screenCandidates(cands []Candidate, slo SLO, cost CostModel, arrivalSCV float64, parallelism int) ([]ScreenResult, error) {
+func screenCandidates(ctx context.Context, cands []Candidate, slo SLO, cost CostModel, arrivalSCV float64, parallelism int) ([]ScreenResult, error) {
 	cfgs := make([]*core.Config, len(cands))
 	for i, c := range cands {
 		cfgs[i] = c.Cfg
 	}
-	analyses, err := analytic.AnalyzeBatch(cfgs, arrivalSCV, parallelism)
+	analyses, err := analytic.AnalyzeBatchCtx(ctx, cfgs, arrivalSCV, parallelism)
 	if err != nil {
 		return nil, err
 	}
@@ -103,7 +110,7 @@ func screenCandidates(cands []Candidate, slo SLO, cost CostModel, arrivalSCV flo
 	// worker pool too (written by index, lowest-index error — the same
 	// determinism contract as the analysis fan-out).
 	costs := make([]float64, len(cands))
-	err = par.ForEach(len(cands), parallelism, func(i int) error {
+	err = par.ForEachCtx(ctx, len(cands), parallelism, func(i int) error {
 		c, err := cost.Cost(cands[i].Cfg)
 		if err != nil {
 			return fmt.Errorf("plan: candidate %d cost: %w", cands[i].Index, err)

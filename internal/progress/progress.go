@@ -1,0 +1,61 @@
+// Package progress defines the typed progress events the execution
+// layers (sim, sweep, plan, run) emit while an experiment is running:
+// which work unit started or finished, how many replications a unit has
+// accumulated, and how tight its confidence interval is so far. It is a
+// leaf package so every layer can emit the same event type without
+// import cycles; the run package re-exports it as the public callback of
+// the unified Runner.
+package progress
+
+// Kind discriminates progress events.
+type Kind uint8
+
+const (
+	// UnitStarted fires when a work unit's first replication is scheduled.
+	UnitStarted Kind = iota
+	// UnitFinished fires when a unit (or, in fixed-replication mode, one
+	// of its replications — see Rep) completes.
+	UnitFinished
+	// UnitEstimate fires between adaptive-stopping rounds with the unit's
+	// replications-so-far and current confidence-interval width.
+	UnitEstimate
+)
+
+// String names the kind for logs and JSONL streams.
+func (k Kind) String() string {
+	switch k {
+	case UnitStarted:
+		return "unit_started"
+	case UnitFinished:
+		return "unit_finished"
+	case UnitEstimate:
+		return "unit_estimate"
+	}
+	return "unknown"
+}
+
+// Event is one progress notification. Fields beyond Kind/Unit are
+// best-effort: fixed-replication emitters fill Rep with the finished
+// replication's index, adaptive emitters fill Rep with the replications
+// accumulated so far plus the running Mean and RelWidth.
+type Event struct {
+	Kind Kind
+	// Unit indexes the work unit (figure point, sweep point, plan
+	// candidate, or 0 for single-configuration runs); Units is the total.
+	Unit, Units int
+	// Rep is the replication index (UnitFinished in fixed mode) or the
+	// replications accumulated so far (UnitEstimate).
+	Rep int
+	// Label names the unit when the emitter knows one.
+	Label string
+	// Mean and RelWidth describe the unit's running estimate in adaptive
+	// mode: the point estimate (seconds) and the confidence half-width as
+	// a fraction of it.
+	Mean, RelWidth float64
+}
+
+// Func receives progress events. Emitters may call it from worker
+// goroutines; the run package serialises delivery before events reach
+// user callbacks and sinks, but a Func handed directly to the lower
+// layers must be safe for concurrent use.
+type Func func(Event)

@@ -1,0 +1,395 @@
+package run
+
+import (
+	"fmt"
+	"math"
+	"os"
+	"strconv"
+	"strings"
+
+	"hmscs/internal/core"
+	"hmscs/internal/netsim"
+	"hmscs/internal/network"
+	"hmscs/internal/output"
+	"hmscs/internal/rng"
+	"hmscs/internal/sim"
+	"hmscs/internal/workload"
+)
+
+// ParseArrival parses an arrival-process spec:
+//
+//	poisson                          the paper's assumption 2
+//	periodic | det                   deterministic gaps (SCV 0)
+//	mmpp[:<frac>[:<dwell>]]          MMPP-2 at burst ratio burstRatio,
+//	                                 burst fraction frac (default 0.1),
+//	                                 dwell in mean interarrivals
+//	pareto[:<alpha>]                 heavy-tailed renewal (default α 1.5)
+//	weibull[:<shape>]                Weibull renewal (default k 0.5)
+//	trace                            replay traceFile's timestamps
+func ParseArrival(spec string, burstRatio float64, traceFile string) (workload.Arrival, error) {
+	name, args, _ := strings.Cut(spec, ":")
+	parseArg := func(s string, def float64) (float64, error) {
+		if s == "" {
+			return def, nil
+		}
+		if strings.EqualFold(s, "inf") {
+			return math.Inf(1), nil
+		}
+		v, err := strconv.ParseFloat(s, 64)
+		if err != nil {
+			return 0, fmt.Errorf("run: bad arrival parameter %q in %q", s, spec)
+		}
+		return v, nil
+	}
+	switch name {
+	case "", "poisson":
+		return workload.Poisson{}, nil
+	case "periodic", "det", "deterministic":
+		return workload.Periodic{}, nil
+	case "mmpp":
+		fracSpec, dwellSpec, _ := strings.Cut(args, ":")
+		frac, err := parseArg(fracSpec, 0.1)
+		if err != nil {
+			return nil, err
+		}
+		dwell, err := parseArg(dwellSpec, workload.DefaultMMPPDwell)
+		if err != nil {
+			return nil, err
+		}
+		m, err := workload.NewMMPP(burstRatio, frac)
+		if err != nil {
+			return nil, err
+		}
+		m.Dwell = dwell
+		return m, nil
+	case "pareto":
+		alpha, err := parseArg(args, 1.5)
+		if err != nil {
+			return nil, err
+		}
+		return workload.NewPareto(alpha)
+	case "weibull":
+		shape, err := parseArg(args, 0.5)
+		if err != nil {
+			return nil, err
+		}
+		return workload.NewWeibull(shape)
+	case "trace":
+		if traceFile == "" {
+			return nil, fmt.Errorf("run: arrival \"trace\" requires a trace file")
+		}
+		f, err := os.Open(traceFile)
+		if err != nil {
+			return nil, fmt.Errorf("run: %w", err)
+		}
+		defer f.Close()
+		ts, err := workload.ReadTrace(f)
+		if err != nil {
+			return nil, err
+		}
+		return workload.NewTrace(ts)
+	}
+	return nil, fmt.Errorf("run: unknown arrival process %q", spec)
+}
+
+// ParsePattern parses a traffic-pattern spec: "uniform", "local:<p>" or
+// "hotspot:<p>" (hot node 0).
+func ParsePattern(spec string) (workload.Pattern, error) {
+	switch {
+	case spec == "uniform" || spec == "":
+		return workload.Uniform{}, nil
+	case strings.HasPrefix(spec, "local:"):
+		p, err := strconv.ParseFloat(strings.TrimPrefix(spec, "local:"), 64)
+		if err != nil || p < 0 || p > 1 {
+			return nil, fmt.Errorf("run: bad locality in %q", spec)
+		}
+		return workload.LocalBias{Locality: p}, nil
+	case strings.HasPrefix(spec, "hotspot:"):
+		p, err := strconv.ParseFloat(strings.TrimPrefix(spec, "hotspot:"), 64)
+		if err != nil || p < 0 || p > 1 {
+			return nil, fmt.Errorf("run: bad hotspot fraction in %q", spec)
+		}
+		return workload.Hotspot{Node: 0, Fraction: p}, nil
+	}
+	return nil, fmt.Errorf("run: unknown pattern %q", spec)
+}
+
+// ParseService parses a service-distribution name: exp, det, erlang4, h2.
+func ParseService(name string) (rng.Dist, error) {
+	switch name {
+	case "exp", "":
+		return rng.Exponential{MeanValue: 1}, nil
+	case "det":
+		return rng.Deterministic{Value: 1}, nil
+	case "erlang4":
+		return rng.Erlang{K: 4, MeanValue: 1}, nil
+	case "h2":
+		return rng.NewHyperExp(1, 4)
+	}
+	return nil, fmt.Errorf("run: unknown service distribution %q", name)
+}
+
+// ParseIntList parses a comma-separated integer list like "1,2,4,8".
+func ParseIntList(spec string) ([]int, error) {
+	if strings.TrimSpace(spec) == "" {
+		return nil, fmt.Errorf("run: empty list")
+	}
+	parts := strings.Split(spec, ",")
+	out := make([]int, 0, len(parts))
+	for _, p := range parts {
+		v, err := strconv.Atoi(strings.TrimSpace(p))
+		if err != nil {
+			return nil, fmt.Errorf("run: bad integer %q in list", p)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+// ParseFloatList parses a comma-separated float list like "0.25,2.5,25".
+func ParseFloatList(spec string) ([]float64, error) {
+	if strings.TrimSpace(spec) == "" {
+		return nil, fmt.Errorf("run: empty list")
+	}
+	parts := strings.Split(spec, ",")
+	out := make([]float64, 0, len(parts))
+	for _, p := range parts {
+		v, err := strconv.ParseFloat(strings.TrimSpace(p), 64)
+		if err != nil {
+			return nil, fmt.Errorf("run: bad float %q in list", p)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+// splitList splits a comma-separated list, trimming each element.
+func splitList(spec string) []string {
+	parts := strings.Split(spec, ",")
+	for i, p := range parts {
+		parts[i] = strings.TrimSpace(p)
+	}
+	return parts
+}
+
+func orDefault(s, def string) string {
+	if s == "" {
+		return def
+	}
+	return s
+}
+
+// Build converts the system section into a validated configuration.
+func (s *SystemSpec) Build() (*core.Config, error) {
+	if s.ConfigPath != "" {
+		return core.LoadConfig(s.ConfigPath)
+	}
+	arch, err := network.ParseArchitecture(s.Arch)
+	if err != nil {
+		return nil, err
+	}
+	n0 := s.Nodes
+	if n0 == 0 {
+		if s.Clusters <= 0 || s.Total%s.Clusters != 0 {
+			return nil, fmt.Errorf("run: %d clusters must divide %d total processors (or set nodes)", s.Clusters, s.Total)
+		}
+		n0 = s.Total / s.Clusters
+	}
+	var icn1, ecn network.Technology
+	switch {
+	case s.ICN1 != "" || s.ECN != "":
+		if s.ICN1 == "" || s.ECN == "" {
+			return nil, fmt.Errorf("run: icn1 and ecn must be set together")
+		}
+		if icn1, err = network.TechnologyByName(s.ICN1); err != nil {
+			return nil, err
+		}
+		if ecn, err = network.TechnologyByName(s.ECN); err != nil {
+			return nil, err
+		}
+	default:
+		if icn1, ecn, err = core.Scenario(s.Case).Technologies(); err != nil {
+			return nil, err
+		}
+	}
+	sw := network.Switch{Ports: s.Ports, Latency: s.SwLatUS * 1e-6}
+	return core.NewSuperCluster(s.Clusters, n0, s.Lambda, icn1, ecn, arch, sw, s.MsgBytes)
+}
+
+// BuildArrival converts the workload section's arrival fields.
+func (w *WorkloadSpec) BuildArrival() (workload.Arrival, error) {
+	return ParseArrival(w.Arrival, w.BurstRatio, w.TraceFile)
+}
+
+// BuildPrecision converts the precision section into a stopping target,
+// or nil when RelWidth is 0 (fixed-replication mode).
+func (p *PrecisionSpec) Build() (*output.Precision, error) {
+	if p.RelWidth == 0 {
+		return nil, nil
+	}
+	t := output.Precision{RelWidth: p.RelWidth, Confidence: p.Confidence, MaxReps: p.MaxReps}.Normalized()
+	if err := t.Validate(); err != nil {
+		return nil, err
+	}
+	return &t, nil
+}
+
+// simOptions assembles the system simulator's options from the
+// workload and run sections.
+func (e *Experiment) simOptions() (sim.Options, error) {
+	opts := sim.DefaultOptions()
+	opts.Seed = e.Run.Seed
+	opts.MeasuredMessages = e.Run.Messages
+	opts.WarmupMessages = e.Run.Warmup
+	opts.OpenLoop = e.Run.Open
+	dist, err := ParseService(e.Workload.Service)
+	if err != nil {
+		return opts, err
+	}
+	opts.ServiceDist = dist
+	pattern, err := ParsePattern(e.Workload.Pattern)
+	if err != nil {
+		return opts, err
+	}
+	opts.Pattern = pattern
+	arrival, err := e.Workload.BuildArrival()
+	if err != nil {
+		return opts, err
+	}
+	opts.Arrival = arrival
+	return opts, nil
+}
+
+// NetExperiment is the built form of a netsim experiment: a
+// seed-parameterised network factory (precision mode rebuilds per
+// replication), the base run options, and the resolved link/switch
+// parameters so callers never re-parse what Build already validated.
+type NetExperiment struct {
+	// Build constructs the network for one replication seed.
+	Build func(seed uint64) (*netsim.Network, error)
+	// Opts are the base run options (seed taken from the run section).
+	Opts netsim.Options
+	// Tech is the resolved link technology.
+	Tech network.Technology
+	// Switch holds the switch-fabric parameters (ports, latency).
+	Switch network.Switch
+	// Topo, N, Ports, Lambda and MsgBytes are the resolved topology
+	// parameters (after a ConfigPath resolution they reflect the selected
+	// network, not the spec's flag-level defaults).
+	Topo     string
+	N        int
+	Ports    int
+	Lambda   float64
+	MsgBytes int
+}
+
+// resolveConfig maps one communication network of a core.Config onto the
+// switch-level simulator's parameters: the selected centre's technology
+// and endpoint count, the topology implied by the architecture, and a
+// per-endpoint rate derived from the configuration's own Jackson arrival
+// rates (core.ArrivalRates), so the network is driven at exactly the
+// offered load the analytic model and system simulator give it. The
+// resolved values overwrite the spec's fields, which keeps every
+// downstream consumer (headers included) reading one source.
+func (n *NetSpec) resolveConfig() (*network.Technology, error) {
+	cfg, err := core.LoadConfig(n.ConfigPath)
+	if err != nil {
+		return nil, err
+	}
+	rates := cfg.ArrivalRates(1)
+	var tech network.Technology
+	var endpoints int
+	var rate float64
+	switch n.Net {
+	case "icn1", "ecn1":
+		if n.Cluster < 0 || n.Cluster >= cfg.NumClusters() {
+			return nil, fmt.Errorf("run: cluster %d outside [0,%d)", n.Cluster, cfg.NumClusters())
+		}
+		cl := cfg.Clusters[n.Cluster]
+		if n.Net == "icn1" {
+			tech, endpoints, rate = cl.ICN1, cl.Nodes, rates.ICN1[n.Cluster]
+		} else {
+			tech, endpoints, rate = cl.ECN1, cl.Nodes+1, rates.ECN1[n.Cluster]
+		}
+	case "icn2":
+		tech, endpoints, rate = cfg.ICN2, cfg.NumClusters(), rates.ICN2
+	default:
+		return nil, fmt.Errorf("run: unknown network %q (want icn1, ecn1 or icn2)", n.Net)
+	}
+	if !(rate > 0) {
+		return nil, fmt.Errorf("run: %s of %s carries no traffic (%g msg/s)", n.Net, n.ConfigPath, rate)
+	}
+	if endpoints < 2 {
+		return nil, fmt.Errorf("run: %s has %d endpoint(s); switch-level simulation needs at least 2", n.Net, endpoints)
+	}
+	n.Topo = "fat-tree"
+	if cfg.Arch == network.Blocking {
+		n.Topo = "linear-array"
+	}
+	n.N = endpoints
+	n.Ports = cfg.Switch.Ports
+	n.SwLatUS = cfg.Switch.Latency * 1e6
+	n.Tech = tech.Name
+	n.Lambda = rate / float64(endpoints)
+	n.MsgBytes = cfg.MessageBytes
+	return &tech, nil
+}
+
+// buildNet converts the netsim sections into a ready-to-run experiment.
+func (e *Experiment) buildNet() (*NetExperiment, error) {
+	n := e.Net
+	var technology network.Technology
+	if n.ConfigPath != "" {
+		resolved, err := n.resolveConfig()
+		if err != nil {
+			return nil, err
+		}
+		technology = *resolved
+	} else {
+		var err error
+		if technology, err = network.TechnologyByName(n.Tech); err != nil {
+			return nil, err
+		}
+	}
+	dist, err := ParseService(e.Workload.Service)
+	if err != nil {
+		return nil, err
+	}
+	pattern, err := ParsePattern(e.Workload.Pattern)
+	if err != nil {
+		return nil, err
+	}
+	arrival, err := e.Workload.BuildArrival()
+	if err != nil {
+		return nil, err
+	}
+	sw := network.Switch{Ports: n.Ports, Latency: n.SwLatUS * 1e-6}
+	topo := n.Topo
+	nEnd, ports := n.N, n.Ports
+	return &NetExperiment{
+		Build: func(seed uint64) (*netsim.Network, error) {
+			switch topo {
+			case "fat-tree":
+				return netsim.BuildFatTree(nEnd, ports, technology, sw, seed, dist)
+			case "linear-array":
+				return netsim.BuildLinearArray(nEnd, ports, technology, sw, seed, dist)
+			}
+			return nil, fmt.Errorf("run: unknown topology %q", topo)
+		},
+		Opts: netsim.Options{
+			Lambda:   n.Lambda,
+			MsgBytes: n.MsgBytes,
+			Warmup:   e.Run.Warmup,
+			Measured: e.Run.Messages,
+			Seed:     e.Run.Seed,
+			Workload: workload.Generator{Arrival: arrival, Pattern: pattern},
+		},
+		Tech:     technology,
+		Switch:   sw,
+		Topo:     n.Topo,
+		N:        n.N,
+		Ports:    n.Ports,
+		Lambda:   n.Lambda,
+		MsgBytes: n.MsgBytes,
+	}, nil
+}

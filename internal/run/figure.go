@@ -1,0 +1,227 @@
+package run
+
+import (
+	"context"
+	"fmt"
+
+	"hmscs/internal/analytic"
+	"hmscs/internal/core"
+	"hmscs/internal/network"
+	"hmscs/internal/output"
+	"hmscs/internal/rng"
+	"hmscs/internal/sim"
+	"hmscs/internal/sweep"
+)
+
+// FigureOutcome is the figure kind's result: every section the
+// experiment selected, in the order the renderer prints them.
+type FigureOutcome struct {
+	// Tables reports whether the static Table 1/2 section was selected.
+	Tables bool
+	// Nums lists the figure numbers evaluated (requested figures plus the
+	// ones a ratio selection pulls in); Results aligns with it. PrintFig
+	// marks the ones the selection asked to render.
+	Nums     []int
+	Results  []*sweep.FigureResult
+	PrintFig map[int]bool
+	// Ratio reports whether the blocking/non-blocking ratio section was
+	// selected (it derives from Results at render time).
+	Ratio bool
+	// Ablation and Future hold the extra-simulation sections when
+	// selected.
+	Ablation *AblationData
+	Future   *FutureData
+	// Prec is the adaptive-stopping target when one was set.
+	Prec *output.Precision
+}
+
+// AblationData compares the paper's iteration against exact MVA and
+// simulation variants on the Figure-4 platform.
+type AblationData struct {
+	HasSim bool
+	Rows   []AblationRow
+}
+
+// AblationRow is one cluster count's ablation comparison (seconds).
+type AblationRow struct {
+	C         int
+	OpenModel float64
+	MVA       float64
+	SimExp    float64
+	SimDet    float64
+	SimOpen   float64
+}
+
+// FutureData evaluates the paper's stated future work on a heterogeneous
+// Cluster-of-Clusters platform (seconds).
+type FutureData struct {
+	OpenModel  float64
+	Multiclass float64
+	HasSim     bool
+	// Adaptive reports precision mode; Reps/Mean/CI describe the
+	// simulation estimate either way.
+	Adaptive bool
+	Reps     int
+	Mean     float64
+	CI       float64
+}
+
+func runFigure(ctx context.Context, e *Experiment, opts Options, em *emitter) (*FigureOutcome, error) {
+	simOpts, err := e.simOptions()
+	if err != nil {
+		return nil, err
+	}
+	prec, err := e.Precision.Build()
+	if err != nil {
+		return nil, err
+	}
+	sweepOpts := sweep.DefaultOptions()
+	sweepOpts.Sim = simOpts
+	sweepOpts.Replications = e.Run.Reps
+	sweepOpts.SkipSimulation = e.Figure.Fast
+	sweepOpts.Parallelism = opts.Parallelism
+	sweepOpts.Precision = prec
+	sweepOpts.Progress = em.fn()
+
+	selected := splitList(e.Figure.What)
+	want := func(key string) bool {
+		for _, s := range selected {
+			if s == key || s == "all" {
+				return true
+			}
+		}
+		return false
+	}
+
+	out := &FigureOutcome{
+		Tables:   want("tables"),
+		Ratio:    want("ratio"),
+		PrintFig: map[int]bool{},
+		Prec:     prec,
+	}
+	// Batch every requested figure into one orchestrator call so all their
+	// (point × replication) units share the worker pool.
+	var specs []sweep.FigureSpec
+	for n := 4; n <= 7; n++ {
+		if !want(fmt.Sprintf("fig%d", n)) && !want("ratio") {
+			continue
+		}
+		spec, err := sweep.PaperFigure(n)
+		if err != nil {
+			return nil, err
+		}
+		out.Nums = append(out.Nums, n)
+		out.PrintFig[n] = want(fmt.Sprintf("fig%d", n))
+		specs = append(specs, spec)
+	}
+	if out.Results, err = sweep.RunFiguresCtx(ctx, specs, sweepOpts); err != nil {
+		return nil, err
+	}
+	if want("ablation") {
+		if out.Ablation, err = runAblation(ctx, sweepOpts); err != nil {
+			return nil, err
+		}
+	}
+	if want("future") {
+		if out.Future, err = runFutureWork(ctx, sweepOpts); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// runAblation compares the paper's effective-rate iteration against exact
+// MVA and simulation, quantifying the service-distribution and
+// source-blocking assumptions on the Figure-4 platform.
+func runAblation(ctx context.Context, opts sweep.Options) (*AblationData, error) {
+	data := &AblationData{HasSim: !opts.SkipSimulation}
+	for _, c := range []int{2, 8, 32, 128} {
+		cfg, err := core.PaperConfig(core.Case1, c, 1024, network.NonBlocking)
+		if err != nil {
+			return nil, err
+		}
+		open, err := analytic.Analyze(cfg)
+		if err != nil {
+			return nil, err
+		}
+		mva, err := analytic.AnalyzeMVA(cfg)
+		if err != nil {
+			return nil, err
+		}
+		row := AblationRow{C: c, OpenModel: open.MeanLatency, MVA: mva.MeanLatency}
+		if !opts.SkipSimulation {
+			simExp, err := sim.RunReplicationsCtx(ctx, cfg, opts.Sim, opts.Replications, opts.Parallelism, nil)
+			if err != nil {
+				return nil, err
+			}
+			detOpts := opts.Sim
+			detOpts.ServiceDist = rng.Deterministic{Value: 1}
+			simDet, err := sim.RunReplicationsCtx(ctx, cfg, detOpts, opts.Replications, opts.Parallelism, nil)
+			if err != nil {
+				return nil, err
+			}
+			openOpts := opts.Sim
+			openOpts.OpenLoop = true
+			// Open-loop saturation has unbounded queues; cap the run time.
+			openOpts.MaxSimTime = 120
+			simOpen, err := sim.RunReplicationsCtx(ctx, cfg, openOpts, opts.Replications, opts.Parallelism, nil)
+			if err != nil {
+				return nil, err
+			}
+			row.SimExp = simExp.MeanLatency
+			row.SimDet = simDet.MeanLatency
+			row.SimOpen = simOpen.MeanLatency
+		}
+		data.Rows = append(data.Rows, row)
+	}
+	return data, nil
+}
+
+// runFutureWork evaluates the paper's stated future work — heterogeneous
+// Cluster-of-Clusters systems — comparing the generalised open model,
+// the multiclass closed model, and simulation on an LLNL-style
+// conglomerate of four unequal clusters.
+func runFutureWork(ctx context.Context, opts sweep.Options) (*FutureData, error) {
+	cfg := &core.Config{
+		Clusters: []core.Cluster{
+			{Nodes: 128, Lambda: 100, ICN1: network.GigabitEthernet, ECN1: network.FastEthernet},
+			{Nodes: 64, Lambda: 150, ICN1: network.GigabitEthernet, ECN1: network.FastEthernet},
+			{Nodes: 48, Lambda: 200, ICN1: network.Myrinet, ECN1: network.FastEthernet},
+			{Nodes: 16, Lambda: 400, ICN1: network.FastEthernet, ECN1: network.FastEthernet},
+		},
+		ICN2:         network.FastEthernet,
+		Arch:         network.NonBlocking,
+		Switch:       network.PaperSwitch,
+		MessageBytes: 1024,
+	}
+	openModel, err := analytic.Analyze(cfg)
+	if err != nil {
+		return nil, err
+	}
+	multi, err := analytic.AnalyzeMulticlass(cfg)
+	if err != nil {
+		return nil, err
+	}
+	data := &FutureData{
+		OpenModel:  openModel.MeanLatency,
+		Multiclass: multi.MeanResponse(),
+		HasSim:     !opts.SkipSimulation,
+	}
+	if !opts.SkipSimulation {
+		if opts.Precision != nil {
+			res, err := sim.RunPrecisionUnitsCtx(ctx, []sim.PrecisionUnit{{Cfg: cfg, Opts: opts.Sim}}, *opts.Precision, opts.Parallelism, nil)
+			if err != nil {
+				return nil, err
+			}
+			e := res[0].Estimate
+			data.Adaptive, data.Reps, data.Mean, data.CI = true, e.Reps, e.Mean, e.HalfWidth
+		} else {
+			agg, err := sim.RunReplicationsCtx(ctx, cfg, opts.Sim, opts.Replications, opts.Parallelism, nil)
+			if err != nil {
+				return nil, err
+			}
+			data.Reps, data.Mean, data.CI = opts.Replications, agg.MeanLatency, agg.CI95
+		}
+	}
+	return data, nil
+}

@@ -1,0 +1,694 @@
+package run
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+
+	"hmscs/internal/analytic"
+	"hmscs/internal/core"
+	"hmscs/internal/netsim"
+	"hmscs/internal/network"
+	"hmscs/internal/output"
+	"hmscs/internal/plan"
+	"hmscs/internal/progress"
+	"hmscs/internal/queueing"
+	"hmscs/internal/sim"
+	"hmscs/internal/sweep"
+	"hmscs/internal/trace"
+	"hmscs/internal/workload"
+)
+
+// Event is the typed progress notification the Runner emits while an
+// experiment executes: unit started/finished, replications so far, CI
+// width. See internal/progress for the field semantics.
+type Event = progress.Event
+
+// Options controls one Run invocation — the execution knobs that are
+// deliberately NOT part of the Experiment spec, because they change how
+// fast an experiment runs, never what it computes.
+type Options struct {
+	// Parallelism bounds the worker pools (<= 0 all CPUs, 1 sequential).
+	// Results are bit-identical at every value.
+	Parallelism int
+	// Progress, when non-nil, receives progress events. Run serialises
+	// delivery: the callback is never invoked concurrently.
+	Progress progress.Func
+	// Sinks receive the same serialised event stream plus the final
+	// Outcome. Sink errors abort the run.
+	Sinks []Sink
+}
+
+// Outcome is the structured result of one experiment: exactly one of
+// the kind sections is populated, matching Spec.Kind.
+type Outcome struct {
+	// Spec is the fully normalized experiment that ran.
+	Spec *Experiment
+	// Kind repeats Spec.Kind for convenience.
+	Kind Kind
+
+	Analyze  *AnalyzeOutcome  `json:"-"`
+	Simulate *SimulateOutcome `json:"-"`
+	Net      *NetOutcome      `json:"-"`
+	Figure   *FigureOutcome   `json:"-"`
+	Sweep    *SweepOutcome    `json:"-"`
+	Plan     *PlanOutcome     `json:"-"`
+}
+
+// AnalyzeOutcome is the analyze kind's result.
+type AnalyzeOutcome struct {
+	Cfg     *core.Config
+	Arrival workload.Arrival
+	SCV     float64
+	Result  *analytic.Result
+	// MVA is the exact cross-check when the spec asked for it.
+	MVA *analytic.MVAResult
+	// Check is the adaptive simulation validation when a precision target
+	// was set; Prec is that target.
+	Check *sim.PrecisionResult
+	Prec  *output.Precision
+}
+
+// SimulateOutcome is the simulate kind's result.
+type SimulateOutcome struct {
+	Cfg  *core.Config
+	Opts sim.Options
+	// Agg is the across-replication aggregate (both modes).
+	Agg *sim.Replicated
+	// PrecRes and Prec are set in adaptive mode.
+	PrecRes *sim.PrecisionResult
+	Prec    *output.Precision
+	// One is the extra replication-1 run behind verbose statistics and
+	// journey traces; Trace its recorder when a trace was requested.
+	One   *sim.Result
+	Trace *trace.Recorder
+	// Analytic is the model comparison (nil with NoCompare); ModelLabel
+	// names the variant used.
+	Analytic   *analytic.Result
+	ModelLabel string
+}
+
+// NetOutcome is the netsim kind's result.
+type NetOutcome struct {
+	Exp *NetExperiment
+	Res *netsim.Result
+	// Est and Prec are set in adaptive mode.
+	Est  *sim.Estimate
+	Prec *output.Precision
+	// ContentionFree is the topology's zero-load reference latency.
+	ContentionFree float64
+	// ModelServiceTime is the paper's eq. 11/21 service time for this
+	// network; ModelSojourn the M/M/1 sojourn at the measured throughput
+	// (unstable when ModelUnstable).
+	ModelServiceTime float64
+	ModelSojourn     float64
+	ModelUnstable    bool
+}
+
+// SweepOutcome is the sweep kind's result.
+type SweepOutcome struct {
+	Var     string
+	Labels  []string
+	Results []sweep.PointResult
+	Prec    *output.Precision
+	Fast    bool
+}
+
+// PlanOutcome is the plan kind's result.
+type PlanOutcome struct {
+	Space    *plan.Space
+	SLO      plan.SLO
+	Cost     plan.CostModel
+	Arrival  workload.Arrival
+	SCV      float64
+	Screened int
+	Feasible int
+	Frontier []plan.ScreenResult
+	Verified []plan.VerifiedCandidate
+	Prec     *output.Precision
+	// Emitted lists the configuration files written for EmitConfigs, in
+	// write order, with the candidate labels for progress notes.
+	Emitted []EmittedConfig
+}
+
+// EmittedConfig records one deployable configuration the planner wrote.
+type EmittedConfig struct {
+	Path  string
+	Label string
+}
+
+// Run executes the experiment under the context: cancellation or a
+// deadline aborts mid-batch between replication units on the worker
+// pool and returns ctx.Err(). Progress events stream to opts.Progress
+// and every sink while units complete; the Outcome is delivered to the
+// sinks before Run returns. Results are bit-identical at every
+// Options.Parallelism, including the replication counts adaptive modes
+// choose.
+func Run(ctx context.Context, e *Experiment, opts Options) (*Outcome, error) {
+	if e == nil {
+		return nil, fmt.Errorf("run: nil experiment")
+	}
+	if err := e.Validate(); err != nil {
+		return nil, err
+	}
+	spec := e.clone() // deep copy: Normalize and config resolution must not touch the caller's spec
+	spec.Normalize()
+	// A failing sink cancels the run's context so the experiment aborts
+	// promptly instead of computing results nobody can consume; the sink
+	// error then takes precedence over the resulting ctx.Err().
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	emit := newEmitter(opts, cancel)
+	out := &Outcome{Spec: spec, Kind: spec.Kind}
+	var err error
+	switch spec.Kind {
+	case KindAnalyze:
+		out.Analyze, err = runAnalyze(ctx, spec, opts, emit)
+	case KindSimulate:
+		out.Simulate, err = runSimulate(ctx, spec, opts, emit)
+	case KindNetsim:
+		out.Net, err = runNetsim(ctx, spec, emit)
+	case KindFigure:
+		out.Figure, err = runFigure(ctx, spec, opts, emit)
+	case KindSweep:
+		out.Sweep, err = runSweep(ctx, spec, opts, emit)
+	case KindPlan:
+		out.Plan, err = runPlan(ctx, spec, opts, emit)
+	}
+	if serr := emit.err(); serr != nil {
+		return nil, serr
+	}
+	if err != nil {
+		return nil, err
+	}
+	for _, s := range opts.Sinks {
+		if err := s.Result(out); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// emitter serialises progress delivery to the user callback and sinks;
+// lower layers may emit from worker goroutines. The first sink failure
+// is recorded once and cancels the run.
+type emitter struct {
+	mu       sync.Mutex
+	progress progress.Func
+	sinks    []Sink
+	sinkErr  error
+	cancel   context.CancelFunc
+}
+
+func newEmitter(opts Options, cancel context.CancelFunc) *emitter {
+	if opts.Progress == nil && len(opts.Sinks) == 0 {
+		return nil
+	}
+	return &emitter{progress: opts.Progress, sinks: opts.Sinks, cancel: cancel}
+}
+
+// fn returns the progress.Func lower layers receive (nil when nobody
+// listens, so emission costs nothing).
+func (em *emitter) fn() progress.Func {
+	if em == nil {
+		return nil
+	}
+	return func(ev progress.Event) {
+		em.mu.Lock()
+		defer em.mu.Unlock()
+		if em.progress != nil {
+			em.progress(ev)
+		}
+		if em.sinkErr != nil {
+			return // the run is already being cancelled
+		}
+		for _, s := range em.sinks {
+			if err := s.Event(ev); err != nil {
+				em.sinkErr = err
+				em.cancel()
+				return
+			}
+		}
+	}
+}
+
+// err reports the first sink failure observed while streaming events.
+func (em *emitter) err() error {
+	if em == nil {
+		return nil
+	}
+	em.mu.Lock()
+	defer em.mu.Unlock()
+	return em.sinkErr
+}
+
+// analyzeModel evaluates the analytic side for the arrival process,
+// applying the Allen–Cunneen G/G/1 correction exactly when
+// analytic.UsesArrivalCorrection says it exists.
+func analyzeModel(cfg *core.Config, scv float64) (*analytic.Result, error) {
+	if analytic.UsesArrivalCorrection(scv) {
+		return analytic.AnalyzeArrival(cfg, scv)
+	}
+	return analytic.Analyze(cfg)
+}
+
+func runAnalyze(ctx context.Context, e *Experiment, opts Options, em *emitter) (*AnalyzeOutcome, error) {
+	arrival, err := e.Workload.BuildArrival()
+	if err != nil {
+		return nil, err
+	}
+	cfg, err := e.System.Build()
+	if err != nil {
+		return nil, err
+	}
+	scv := arrival.SCV()
+	res, err := analyzeModel(cfg, scv)
+	if err != nil {
+		return nil, err
+	}
+	out := &AnalyzeOutcome{Cfg: cfg, Arrival: arrival, SCV: scv, Result: res}
+	if e.Analyze.MVA {
+		if out.MVA, err = analytic.AnalyzeMVA(cfg); err != nil {
+			return nil, err
+		}
+	}
+	prec, err := e.Precision.Build()
+	if err != nil {
+		return nil, err
+	}
+	if prec != nil {
+		// Validate the prediction by simulation, adaptively extending the
+		// replication set until the estimate is tight enough to judge.
+		simOpts := sim.DefaultOptions()
+		simOpts.Seed = e.Run.Seed
+		simOpts.Arrival = arrival
+		units := []sim.PrecisionUnit{{Cfg: cfg, Opts: simOpts}}
+		res, err := sim.RunPrecisionUnitsCtx(ctx, units, *prec, opts.Parallelism, em.fn())
+		if err != nil {
+			return nil, err
+		}
+		out.Check, out.Prec = res[0], prec
+	}
+	return out, nil
+}
+
+func runSimulate(ctx context.Context, e *Experiment, opts Options, em *emitter) (*SimulateOutcome, error) {
+	cfg, err := e.System.Build()
+	if err != nil {
+		return nil, err
+	}
+	simOpts, err := e.simOptions()
+	if err != nil {
+		return nil, err
+	}
+	if e.Run.Reps < 1 {
+		return nil, fmt.Errorf("run: need at least 1 replication")
+	}
+	prec, err := e.Precision.Build()
+	if err != nil {
+		return nil, err
+	}
+	out := &SimulateOutcome{Cfg: cfg, Opts: simOpts, Prec: prec}
+	if prec != nil {
+		res, err := sim.RunPrecisionUnitsCtx(ctx, []sim.PrecisionUnit{{Cfg: cfg, Opts: simOpts}}, *prec, opts.Parallelism, em.fn())
+		if err != nil {
+			return nil, err
+		}
+		out.PrecRes = res[0]
+		out.Agg = res[0].Replicated
+	} else {
+		agg, err := sim.RunReplicationsCtx(ctx, cfg, simOpts, e.Run.Reps, opts.Parallelism, em.fn())
+		if err != nil {
+			return nil, err
+		}
+		out.Agg = agg
+	}
+	if e.Simulate.Verbose || e.Simulate.TraceOut != "" {
+		o := simOpts
+		if e.Simulate.TraceOut != "" {
+			o.Trace = trace.NewRecorder(0)
+		}
+		one, err := sim.Run(cfg, o)
+		if err != nil {
+			return nil, err
+		}
+		out.One, out.Trace = one, o.Trace
+		if e.Simulate.TraceOut != "" {
+			f, err := os.Create(e.Simulate.TraceOut)
+			if err != nil {
+				return nil, err
+			}
+			if err := o.Trace.WriteCSV(f); err != nil {
+				f.Close()
+				return nil, err
+			}
+			if err := f.Close(); err != nil {
+				return nil, err
+			}
+		}
+	}
+	if !e.Simulate.NoCompare {
+		// With a finite non-Poisson interarrival SCV the model side applies
+		// the Allen–Cunneen G/G/1 correction, so the reported error isolates
+		// what the correction misses rather than the whole burstiness gap.
+		scv := simOpts.Arrival.SCV()
+		out.ModelLabel = "analytical latency"
+		if analytic.UsesArrivalCorrection(scv) {
+			out.ModelLabel = fmt.Sprintf("analytical latency (G/G/1, Ca²=%.3g)", scv)
+		}
+		if out.Analytic, err = analyzeModel(cfg, scv); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+func runNetsim(ctx context.Context, e *Experiment, em *emitter) (*NetOutcome, error) {
+	prec, err := e.Precision.Build()
+	if err != nil {
+		return nil, err
+	}
+	exp, err := e.buildNet()
+	if err != nil {
+		return nil, err
+	}
+	out := &NetOutcome{Exp: exp, Prec: prec}
+	var net *netsim.Network
+	if prec != nil {
+		est, err := runNetPrecision(ctx, exp, *prec, em.fn(), out, &net)
+		if err != nil {
+			return nil, err
+		}
+		out.Est = &est
+		// The sequential driver only reports per-replication estimates;
+		// close the unit's event stream the way every other adaptive
+		// emitter does, with the final mean and relative CI width.
+		if prog := em.fn(); prog != nil {
+			prog(progress.Event{
+				Kind: progress.UnitFinished, Units: 1, Rep: est.Reps,
+				Mean: est.Mean, RelWidth: est.RelHalfWidth(),
+			})
+		}
+	} else {
+		if net, err = exp.Build(exp.Opts.Seed); err != nil {
+			return nil, err
+		}
+		if out.Res, err = net.Run(exp.Opts); err != nil {
+			return nil, err
+		}
+	}
+	out.ContentionFree = net.ContentionFreeLatency(exp.MsgBytes)
+
+	// The single-server abstraction the paper uses for this network, for
+	// comparison: an M/M/1 with the eq. 11/21 service time fed by the
+	// realised throughput.
+	arch := network.NonBlocking
+	if exp.Topo == "linear-array" {
+		arch = network.Blocking
+	}
+	model, err := network.NewModel(exp.Tech, arch, exp.Switch, exp.N)
+	if err != nil {
+		return nil, err
+	}
+	out.ModelServiceTime = model.MeanServiceTime(exp.MsgBytes)
+	st, err := queueing.NewMM1(out.Res.Throughput, model.ServiceRate(exp.MsgBytes))
+	if err != nil {
+		return nil, err
+	}
+	if w, errW := st.W(); errW == nil {
+		out.ModelSojourn = w
+	} else {
+		out.ModelUnstable = true
+	}
+	return out, nil
+}
+
+// runNetPrecision executes netsim replications under the sequential
+// stopping rule (output.RunSequential drives the schedule): each
+// replication rebuilds the network with a deterministically derived seed
+// and runs a quarter-length measurement window with MSER-5 warmup
+// deletion in place of the fixed warm-up prefix. The retained result is
+// the last replication's (for topology-level metrics such as link
+// utilisation). Cancellation lands between replications.
+func runNetPrecision(ctx context.Context, exp *NetExperiment, prec output.Precision, prog progress.Func, out *NetOutcome, netOut **netsim.Network) (sim.Estimate, error) {
+	base := exp.Opts
+	o := base
+	o.Measured = base.Measured / 4
+	if o.Measured < 500 {
+		o.Measured = 500
+	}
+	o.Warmup = 0
+	o.RecordSample = true
+	est, err := output.RunSequential(prec, func(rep int) (float64, float64, error) {
+		if err := ctx.Err(); err != nil {
+			return 0, 0, err
+		}
+		seed := sim.ReplicationSeed(base.Seed, rep)
+		n, err := exp.Build(seed)
+		if err != nil {
+			return 0, 0, err
+		}
+		ro := o
+		ro.Seed = seed
+		r, err := n.Run(ro)
+		if err != nil {
+			return 0, 0, err
+		}
+		a, err := output.AnalyzeRun(r.Sample, prec.Confidence)
+		if err != nil {
+			return 0, 0, fmt.Errorf("replication %d analysis: %w", rep, err)
+		}
+		r.Sample = nil
+		*netOut, out.Res = n, r
+		if prog != nil {
+			prog(progress.Event{Kind: progress.UnitEstimate, Units: 1, Rep: rep + 1, Mean: a.Mean})
+		}
+		return a.Mean, a.ESS, nil
+	})
+	if err != nil {
+		return sim.Estimate{}, err
+	}
+	return est, nil
+}
+
+func runSweep(ctx context.Context, e *Experiment, opts Options, em *emitter) (*SweepOutcome, error) {
+	simOpts, err := e.simOptions()
+	if err != nil {
+		return nil, err
+	}
+	labels, points, err := buildSweepJobs(e)
+	if err != nil {
+		return nil, err
+	}
+	prec, err := e.Precision.Build()
+	if err != nil {
+		return nil, err
+	}
+	sweepOpts := sweep.Options{
+		Sim:            simOpts,
+		Replications:   e.Run.Reps,
+		SkipSimulation: e.Sweep.Fast,
+		Parallelism:    opts.Parallelism,
+		Precision:      prec,
+		Progress:       em.fn(),
+	}
+	results, err := sweep.RunPointsCtx(ctx, points, sweepOpts)
+	if err != nil {
+		return nil, err
+	}
+	return &SweepOutcome{
+		Var:     e.Sweep.Var,
+		Labels:  labels,
+		Results: results,
+		Prec:    prec,
+		Fast:    e.Sweep.Fast,
+	}, nil
+}
+
+// buildSweepJobs expands the swept variable into labelled point specs.
+func buildSweepJobs(e *Experiment) ([]string, []sweep.PointSpec, error) {
+	var labels []string
+	var points []sweep.PointSpec
+	add := func(label string, p sweep.PointSpec) {
+		labels = append(labels, label)
+		points = append(points, p)
+	}
+	sys := e.Sweep
+	switch sys.Var {
+	case "arrival":
+		specs := sys.Specs
+		if specs == "" {
+			specs = "poisson,periodic,mmpp,pareto:1.5,weibull:0.5"
+		}
+		cfg, err := e.System.Build()
+		if err != nil {
+			return nil, nil, err
+		}
+		for _, spec := range splitList(specs) {
+			arr, err := ParseArrival(spec, e.Workload.BurstRatio, e.Workload.TraceFile)
+			if err != nil {
+				return nil, nil, err
+			}
+			add(arr.Name(), sweep.PointSpec{Cfg: cfg, Arrival: arr, Locality: -1})
+		}
+	case "clusters":
+		values, err := ParseIntList(orDefault(sys.Ints, "1,2,4,8,16,32,64,128,256"))
+		if err != nil {
+			return nil, nil, err
+		}
+		for _, v := range values {
+			s := *e.System
+			s.Clusters = v
+			cfg, err := s.Build()
+			if err != nil {
+				return nil, nil, err
+			}
+			add(fmt.Sprint(v), sweep.PointSpec{Cfg: cfg, Locality: -1})
+		}
+	case "msg":
+		values, err := ParseIntList(orDefault(sys.Ints, "128,256,512,1024,2048,4096"))
+		if err != nil {
+			return nil, nil, err
+		}
+		for _, v := range values {
+			s := *e.System
+			s.MsgBytes = v
+			cfg, err := s.Build()
+			if err != nil {
+				return nil, nil, err
+			}
+			add(fmt.Sprintf("%dB", v), sweep.PointSpec{Cfg: cfg, Locality: -1})
+		}
+	case "ports":
+		values, err := ParseIntList(orDefault(sys.Ints, "8,16,24,32,48,64"))
+		if err != nil {
+			return nil, nil, err
+		}
+		for _, v := range values {
+			s := *e.System
+			s.Ports = v
+			cfg, err := s.Build()
+			if err != nil {
+				return nil, nil, err
+			}
+			add(fmt.Sprintf("%d ports", v), sweep.PointSpec{Cfg: cfg, Locality: -1})
+		}
+	case "lambda":
+		values, err := ParseFloatList(orDefault(sys.Floats, "25,50,100,250,500"))
+		if err != nil {
+			return nil, nil, err
+		}
+		for _, v := range values {
+			s := *e.System
+			s.Lambda = v
+			cfg, err := s.Build()
+			if err != nil {
+				return nil, nil, err
+			}
+			add(fmt.Sprintf("%g/s", v), sweep.PointSpec{Cfg: cfg, Locality: -1})
+		}
+	case "locality":
+		values, err := ParseFloatList(orDefault(sys.Floats, "0,0.25,0.5,0.75,0.95"))
+		if err != nil {
+			return nil, nil, err
+		}
+		cfg, err := e.System.Build()
+		if err != nil {
+			return nil, nil, err
+		}
+		for _, v := range values {
+			if v < 0 || v > 1 {
+				return nil, nil, fmt.Errorf("run: locality %g out of [0,1]", v)
+			}
+			add(fmt.Sprintf("%.2f", v), sweep.PointSpec{
+				Cfg:      cfg,
+				Pattern:  workload.LocalBias{Locality: v},
+				Locality: v,
+			})
+		}
+	default:
+		return nil, nil, fmt.Errorf("run: unknown sweep variable %q", sys.Var)
+	}
+	return labels, points, nil
+}
+
+func runPlan(ctx context.Context, e *Experiment, opts Options, em *emitter) (*PlanOutcome, error) {
+	p := e.Plan
+	sp, err := p.BuildSpace()
+	if err != nil {
+		return nil, err
+	}
+	slo, err := p.BuildSLO()
+	if err != nil {
+		return nil, err
+	}
+	cost, err := p.BuildCost()
+	if err != nil {
+		return nil, err
+	}
+	arr, err := e.Workload.BuildArrival()
+	if err != nil {
+		return nil, err
+	}
+	// Normalize already restored the planner's always-adaptive default
+	// (±5% @ 95%) for a zero RelWidth, so Build never returns nil here.
+	prec, err := e.Precision.Build()
+	if err != nil {
+		return nil, err
+	}
+	scv := arr.SCV()
+	screened, err := plan.ScreenCtx(ctx, sp, slo, cost, scv, opts.Parallelism)
+	if err != nil {
+		return nil, err
+	}
+	feasible := 0
+	for _, r := range screened {
+		if r.Feasible {
+			feasible++
+		}
+	}
+	frontier := plan.Frontier(screened)
+	out := &PlanOutcome{
+		Space:    sp,
+		SLO:      slo,
+		Cost:     cost,
+		Arrival:  arr,
+		SCV:      scv,
+		Screened: len(screened),
+		Feasible: feasible,
+		Frontier: frontier,
+		Prec:     prec,
+	}
+	if p.Top > 0 && len(frontier) > 0 {
+		simOpts := sim.DefaultOptions()
+		simOpts.Seed = e.Run.Seed
+		simOpts.MeasuredMessages = e.Run.Messages
+		simOpts.Arrival = arr
+		out.Verified, err = plan.VerifyTopKCtx(ctx, frontier, p.Top, slo, simOpts, *prec, opts.Parallelism, em.fn())
+		if err != nil {
+			return nil, err
+		}
+	}
+	if p.EmitConfigs != "" {
+		if err := os.MkdirAll(p.EmitConfigs, 0o755); err != nil {
+			return nil, err
+		}
+		targets := out.Verified
+		if len(targets) == 0 {
+			// Screen-only run: emit the frontier head instead.
+			for i := 0; i < len(frontier) && i < 3; i++ {
+				targets = append(targets, plan.VerifiedCandidate{ScreenResult: frontier[i]})
+			}
+		}
+		for _, v := range targets {
+			path := filepath.Join(p.EmitConfigs, fmt.Sprintf("plan-candidate-%d.json", v.Index))
+			if err := core.SaveConfig(v.Cfg, path); err != nil {
+				return nil, err
+			}
+			out.Emitted = append(out.Emitted, EmittedConfig{Path: path, Label: v.Label()})
+		}
+	}
+	return out, nil
+}

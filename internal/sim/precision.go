@@ -1,11 +1,13 @@
 package sim
 
 import (
+	"context"
 	"fmt"
 
 	"hmscs/internal/core"
 	"hmscs/internal/output"
 	"hmscs/internal/par"
+	"hmscs/internal/progress"
 )
 
 // Estimate describes the statistical quality of a mean-latency estimate
@@ -83,6 +85,17 @@ type workItem struct {
 // replication set instead of the run length until the confidence
 // half-width on the mean latency is at most prec.RelWidth of the mean.
 func RunPrecisionUnits(units []PrecisionUnit, prec output.Precision, parallelism int) ([]*PrecisionResult, error) {
+	return RunPrecisionUnitsCtx(context.Background(), units, prec, parallelism, nil)
+}
+
+// RunPrecisionUnitsCtx is RunPrecisionUnits with cancellation and
+// progress: a cancelled context aborts the pool between replication
+// units and returns ctx.Err(); prog (optional) receives, between
+// scheduling rounds and in unit order on the calling goroutine, a
+// UnitEstimate event per still-running unit (replications so far, the
+// running mean and relative CI width) and a UnitFinished event when a
+// unit's stopping rule is satisfied or exhausted.
+func RunPrecisionUnitsCtx(ctx context.Context, units []PrecisionUnit, prec output.Precision, parallelism int, prog progress.Func) ([]*PrecisionResult, error) {
 	prec = prec.Normalized()
 	if err := prec.Validate(); err != nil {
 		return nil, err
@@ -92,6 +105,9 @@ func RunPrecisionUnits(units []PrecisionUnit, prec output.Precision, parallelism
 		states[i] = &unitState{stopper: output.NewStopper(prec)}
 	}
 	for {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		// Collect this round's work: each pending unit's next chunk.
 		var items []workItem
 		for ui, st := range states {
@@ -109,7 +125,7 @@ func RunPrecisionUnits(units []PrecisionUnit, prec output.Precision, parallelism
 		if len(items) == 0 {
 			break
 		}
-		err := par.ForEach(len(items), parallelism, func(k int) error {
+		err := par.ForEachCtx(ctx, len(items), parallelism, func(k int) error {
 			it := items[k]
 			u := units[it.ui]
 			o := u.Opts
@@ -144,7 +160,7 @@ func RunPrecisionUnits(units []PrecisionUnit, prec output.Precision, parallelism
 			return nil, err
 		}
 		// Feed the new estimates in replication order and decide.
-		for _, st := range states {
+		for ui, st := range states {
 			if st.done {
 				continue
 			}
@@ -153,6 +169,22 @@ func RunPrecisionUnits(units []PrecisionUnit, prec output.Precision, parallelism
 			}
 			if st.stopper.Satisfied() || st.stopper.Exhausted() {
 				st.done = true
+			}
+			if prog != nil {
+				ev := progress.Event{
+					Kind:  progress.UnitEstimate,
+					Unit:  ui,
+					Units: len(units),
+					Rep:   st.stopper.N(),
+					Mean:  st.stopper.Mean(),
+				}
+				if m := st.stopper.Mean(); m != 0 {
+					ev.RelWidth = st.stopper.HalfWidth() / m
+				}
+				if st.done {
+					ev.Kind = progress.UnitFinished
+				}
+				prog(ev)
 			}
 		}
 	}

@@ -1,10 +1,12 @@
 package sim
 
 import (
+	"context"
 	"fmt"
 
 	"hmscs/internal/core"
 	"hmscs/internal/par"
+	"hmscs/internal/progress"
 	"hmscs/internal/stats"
 )
 
@@ -90,15 +92,26 @@ func RunReplications(cfg *core.Config, opts Options, n int) (*Replicated, error)
 // parallelism <= 0 uses all CPUs, 1 runs sequentially. The aggregate is
 // bit-identical for every parallelism value.
 func RunReplicationsN(cfg *core.Config, opts Options, n, parallelism int) (*Replicated, error) {
+	return RunReplicationsCtx(context.Background(), cfg, opts, n, parallelism, nil)
+}
+
+// RunReplicationsCtx is RunReplicationsN with cancellation and progress:
+// a cancelled context aborts the pool between replications and returns
+// ctx.Err(); prog (optional, may be called from worker goroutines)
+// receives a UnitFinished event per completed replication.
+func RunReplicationsCtx(ctx context.Context, cfg *core.Config, opts Options, n, parallelism int, prog progress.Func) (*Replicated, error) {
 	if n < 1 {
 		return nil, fmt.Errorf("sim: need at least 1 replication, got %d", n)
 	}
 	results := make([]*Result, n)
-	err := par.ForEach(n, parallelism, func(i int) error {
+	err := par.ForEachCtx(ctx, n, parallelism, func(i int) error {
 		o := opts
 		o.Seed = ReplicationSeed(opts.Seed, i)
 		var err error
 		results[i], err = Run(cfg, o)
+		if err == nil && prog != nil {
+			prog(progress.Event{Kind: progress.UnitFinished, Units: 1, Rep: i})
+		}
 		return err
 	})
 	if err != nil {

@@ -11,14 +11,15 @@
 package sweep
 
 import (
+	"context"
 	"fmt"
-	"math"
 
 	"hmscs/internal/analytic"
 	"hmscs/internal/core"
 	"hmscs/internal/network"
 	"hmscs/internal/output"
 	"hmscs/internal/par"
+	"hmscs/internal/progress"
 	"hmscs/internal/sim"
 	"hmscs/internal/validate"
 	"hmscs/internal/workload"
@@ -79,6 +80,12 @@ type Options struct {
 	// Precision.RelWidth of the mean (see internal/output). Results stay
 	// bit-identical at every Parallelism value.
 	Precision *output.Precision
+	// Progress, when non-nil, receives typed progress events while the
+	// simulation units run: per-replication UnitFinished events in fixed
+	// mode (from worker goroutines — the callback must be safe for
+	// concurrent use) and per-round UnitEstimate/UnitFinished events in
+	// precision mode. Events never affect results.
+	Progress progress.Func
 }
 
 // DefaultOptions mirrors the paper's procedure with 3 replications, using
@@ -152,13 +159,13 @@ type simUnit struct {
 // extends under the sequential stopping rule instead. Either way this is
 // the single home of the decomposition / seed derivation / aggregation
 // contract that makes sweeps bit-identical at every parallelism level.
-func runUnits(units []simUnit, opts Options) ([]*sim.Replicated, []sim.Estimate, error) {
+func runUnits(ctx context.Context, units []simUnit, opts Options) ([]*sim.Replicated, []sim.Estimate, error) {
 	if opts.Precision != nil {
 		pu := make([]sim.PrecisionUnit, len(units))
 		for i, u := range units {
 			pu[i] = sim.PrecisionUnit{Cfg: u.cfg, Opts: u.opts, Wrap: u.wrap}
 		}
-		res, err := sim.RunPrecisionUnits(pu, *opts.Precision, opts.Parallelism)
+		res, err := sim.RunPrecisionUnitsCtx(ctx, pu, *opts.Precision, opts.Parallelism, opts.Progress)
 		if err != nil {
 			return nil, nil, err
 		}
@@ -175,7 +182,7 @@ func runUnits(units []simUnit, opts Options) ([]*sim.Replicated, []sim.Estimate,
 	for i := range results {
 		results[i] = make([]*sim.Result, reps)
 	}
-	err := par.ForEach(len(units)*reps, opts.Parallelism, func(u int) error {
+	err := par.ForEachCtx(ctx, len(units)*reps, opts.Parallelism, func(u int) error {
 		ui, rep := u/reps, u%reps
 		o := units[ui].opts
 		o.Seed = sim.ReplicationSeed(units[ui].opts.Seed, rep)
@@ -184,6 +191,11 @@ func runUnits(units []simUnit, opts Options) ([]*sim.Replicated, []sim.Estimate,
 			return units[ui].wrap(err)
 		}
 		results[ui][rep] = r
+		if opts.Progress != nil {
+			opts.Progress(progress.Event{
+				Kind: progress.UnitFinished, Unit: ui, Units: len(units), Rep: rep,
+			})
+		}
 		return nil
 	})
 	if err != nil {
@@ -215,12 +227,22 @@ func RunFigure(spec FigureSpec, opts Options) (*FigureResult, error) {
 	return res[0], nil
 }
 
+// RunFiguresCtx is RunFigures with cancellation: a cancelled context
+// aborts the pool between replication units and returns ctx.Err().
+func RunFiguresCtx(ctx context.Context, specs []FigureSpec, opts Options) ([]*FigureResult, error) {
+	return runFigures(ctx, specs, opts)
+}
+
 // RunFigures evaluates a batch of figures, scheduling every figure's
 // (point × replication) simulation units onto one bounded worker pool so
 // a whole-paper regeneration saturates the machine instead of crawling
 // figure by figure. Results are identical to evaluating the figures one
 // at a time.
 func RunFigures(specs []FigureSpec, opts Options) ([]*FigureResult, error) {
+	return runFigures(context.Background(), specs, opts)
+}
+
+func runFigures(ctx context.Context, specs []FigureSpec, opts Options) ([]*FigureResult, error) {
 	if opts.Replications < 1 {
 		opts.Replications = 1
 	}
@@ -277,7 +299,7 @@ func RunFigures(specs []FigureSpec, opts Options) ([]*FigureResult, error) {
 			},
 		}
 	}
-	aggs, ests, err := runUnits(units, opts)
+	aggs, ests, err := runUnits(ctx, units, opts)
 	if err != nil {
 		return nil, err
 	}
@@ -313,10 +335,8 @@ type PointSpec struct {
 // AnalyzeArrival, everything else (Poisson, nil, infinite-variance heavy
 // tails) falls back to the paper's M/M/1 model.
 func analyzePoint(cfg *core.Config, arr workload.Arrival) (*analytic.Result, error) {
-	if arr != nil {
-		if scv := arr.SCV(); scv != 1 && !math.IsInf(scv, 1) && !math.IsNaN(scv) {
-			return analytic.AnalyzeArrival(cfg, scv)
-		}
+	if arr != nil && analytic.UsesArrivalCorrection(arr.SCV()) {
+		return analytic.AnalyzeArrival(cfg, arr.SCV())
 	}
 	return analytic.Analyze(cfg)
 }
@@ -343,6 +363,12 @@ type PointResult struct {
 // pool with the same deterministic seed derivation as RunFigures, so the
 // outputs are bit-identical at every parallelism level.
 func RunPoints(points []PointSpec, opts Options) ([]PointResult, error) {
+	return RunPointsCtx(context.Background(), points, opts)
+}
+
+// RunPointsCtx is RunPoints with cancellation: a cancelled context
+// aborts the pool between replication units and returns ctx.Err().
+func RunPointsCtx(ctx context.Context, points []PointSpec, opts Options) ([]PointResult, error) {
 	if opts.Replications < 1 {
 		opts.Replications = 1
 	}
@@ -384,7 +410,7 @@ func RunPoints(points []PointSpec, opts Options) ([]PointResult, error) {
 			},
 		}
 	}
-	aggs, ests, err := runUnits(units, opts)
+	aggs, ests, err := runUnits(ctx, units, opts)
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,103 @@
+// Command apisurface prints the exported API surface of the root hmscs
+// package, one sorted declaration per line — the stable, toolchain-
+// independent equivalent of skimming `go doc hmscs`. CI diffs its output
+// against docs/api-surface.txt (make api-check), so a PR cannot silently
+// remove or change a symbol of the public facade: any surface change
+// must update the checked-in file, which makes it visible in review.
+//
+// Usage:
+//
+//	apisurface [package-dir]    # default "."
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/printer"
+	"go/token"
+	"os"
+	"sort"
+	"strings"
+)
+
+func main() {
+	dir := "."
+	if len(os.Args) > 1 {
+		dir = os.Args[1]
+	}
+	lines, err := surface(dir)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "apisurface:", err)
+		os.Exit(1)
+	}
+	for _, l := range lines {
+		fmt.Println(l)
+	}
+}
+
+// surface collects the exported top-level declarations of the package in
+// dir, rendered one per line and sorted, so the output is a pure
+// function of the source.
+func surface(dir string) ([]string, error) {
+	fset := token.NewFileSet()
+	pkgs, err := parser.ParseDir(fset, dir, func(fi os.FileInfo) bool {
+		return !strings.HasSuffix(fi.Name(), "_test.go")
+	}, 0)
+	if err != nil {
+		return nil, err
+	}
+	var lines []string
+	for name, pkg := range pkgs {
+		if strings.HasSuffix(name, "_test") {
+			continue
+		}
+		// File iteration order is a map walk; sorting at the end makes the
+		// output deterministic anyway.
+		for _, f := range pkg.Files {
+			for _, d := range f.Decls {
+				switch d := d.(type) {
+				case *ast.FuncDecl:
+					if d.Recv != nil || !d.Name.IsExported() {
+						continue
+					}
+					cp := *d
+					cp.Doc = nil
+					cp.Body = nil
+					lines = append(lines, render(fset, &cp))
+				case *ast.GenDecl:
+					for _, s := range d.Specs {
+						switch s := s.(type) {
+						case *ast.TypeSpec:
+							if !s.Name.IsExported() {
+								continue
+							}
+							cp := *s
+							cp.Doc = nil
+							cp.Comment = nil
+							lines = append(lines, "type "+render(fset, &cp))
+						case *ast.ValueSpec:
+							for _, n := range s.Names {
+								if n.IsExported() {
+									lines = append(lines, fmt.Sprintf("%s %s", d.Tok, n.Name))
+								}
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+	sort.Strings(lines)
+	return lines, nil
+}
+
+// render prints a declaration as a single whitespace-collapsed line.
+func render(fset *token.FileSet, node any) string {
+	var buf bytes.Buffer
+	if err := printer.Fprint(&buf, fset, node); err != nil {
+		return fmt.Sprintf("<unprintable: %v>", err)
+	}
+	return strings.Join(strings.Fields(buf.String()), " ")
+}
