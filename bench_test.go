@@ -397,3 +397,67 @@ func BenchmarkNetsimFatTree(b *testing.B) {
 		b.ReportMetric(res.Latency.Mean()*1e3, "latency-ms")
 	}
 }
+
+// benchWindowedEventList drives the hold model through RunWindow slices,
+// the sharded engine's inner loop: every slice ends with a peek at the
+// first out-of-window event, so this pins the cost of the peek-based
+// horizon stop (the event past the horizon is observed in place, never
+// popped and re-inserted).
+func benchWindowedEventList(b *testing.B, mk func() *sim.Engine) {
+	b.Helper()
+	eng := mk()
+	st := rng.NewStream(1)
+	eng.SetHandler(&holdModel{eng: eng, st: st})
+	for i := 0; i < 4096; i++ {
+		eng.Schedule(st.Exp(1e-3), 0, 0)
+	}
+	b.ResetTimer()
+	processed := 0
+	for i := 0; i < b.N; i++ {
+		processed += eng.RunWindow(eng.Now()+1e-3, false)
+	}
+	if processed == 0 && b.N > 0 {
+		b.Fatal("no events processed")
+	}
+}
+
+func BenchmarkEventListWindowedHeap(b *testing.B) {
+	benchWindowedEventList(b, sim.NewEngine)
+}
+
+func BenchmarkEventListWindowedCalendar(b *testing.B) {
+	benchWindowedEventList(b, func() *sim.Engine { return sim.NewEngineWithCalendar(1e-3) })
+}
+
+// BenchmarkShardedReplication measures one replication of a 512-cluster
+// system split across 1/2/4/8 shards (DESIGN.md §9): the conservative
+// time-window engine with per-shard event lists and mailbox hand-offs.
+// The msgs/s metric is tracked in BENCH_sim.json; speedup over shards-1
+// scales with the cores actually available (a single-core container
+// reports the protocol's overhead, not its parallel gain).
+func BenchmarkShardedReplication(b *testing.B) {
+	cfg, err := core.NewSuperCluster(512, 2, 100, network.GigabitEthernet,
+		network.FastEthernet, network.NonBlocking, network.PaperSwitch, 1024)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, shards := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("shards-%d", shards), func(b *testing.B) {
+			var msgs int64
+			for i := 0; i < b.N; i++ {
+				o := benchSimOpts()
+				o.Seed = uint64(i + 1)
+				o.Shards = shards
+				res, err := sim.Run(cfg, o)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if res.Measured == 0 {
+					b.Fatal("no messages measured")
+				}
+				msgs += int64(res.Measured)
+			}
+			b.ReportMetric(float64(msgs)/b.Elapsed().Seconds(), "msgs/s")
+		})
+	}
+}

@@ -154,6 +154,7 @@ func BindSimProcedure(fs *flag.FlagSet, r *run.RunSpec) {
 	fs.IntVar(&r.Warmup, "warmup", r.Warmup, "warm-up messages discarded before measurement")
 	fs.IntVar(&r.Reps, "reps", r.Reps, "independent replications")
 	fs.BoolVar(&r.Open, "open", r.Open, "open-loop sources (ablation of assumption 4)")
+	fs.IntVar(&r.Shards, "shards", r.Shards, "shards per replication (>= 2 splits one run across cores with bit-identical results; 0/1 = sequential); composes with -parallel")
 }
 
 // BindSimWorkload binds -service and -pattern with the system

@@ -26,6 +26,7 @@ package netsim
 import (
 	"fmt"
 	"math"
+	"slices"
 
 	"hmscs/internal/network"
 	"hmscs/internal/rng"
@@ -63,6 +64,10 @@ const (
 	// nvDeliver fires after the fixed (NIC + switch fabric) latency of a
 	// message that cleared its last link; idx is the message index.
 	nvDeliver
+	// nvXferIn fires when a cross-shard hand-off is consumed at its
+	// stamped time; idx indexes the receiving shard's inbox (sharded mode
+	// only — see shard.go).
+	nvXferIn
 )
 
 // link is one directed channel with its own FIFO queue.
@@ -82,6 +87,14 @@ type nmsg struct {
 	path []int32
 	svc  float64 // per-link mean transmission time for this message's size
 	pos  int32
+	src  int32
+	dst  int32
+	hops int32
+}
+
+// pendDelivery is a delivery awaiting its instant's canonical commit.
+type pendDelivery struct {
+	born float64
 	src  int32
 	hops int32
 }
@@ -119,6 +132,7 @@ type Network struct {
 	beta         float64 // seconds per byte on every link
 	completed    int
 	measureStart float64
+	pend         []pendDelivery
 	msgs         []nmsg
 	free         []int32
 }
@@ -333,6 +347,13 @@ type Options struct {
 	// RecordSample keeps the raw measured latencies for the output-analysis
 	// engine (MSER-5 warmup deletion, batch-means intervals).
 	RecordSample bool
+	// Shards, when >= 2, splits the run across that many concurrent
+	// shards of switches (leaves; fat-tree spines are dealt round-robin),
+	// each with its own event list and clock, synchronized in bounded
+	// time windows (DESIGN.md §9). Results are bit-identical to the
+	// sequential engine; 0 and 1 mean sequential. Requires
+	// Shards <= number of leaf/chain switches.
+	Shards int
 }
 
 // Result is a netsim run's output.
@@ -391,6 +412,9 @@ func (n *Network) Handle(kind sim.EventKind, idx int32) {
 	default:
 		panic(fmt.Sprintf("netsim: unknown event kind %d", kind))
 	}
+	if len(n.pend) > 0 && n.eng.NextEventAt() != n.eng.Now() {
+		n.flushDeliveries()
+	}
 }
 
 // generate creates one message at endpoint p, routes it, and submits its
@@ -409,6 +433,7 @@ func (n *Network) generate(p int) {
 	m.svc = float64(size) * n.beta
 	m.pos = 0
 	m.src = int32(p)
+	m.dst = int32(dst)
 	m.hops = int32(switches)
 	n.links[m.path[0]].center.Submit(m.svc, mi)
 }
@@ -421,23 +446,52 @@ func (n *Network) scheduleGeneration(p int) {
 }
 
 // deliver sinks a completed message and, closed-loop, re-arms its source.
+// The measurement commit is deferred until the simulated instant drains:
+// messages delivered at exactly the same time have no physical order, so
+// the accumulators see them in the canonical (born, source) order rather
+// than event-scheduling order. The canonical order is independent of how
+// the run is partitioned, which is what lets the sharded mode (shard.go)
+// reproduce sequential results bit for bit even when deterministic link
+// service aligns deliveries on an exact-tie lattice.
 func (n *Network) deliver(p int, born float64, hops int) {
-	n.completed++
-	if n.completed == n.opts.Warmup {
-		n.measureStart = n.eng.Now()
-	}
-	if n.completed > n.opts.Warmup && n.res.Latency.Count() < int64(n.opts.Measured) {
-		lat := n.eng.Now() - born
-		n.res.Latency.Add(lat)
-		if n.opts.RecordSample {
-			n.res.Sample = append(n.res.Sample, lat)
-		}
-		n.res.SwitchHops.Add(float64(hops))
-		if n.res.Latency.Count() == int64(n.opts.Measured) {
-			n.eng.Stop()
-		}
-	}
+	n.pend = append(n.pend, pendDelivery{born: born, src: int32(p), hops: int32(hops)})
 	n.scheduleGeneration(p)
+}
+
+// flushDeliveries commits the deliveries of the current instant in
+// canonical order. Stopping mid-batch discards the rest, exactly like the
+// sharded replay does.
+func (n *Network) flushDeliveries() {
+	slices.SortFunc(n.pend, func(a, b pendDelivery) int {
+		switch {
+		case a.born != b.born:
+			if a.born < b.born {
+				return -1
+			}
+			return 1
+		default:
+			return int(a.src - b.src)
+		}
+	})
+	for _, d := range n.pend {
+		n.completed++
+		if n.completed == n.opts.Warmup {
+			n.measureStart = n.eng.Now()
+		}
+		if n.completed > n.opts.Warmup && n.res.Latency.Count() < int64(n.opts.Measured) {
+			lat := n.eng.Now() - d.born
+			n.res.Latency.Add(lat)
+			if n.opts.RecordSample {
+				n.res.Sample = append(n.res.Sample, lat)
+			}
+			n.res.SwitchHops.Add(float64(d.hops))
+			if n.res.Latency.Count() == int64(n.opts.Measured) {
+				n.eng.Stop()
+				break
+			}
+		}
+	}
+	n.pend = n.pend[:0]
 }
 
 // Run executes a closed-loop uniform-traffic experiment on the network.
@@ -454,6 +508,12 @@ func (n *Network) Run(opts Options) (*Result, error) {
 	}
 	if opts.Warmup < 0 {
 		return nil, fmt.Errorf("netsim: negative warmup %d", opts.Warmup)
+	}
+	if opts.Shards < 0 {
+		return nil, fmt.Errorf("netsim: negative shard count %d", opts.Shards)
+	}
+	if opts.Shards > 1 {
+		return n.runSharded(opts)
 	}
 	maxT := opts.MaxSimTime
 	if maxT <= 0 {

@@ -1,0 +1,727 @@
+package netsim
+
+import (
+	"fmt"
+	"math"
+	"slices"
+
+	"hmscs/internal/rng"
+	"hmscs/internal/sim"
+	"hmscs/internal/workload"
+)
+
+// This file is netsim's sharded execution mode, the switch-level twin of
+// internal/sim/shard.go: leaf/chain switches (with their endpoints and
+// outgoing links) are partitioned contiguously across shards, fat-tree
+// spines are dealt round-robin, and each shard advances its own engine in
+// bounded time windows that iterate to a cross-shard mailbox fixed point.
+// Two things differ from the system simulator:
+//
+//   - a hand-off's route is NOT shipped as a slice: tokens carry
+//     (src, dst, spine) and the receiving shard rebuilds the path
+//     deterministically, keeping tokens plain comparable values;
+//   - delivery tokens are stamped at link-done time plus the fixed
+//     NIC/fabric latency, which can land beyond the window horizon, so
+//     the coordinator keeps a per-shard carry list of committed tokens
+//     awaiting a later window (the system simulator needs none: all its
+//     hand-offs occur at emission time).
+//
+// See DESIGN.md §9 for the protocol and determinism argument.
+
+// nxKind discriminates cross-shard hand-offs.
+type nxKind uint8
+
+const (
+	// nxSubmit hands an in-flight message to the shard owning its next
+	// link, at the emitting link's completion time.
+	nxSubmit nxKind = iota
+	// nxDeliver sinks a message on its source endpoint's shard at
+	// delivery time (last link done + fixed latency), logging the
+	// delivery and re-arming the closed-loop source.
+	nxDeliver
+)
+
+// nxfer is one cross-shard hand-off: all scalars, so mailboxes compare
+// with slices.Equal for fixed-point detection and never allocate per
+// message.
+type nxfer struct {
+	at    float64
+	src   int32 // emitting shard
+	seq   int32 // emission index within the (src, dst) mailbox this window
+	kind  nxKind
+	born  float64
+	svc   float64 // per-link mean transmission time (nxSubmit)
+	msrc  int32   // source endpoint
+	mdst  int32   // destination endpoint
+	spine int32   // fat-tree spine of the chosen route; -1 when none
+	hops  int32
+	pos   int32 // path index to submit at (nxSubmit)
+}
+
+func cmpNxfer(a, b nxfer) int {
+	switch {
+	case a.at != b.at:
+		if a.at < b.at {
+			return -1
+		}
+		return 1
+	case a.src != b.src:
+		return int(a.src - b.src)
+	default:
+		return int(a.seq - b.seq)
+	}
+}
+
+// ndelivery is one delivered message in a shard's window log; the
+// coordinator replays the merged logs through the sequential commit
+// counters in the canonical (time, born, source) order — the same order
+// the sequential engine's instant-drain flush uses, so the merge is
+// partition-independent even when deliveries tie exactly.
+type ndelivery struct {
+	at   float64
+	born float64
+	src  int32
+	hops int32
+}
+
+// cmpNdelivery is the canonical commit order: delivery time, then birth
+// time, then source endpoint. (born, src) is unique per in-flight message
+// (closed loop: one outstanding message per endpoint), so it is total.
+func cmpNdelivery(a, b ndelivery) int {
+	switch {
+	case a.at != b.at:
+		if a.at < b.at {
+			return -1
+		}
+		return 1
+	case a.born != b.born:
+		if a.born < b.born {
+			return -1
+		}
+		return 1
+	default:
+		return int(a.src - b.src)
+	}
+}
+
+// netSnap is a reusable window-boundary snapshot of one shard.
+type netSnap struct {
+	eng     sim.EngineState
+	centers []sim.CenterState
+	streams []rng.Stream
+	sources []workload.Source
+	msgs    []nmsg
+	free    []int32
+}
+
+// netShard is one shard of a sharded netsim run. It implements
+// sim.Handler for its own engine.
+type netShard struct {
+	id int
+	o  *shardedNet
+
+	eng *sim.Engine
+
+	epLo, epHi int     // owned endpoints (contiguous: leaves are contiguous)
+	owned      []*link // links whose queues this shard advances
+
+	msgs []nmsg
+	free []int32
+
+	stateful bool
+
+	inbox   []nxfer   // injected hand-offs this window, sorted by cmpNxfer
+	carryIn []nxfer   // committed tokens from earlier windows due this window
+	carry   []nxfer   // committed tokens still beyond the horizon, time-sorted
+	out     [][]nxfer // per-destination-shard mailboxes for this window
+	log     []ndelivery
+
+	dirty bool
+
+	snap netSnap
+}
+
+// shardedNet coordinates the shards of one netsim run and owns the global
+// measurement state the sequential Network keeps inline.
+type shardedNet struct {
+	net  *Network
+	opts Options
+
+	gen     workload.Generator
+	sources []workload.Source
+	streams []*rng.Stream
+	beta    float64
+
+	leafShard []int32 // leaf/chain switch -> shard
+	epShard   []int32 // endpoint -> shard
+	linkShard []int32 // link id -> shard
+	linkSpine []int32 // link id -> fat-tree spine index, -1 otherwise
+
+	shards []*netShard
+	pool   *sim.ShardPool
+	window float64
+
+	res          *Result
+	measureStart float64
+	completed    int
+
+	cand [][]nxfer
+	sel  []bool
+	idx  []int
+}
+
+// runSharded executes the run with opts.Shards >= 2 shards. Like the
+// sequential Run, the network is single-use: its links are rebound onto
+// the shard engines.
+func (n *Network) runSharded(opts Options) (*Result, error) {
+	o, err := newShardedNet(n, opts)
+	if err != nil {
+		return nil, err
+	}
+	return o.run()
+}
+
+func newShardedNet(n *Network, opts Options) (*shardedNet, error) {
+	if !(opts.Lambda > 0) {
+		return nil, fmt.Errorf("netsim: lambda %g must be positive", opts.Lambda)
+	}
+	if opts.MsgBytes < 1 {
+		return nil, fmt.Errorf("netsim: message size %d must be >= 1", opts.MsgBytes)
+	}
+	if opts.Measured < 1 {
+		return nil, fmt.Errorf("netsim: need at least 1 measured message")
+	}
+	if opts.Warmup < 0 {
+		return nil, fmt.Errorf("netsim: negative warmup %d", opts.Warmup)
+	}
+	s := opts.Shards
+	if s > n.numLeaves {
+		return nil, fmt.Errorf("netsim: %d shards exceed the topology's %d leaf switches — each shard must own at least one switch; lower -shards to at most %d", s, n.numLeaves, n.numLeaves)
+	}
+	if opts.MaxSimTime <= 0 {
+		opts.MaxSimTime = math.Inf(1)
+	}
+
+	o := &shardedNet{net: n, opts: opts, res: &Result{}, beta: n.Tech.Beta()}
+
+	// Replicate the sequential Run's stream creation order bit for bit.
+	master := rng.NewStream(opts.Seed ^ 0xabcdef12345)
+	o.streams = make([]*rng.Stream, n.N)
+	rates := make([]float64, n.N)
+	for i := range o.streams {
+		o.streams[i] = master.Split()
+		rates[i] = opts.Lambda
+	}
+	o.gen = opts.Workload.Normalized(workload.FixedSize{Bytes: opts.MsgBytes})
+	o.sources = o.gen.Sources(rates)
+
+	// Ownership tables: leaves contiguous, spines round-robin, every link
+	// owned by the switch holding its output queue.
+	o.leafShard = make([]int32, n.numLeaves)
+	for l := 0; l < n.numLeaves; l++ {
+		o.leafShard[l] = int32(l * s / n.numLeaves)
+	}
+	o.epShard = make([]int32, n.N)
+	for e := 0; e < n.N; e++ {
+		o.epShard[e] = o.leafShard[n.leafOf[e]]
+	}
+	o.linkShard = make([]int32, len(n.links))
+	o.linkSpine = make([]int32, len(n.links))
+	for i := range o.linkSpine {
+		o.linkSpine[i] = -1
+	}
+	for e := 0; e < n.N; e++ {
+		o.linkShard[n.hostUp[e]] = o.epShard[e]
+		o.linkShard[n.hostDown[e]] = o.epShard[e]
+	}
+	for l := range n.upLinks {
+		for sp, id := range n.upLinks[l] {
+			o.linkShard[id] = o.leafShard[l] // leaf's output port
+			o.linkSpine[id] = int32(sp)
+		}
+	}
+	for sp := range n.downLinks {
+		for _, id := range n.downLinks[sp] {
+			o.linkShard[id] = int32(sp % s) // spine's output port
+			o.linkSpine[id] = int32(sp)
+		}
+	}
+	for i := range n.chainRight {
+		o.linkShard[n.chainRight[i]] = o.leafShard[i]
+		o.linkShard[n.chainLeft[i]] = o.leafShard[i+1]
+	}
+
+	o.shards = make([]*netShard, s)
+	for i := range o.shards {
+		o.shards[i] = &netShard{id: i, o: o, eng: sim.NewEngine(), out: make([][]nxfer, s), epLo: n.N}
+		o.shards[i].eng.SetHandler(o.shards[i])
+	}
+	for e := 0; e < n.N; e++ {
+		sh := o.shards[o.epShard[e]]
+		if e < sh.epLo {
+			sh.epLo = e
+		}
+		if e >= sh.epHi {
+			sh.epHi = e + 1
+		}
+	}
+	for id, l := range n.links {
+		sh := o.shards[o.linkShard[id]]
+		l.center.Rebind(sh.eng)
+		sh.owned = append(sh.owned, l)
+	}
+	for _, sh := range o.shards {
+		for e := sh.epLo; e < sh.epHi; e++ {
+			if !workload.Stateless(o.sources[e]) {
+				sh.stateful = true
+			}
+		}
+		ne := sh.epHi - sh.epLo
+		sh.msgs = make([]nmsg, 0, ne)
+		sh.free = make([]int32, 0, ne)
+		sh.snap.centers = make([]sim.CenterState, len(sh.owned))
+		sh.snap.streams = make([]rng.Stream, ne)
+		if sh.stateful {
+			sh.snap.sources = make([]workload.Source, ne)
+		}
+	}
+
+	// Window width: one mean link transmission time of a nominal message —
+	// the store-and-forward quantum. Any positive width is correct.
+	o.window = float64(opts.MsgBytes) * o.beta
+	if !(o.window > 0) || math.IsInf(o.window, 1) || math.IsNaN(o.window) {
+		o.window = 1e-3
+	}
+	o.cand = make([][]nxfer, s)
+	o.sel = make([]bool, s)
+	o.idx = make([]int, s)
+	return o, nil
+}
+
+func (o *shardedNet) run() (*Result, error) {
+	for p := 0; p < o.net.N; p++ {
+		o.shards[o.epShard[p]].scheduleGeneration(p)
+	}
+	maxT := o.opts.MaxSimTime
+	o.pool = sim.NewShardPool(len(o.shards))
+	defer o.pool.Close()
+	for {
+		t := o.nextEventTime()
+		if t > maxT {
+			if !math.IsInf(maxT, 1) {
+				for _, sh := range o.shards {
+					sh.eng.RunWindow(maxT, true)
+				}
+			}
+			break
+		}
+		h := t + o.window
+		inclusive := false
+		if h >= maxT {
+			h, inclusive = maxT, true
+		}
+		o.runOneWindow(h, inclusive)
+		if o.commit() || inclusive {
+			break
+		}
+	}
+	return o.finish(), nil
+}
+
+// nextEventTime is the earliest pending event or carried token across all
+// shards (+Inf if none).
+func (o *shardedNet) nextEventTime() float64 {
+	t := math.Inf(1)
+	for _, sh := range o.shards {
+		if at := sh.eng.NextEventAt(); at < t {
+			t = at
+		}
+		if len(sh.carry) > 0 && sh.carry[0].at < t {
+			t = sh.carry[0].at
+		}
+	}
+	return t
+}
+
+// due reports whether a token stamped at must be consumed in a window
+// with the given horizon.
+func due(at, horizon float64, inclusive bool) bool {
+	return at < horizon || (inclusive && at == horizon)
+}
+
+// runOneWindow advances every shard to the horizon and iterates to the
+// mailbox fixed point, exactly like the system simulator's window driver,
+// with carried delivery tokens folded into every inbox candidate.
+func (o *shardedNet) runOneWindow(horizon float64, inclusive bool) {
+	for _, sh := range o.shards {
+		// Pull the carried tokens that fall due this window.
+		k := 0
+		for k < len(sh.carry) && due(sh.carry[k].at, horizon, inclusive) {
+			k++
+		}
+		sh.carryIn = append(sh.carryIn[:0], sh.carry[:k]...)
+		sh.carry = sh.carry[k:]
+		sh.save()
+		sh.inbox = append(sh.inbox[:0], sh.carryIn...)
+	}
+	o.pool.Run(nil, func(i int) { o.shards[i].runWindow(horizon, inclusive) })
+	for iter := 0; ; iter++ {
+		if iter >= maxNetWindowIters {
+			panic("netsim: sharded window failed to converge (zero-latency cross-shard cycle?)")
+		}
+		any := false
+		for r, sh := range o.shards {
+			cand := append(o.cand[r][:0], sh.carryIn...)
+			for s, src := range o.shards {
+				if s == r {
+					continue
+				}
+				for _, x := range src.out[r] {
+					if due(x.at, horizon, inclusive) {
+						cand = append(cand, x)
+					}
+				}
+			}
+			slices.SortFunc(cand, cmpNxfer)
+			o.cand[r] = cand
+			sh.dirty = !slices.Equal(cand, sh.inbox)
+			any = any || sh.dirty
+		}
+		if !any {
+			break
+		}
+		for r, sh := range o.shards {
+			o.sel[r] = sh.dirty
+			if sh.dirty {
+				sh.restore()
+				sh.inbox, o.cand[r] = o.cand[r], sh.inbox
+			}
+		}
+		o.pool.Run(o.sel, func(i int) { o.shards[i].runWindow(horizon, inclusive) })
+	}
+	// Converged: tokens stamped beyond the horizon carry to later windows.
+	for _, src := range o.shards {
+		for r := range src.out {
+			for _, x := range src.out[r] {
+				if !due(x.at, horizon, inclusive) {
+					o.shards[r].carry = append(o.shards[r].carry, x)
+				}
+			}
+		}
+	}
+	for _, sh := range o.shards {
+		slices.SortFunc(sh.carry, cmpNxfer)
+	}
+}
+
+const maxNetWindowIters = 1 << 20
+
+// commit replays the merged delivery logs through the sequential deliver
+// counters; on reaching the measured target it cuts the window at the
+// stopping instant and reports true.
+func (o *shardedNet) commit() bool {
+	for i := range o.idx {
+		o.idx[i] = 0
+	}
+	// Deliveries commit in canonical (time, born, source) order — the
+	// order the sequential instant-drain flush uses. A shard's log is in
+	// local pop order, so canonicalize ties before the merge scan.
+	for _, sh := range o.shards {
+		slices.SortFunc(sh.log, cmpNdelivery)
+	}
+	for {
+		best := -1
+		for s, sh := range o.shards {
+			if o.idx[s] < len(sh.log) {
+				if best < 0 || cmpNdelivery(sh.log[o.idx[s]], o.shards[best].log[o.idx[best]]) < 0 {
+					best = s
+				}
+			}
+		}
+		if best < 0 {
+			return false
+		}
+		d := o.shards[best].log[o.idx[best]]
+		o.idx[best]++
+		o.completed++
+		if o.completed == o.opts.Warmup {
+			o.measureStart = d.at
+		}
+		if o.completed > o.opts.Warmup && o.res.Latency.Count() < int64(o.opts.Measured) {
+			lat := d.at - d.born
+			o.res.Latency.Add(lat)
+			if o.opts.RecordSample {
+				o.res.Sample = append(o.res.Sample, lat)
+			}
+			o.res.SwitchHops.Add(float64(d.hops))
+			if o.res.Latency.Count() == int64(o.opts.Measured) {
+				o.cut(d.at)
+				return true
+			}
+		}
+	}
+}
+
+// cut rewinds every shard to the stopping instant. The sequential engine
+// stops only once the stopping instant has fully drained (the canonical
+// flush runs when the next event's time differs), so the cut re-executes
+// the window through tStop inclusively and leaves every clock there; the
+// replay has already discarded any same-instant deliveries past the
+// measured target.
+func (o *shardedNet) cut(tStop float64) {
+	for _, sh := range o.shards {
+		sh.restore()
+	}
+	o.pool.Run(nil, func(i int) { o.shards[i].runCut(tStop) })
+}
+
+func (o *shardedNet) finish() *Result {
+	n := o.net
+	if o.res.Latency.Count() < int64(o.opts.Measured) {
+		o.res.TimedOut = true
+	}
+	endT := o.shards[0].eng.Now()
+	window := endT - o.measureStart
+	if window > 0 && o.res.Latency.Count() > 0 {
+		o.res.Throughput = float64(o.res.Latency.Count()) / window
+	}
+	for _, l := range n.links {
+		l.center.Flush()
+		u := l.center.Utilization()
+		if l.interSwitch {
+			o.res.MaxInterSwitchUtil = math.Max(o.res.MaxInterSwitchUtil, u)
+		} else {
+			o.res.MaxHostLinkUtil = math.Max(o.res.MaxHostLinkUtil, u)
+		}
+	}
+	return o.res
+}
+
+// ---- per-shard execution ----
+
+func (sh *netShard) runWindow(horizon float64, inclusive bool) {
+	sh.log = sh.log[:0]
+	for d := range sh.out {
+		sh.out[d] = sh.out[d][:0]
+	}
+	for i := range sh.inbox {
+		sh.eng.ScheduleAt(sh.inbox[i].at, nvXferIn, int32(i))
+	}
+	sh.eng.RunWindow(horizon, inclusive)
+}
+
+// runCut re-executes the stopped window through the stopping instant,
+// inclusively, injecting only the hand-offs due by then.
+func (sh *netShard) runCut(tStop float64) {
+	sh.log = sh.log[:0]
+	for d := range sh.out {
+		sh.out[d] = sh.out[d][:0]
+	}
+	for i := range sh.inbox {
+		if sh.inbox[i].at > tStop {
+			break
+		}
+		sh.eng.ScheduleAt(sh.inbox[i].at, nvXferIn, int32(i))
+	}
+	sh.eng.RunWindow(tStop, true)
+}
+
+// save snapshots the shard at the window boundary. Message path buffers
+// are deep-copied: pool slots are recycled during a window, so a shallow
+// slice-header copy would let a re-execution overwrite a snapshotted
+// route in place.
+func (sh *netShard) save() {
+	o := sh.o
+	sh.eng.SaveState(&sh.snap.eng)
+	for i, l := range sh.owned {
+		l.center.SaveState(&sh.snap.centers[i])
+	}
+	for e := sh.epLo; e < sh.epHi; e++ {
+		sh.snap.streams[e-sh.epLo] = *o.streams[e]
+	}
+	if sh.stateful {
+		for e := sh.epLo; e < sh.epHi; e++ {
+			sh.snap.sources[e-sh.epLo] = o.sources[e].Clone()
+		}
+	}
+	sh.snap.msgs = copyMsgs(sh.snap.msgs, sh.msgs)
+	sh.snap.free = append(sh.snap.free[:0], sh.free...)
+}
+
+func (sh *netShard) restore() {
+	o := sh.o
+	sh.eng.RestoreState(&sh.snap.eng)
+	for i, l := range sh.owned {
+		l.center.RestoreState(&sh.snap.centers[i])
+	}
+	for e := sh.epLo; e < sh.epHi; e++ {
+		*o.streams[e] = sh.snap.streams[e-sh.epLo]
+	}
+	if sh.stateful {
+		for e := sh.epLo; e < sh.epHi; e++ {
+			o.sources[e] = sh.snap.sources[e-sh.epLo].Clone()
+		}
+	}
+	sh.msgs = copyMsgs(sh.msgs, sh.snap.msgs)
+	sh.free = append(sh.free[:0], sh.snap.free...)
+}
+
+// copyMsgs structurally copies src into dst (reusing dst's backing
+// storage and per-slot path buffers) and returns dst.
+func copyMsgs(dst, src []nmsg) []nmsg {
+	for len(dst) < len(src) {
+		dst = append(dst, nmsg{})
+	}
+	dst = dst[:len(src)]
+	for i := range src {
+		p := dst[i].path
+		dst[i] = src[i]
+		dst[i].path = append(p[:0], src[i].path...)
+	}
+	return dst
+}
+
+// Handle implements sim.Handler: Network.Handle's hop state machine with
+// cross-shard hops emitted as hand-offs.
+func (sh *netShard) Handle(kind sim.EventKind, idx int32) {
+	o := sh.o
+	n := o.net
+	switch kind {
+	case nvGenerate:
+		sh.generate(int(idx))
+	case nvLinkDone:
+		mi := n.links[idx].center.CompleteService()
+		m := &sh.msgs[mi]
+		m.pos++
+		if int(m.pos) == len(m.path) {
+			fixed := n.Tech.Latency + float64(m.hops)*n.Sw.Latency
+			if int(o.epShard[m.src]) == sh.id {
+				sh.eng.Schedule(fixed, nvDeliver, mi)
+				return
+			}
+			sh.emit(o.epShard[m.src], nxfer{
+				at: sh.eng.Now() + fixed, kind: nxDeliver,
+				born: m.born, msrc: m.src, hops: m.hops,
+			})
+			sh.free = append(sh.free, mi)
+			return
+		}
+		nxt := m.path[m.pos]
+		if int(o.linkShard[nxt]) == sh.id {
+			n.links[nxt].center.Submit(m.svc, mi)
+			return
+		}
+		spine := int32(-1)
+		if n.Kind == FatTree && m.hops == 3 {
+			spine = o.linkSpine[m.path[1]]
+		}
+		sh.emit(o.linkShard[nxt], nxfer{
+			at: sh.eng.Now(), kind: nxSubmit,
+			born: m.born, svc: m.svc, msrc: m.src, mdst: m.dst,
+			spine: spine, hops: m.hops, pos: m.pos,
+		})
+		sh.free = append(sh.free, mi)
+	case nvDeliver:
+		m := &sh.msgs[idx]
+		p, born, hops := int(m.src), m.born, m.hops
+		sh.free = append(sh.free, idx)
+		sh.deliver(p, born, hops)
+	case nvXferIn:
+		sh.applyXfer(sh.inbox[idx])
+	default:
+		panic(fmt.Sprintf("netsim: unknown event kind %d", kind))
+	}
+}
+
+func (sh *netShard) allocMsg() int32 {
+	if ln := len(sh.free); ln > 0 {
+		mi := sh.free[ln-1]
+		sh.free = sh.free[:ln-1]
+		return mi
+	}
+	sh.msgs = append(sh.msgs, nmsg{})
+	return int32(len(sh.msgs) - 1)
+}
+
+func (sh *netShard) emit(dst int32, x nxfer) {
+	ob := sh.out[dst]
+	x.src = int32(sh.id)
+	x.seq = int32(len(ob))
+	sh.out[dst] = append(ob, x)
+}
+
+func (sh *netShard) scheduleGeneration(p int) {
+	o := sh.o
+	sh.eng.Schedule(o.sources[p].Next(o.streams[p]), nvGenerate, int32(p))
+}
+
+// generate mirrors Network.generate; an endpoint's first link (its host
+// uplink) is always shard-local.
+func (sh *netShard) generate(p int) {
+	o := sh.o
+	n := o.net
+	st := o.streams[p]
+	dst := o.gen.Pattern.Dest(st, n, p)
+	size := o.gen.Size.Sample(st)
+	mi := sh.allocMsg()
+	m := &sh.msgs[mi]
+	var switches int
+	m.path, switches = n.appendRoute(m.path[:0], st, p, dst)
+	m.born = sh.eng.Now()
+	m.svc = float64(size) * o.beta
+	m.pos = 0
+	m.src = int32(p)
+	m.dst = int32(dst)
+	m.hops = int32(switches)
+	n.links[m.path[0]].center.Submit(m.svc, mi)
+}
+
+// deliver logs the delivery for the coordinator's replay and re-arms the
+// (always closed-loop) source.
+func (sh *netShard) deliver(p int, born float64, hops int32) {
+	sh.log = append(sh.log, ndelivery{at: sh.eng.Now(), born: born, src: int32(p), hops: hops})
+	sh.scheduleGeneration(p)
+}
+
+// rebuildPath reconstructs the route of a handed-off message into buf:
+// deterministic from (src, dst) for the linear array and the same-leaf
+// fat-tree case, and from the recorded spine otherwise.
+func (sh *netShard) rebuildPath(buf []int32, msrc, mdst, spine int32) []int32 {
+	n := sh.o.net
+	if n.Kind == FatTree {
+		if spine < 0 {
+			return append(buf, n.hostUp[msrc], n.hostDown[mdst])
+		}
+		return append(buf,
+			n.hostUp[msrc],
+			n.upLinks[n.leafOf[msrc]][spine],
+			n.downLinks[spine][n.leafOf[mdst]],
+			n.hostDown[mdst],
+		)
+	}
+	// The linear array's routes draw no randomness.
+	buf, _ = n.appendRoute(buf, nil, int(msrc), int(mdst))
+	return buf
+}
+
+func (sh *netShard) applyXfer(x nxfer) {
+	o := sh.o
+	n := o.net
+	switch x.kind {
+	case nxSubmit:
+		mi := sh.allocMsg()
+		m := &sh.msgs[mi]
+		m.path = sh.rebuildPath(m.path[:0], x.msrc, x.mdst, x.spine)
+		m.born = x.born
+		m.svc = x.svc
+		m.pos = x.pos
+		m.src = x.msrc
+		m.dst = x.mdst
+		m.hops = x.hops
+		n.links[m.path[x.pos]].center.Submit(m.svc, mi)
+	case nxDeliver:
+		sh.deliver(int(x.msrc), x.born, x.hops)
+	default:
+		panic(fmt.Sprintf("netsim: unknown hand-off kind %d", x.kind))
+	}
+}

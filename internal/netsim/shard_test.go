@@ -1,0 +1,151 @@
+package netsim
+
+import (
+	"strings"
+	"testing"
+
+	"hmscs/internal/network"
+	"hmscs/internal/rng"
+	"hmscs/internal/workload"
+)
+
+// buildFTExp is buildFT with exponential (continuous) link service. The
+// synchronized trace-replay case needs it: shared gap tables make every
+// endpoint generate at the same instants, and under deterministic service
+// those messages reach shared uplink queues at exactly tied times, where
+// arrival order is engine-specific (see DESIGN.md §9's tie caveat).
+// Continuous service desynchronizes the flows after the first private
+// hop, so the bit-identity guarantee applies.
+func buildFTExp(t *testing.T, n, pr int) *Network {
+	t.Helper()
+	sw := network.Switch{Ports: pr, Latency: 10e-6}
+	net, err := BuildFatTree(n, pr, network.GigabitEthernet, sw, 1, rng.Exponential{MeanValue: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return net
+}
+
+// requireIdenticalNetResults asserts bit-identity of every Result field,
+// including the raw sample vector.
+func requireIdenticalNetResults(t *testing.T, label string, want, got *Result) {
+	t.Helper()
+	if want.Latency.Mean() != got.Latency.Mean() || want.Latency.Count() != got.Latency.Count() ||
+		want.Latency.Variance() != got.Latency.Variance() {
+		t.Fatalf("%s: latency diverged: %v/%d vs %v/%d", label,
+			want.Latency.Mean(), want.Latency.Count(), got.Latency.Mean(), got.Latency.Count())
+	}
+	if want.SwitchHops.Mean() != got.SwitchHops.Mean() || want.SwitchHops.Count() != got.SwitchHops.Count() {
+		t.Fatalf("%s: switch hops diverged", label)
+	}
+	if want.Throughput != got.Throughput {
+		t.Fatalf("%s: throughput %v vs %v", label, want.Throughput, got.Throughput)
+	}
+	if want.MaxHostLinkUtil != got.MaxHostLinkUtil || want.MaxInterSwitchUtil != got.MaxInterSwitchUtil {
+		t.Fatalf("%s: utilizations diverged: %v/%v vs %v/%v", label,
+			want.MaxHostLinkUtil, want.MaxInterSwitchUtil, got.MaxHostLinkUtil, got.MaxInterSwitchUtil)
+	}
+	if want.TimedOut != got.TimedOut {
+		t.Fatalf("%s: TimedOut %v vs %v", label, want.TimedOut, got.TimedOut)
+	}
+	if len(want.Sample) != len(got.Sample) {
+		t.Fatalf("%s: sample lengths %d vs %d", label, len(want.Sample), len(got.Sample))
+	}
+	for i := range want.Sample {
+		if want.Sample[i] != got.Sample[i] {
+			t.Fatalf("%s: sample[%d] %v vs %v", label, i, want.Sample[i], got.Sample[i])
+		}
+	}
+}
+
+// TestNetShardedBitIdenticalToSequential mirrors the system simulator's
+// determinism suite at the switch level: for both topologies and a spread
+// of workloads the sharded engine must reproduce the sequential Result
+// bit for bit at every shard count.
+func TestNetShardedBitIdenticalToSequential(t *testing.T) {
+	mmpp, err := workload.NewMMPP(10, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := workload.NewTrace([]float64{0, 0.0008, 0.001, 0.0011, 0.0025, 0.003, 0.0032, 0.0049, 0.005, 0.0064})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// N=32, Pr=8: the fat tree has 8 leaves and the linear array 8 chain
+	// switches (built from N=64), so both support up to 8 shards.
+	cases := []struct {
+		name  string
+		build func(t *testing.T) *Network
+		mod   func(o *Options)
+	}{
+		{"fattree-poisson", func(t *testing.T) *Network { return buildFT(t, 32, 8) }, nil},
+		{"fattree-mmpp", func(t *testing.T) *Network { return buildFT(t, 32, 8) },
+			func(o *Options) { o.Workload.Arrival = mmpp }},
+		{"fattree-trace", func(t *testing.T) *Network { return buildFTExp(t, 32, 8) },
+			func(o *Options) { o.Workload.Arrival = tr }},
+		{"fattree-hotspot", func(t *testing.T) *Network { return buildFT(t, 32, 8) },
+			func(o *Options) { o.Workload.Pattern = workload.Hotspot{Node: 5, Fraction: 0.25} }},
+		{"linear-poisson", func(t *testing.T) *Network { return buildLA(t, 64, 8) }, nil},
+		{"linear-mmpp", func(t *testing.T) *Network { return buildLA(t, 64, 8) },
+			func(o *Options) { o.Workload.Arrival = mmpp }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			opts := Options{Lambda: 300, MsgBytes: 256, Warmup: 200, Measured: 2000, Seed: 17, RecordSample: true}
+			if tc.mod != nil {
+				tc.mod(&opts)
+			}
+			run := func(shards int) *Result {
+				o := opts
+				o.Shards = shards
+				res, err := tc.build(t).Run(o)
+				if err != nil {
+					t.Fatal(err)
+				}
+				return res
+			}
+			seq := run(0)
+			for _, shards := range []int{1, 2, 3, 8} {
+				requireIdenticalNetResults(t, tc.name, seq, run(shards))
+			}
+		})
+	}
+}
+
+// TestNetShardedMaxSimTimeBitIdentical pins the timed-out path.
+func TestNetShardedMaxSimTimeBitIdentical(t *testing.T) {
+	run := func(shards int) *Result {
+		res, err := buildFT(t, 32, 8).Run(Options{
+			Lambda: 300, MsgBytes: 256, Warmup: 100, Measured: 1 << 30,
+			Seed: 5, RecordSample: true, MaxSimTime: 0.02, Shards: shards,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	seq := run(0)
+	if !seq.TimedOut {
+		t.Fatal("expected the sequential run to time out")
+	}
+	for _, shards := range []int{2, 3, 8} {
+		requireIdenticalNetResults(t, "timed-out", seq, run(shards))
+	}
+}
+
+// TestNetShardedValidation pins the pointed configuration errors.
+func TestNetShardedValidation(t *testing.T) {
+	opts := Options{Lambda: 100, MsgBytes: 256, Warmup: 10, Measured: 100}
+
+	o := opts
+	o.Shards = 9 // fat tree N=32 Pr=8 has 8 leaves
+	if _, err := buildFT(t, 32, 8).Run(o); err == nil || !strings.Contains(err.Error(), "each shard must own at least one switch") {
+		t.Fatalf("want a pointed shards-vs-switches error, got %v", err)
+	}
+
+	o = opts
+	o.Shards = -2
+	if _, err := buildFT(t, 32, 8).Run(o); err == nil || !strings.Contains(err.Error(), "negative shard count") {
+		t.Fatalf("want a negative-shards error, got %v", err)
+	}
+}

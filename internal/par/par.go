@@ -93,3 +93,22 @@ dispatch:
 	}
 	return ctx.Err()
 }
+
+// Workers composes an outer worker-pool budget with per-unit inner
+// concurrency: it returns how many pool workers to run when each unit
+// itself spawns inner goroutines (for example one sharded replication
+// running inner shards). parallelism <= 0 means runtime.NumCPU(), inner
+// < 1 is treated as 1, and the result is never below 1 — so the total
+// goroutine budget stays close to parallelism without starving the pool.
+func Workers(parallelism, inner int) int {
+	if parallelism <= 0 {
+		parallelism = runtime.NumCPU()
+	}
+	if inner < 1 {
+		inner = 1
+	}
+	if w := parallelism / inner; w > 1 {
+		return w
+	}
+	return 1
+}

@@ -84,9 +84,18 @@ func VerifyTopKCtx(ctx context.Context, frontier []ScreenResult, k int, slo SLO,
 	units := make([]sim.PrecisionUnit, k)
 	for i := 0; i < k; i++ {
 		r := frontier[i]
+		// Frontier candidates have heterogeneous cluster counts, so a
+		// global shard request is capped at each candidate's count
+		// (sharded results are bit-identical to sequential, so the cap
+		// changes execution, never the verdict) instead of aborting the
+		// verification with sim.Run's pointed error.
+		uo := opts
+		if c := len(r.Cfg.Clusters); uo.Shards > c {
+			uo.Shards = c
+		}
 		units[i] = sim.PrecisionUnit{
 			Cfg:  r.Cfg,
-			Opts: opts,
+			Opts: uo,
 			Wrap: func(err error) error {
 				return fmt.Errorf("plan: verifying candidate %d (%s): %w", r.Index, r.Label(), err)
 			},

@@ -284,6 +284,7 @@ func runAnalyze(ctx context.Context, e *Experiment, opts Options, em *emitter) (
 		simOpts := sim.DefaultOptions()
 		simOpts.Seed = e.Run.Seed
 		simOpts.Arrival = arrival
+		simOpts.Shards = e.Run.Shards
 		units := []sim.PrecisionUnit{{Cfg: cfg, Opts: simOpts}}
 		res, err := sim.RunPrecisionUnitsCtx(ctx, units, *prec, opts.Parallelism, em.fn())
 		if err != nil {
@@ -666,6 +667,7 @@ func runPlan(ctx context.Context, e *Experiment, opts Options, em *emitter) (*Pl
 		simOpts.Seed = e.Run.Seed
 		simOpts.MeasuredMessages = e.Run.Messages
 		simOpts.Arrival = arr
+		simOpts.Shards = e.Run.Shards
 		out.Verified, err = plan.VerifyTopKCtx(ctx, frontier, p.Top, slo, simOpts, *prec, opts.Parallelism, em.fn())
 		if err != nil {
 			return nil, err

@@ -145,6 +145,10 @@ type RunSpec struct {
 	Reps int `json:"reps,omitempty"`
 	// Open switches to open-loop sources (ablation of assumption 4).
 	Open bool `json:"open,omitempty"`
+	// Shards, when >= 2, splits each replication across that many
+	// concurrent shards of the model (clusters for sim, switches for
+	// netsim) with bit-identical results; zero or one runs sequentially.
+	Shards int `json:"shards,omitempty"`
 }
 
 // PrecisionSpec mirrors the adaptive output-analysis flags. A zero

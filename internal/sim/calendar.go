@@ -15,12 +15,12 @@ import (
 type eventList interface {
 	push(e event)
 	pop() (event, bool)
-	// retain returns the most recently popped event to the set without
-	// consuming it: the engine uses it when an event lies past the run
-	// horizon. now is the clock the engine stopped at (now < e.at); the
-	// calendar rewinds its monotonicity floor and sweep anchor to it so
-	// later schedules between now and e.at stay legal and ordered.
-	retain(e event, now float64)
+	// peek returns the earliest event without consuming it: the engine
+	// checks the run horizon against it before popping, so an event past
+	// the horizon is never removed and re-inserted. peek must not disturb
+	// the set's ordering state — schedules between the clock and the
+	// peeked event's time stay legal and ordered.
+	peek() (event, bool)
 	len() int
 }
 
@@ -142,10 +142,35 @@ func (cq *calendarQueue) pop() (event, bool) {
 	return best, true
 }
 
-func (cq *calendarQueue) retain(e event, now float64) {
-	cq.lastPop = now
-	cq.curWin = cq.windowOf(now)
-	cq.push(e)
+// peek mirrors pop's sweep without mutating the sweep anchor or the
+// monotonicity floor: advancing curWin here would let a later push land
+// behind the anchor and be skipped, so the scan is read-only.
+func (cq *calendarQueue) peek() (event, bool) {
+	if cq.size == 0 {
+		return event{}, false
+	}
+	n := int64(len(cq.buckets))
+	win := cq.curWin
+	for scanned := int64(0); scanned < n; scanned++ {
+		b := cq.buckets[((win%n)+n)%n]
+		if len(b) > 0 && cq.windowOf(b[0].at) <= win {
+			return b[0], true
+		}
+		win++
+	}
+	// A whole year is empty before the next event: find the global minimum
+	// directly, like pop, but leave the anchor untouched.
+	bestIdx := -1
+	var best event
+	for i, b := range cq.buckets {
+		if len(b) > 0 && (bestIdx < 0 || less(b[0], best)) {
+			best, bestIdx = b[0], i
+		}
+	}
+	if bestIdx < 0 {
+		return event{}, false // unreachable while size bookkeeping is correct
+	}
+	return best, true
 }
 
 func (cq *calendarQueue) maybeShrink() {

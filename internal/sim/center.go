@@ -106,6 +106,52 @@ func (c *Center) CompleteService() int32 {
 	return done
 }
 
+// Rebind moves the centre onto another engine: the sharded runtimes hand
+// pre-built centres to the shard that owns them. Both clocks must agree
+// (centres are rebound before any event executes).
+func (c *Center) Rebind(eng *Engine) { c.eng = eng }
+
+// CenterState is an opaque snapshot of a centre's queue, statistics and
+// random stream, reusable across SaveState calls so repeated window
+// snapshots do not allocate.
+type CenterState struct {
+	busy      bool
+	inService pendingJob
+	queue     []pendingJob
+	qlen      stats.TimeWeighted
+	busyTW    stats.TimeWeighted
+	served    int64
+	inSys     int
+	stream    rng.Stream
+}
+
+// SaveState copies the centre's mutable state into s. The pending
+// completion event of a busy centre lives in the engine's future-event
+// set, which the engine's own SaveState captures.
+func (c *Center) SaveState(s *CenterState) {
+	s.busy = c.busy
+	s.inService = c.inService
+	s.queue = append(s.queue[:0], c.queue[c.head:]...)
+	s.qlen = c.qlen
+	s.busyTW = c.busyTW
+	s.served = c.served
+	s.inSys = c.inSys
+	s.stream = *c.stream
+}
+
+// RestoreState rewinds the centre to a state captured by SaveState.
+func (c *Center) RestoreState(s *CenterState) {
+	c.busy = s.busy
+	c.inService = s.inService
+	c.queue = append(c.queue[:0], s.queue...)
+	c.head = 0
+	c.qlen = s.qlen
+	c.busyTW = s.busyTW
+	c.served = s.served
+	c.inSys = s.inSys
+	*c.stream = s.stream
+}
+
 // QueueLength returns the current number of messages in the centre.
 func (c *Center) QueueLength() int { return c.inSys }
 

@@ -92,10 +92,15 @@ func (h *eventHeap) pop() (event, bool) {
 // heapList adapts eventHeap to the eventList interface.
 type heapList struct{ h eventHeap }
 
-func (l *heapList) push(e event)              { l.h.push(e) }
-func (l *heapList) pop() (event, bool)        { return l.h.pop() }
-func (l *heapList) retain(e event, _ float64) { l.h.push(e) }
-func (l *heapList) len() int                  { return len(l.h) }
+func (l *heapList) push(e event)       { l.h.push(e) }
+func (l *heapList) pop() (event, bool) { return l.h.pop() }
+func (l *heapList) peek() (event, bool) {
+	if len(l.h) == 0 {
+		return event{}, false
+	}
+	return l.h[0], true
+}
+func (l *heapList) len() int { return len(l.h) }
 
 // Engine is a sequential discrete-event execution core: a clock, a
 // future-event set, and a handler the events are dispatched to.
@@ -148,18 +153,19 @@ func (e *Engine) Run(maxTime float64) int {
 	executed := 0
 	e.stopped = false
 	for !e.stopped {
-		ev, ok := e.events.pop()
+		ev, ok := e.events.peek()
 		if !ok {
 			break
 		}
 		if ev.at > maxTime {
-			// Leave the event for a later Run with a larger horizon: the
-			// clock advances to the deadline but nothing past it is lost,
-			// and scheduling between the deadline and the event stays legal.
+			// The next event lies past the horizon: leave it in place for a
+			// later Run with a larger horizon. The clock advances to the
+			// deadline, and scheduling between the deadline and the event
+			// stays legal.
 			e.now = maxTime
-			e.events.retain(ev, maxTime)
 			return executed
 		}
+		e.events.pop()
 		if ev.at < e.now {
 			panic(fmt.Sprintf("sim: time went backwards: %v < %v", ev.at, e.now))
 		}
@@ -172,3 +178,105 @@ func (e *Engine) Run(maxTime float64) int {
 
 // Pending returns the number of scheduled events.
 func (e *Engine) Pending() int { return e.events.len() }
+
+// NextEventAt returns the timestamp of the earliest pending event, or +Inf
+// when the future-event set is empty. The sharded window drivers use it to
+// fast-forward across empty windows.
+func (e *Engine) NextEventAt() float64 {
+	ev, ok := e.events.peek()
+	if !ok {
+		return math.Inf(1)
+	}
+	return ev.at
+}
+
+// ScheduleAt enqueues an event at the absolute time at. Scheduling into the
+// past is a programming error and panics; simultaneous events dispatch in
+// scheduling order, exactly like Schedule.
+func (e *Engine) ScheduleAt(at float64, kind EventKind, idx int32) {
+	if at < e.now || math.IsNaN(at) {
+		panic(fmt.Sprintf("sim: scheduling at invalid time %v (now %v)", at, e.now))
+	}
+	e.seq++
+	e.events.push(event{at: at, seq: e.seq, kind: kind, idx: idx})
+}
+
+// RunWindow dispatches every event with time strictly below horizon (at or
+// below, when inclusive) and leaves the clock exactly at horizon, so
+// time-weighted statistics and subsequent windows all see a common
+// boundary. Stop aborts it like Run. It returns the number of events
+// executed.
+func (e *Engine) RunWindow(horizon float64, inclusive bool) int {
+	if e.handler == nil {
+		panic("sim: engine RunWindow without a handler (call SetHandler first)")
+	}
+	executed := 0
+	e.stopped = false
+	for !e.stopped {
+		ev, ok := e.events.peek()
+		if !ok {
+			break
+		}
+		if ev.at > horizon || (!inclusive && ev.at == horizon) {
+			break
+		}
+		e.events.pop()
+		if ev.at < e.now {
+			panic(fmt.Sprintf("sim: time went backwards: %v < %v", ev.at, e.now))
+		}
+		e.now = ev.at
+		e.handler.Handle(ev.kind, ev.idx)
+		executed++
+	}
+	if e.now < horizon && !math.IsInf(horizon, 1) {
+		e.now = horizon
+	}
+	return executed
+}
+
+// StepSameTime dispatches exactly one pending event if its timestamp
+// equals t, reporting whether it did. The sharded stop cut uses it to
+// replay the tail of simultaneous events at the stopping instant.
+func (e *Engine) StepSameTime(t float64) bool {
+	ev, ok := e.events.peek()
+	if !ok || ev.at != t {
+		return false
+	}
+	e.events.pop()
+	e.now = ev.at
+	e.handler.Handle(ev.kind, ev.idx)
+	return true
+}
+
+// EngineState is an opaque snapshot of an engine's clock, tie-break
+// counter and future-event set, reusable across SaveState calls so
+// repeated window snapshots do not allocate.
+type EngineState struct {
+	now    float64
+	seq    uint64
+	events []event
+}
+
+// SaveState copies the engine's state into s. Only heap-backed engines
+// (NewEngine) support snapshots; the sharded runtimes always use the heap.
+func (e *Engine) SaveState(s *EngineState) {
+	h, ok := e.events.(*heapList)
+	if !ok {
+		panic("sim: SaveState requires a heap-backed engine")
+	}
+	s.now = e.now
+	s.seq = e.seq
+	s.events = append(s.events[:0], h.h...)
+}
+
+// RestoreState rewinds the engine to a state captured by SaveState.
+func (e *Engine) RestoreState(s *EngineState) {
+	h, ok := e.events.(*heapList)
+	if !ok {
+		panic("sim: RestoreState requires a heap-backed engine")
+	}
+	e.now = s.now
+	e.seq = s.seq
+	e.stopped = false
+	h.h = append(h.h[:0], s.events...)
+}

@@ -104,6 +104,17 @@ func RunPrecisionUnitsCtx(ctx context.Context, units []PrecisionUnit, prec outpu
 	for i := range states {
 		states[i] = &unitState{stopper: output.NewStopper(prec)}
 	}
+	// Sharded units spawn their own goroutines: budget the pool by the
+	// largest shard count so total concurrency stays near parallelism.
+	maxShards := 1
+	for i := range units {
+		if s := units[i].Opts.Shards; s > maxShards {
+			maxShards = s
+		}
+	}
+	if maxShards > 1 {
+		parallelism = par.Workers(parallelism, maxShards)
+	}
 	for {
 		if err := ctx.Err(); err != nil {
 			return nil, err

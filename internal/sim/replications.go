@@ -103,6 +103,11 @@ func RunReplicationsCtx(ctx context.Context, cfg *core.Config, opts Options, n, 
 	if n < 1 {
 		return nil, fmt.Errorf("sim: need at least 1 replication, got %d", n)
 	}
+	if opts.Shards > 1 {
+		// Sharded replications spawn opts.Shards goroutines each: shrink
+		// the pool so the total stays within the parallelism budget.
+		parallelism = par.Workers(parallelism, opts.Shards)
+	}
 	results := make([]*Result, n)
 	err := par.ForEachCtx(ctx, n, parallelism, func(i int) error {
 		o := opts

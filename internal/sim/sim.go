@@ -55,6 +55,14 @@ type Options struct {
 	// to seed the calendar geometry; 0 derives it from the configuration's
 	// aggregate generation rate.
 	CalendarWidthHint float64
+	// Shards, when >= 2, splits this one replication across that many
+	// concurrent shards of clusters, each with its own event list and
+	// clock, synchronized in bounded time windows (DESIGN.md §9). Results
+	// are bit-identical to the sequential engine; 0 and 1 mean
+	// sequential. Requires Shards <= NumClusters, is incompatible with
+	// Trace, and always uses the binary-heap event set (CalendarQueue is
+	// ignored — the two event sets are themselves bit-identical).
+	Shards int
 }
 
 // DefaultOptions mirrors the paper's experimental procedure with a warm-up
@@ -163,6 +171,10 @@ const (
 	// evCenterDone fires when a centre completes a service; idx is the
 	// centre id (index into Simulator.centers).
 	evCenterDone
+	// evXferIn fires when a cross-shard hand-off is consumed at its
+	// stamped time; idx indexes the receiving shard's inbox (sharded
+	// mode only — see shard.go).
+	evXferIn
 )
 
 // message is one in-flight message's state in the pooled message table: a
@@ -469,8 +481,15 @@ func (s *Simulator) deliver(src int, born float64) {
 	}
 }
 
-// Run is the package-level convenience: build and run one simulation.
+// Run is the package-level convenience: build and run one simulation,
+// sharded when Options.Shards asks for it.
 func Run(cfg *core.Config, opts Options) (*Result, error) {
+	if opts.Shards < 0 {
+		return nil, fmt.Errorf("sim: negative shard count %d", opts.Shards)
+	}
+	if opts.Shards > 1 {
+		return runSharded(cfg, opts)
+	}
 	s, err := New(cfg, opts)
 	if err != nil {
 		return nil, err

@@ -1,0 +1,60 @@
+package sim
+
+// ShardPool is a set of persistent worker goroutines, one per shard, used
+// by the sharded execution mode (DESIGN.md §9) to re-dispatch window work
+// without spawning goroutines on the hot path. Dispatch is allocation-free:
+// Run installs the callback once and wakes each selected worker through its
+// own buffered channel, then waits for the counted completions. The channel
+// operations give the usual happens-before edges, so workers see the
+// coordinator's writes (restored shard state, injected mailboxes) and the
+// coordinator sees the workers' results at the barrier.
+//
+// netsim shares this pool for its switch shards, which is why it is
+// exported from sim rather than kept package-private.
+type ShardPool struct {
+	fn    func(int)
+	start []chan struct{}
+	done  chan struct{}
+}
+
+// NewShardPool starts n persistent workers. Close must be called to
+// release them.
+func NewShardPool(n int) *ShardPool {
+	p := &ShardPool{start: make([]chan struct{}, n), done: make(chan struct{}, n)}
+	for i := range p.start {
+		p.start[i] = make(chan struct{}, 1)
+		go p.loop(i)
+	}
+	return p
+}
+
+func (p *ShardPool) loop(i int) {
+	for range p.start[i] {
+		p.fn(i)
+		p.done <- struct{}{}
+	}
+}
+
+// Run invokes fn(i) concurrently for every worker i with sel[i] true (or
+// all workers when sel is nil) and returns when every invocation has
+// finished. It must not be called concurrently with itself.
+func (p *ShardPool) Run(sel []bool, fn func(int)) {
+	p.fn = fn
+	count := 0
+	for i := range p.start {
+		if sel == nil || sel[i] {
+			p.start[i] <- struct{}{}
+			count++
+		}
+	}
+	for ; count > 0; count-- {
+		<-p.done
+	}
+}
+
+// Close terminates the workers. The pool must be idle.
+func (p *ShardPool) Close() {
+	for _, c := range p.start {
+		close(c)
+	}
+}

@@ -160,6 +160,17 @@ type simUnit struct {
 // the single home of the decomposition / seed derivation / aggregation
 // contract that makes sweeps bit-identical at every parallelism level.
 func runUnits(ctx context.Context, units []simUnit, opts Options) ([]*sim.Replicated, []sim.Estimate, error) {
+	// A sweep crosses heterogeneous cluster counts (figure axes start at
+	// C=1), so a global shard request is capped at each unit's cluster
+	// count: every shard still owns at least one cluster, and sharded
+	// results are bit-identical to sequential, so the cap changes how a
+	// unit executes, never what it computes. Direct single-configuration
+	// runs keep sim.Run's pointed error instead.
+	for i := range units {
+		if c := len(units[i].cfg.Clusters); units[i].opts.Shards > c {
+			units[i].opts.Shards = c
+		}
+	}
 	if opts.Precision != nil {
 		pu := make([]sim.PrecisionUnit, len(units))
 		for i, u := range units {
@@ -182,7 +193,19 @@ func runUnits(ctx context.Context, units []simUnit, opts Options) ([]*sim.Replic
 	for i := range results {
 		results[i] = make([]*sim.Result, reps)
 	}
-	err := par.ForEachCtx(ctx, len(units)*reps, opts.Parallelism, func(u int) error {
+	// Sharded units spawn their own goroutines: budget the pool by the
+	// largest shard count so total concurrency stays near Parallelism.
+	maxShards := 1
+	for i := range units {
+		if s := units[i].opts.Shards; s > maxShards {
+			maxShards = s
+		}
+	}
+	pool := opts.Parallelism
+	if maxShards > 1 {
+		pool = par.Workers(pool, maxShards)
+	}
+	err := par.ForEachCtx(ctx, len(units)*reps, pool, func(u int) error {
 		ui, rep := u/reps, u%reps
 		o := units[ui].opts
 		o.Seed = sim.ReplicationSeed(units[ui].opts.Seed, rep)
