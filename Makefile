@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race vet fmt-check bench bench-compare plan golden golden-check golden-plan golden-plan-check api api-check scenarios-check links-check clean
+.PHONY: all build test race vet fmt-check bench bench-compare plan serve golden golden-check golden-plan golden-plan-check api api-check scenarios-check links-check clean
 
 all: build test
 
@@ -46,6 +46,11 @@ bench-compare:
 # screened over the default space and sim-verified (DESIGN.md §7).
 plan:
 	$(GO) run ./cmd/hmscs-plan -slo-latency 2 -min-nodes 64 -lambda 100 -top 3
+
+# serve starts the resident experiment service on its default address;
+# point any binary at it with -submit 127.0.0.1:8642 (docs/SERVER.md).
+serve:
+	$(GO) run ./cmd/hmscs-server
 
 # The pinned command behind testdata/golden-figures.txt: Figures 4-7 with
 # a fixed seed and reduced replications, deterministic at any -parallel.

@@ -88,21 +88,17 @@ func runMain(args []string, out io.Writer) error {
 	}
 	ctx, cancel := xf.Context()
 	defer cancel()
-	sinks, closeSinks, err := xf.Sinks(out)
-	if err != nil {
-		return err
-	}
-	outcome, err := run.Run(ctx, spec, run.Options{Parallelism: parallel, Sinks: sinks})
-	if cerr := closeSinks(); err == nil {
-		err = cerr
-	}
+	outcome, err := xf.Execute(ctx, spec, parallel, out)
 	if err != nil {
 		return err
 	}
 	// Progress notes go to stderr so -format csv stays parseable when
-	// stdout is redirected to a file.
-	for _, e := range outcome.Plan.Emitted {
-		fmt.Fprintf(os.Stderr, "wrote %s (%s)\n", e.Path, e.Label)
+	// stdout is redirected to a file. Remote runs return no outcome:
+	// -emit-configs writes on the server's filesystem.
+	if outcome != nil {
+		for _, e := range outcome.Plan.Emitted {
+			fmt.Fprintf(os.Stderr, "wrote %s (%s)\n", e.Path, e.Label)
+		}
 	}
 	return nil
 }

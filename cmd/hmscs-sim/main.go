@@ -68,13 +68,6 @@ func runMain(args []string, out io.Writer) error {
 	}
 	ctx, cancel := xf.Context()
 	defer cancel()
-	sinks, closeSinks, err := xf.Sinks(out)
-	if err != nil {
-		return err
-	}
-	_, err = run.Run(ctx, spec, run.Options{Parallelism: parallel, Sinks: sinks})
-	if cerr := closeSinks(); err == nil {
-		err = cerr
-	}
+	_, err = xf.Execute(ctx, spec, parallel, out)
 	return err
 }

@@ -31,6 +31,7 @@ import (
 	"hmscs/internal/plan"
 	"hmscs/internal/queueing"
 	"hmscs/internal/run"
+	"hmscs/internal/serve"
 	"hmscs/internal/sim"
 	"hmscs/internal/sweep"
 	"hmscs/internal/workload"
@@ -103,6 +104,36 @@ func NewCSVSink(w io.Writer) Sink { return run.NewCSVSink(w) }
 // NewJSONLSink streams progress events and the outcome summary as one
 // JSON object per line — the -emit format of every binary.
 func NewJSONLSink(w io.Writer) Sink { return run.NewJSONLSink(w) }
+
+// Experiment service -------------------------------------------------------
+
+// ExperimentServer is the resident experiment service behind the
+// hmscs-server binary: it schedules submitted Experiments on one shared
+// bounded worker budget, streams each job's JSONL progress events over
+// HTTP, and caches outcomes keyed by a hash of the normalized spec so
+// identical specs replay byte-identically with no simulation work.
+// Mount its Handler on an http.Server; see docs/SERVER.md.
+type ExperimentServer = serve.Server
+
+// ExperimentServerConfig sizes an ExperimentServer: the shared worker
+// budget, the concurrent-job bound, the outcome-cache capacity and the
+// submission-queue depth.
+type ExperimentServerConfig = serve.Config
+
+// ExperimentClient is the thin remote driver for a running
+// ExperimentServer — the -submit flag of every binary goes through one.
+type ExperimentClient = serve.Client
+
+// ExperimentJobInfo is a submitted job's status snapshot on the wire.
+type ExperimentJobInfo = serve.JobInfo
+
+// NewExperimentServer starts an experiment service's scheduling workers;
+// serve its Handler over HTTP and Close it to drain.
+func NewExperimentServer(cfg ExperimentServerConfig) *ExperimentServer { return serve.New(cfg) }
+
+// NewExperimentClient returns a client for the experiment server at addr
+// (host:port or a full base URL).
+func NewExperimentClient(addr string) *ExperimentClient { return serve.NewClient(addr) }
 
 // System description -------------------------------------------------------
 

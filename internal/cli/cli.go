@@ -10,7 +10,9 @@
 //     and explicitly-set flags override them (so a cookbook smoke run can
 //     append -messages 100 to any spec);
 //   - -emit streams progress events and the outcome summary as JSON
-//     lines, and -timeout bounds the run through the Runner's context.
+//     lines, and -timeout bounds the run through the Runner's context;
+//   - -submit <addr> executes the same spec on a resident hmscs-server
+//     instead, replaying its byte-identical event stream and report.
 package cli
 
 import (
@@ -23,10 +25,12 @@ import (
 	"time"
 
 	"hmscs/internal/run"
+	"hmscs/internal/serve"
 )
 
-// ExperimentFlags are the three flags shared by every binary: the spec
-// file, the JSONL event stream, and the deadline.
+// ExperimentFlags are the four flags shared by every binary: the spec
+// file, the JSONL event stream, the deadline, and the remote-submission
+// address.
 type ExperimentFlags struct {
 	// SpecPath mirrors -spec. The binaries resolve it BEFORE flag parsing
 	// (PreloadSpec) so the loaded spec can provide the other flags'
@@ -37,13 +41,17 @@ type ExperimentFlags struct {
 	Emit string
 	// Timeout bounds the experiment's wall-clock time (0 = no limit).
 	Timeout time.Duration
+	// Submit is the address of a running hmscs-server; when set, the
+	// built spec is executed remotely instead of locally.
+	Submit string
 }
 
-// Register installs -spec, -emit and -timeout.
+// Register installs -spec, -emit, -timeout and -submit.
 func (x *ExperimentFlags) Register(fs *flag.FlagSet) {
 	fs.StringVar(&x.SpecPath, "spec", "", "experiment spec JSON (see run.Experiment); explicitly-set flags override its fields")
 	fs.StringVar(&x.Emit, "emit", "", "stream progress events and the outcome summary as JSON lines to this file (\"-\" = stdout)")
 	fs.DurationVar(&x.Timeout, "timeout", 0, "abort the experiment after this duration, e.g. 30s (0 = no limit); cancellation lands between replication units")
+	fs.StringVar(&x.Submit, "submit", "", "submit the experiment to the hmscs-server at this address (host:port or URL) instead of running locally; stdout and -emit then replay the server's byte-identical stream, and -parallel is governed by the server (docs/SERVER.md)")
 }
 
 // Context returns the Runner context implied by -timeout.
@@ -74,6 +82,46 @@ func (x *ExperimentFlags) Sinks(stdout io.Writer) ([]run.Sink, func() error, err
 		sinks = append(sinks, run.NewJSONLSink(w))
 	}
 	return sinks, closer, nil
+}
+
+// Execute runs the finished spec the way the binary's flags asked:
+// locally through run.Run with the standard sinks (markdown on stdout,
+// JSONL on -emit), or — with -submit — remotely through a serve.Client,
+// streaming the server's events into -emit and its rendered report onto
+// stdout, both byte-identical to the local run of the same spec. The
+// outcome is nil in remote mode (results live on the server; the
+// replayed bytes are the contract).
+func (x *ExperimentFlags) Execute(ctx context.Context, spec *run.Experiment, parallelism int, stdout io.Writer) (*run.Outcome, error) {
+	if x.Submit == "" {
+		sinks, closeSinks, err := x.Sinks(stdout)
+		if err != nil {
+			return nil, err
+		}
+		out, err := run.Run(ctx, spec, run.Options{Parallelism: parallelism, Sinks: sinks})
+		if cerr := closeSinks(); err == nil {
+			err = cerr
+		}
+		return out, err
+	}
+	var events io.Writer
+	closer := func() error { return nil }
+	if x.Emit != "" {
+		if x.Emit == "-" {
+			events = stdout
+		} else {
+			f, err := os.Create(x.Emit)
+			if err != nil {
+				return nil, err
+			}
+			events = f
+			closer = f.Close
+		}
+	}
+	_, err := serve.NewClient(x.Submit).Execute(ctx, spec, stdout, events)
+	if cerr := closer(); err == nil {
+		err = cerr
+	}
+	return nil, err
 }
 
 // PreloadSpec scans args for -spec (before flag parsing, so the loaded

@@ -153,7 +153,7 @@ func Run(ctx context.Context, e *Experiment, opts Options) (*Outcome, error) {
 	if err := e.Validate(); err != nil {
 		return nil, err
 	}
-	spec := e.clone() // deep copy: Normalize and config resolution must not touch the caller's spec
+	spec := e.Clone() // deep copy: Normalize and config resolution must not touch the caller's spec
 	spec.Normalize()
 	// A failing sink cancels the run's context so the experiment aborts
 	// promptly instead of computing results nobody can consume; the sink

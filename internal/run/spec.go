@@ -263,11 +263,12 @@ type PlanSpec struct {
 	EmitConfigs string `json:"emit_configs,omitempty"`
 }
 
-// clone deep-copies the experiment. Every section is a flat value
+// Clone deep-copies the experiment. Every section is a flat value
 // struct, so copying each one by value is a full deep copy; Run clones
 // before normalizing so a caller's spec is never mutated (and two
-// concurrent Runs on one spec never race).
-func (e *Experiment) clone() *Experiment {
+// concurrent Runs on one spec never race). The experiment service
+// clones for the same reason before computing a spec's cache key.
+func (e *Experiment) Clone() *Experiment {
 	c := *e
 	if e.System != nil {
 		s := *e.System

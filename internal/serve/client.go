@@ -1,0 +1,199 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+
+	"hmscs/internal/run"
+)
+
+// Client is the thin driver for a running hmscs-server: it submits
+// experiment specs, streams job events, and fetches results over the
+// HTTP API. The binaries' -submit flag routes any local invocation
+// through one.
+type Client struct {
+	base string
+	hc   *http.Client
+}
+
+// NewClient returns a client for the server at addr — a host:port
+// ("127.0.0.1:8642") or a full base URL ("http://planner:8642"). The
+// underlying http.Client has no timeout: event streams run as long as
+// the job does, so deadlines belong on the caller's context.
+func NewClient(addr string) *Client {
+	if !strings.Contains(addr, "://") {
+		addr = "http://" + addr
+	}
+	return &Client{base: strings.TrimSuffix(addr, "/"), hc: &http.Client{}}
+}
+
+// errorBody decodes the server's {"error": ...} payload.
+func errorBody(resp *http.Response) error {
+	body, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<16))
+	var e struct {
+		Error string `json:"error"`
+	}
+	if json.Unmarshal(body, &e) == nil && e.Error != "" {
+		return fmt.Errorf("%s", e.Error)
+	}
+	return fmt.Errorf("serve: server returned %s: %s", resp.Status, strings.TrimSpace(string(body)))
+}
+
+func (c *Client) get(ctx context.Context, path string) (*http.Response, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+path, nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		defer resp.Body.Close()
+		return nil, errorBody(resp)
+	}
+	return resp, nil
+}
+
+func (c *Client) getJSON(ctx context.Context, path string, v any) error {
+	resp, err := c.get(ctx, path)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	return json.NewDecoder(resp.Body).Decode(v)
+}
+
+// Submit posts the experiment spec and returns the new job's snapshot.
+// A Cached snapshot is already done: its events and result replay a
+// previous identical run byte for byte.
+func (c *Client) Submit(ctx context.Context, e *run.Experiment) (JobInfo, error) {
+	var info JobInfo
+	data, err := e.Marshal()
+	if err != nil {
+		return info, err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+"/jobs", bytes.NewReader(data))
+	if err != nil {
+		return info, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return info, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK && resp.StatusCode != http.StatusAccepted {
+		return info, errorBody(resp)
+	}
+	return info, json.NewDecoder(resp.Body).Decode(&info)
+}
+
+// Job fetches one job's status snapshot.
+func (c *Client) Job(ctx context.Context, id string) (JobInfo, error) {
+	var info JobInfo
+	return info, c.getJSON(ctx, "/jobs/"+id, &info)
+}
+
+// Jobs lists the server's jobs in creation order.
+func (c *Client) Jobs(ctx context.Context) ([]JobInfo, error) {
+	var infos []JobInfo
+	return infos, c.getJSON(ctx, "/jobs", &infos)
+}
+
+// Events streams the job's JSONL progress events into w — the replayed
+// prefix first, then live lines — returning when the job reaches a
+// terminal status (check Job for which) or ctx is cancelled. A nil w
+// discards the lines but still waits out the stream, which is the
+// cheapest way to block until a job completes.
+func (c *Client) Events(ctx context.Context, id string, w io.Writer) error {
+	if w == nil {
+		w = io.Discard
+	}
+	resp, err := c.get(ctx, "/jobs/"+id+"/events")
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if _, err := io.Copy(w, resp.Body); err != nil {
+		if ctx.Err() != nil {
+			return ctx.Err()
+		}
+		return err
+	}
+	return nil
+}
+
+// Result writes a done job's rendered report into w.
+func (c *Client) Result(ctx context.Context, id string, w io.Writer) error {
+	resp, err := c.get(ctx, "/jobs/"+id+"/result")
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	_, err = io.Copy(w, resp.Body)
+	return err
+}
+
+// Cancel aborts a queued or running job and returns its snapshot.
+func (c *Client) Cancel(ctx context.Context, id string) (JobInfo, error) {
+	var info JobInfo
+	req, err := http.NewRequestWithContext(ctx, http.MethodDelete, c.base+"/jobs/"+id, nil)
+	if err != nil {
+		return info, err
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return info, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return info, errorBody(resp)
+	}
+	return info, json.NewDecoder(resp.Body).Decode(&info)
+}
+
+// Execute is the remote equivalent of run.Run with the binaries' sinks:
+// submit the spec, stream the JSONL events into events (nil = discard),
+// then write the rendered report into stdout (nil = discard) — both
+// byte-identical to what a local run of the same spec would have
+// produced. Cancelling ctx mid-stream cancels the remote job
+// (best-effort, on a short detached deadline) and returns ctx.Err(). A
+// failed or cancelled job surfaces as an error carrying the server's
+// message.
+func (c *Client) Execute(ctx context.Context, e *run.Experiment, stdout, events io.Writer) (JobInfo, error) {
+	info, err := c.Submit(ctx, e)
+	if err != nil {
+		return info, err
+	}
+	if err := c.Events(ctx, info.ID, events); err != nil {
+		if ctx.Err() != nil {
+			cctx, cancel := context.WithTimeout(context.WithoutCancel(ctx), 2*time.Second)
+			defer cancel()
+			c.Cancel(cctx, info.ID) //nolint:errcheck // best-effort: the job may already be done
+			return info, ctx.Err()
+		}
+		return info, err
+	}
+	if info, err = c.Job(ctx, info.ID); err != nil {
+		return info, err
+	}
+	switch info.Status {
+	case StatusDone:
+		if stdout == nil {
+			return info, nil
+		}
+		return info, c.Result(ctx, info.ID, stdout)
+	case StatusFailed:
+		return info, fmt.Errorf("serve: job %s failed: %s", info.ID, info.Error)
+	case StatusCancelled:
+		return info, fmt.Errorf("serve: job %s was cancelled", info.ID)
+	}
+	return info, fmt.Errorf("serve: job %s ended stream in non-terminal status %q", info.ID, info.Status)
+}

@@ -1,0 +1,38 @@
+package serve_test
+
+import (
+	"context"
+	"fmt"
+	"net/http/httptest"
+
+	"hmscs/internal/run"
+	"hmscs/internal/serve"
+)
+
+// ExampleClient_Submit submits the same analytic experiment twice: the
+// first submission runs it, the second is served from the outcome cache
+// (born done, Cached=true) because both specs normalize to the same
+// hash — without a single model evaluation on the server.
+func ExampleClient_Submit() {
+	srv := serve.New(serve.Config{Parallelism: 1, MaxJobs: 1})
+	defer srv.Close()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	client := serve.NewClient(ts.URL)
+	ctx := context.Background()
+	for i := 0; i < 2; i++ {
+		spec := run.NewExperiment(run.KindAnalyze) // paper defaults: scenario 1, 16 clusters
+		info, err := client.Execute(ctx, spec, nil, nil)
+		if err != nil {
+			fmt.Println(err)
+			return
+		}
+		fmt.Printf("%s %s cached=%v\n", info.ID, info.Status, info.Cached)
+	}
+	fmt.Println("runs:", srv.Runs())
+	// Output:
+	// j000001 done cached=false
+	// j000002 done cached=true
+	// runs: 1
+}

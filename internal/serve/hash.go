@@ -1,0 +1,50 @@
+package serve
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+
+	"hmscs/internal/run"
+)
+
+// SpecHash returns an experiment's cache key: the hex SHA-256 of the
+// normalized spec's canonical JSON. Normalization (run.Normalize) is the
+// foundation of the key's exactness — a zero-valued field and its
+// explicitly-written documented default produce the same normalized
+// spec, so a minimal {"kind": "simulate"} and a fully spelled-out
+// equivalent hash identically and share one cache entry.
+//
+// One field is cleared before hashing: Run.Shards. Sharding splits a
+// replication across cores but is pinned bit-identical at every shard
+// count (DESIGN.md §9), so it is an execution knob like -parallel, not
+// part of what the experiment computes; excluding it lets a sharded and
+// a sequential submission of the same experiment share a cache entry.
+// Every other spec field participates, which keeps the cache exact:
+// equal keys imply equal normalized specs, and the determinism story of
+// PRs 1–6 makes equal specs produce byte-identical outcomes.
+func SpecHash(e *run.Experiment) (string, error) {
+	c := e.Clone()
+	c.Normalize()
+	c.Run.Shards = 0
+	data, err := c.Marshal()
+	if err != nil {
+		return "", err
+	}
+	sum := sha256.Sum256(data)
+	return hex.EncodeToString(sum[:]), nil
+}
+
+// Cacheable reports whether a spec's outcome may be replayed from the
+// cache. Experiments that write server-local files as a side effect
+// (simulate's trace_out journey CSV, plan's emit_configs directory)
+// must execute on every submission — a replay would return the recorded
+// output without re-creating the files.
+func Cacheable(e *run.Experiment) bool {
+	if e.Simulate != nil && e.Simulate.TraceOut != "" {
+		return false
+	}
+	if e.Plan != nil && e.Plan.EmitConfigs != "" {
+		return false
+	}
+	return true
+}

@@ -1,0 +1,199 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+
+	"hmscs/internal/run"
+)
+
+// maxSpecBytes bounds a submitted spec body; real specs are a few KB.
+const maxSpecBytes = 1 << 20
+
+// Handler returns the service's HTTP API (see the package comment for
+// the endpoint map and docs/SERVER.md for the full reference).
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", s.handleHealth)
+	mux.HandleFunc("POST /jobs", s.handleSubmit)
+	mux.HandleFunc("GET /jobs", s.handleList)
+	mux.HandleFunc("GET /jobs/{id}", s.handleJob)
+	mux.HandleFunc("GET /jobs/{id}/spec", s.handleSpec)
+	mux.HandleFunc("GET /jobs/{id}/events", s.handleEvents)
+	mux.HandleFunc("GET /jobs/{id}/result", s.handleResult)
+	mux.HandleFunc("DELETE /jobs/{id}", s.handleCancel)
+	mux.HandleFunc("GET /watch", s.handleWatch)
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v) //nolint:errcheck // the connection is the only failure mode
+}
+
+func writeError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, map[string]string{"error": err.Error()})
+}
+
+func (s *Server) job(w http.ResponseWriter, r *http.Request) (*Job, bool) {
+	id := r.PathValue("id")
+	j, ok := s.store.Get(id)
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("serve: no job %q", id))
+		return nil, false
+	}
+	return j, true
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status": "ok",
+		"jobs":   len(s.store.List()),
+		"runs":   s.Runs(),
+	})
+}
+
+// handleSubmit accepts an experiment spec (the same JSON the binaries'
+// -spec flag reads), enqueues it, and answers with the job's snapshot:
+// 200 when served from the cache (already done), 202 when queued.
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	body, err := io.ReadAll(io.LimitReader(r.Body, maxSpecBytes))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	spec, err := run.Parse(body)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	job, err := s.Submit(spec)
+	if err != nil {
+		writeError(w, http.StatusServiceUnavailable, err)
+		return
+	}
+	info := job.Info()
+	status := http.StatusAccepted
+	if info.Cached {
+		status = http.StatusOK
+	}
+	writeJSON(w, status, info)
+}
+
+func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.store.List())
+}
+
+func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
+	if j, ok := s.job(w, r); ok {
+		writeJSON(w, http.StatusOK, j.Info())
+	}
+}
+
+func (s *Server) handleSpec(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.job(w, r)
+	if !ok {
+		return
+	}
+	data, err := j.Spec().Marshal()
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Write(data) //nolint:errcheck
+}
+
+// handleEvents streams the job's JSONL progress events as chunked
+// newline-delimited JSON: first the buffered prefix (so late or repeat
+// readers replay the identical stream from the start), then live lines
+// as they are emitted, ending when the job reaches a terminal status.
+// The stream's content is byte-identical to the -emit file a local run
+// of the same spec would have written.
+func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.job(w, r)
+	if !ok {
+		return
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.Header().Set("Cache-Control", "no-store")
+	flusher, _ := w.(http.Flusher)
+	wake := j.Subscribe()
+	defer j.Unsubscribe(wake)
+	cur := 0
+	for {
+		lines, terminal := j.EventsFrom(cur)
+		for _, line := range lines {
+			if _, err := w.Write(line); err != nil {
+				return // client went away
+			}
+		}
+		cur += len(lines)
+		if len(lines) > 0 && flusher != nil {
+			flusher.Flush()
+		}
+		if terminal {
+			return
+		}
+		select {
+		case <-wake:
+		case <-r.Context().Done():
+			return
+		}
+	}
+}
+
+// handleResult returns a done job's rendered report (what a local run
+// printed to stdout); 409 while the job is still queued or running, 410
+// for a cancelled job, 500 with the failure message for a failed one.
+func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.job(w, r)
+	if !ok {
+		return
+	}
+	info := j.Info()
+	switch info.Status {
+	case StatusDone:
+		result, _ := j.Result()
+		w.Header().Set("Content-Type", "text/markdown; charset=utf-8")
+		w.Write(result) //nolint:errcheck
+	case StatusFailed:
+		writeError(w, http.StatusInternalServerError, fmt.Errorf("serve: job %s failed: %s", info.ID, info.Error))
+	case StatusCancelled:
+		writeError(w, http.StatusGone, fmt.Errorf("serve: job %s was cancelled", info.ID))
+	default:
+		writeError(w, http.StatusConflict, fmt.Errorf("serve: job %s is %s; stream /jobs/%s/events until it completes", info.ID, info.Status, info.ID))
+	}
+}
+
+func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.job(w, r)
+	if !ok {
+		return
+	}
+	j.Cancel()
+	writeJSON(w, http.StatusOK, j.Info())
+}
+
+// handleWatch streams store-wide job snapshots as JSONL — one line per
+// status transition or event append across every job — until the client
+// disconnects. Delivery is best-effort (see Store.Watch).
+func (s *Server) handleWatch(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.Header().Set("Cache-Control", "no-store")
+	flusher, _ := w.(http.Flusher)
+	enc := json.NewEncoder(w)
+	for info := range s.store.Watch(r.Context()) {
+		if err := enc.Encode(info); err != nil {
+			return
+		}
+		if flusher != nil {
+			flusher.Flush()
+		}
+	}
+}

@@ -1,0 +1,251 @@
+// Package serve is the resident experiment service behind the
+// hmscs-server binary: a long-running daemon that accepts
+// run.Experiment submissions from many concurrent clients, schedules
+// them on one shared bounded worker budget, streams each job's JSONL
+// progress events back over HTTP, and caches outcomes keyed by a hash
+// of the normalized spec.
+//
+// The split mirrors the memory-resident daemon + thin local driver
+// shape: the six per-kind binaries stay the front end (their -submit
+// flag turns any invocation into a remote submission through Client),
+// while the server owns the worker pool, the watchable job Store, and
+// the outcome cache. Determinism makes the cache exact — identical
+// normalized specs produce byte-identical outcomes at every
+// parallelism, shard count and replication schedule, so a cache hit
+// replays the recorded event stream and rendered report bit for bit
+// without doing any simulation work (see SpecHash for the key).
+//
+// HTTP API (full reference in docs/SERVER.md):
+//
+//	POST   /jobs             submit an experiment spec (JSON body)
+//	GET    /jobs             list jobs in creation order
+//	GET    /jobs/{id}        one job's status snapshot
+//	GET    /jobs/{id}/spec   the normalized spec the job runs
+//	GET    /jobs/{id}/events stream the JSONL progress events (replay + live)
+//	GET    /jobs/{id}/result the rendered report of a done job
+//	DELETE /jobs/{id}        cancel a queued or running job
+//	GET    /watch            stream store-wide job status updates
+//	GET    /healthz          liveness and counters
+package serve
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"hmscs/internal/par"
+	"hmscs/internal/run"
+)
+
+// Config sizes the service.
+type Config struct {
+	// Parallelism is the total simulation worker budget shared by every
+	// running job (<= 0 = all cores) — the server-wide equivalent of
+	// the binaries' -parallel flag. Each running job gets
+	// par.Workers(Parallelism, MaxJobs) pool workers, and inside a job
+	// Run.Shards composes with that budget exactly as it does locally,
+	// so the goroutine total stays near Parallelism no matter how jobs,
+	// shards and replications are mixed.
+	Parallelism int
+	// MaxJobs bounds the jobs running concurrently (<= 0 = 2). Queued
+	// jobs start in submission order.
+	MaxJobs int
+	// CacheSize bounds the completed outcomes kept for exact replay
+	// (0 = 256, < 0 disables caching). Eviction is oldest-first.
+	CacheSize int
+	// QueueDepth bounds the pending-job backlog (0 = 1024); submissions
+	// beyond it are rejected rather than buffered without limit.
+	QueueDepth int
+}
+
+func (c Config) withDefaults() Config {
+	if c.MaxJobs <= 0 {
+		c.MaxJobs = 2
+	}
+	if c.CacheSize == 0 {
+		c.CacheSize = 256
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 1024
+	}
+	return c
+}
+
+// cacheEntry is one completed outcome: the full JSONL event stream and
+// the rendered report, replayed byte-identically on every hit.
+type cacheEntry struct {
+	events [][]byte
+	result []byte
+}
+
+// Server is the resident experiment service. Create one with New, mount
+// Handler on an http.Server, and Close it to drain.
+type Server struct {
+	cfg   Config
+	store *Store
+
+	mu         sync.Mutex
+	cache      map[string]*cacheEntry
+	cacheOrder []string
+
+	queue  chan *Job
+	ctx    context.Context
+	cancel context.CancelFunc
+	wg     sync.WaitGroup
+
+	runs atomic.Int64
+}
+
+// New starts a server's scheduling workers (MaxJobs goroutines); it
+// serves no HTTP until Handler is mounted somewhere.
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	ctx, cancel := context.WithCancel(context.Background())
+	s := &Server{
+		cfg:    cfg,
+		store:  NewStore(),
+		cache:  make(map[string]*cacheEntry),
+		queue:  make(chan *Job, cfg.QueueDepth),
+		ctx:    ctx,
+		cancel: cancel,
+	}
+	for i := 0; i < cfg.MaxJobs; i++ {
+		s.wg.Add(1)
+		go s.worker()
+	}
+	return s
+}
+
+// Store exposes the watchable job registry (List/Get/Watch).
+func (s *Server) Store() *Store { return s.store }
+
+// Runs reports how many experiments the server actually executed —
+// cache hits do not count, which is what makes the counter useful for
+// asserting that a replayed submission did no simulation work.
+func (s *Server) Runs() int64 { return s.runs.Load() }
+
+// Close shuts the service down: running jobs have their contexts
+// cancelled (the runner drains between replication units), workers are
+// joined, and every job still queued is marked cancelled. Close is the
+// programmatic half of shutdown; the binary pairs it with
+// http.Server.Shutdown so open event streams end first.
+func (s *Server) Close() {
+	s.cancel()
+	s.wg.Wait()
+	for {
+		select {
+		case job := <-s.queue:
+			job.Cancel()
+		default:
+			return
+		}
+	}
+}
+
+// Submit validates, normalizes and enqueues one experiment. An
+// identical spec (same SpecHash) that already completed successfully is
+// served from the cache: the returned job is born done with the
+// recorded event stream and result, and no simulation runs. Submissions
+// past the queue bound are rejected with an error.
+func (s *Server) Submit(e *run.Experiment) (*Job, error) {
+	if e == nil {
+		return nil, fmt.Errorf("serve: nil experiment")
+	}
+	if err := e.Validate(); err != nil {
+		return nil, err
+	}
+	spec := e.Clone()
+	spec.Normalize()
+	hash, err := SpecHash(spec)
+	if err != nil {
+		return nil, err
+	}
+	if Cacheable(spec) {
+		s.mu.Lock()
+		entry := s.cache[hash]
+		s.mu.Unlock()
+		if entry != nil {
+			return s.store.add(spec, hash, nil, func() {}, entry), nil
+		}
+	}
+	ctx, cancel := context.WithCancel(s.ctx)
+	job := s.store.add(spec, hash, ctx, cancel, nil)
+	select {
+	case s.queue <- job:
+		return job, nil
+	default:
+		job.Cancel()
+		return nil, fmt.Errorf("serve: queue full (%d jobs pending)", s.cfg.QueueDepth)
+	}
+}
+
+// worker pulls queued jobs in submission order and runs them; MaxJobs
+// workers give the bounded concurrent-jobs budget.
+func (s *Server) worker() {
+	defer s.wg.Done()
+	for {
+		select {
+		case <-s.ctx.Done():
+			return
+		case job := <-s.queue:
+			s.runJob(job)
+		}
+	}
+}
+
+// runJob executes one job: progress events stream into the job's
+// replayable buffer through the same JSONL sink a local -emit uses, the
+// report renders through the same markdown sink a local stdout uses —
+// which is why remote output is byte-identical to a local run — and a
+// successful outcome is recorded in the cache.
+func (s *Server) runJob(job *Job) {
+	if !job.setRunning() {
+		return // cancelled while queued
+	}
+	var report bytes.Buffer
+	sinks := []run.Sink{
+		run.NewJSONLSink(&eventLog{job: job}),
+		run.NewMarkdownSink(&report),
+	}
+	s.runs.Add(1)
+	_, err := run.Run(job.ctx, job.spec, run.Options{
+		Parallelism: par.Workers(s.cfg.Parallelism, s.cfg.MaxJobs),
+		Sinks:       sinks,
+	})
+	switch {
+	case err == nil:
+		job.finish(StatusDone, "", report.Bytes())
+		s.remember(job)
+	case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
+		job.finish(StatusCancelled, err.Error(), nil)
+	default:
+		job.finish(StatusFailed, err.Error(), nil)
+	}
+}
+
+// remember stores a done job's stream and report under its spec hash,
+// evicting the oldest entry past the cache bound.
+func (s *Server) remember(job *Job) {
+	if s.cfg.CacheSize < 0 || !Cacheable(job.spec) {
+		return
+	}
+	events, _ := job.EventsFrom(0)
+	result, ok := job.Result()
+	if !ok {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, exists := s.cache[job.hash]; exists {
+		return // first completion wins; later ones are byte-identical anyway
+	}
+	s.cache[job.hash] = &cacheEntry{events: events, result: result}
+	s.cacheOrder = append(s.cacheOrder, job.hash)
+	for len(s.cacheOrder) > s.cfg.CacheSize {
+		delete(s.cache, s.cacheOrder[0])
+		s.cacheOrder = s.cacheOrder[1:]
+	}
+}

@@ -1,0 +1,311 @@
+package serve_test
+
+import (
+	"bytes"
+	"context"
+	"io"
+	"net/http/httptest"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+
+	"hmscs/internal/run"
+	"hmscs/internal/serve"
+)
+
+// smallSimulate is a simulate spec cheap enough for -race but with real
+// event traffic (three replications).
+func smallSimulate() *run.Experiment {
+	e := run.NewExperiment(run.KindSimulate)
+	e.System.Clusters = 4
+	e.System.Total = 16
+	e.Run.Messages = 500
+	e.Run.Warmup = 100
+	return e
+}
+
+// longSweep mirrors the run package's cancellation workload, sized up
+// so a DELETE arriving over HTTP (after the first streamed event)
+// reliably lands mid-run rather than after completion.
+func longSweep() *run.Experiment {
+	e := run.NewExperiment(run.KindSweep)
+	e.Sweep.Var = "clusters"
+	e.Sweep.Ints = "1,2,4,8,16,32,64"
+	e.Run.Messages = 20000
+	e.Run.Reps = 8
+	return e
+}
+
+func newTestServer(t *testing.T, cfg serve.Config) (*serve.Server, *serve.Client, func()) {
+	t.Helper()
+	srv := serve.New(cfg)
+	ts := httptest.NewServer(srv.Handler())
+	return srv, serve.NewClient(ts.URL), func() {
+		ts.Close()
+		srv.Close()
+	}
+}
+
+// TestCacheHitByteIdentical is the tentpole's exactness claim end to
+// end: the first submission runs the simulation, the second is served
+// from cache with no simulation work, and both the markdown report and
+// the replayed event stream are byte-identical to a local run.Run of
+// the same spec. Parallelism is pinned to 1 on both sides because event
+// *order* (not content) varies at higher parallelism.
+func TestCacheHitByteIdentical(t *testing.T) {
+	spec := smallSimulate()
+	ctx := context.Background()
+
+	// Local reference: the same sinks the server wires per job.
+	var wantMD, wantEvents bytes.Buffer
+	sinks := []run.Sink{run.NewJSONLSink(&wantEvents), run.NewMarkdownSink(&wantMD)}
+	if _, err := run.Run(ctx, spec, run.Options{Parallelism: 1, Sinks: sinks}); err != nil {
+		t.Fatal(err)
+	}
+
+	_, client, shutdown := newTestServer(t, serve.Config{Parallelism: 1, MaxJobs: 1})
+	defer shutdown()
+
+	var got [2]struct{ md, events bytes.Buffer }
+	var infos [2]serve.JobInfo
+	for i := range got {
+		info, err := client.Execute(ctx, spec, &got[i].md, &got[i].events)
+		if err != nil {
+			t.Fatalf("submission %d: %v", i, err)
+		}
+		infos[i] = info
+	}
+	if infos[0].Cached {
+		t.Fatal("first submission reported cached")
+	}
+	if !infos[1].Cached {
+		t.Fatal("second submission of an identical spec did not hit the cache")
+	}
+	if infos[0].SpecHash != infos[1].SpecHash {
+		t.Fatalf("spec hashes differ: %s vs %s", infos[0].SpecHash, infos[1].SpecHash)
+	}
+	for i := range got {
+		if !bytes.Equal(got[i].md.Bytes(), wantMD.Bytes()) {
+			t.Errorf("submission %d: markdown report differs from local run.Run\ngot:\n%s\nwant:\n%s",
+				i, got[i].md.Bytes(), wantMD.Bytes())
+		}
+		if !bytes.Equal(got[i].events.Bytes(), wantEvents.Bytes()) {
+			t.Errorf("submission %d: event stream differs from local run.Run\ngot:\n%s\nwant:\n%s",
+				i, got[i].events.Bytes(), wantEvents.Bytes())
+		}
+	}
+}
+
+// TestCacheHitRunsNothing pins the "no simulation work" half of the
+// cache contract via the server's run counter.
+func TestCacheHitRunsNothing(t *testing.T) {
+	srv, client, shutdown := newTestServer(t, serve.Config{Parallelism: 1, MaxJobs: 1})
+	defer shutdown()
+	ctx := context.Background()
+	spec := smallSimulate()
+	for i := 0; i < 3; i++ {
+		if _, err := client.Execute(ctx, spec, nil, nil); err != nil {
+			t.Fatalf("submission %d: %v", i, err)
+		}
+	}
+	if n := srv.Runs(); n != 1 {
+		t.Fatalf("server executed %d runs for 3 identical submissions, want 1", n)
+	}
+}
+
+// firstWriteNotifier closes done on the first write; later writes are
+// discarded. Used to detect that a stream has started delivering.
+type firstWriteNotifier struct {
+	once sync.Once
+	done chan struct{}
+}
+
+func (w *firstWriteNotifier) Write(p []byte) (int, error) {
+	w.once.Do(func() { close(w.done) })
+	return len(p), nil
+}
+
+// TestConcurrentStreamsAndCancelNoLeak is the acceptance scenario:
+// eight clients stream one running job's events, a DELETE lands
+// mid-run, every stream terminates, the job reports cancelled, and no
+// goroutine outlives the teardown (run under -race in CI).
+func TestConcurrentStreamsAndCancelNoLeak(t *testing.T) {
+	before := runtime.NumGoroutine()
+
+	_, client, shutdown := newTestServer(t, serve.Config{Parallelism: 4, MaxJobs: 1})
+	ctx := context.Background()
+	info, err := client.Submit(ctx, longSweep())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	started := &firstWriteNotifier{done: make(chan struct{})}
+	var wg sync.WaitGroup
+	streamErrs := make([]error, 8)
+	for i := range streamErrs {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			streamErrs[i] = client.Events(ctx, info.ID, started)
+		}(i)
+	}
+
+	<-started.done // at least one event delivered: the job is mid-run
+	if _, err := client.Cancel(ctx, info.ID); err != nil {
+		t.Fatal(err)
+	}
+	wg.Wait() // every stream must end once the job goes terminal
+	for i, err := range streamErrs {
+		if err != nil {
+			t.Errorf("stream %d: %v", i, err)
+		}
+	}
+
+	got, err := client.Job(ctx, info.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Status != serve.StatusCancelled {
+		t.Fatalf("status = %s, want %s", got.Status, serve.StatusCancelled)
+	}
+	if err := client.Result(ctx, info.ID, io.Discard); err == nil {
+		t.Fatal("Result of a cancelled job succeeded, want error")
+	}
+
+	shutdown()
+	// Drained-pool assertion, same idiom as the run package: workers,
+	// stream handlers and watch goroutines must all have exited.
+	deadline := time.Now().Add(5 * time.Second)
+	for runtime.NumGoroutine() > before && time.Now().Before(deadline) {
+		time.Sleep(10 * time.Millisecond)
+	}
+	if after := runtime.NumGoroutine(); after > before {
+		t.Fatalf("%d goroutines before, %d after — server leaked", before, after)
+	}
+}
+
+// TestCancelQueuedJob: a job cancelled while still queued must go
+// terminal without ever running, and the worker must skip it.
+func TestCancelQueuedJob(t *testing.T) {
+	_, client, shutdown := newTestServer(t, serve.Config{Parallelism: 2, MaxJobs: 1})
+	defer shutdown()
+	ctx := context.Background()
+
+	blocker, err := client.Submit(ctx, longSweep())
+	if err != nil {
+		t.Fatal(err)
+	}
+	queued, err := client.Submit(ctx, smallSimulate())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if queued.Status != serve.StatusQueued {
+		t.Fatalf("second job status = %s, want %s", queued.Status, serve.StatusQueued)
+	}
+	info, err := client.Cancel(ctx, queued.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Status != serve.StatusCancelled {
+		t.Fatalf("cancelled-while-queued status = %s, want %s", info.Status, serve.StatusCancelled)
+	}
+	if _, err := client.Cancel(ctx, blocker.ID); err != nil {
+		t.Fatal(err)
+	}
+	// The queued job must never execute: its event log stays empty.
+	var events bytes.Buffer
+	if err := client.Events(ctx, queued.ID, &events); err != nil {
+		t.Fatal(err)
+	}
+	if events.Len() != 0 {
+		t.Fatalf("cancelled-while-queued job emitted events:\n%s", events.Bytes())
+	}
+}
+
+// TestJobsListOrder: /jobs reports submissions in arrival order with
+// stable IDs.
+func TestJobsListOrder(t *testing.T) {
+	_, client, shutdown := newTestServer(t, serve.Config{Parallelism: 1, MaxJobs: 1})
+	defer shutdown()
+	ctx := context.Background()
+
+	specs := []*run.Experiment{run.NewExperiment(run.KindAnalyze), smallSimulate()}
+	for _, s := range specs {
+		if _, err := client.Execute(ctx, s, nil, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	jobs, err := client.Jobs(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(jobs) != 2 {
+		t.Fatalf("listed %d jobs, want 2", len(jobs))
+	}
+	if jobs[0].ID != "j000001" || jobs[1].ID != "j000002" {
+		t.Fatalf("ids = %s, %s — want j000001, j000002", jobs[0].ID, jobs[1].ID)
+	}
+	if jobs[0].Kind != run.KindAnalyze || jobs[1].Kind != run.KindSimulate {
+		t.Fatalf("kinds = %s, %s", jobs[0].Kind, jobs[1].Kind)
+	}
+	for _, j := range jobs {
+		if j.Status != serve.StatusDone {
+			t.Fatalf("job %s status = %s, want done", j.ID, j.Status)
+		}
+	}
+}
+
+// TestSubmitRejectsInvalidSpec: envelope validation failures surface at
+// submit time, not as failed jobs.
+func TestSubmitRejectsInvalidSpec(t *testing.T) {
+	_, client, shutdown := newTestServer(t, serve.Config{Parallelism: 1, MaxJobs: 1})
+	defer shutdown()
+	bad := &run.Experiment{V: 1, Kind: "frobnicate"}
+	if _, err := client.Submit(context.Background(), bad); err == nil {
+		t.Fatal("submitting an unknown kind succeeded, want error")
+	}
+}
+
+// TestFailedJobSurfacesError: a spec that passes envelope validation but
+// fails when built (unknown sweep variable) ends as a failed job, and
+// Execute carries the server's message back as an error.
+func TestFailedJobSurfacesError(t *testing.T) {
+	_, client, shutdown := newTestServer(t, serve.Config{Parallelism: 1, MaxJobs: 1})
+	defer shutdown()
+	ctx := context.Background()
+	bad := run.NewExperiment(run.KindSweep)
+	bad.Sweep.Var = "no-such-parameter"
+	info, err := client.Execute(ctx, bad, nil, nil)
+	if err == nil {
+		t.Fatal("executing a spec with an unknown sweep variable succeeded, want error")
+	}
+	if info.Status != serve.StatusFailed {
+		t.Fatalf("status = %s, want %s", info.Status, serve.StatusFailed)
+	}
+	if info.Error == "" {
+		t.Fatal("failed job carries no error message")
+	}
+}
+
+// TestUncacheableSpecRunsEveryTime: a spec with server-side file output
+// bypasses the cache.
+func TestUncacheableSpecRunsEveryTime(t *testing.T) {
+	srv, client, shutdown := newTestServer(t, serve.Config{Parallelism: 1, MaxJobs: 1})
+	defer shutdown()
+	ctx := context.Background()
+	spec := smallSimulate()
+	spec.Simulate.TraceOut = t.TempDir() + "/trace.csv"
+	for i := 0; i < 2; i++ {
+		info, err := client.Execute(ctx, spec, nil, nil)
+		if err != nil {
+			t.Fatalf("submission %d: %v", i, err)
+		}
+		if info.Cached {
+			t.Fatalf("submission %d of an uncacheable spec reported cached", i)
+		}
+	}
+	if n := srv.Runs(); n != 2 {
+		t.Fatalf("server executed %d runs, want 2", n)
+	}
+}

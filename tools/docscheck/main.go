@@ -4,7 +4,11 @@
 //	    extracts every `go run ./cmd/...` command from the file's fenced
 //	    sh code blocks and executes it with a fast-run suffix appended
 //	    (-messages 100 -reps 1, adapted per binary), so a cookbook
-//	    command that stops parsing fails CI;
+//	    command that stops parsing fails CI. A command ending in `&`
+//	    (the server scenarios) is started in the background in its own
+//	    process group, awaited on its -addr until the port accepts
+//	    connections, and killed with its children once every command has
+//	    run;
 //
 //	docscheck -links .
 //	    walks the tree's Markdown files and verifies that every
@@ -15,15 +19,18 @@ package main
 
 import (
 	"bufio"
+	"bytes"
 	"context"
 	"flag"
 	"fmt"
 	"io/fs"
+	"net"
 	"os"
 	"os/exec"
 	"path/filepath"
 	"regexp"
 	"strings"
+	"syscall"
 	"time"
 )
 
@@ -54,15 +61,22 @@ func main() {
 	}
 }
 
+// scenarioCmd is one runnable cookbook line; background commands end in
+// `&` in the Markdown and stay up until the whole scenario list is done.
+type scenarioCmd struct {
+	line       string
+	background bool
+}
+
 // extractCommands returns the `go run ./cmd/...` command lines of every
 // fenced sh block, with backslash continuations joined.
-func extractCommands(path string) ([]string, error) {
+func extractCommands(path string) ([]scenarioCmd, error) {
 	f, err := os.Open(path)
 	if err != nil {
 		return nil, err
 	}
 	defer f.Close()
-	var cmds []string
+	var cmds []scenarioCmd
 	inBlock := false
 	var cont strings.Builder
 	sc := bufio.NewScanner(f)
@@ -93,28 +107,83 @@ func extractCommands(path string) ([]string, error) {
 		cont.WriteString(line)
 		cmd := cont.String()
 		cont.Reset()
+		background := false
+		if strings.HasSuffix(cmd, "&") {
+			background = true
+			cmd = strings.TrimSpace(strings.TrimSuffix(cmd, "&"))
+		}
 		if strings.HasPrefix(cmd, "go run ./cmd/") {
-			cmds = append(cmds, cmd)
+			cmds = append(cmds, scenarioCmd{line: cmd, background: background})
 		}
 	}
 	return cmds, sc.Err()
 }
 
+// flagValue returns the value following a flag in a command line, or "".
+func flagValue(cmd, flag string) string {
+	fields := strings.Fields(cmd)
+	for i, f := range fields {
+		if f == flag && i+1 < len(fields) {
+			return fields[i+1]
+		}
+	}
+	return ""
+}
+
 // fastSuffix returns the flag suffix that shrinks a cookbook command to a
 // smoke run, per binary (hmscs-netsim has no -reps; hmscs-analyze is
-// analytic-only and needs nothing; hmscs-plan shrinks its verification
-// budget instead of a replication count).
+// analytic-only and hmscs-server has no workload at all, so neither needs
+// anything; hmscs-plan shrinks its verification budget instead of a
+// replication count).
 func fastSuffix(cmd string) []string {
 	switch {
 	case strings.Contains(cmd, "./cmd/hmscs-netsim"):
 		return []string{"-messages", "100", "-warmup", "10"}
-	case strings.Contains(cmd, "./cmd/hmscs-analyze"):
+	case strings.Contains(cmd, "./cmd/hmscs-analyze"), strings.Contains(cmd, "./cmd/hmscs-server"):
 		return nil
 	case strings.Contains(cmd, "./cmd/hmscs-plan"):
 		return []string{"-messages", "500", "-top", "1", "-max-reps", "4"}
 	default:
 		return []string{"-messages", "100", "-reps", "1"}
 	}
+}
+
+// startBackground launches a `... &` cookbook command in its own process
+// group (so the kill reaches go run's child binary too) and, when the
+// command names a -addr, waits for the port to accept connections.
+func startBackground(cmd scenarioCmd, timeout time.Duration) (*exec.Cmd, *bytes.Buffer, error) {
+	args := append(strings.Fields(cmd.line)[1:], fastSuffix(cmd.line)...)
+	c := exec.Command("go", args...)
+	var out bytes.Buffer
+	c.Stdout = &out
+	c.Stderr = &out
+	c.SysProcAttr = &syscall.SysProcAttr{Setpgid: true}
+	if err := c.Start(); err != nil {
+		return nil, nil, err
+	}
+	if addr := flagValue(cmd.line, "-addr"); addr != "" {
+		deadline := time.Now().Add(timeout)
+		for {
+			conn, err := net.DialTimeout("tcp", addr, time.Second)
+			if err == nil {
+				conn.Close()
+				break
+			}
+			if time.Now().After(deadline) {
+				stopBackground(c)
+				return nil, nil, fmt.Errorf("%s: %s never accepted connections\n%s", cmd.line, addr, out.Bytes())
+			}
+			time.Sleep(50 * time.Millisecond)
+		}
+	}
+	return c, &out, nil
+}
+
+// stopBackground kills a background command's whole process group and
+// reaps it.
+func stopBackground(c *exec.Cmd) {
+	syscall.Kill(-c.Process.Pid, syscall.SIGKILL) //nolint:errcheck // the group may already be gone
+	c.Wait()                                      //nolint:errcheck // a kill always reports an error
 }
 
 func checkScenarios(path string, timeout time.Duration) error {
@@ -126,18 +195,35 @@ func checkScenarios(path string, timeout time.Duration) error {
 		return fmt.Errorf("%s: no `go run ./cmd/...` commands found", path)
 	}
 	fmt.Printf("docscheck: %d commands from %s\n", len(cmds), path)
+	var background []*exec.Cmd
+	defer func() {
+		for _, c := range background {
+			stopBackground(c)
+		}
+	}()
 	var failures int
 	for i, cmd := range cmds {
-		args := append(strings.Fields(cmd)[1:], fastSuffix(cmd)...)
+		if cmd.background {
+			c, _, err := startBackground(cmd, timeout)
+			if err != nil {
+				failures++
+				fmt.Printf("FAIL [%d/%d] %s &\n%v\n", i+1, len(cmds), cmd.line, err)
+				continue
+			}
+			background = append(background, c)
+			fmt.Printf("ok   [%d/%d] %s &\n", i+1, len(cmds), cmd.line)
+			continue
+		}
+		args := append(strings.Fields(cmd.line)[1:], fastSuffix(cmd.line)...)
 		ctx, cancel := context.WithTimeout(context.Background(), timeout)
 		out, err := exec.CommandContext(ctx, "go", args...).CombinedOutput()
 		cancel()
 		if err != nil {
 			failures++
-			fmt.Printf("FAIL [%d/%d] %s\n%s\n", i+1, len(cmds), cmd, out)
+			fmt.Printf("FAIL [%d/%d] %s\n%s\n", i+1, len(cmds), cmd.line, out)
 			continue
 		}
-		fmt.Printf("ok   [%d/%d] %s\n", i+1, len(cmds), cmd)
+		fmt.Printf("ok   [%d/%d] %s\n", i+1, len(cmds), cmd.line)
 	}
 	if failures > 0 {
 		return fmt.Errorf("%d of %d scenario commands failed", failures, len(cmds))
