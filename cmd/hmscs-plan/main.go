@@ -53,6 +53,7 @@ func runMain(args []string, out io.Writer) error {
 	cli.BindPlan(fs, spec.Plan)
 	cli.BindArrival(fs, spec.Workload)
 	cli.BindPrecision(fs, spec.Precision)
+	cli.BindScenario(fs, spec)
 	cli.BindParallel(fs, &parallel)
 	fs.Uint64Var(&spec.Run.Seed, "seed", spec.Run.Seed, "base random seed for the verification simulations")
 	fs.IntVar(&spec.Run.Messages, "messages", spec.Run.Messages, "measurement window per configuration; precision-mode replications are a quarter of this")

@@ -54,6 +54,7 @@ func runMain(args []string, out io.Writer) error {
 	cli.BindSimWorkload(fs, spec.Workload)
 	cli.BindArrival(fs, spec.Workload)
 	cli.BindPrecision(fs, spec.Precision)
+	cli.BindScenario(fs, spec)
 	cli.BindParallel(fs, &parallel)
 	fs.BoolVar(&spec.Simulate.Verbose, "v", spec.Simulate.Verbose, "print per-centre statistics of replication 1")
 	compare := fs.Bool("compare", !spec.Simulate.NoCompare, "also run the analytical model and report the error")

@@ -52,6 +52,7 @@ func runMain(args []string, out io.Writer) error {
 	cli.BindSimWorkload(fs, spec.Workload)
 	cli.BindArrival(fs, spec.Workload)
 	cli.BindPrecision(fs, spec.Precision)
+	cli.BindScenario(fs, spec)
 	cli.BindParallel(fs, &parallel)
 	fs.StringVar(&spec.Sweep.Var, "var", spec.Sweep.Var, "swept parameter: clusters, lambda, msg, ports, locality, arrival")
 	fs.StringVar(&spec.Sweep.Ints, "ints", spec.Sweep.Ints, "comma-separated integer sweep values (clusters, msg, ports)")

@@ -12,9 +12,10 @@ import (
 )
 
 // TestExperimentGoldenSpecs pins the unified experiment API against the
-// checked-in spec files (one per kind, testdata/experiments/): each must
-// round-trip through JSON unchanged and, run at tiny scale, produce
-// deterministic output — byte-identical across parallelism levels.
+// checked-in spec files (one per kind plus two dynamic-scenario specs,
+// testdata/experiments/): each must round-trip through JSON unchanged
+// and, run at tiny scale, produce deterministic output — byte-identical
+// across parallelism levels.
 func TestExperimentGoldenSpecs(t *testing.T) {
 	if testing.Short() {
 		t.Skip("runs every experiment kind twice")
@@ -23,8 +24,8 @@ func TestExperimentGoldenSpecs(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(files) != 6 {
-		t.Fatalf("want one golden spec per kind (6), found %d: %v", len(files), files)
+	if len(files) != 8 {
+		t.Fatalf("want one golden spec per kind plus the two dynamic-scenario specs (8), found %d: %v", len(files), files)
 	}
 
 	// Parse and round-trip every file up front (and check kind coverage),

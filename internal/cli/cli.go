@@ -16,7 +16,9 @@
 package cli
 
 import (
+	"bytes"
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -25,6 +27,7 @@ import (
 	"time"
 
 	"hmscs/internal/run"
+	"hmscs/internal/scenario"
 	"hmscs/internal/serve"
 )
 
@@ -212,6 +215,28 @@ func BindSimWorkload(fs *flag.FlagSet, w *run.WorkloadSpec) {
 	fs.StringVar(&w.Pattern, "pattern", w.Pattern, "traffic pattern: uniform, local:<p>, hotspot:<p>")
 }
 
+// BindScenario installs -scenario: a JSON file holding the experiment's
+// scenario section (a fault/churn/ramp timeline, see docs/SCENARIOS.md)
+// that makes the run dynamic. The file is read at flag-parse time and
+// replaces the spec's scenario section; validation happens with the rest
+// of the spec when the experiment runs.
+func BindScenario(fs *flag.FlagSet, e *run.Experiment) {
+	fs.Func("scenario", "JSON scenario timeline (fault injection, churn, rate profiles; see docs/SCENARIOS.md §17-18) turning the run dynamic; overrides the spec's scenario section", func(path string) error {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		dec := json.NewDecoder(bytes.NewReader(data))
+		dec.DisallowUnknownFields()
+		var s scenario.Spec
+		if err := dec.Decode(&s); err != nil {
+			return fmt.Errorf("parsing scenario %s: %w", path, err)
+		}
+		e.Scenario = &s
+		return nil
+	})
+}
+
 // BindParallel binds the worker-pool bound (an execution option, not
 // part of the spec: it changes how fast an experiment runs, never what
 // it computes).
@@ -241,6 +266,7 @@ func BindPlan(fs *flag.FlagSet, p *run.PlanSpec) {
 	fs.Float64Var(&p.SLOLatencyMs, "slo-latency", p.SLOLatencyMs, "SLO: maximum mean message latency in ms")
 	fs.Float64Var(&p.SLOUtil, "slo-util", p.SLOUtil, "SLO: maximum bottleneck-centre utilisation at the analytic fixed point")
 	fs.IntVar(&p.MinNodes, "min-nodes", p.MinNodes, "SLO: minimum total processors the deployment must provide (0 = no requirement)")
+	fs.Float64Var(&p.SLORecoveryS, "slo-recovery", p.SLORecoveryS, "SLO: recovery budget in seconds after a -scenario fault (0 = recovering inside the horizon suffices)")
 	fs.Float64Var(&p.NodeCost, "node-cost", p.NodeCost, "cost of one processor in node units")
 	fs.StringVar(&p.PortCosts, "port-costs", p.PortCosts, "per-port cost overrides as tech=cost pairs, e.g. FE=0.02,GE=0.1 (defaults: plan.DefaultCostModel)")
 	fs.Float64Var(&p.Lambda, "lambda", p.Lambda, "override the space's per-processor offered load (msg/s; 0 = keep the space's)")

@@ -30,6 +30,7 @@ import (
 
 	"hmscs/internal/network"
 	"hmscs/internal/rng"
+	"hmscs/internal/scenario"
 	"hmscs/internal/sim"
 	"hmscs/internal/stats"
 	"hmscs/internal/workload"
@@ -68,6 +69,10 @@ const (
 	// stamped time; idx indexes the receiving shard's inbox (sharded mode
 	// only — see shard.go).
 	nvXferIn
+	// nvScenario fires when a timeline event mutates the network; idx is
+	// the index into the compiled scenario's event list. Scheduled at
+	// setup, before any traffic, so same-time ties resolve timeline-first.
+	nvScenario
 )
 
 // link is one directed channel with its own FIFO queue.
@@ -135,6 +140,21 @@ type Network struct {
 	pend         []pendDelivery
 	msgs         []nmsg
 	free         []int32
+
+	// Dynamic-scenario state (nil/empty in stationary runs), mirroring the
+	// system simulator's per-processor machinery: epDown is the endpoint's
+	// up/down state, thinking marks a pending generation event, blocked a
+	// closed-loop source waiting for its in-flight message, genDue the
+	// pending generation's due time and genStale the voided generation
+	// events a failure left in the event set. A failed switch (or spine)
+	// takes down the links its crossbar serves — its output ports — and
+	// new fat-tree routes avoid down spines automatically (pickSpine).
+	scn      *scenario.CompiledNet
+	epDown   []bool
+	thinking []bool
+	blocked  []bool
+	genDue   []float64
+	genStale []int32
 }
 
 // TotalNodes implements workload.System: the endpoint count.
@@ -148,6 +168,17 @@ func (n *Network) NumClusters() int { return n.numLeaves }
 // ClusterOf implements workload.System: the leaf/chain switch owning the
 // endpoint.
 func (n *Network) ClusterOf(node int) int { return n.leafOf[node] }
+
+// Topo describes the built topology in the terms the scenario compiler
+// resolves switch-level targets against.
+func (n *Network) Topo() scenario.NetTopo {
+	return scenario.NetTopo{
+		Endpoints: n.N,
+		Leaves:    n.numLeaves,
+		Spines:    n.numSpines,
+		Chain:     n.Kind == LinearArray,
+	}
+}
 
 // ClusterRange implements workload.System: the half-open endpoint range of
 // switch c.
@@ -287,14 +318,15 @@ func ceilDiv(a, b int) int { return (a + b - 1) / b }
 // appendRoute appends the ordered link ids from src to dst onto buf and
 // returns the extended buffer plus the number of switches traversed. For
 // the fat-tree the spine is chosen uniformly at random (multipath
-// routing). Reusing buf keeps steady-state routing allocation-free.
-func (n *Network) appendRoute(buf []int32, st *rng.Stream, src, dst int) (path []int32, switches int) {
+// routing) among the spines up at time now (all of them in stationary
+// runs). Reusing buf keeps steady-state routing allocation-free.
+func (n *Network) appendRoute(buf []int32, st *rng.Stream, src, dst int, now float64) (path []int32, switches int) {
 	switch n.Kind {
 	case FatTree:
 		if n.numSpines == 0 || n.leafOf[src] == n.leafOf[dst] {
 			return append(buf, n.hostUp[src], n.hostDown[dst]), 1
 		}
-		spine := st.Intn(n.numSpines)
+		spine := n.pickSpine(st, now)
 		return append(buf,
 			n.hostUp[src],
 			n.upLinks[n.leafOf[src]][spine],
@@ -321,7 +353,39 @@ func (n *Network) appendRoute(buf []int32, st *rng.Stream, src, dst int) (path [
 // inspection use it, the simulation loop uses appendRoute with a pooled
 // buffer.
 func (n *Network) route(st *rng.Stream, src, dst int) ([]int32, int) {
-	return n.appendRoute(nil, st, src, dst)
+	return n.appendRoute(nil, st, src, dst, 0)
+}
+
+// pickSpine draws the route's spine. In scenario mode the draw is uniform
+// over the spines up at route time (the static compiled timeline, so the
+// choice is a pure function of the stream and the clock): one Intn draw
+// either way, and Intn(numUp) ≡ Intn(numSpines) when every spine is up,
+// so a scenario without spine events is draw-identical to a stationary
+// run. With no spine up the draw falls back to all spines — the message
+// queues at the down spine until its repair.
+func (n *Network) pickSpine(st *rng.Stream, now float64) int {
+	if n.scn == nil {
+		return st.Intn(n.numSpines)
+	}
+	numUp := 0
+	for sp := 0; sp < n.numSpines; sp++ {
+		if n.scn.SpineUp(sp, now) {
+			numUp++
+		}
+	}
+	if numUp == 0 {
+		return st.Intn(n.numSpines)
+	}
+	k := st.Intn(numUp)
+	for sp := 0; sp < n.numSpines; sp++ {
+		if n.scn.SpineUp(sp, now) {
+			if k == 0 {
+				return sp
+			}
+			k--
+		}
+	}
+	panic("netsim: pickSpine ran out of spines")
 }
 
 // Options controls one netsim run.
@@ -354,6 +418,12 @@ type Options struct {
 	// sequential engine; 0 and 1 mean sequential. Requires
 	// Shards <= number of leaf/chain switches.
 	Shards int
+	// Scenario, when non-nil, turns the run dynamic: endpoint and switch
+	// failures/repairs at event-loop granularity plus a rate profile over
+	// every source. Warmup and Measured are overridden (measurement spans
+	// the whole horizon) and the run never reports TimedOut; results stay
+	// bit-identical at every shard count (DESIGN.md §11).
+	Scenario *scenario.CompiledNet
 }
 
 // Result is a netsim run's output.
@@ -373,6 +443,12 @@ type Result struct {
 	MaxInterSwitchUtil float64
 	// TimedOut reports hitting MaxSimTime before Measured messages.
 	TimedOut bool
+	// SampleTimes holds the absolute completion time of every Sample entry
+	// in scenario runs with RecordSample; empty in stationary runs.
+	SampleTimes []float64
+	// Dropped counts messages discarded by a failure's drop policy in
+	// scenario runs (their closed-loop sources are released).
+	Dropped int64
 }
 
 // allocMsg takes a message slot from the pool, keeping any recycled path
@@ -393,6 +469,9 @@ func (n *Network) Handle(kind sim.EventKind, idx int32) {
 	case nvGenerate:
 		n.generate(int(idx))
 	case nvLinkDone:
+		if n.scn != nil && !n.links[idx].center.TakeCompletion() {
+			break // voided by a failure
+		}
 		mi := n.links[idx].center.CompleteService()
 		m := &n.msgs[mi]
 		m.pos++
@@ -409,6 +488,8 @@ func (n *Network) Handle(kind sim.EventKind, idx int32) {
 		src, born, hops := int(m.src), m.born, int(m.hops)
 		n.free = append(n.free, idx)
 		n.deliver(src, born, hops)
+	case nvScenario:
+		n.applyScenario(int(idx))
 	default:
 		panic(fmt.Sprintf("netsim: unknown event kind %d", kind))
 	}
@@ -422,13 +503,24 @@ func (n *Network) Handle(kind sim.EventKind, idx int32) {
 // with the default uniform pattern and fixed size the stream draws are
 // identical to the pre-unification hardcoded source.
 func (n *Network) generate(p int) {
+	if n.scn != nil {
+		if !n.thinking[p] || n.eng.Now() != n.genDue[p] {
+			if n.genStale[p] == 0 {
+				panic(fmt.Sprintf("netsim: endpoint %d got a generation event with no arrival due and no stale token", p))
+			}
+			n.genStale[p]--
+			return
+		}
+		n.thinking[p] = false
+		n.blocked[p] = true
+	}
 	st := n.streams[p]
 	dst := n.gen.Pattern.Dest(st, n, p)
 	size := n.gen.Size.Sample(st)
 	mi := n.allocMsg()
 	m := &n.msgs[mi]
 	var switches int
-	m.path, switches = n.appendRoute(m.path[:0], st, p, dst)
+	m.path, switches = n.appendRoute(m.path[:0], st, p, dst, n.eng.Now())
 	m.born = n.eng.Now()
 	m.svc = float64(size) * n.beta
 	m.pos = 0
@@ -440,9 +532,16 @@ func (n *Network) generate(p int) {
 
 // scheduleGeneration arms endpoint p's next message after the think time
 // drawn from its arrival source (exponential under the default Poisson
-// process).
+// process), stretched through the scenario's rate profile when one is
+// configured.
 func (n *Network) scheduleGeneration(p int) {
-	n.eng.Schedule(n.sources[p].Next(n.streams[p]), nvGenerate, int32(p))
+	gap := n.sources[p].Next(n.streams[p])
+	if n.scn != nil {
+		gap = n.scn.Profile.Stretch(n.eng.Now(), gap)
+		n.thinking[p] = true
+		n.genDue[p] = n.eng.Now() + gap
+	}
+	n.eng.Schedule(gap, nvGenerate, int32(p))
 }
 
 // deliver sinks a completed message and, closed-loop, re-arms its source.
@@ -455,6 +554,12 @@ func (n *Network) scheduleGeneration(p int) {
 // service aligns deliveries on an exact-tie lattice.
 func (n *Network) deliver(p int, born float64, hops int) {
 	n.pend = append(n.pend, pendDelivery{born: born, src: int32(p), hops: int32(hops)})
+	if n.scn != nil {
+		n.blocked[p] = false
+		if n.epDown[p] {
+			return // the endpoint died in flight; it re-arms at repair
+		}
+	}
 	n.scheduleGeneration(p)
 }
 
@@ -483,6 +588,9 @@ func (n *Network) flushDeliveries() {
 			n.res.Latency.Add(lat)
 			if n.opts.RecordSample {
 				n.res.Sample = append(n.res.Sample, lat)
+				if n.scn != nil {
+					n.res.SampleTimes = append(n.res.SampleTimes, n.eng.Now())
+				}
 			}
 			n.res.SwitchHops.Add(float64(d.hops))
 			if n.res.Latency.Count() == int64(n.opts.Measured) {
@@ -492,6 +600,114 @@ func (n *Network) flushDeliveries() {
 		}
 	}
 	n.pend = n.pend[:0]
+}
+
+// leafLinks returns the output ports of leaf/chain switch l — the link
+// queues its crossbar serves: the switch->host channels of its endpoints,
+// its per-spine uplinks (fat-tree), and its inter-switch channels (linear
+// array: right toward l+1 and left toward l-1, both sourced at l).
+func (n *Network) leafLinks(l int) []int32 {
+	lo, hi := n.ClusterRange(l)
+	out := make([]int32, 0, hi-lo+n.numSpines+2)
+	for e := lo; e < hi; e++ {
+		out = append(out, n.hostDown[e])
+	}
+	if n.upLinks != nil {
+		out = append(out, n.upLinks[l]...)
+	}
+	if l < len(n.chainRight) {
+		out = append(out, n.chainRight[l])
+	}
+	if l > 0 && len(n.chainLeft) > 0 {
+		out = append(out, n.chainLeft[l-1])
+	}
+	return out
+}
+
+// applyScenario executes compiled timeline event i. Failures take
+// endpoints down first (so a message evicted by a simultaneous switch
+// failure cannot re-arm a just-killed source), then switches; repairs
+// restore switches first, then endpoints.
+func (n *Network) applyScenario(i int) {
+	ev := &n.scn.Events[i]
+	if ev.Fail {
+		for _, p := range ev.Endpoints {
+			n.failEndpoint(int(p))
+		}
+		for _, l := range ev.Leaves {
+			for _, li := range n.leafLinks(int(l)) {
+				n.failLink(li, ev.Policy)
+			}
+		}
+		for _, sp := range ev.Spines {
+			for _, li := range n.downLinks[sp] {
+				n.failLink(li, ev.Policy)
+			}
+		}
+		return
+	}
+	for _, l := range ev.Leaves {
+		for _, li := range n.leafLinks(int(l)) {
+			n.links[li].center.Repair()
+		}
+	}
+	for _, sp := range ev.Spines {
+		for _, li := range n.downLinks[sp] {
+			n.links[li].center.Repair()
+		}
+	}
+	for _, p := range ev.Endpoints {
+		n.repairEndpoint(int(p))
+	}
+}
+
+// failLink takes one link out of service under the event's policy: drop
+// evicts and frees every queued message, releasing their closed-loop
+// sources; requeue leaves them in place to resume at repair.
+func (n *Network) failLink(li int32, pol scenario.Policy) {
+	victims := n.links[li].center.Fail(pol == scenario.PolicyDrop)
+	for _, mi := range victims {
+		n.dropMsg(mi)
+	}
+}
+
+// dropMsg discards an evicted in-flight message and releases its source.
+func (n *Network) dropMsg(mi int32) {
+	m := &n.msgs[mi]
+	src := int(m.src)
+	n.res.Dropped++
+	n.free = append(n.free, mi)
+	n.releaseSource(src)
+}
+
+// releaseSource unblocks a closed-loop endpoint whose in-flight message
+// was dropped, re-arming it unless the endpoint itself is down.
+func (n *Network) releaseSource(p int) {
+	n.blocked[p] = false
+	if n.epDown[p] {
+		return
+	}
+	n.scheduleGeneration(p)
+}
+
+// failEndpoint stops p generating: a pending generation event is voided
+// (stale token), an in-flight message completes normally but does not
+// re-arm (deliver checks epDown).
+func (n *Network) failEndpoint(p int) {
+	n.epDown[p] = true
+	if n.thinking[p] {
+		n.thinking[p] = false
+		n.genStale[p]++
+	}
+}
+
+// repairEndpoint brings p back: it re-arms immediately unless it is still
+// waiting on an in-flight message (blocked), which re-arms it at delivery.
+func (n *Network) repairEndpoint(p int) {
+	n.epDown[p] = false
+	if !n.thinking[p] && !n.blocked[p] {
+		n.scheduleGeneration(p)
+	}
 }
 
 // Run executes a closed-loop uniform-traffic experiment on the network.
@@ -511,6 +727,15 @@ func (n *Network) Run(opts Options) (*Result, error) {
 	}
 	if opts.Shards < 0 {
 		return nil, fmt.Errorf("netsim: negative shard count %d", opts.Shards)
+	}
+	if opts.Scenario != nil {
+		// Dynamic runs measure over a fixed horizon of absolute time: the
+		// transient estimator needs every delivery with its timestamp, so
+		// warmup/count cutoffs are overridden (see Options.Scenario).
+		opts.MaxSimTime = opts.Scenario.Horizon
+		opts.Warmup = 0
+		opts.Measured = math.MaxInt32
+		n.scn = opts.Scenario
 	}
 	if opts.Shards > 1 {
 		return n.runSharded(opts)
@@ -535,11 +760,45 @@ func (n *Network) Run(opts Options) (*Result, error) {
 	n.msgs = make([]nmsg, 0, n.N)
 	n.free = make([]int32, 0, n.N)
 
+	if n.scn != nil {
+		n.epDown = make([]bool, n.N)
+		n.thinking = make([]bool, n.N)
+		n.blocked = make([]bool, n.N)
+		n.genDue = make([]float64, n.N)
+		n.genStale = make([]int32, n.N)
+		for _, e := range n.scn.InitialDownEndpoints {
+			n.epDown[e] = true
+		}
+		for _, l := range n.scn.InitialDownLeaves {
+			for _, li := range n.leafLinks(int(l)) {
+				n.links[li].center.Fail(false)
+			}
+		}
+		for _, sp := range n.scn.InitialDownSpines {
+			for _, li := range n.downLinks[sp] {
+				n.links[li].center.Fail(false)
+			}
+		}
+		// Timeline events go in before any traffic is armed, so they carry
+		// the lowest sequence numbers of their instant and fire first.
+		for i := range n.scn.Events {
+			n.eng.ScheduleAt(n.scn.Events[i].T, nvScenario, int32(i))
+		}
+	}
 	for p := 0; p < n.N; p++ {
+		if n.scn != nil && n.epDown[p] {
+			continue
+		}
 		n.scheduleGeneration(p)
 	}
-	n.eng.Run(maxT)
-	if n.res.Latency.Count() < int64(n.opts.Measured) {
+	if n.scn != nil {
+		// Pin the clock at the horizon even if the event queue drains, so
+		// sequential and sharded runs report identical end times.
+		n.eng.RunWindow(n.scn.Horizon, true)
+	} else {
+		n.eng.Run(maxT)
+	}
+	if n.scn == nil && n.res.Latency.Count() < int64(n.opts.Measured) {
 		n.res.TimedOut = true
 	}
 	window := n.eng.Now() - n.measureStart

@@ -1,0 +1,144 @@
+package netsim
+
+import (
+	"testing"
+
+	"hmscs/internal/network"
+	"hmscs/internal/scenario"
+)
+
+// requireIdenticalNetDynamic extends the bit-identity assertion to the
+// dynamic-run outputs: the timestamped sample vector feeding the
+// transient estimator and the drop counter.
+func requireIdenticalNetDynamic(t *testing.T, label string, a, b *Result) {
+	t.Helper()
+	requireIdenticalNetResults(t, label, a, b)
+	if a.Dropped != b.Dropped {
+		t.Fatalf("%s: drop counters differ: %d vs %d", label, a.Dropped, b.Dropped)
+	}
+	if len(a.SampleTimes) != len(b.SampleTimes) {
+		t.Fatalf("%s: sample-time lengths differ: %d vs %d", label, len(a.SampleTimes), len(b.SampleTimes))
+	}
+	for i := range a.SampleTimes {
+		if a.SampleTimes[i] != b.SampleTimes[i] {
+			t.Fatalf("%s: sample time %d differs: %v vs %v", label, i, a.SampleTimes[i], b.SampleTimes[i])
+		}
+	}
+}
+
+// runNetDyn compiles the spec against a fresh network (a Network is
+// single-use) and runs it at the given shard count.
+func runNetDyn(t *testing.T, build func(t *testing.T) *Network, spec *scenario.Spec, seed uint64, shards int) *Result {
+	t.Helper()
+	n := build(t)
+	cn, err := scenario.CompileNet(spec, n.Topo())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := n.Run(Options{
+		Lambda: 300, MsgBytes: 256, Measured: 1, Seed: seed,
+		RecordSample: true, Scenario: cn, Shards: shards,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+// TestNetScenarioShardedBitIdentical extends the switch-level
+// determinism suite to dynamic runs: spine and leaf fail/repair under
+// both policies, endpoint churn, and a rate profile must reproduce the
+// sequential Result — including every timestamped sample — at every
+// shard count, on both topologies.
+func TestNetScenarioShardedBitIdentical(t *testing.T) {
+	ft := func(t *testing.T) *Network { return buildFT(t, 32, 8) }
+	la := func(t *testing.T) *Network { return buildLA(t, 64, 8) }
+	cases := []struct {
+		name  string
+		build func(t *testing.T) *Network
+		spec  *scenario.Spec
+	}{
+		{"fattree-spine-drop", ft, &scenario.Spec{HorizonS: 0.1, Events: []scenario.Event{
+			{TS: 0.03, Action: "fail", Target: "spine:0", Policy: "drop"},
+			{TS: 0.07, Action: "repair", Target: "spine:0"},
+		}}},
+		{"fattree-leaf-requeue", ft, &scenario.Spec{HorizonS: 0.1, Events: []scenario.Event{
+			{TS: 0.03, Action: "fail", Target: "switch:1", Policy: "requeue"},
+			{TS: 0.06, Action: "repair", Target: "switch:1"},
+		}}},
+		{"fattree-endpoint-churn", ft, &scenario.Spec{HorizonS: 0.1,
+			InitialDown: []string{"node:5"}, Events: []scenario.Event{
+				{TS: 0.02, Action: "repair", Target: "node:5"},
+				{TS: 0.05, Action: "fail", Target: "node:9"},
+				{TS: 0.08, Action: "repair", Target: "node:9"},
+			}}},
+		{"fattree-flash-profile", ft, &scenario.Spec{HorizonS: 0.1,
+			Profile: &scenario.ProfileSpec{Kind: "flash", PeakFactor: 3, StartS: 0.02, RampS: 0.01, HoldS: 0.03},
+			Events: []scenario.Event{
+				{TS: 0.04, Action: "fail", Target: "spine:1", Policy: "drop"},
+				{TS: 0.07, Action: "repair", Target: "spine:1"},
+			}}},
+		{"linear-switch-drop", la, &scenario.Spec{HorizonS: 0.1, Events: []scenario.Event{
+			{TS: 0.03, Action: "fail", Target: "switch:3", Policy: "drop"},
+			{TS: 0.07, Action: "repair", Target: "switch:3"},
+		}}},
+		{"linear-switch-requeue", la, &scenario.Spec{HorizonS: 0.1, Events: []scenario.Event{
+			{TS: 0.03, Action: "fail", Target: "switch:4", Policy: "requeue"},
+			{TS: 0.06, Action: "repair", Target: "switch:4"},
+		}}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			seq := runNetDyn(t, tc.build, tc.spec, 17, 0)
+			if len(seq.SampleTimes) == 0 {
+				t.Fatal("dynamic run recorded no timestamped samples")
+			}
+			for _, shards := range []int{1, 2, 8} {
+				requireIdenticalNetDynamic(t, tc.name, seq, runNetDyn(t, tc.build, tc.spec, 17, shards))
+			}
+		})
+	}
+}
+
+// TestNetScenarioFaultOnWindowBoundary pins the boundary case at the
+// switch level: the sharded engine advances in windows one mean link
+// transmission wide (MsgBytes·β), so a fault at an exact multiple of
+// that width can coincide with a window edge, and a repair at exactly
+// the horizon rides the final horizon-inclusive window.
+func TestNetScenarioFaultOnWindowBoundary(t *testing.T) {
+	w := 256 * network.GigabitEthernet.Beta() // the sharded window width
+	spec := &scenario.Spec{
+		HorizonS: 65536 * w,
+		Events: []scenario.Event{
+			{TS: 16384 * w, Action: "fail", Target: "spine:0", Policy: "drop"},
+			{TS: 65536 * w, Action: "repair", Target: "spine:0"},
+		},
+	}
+	ft := func(t *testing.T) *Network { return buildFT(t, 32, 8) }
+	seq := runNetDyn(t, ft, spec, 29, 0)
+	if len(seq.SampleTimes) == 0 {
+		t.Fatal("dynamic run recorded no timestamped samples")
+	}
+	for _, shards := range []int{1, 2, 8} {
+		requireIdenticalNetDynamic(t, "window-boundary", seq, runNetDyn(t, ft, spec, 29, shards))
+	}
+}
+
+// TestNetScenarioRepeatable pins per-replication determinism: the same
+// seed gives the same dynamic Result on a rebuilt network, and a
+// different seed gives a different sample path (the replication loop in
+// the runner rebuilds the network per rep with derived seeds).
+func TestNetScenarioRepeatable(t *testing.T) {
+	ft := func(t *testing.T) *Network { return buildFT(t, 32, 8) }
+	spec := &scenario.Spec{HorizonS: 0.1, Events: []scenario.Event{
+		{TS: 0.03, Action: "fail", Target: "spine:0", Policy: "drop"},
+		{TS: 0.07, Action: "repair", Target: "spine:0"},
+	}}
+	a := runNetDyn(t, ft, spec, 41, 0)
+	b := runNetDyn(t, ft, spec, 41, 0)
+	requireIdenticalNetDynamic(t, "same-seed", a, b)
+	c := runNetDyn(t, ft, spec, 42, 0)
+	if len(a.SampleTimes) == len(c.SampleTimes) && a.Latency.Mean() == c.Latency.Mean() {
+		t.Fatal("different seeds gave an identical dynamic sample path")
+	}
+}

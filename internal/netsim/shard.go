@@ -6,6 +6,7 @@ import (
 	"slices"
 
 	"hmscs/internal/rng"
+	"hmscs/internal/scenario"
 	"hmscs/internal/sim"
 	"hmscs/internal/workload"
 )
@@ -39,6 +40,10 @@ const (
 	// delivery time (last link done + fixed latency), logging the
 	// delivery and re-arming the closed-loop source.
 	nxDeliver
+	// nxRelease unblocks a closed-loop source whose in-flight message a
+	// scenario drop evicted on another shard: no delivery is logged, the
+	// source just re-arms (scenario runs only).
+	nxRelease
 )
 
 // nxfer is one cross-shard hand-off: all scalars, so mailboxes compare
@@ -104,7 +109,10 @@ func cmpNdelivery(a, b ndelivery) int {
 	}
 }
 
-// netSnap is a reusable window-boundary snapshot of one shard.
+// netSnap is a reusable window-boundary snapshot of one shard. The
+// scenario slices cover the shard's endpoint range (scenario runs only):
+// timeline events mutate them mid-window, and a fixed-point re-execution
+// must start from the boundary state.
 type netSnap struct {
 	eng     sim.EngineState
 	centers []sim.CenterState
@@ -112,6 +120,13 @@ type netSnap struct {
 	sources []workload.Source
 	msgs    []nmsg
 	free    []int32
+
+	epDown   []bool
+	thinking []bool
+	blocked  []bool
+	genDue   []float64
+	genStale []int32
+	dropped  int64
 }
 
 // netShard is one shard of a sharded netsim run. It implements
@@ -127,6 +142,8 @@ type netShard struct {
 
 	msgs []nmsg
 	free []int32
+
+	dropped int64 // scenario drops on this shard (summed at finish)
 
 	stateful bool
 
@@ -156,6 +173,19 @@ type shardedNet struct {
 	epShard   []int32 // endpoint -> shard
 	linkShard []int32 // link id -> shard
 	linkSpine []int32 // link id -> fat-tree spine index, -1 otherwise
+
+	// Dynamic-scenario state, the sharded twin of Network's: the arrays
+	// are global (endpoint-indexed) but each shard touches only its own
+	// endpoint range, so there are no data races. Every compiled event is
+	// single-shard here — a switch's output ports all live on its owning
+	// shard, a spine's on shard sp%s — so timeline events need no
+	// cross-shard coordination; only drop releases cross (nxRelease).
+	scn      *scenario.CompiledNet
+	epDown   []bool
+	thinking []bool
+	blocked  []bool
+	genDue   []float64
+	genStale []int32
 
 	shards []*netShard
 	pool   *sim.ShardPool
@@ -286,6 +316,36 @@ func newShardedNet(n *Network, opts Options) (*shardedNet, error) {
 		}
 	}
 
+	if n.scn != nil {
+		o.scn = n.scn
+		o.epDown = make([]bool, n.N)
+		o.thinking = make([]bool, n.N)
+		o.blocked = make([]bool, n.N)
+		o.genDue = make([]float64, n.N)
+		o.genStale = make([]int32, n.N)
+		for _, e := range o.scn.InitialDownEndpoints {
+			o.epDown[e] = true
+		}
+		for _, l := range o.scn.InitialDownLeaves {
+			for _, li := range n.leafLinks(int(l)) {
+				n.links[li].center.Fail(false)
+			}
+		}
+		for _, sp := range o.scn.InitialDownSpines {
+			for _, li := range n.downLinks[sp] {
+				n.links[li].center.Fail(false)
+			}
+		}
+		for _, sh := range o.shards {
+			ne := sh.epHi - sh.epLo
+			sh.snap.epDown = make([]bool, ne)
+			sh.snap.thinking = make([]bool, ne)
+			sh.snap.blocked = make([]bool, ne)
+			sh.snap.genDue = make([]float64, ne)
+			sh.snap.genStale = make([]int32, ne)
+		}
+	}
+
 	// Window width: one mean link transmission time of a nominal message —
 	// the store-and-forward quantum. Any positive width is correct.
 	o.window = float64(opts.MsgBytes) * o.beta
@@ -299,7 +359,24 @@ func newShardedNet(n *Network, opts Options) (*shardedNet, error) {
 }
 
 func (o *shardedNet) run() (*Result, error) {
+	if o.scn != nil {
+		// Timeline events go in before any traffic: each lands on the one
+		// shard owning every element it touches, with the lowest sequence
+		// numbers of its instant, so it fires before same-time hand-offs —
+		// matching the sequential setup order.
+		for i := range o.scn.Events {
+			ev := &o.scn.Events[i]
+			for s := range o.shards {
+				if o.ownsEvent(s, ev) {
+					o.shards[s].eng.ScheduleAt(ev.T, nvScenario, int32(i))
+				}
+			}
+		}
+	}
 	for p := 0; p < o.net.N; p++ {
+		if o.scn != nil && o.epDown[p] {
+			continue
+		}
 		o.shards[o.epShard[p]].scheduleGeneration(p)
 	}
 	maxT := o.opts.MaxSimTime
@@ -326,6 +403,28 @@ func (o *shardedNet) run() (*Result, error) {
 		}
 	}
 	return o.finish(), nil
+}
+
+// ownsEvent reports whether shard s owns any element compiled event ev
+// touches. (In practice every event is single-shard; the per-element
+// filter in applyScenario keeps the code correct regardless.)
+func (o *shardedNet) ownsEvent(s int, ev *scenario.NetEvent) bool {
+	for _, p := range ev.Endpoints {
+		if int(o.epShard[p]) == s {
+			return true
+		}
+	}
+	for _, l := range ev.Leaves {
+		if int(o.leafShard[l]) == s {
+			return true
+		}
+	}
+	for _, sp := range ev.Spines {
+		if int(sp)%len(o.shards) == s {
+			return true
+		}
+	}
+	return false
 }
 
 // nextEventTime is the earliest pending event or carried token across all
@@ -452,6 +551,9 @@ func (o *shardedNet) commit() bool {
 			o.res.Latency.Add(lat)
 			if o.opts.RecordSample {
 				o.res.Sample = append(o.res.Sample, lat)
+				if o.scn != nil {
+					o.res.SampleTimes = append(o.res.SampleTimes, d.at)
+				}
 			}
 			o.res.SwitchHops.Add(float64(d.hops))
 			if o.res.Latency.Count() == int64(o.opts.Measured) {
@@ -477,8 +579,11 @@ func (o *shardedNet) cut(tStop float64) {
 
 func (o *shardedNet) finish() *Result {
 	n := o.net
-	if o.res.Latency.Count() < int64(o.opts.Measured) {
+	if o.scn == nil && o.res.Latency.Count() < int64(o.opts.Measured) {
 		o.res.TimedOut = true
+	}
+	for _, sh := range o.shards {
+		o.res.Dropped += sh.dropped
 	}
 	endT := o.shards[0].eng.Now()
 	window := endT - o.measureStart
@@ -546,6 +651,14 @@ func (sh *netShard) save() {
 	}
 	sh.snap.msgs = copyMsgs(sh.snap.msgs, sh.msgs)
 	sh.snap.free = append(sh.snap.free[:0], sh.free...)
+	if o.scn != nil {
+		copy(sh.snap.epDown, o.epDown[sh.epLo:sh.epHi])
+		copy(sh.snap.thinking, o.thinking[sh.epLo:sh.epHi])
+		copy(sh.snap.blocked, o.blocked[sh.epLo:sh.epHi])
+		copy(sh.snap.genDue, o.genDue[sh.epLo:sh.epHi])
+		copy(sh.snap.genStale, o.genStale[sh.epLo:sh.epHi])
+		sh.snap.dropped = sh.dropped
+	}
 }
 
 func (sh *netShard) restore() {
@@ -564,6 +677,14 @@ func (sh *netShard) restore() {
 	}
 	sh.msgs = copyMsgs(sh.msgs, sh.snap.msgs)
 	sh.free = append(sh.free[:0], sh.snap.free...)
+	if o.scn != nil {
+		copy(o.epDown[sh.epLo:sh.epHi], sh.snap.epDown)
+		copy(o.thinking[sh.epLo:sh.epHi], sh.snap.thinking)
+		copy(o.blocked[sh.epLo:sh.epHi], sh.snap.blocked)
+		copy(o.genDue[sh.epLo:sh.epHi], sh.snap.genDue)
+		copy(o.genStale[sh.epLo:sh.epHi], sh.snap.genStale)
+		sh.dropped = sh.snap.dropped
+	}
 }
 
 // copyMsgs structurally copies src into dst (reusing dst's backing
@@ -590,6 +711,9 @@ func (sh *netShard) Handle(kind sim.EventKind, idx int32) {
 	case nvGenerate:
 		sh.generate(int(idx))
 	case nvLinkDone:
+		if o.scn != nil && !n.links[idx].center.TakeCompletion() {
+			return // voided by a failure
+		}
 		mi := n.links[idx].center.CompleteService()
 		m := &sh.msgs[mi]
 		m.pos++
@@ -628,6 +752,8 @@ func (sh *netShard) Handle(kind sim.EventKind, idx int32) {
 		sh.deliver(p, born, hops)
 	case nvXferIn:
 		sh.applyXfer(sh.inbox[idx])
+	case nvScenario:
+		sh.applyScenario(int(idx))
 	default:
 		panic(fmt.Sprintf("netsim: unknown event kind %d", kind))
 	}
@@ -652,7 +778,13 @@ func (sh *netShard) emit(dst int32, x nxfer) {
 
 func (sh *netShard) scheduleGeneration(p int) {
 	o := sh.o
-	sh.eng.Schedule(o.sources[p].Next(o.streams[p]), nvGenerate, int32(p))
+	gap := o.sources[p].Next(o.streams[p])
+	if o.scn != nil {
+		gap = o.scn.Profile.Stretch(sh.eng.Now(), gap)
+		o.thinking[p] = true
+		o.genDue[p] = sh.eng.Now() + gap
+	}
+	sh.eng.Schedule(gap, nvGenerate, int32(p))
 }
 
 // generate mirrors Network.generate; an endpoint's first link (its host
@@ -660,13 +792,24 @@ func (sh *netShard) scheduleGeneration(p int) {
 func (sh *netShard) generate(p int) {
 	o := sh.o
 	n := o.net
+	if o.scn != nil {
+		if !o.thinking[p] || sh.eng.Now() != o.genDue[p] {
+			if o.genStale[p] == 0 {
+				panic(fmt.Sprintf("netsim: endpoint %d got a generation event with no arrival due and no stale token", p))
+			}
+			o.genStale[p]--
+			return
+		}
+		o.thinking[p] = false
+		o.blocked[p] = true
+	}
 	st := o.streams[p]
 	dst := o.gen.Pattern.Dest(st, n, p)
 	size := o.gen.Size.Sample(st)
 	mi := sh.allocMsg()
 	m := &sh.msgs[mi]
 	var switches int
-	m.path, switches = n.appendRoute(m.path[:0], st, p, dst)
+	m.path, switches = n.appendRoute(m.path[:0], st, p, dst, sh.eng.Now())
 	m.born = sh.eng.Now()
 	m.svc = float64(size) * o.beta
 	m.pos = 0
@@ -680,6 +823,19 @@ func (sh *netShard) generate(p int) {
 // (always closed-loop) source.
 func (sh *netShard) deliver(p int, born float64, hops int32) {
 	sh.log = append(sh.log, ndelivery{at: sh.eng.Now(), born: born, src: int32(p), hops: hops})
+	sh.release(p)
+}
+
+// release unblocks a closed-loop source (delivery or scenario drop) and
+// re-arms it unless its endpoint is down.
+func (sh *netShard) release(p int) {
+	o := sh.o
+	if o.scn != nil {
+		o.blocked[p] = false
+		if o.epDown[p] {
+			return
+		}
+	}
 	sh.scheduleGeneration(p)
 }
 
@@ -699,8 +855,8 @@ func (sh *netShard) rebuildPath(buf []int32, msrc, mdst, spine int32) []int32 {
 			n.hostDown[mdst],
 		)
 	}
-	// The linear array's routes draw no randomness.
-	buf, _ = n.appendRoute(buf, nil, int(msrc), int(mdst))
+	// The linear array's routes draw no randomness (and consult no clock).
+	buf, _ = n.appendRoute(buf, nil, int(msrc), int(mdst), 0)
 	return buf
 }
 
@@ -721,7 +877,100 @@ func (sh *netShard) applyXfer(x nxfer) {
 		n.links[m.path[x.pos]].center.Submit(m.svc, mi)
 	case nxDeliver:
 		sh.deliver(int(x.msrc), x.born, x.hops)
+	case nxRelease:
+		sh.release(int(x.msrc))
 	default:
 		panic(fmt.Sprintf("netsim: unknown hand-off kind %d", x.kind))
+	}
+}
+
+// applyScenario executes compiled timeline event i, restricted to the
+// elements this shard owns (see Network.applyScenario for the order).
+func (sh *netShard) applyScenario(i int) {
+	o := sh.o
+	n := o.net
+	ev := &o.scn.Events[i]
+	s := len(o.shards)
+	if ev.Fail {
+		for _, p := range ev.Endpoints {
+			if int(o.epShard[p]) == sh.id {
+				sh.failEndpoint(int(p))
+			}
+		}
+		for _, l := range ev.Leaves {
+			if int(o.leafShard[l]) == sh.id {
+				for _, li := range n.leafLinks(int(l)) {
+					sh.failLink(li, ev.Policy)
+				}
+			}
+		}
+		for _, sp := range ev.Spines {
+			if int(sp)%s == sh.id {
+				for _, li := range n.downLinks[sp] {
+					sh.failLink(li, ev.Policy)
+				}
+			}
+		}
+		return
+	}
+	for _, l := range ev.Leaves {
+		if int(o.leafShard[l]) == sh.id {
+			for _, li := range n.leafLinks(int(l)) {
+				n.links[li].center.Repair()
+			}
+		}
+	}
+	for _, sp := range ev.Spines {
+		if int(sp)%s == sh.id {
+			for _, li := range n.downLinks[sp] {
+				n.links[li].center.Repair()
+			}
+		}
+	}
+	for _, p := range ev.Endpoints {
+		if int(o.epShard[p]) == sh.id {
+			sh.repairEndpoint(int(p))
+		}
+	}
+}
+
+func (sh *netShard) failLink(li int32, pol scenario.Policy) {
+	victims := sh.o.net.links[li].center.Fail(pol == scenario.PolicyDrop)
+	for _, mi := range victims {
+		sh.dropMsg(mi)
+	}
+}
+
+// dropMsg discards an evicted message; a remote source's release crosses
+// shards as an nxRelease hand-off at the current instant (safe: event
+// timestamps are pairwise distinct, and the released source is blocked, so
+// nothing else touches its stream at this instant — see DESIGN.md §11).
+func (sh *netShard) dropMsg(mi int32) {
+	o := sh.o
+	m := &sh.msgs[mi]
+	src := m.src
+	sh.dropped++
+	sh.free = append(sh.free, mi)
+	if int(o.epShard[src]) == sh.id {
+		sh.release(int(src))
+		return
+	}
+	sh.emit(o.epShard[src], nxfer{at: sh.eng.Now(), kind: nxRelease, msrc: src})
+}
+
+func (sh *netShard) failEndpoint(p int) {
+	o := sh.o
+	o.epDown[p] = true
+	if o.thinking[p] {
+		o.thinking[p] = false
+		o.genStale[p]++
+	}
+}
+
+func (sh *netShard) repairEndpoint(p int) {
+	o := sh.o
+	o.epDown[p] = false
+	if !o.thinking[p] && !o.blocked[p] {
+		sh.scheduleGeneration(p)
 	}
 }

@@ -3,10 +3,12 @@ package plan
 import (
 	"context"
 	"fmt"
+	"math"
 	"sort"
 
 	"hmscs/internal/output"
 	"hmscs/internal/progress"
+	"hmscs/internal/scenario"
 	"hmscs/internal/sim"
 )
 
@@ -57,6 +59,14 @@ type VerifiedCandidate struct {
 	Gap float64
 	// SimFeasible reports the simulated mean also meets the SLO budget.
 	SimFeasible bool
+	// ScenarioChecked reports a fault-timeline verification ran
+	// (VerifyScenarioCtx); Recovery is its time-to-return-within-SLO in
+	// seconds (NaN when the timeline injects no fault, +Inf when the
+	// candidate never recovered inside the horizon) and RecoveryOK whether
+	// that meets the SLO's recovery budget.
+	ScenarioChecked bool
+	Recovery        float64
+	RecoveryOK      bool
 }
 
 // VerifyTopK simulates the k cheapest frontier candidates to the given
@@ -115,4 +125,60 @@ func VerifyTopKCtx(ctx context.Context, frontier []ScreenResult, k int, slo SLO,
 		out[i] = v
 	}
 	return out, nil
+}
+
+// VerifyScenarioCtx re-runs every verified candidate against a fault
+// timeline and fills the Recovery fields in place: the scenario is
+// compiled per candidate (cluster:largest resolves against each
+// configuration), reps replications run the fixed horizon, and the
+// recovery metric comes from the across-replication transient series.
+// The latency objective is the scenario's own SLO when set, the plan
+// SLO's budget otherwise; RecoveryOK additionally holds the recovery
+// time under slo.MaxRecovery when that is positive. Results are
+// bit-identical at every parallelism level.
+func VerifyScenarioCtx(ctx context.Context, verified []VerifiedCandidate, scn *scenario.Spec, slo SLO, opts sim.Options, reps, parallelism int, prog progress.Func) error {
+	slo = slo.Normalized()
+	for i := range verified {
+		v := &verified[i]
+		wrap := func(err error) error {
+			return fmt.Errorf("plan: scenario check of candidate %d (%s): %w", v.Index, v.Label(), err)
+		}
+		cs, err := scenario.CompileSim(scn, v.Cfg)
+		if err != nil {
+			return wrap(err)
+		}
+		o := opts
+		if c := len(v.Cfg.Clusters); o.Shards > c {
+			o.Shards = c
+		}
+		o.Scenario = cs
+		o.RecordSample = true
+		results, err := sim.RunReplicationResultsCtx(ctx, v.Cfg, o, reps, parallelism, prog)
+		if err != nil {
+			return wrap(err)
+		}
+		tr, err := output.NewTransient(cs.Horizon, cs.Slice, 0.95)
+		if err != nil {
+			return wrap(err)
+		}
+		for _, r := range results {
+			tr.AddReplication(r.SampleTimes, r.Sample)
+		}
+		sloLat := cs.SLO
+		if math.IsNaN(sloLat) {
+			sloLat = slo.MaxLatency
+		}
+		v.ScenarioChecked = true
+		v.Recovery = output.RecoveryTime(tr.Series(), cs.FaultAt, sloLat)
+		switch {
+		case math.IsNaN(v.Recovery):
+			// No fault in the timeline: nothing to recover from.
+			v.RecoveryOK = true
+		case math.IsInf(v.Recovery, 1):
+			v.RecoveryOK = false
+		default:
+			v.RecoveryOK = slo.MaxRecovery == 0 || v.Recovery <= slo.MaxRecovery
+		}
+	}
+	return nil
 }

@@ -23,6 +23,11 @@ type SLO struct {
 	// Without it the latency-only frontier degenerates to the smallest
 	// machine in the space, since fewer processors generate less traffic.
 	MinNodes int
+	// MaxRecovery bounds the time-to-return-within-SLO after an injected
+	// fault, in seconds (0 = recovery must merely happen inside the
+	// scenario horizon). Only read when candidates are verified against a
+	// fault timeline (VerifyScenarioCtx).
+	MaxRecovery float64
 }
 
 // Normalized fills zero fields with defaults.
@@ -43,6 +48,9 @@ func (s SLO) Validate() error {
 	}
 	if s.MinNodes < 0 {
 		return fmt.Errorf("plan: SLO minimum node count %d must be non-negative", s.MinNodes)
+	}
+	if s.MaxRecovery < 0 || math.IsInf(s.MaxRecovery, 0) || math.IsNaN(s.MaxRecovery) {
+		return fmt.Errorf("plan: SLO recovery budget %g must be non-negative and finite", s.MaxRecovery)
 	}
 	return nil
 }

@@ -36,7 +36,7 @@ func (p *PlanSpec) BuildSLO() (plan.SLO, error) {
 	if !(p.SLOUtil > 0) || p.SLOUtil > 1 {
 		return plan.SLO{}, fmt.Errorf("run: SLO utilisation cap %g must be in (0, 1]", p.SLOUtil)
 	}
-	slo := plan.SLO{MaxLatency: p.SLOLatencyMs * 1e-3, MaxUtil: p.SLOUtil, MinNodes: p.MinNodes}.Normalized()
+	slo := plan.SLO{MaxLatency: p.SLOLatencyMs * 1e-3, MaxUtil: p.SLOUtil, MinNodes: p.MinNodes, MaxRecovery: p.SLORecoveryS}.Normalized()
 	return slo, slo.Validate()
 }
 

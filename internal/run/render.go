@@ -115,10 +115,14 @@ func renderSimulate(w io.Writer, o *Outcome) error {
 				fmt.Sprintf("%d replication(s) too short to separate transient from steady state; raise -messages", res.TruncationSuspect)})
 		}
 	} else {
+		window := fmt.Sprintf("%d messages", s.Opts.MeasuredMessages)
+		if s.Scenario != nil {
+			window = fmt.Sprintf("%g s horizon", s.Scenario.Spec.HorizonS)
+		}
 		rows = [][2]string{
 			{"mean message latency", Ms(agg.MeanLatency)},
 			{"95% CI half-width", Ms(agg.CI95)},
-			{"replications", fmt.Sprintf("%d x %d messages", o.Spec.Run.Reps, s.Opts.MeasuredMessages)},
+			{"replications", fmt.Sprintf("%d x %s", o.Spec.Run.Reps, window)},
 		}
 	}
 	scv := s.Opts.Arrival.SCV()
@@ -132,6 +136,9 @@ func renderSimulate(w io.Writer, o *Outcome) error {
 		rows = append(rows, [2]string{"warning", "at least one replication hit the time limit"})
 	}
 	fmt.Fprint(w, report.Table("simulation", rows))
+	if s.Scenario != nil {
+		renderScenario(w, s.Scenario)
+	}
 
 	if o.Spec.Simulate.Verbose {
 		fmt.Fprintln(w, "per-centre statistics (replication 1):")
@@ -199,6 +206,9 @@ func renderNetsim(w io.Writer, o *Outcome) error {
 		rows = append(rows, [2]string{"warning", "run hit the time limit"})
 	}
 	fmt.Fprint(w, report.Table("switch-level simulation", rows))
+	if n.Scenario != nil {
+		renderScenario(w, n.Scenario)
+	}
 
 	abstraction := "unstable at this throughput"
 	if !n.ModelUnstable {
@@ -375,6 +385,40 @@ func renderFutureWork(w io.Writer, f *FutureData) {
 	fmt.Fprintln(w)
 }
 
+// renderScenario writes a dynamic run's transient block: the time-sliced
+// across-replication series, the failure-policy counters, and the
+// recovery metric.
+func renderScenario(w io.Writer, sc *ScenarioOutcome) {
+	s := sc.Series
+	fmt.Fprintf(w, "### transient analysis (%d slices of %g s, %.0f%% CI)\n",
+		len(s.Slices), s.Width, s.Confidence*100)
+	fmt.Fprintln(w, "| t0 (s) | t1 (s) | mean (ms) | ± CI (ms) | samples |")
+	fmt.Fprintln(w, "|---:|---:|---:|---:|---:|")
+	for _, sl := range s.Slices {
+		mean, hw := "-", "-"
+		if sl.Count > 0 {
+			mean = fmt.Sprintf("%.3f", sl.Mean*1e3)
+			if sl.Reps >= 2 {
+				hw = fmt.Sprintf("%.3f", sl.HalfWidth*1e3)
+			}
+		}
+		fmt.Fprintf(w, "| %.6g | %.6g | %s | %s | %d |\n", sl.T0, sl.T1, mean, hw, sl.Count)
+	}
+	fmt.Fprintf(w, "failure policies: %d message(s) dropped, %d rerouted\n", sc.Dropped, sc.Rerouted)
+	fmt.Fprintf(w, "recovery (time to return within SLO after first fault): %s\n\n", recoveryString(sc.RecoveryS))
+}
+
+// recoveryString spells the recovery metric's two sentinel values.
+func recoveryString(r float64) string {
+	switch {
+	case math.IsNaN(r):
+		return "n/a (no fault injected or no SLO set)"
+	case math.IsInf(r, 1):
+		return "never (still outside the SLO at the horizon)"
+	}
+	return Ms(r)
+}
+
 func renderSweep(w io.Writer, o *Outcome) error {
 	s := o.Sweep
 	rows := make([]string, len(s.Labels))
@@ -417,6 +461,16 @@ func renderSweep(w io.Writer, o *Outcome) error {
 		fmt.Fprintf(w, "adaptive stopping: target ±%.2g%% at %.0f%% confidence, max %d replications; (!) marks points that hit the cap\n",
 			s.Prec.RelWidth*100, conf, s.Prec.MaxReps)
 	}
+	if s.Scenario != nil && !s.Fast {
+		fmt.Fprintf(w, "\ndynamic scenario (%g s horizon): recovery after the first fault per point\n", s.Scenario.HorizonS)
+		fmt.Fprintln(w, "| value | recovery | dropped | rerouted |")
+		fmt.Fprintln(w, "|---:|---:|---:|---:|")
+		for i, label := range s.Labels {
+			if d := s.Results[i].Dynamic; d != nil {
+				fmt.Fprintf(w, "| %s | %s | %d | %d |\n", label, recoveryString(d.RecoveryS), d.Dropped, d.Rerouted)
+			}
+		}
+	}
 	return nil
 }
 
@@ -443,6 +497,18 @@ func renderPlan(w io.Writer, o *Outcome) error {
 		if len(p.Verified) > 0 {
 			fmt.Fprintf(w, "\nverification: adaptive stopping to ±%.2g%% at %.0f%% confidence, max %d replications; gap = (predicted − simulated)/simulated\n",
 				p.Prec.RelWidth*100, p.Prec.Confidence*100, p.Prec.MaxReps)
+		}
+		if len(p.Verified) > 0 && p.Verified[0].ScenarioChecked {
+			budget := "inside the horizon"
+			if p.SLO.MaxRecovery > 0 {
+				budget = fmt.Sprintf("<= %g s", p.SLO.MaxRecovery)
+			}
+			fmt.Fprintf(w, "\nscenario check (recovery budget %s):\n", budget)
+			fmt.Fprintln(w, "| candidate | recovery | ok |")
+			fmt.Fprintln(w, "|---|---:|---:|")
+			for _, v := range p.Verified {
+				fmt.Fprintf(w, "| %s | %s | %v |\n", v.Label(), recoveryString(v.Recovery), v.RecoveryOK)
+			}
 		}
 	case "csv":
 		fmt.Fprint(w, report.PlanCSV(p.Frontier, p.Verified))

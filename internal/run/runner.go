@@ -15,6 +15,7 @@ import (
 	"hmscs/internal/plan"
 	"hmscs/internal/progress"
 	"hmscs/internal/queueing"
+	"hmscs/internal/scenario"
 	"hmscs/internal/sim"
 	"hmscs/internal/sweep"
 	"hmscs/internal/trace"
@@ -88,6 +89,8 @@ type SimulateOutcome struct {
 	// names the variant used.
 	Analytic   *analytic.Result
 	ModelLabel string
+	// Scenario is the transient analysis of a dynamic run (nil otherwise).
+	Scenario *ScenarioOutcome
 }
 
 // NetOutcome is the netsim kind's result.
@@ -105,6 +108,8 @@ type NetOutcome struct {
 	ModelServiceTime float64
 	ModelSojourn     float64
 	ModelUnstable    bool
+	// Scenario is the transient analysis of a dynamic run (nil otherwise).
+	Scenario *ScenarioOutcome
 }
 
 // SweepOutcome is the sweep kind's result.
@@ -114,6 +119,9 @@ type SweepOutcome struct {
 	Results []sweep.PointResult
 	Prec    *output.Precision
 	Fast    bool
+	// Scenario is the normalized timeline of a dynamic sweep (the
+	// per-point transient results ride in Results[i].Dynamic).
+	Scenario *scenario.Spec
 }
 
 // PlanOutcome is the plan kind's result.
@@ -312,14 +320,39 @@ func runSimulate(ctx context.Context, e *Experiment, opts Options, em *emitter) 
 		return nil, err
 	}
 	out := &SimulateOutcome{Cfg: cfg, Opts: simOpts, Prec: prec}
-	if prec != nil {
+	switch {
+	case prec != nil:
 		res, err := sim.RunPrecisionUnitsCtx(ctx, []sim.PrecisionUnit{{Cfg: cfg, Opts: simOpts}}, *prec, opts.Parallelism, em.fn())
 		if err != nil {
 			return nil, err
 		}
 		out.PrecRes = res[0]
 		out.Agg = res[0].Replicated
-	} else {
+	case e.Scenario != nil:
+		// Dynamic run: compile the timeline against this configuration,
+		// keep the per-replication sample series, and fold them into the
+		// transient estimator in replication order.
+		cs, err := scenario.CompileSim(e.Scenario, cfg)
+		if err != nil {
+			return nil, err
+		}
+		simOpts.Scenario = cs
+		simOpts.RecordSample = true
+		out.Opts = simOpts
+		results, err := sim.RunReplicationResultsCtx(ctx, cfg, simOpts, e.Run.Reps, opts.Parallelism, em.fn())
+		if err != nil {
+			return nil, err
+		}
+		out.Agg = sim.AggregateResults(results)
+		sr, err := newScenarioRun(e.Scenario, cs.Horizon, cs.Slice, cs.FaultAt, cs.SLO, e.Precision.Confidence)
+		if err != nil {
+			return nil, err
+		}
+		for _, r := range results {
+			sr.add(r.SampleTimes, r.Sample, r.Dropped, r.Rerouted)
+		}
+		out.Scenario = sr.outcome()
+	default:
 		agg, err := sim.RunReplicationsCtx(ctx, cfg, simOpts, e.Run.Reps, opts.Parallelism, em.fn())
 		if err != nil {
 			return nil, err
@@ -350,10 +383,12 @@ func runSimulate(ctx context.Context, e *Experiment, opts Options, em *emitter) 
 			}
 		}
 	}
-	if !e.Simulate.NoCompare {
+	if !e.Simulate.NoCompare && e.Scenario == nil {
 		// With a finite non-Poisson interarrival SCV the model side applies
 		// the Allen–Cunneen G/G/1 correction, so the reported error isolates
 		// what the correction misses rather than the whole burstiness gap.
+		// Dynamic runs skip the comparison: the stationary fixed point does
+		// not describe a horizon with injected faults and rate ramps.
 		scv := simOpts.Arrival.SCV()
 		out.ModelLabel = "analytical latency"
 		if analytic.UsesArrivalCorrection(scv) {
@@ -392,6 +427,52 @@ func runNetsim(ctx context.Context, e *Experiment, em *emitter) (*NetOutcome, er
 				Mean: est.Mean, RelWidth: est.RelHalfWidth(),
 			})
 		}
+	} else if e.Scenario != nil {
+		// Dynamic run: compile the timeline against the built topology
+		// (the counts are seed-independent, so any replication's build
+		// resolves targets identically) and run fixed replications over
+		// the scenario horizon, folding their sample series in
+		// replication order.
+		if net, err = exp.Build(exp.Opts.Seed); err != nil {
+			return nil, err
+		}
+		cn, err := scenario.CompileNet(e.Scenario, net.Topo())
+		if err != nil {
+			return nil, err
+		}
+		o := exp.Opts
+		o.Scenario = cn
+		o.RecordSample = true
+		sr, err := newScenarioRun(e.Scenario, cn.Horizon, cn.Slice, cn.FaultAt, cn.SLO, e.Precision.Confidence)
+		if err != nil {
+			return nil, err
+		}
+		for rep := 0; rep < e.Run.Reps; rep++ {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+			seed := sim.ReplicationSeed(exp.Opts.Seed, rep)
+			n, err := exp.Build(seed)
+			if err != nil {
+				return nil, err
+			}
+			ro := o
+			ro.Seed = seed
+			r, err := n.Run(ro)
+			if err != nil {
+				return nil, err
+			}
+			sr.add(r.SampleTimes, r.Sample, r.Dropped, 0)
+			if rep == 0 {
+				// Replication 1 supplies the topology-level metrics
+				// (utilisation, hop counts), like verbose mode elsewhere.
+				net, out.Res = n, r
+			}
+			if prog := em.fn(); prog != nil {
+				prog(progress.Event{Kind: progress.UnitFinished, Units: 1, Rep: rep})
+			}
+		}
+		out.Scenario = sr.outcome()
 	} else {
 		if net, err = exp.Build(exp.Opts.Seed); err != nil {
 			return nil, err
@@ -494,17 +575,19 @@ func runSweep(ctx context.Context, e *Experiment, opts Options, em *emitter) (*S
 		Parallelism:    opts.Parallelism,
 		Precision:      prec,
 		Progress:       em.fn(),
+		Scenario:       e.Scenario,
 	}
 	results, err := sweep.RunPointsCtx(ctx, points, sweepOpts)
 	if err != nil {
 		return nil, err
 	}
 	return &SweepOutcome{
-		Var:     e.Sweep.Var,
-		Labels:  labels,
-		Results: results,
-		Prec:    prec,
-		Fast:    e.Sweep.Fast,
+		Var:      e.Sweep.Var,
+		Labels:   labels,
+		Results:  results,
+		Prec:     prec,
+		Fast:     e.Sweep.Fast,
+		Scenario: e.Scenario,
 	}, nil
 }
 
@@ -671,6 +754,15 @@ func runPlan(ctx context.Context, e *Experiment, opts Options, em *emitter) (*Pl
 		out.Verified, err = plan.VerifyTopKCtx(ctx, frontier, p.Top, slo, simOpts, *prec, opts.Parallelism, em.fn())
 		if err != nil {
 			return nil, err
+		}
+		if e.Scenario != nil {
+			// Dynamic check: every verified candidate additionally rides
+			// out the fault timeline, and its recovery time is judged
+			// against the SLO's recovery budget.
+			err = plan.VerifyScenarioCtx(ctx, out.Verified, e.Scenario, slo, simOpts, e.Run.Reps, opts.Parallelism, em.fn())
+			if err != nil {
+				return nil, err
+			}
 		}
 	}
 	if p.EmitConfigs != "" {

@@ -1,0 +1,183 @@
+package run
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+
+	"hmscs/internal/scenario"
+)
+
+// fullScenario exercises every section of the scenario schema.
+func fullScenario() *scenario.Spec {
+	return &scenario.Spec{
+		HorizonS:     0.5,
+		SliceS:       0.05,
+		SLOLatencyMS: 2,
+		InitialDown:  []string{"cluster:3"},
+		Events: []scenario.Event{
+			{TS: 0.3, Action: "repair", Target: "cluster:largest"},
+			{TS: 0.1, Action: "fail", Target: "cluster:largest", Policy: "drop"},
+			{TS: 0.2, Action: "repair", Target: "cluster:3"},
+			{TS: 0.4, Action: "fail", Target: "icn1:0", Policy: "reroute"},
+		},
+		Profile: &scenario.ProfileSpec{Kind: "flash", PeakFactor: 3, StartS: 0.1, RampS: 0.05, HoldS: 0.1},
+	}
+}
+
+// TestScenarioSpecRoundTrip pins the property behind the golden-spec
+// suite: a normalized experiment with a scenario section survives
+// Marshal∘Parse unchanged — events sorted, defaults filled — and the
+// marshalled form is a fixed point of the round trip.
+func TestScenarioSpecRoundTrip(t *testing.T) {
+	e := NewExperiment(KindSimulate)
+	e.Precision = nil
+	e.Scenario = fullScenario()
+	e.Normalize()
+	if err := e.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	data, err := e.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := Parse(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(back.Scenario, e.Scenario) {
+		t.Fatalf("scenario did not survive the round trip:\n%+v\nvs\n%+v", back.Scenario, e.Scenario)
+	}
+	for i := 1; i < len(back.Scenario.Events); i++ {
+		if back.Scenario.Events[i-1].TS >= back.Scenario.Events[i].TS {
+			t.Fatalf("events not sorted after Normalize: %+v", back.Scenario.Events)
+		}
+	}
+	again, err := back.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(data, again) {
+		t.Fatalf("Marshal∘Parse is not the identity:\n%s\nvs\n%s", data, again)
+	}
+}
+
+// TestScenarioSpecRejections pins the pointed errors a hand-written
+// timeline can hit: overlapping fail intervals, events outside the
+// horizon, shared timestamps, repairs of healthy elements, and the
+// experiment-level composition rules.
+func TestScenarioSpecRejections(t *testing.T) {
+	mk := func(mod func(e *Experiment)) *Experiment {
+		e := NewExperiment(KindSimulate)
+		e.Precision = nil
+		e.Scenario = &scenario.Spec{HorizonS: 0.5, Events: []scenario.Event{
+			{TS: 0.1, Action: "fail", Target: "cluster:0", Policy: "drop"},
+			{TS: 0.3, Action: "repair", Target: "cluster:0"},
+		}}
+		if mod != nil {
+			mod(e)
+		}
+		e.Normalize()
+		return e
+	}
+	cases := []struct {
+		name string
+		mod  func(e *Experiment)
+		want string
+	}{
+		{"overlapping-fail", func(e *Experiment) {
+			e.Scenario.Events = append(e.Scenario.Events,
+				scenario.Event{TS: 0.2, Action: "fail", Target: "cluster:0", Policy: "drop"})
+		}, "overlaps the fail at t=0.1s"},
+		{"out-of-horizon", func(e *Experiment) {
+			e.Scenario.Events[1].TS = 0.6
+		}, "outside the horizon (0, 0.5]"},
+		{"at-zero", func(e *Experiment) {
+			e.Scenario.Events[0].TS = 0
+		}, "outside the horizon"},
+		{"shared-timestamp", func(e *Experiment) {
+			e.Scenario.Events = append(e.Scenario.Events,
+				scenario.Event{TS: 0.1, Action: "fail", Target: "node:0"})
+		}, "share t_s=0.1"},
+		{"repair-of-healthy", func(e *Experiment) {
+			e.Scenario.Events = e.Scenario.Events[1:]
+		}, "not failed then"},
+		{"unknown-target", func(e *Experiment) {
+			e.Scenario.Events[0].Target = "rack:0"
+		}, "unknown target"},
+		{"reroute-off-icn1", func(e *Experiment) {
+			e.Scenario.Events[0].Policy = "reroute"
+		}, "only icn1:<c> targets"},
+		{"repair-with-policy", func(e *Experiment) {
+			e.Scenario.Events[1].Policy = "drop"
+		}, "takes no policy"},
+		{"initial-down-twice", func(e *Experiment) {
+			e.Scenario.InitialDown = []string{"node:1", "node:1"}
+		}, "listed twice"},
+		{"precision-conflict", func(e *Experiment) {
+			e.Precision = NewExperiment(KindSimulate).Precision
+			e.Precision.RelWidth = 0.05
+		}, "mutually exclusive"},
+		{"analyze-with-scenario", func(e *Experiment) {
+			e.Kind = KindAnalyze
+		}, "cannot take a scenario timeline"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := mk(tc.mod).Validate()
+			if err == nil || !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("want error containing %q, got %v", tc.want, err)
+			}
+		})
+	}
+	if err := mk(nil).Validate(); err != nil {
+		t.Fatalf("baseline timeline must validate: %v", err)
+	}
+}
+
+// FuzzScenarioSpecParse fuzzes the strict JSON gate of the scenario
+// section: whatever parses and validates must marshal to a fixed point
+// of Marshal∘Parse — the invariant the spec-hash cache rests on.
+func FuzzScenarioSpecParse(f *testing.F) {
+	e := NewExperiment(KindSimulate)
+	e.Precision = nil
+	e.Scenario = fullScenario()
+	e.Normalize()
+	seed, err := e.Marshal()
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(string(seed))
+	f.Add(`{"v":1,"kind":"simulate","scenario":{"horizon_s":1}}`)
+	f.Add(`{"v":1,"kind":"simulate","scenario":{"horizon_s":1,"events":[{"t_s":2,"action":"fail","target":"icn2"}]}}`)
+	f.Add(`{"v":1,"kind":"simulate","scenario":{"horizon_s":-1}}`)
+	f.Add(`{"v":1,"kind":"simulate","scenario":{"horizon_s":1e999}}`)
+	f.Add(`{"v":1,"kind":"simulate","scenario":{"horizon_s":1,"profile":{"kind":"diurnal","period_s":0.5,"amplitude":0.3}}}`)
+	f.Fuzz(func(t *testing.T, in string) {
+		e, err := Parse([]byte(in))
+		if err != nil {
+			return
+		}
+		e.Normalize()
+		if err := e.Validate(); err != nil {
+			return
+		}
+		data, err := e.Marshal()
+		if err != nil {
+			t.Fatalf("valid spec failed to marshal: %v", err)
+		}
+		back, err := Parse(data)
+		if err != nil {
+			t.Fatalf("marshalled spec failed to parse: %v\n%s", err, data)
+		}
+		back.Normalize()
+		again, err := back.Marshal()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(data, again) {
+			t.Fatalf("Marshal∘Parse is not a fixed point:\n%s\nvs\n%s", data, again)
+		}
+	})
+}

@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"math"
 
 	"hmscs/internal/progress"
 	"hmscs/internal/report"
@@ -59,14 +60,26 @@ func (s *csvSink) Result(o *Outcome) error {
 		return err
 	case KindSweep:
 		sw := o.Sweep
-		if _, err := fmt.Fprintf(s.w, "var,value,analytic_ms,simulated_ms,ci_ms,reps,ess\n"); err != nil {
+		header := "var,value,analytic_ms,simulated_ms,ci_ms,reps,ess"
+		if sw.Scenario != nil {
+			header += ",recovery_s,dropped,rerouted"
+		}
+		if _, err := fmt.Fprintf(s.w, "%s\n", header); err != nil {
 			return err
 		}
 		for i, label := range sw.Labels {
 			r := sw.Results[i]
-			if _, err := fmt.Fprintf(s.w, "%s,%s,%.6f,%.6f,%.6f,%d,%.1f\n",
+			line := fmt.Sprintf("%s,%s,%.6f,%.6f,%.6f,%d,%.1f",
 				sw.Var, label, r.Analytic*1e3, r.Simulated*1e3,
-				r.Stat.HalfWidth*1e3, r.Stat.Reps, r.Stat.ESS); err != nil {
+				r.Stat.HalfWidth*1e3, r.Stat.Reps, r.Stat.ESS)
+			if sw.Scenario != nil {
+				if d := r.Dynamic; d != nil {
+					line += fmt.Sprintf(",%v,%d,%d", recoveryValue(d.RecoveryS), d.Dropped, d.Rerouted)
+				} else {
+					line += ",-,0,0"
+				}
+			}
+			if _, err := fmt.Fprintf(s.w, "%s\n", line); err != nil {
 				return err
 			}
 		}
@@ -131,6 +144,15 @@ func (s *jsonlSink) Result(o *Outcome) error {
 func (o *Outcome) summaryRows() [][2]any {
 	var rows [][2]any
 	add := func(k string, v any) { rows = append(rows, [2]any{k, v}) }
+	addScenario := func(sc *ScenarioOutcome) {
+		if sc == nil {
+			return
+		}
+		add("recovery_s", recoveryValue(sc.RecoveryS))
+		add("dropped", sc.Dropped)
+		add("rerouted", sc.Rerouted)
+		add("transient_slices", len(sc.Series.Slices))
+	}
 	switch o.Kind {
 	case KindAnalyze:
 		a := o.Analyze
@@ -159,6 +181,7 @@ func (o *Outcome) summaryRows() [][2]any {
 		if s.Analytic != nil {
 			add("analytic_latency_s", s.Analytic.MeanLatency)
 		}
+		addScenario(s.Scenario)
 	case KindNetsim:
 		n := o.Net
 		if n.Est != nil {
@@ -170,17 +193,43 @@ func (o *Outcome) summaryRows() [][2]any {
 		add("throughput_msg_s", n.Res.Throughput)
 		add("mean_switch_hops", n.Res.SwitchHops.Mean())
 		add("contention_free_s", n.ContentionFree)
+		addScenario(n.Scenario)
 	case KindFigure:
 		add("figures", len(o.Figure.Nums))
 	case KindSweep:
 		add("var", o.Sweep.Var)
 		add("points", len(o.Sweep.Results))
+		if o.Sweep.Scenario != nil {
+			add("dynamic", true)
+		}
 	case KindPlan:
 		p := o.Plan
 		add("screened", p.Screened)
 		add("feasible", p.Feasible)
 		add("frontier", len(p.Frontier))
 		add("verified", len(p.Verified))
+		if len(p.Verified) > 0 && p.Verified[0].ScenarioChecked {
+			ok := 0
+			for _, v := range p.Verified {
+				if v.RecoveryOK {
+					ok++
+				}
+			}
+			add("recovery_ok", ok)
+		}
 	}
 	return rows
+}
+
+// recoveryValue is the JSON/CSV-safe form of a recovery time — JSON has
+// no NaN or Inf, so undefined recovery encodes as "undefined" and a
+// never-recovered horizon as "never".
+func recoveryValue(r float64) any {
+	switch {
+	case math.IsNaN(r):
+		return "undefined"
+	case math.IsInf(r, 1):
+		return "never"
+	}
+	return r
 }

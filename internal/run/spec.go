@@ -21,6 +21,7 @@ import (
 
 	"hmscs/internal/core"
 	"hmscs/internal/network"
+	"hmscs/internal/scenario"
 )
 
 // Kind selects what an Experiment does — one per former binary.
@@ -77,6 +78,12 @@ type Experiment struct {
 	// Precision, when RelWidth > 0, replaces fixed replications with the
 	// adaptive sequential stopping rule.
 	Precision *PrecisionSpec `json:"precision,omitempty"`
+	// Scenario, when present, turns the run dynamic: the simulators apply
+	// its fault/churn timeline and rate profile over a fixed horizon and
+	// the outcome carries a transient (time-sliced) analysis instead of
+	// the stationary message-count window. Read by simulate, netsim,
+	// sweep and plan experiments.
+	Scenario *scenario.Spec `json:"scenario,omitempty"`
 	// Analyze, Simulate, Net, Figure, Sweep and Plan carry the
 	// kind-specific options; only the section matching Kind is used.
 	Analyze  *AnalyzeSpec  `json:"analyze,omitempty"`
@@ -246,6 +253,10 @@ type PlanSpec struct {
 	SLOUtil float64 `json:"slo_util,omitempty"`
 	// MinNodes is the deployment-size requirement.
 	MinNodes int `json:"min_nodes,omitempty"`
+	// SLORecoveryS bounds the recovery time after an injected fault in
+	// seconds (0 = recovering inside the horizon suffices); read only
+	// when the experiment carries a scenario section.
+	SLORecoveryS float64 `json:"slo_recovery_s,omitempty"`
 	// NodeCost prices one processor; PortCosts overrides per-port prices
 	// as tech=cost pairs ("FE=0.02,GE=0.1").
 	NodeCost  float64 `json:"node_cost,omitempty"`
@@ -286,6 +297,7 @@ func (e *Experiment) Clone() *Experiment {
 		s := *e.Precision
 		c.Precision = &s
 	}
+	c.Scenario = e.Scenario.Clone()
 	if e.Analyze != nil {
 		s := *e.Analyze
 		c.Analyze = &s
@@ -377,6 +389,7 @@ func (e *Experiment) Normalize() {
 	if p.MaxReps == 0 {
 		p.MaxReps = 64
 	}
+	e.Scenario.Normalize()
 	switch e.Kind {
 	case KindAnalyze, KindSimulate, KindSweep, KindFigure:
 		if e.System == nil {
@@ -510,11 +523,24 @@ func (e *Experiment) Validate() error {
 	}
 	switch e.Kind {
 	case KindAnalyze, KindSimulate, KindNetsim, KindFigure, KindSweep, KindPlan:
-		return nil
 	case "":
 		return fmt.Errorf("run: spec is missing \"kind\" (one of %v)", Kinds())
+	default:
+		return fmt.Errorf("run: unknown experiment kind %q (one of %v)", e.Kind, Kinds())
 	}
-	return fmt.Errorf("run: unknown experiment kind %q (one of %v)", e.Kind, Kinds())
+	if e.Scenario != nil {
+		switch e.Kind {
+		case KindAnalyze, KindFigure:
+			return fmt.Errorf("run: a %s experiment cannot take a scenario timeline — dynamic runs need a simulator (use simulate, netsim, sweep or plan)", e.Kind)
+		}
+		if err := e.Scenario.Validate(); err != nil {
+			return err
+		}
+		if e.Kind != KindPlan && e.Precision != nil && e.Precision.RelWidth > 0 {
+			return fmt.Errorf("run: precision.rel_width and scenario are mutually exclusive for %s experiments: the sequential stopping rule assumes a stationary mean, which a fault timeline deliberately breaks (plan experiments combine them — precision drives the stationary verify, the scenario is an extra check)", e.Kind)
+		}
+	}
+	return nil
 }
 
 // Parse reads an experiment from its JSON form, rejecting unknown fields

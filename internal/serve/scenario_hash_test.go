@@ -1,0 +1,75 @@
+package serve_test
+
+import (
+	"testing"
+
+	"hmscs/internal/run"
+	"hmscs/internal/scenario"
+	"hmscs/internal/serve"
+)
+
+// TestSpecHashDistinguishesScenarios pins the cache-correctness property
+// of dynamic runs: the scenario timeline is part of the spec hash, so a
+// stationary run, a dynamic run, and dynamic runs with different
+// timelines all get distinct cache entries — while a semantically
+// identical timeline written in a different order (Normalize sorts
+// events) shares one.
+func TestSpecHashDistinguishesScenarios(t *testing.T) {
+	base := func() *run.Experiment {
+		e := run.NewExperiment(run.KindSimulate)
+		e.Precision = nil
+		e.Run.Messages = 400
+		return e
+	}
+	timeline := func(failAt float64, policy string) *scenario.Spec {
+		return &scenario.Spec{HorizonS: 0.5, Events: []scenario.Event{
+			{TS: failAt, Action: "fail", Target: "cluster:largest", Policy: policy},
+			{TS: 0.3, Action: "repair", Target: "cluster:largest"},
+		}}
+	}
+	hash := func(e *run.Experiment) string {
+		t.Helper()
+		h, err := serve.SpecHash(e)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return h
+	}
+
+	stationary := hash(base())
+	dyn := base()
+	dyn.Scenario = timeline(0.1, "drop")
+	dynHash := hash(dyn)
+	if dynHash == stationary {
+		t.Fatal("a scenario must change the spec hash")
+	}
+
+	// Different fault time, different policy, different profile: all
+	// distinct entries.
+	later := base()
+	later.Scenario = timeline(0.2, "drop")
+	requeue := base()
+	requeue.Scenario = timeline(0.1, "requeue")
+	profiled := base()
+	profiled.Scenario = timeline(0.1, "drop")
+	profiled.Scenario.Profile = &scenario.ProfileSpec{Kind: "flash", PeakFactor: 3, StartS: 0.1, RampS: 0.05, HoldS: 0.1}
+	seen := map[string]string{stationary: "stationary", dynHash: "dyn"}
+	for name, e := range map[string]*run.Experiment{"later": later, "requeue": requeue, "profiled": profiled} {
+		h := hash(e)
+		if prev, dup := seen[h]; dup {
+			t.Fatalf("%s and %s share a spec hash", name, prev)
+		}
+		seen[h] = name
+	}
+
+	// The same timeline with its events spelled in reverse order is the
+	// same experiment: Normalize sorts before hashing.
+	reversed := base()
+	reversed.Scenario = &scenario.Spec{HorizonS: 0.5, Events: []scenario.Event{
+		{TS: 0.3, Action: "repair", Target: "cluster:largest"},
+		{TS: 0.1, Action: "fail", Target: "cluster:largest", Policy: "drop"},
+	}}
+	if h := hash(reversed); h != dynHash {
+		t.Fatal("event order changed the spec hash; Normalize must sort before hashing")
+	}
+}

@@ -36,6 +36,16 @@ type Center struct {
 	queue     []pendingJob // FIFO via head index to avoid reallocating per message
 	head      int
 
+	// Dynamic-scenario state. A failed centre accepts submissions into its
+	// queue but serves nothing; dueAt is the scheduled completion time of
+	// the job in service and stale counts voided completion events still in
+	// the engine's future-event set (a failure cannot unschedule them, so
+	// TakeCompletion swallows them on arrival). All three stay at their
+	// zero values in stationary runs, which never call Fail.
+	failed bool
+	dueAt  float64
+	stale  int
+
 	qlen   stats.TimeWeighted // number in system (queue + in service)
 	busyTW stats.TimeWeighted // 0/1 busy signal
 	served int64
@@ -67,7 +77,7 @@ func (c *Center) Submit(serviceMean float64, msg int32) {
 	c.inSys++
 	c.qlen.Observe(c.eng.Now(), float64(c.inSys))
 	j := pendingJob{serviceMean: serviceMean, msg: msg}
-	if c.busy {
+	if c.busy || c.failed {
 		c.queue = append(c.queue, j)
 		return
 	}
@@ -79,6 +89,7 @@ func (c *Center) start(j pendingJob) {
 	c.busyTW.Observe(c.eng.Now(), 1)
 	c.inService = j
 	d := rng.SampleScaled(c.distTpl, c.stream, j.serviceMean)
+	c.dueAt = c.eng.Now() + d
 	c.eng.Schedule(d, c.doneKind, c.id)
 }
 
@@ -106,6 +117,87 @@ func (c *Center) CompleteService() int32 {
 	return done
 }
 
+// TakeCompletion reports whether the (doneKind, id) event that just
+// fired is a live completion. Scenario runs call it before
+// CompleteService: a failure cannot unschedule the in-flight completion
+// event of the job it interrupted, so that event still fires and must be
+// swallowed. An event is live exactly when the centre is up, busy, and
+// the clock matches the in-service job's due time; anything else
+// consumes one stale token. (When a voided event's timestamp collides
+// with a restarted job's due time, the voided event arrives first and
+// passes the liveness check — completing the job it is indistinguishable
+// from — and the job's own event then consumes the token. The net effect
+// is identical.) Stationary runs never fail centres and never call this.
+func (c *Center) TakeCompletion() bool {
+	if !c.failed && c.busy && c.eng.Now() == c.dueAt {
+		return true
+	}
+	if c.stale == 0 {
+		panic(fmt.Sprintf("sim: centre %s got a completion event with no job due and no stale token", c.Name))
+	}
+	c.stale--
+	return false
+}
+
+// Fail takes the centre out of service. The interrupted in-service job's
+// completion event becomes stale. With evict=true the in-service and
+// queued messages are removed and returned for the caller to apply the
+// event's policy (drop or reroute); with evict=false (requeue) they stay
+// queued — the interrupted job returns to the queue head and resumes
+// with a fresh service draw on repair. Submissions while failed simply
+// queue up behind it.
+func (c *Center) Fail(evict bool) []int32 {
+	if c.failed {
+		panic(fmt.Sprintf("sim: centre %s failed twice", c.Name))
+	}
+	c.failed = true
+	var out []int32
+	if c.busy {
+		c.stale++
+		c.busy = false
+		c.busyTW.Observe(c.eng.Now(), 0)
+		if evict {
+			out = append(out, c.inService.msg)
+		} else {
+			nq := make([]pendingJob, 0, len(c.queue)-c.head+1)
+			nq = append(nq, c.inService)
+			nq = append(nq, c.queue[c.head:]...)
+			c.queue, c.head = nq, 0
+		}
+	}
+	if evict {
+		for _, j := range c.queue[c.head:] {
+			out = append(out, j.msg)
+		}
+		c.queue = c.queue[:0]
+		c.head = 0
+		c.inSys = 0
+		c.qlen.Observe(c.eng.Now(), 0)
+	}
+	return out
+}
+
+// Repair returns the centre to service, starting the queue head (if any)
+// with a fresh service draw.
+func (c *Center) Repair() {
+	if !c.failed {
+		panic(fmt.Sprintf("sim: centre %s repaired while up", c.Name))
+	}
+	c.failed = false
+	if c.head < len(c.queue) {
+		next := c.queue[c.head]
+		c.head++
+		if c.head == len(c.queue) {
+			c.queue = c.queue[:0]
+			c.head = 0
+		}
+		c.start(next)
+	}
+}
+
+// Failed reports whether the centre is out of service.
+func (c *Center) Failed() bool { return c.failed }
+
 // Rebind moves the centre onto another engine: the sharded runtimes hand
 // pre-built centres to the shard that owns them. Both clocks must agree
 // (centres are rebound before any event executes).
@@ -123,6 +215,9 @@ type CenterState struct {
 	served    int64
 	inSys     int
 	stream    rng.Stream
+	failed    bool
+	dueAt     float64
+	stale     int
 }
 
 // SaveState copies the centre's mutable state into s. The pending
@@ -137,6 +232,9 @@ func (c *Center) SaveState(s *CenterState) {
 	s.served = c.served
 	s.inSys = c.inSys
 	s.stream = *c.stream
+	s.failed = c.failed
+	s.dueAt = c.dueAt
+	s.stale = c.stale
 }
 
 // RestoreState rewinds the centre to a state captured by SaveState.
@@ -150,6 +248,9 @@ func (c *Center) RestoreState(s *CenterState) {
 	c.served = s.served
 	c.inSys = s.inSys
 	*c.stream = s.stream
+	c.failed = s.failed
+	c.dueAt = s.dueAt
+	c.stale = s.stale
 }
 
 // QueueLength returns the current number of messages in the centre.

@@ -100,6 +100,19 @@ func RunReplicationsN(cfg *core.Config, opts Options, n, parallelism int) (*Repl
 // ctx.Err(); prog (optional, may be called from worker goroutines)
 // receives a UnitFinished event per completed replication.
 func RunReplicationsCtx(ctx context.Context, cfg *core.Config, opts Options, n, parallelism int, prog progress.Func) (*Replicated, error) {
+	results, err := RunReplicationResultsCtx(ctx, cfg, opts, n, parallelism, prog)
+	if err != nil {
+		return nil, err
+	}
+	return AggregateResults(results), nil
+}
+
+// RunReplicationResultsCtx is RunReplicationsCtx returning the raw
+// per-replication results (in replication order) instead of the
+// aggregate. Dynamic runs need them: the transient estimator consumes
+// each replication's (SampleTimes, Sample) series individually, which the
+// aggregate deliberately collapses.
+func RunReplicationResultsCtx(ctx context.Context, cfg *core.Config, opts Options, n, parallelism int, prog progress.Func) ([]*Result, error) {
 	if n < 1 {
 		return nil, fmt.Errorf("sim: need at least 1 replication, got %d", n)
 	}
@@ -122,5 +135,5 @@ func RunReplicationsCtx(ctx context.Context, cfg *core.Config, opts Options, n, 
 	if err != nil {
 		return nil, err
 	}
-	return AggregateResults(results), nil
+	return results, nil
 }

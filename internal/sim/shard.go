@@ -7,6 +7,7 @@ import (
 
 	"hmscs/internal/core"
 	"hmscs/internal/rng"
+	"hmscs/internal/scenario"
 	"hmscs/internal/workload"
 )
 
@@ -84,6 +85,19 @@ type shardSnap struct {
 	msgs      []message
 	free      []int32
 	generated int64
+
+	// Scenario state (allocated only for dynamic runs): the shard's slice
+	// of the coordinator's per-processor arrays, the retained policy of
+	// each owned centre, and the shard-local drop/reroute counters. All of
+	// it mutates during a window, so all of it rewinds with the window.
+	nodeDown []bool
+	thinking []bool
+	blocked  []bool
+	genDue   []float64
+	genStale []int32
+	policy   []scenario.Policy
+	dropped  int64
+	rerouted int64
 }
 
 // simShard is one shard of a sharded simulation. It implements Handler
@@ -105,6 +119,11 @@ type simShard struct {
 	msgs      []message
 	free      []int32
 	generated int64
+
+	// dropped and rerouted count this shard's scenario-policy victims;
+	// finish() sums them into the Result.
+	dropped  int64
+	rerouted int64
 
 	stateful bool // any owned arrival source carries per-draw state
 
@@ -149,6 +168,18 @@ type shardedSim struct {
 	measureStart float64
 	completed    int64
 
+	// Dynamic-scenario state, mirroring Simulator's: global per-processor
+	// and per-centre arrays that each shard touches only on its own range
+	// (so shards never race), snapshot and restored slice-wise by the
+	// owning shard at window boundaries.
+	scn        *scenario.CompiledSim
+	nodeDown   []bool
+	thinking   []bool
+	blocked    []bool
+	genDue     []float64
+	genStale   []int32
+	failPolicy []scenario.Policy
+
 	cand [][]xfer // merge scratch, one buffer per receiving shard
 	sel  []bool
 	idx  []int // replay cursor per shard
@@ -176,6 +207,12 @@ func runSharded(cfg *core.Config, opts Options) (*Result, error) {
 func newSharded(cfg *core.Config, opts Options) (*shardedSim, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
+	}
+	if opts.Scenario != nil {
+		// Mirror New: a dynamic run covers exactly the scenario horizon.
+		opts.MaxSimTime = opts.Scenario.Horizon
+		opts.WarmupMessages = 0
+		opts.MeasuredMessages = math.MaxInt32
 	}
 	def := DefaultOptions()
 	if opts.MeasuredMessages <= 0 {
@@ -251,6 +288,20 @@ func newSharded(cfg *core.Config, opts Options) (*shardedSim, error) {
 		o.procShard[p] = o.clusterShard[cl]
 	}
 	o.sources = o.gen.Sources(rates)
+	if o.scn = opts.Scenario; o.scn != nil {
+		o.nodeDown = make([]bool, n)
+		o.thinking = make([]bool, n)
+		o.blocked = make([]bool, n)
+		o.genDue = make([]float64, n)
+		o.genStale = make([]int32, n)
+		o.failPolicy = make([]scenario.Policy, len(o.centers))
+		for _, p := range o.scn.InitialDownNodes {
+			o.nodeDown[p] = true
+		}
+		for _, cid := range o.scn.InitialDownCenters {
+			o.centers[cid].Fail(false)
+		}
+	}
 
 	// Window width: the ICN2 mean service time at the nominal message
 	// size. Any positive width is correct (the fixed point does not
@@ -297,6 +348,14 @@ func newSharded(cfg *core.Config, opts Options) (*shardedSim, error) {
 		if sh.stateful {
 			sh.snap.sources = make([]workload.Source, np)
 		}
+		if o.scn != nil {
+			sh.snap.nodeDown = make([]bool, np)
+			sh.snap.thinking = make([]bool, np)
+			sh.snap.blocked = make([]bool, np)
+			sh.snap.genDue = make([]float64, np)
+			sh.snap.genStale = make([]int32, np)
+			sh.snap.policy = make([]scenario.Policy, len(sh.owned))
+		}
 	}
 	o.cand = make([][]xfer, s)
 	o.sel = make([]bool, s)
@@ -314,7 +373,23 @@ func (o *shardedSim) run() (*Result, error) {
 		}
 		o.res.Sample = make([]float64, 0, sampleCap)
 	}
+	// Scenario events enter each owning shard's event set before any
+	// traffic is armed, exactly like the sequential setup, so same-time
+	// ties resolve timeline-first on every shard.
+	if o.scn != nil {
+		for i := range o.scn.Events {
+			ev := &o.scn.Events[i]
+			for s := range o.shards {
+				if o.ownsEvent(s, ev) {
+					o.shards[s].eng.ScheduleAt(ev.T, evScenario, int32(i))
+				}
+			}
+		}
+	}
 	for p := 0; p < o.lay.TotalNodes(); p++ {
+		if o.scn != nil && o.nodeDown[p] {
+			continue
+		}
 		o.shards[o.procShard[p]].scheduleGeneration(p)
 	}
 	maxT := o.opts.MaxSimTime
@@ -358,6 +433,38 @@ func (o *shardedSim) nextEventTime() float64 {
 		}
 	}
 	return t
+}
+
+// centerShard returns the shard owning centre id cid (the shard of its
+// cluster; ICN2 lives on shard 0).
+func (o *shardedSim) centerShard(cid int32) int {
+	c := int32(len(o.icn1))
+	switch {
+	case cid < c:
+		return int(o.clusterShard[cid])
+	case cid < 2*c:
+		return int(o.clusterShard[cid-c])
+	default:
+		return 0
+	}
+}
+
+// ownsEvent reports whether shard s owns any element of the compiled
+// event: each owning shard schedules the event and applies its own
+// subset, so an event spanning shards stays consistent without any
+// cross-shard coordination at event time.
+func (o *shardedSim) ownsEvent(s int, ev *scenario.SimEvent) bool {
+	for _, p := range ev.Nodes {
+		if int(o.procShard[p]) == s {
+			return true
+		}
+	}
+	for _, cid := range ev.Centers {
+		if o.centerShard(cid) == s {
+			return true
+		}
+	}
+	return false
 }
 
 // runOneWindow advances every shard to the horizon and iterates to the
@@ -435,6 +542,9 @@ func (o *shardedSim) commit() bool {
 			o.res.Latency.Add(lat)
 			if o.opts.RecordSample {
 				o.res.Sample = append(o.res.Sample, lat)
+				if o.scn != nil {
+					o.res.SampleTimes = append(o.res.SampleTimes, d.at)
+				}
 			}
 			o.res.Measured++
 			if o.res.Measured == target {
@@ -465,7 +575,7 @@ func (o *shardedSim) cut(tStop float64) {
 
 // finish assembles the Result exactly as the sequential Run does.
 func (o *shardedSim) finish() *Result {
-	if o.res.Measured < int64(o.opts.MeasuredMessages) {
+	if o.scn == nil && o.res.Measured < int64(o.opts.MeasuredMessages) {
 		o.res.TimedOut = true
 	}
 	if o.res.TimedOut && len(o.res.Sample) < cap(o.res.Sample)/2 {
@@ -479,6 +589,8 @@ func (o *shardedSim) finish() *Result {
 	}
 	for _, sh := range o.shards {
 		o.res.Generated += sh.generated
+		o.res.Dropped += sh.dropped
+		o.res.Rerouted += sh.rerouted
 	}
 	for _, c := range o.centers {
 		c.Flush()
@@ -555,6 +667,18 @@ func (sh *simShard) save() {
 	sh.snap.msgs = append(sh.snap.msgs[:0], sh.msgs...)
 	sh.snap.free = append(sh.snap.free[:0], sh.free...)
 	sh.snap.generated = sh.generated
+	if o.scn != nil {
+		copy(sh.snap.nodeDown, o.nodeDown[sh.procLo:sh.procHi])
+		copy(sh.snap.thinking, o.thinking[sh.procLo:sh.procHi])
+		copy(sh.snap.blocked, o.blocked[sh.procLo:sh.procHi])
+		copy(sh.snap.genDue, o.genDue[sh.procLo:sh.procHi])
+		copy(sh.snap.genStale, o.genStale[sh.procLo:sh.procHi])
+		for i, c := range sh.owned {
+			sh.snap.policy[i] = o.failPolicy[c.ID()]
+		}
+		sh.snap.dropped = sh.dropped
+		sh.snap.rerouted = sh.rerouted
+	}
 }
 
 // restore rewinds the shard to the last save.
@@ -576,6 +700,18 @@ func (sh *simShard) restore() {
 	sh.msgs = append(sh.msgs[:0], sh.snap.msgs...)
 	sh.free = append(sh.free[:0], sh.snap.free...)
 	sh.generated = sh.snap.generated
+	if o.scn != nil {
+		copy(o.nodeDown[sh.procLo:sh.procHi], sh.snap.nodeDown)
+		copy(o.thinking[sh.procLo:sh.procHi], sh.snap.thinking)
+		copy(o.blocked[sh.procLo:sh.procHi], sh.snap.blocked)
+		copy(o.genDue[sh.procLo:sh.procHi], sh.snap.genDue)
+		copy(o.genStale[sh.procLo:sh.procHi], sh.snap.genStale)
+		for i, c := range sh.owned {
+			o.failPolicy[c.ID()] = sh.snap.policy[i]
+		}
+		sh.dropped = sh.snap.dropped
+		sh.rerouted = sh.snap.rerouted
+	}
 }
 
 // Handle implements Handler: this shard's engine dispatch. It mirrors
@@ -586,9 +722,14 @@ func (sh *simShard) Handle(kind EventKind, idx int32) {
 		sh.generate(int(idx))
 	case evCenterDone:
 		c := sh.o.centers[idx]
+		if sh.o.scn != nil && !c.TakeCompletion() {
+			return // voided by a failure
+		}
 		sh.advance(c, c.CompleteService())
 	case evXferIn:
 		sh.applyXfer(sh.inbox[idx])
+	case evScenario:
+		sh.applyScenario(int(idx))
 	default:
 		panic(fmt.Sprintf("sim: unknown event kind %d", kind))
 	}
@@ -613,13 +754,29 @@ func (sh *simShard) emit(dst int32, kind xferKind, m message) {
 
 func (sh *simShard) scheduleGeneration(p int) {
 	o := sh.o
-	sh.eng.Schedule(o.sources[p].Next(o.procStreams[p]), evGenerate, int32(p))
+	gap := o.sources[p].Next(o.procStreams[p])
+	if o.scn != nil {
+		gap = o.scn.Profile.Stretch(sh.eng.Now(), gap)
+		o.thinking[p] = true
+		o.genDue[p] = sh.eng.Now() + gap
+	}
+	sh.eng.Schedule(gap, evGenerate, int32(p))
 }
 
 // generate mirrors Simulator.generate. The message id is a shard-local
 // count: it feeds only the (sequential-only) tracer, never results.
 func (sh *simShard) generate(p int) {
 	o := sh.o
+	if o.scn != nil {
+		if !o.thinking[p] || sh.eng.Now() != o.genDue[p] {
+			if o.genStale[p] == 0 {
+				panic(fmt.Sprintf("sim: processor %d got a generation event with no arrival due and no stale token", p))
+			}
+			o.genStale[p]--
+			return
+		}
+		o.thinking[p] = false
+	}
 	sh.generated++
 	st := o.procStreams[p]
 	dest := o.gen.Pattern.Dest(st, o.lay, p)
@@ -638,10 +795,18 @@ func (sh *simShard) generate(p int) {
 	}
 	if o.opts.OpenLoop {
 		sh.scheduleGeneration(p)
+	} else if o.scn != nil {
+		o.blocked[p] = true
 	}
 	// Both first hops (ICN1 and ECN1 of the source cluster) are owned by
 	// this shard, so generation never crosses shards.
 	if m.srcCl == m.dstCl {
+		if o.scn != nil && o.failPolicy[m.srcCl] == scenario.PolicyReroute {
+			m.viaRemote = true
+			sh.rerouted++
+			o.ecn1[m.srcCl].Submit(o.svcECN1[m.srcCl].mean(size), mi)
+			return
+		}
 		o.icn1[m.srcCl].Submit(o.svcICN1[m.srcCl].mean(size), mi)
 		return
 	}
@@ -654,7 +819,7 @@ func (sh *simShard) generate(p int) {
 func (sh *simShard) advance(c *Center, mi int32) {
 	o := sh.o
 	m := &sh.msgs[mi]
-	if m.srcCl == m.dstCl {
+	if m.srcCl == m.dstCl && !m.viaRemote {
 		sh.complete(mi)
 		return
 	}
@@ -692,11 +857,25 @@ func (sh *simShard) complete(mi int32) {
 	sh.log = append(sh.log, delivery{at: sh.eng.Now(), born: born})
 	if !o.opts.OpenLoop {
 		if srcSh := o.procShard[src]; int(srcSh) == sh.id {
-			sh.scheduleGeneration(int(src))
+			sh.release(int(src))
 		} else {
 			sh.emit(srcSh, xfDeliver, message{src: src})
 		}
 	}
+}
+
+// release unblocks a closed-loop source on this shard after its in-flight
+// message delivered (or was dropped); a node that died in flight re-arms
+// at repair instead.
+func (sh *simShard) release(p int) {
+	o := sh.o
+	if o.scn != nil {
+		o.blocked[p] = false
+		if o.nodeDown[p] {
+			return
+		}
+	}
+	sh.scheduleGeneration(p)
 }
 
 // applyXfer consumes one injected hand-off at its stamped time.
@@ -712,8 +891,110 @@ func (sh *simShard) applyXfer(x xfer) {
 		sh.msgs[mi] = x.m
 		o.ecn1[x.m.dstCl].Submit(o.svcECN1[x.m.dstCl].mean(int(x.m.size)), mi)
 	case xfDeliver:
-		sh.scheduleGeneration(int(x.m.src))
+		sh.release(int(x.m.src))
 	default:
 		panic(fmt.Sprintf("sim: unknown hand-off kind %d", x.kind))
 	}
+}
+
+// ---- scenario application (sharded) ----
+//
+// These mirror Simulator.applyScenario and its helpers; each owning shard
+// applies only the elements it owns, in the same fixed intra-event order,
+// so the union across shards equals the sequential application. Validate
+// rejects same-timestamp events, so a cross-shard release emitted by one
+// event can never race another event at the same instant.
+
+func (sh *simShard) applyScenario(i int) {
+	o := sh.o
+	ev := &o.scn.Events[i]
+	if ev.Fail {
+		for _, p := range ev.Nodes {
+			if int(o.procShard[p]) == sh.id {
+				sh.failNode(int(p))
+			}
+		}
+		for _, cid := range ev.Centers {
+			if o.centerShard(cid) == sh.id {
+				sh.failCenter(cid, ev.Policy)
+			}
+		}
+		return
+	}
+	for _, cid := range ev.Centers {
+		if o.centerShard(cid) == sh.id {
+			sh.repairCenter(cid)
+		}
+	}
+	for _, p := range ev.Nodes {
+		if int(o.procShard[p]) == sh.id {
+			sh.repairNode(int(p))
+		}
+	}
+}
+
+func (sh *simShard) failNode(p int) {
+	o := sh.o
+	o.nodeDown[p] = true
+	if o.thinking[p] {
+		o.thinking[p] = false
+		o.genStale[p]++
+	}
+}
+
+func (sh *simShard) repairNode(p int) {
+	o := sh.o
+	o.nodeDown[p] = false
+	if !o.thinking[p] && !o.blocked[p] {
+		sh.scheduleGeneration(p)
+	}
+}
+
+func (sh *simShard) failCenter(cid int32, pol scenario.Policy) {
+	o := sh.o
+	o.failPolicy[cid] = pol
+	evict := pol == scenario.PolicyDrop || pol == scenario.PolicyReroute
+	victims := o.centers[cid].Fail(evict)
+	for _, mi := range victims {
+		if pol == scenario.PolicyDrop {
+			sh.dropMsg(mi)
+		} else {
+			sh.rerouteMsg(mi)
+		}
+	}
+}
+
+func (sh *simShard) repairCenter(cid int32) {
+	o := sh.o
+	o.failPolicy[cid] = scenario.PolicyNone
+	o.centers[cid].Repair()
+}
+
+// dropMsg discards an evicted in-flight message; the closed-loop release
+// of its source happens locally or travels as a hand-off, exactly like a
+// delivery's release.
+func (sh *simShard) dropMsg(mi int32) {
+	o := sh.o
+	sh.dropped++
+	src := sh.msgs[mi].src
+	sh.free = append(sh.free, mi)
+	if !o.opts.OpenLoop {
+		if srcSh := o.procShard[src]; int(srcSh) == sh.id {
+			sh.release(int(src))
+		} else {
+			sh.emit(srcSh, xfDeliver, message{src: src})
+		}
+	}
+}
+
+// rerouteMsg re-submits an evicted local message over the remote path.
+// Only icn1 failures carry the reroute policy, so the victim's source
+// cluster — and its ECN1 — is always on this shard.
+func (sh *simShard) rerouteMsg(mi int32) {
+	o := sh.o
+	m := &sh.msgs[mi]
+	m.viaRemote = true
+	m.hop = 0
+	sh.rerouted++
+	o.ecn1[m.srcCl].Submit(o.svcECN1[m.srcCl].mean(int(m.size)), mi)
 }

@@ -7,6 +7,7 @@ import (
 	"hmscs/internal/core"
 	"hmscs/internal/network"
 	"hmscs/internal/rng"
+	"hmscs/internal/scenario"
 	"hmscs/internal/stats"
 	"hmscs/internal/trace"
 	"hmscs/internal/workload"
@@ -63,6 +64,14 @@ type Options struct {
 	// Trace, and always uses the binary-heap event set (CalendarQueue is
 	// ignored — the two event sets are themselves bit-identical).
 	Shards int
+	// Scenario, when non-nil, turns the run dynamic: the compiled timeline
+	// injects failures, repairs and churn at event-loop granularity, and
+	// its rate profile modulates every source. A scenario run covers
+	// exactly [0, Horizon] — WarmupMessages and MeasuredMessages are
+	// overridden (measurement spans the whole horizon; transient analysis
+	// slices it afterwards) and the run never reports TimedOut. Results
+	// remain bit-identical at every shard count (DESIGN.md §11).
+	Scenario *scenario.CompiledSim
 }
 
 // DefaultOptions mirrors the paper's experimental procedure with a warm-up
@@ -108,6 +117,15 @@ type Result struct {
 	Centers []CenterStats
 	// TimedOut reports that MaxSimTime stopped the run early.
 	TimedOut bool
+	// SampleTimes holds the absolute completion time of every Sample entry
+	// in scenario runs with RecordSample (the transient estimator slices
+	// latencies by completion time); empty in stationary runs.
+	SampleTimes []float64
+	// Dropped and Rerouted count messages hit by a failure's in-flight
+	// policy in scenario runs: dropped ones vanish (their closed-loop
+	// sources are released), rerouted ones detour over the surviving path.
+	Dropped  int64
+	Rerouted int64
 }
 
 // MeanLatency returns the measured mean message latency in seconds.
@@ -175,6 +193,12 @@ const (
 	// stamped time; idx indexes the receiving shard's inbox (sharded
 	// mode only — see shard.go).
 	evXferIn
+	// evScenario fires when a timeline event mutates the model; idx is the
+	// index into the compiled scenario's event list. Scenario events are
+	// scheduled at setup, before any traffic is armed, so at equal times
+	// they dispatch before generations and completions — a failure at t
+	// is already in force for every traffic event at t.
+	evScenario
 )
 
 // message is one in-flight message's state in the pooled message table: a
@@ -189,6 +213,10 @@ type message struct {
 	dstCl int32
 	size  int32
 	hop   int8 // completed hops on the remote path
+	// viaRemote marks a local message detouring over the remote path
+	// (ECN1 → ICN2 → ECN1) because its cluster's ICN1 failed with the
+	// reroute policy; it completes after the full three-hop walk.
+	viaRemote bool
 }
 
 // Simulator executes one HMSCS configuration. It implements Handler: the
@@ -224,6 +252,22 @@ type Simulator struct {
 	res          Result
 	measureStart float64
 	completed    int64
+
+	// Dynamic-scenario state (nil/empty in stationary runs). Per
+	// processor: nodeDown is the element's up/down state, thinking marks a
+	// pending generation event, blocked a closed-loop source waiting for
+	// its in-flight message, genDue the pending generation's due time and
+	// genStale the voided generation events still in the event set (a node
+	// failure cannot unschedule them). Per centre, failPolicy retains a
+	// failed centre's in-flight policy so new local arrivals during an
+	// icn1 reroute outage also take the detour.
+	scn        *scenario.CompiledSim
+	nodeDown   []bool
+	thinking   []bool
+	blocked    []bool
+	genDue     []float64
+	genStale   []int32
+	failPolicy []scenario.Policy
 }
 
 // New builds a simulator for the configuration. Options zero values fall
@@ -231,6 +275,14 @@ type Simulator struct {
 func New(cfg *core.Config, opts Options) (*Simulator, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
+	}
+	if opts.Scenario != nil {
+		// A dynamic run covers exactly the scenario horizon: measurement
+		// spans all of [0, Horizon] (the transient estimator slices it
+		// afterwards) and message counts never stop the run.
+		opts.MaxSimTime = opts.Scenario.Horizon
+		opts.WarmupMessages = 0
+		opts.MeasuredMessages = math.MaxInt32
 	}
 	def := DefaultOptions()
 	if opts.MeasuredMessages <= 0 {
@@ -290,6 +342,20 @@ func New(cfg *core.Config, opts Options) (*Simulator, error) {
 	// pre-size the pool for that and let open-loop runs grow it.
 	s.msgs = make([]message, 0, n)
 	s.free = make([]int32, 0, n)
+	if s.scn = opts.Scenario; s.scn != nil {
+		s.nodeDown = make([]bool, n)
+		s.thinking = make([]bool, n)
+		s.blocked = make([]bool, n)
+		s.genDue = make([]float64, n)
+		s.genStale = make([]int32, n)
+		s.failPolicy = make([]scenario.Policy, len(s.centers))
+		for _, p := range s.scn.InitialDownNodes {
+			s.nodeDown[p] = true
+		}
+		for _, cid := range s.scn.InitialDownCenters {
+			s.centers[cid].Fail(false)
+		}
+	}
 	return s, nil
 }
 
@@ -322,12 +388,30 @@ func (s *Simulator) Run() (*Result, error) {
 		}
 		s.res.Sample = make([]float64, 0, sampleCap)
 	}
-	// Start every processor's first think period.
+	// Scenario events enter the event set before any traffic is armed, so
+	// same-time ties always resolve timeline-first.
+	if s.scn != nil {
+		for i := range s.scn.Events {
+			s.eng.ScheduleAt(s.scn.Events[i].T, evScenario, int32(i))
+		}
+	}
+	// Start every processor's first think period (initially-down nodes
+	// join when a repair event names them).
 	for p := 0; p < s.lay.TotalNodes(); p++ {
+		if s.scn != nil && s.nodeDown[p] {
+			continue
+		}
 		s.scheduleGeneration(p)
 	}
-	s.eng.Run(s.opts.MaxSimTime)
-	if s.res.Measured < int64(s.opts.MeasuredMessages) {
+	if s.scn != nil {
+		// Pin the clock to the horizon (inclusive), exactly like the
+		// sharded engine's final window, so both agree on SimTime and the
+		// time-weighted statistics.
+		s.eng.RunWindow(s.scn.Horizon, true)
+	} else {
+		s.eng.Run(s.opts.MaxSimTime)
+	}
+	if s.scn == nil && s.res.Measured < int64(s.opts.MeasuredMessages) {
 		s.res.TimedOut = true
 	}
 	if s.res.TimedOut && len(s.res.Sample) < cap(s.res.Sample)/2 {
@@ -362,7 +446,12 @@ func (s *Simulator) Handle(kind EventKind, idx int32) {
 		s.generate(int(idx))
 	case evCenterDone:
 		c := s.centers[idx]
+		if s.scn != nil && !c.TakeCompletion() {
+			return // voided by a failure
+		}
 		s.advance(c, c.CompleteService())
+	case evScenario:
+		s.applyScenario(int(idx))
 	default:
 		panic(fmt.Sprintf("sim: unknown event kind %d", kind))
 	}
@@ -381,13 +470,34 @@ func (s *Simulator) allocMsg() int32 {
 
 // scheduleGeneration arms processor p's next message after the think time
 // drawn from its arrival source (assumption 1's exponential gap by default,
-// or the configured Options.Arrival process).
+// or the configured Options.Arrival process). In scenario mode the drawn
+// gap is stretched through the rate profile — a pure function of (clock,
+// gap), so the draw sequence is untouched.
 func (s *Simulator) scheduleGeneration(p int) {
-	s.eng.Schedule(s.sources[p].Next(s.procStreams[p]), evGenerate, int32(p))
+	gap := s.sources[p].Next(s.procStreams[p])
+	if s.scn != nil {
+		gap = s.scn.Profile.Stretch(s.eng.Now(), gap)
+		s.thinking[p] = true
+		s.genDue[p] = s.eng.Now() + gap
+	}
+	s.eng.Schedule(gap, evGenerate, int32(p))
 }
 
 // generate creates one message at processor p and submits its first hop.
 func (s *Simulator) generate(p int) {
+	if s.scn != nil {
+		// A generation event is live exactly when the processor is still
+		// thinking and the clock matches its due time; anything else is a
+		// voided event left behind by a node failure.
+		if !s.thinking[p] || s.eng.Now() != s.genDue[p] {
+			if s.genStale[p] == 0 {
+				panic(fmt.Sprintf("sim: processor %d got a generation event with no arrival due and no stale token", p))
+			}
+			s.genStale[p]--
+			return
+		}
+		s.thinking[p] = false
+	}
 	s.res.Generated++
 	st := s.procStreams[p]
 	dest := s.gen.Pattern.Dest(st, s.lay, p)
@@ -412,9 +522,19 @@ func (s *Simulator) generate(p int) {
 	// period; in the paper's closed-loop mode it blocks until completion.
 	if s.opts.OpenLoop {
 		s.scheduleGeneration(p)
+	} else if s.scn != nil {
+		s.blocked[p] = true
 	}
 
 	if m.srcCl == m.dstCl {
+		if s.scn != nil && s.failPolicy[m.srcCl] == scenario.PolicyReroute {
+			// The cluster's ICN1 is down under the reroute policy: new
+			// local traffic detours over the remote path too.
+			m.viaRemote = true
+			s.res.Rerouted++
+			s.ecn1[m.srcCl].Submit(s.svcECN1[m.srcCl].mean(size), mi)
+			return
+		}
 		// Local message: one pass through the source cluster's ICN1.
 		s.icn1[m.srcCl].Submit(s.svcICN1[m.srcCl].mean(size), mi)
 		return
@@ -430,7 +550,7 @@ func (s *Simulator) advance(c *Center, mi int32) {
 	if s.opts.Trace != nil {
 		s.opts.Trace.Record(m.id, s.eng.Now(), trace.HopDone, c.Name)
 	}
-	if m.srcCl == m.dstCl {
+	if m.srcCl == m.dstCl && !m.viaRemote {
 		s.complete(mi)
 		return
 	}
@@ -470,6 +590,9 @@ func (s *Simulator) deliver(src int, born float64) {
 		s.res.Latency.Add(lat)
 		if s.opts.RecordSample {
 			s.res.Sample = append(s.res.Sample, lat)
+			if s.scn != nil {
+				s.res.SampleTimes = append(s.res.SampleTimes, s.eng.Now())
+			}
 		}
 		s.res.Measured++
 		if s.res.Measured == int64(s.opts.MeasuredMessages) {
@@ -477,8 +600,103 @@ func (s *Simulator) deliver(src int, born float64) {
 		}
 	}
 	if !s.opts.OpenLoop {
+		if s.scn != nil {
+			s.blocked[src] = false
+			if s.nodeDown[src] {
+				return // the node died in flight; it re-arms at repair
+			}
+		}
 		s.scheduleGeneration(src)
 	}
+}
+
+// applyScenario executes one timeline event. Within an event, failures
+// take nodes before centres (so a dropped message of a just-failed node
+// does not re-arm its source) and repairs take centres before nodes; the
+// fixed order keeps sequential and sharded execution identical.
+func (s *Simulator) applyScenario(i int) {
+	ev := &s.scn.Events[i]
+	if ev.Fail {
+		for _, p := range ev.Nodes {
+			s.failNode(int(p))
+		}
+		for _, cid := range ev.Centers {
+			s.failCenter(cid, ev.Policy)
+		}
+		return
+	}
+	for _, cid := range ev.Centers {
+		s.repairCenter(cid)
+	}
+	for _, p := range ev.Nodes {
+		s.repairNode(int(p))
+	}
+}
+
+// failNode stops processor p generating. A pending generation event
+// cannot be unscheduled, so it is voided by a stale token; a blocked
+// source stays blocked — its in-flight message continues, and the
+// delivery notices the node is down.
+func (s *Simulator) failNode(p int) {
+	s.nodeDown[p] = true
+	if s.thinking[p] {
+		s.thinking[p] = false
+		s.genStale[p]++
+	}
+}
+
+// repairNode restarts processor p: idle nodes re-arm immediately,
+// blocked ones re-arm when their in-flight message delivers.
+func (s *Simulator) repairNode(p int) {
+	s.nodeDown[p] = false
+	if !s.thinking[p] && !s.blocked[p] {
+		s.scheduleGeneration(p)
+	}
+}
+
+// failCenter takes a centre down and applies the event's in-flight
+// policy to the evicted messages (requeue evicts nothing).
+func (s *Simulator) failCenter(cid int32, pol scenario.Policy) {
+	s.failPolicy[cid] = pol
+	evict := pol == scenario.PolicyDrop || pol == scenario.PolicyReroute
+	victims := s.centers[cid].Fail(evict)
+	for _, mi := range victims {
+		if pol == scenario.PolicyDrop {
+			s.dropMsg(mi)
+		} else {
+			s.rerouteMsg(mi)
+		}
+	}
+}
+
+func (s *Simulator) repairCenter(cid int32) {
+	s.failPolicy[cid] = scenario.PolicyNone
+	s.centers[cid].Repair()
+}
+
+// dropMsg discards an evicted in-flight message; its closed-loop source
+// is released immediately (a drop loses work, not a source).
+func (s *Simulator) dropMsg(mi int32) {
+	s.res.Dropped++
+	src := int(s.msgs[mi].src)
+	s.free = append(s.free, mi)
+	if !s.opts.OpenLoop {
+		s.blocked[src] = false
+		if !s.nodeDown[src] {
+			s.scheduleGeneration(src)
+		}
+	}
+}
+
+// rerouteMsg re-submits an evicted local message over the remote path
+// (only icn1 failures carry the reroute policy, so every victim is a
+// local first-hop message).
+func (s *Simulator) rerouteMsg(mi int32) {
+	m := &s.msgs[mi]
+	m.viaRemote = true
+	m.hop = 0
+	s.res.Rerouted++
+	s.ecn1[m.srcCl].Submit(s.svcECN1[m.srcCl].mean(int(m.size)), mi)
 }
 
 // Run is the package-level convenience: build and run one simulation,

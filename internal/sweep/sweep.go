@@ -20,6 +20,7 @@ import (
 	"hmscs/internal/output"
 	"hmscs/internal/par"
 	"hmscs/internal/progress"
+	"hmscs/internal/scenario"
 	"hmscs/internal/sim"
 	"hmscs/internal/validate"
 	"hmscs/internal/workload"
@@ -86,6 +87,13 @@ type Options struct {
 	// concurrent use) and per-round UnitEstimate/UnitFinished events in
 	// precision mode. Events never affect results.
 	Progress progress.Func
+	// Scenario, when non-nil, makes every point's replications dynamic:
+	// the timeline is compiled against each point's own configuration (so
+	// symbolic targets like cluster:largest resolve per point) and each
+	// point additionally reports a transient series and recovery time.
+	// Mutually exclusive with Precision — the stopping rule assumes a
+	// stationary mean.
+	Scenario *scenario.Spec
 }
 
 // DefaultOptions mirrors the paper's procedure with 3 replications, using
@@ -159,7 +167,7 @@ type simUnit struct {
 // extends under the sequential stopping rule instead. Either way this is
 // the single home of the decomposition / seed derivation / aggregation
 // contract that makes sweeps bit-identical at every parallelism level.
-func runUnits(ctx context.Context, units []simUnit, opts Options) ([]*sim.Replicated, []sim.Estimate, error) {
+func runUnits(ctx context.Context, units []simUnit, opts Options) ([]*sim.Replicated, []sim.Estimate, []*Dynamic, error) {
 	// A sweep crosses heterogeneous cluster counts (figure axes start at
 	// C=1), so a global shard request is capped at each unit's cluster
 	// count: every shard still owns at least one cluster, and sharded
@@ -171,6 +179,9 @@ func runUnits(ctx context.Context, units []simUnit, opts Options) ([]*sim.Replic
 			units[i].opts.Shards = c
 		}
 	}
+	if opts.Precision != nil && opts.Scenario != nil {
+		return nil, nil, nil, fmt.Errorf("sweep: precision stopping and a scenario timeline are mutually exclusive (the stopping rule assumes a stationary mean)")
+	}
 	if opts.Precision != nil {
 		pu := make([]sim.PrecisionUnit, len(units))
 		for i, u := range units {
@@ -178,7 +189,7 @@ func runUnits(ctx context.Context, units []simUnit, opts Options) ([]*sim.Replic
 		}
 		res, err := sim.RunPrecisionUnitsCtx(ctx, pu, *opts.Precision, opts.Parallelism, opts.Progress)
 		if err != nil {
-			return nil, nil, err
+			return nil, nil, nil, err
 		}
 		aggs := make([]*sim.Replicated, len(units))
 		ests := make([]sim.Estimate, len(units))
@@ -186,7 +197,20 @@ func runUnits(ctx context.Context, units []simUnit, opts Options) ([]*sim.Replic
 			aggs[i] = r.Replicated
 			ests[i] = r.Estimate
 		}
-		return aggs, ests, nil
+		return aggs, ests, nil, nil
+	}
+	var compiled []*scenario.CompiledSim
+	if opts.Scenario != nil {
+		compiled = make([]*scenario.CompiledSim, len(units))
+		for i := range units {
+			cs, err := scenario.CompileSim(opts.Scenario, units[i].cfg)
+			if err != nil {
+				return nil, nil, nil, units[i].wrap(err)
+			}
+			compiled[i] = cs
+			units[i].opts.Scenario = cs
+			units[i].opts.RecordSample = true
+		}
 	}
 	reps := opts.Replications
 	results := make([][]*sim.Result, len(units))
@@ -222,7 +246,7 @@ func runUnits(ctx context.Context, units []simUnit, opts Options) ([]*sim.Replic
 		return nil
 	})
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, nil, err
 	}
 	aggs := make([]*sim.Replicated, len(units))
 	ests := make([]sim.Estimate, len(units))
@@ -236,7 +260,63 @@ func runUnits(ctx context.Context, units []simUnit, opts Options) ([]*sim.Replic
 			Converged:  true,
 		}
 	}
-	return aggs, ests, nil
+	var dyn []*Dynamic
+	if opts.Scenario != nil {
+		dyn = make([]*Dynamic, len(units))
+		for i := range results {
+			d, err := NewDynamic(compiled[i], 0.95)
+			if err != nil {
+				return nil, nil, nil, units[i].wrap(err)
+			}
+			for _, r := range results[i] {
+				d.Add(r)
+			}
+			d.Finish()
+			dyn[i] = d
+		}
+	}
+	return aggs, ests, dyn, nil
+}
+
+// Dynamic is the transient side of one dynamic sweep point: the
+// time-sliced latency series over the scenario horizon, the recovery
+// metric, and the failure-policy counters summed across replications.
+type Dynamic struct {
+	// Series is the across-replication time-sliced analysis.
+	Series *output.TransientSeries
+	// RecoveryS is time-to-return-within-SLO after the first injected
+	// fault (seconds; NaN undefined, +Inf never recovered).
+	RecoveryS float64
+	// Dropped and Rerouted total the messages hit by failure policies.
+	Dropped  int64
+	Rerouted int64
+
+	tr      *output.Transient
+	faultAt float64
+	slo     float64
+}
+
+// NewDynamic starts the transient accumulation for one compiled point.
+func NewDynamic(cs *scenario.CompiledSim, confidence float64) (*Dynamic, error) {
+	tr, err := output.NewTransient(cs.Horizon, cs.Slice, confidence)
+	if err != nil {
+		return nil, err
+	}
+	return &Dynamic{tr: tr, faultAt: cs.FaultAt, slo: cs.SLO}, nil
+}
+
+// Add folds one replication's samples and counters in (call in
+// replication order for bit-identical series).
+func (d *Dynamic) Add(r *sim.Result) {
+	d.tr.AddReplication(r.SampleTimes, r.Sample)
+	d.Dropped += r.Dropped
+	d.Rerouted += r.Rerouted
+}
+
+// Finish materialises the series and the recovery metric.
+func (d *Dynamic) Finish() {
+	d.Series = d.tr.Series()
+	d.RecoveryS = output.RecoveryTime(d.Series, d.faultAt, d.slo)
 }
 
 // RunFigure evaluates a figure specification: for every (message size,
@@ -322,7 +402,7 @@ func runFigures(ctx context.Context, specs []FigureSpec, opts Options) ([]*Figur
 			},
 		}
 	}
-	aggs, ests, err := runUnits(ctx, units, opts)
+	aggs, ests, _, err := runUnits(ctx, units, opts)
 	if err != nil {
 		return nil, err
 	}
@@ -377,6 +457,9 @@ type PointResult struct {
 	// Stat is the full estimate: replication count, effective sample
 	// size, and the half-width at the configured confidence level.
 	Stat sim.Estimate
+	// Dynamic carries the transient series and recovery metric of a
+	// dynamic sweep (nil for stationary sweeps).
+	Dynamic *Dynamic
 }
 
 // RunPoints evaluates an arbitrary list of sweep points analytically and
@@ -433,7 +516,7 @@ func RunPointsCtx(ctx context.Context, points []PointSpec, opts Options) ([]Poin
 			},
 		}
 	}
-	aggs, ests, err := runUnits(ctx, units, opts)
+	aggs, ests, dyn, err := runUnits(ctx, units, opts)
 	if err != nil {
 		return nil, err
 	}
@@ -441,6 +524,9 @@ func RunPointsCtx(ctx context.Context, points []PointSpec, opts Options) ([]Poin
 		out[i].Simulated = aggs[i].MeanLatency
 		out[i].SimCI = aggs[i].CI95
 		out[i].Stat = ests[i]
+		if dyn != nil {
+			out[i].Dynamic = dyn[i]
+		}
 	}
 	return out, nil
 }
