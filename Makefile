@@ -26,7 +26,7 @@ fmt-check:
 # figure/table reproduction paths plus the capacity planner's screening
 # stage, tracked PR over PR.
 bench:
-	$(GO) test -run '^$$' -bench 'Figure|Table|Plan|Sharded' -benchmem . | tee bench.out
+	$(GO) test -run '^$$' -bench 'Figure|Table|Plan|Sharded|Instrumented' -benchmem . | tee bench.out
 	$(GO) run ./tools/benchjson < bench.out > BENCH_sim.json
 	@rm -f bench.out
 	@echo "wrote BENCH_sim.json"
@@ -36,7 +36,7 @@ bench:
 # PR base; locally, pass OLD=path/to/baseline.json).
 OLD ?= BENCH_sim.json
 bench-compare:
-	$(GO) test -run '^$$' -bench 'Figure|Table|Plan|Sharded' -benchmem -benchtime 3x . > bench.out
+	$(GO) test -run '^$$' -bench 'Figure|Table|Plan|Sharded|Instrumented' -benchmem -benchtime 3x . > bench.out
 	$(GO) run ./tools/benchjson < bench.out > /tmp/bench-new.json
 	@rm -f bench.out
 	$(GO) run ./tools/benchjson -compare $(OLD) /tmp/bench-new.json

@@ -17,6 +17,7 @@ import (
 	"hmscs/internal/rng"
 	"hmscs/internal/sim"
 	"hmscs/internal/sweep"
+	"hmscs/internal/telemetry"
 )
 
 // benchSimOpts keeps per-iteration simulation cost modest while exercising
@@ -456,6 +457,46 @@ func BenchmarkShardedReplication(b *testing.B) {
 					b.Fatal("no messages measured")
 				}
 				msgs += int64(res.Measured)
+			}
+			b.ReportMetric(float64(msgs)/b.Elapsed().Seconds(), "msgs/s")
+		})
+	}
+}
+
+// BenchmarkInstrumentedReplication is BenchmarkShardedReplication with
+// telemetry attached — a stats collector always, plus a trace profile on
+// the profiled variant — so bench-compare gates the instrumentation
+// overhead: engine counters are plain locals folded once per
+// replication, and trace spans add two clock reads per shard window.
+func BenchmarkInstrumentedReplication(b *testing.B) {
+	cfg, err := core.NewSuperCluster(512, 2, 100, network.GigabitEthernet,
+		network.FastEthernet, network.NonBlocking, network.PaperSwitch, 1024)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, bc := range []struct {
+		name    string
+		profile bool
+	}{{"shards-4-stats", false}, {"shards-4-stats-profile", true}} {
+		b.Run(bc.name, func(b *testing.B) {
+			col := telemetry.NewCollector()
+			var msgs int64
+			for i := 0; i < b.N; i++ {
+				o := benchSimOpts()
+				o.Seed = uint64(i + 1)
+				o.Shards = 4
+				o.Stats = col
+				if bc.profile {
+					o.Profile = telemetry.NewTraceProfile()
+				}
+				res, err := sim.Run(cfg, o)
+				if err != nil {
+					b.Fatal(err)
+				}
+				msgs += int64(res.Measured)
+			}
+			if st, reps := col.Snapshot(); reps != int64(b.N) || st.Events == 0 {
+				b.Fatalf("collector saw %d replications, %d events — instrumentation not wired", reps, st.Events)
 			}
 			b.ReportMetric(float64(msgs)/b.Elapsed().Seconds(), "msgs/s")
 		})

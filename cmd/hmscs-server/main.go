@@ -18,6 +18,12 @@
 //	curl -s -X POST --data-binary @spec.json http://127.0.0.1:8642/jobs
 //	curl -sN http://127.0.0.1:8642/jobs/j000001/events
 //	curl -s http://127.0.0.1:8642/jobs/j000001/result
+//	curl -s http://127.0.0.1:8642/metrics
+//
+// GET /metrics exposes Prometheus-format counters (runs, cache
+// hits/misses, queue depth, engine event totals; see
+// docs/OBSERVABILITY.md), and -pprof mounts net/http/pprof under
+// /debug/pprof/ for CPU and heap profiles.
 //
 // SIGINT/SIGTERM shut the service down gracefully: the listener stops
 // accepting, open event streams end as their jobs cancel between
@@ -30,6 +36,7 @@ import (
 	"flag"
 	"fmt"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -53,6 +60,7 @@ func runMain(args []string) error {
 	cache := fs.Int("cache", 256, "completed outcomes kept for exact replay (-1 disables caching)")
 	queue := fs.Int("queue", 1024, "pending-job backlog bound; submissions beyond it are rejected")
 	drain := fs.Duration("drain", 10*time.Second, "graceful-shutdown budget for open streams and running jobs")
+	pprofOn := fs.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/ (CPU, heap, goroutine profiles; docs/OBSERVABILITY.md)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -63,7 +71,20 @@ func runMain(args []string) error {
 		CacheSize:   *cache,
 		QueueDepth:  *queue,
 	})
-	hs := &http.Server{Addr: *addr, Handler: srv.Handler()}
+	handler := srv.Handler()
+	if *pprofOn {
+		// Explicit registrations on a parent mux — the pprof handlers are
+		// opt-in, never on http.DefaultServeMux behind the API's back.
+		mux := http.NewServeMux()
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		mux.Handle("/", handler)
+		handler = mux
+	}
+	hs := &http.Server{Addr: *addr, Handler: handler}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()

@@ -33,6 +33,7 @@ import (
 	"hmscs/internal/scenario"
 	"hmscs/internal/sim"
 	"hmscs/internal/stats"
+	"hmscs/internal/telemetry"
 	"hmscs/internal/workload"
 )
 
@@ -136,6 +137,7 @@ type Network struct {
 	sources      []workload.Source
 	beta         float64 // seconds per byte on every link
 	completed    int
+	generated    int64
 	measureStart float64
 	pend         []pendDelivery
 	msgs         []nmsg
@@ -424,6 +426,15 @@ type Options struct {
 	// the whole horizon) and the run never reports TimedOut; results stay
 	// bit-identical at every shard count (DESIGN.md §11).
 	Scenario *scenario.CompiledNet
+	// Stats, when non-nil, receives one telemetry.SimStats record when
+	// the run finishes — engine event counts, heap high-water mark and
+	// (sharded) window/re-run/hand-off totals. Purely observational:
+	// results are bit-identical with or without it (DESIGN.md §12).
+	Stats *telemetry.Collector
+	// Profile, when non-nil, records per-shard window occupancy spans
+	// into a Chrome-trace profile. Only sharded runs emit spans; time
+	// is recorded, never branched on.
+	Profile *telemetry.TraceProfile
 }
 
 // Result is a netsim run's output.
@@ -514,6 +525,7 @@ func (n *Network) generate(p int) {
 		n.thinking[p] = false
 		n.blocked[p] = true
 	}
+	n.generated++
 	st := n.streams[p]
 	dst := n.gen.Pattern.Dest(st, n, p)
 	size := n.gen.Size.Sample(st)
@@ -813,6 +825,15 @@ func (n *Network) Run(opts Options) (*Result, error) {
 		} else {
 			n.res.MaxHostLinkUtil = math.Max(n.res.MaxHostLinkUtil, u)
 		}
+	}
+	if opts.Stats != nil {
+		opts.Stats.Add(telemetry.SimStats{
+			Events:     n.eng.Executed(),
+			MaxPending: int64(n.eng.MaxPending()),
+			Generated:  n.generated,
+			Dropped:    n.res.Dropped,
+			Shards:     1,
+		})
 	}
 	return n.res, nil
 }

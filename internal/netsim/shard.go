@@ -4,10 +4,12 @@ import (
 	"fmt"
 	"math"
 	"slices"
+	"time"
 
 	"hmscs/internal/rng"
 	"hmscs/internal/scenario"
 	"hmscs/internal/sim"
+	"hmscs/internal/telemetry"
 	"hmscs/internal/workload"
 )
 
@@ -114,12 +116,13 @@ func cmpNdelivery(a, b ndelivery) int {
 // timeline events mutate them mid-window, and a fixed-point re-execution
 // must start from the boundary state.
 type netSnap struct {
-	eng     sim.EngineState
-	centers []sim.CenterState
-	streams []rng.Stream
-	sources []workload.Source
-	msgs    []nmsg
-	free    []int32
+	eng       sim.EngineState
+	centers   []sim.CenterState
+	streams   []rng.Stream
+	sources   []workload.Source
+	msgs      []nmsg
+	free      []int32
+	generated int64
 
 	epDown   []bool
 	thinking []bool
@@ -142,6 +145,11 @@ type netShard struct {
 
 	msgs []nmsg
 	free []int32
+
+	// generated counts executed generation events; it is saved and
+	// restored with the window snapshot so fixed-point re-runs do not
+	// inflate it, making the converged total equal the sequential one.
+	generated int64
 
 	dropped int64 // scenario drops on this shard (summed at finish)
 
@@ -198,6 +206,12 @@ type shardedNet struct {
 	cand [][]nxfer
 	sel  []bool
 	idx  []int
+
+	// Shard-efficiency counters, the netsim twin of shardedSim's
+	// (DESIGN.md §12); bumped by the coordinator goroutine only.
+	windows, reruns, rewinds, handoffs int64
+	pairHandoffs                       [][]int64
+	profID                             int
 }
 
 // runSharded executes the run with opts.Shards >= 2 shards. Like the
@@ -355,6 +369,13 @@ func newShardedNet(n *Network, opts Options) (*shardedNet, error) {
 	o.cand = make([][]nxfer, s)
 	o.sel = make([]bool, s)
 	o.idx = make([]int, s)
+	o.pairHandoffs = make([][]int64, s)
+	for i := range o.pairHandoffs {
+		o.pairHandoffs[i] = make([]int64, s)
+	}
+	if opts.Profile != nil {
+		o.profID = opts.Profile.Track(fmt.Sprintf("netsim seed=%d shards=%d", opts.Seed, s))
+	}
 	return o, nil
 }
 
@@ -452,6 +473,7 @@ func due(at, horizon float64, inclusive bool) bool {
 // mailbox fixed point, exactly like the system simulator's window driver,
 // with carried delivery tokens folded into every inbox candidate.
 func (o *shardedNet) runOneWindow(horizon float64, inclusive bool) {
+	o.windows++
 	for _, sh := range o.shards {
 		// Pull the carried tokens that fall due this window.
 		k := 0
@@ -463,7 +485,7 @@ func (o *shardedNet) runOneWindow(horizon float64, inclusive bool) {
 		sh.save()
 		sh.inbox = append(sh.inbox[:0], sh.carryIn...)
 	}
-	o.pool.Run(nil, func(i int) { o.shards[i].runWindow(horizon, inclusive) })
+	o.poolWindow(nil, "window", horizon, inclusive)
 	for iter := 0; ; iter++ {
 		if iter >= maxNetWindowIters {
 			panic("netsim: sharded window failed to converge (zero-latency cross-shard cycle?)")
@@ -493,10 +515,20 @@ func (o *shardedNet) runOneWindow(horizon float64, inclusive bool) {
 			o.sel[r] = sh.dirty
 			if sh.dirty {
 				sh.restore()
+				o.reruns++
 				sh.inbox, o.cand[r] = o.cand[r], sh.inbox
 			}
 		}
-		o.pool.Run(o.sel, func(i int) { o.shards[i].runWindow(horizon, inclusive) })
+		o.poolWindow(o.sel, "rerun", horizon, inclusive)
+	}
+	// Fixed point: the inboxes are final, so this is the committed
+	// hand-off volume for the window (carried tokens count in the window
+	// that consumes them — each committed transfer exactly once).
+	for r, sh := range o.shards {
+		o.handoffs += int64(len(sh.inbox))
+		for i := range sh.inbox {
+			o.pairHandoffs[sh.inbox[i].src][r]++
+		}
 	}
 	// Converged: tokens stamped beyond the horizon carry to later windows.
 	for _, src := range o.shards {
@@ -511,6 +543,22 @@ func (o *shardedNet) runOneWindow(horizon float64, inclusive bool) {
 	for _, sh := range o.shards {
 		slices.SortFunc(sh.carry, cmpNxfer)
 	}
+}
+
+// poolWindow runs the selected shards' windows on the pool, recording a
+// Chrome-trace slice per shard when a profile is attached (time is
+// recorded, never branched on — see DESIGN.md §12).
+func (o *shardedNet) poolWindow(sel []bool, name string, horizon float64, inclusive bool) {
+	p := o.opts.Profile
+	if p == nil {
+		o.pool.Run(sel, func(i int) { o.shards[i].runWindow(horizon, inclusive) })
+		return
+	}
+	o.pool.Run(sel, func(i int) {
+		t0 := time.Now()
+		o.shards[i].runWindow(horizon, inclusive)
+		p.Span(o.profID, i, name, t0, time.Since(t0))
+	})
 }
 
 const maxNetWindowIters = 1 << 20
@@ -573,8 +621,18 @@ func (o *shardedNet) commit() bool {
 func (o *shardedNet) cut(tStop float64) {
 	for _, sh := range o.shards {
 		sh.restore()
+		o.rewinds++
 	}
-	o.pool.Run(nil, func(i int) { o.shards[i].runCut(tStop) })
+	p := o.opts.Profile
+	if p == nil {
+		o.pool.Run(nil, func(i int) { o.shards[i].runCut(tStop) })
+		return
+	}
+	o.pool.Run(nil, func(i int) {
+		t0 := time.Now()
+		o.shards[i].runCut(tStop)
+		p.Span(o.profID, i, "cut", t0, time.Since(t0))
+	})
 }
 
 func (o *shardedNet) finish() *Result {
@@ -598,6 +656,28 @@ func (o *shardedNet) finish() *Result {
 		} else {
 			o.res.MaxHostLinkUtil = math.Max(o.res.MaxHostLinkUtil, u)
 		}
+	}
+	if o.opts.Stats != nil {
+		st := telemetry.SimStats{
+			Dropped:      o.res.Dropped,
+			Shards:       int64(len(o.shards)),
+			Windows:      o.windows,
+			Reruns:       o.reruns,
+			Rewinds:      o.rewinds,
+			Handoffs:     o.handoffs,
+			PairHandoffs: o.pairHandoffs,
+			ShardEvents:  make([]int64, len(o.shards)),
+		}
+		for i, sh := range o.shards {
+			ex := sh.eng.Executed()
+			st.Events += ex
+			st.ShardEvents[i] = ex
+			st.Generated += sh.generated
+			if mp := int64(sh.eng.MaxPending()); mp > st.MaxPending {
+				st.MaxPending = mp
+			}
+		}
+		o.opts.Stats.Add(st)
 	}
 	return o.res
 }
@@ -651,6 +731,7 @@ func (sh *netShard) save() {
 	}
 	sh.snap.msgs = copyMsgs(sh.snap.msgs, sh.msgs)
 	sh.snap.free = append(sh.snap.free[:0], sh.free...)
+	sh.snap.generated = sh.generated
 	if o.scn != nil {
 		copy(sh.snap.epDown, o.epDown[sh.epLo:sh.epHi])
 		copy(sh.snap.thinking, o.thinking[sh.epLo:sh.epHi])
@@ -677,6 +758,7 @@ func (sh *netShard) restore() {
 	}
 	sh.msgs = copyMsgs(sh.msgs, sh.snap.msgs)
 	sh.free = append(sh.free[:0], sh.snap.free...)
+	sh.generated = sh.snap.generated
 	if o.scn != nil {
 		copy(o.epDown[sh.epLo:sh.epHi], sh.snap.epDown)
 		copy(o.thinking[sh.epLo:sh.epHi], sh.snap.thinking)
@@ -803,6 +885,7 @@ func (sh *netShard) generate(p int) {
 		o.thinking[p] = false
 		o.blocked[p] = true
 	}
+	sh.generated++
 	st := o.streams[p]
 	dst := o.gen.Pattern.Dest(st, n, p)
 	size := o.gen.Size.Sample(st)

@@ -9,7 +9,53 @@ import (
 	"context"
 	"runtime"
 	"sync"
+	"sync/atomic"
+	"time"
 )
+
+// Package-level pool accounting: units dispatched, unit errors, and the
+// summed wall time spent inside fn across all workers (busy time). The
+// counters are process-wide — the pool is a shared primitive — and feed
+// the server's /metrics endpoint. Two atomic adds and two clock reads
+// per unit; a unit is a whole replication or sweep point, so the cost
+// is noise.
+var (
+	poolUnits  atomic.Int64
+	poolErrors atomic.Int64
+	poolBusyNs atomic.Int64
+)
+
+// PoolStats is a snapshot of the process-wide pool counters.
+type PoolStats struct {
+	// Units is the number of fn invocations completed.
+	Units int64
+	// Errors is how many of them returned an error.
+	Errors int64
+	// Busy is the summed wall time spent inside fn across all workers;
+	// with uptime and a worker count it yields pool utilisation.
+	Busy time.Duration
+}
+
+// Stats returns the current process-wide pool counters.
+func Stats() PoolStats {
+	return PoolStats{
+		Units:  poolUnits.Load(),
+		Errors: poolErrors.Load(),
+		Busy:   time.Duration(poolBusyNs.Load()),
+	}
+}
+
+// runUnit executes one unit with accounting.
+func runUnit(fn func(i int) error, i int) error {
+	t0 := time.Now()
+	err := fn(i)
+	poolBusyNs.Add(int64(time.Since(t0)))
+	poolUnits.Add(1)
+	if err != nil {
+		poolErrors.Add(1)
+	}
+	return err
+}
 
 // ForEach runs fn(i) for every i in [0, n) on up to parallelism
 // concurrent workers with no cancellation: ForEachCtx with a background
@@ -48,7 +94,7 @@ func ForEachCtx(ctx context.Context, n, parallelism int, fn func(i int) error) e
 			if err := ctx.Err(); err != nil {
 				return err
 			}
-			if err := fn(i); err != nil {
+			if err := runUnit(fn, i); err != nil {
 				return err
 			}
 		}
@@ -67,7 +113,7 @@ func ForEachCtx(ctx context.Context, n, parallelism int, fn func(i int) error) e
 				if ctx.Err() != nil {
 					continue // drain without running new units
 				}
-				if err := fn(i); err != nil {
+				if err := runUnit(fn, i); err != nil {
 					errs[i] = err
 					stopOnce.Do(func() { close(stop) })
 				}

@@ -71,6 +71,8 @@ func runFigure(ctx context.Context, e *Experiment, opts Options, em *emitter) (*
 	if err != nil {
 		return nil, err
 	}
+	simOpts.Stats = opts.Stats
+	simOpts.Profile = opts.Profile
 	prec, err := e.Precision.Build()
 	if err != nil {
 		return nil, err

@@ -6,6 +6,7 @@ import (
 	"os"
 	"path/filepath"
 	"sync"
+	"time"
 
 	"hmscs/internal/analytic"
 	"hmscs/internal/core"
@@ -18,6 +19,7 @@ import (
 	"hmscs/internal/scenario"
 	"hmscs/internal/sim"
 	"hmscs/internal/sweep"
+	"hmscs/internal/telemetry"
 	"hmscs/internal/trace"
 	"hmscs/internal/workload"
 )
@@ -40,6 +42,14 @@ type Options struct {
 	// Sinks receive the same serialised event stream plus the final
 	// Outcome. Sink errors abort the run.
 	Sinks []Sink
+	// Stats, when non-nil, additionally receives the run's merged engine
+	// statistics — the hook a resident server uses to accumulate
+	// process-wide totals across jobs. Every run also gets its own
+	// per-run collector regardless, surfaced as Outcome.Telemetry.
+	Stats *telemetry.Collector
+	// Profile, when non-nil, records per-shard window occupancy of every
+	// sharded replication into a Chrome-trace profile (see -trace-profile).
+	Profile *telemetry.TraceProfile
 }
 
 // Outcome is the structured result of one experiment: exactly one of
@@ -56,6 +66,12 @@ type Outcome struct {
 	Figure   *FigureOutcome   `json:"-"`
 	Sweep    *SweepOutcome    `json:"-"`
 	Plan     *PlanOutcome     `json:"-"`
+
+	// Telemetry is the run's engine statistics: merged per-replication
+	// SimStats, the replication count, and wall time. It never feeds the
+	// rendered report or the golden outputs — sharded counts vary with
+	// the shard plan even though results do not.
+	Telemetry *telemetry.RunStats `json:"-"`
 }
 
 // AnalyzeOutcome is the analyze kind's result.
@@ -170,21 +186,32 @@ func Run(ctx context.Context, e *Experiment, opts Options) (*Outcome, error) {
 	defer cancel()
 	emit := newEmitter(opts, cancel)
 	out := &Outcome{Spec: spec, Kind: spec.Kind}
+	// Every run gets its own collector so Outcome.Telemetry covers
+	// exactly this run; a caller-supplied collector (the server's
+	// process-wide one) receives the merged totals afterwards. The
+	// runners see the per-run collector through ropts.Stats.
+	col := telemetry.NewCollector()
+	ropts := opts
+	ropts.Stats = col
+	start := time.Now()
 	var err error
 	switch spec.Kind {
 	case KindAnalyze:
-		out.Analyze, err = runAnalyze(ctx, spec, opts, emit)
+		out.Analyze, err = runAnalyze(ctx, spec, ropts, emit)
 	case KindSimulate:
-		out.Simulate, err = runSimulate(ctx, spec, opts, emit)
+		out.Simulate, err = runSimulate(ctx, spec, ropts, emit)
 	case KindNetsim:
-		out.Net, err = runNetsim(ctx, spec, emit)
+		out.Net, err = runNetsim(ctx, spec, ropts, emit)
 	case KindFigure:
-		out.Figure, err = runFigure(ctx, spec, opts, emit)
+		out.Figure, err = runFigure(ctx, spec, ropts, emit)
 	case KindSweep:
-		out.Sweep, err = runSweep(ctx, spec, opts, emit)
+		out.Sweep, err = runSweep(ctx, spec, ropts, emit)
 	case KindPlan:
-		out.Plan, err = runPlan(ctx, spec, opts, emit)
+		out.Plan, err = runPlan(ctx, spec, ropts, emit)
 	}
+	sum, reps := col.Snapshot()
+	out.Telemetry = &telemetry.RunStats{Sim: sum, Replications: reps, WallSeconds: time.Since(start).Seconds()}
+	opts.Stats.Merge(col) // nil-safe
 	if serr := emit.err(); serr != nil {
 		return nil, serr
 	}
@@ -293,6 +320,8 @@ func runAnalyze(ctx context.Context, e *Experiment, opts Options, em *emitter) (
 		simOpts.Seed = e.Run.Seed
 		simOpts.Arrival = arrival
 		simOpts.Shards = e.Run.Shards
+		simOpts.Stats = opts.Stats
+		simOpts.Profile = opts.Profile
 		units := []sim.PrecisionUnit{{Cfg: cfg, Opts: simOpts}}
 		res, err := sim.RunPrecisionUnitsCtx(ctx, units, *prec, opts.Parallelism, em.fn())
 		if err != nil {
@@ -312,6 +341,8 @@ func runSimulate(ctx context.Context, e *Experiment, opts Options, em *emitter) 
 	if err != nil {
 		return nil, err
 	}
+	simOpts.Stats = opts.Stats
+	simOpts.Profile = opts.Profile
 	if e.Run.Reps < 1 {
 		return nil, fmt.Errorf("run: need at least 1 replication")
 	}
@@ -401,7 +432,7 @@ func runSimulate(ctx context.Context, e *Experiment, opts Options, em *emitter) 
 	return out, nil
 }
 
-func runNetsim(ctx context.Context, e *Experiment, em *emitter) (*NetOutcome, error) {
+func runNetsim(ctx context.Context, e *Experiment, opts Options, em *emitter) (*NetOutcome, error) {
 	prec, err := e.Precision.Build()
 	if err != nil {
 		return nil, err
@@ -410,6 +441,8 @@ func runNetsim(ctx context.Context, e *Experiment, em *emitter) (*NetOutcome, er
 	if err != nil {
 		return nil, err
 	}
+	exp.Opts.Stats = opts.Stats
+	exp.Opts.Profile = opts.Profile
 	out := &NetOutcome{Exp: exp, Prec: prec}
 	var net *netsim.Network
 	if prec != nil {
@@ -560,6 +593,8 @@ func runSweep(ctx context.Context, e *Experiment, opts Options, em *emitter) (*S
 	if err != nil {
 		return nil, err
 	}
+	simOpts.Stats = opts.Stats
+	simOpts.Profile = opts.Profile
 	labels, points, err := buildSweepJobs(e)
 	if err != nil {
 		return nil, err
@@ -751,6 +786,8 @@ func runPlan(ctx context.Context, e *Experiment, opts Options, em *emitter) (*Pl
 		simOpts.MeasuredMessages = e.Run.Messages
 		simOpts.Arrival = arr
 		simOpts.Shards = e.Run.Shards
+		simOpts.Stats = opts.Stats
+		simOpts.Profile = opts.Profile
 		out.Verified, err = plan.VerifyTopKCtx(ctx, frontier, p.Top, slo, simOpts, *prec, opts.Parallelism, em.fn())
 		if err != nil {
 			return nil, err

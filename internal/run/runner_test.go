@@ -3,6 +3,8 @@ package run
 import (
 	"context"
 	"errors"
+	"fmt"
+	"regexp"
 	"runtime"
 	"strings"
 	"sync/atomic"
@@ -10,6 +12,7 @@ import (
 	"time"
 
 	"hmscs/internal/progress"
+	"hmscs/internal/telemetry"
 )
 
 // tinySweep returns a sweep experiment with enough (point × replication)
@@ -107,6 +110,76 @@ func TestRunParallelismInvariantRendering(t *testing.T) {
 	}
 	if !strings.Contains(outs[0], "sweep of clusters") {
 		t.Fatalf("unexpected output:\n%s", outs[0])
+	}
+}
+
+// TestTelemetryZeroPerturbation is the instrumentation layer's
+// determinism pin (DESIGN.md §12): with a stats collector AND a trace
+// profile attached, the rendered report is byte-identical at every
+// -shards/-parallel combination, the JSONL stream (wall-clock timestamps
+// stripped) is byte-identical wherever event order is pinned, and the
+// shard-plan-invariant telemetry fields (generated messages,
+// replications) agree across every combination.
+func TestTelemetryZeroPerturbation(t *testing.T) {
+	spec := NewExperiment(KindSimulate)
+	spec.System.Clusters = 4
+	spec.System.Total = 16
+	spec.Run.Messages = 600
+	spec.Run.Warmup = 100
+	spec.Run.Reps = 2
+
+	tsField := regexp.MustCompile(`"ts":"[^"]*"`)
+	type result struct {
+		key       string
+		md, jsonl string
+		tel       *telemetry.RunStats
+	}
+	var results []result
+	for _, shards := range []int{1, 2} {
+		for _, parallel := range []int{1, 4} {
+			e := spec.Clone()
+			e.Run.Shards = shards
+			var md, jl strings.Builder
+			out, err := Run(context.Background(), e, Options{
+				Parallelism: parallel,
+				Sinks:       []Sink{NewMarkdownSink(&md), NewJSONLSink(&jl)},
+				Stats:       telemetry.NewCollector(),
+				Profile:     telemetry.NewTraceProfile(),
+			})
+			if err != nil {
+				t.Fatalf("shards=%d parallel=%d: %v", shards, parallel, err)
+			}
+			results = append(results, result{
+				key:   fmt.Sprintf("shards=%d parallel=%d", shards, parallel),
+				md:    md.String(),
+				jsonl: tsField.ReplaceAllString(jl.String(), `"ts":"X"`),
+				tel:   out.Telemetry,
+			})
+		}
+	}
+	base := results[0]
+	if base.tel == nil || base.tel.Sim.Events == 0 || base.tel.Replications == 0 {
+		t.Fatalf("no telemetry recorded: %+v", base.tel)
+	}
+	for _, r := range results[1:] {
+		if r.md != base.md {
+			t.Errorf("%s: markdown differs from %s with telemetry enabled", r.key, base.key)
+		}
+		if r.tel.Sim.Generated != base.tel.Sim.Generated || r.tel.Replications != base.tel.Replications {
+			t.Errorf("%s: invariant telemetry differs: generated %d vs %d, reps %d vs %d",
+				r.key, r.tel.Sim.Generated, base.tel.Sim.Generated, r.tel.Replications, base.tel.Replications)
+		}
+	}
+	// Event order (hence seq assignment) is pinned at parallelism 1:
+	// those streams must match byte for byte across shard counts once
+	// wall clocks are normalized. results[0] and [2] are parallel-1.
+	if results[0].jsonl != results[2].jsonl {
+		t.Errorf("parallel-1 JSONL differs between shards=1 and shards=2:\n%s\n---\n%s",
+			results[0].jsonl, results[2].jsonl)
+	}
+	// Sharded runs must have exercised the coordinator counters.
+	if results[2].tel.Sim.Windows == 0 || results[2].tel.Sim.Shards != 2 {
+		t.Errorf("sharded run recorded no coordinator activity: %+v", results[2].tel.Sim)
 	}
 }
 

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"io"
 	"math"
+	"time"
 
 	"hmscs/internal/progress"
 	"hmscs/internal/report"
@@ -95,16 +96,33 @@ func (s *csvSink) Result(o *Outcome) error {
 }
 
 // jsonlSink streams one JSON object per line: every progress event as it
-// happens, then a final outcome summary — the machine-readable feed
-// behind the shared -emit flag, and the shape a job queue or server mode
-// would consume.
+// happens, a telemetry summary, then a final outcome summary — the
+// machine-readable feed behind the shared -emit flag, and the shape a job
+// queue or server mode would consume.
+//
+// Each line carries a monotonic per-stream "seq" and a wall-clock "ts"
+// (RFC 3339, UTC). Both are stamped here, in the sink, so the engines
+// stay clock-free (DESIGN.md §12); consumers comparing streams for
+// content equality should strip both — the same run executed at a
+// different parallelism delivers the same events in a different order,
+// so seq is ordering metadata, not content.
 type jsonlSink struct {
 	enc *json.Encoder
+	seq int64
+	now func() time.Time // injectable for tests; defaults to time.Now
 }
 
 // NewJSONLSink returns the streaming sink.
 func NewJSONLSink(w io.Writer) Sink {
-	return &jsonlSink{enc: json.NewEncoder(w)}
+	return &jsonlSink{enc: json.NewEncoder(w), now: time.Now}
+}
+
+// stamp adds the per-stream sequence number and wall-clock timestamp.
+func (s *jsonlSink) stamp(rec map[string]any) map[string]any {
+	rec["seq"] = s.seq
+	s.seq++
+	rec["ts"] = s.now().UTC().Format(time.RFC3339Nano)
+	return rec
 }
 
 func (s *jsonlSink) Event(ev progress.Event) error {
@@ -124,10 +142,25 @@ func (s *jsonlSink) Event(ev progress.Event) error {
 	if ev.RelWidth != 0 {
 		rec["rel_width"] = ev.RelWidth
 	}
-	return s.enc.Encode(rec)
+	return s.enc.Encode(s.stamp(rec))
 }
 
 func (s *jsonlSink) Result(o *Outcome) error {
+	// Telemetry line first, then the outcome (consumers treat the
+	// outcome as end-of-stream). Only shard-plan-invariant fields are
+	// emitted: sharded execution re-runs windows to fixed point, so
+	// event/window/rerun counts legitimately vary with -shards while
+	// results (and this stream) stay byte-comparable across plans.
+	if t := o.Telemetry; t != nil {
+		trec := map[string]any{
+			"type":         "telemetry",
+			"generated":    t.Sim.Generated,
+			"replications": t.Replications,
+		}
+		if err := s.enc.Encode(s.stamp(trec)); err != nil {
+			return err
+		}
+	}
 	rec := map[string]any{
 		"type": "outcome",
 		"kind": string(o.Kind),
@@ -136,7 +169,7 @@ func (s *jsonlSink) Result(o *Outcome) error {
 	for _, kv := range o.summaryRows() {
 		rec[kv[0].(string)] = kv[1]
 	}
-	return s.enc.Encode(rec)
+	return s.enc.Encode(s.stamp(rec))
 }
 
 // summaryRows flattens the outcome's headline numbers into ordered

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"time"
 
 	"hmscs/internal/run"
 )
@@ -17,6 +18,7 @@ const maxSpecBytes = 1 << 20
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", s.handleHealth)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	mux.HandleFunc("POST /jobs", s.handleSubmit)
 	mux.HandleFunc("GET /jobs", s.handleList)
 	mux.HandleFunc("GET /jobs/{id}", s.handleJob)
@@ -51,11 +53,33 @@ func (s *Server) job(w http.ResponseWriter, r *http.Request) (*Job, bool) {
 }
 
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	jobs := s.store.List()
+	queued := 0
+	for _, j := range jobs {
+		if j.Status == StatusQueued {
+			queued++
+		}
+	}
+	s.mu.Lock()
+	cached := len(s.cache)
+	s.mu.Unlock()
 	writeJSON(w, http.StatusOK, map[string]any{
-		"status": "ok",
-		"jobs":   len(s.store.List()),
-		"runs":   s.Runs(),
+		"status":        "ok",
+		"jobs":          len(jobs),
+		"runs":          s.Runs(),
+		"queue_depth":   len(s.queue),
+		"queued_jobs":   queued,
+		"running_jobs":  s.running.Load(),
+		"cache_entries": cached,
+		"uptime_s":      time.Since(s.started).Seconds(),
 	})
+}
+
+// handleMetrics renders every registered metric in Prometheus text
+// exposition format (docs/OBSERVABILITY.md lists the families).
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	s.reg.WritePrometheus(w) //nolint:errcheck // the connection is the only failure mode
 }
 
 // handleSubmit accepts an experiment spec (the same JSON the binaries'

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"hmscs/internal/run"
+	"hmscs/internal/telemetry"
 )
 
 // Status is a job's lifecycle state. Jobs move queued → running →
@@ -54,6 +55,24 @@ type JobInfo struct {
 	CreatedAt  time.Time  `json:"created_at"`
 	StartedAt  *time.Time `json:"started_at,omitempty"`
 	FinishedAt *time.Time `json:"finished_at,omitempty"`
+	// Resources is the job's engine accounting, present once the job has
+	// executed. Cache-hit jobs have none — they did no simulation work.
+	Resources *JobResources `json:"resources,omitempty"`
+}
+
+// JobResources is what one executed job cost: wall time, engine volume
+// and throughput, plus the §9 shard-coordinator totals when the run was
+// sharded. Sourced from the run's Outcome.Telemetry.
+type JobResources struct {
+	WallSeconds     float64 `json:"wall_s"`
+	SimEvents       int64   `json:"sim_events"`
+	EventsPerSecond float64 `json:"events_per_s"`
+	Generated       int64   `json:"generated"`
+	Replications    int64   `json:"replications"`
+	Shards          int64   `json:"shards"`
+	Windows         int64   `json:"windows,omitempty"`
+	Reruns          int64   `json:"reruns,omitempty"`
+	Handoffs        int64   `json:"handoffs,omitempty"`
 }
 
 // Job is one submitted experiment tracked by the store: its normalized
@@ -72,15 +91,16 @@ type Job struct {
 	ctx    context.Context
 	cancel context.CancelFunc
 
-	mu       sync.Mutex
-	status   Status
-	err      string
-	events   [][]byte
-	result   []byte
-	created  time.Time
-	started  time.Time
-	finished time.Time
-	watchers map[chan struct{}]struct{}
+	mu        sync.Mutex
+	status    Status
+	err       string
+	events    [][]byte
+	result    []byte
+	resources *JobResources
+	created   time.Time
+	started   time.Time
+	finished  time.Time
+	watchers  map[chan struct{}]struct{}
 }
 
 // ID returns the job's identifier.
@@ -130,7 +150,33 @@ func (j *Job) Info() JobInfo {
 		t := j.finished
 		info.FinishedAt = &t
 	}
+	if j.resources != nil {
+		r := *j.resources
+		info.Resources = &r
+	}
 	return info
+}
+
+// setResources records the run's engine accounting from its telemetry
+// section; the worker calls it before the terminal transition.
+func (j *Job) setResources(t *telemetry.RunStats) {
+	if t == nil {
+		return
+	}
+	r := &JobResources{
+		WallSeconds:     t.WallSeconds,
+		SimEvents:       t.Sim.Events,
+		EventsPerSecond: t.EventsPerSecond(),
+		Generated:       t.Sim.Generated,
+		Replications:    t.Replications,
+		Shards:          t.Sim.Shards,
+		Windows:         t.Sim.Windows,
+		Reruns:          t.Sim.Reruns,
+		Handoffs:        t.Sim.Handoffs,
+	}
+	j.mu.Lock()
+	j.resources = r
+	j.mu.Unlock()
 }
 
 // Status returns the job's current lifecycle state.

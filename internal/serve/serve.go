@@ -35,9 +35,11 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"hmscs/internal/par"
 	"hmscs/internal/run"
+	"hmscs/internal/telemetry"
 )
 
 // Config sizes the service.
@@ -96,7 +98,24 @@ type Server struct {
 	cancel context.CancelFunc
 	wg     sync.WaitGroup
 
-	runs atomic.Int64
+	runs    atomic.Int64
+	running atomic.Int64
+
+	// started anchors the uptime gauge; reg renders GET /metrics; col
+	// accumulates every run's engine stats process-wide (each run also
+	// keeps its own collector for per-job resource accounting).
+	started time.Time
+	reg     *telemetry.Registry
+	col     *telemetry.Collector
+
+	jobsSubmitted  *telemetry.Counter
+	jobsDone       *telemetry.Counter
+	jobsFailed     *telemetry.Counter
+	jobsCancelled  *telemetry.Counter
+	cacheHits      *telemetry.Counter
+	cacheMisses    *telemetry.Counter
+	cacheEvictions *telemetry.Counter
+	jobWall        *telemetry.Histogram
 }
 
 // New starts a server's scheduling workers (MaxJobs goroutines); it
@@ -105,19 +124,79 @@ func New(cfg Config) *Server {
 	cfg = cfg.withDefaults()
 	ctx, cancel := context.WithCancel(context.Background())
 	s := &Server{
-		cfg:    cfg,
-		store:  NewStore(),
-		cache:  make(map[string]*cacheEntry),
-		queue:  make(chan *Job, cfg.QueueDepth),
-		ctx:    ctx,
-		cancel: cancel,
+		cfg:     cfg,
+		store:   NewStore(),
+		cache:   make(map[string]*cacheEntry),
+		queue:   make(chan *Job, cfg.QueueDepth),
+		ctx:     ctx,
+		cancel:  cancel,
+		started: time.Now(),
+		reg:     telemetry.NewRegistry(),
+		col:     telemetry.NewCollector(),
 	}
+	s.registerMetrics()
 	for i := 0; i < cfg.MaxJobs; i++ {
 		s.wg.Add(1)
 		go s.worker()
 	}
 	return s
 }
+
+// registerMetrics declares the /metrics surface. Registration order is
+// render order (docs/OBSERVABILITY.md documents every name). Lifecycle
+// counters are written by the scheduler; the sim/shard/pool families are
+// scrape-time reads of the server Collector and the process-wide pool
+// counters, so a scrape never blocks a running job.
+func (s *Server) registerMetrics() {
+	r := s.reg
+	r.GaugeFunc("hmscs_uptime_seconds", "Seconds since the server started.",
+		func() float64 { return time.Since(s.started).Seconds() })
+	s.jobsSubmitted = r.Counter("hmscs_jobs_submitted_total", "Jobs accepted by POST /jobs, including cache hits.")
+	s.jobsDone = r.Counter("hmscs_jobs_done_total", "Jobs that finished successfully (cache hits excluded).")
+	s.jobsFailed = r.Counter("hmscs_jobs_failed_total", "Jobs that finished with an error.")
+	s.jobsCancelled = r.Counter("hmscs_jobs_cancelled_total", "Jobs cancelled while queued or running.")
+	r.GaugeFunc("hmscs_jobs_running", "Jobs currently executing.",
+		func() float64 { return float64(s.running.Load()) })
+	r.GaugeFunc("hmscs_queue_depth", "Jobs waiting in the submission queue.",
+		func() float64 { return float64(len(s.queue)) })
+	r.CounterFunc("hmscs_runs_total", "Experiments actually executed; a cache hit does not run.",
+		func() float64 { return float64(s.Runs()) })
+	s.cacheHits = r.Counter("hmscs_cache_hits_total", "Submissions served from the outcome cache.")
+	s.cacheMisses = r.Counter("hmscs_cache_misses_total", "Cacheable submissions that missed the cache.")
+	s.cacheEvictions = r.Counter("hmscs_cache_evictions_total", "Outcome-cache entries evicted oldest-first.")
+	r.GaugeFunc("hmscs_cache_entries", "Outcome-cache entries currently held.",
+		func() float64 { s.mu.Lock(); defer s.mu.Unlock(); return float64(len(s.cache)) })
+	s.jobWall = r.Histogram("hmscs_job_wall_seconds", "Wall time of executed jobs.",
+		[]float64{0.01, 0.05, 0.25, 1, 5, 30, 120, 600})
+	sim := func(f func(telemetry.SimStats, int64) float64) func() float64 {
+		return func() float64 { st, reps := s.col.Snapshot(); return f(st, reps) }
+	}
+	r.CounterFunc("hmscs_sim_events_total", "Engine events dispatched across all runs (incl. fixed-point re-runs).",
+		sim(func(st telemetry.SimStats, _ int64) float64 { return float64(st.Events) }))
+	r.CounterFunc("hmscs_sim_generated_total", "Messages generated across all runs.",
+		sim(func(st telemetry.SimStats, _ int64) float64 { return float64(st.Generated) }))
+	r.CounterFunc("hmscs_sim_replications_total", "Simulation replications completed across all runs.",
+		sim(func(_ telemetry.SimStats, reps int64) float64 { return float64(reps) }))
+	r.CounterFunc("hmscs_shard_windows_total", "Shard-coordinator time windows executed.",
+		sim(func(st telemetry.SimStats, _ int64) float64 { return float64(st.Windows) }))
+	r.CounterFunc("hmscs_shard_reruns_total", "Dirty-shard window re-executions to fixed point.",
+		sim(func(st telemetry.SimStats, _ int64) float64 { return float64(st.Reruns) }))
+	r.CounterFunc("hmscs_shard_rewinds_total", "Stop-cut snapshot rewinds.",
+		sim(func(st telemetry.SimStats, _ int64) float64 { return float64(st.Rewinds) }))
+	r.CounterFunc("hmscs_shard_handoffs_total", "Committed cross-shard mailbox records.",
+		sim(func(st telemetry.SimStats, _ int64) float64 { return float64(st.Handoffs) }))
+	r.CounterFunc("hmscs_pool_units_total", "Worker-pool units (replications, sweep points) completed.",
+		func() float64 { return float64(par.Stats().Units) })
+	r.CounterFunc("hmscs_pool_busy_seconds_total", "Summed wall time workers spent executing units.",
+		func() float64 { return par.Stats().Busy.Seconds() })
+}
+
+// Metrics exposes the server's registry (the /metrics surface) so the
+// binary can register process extras before serving.
+func (s *Server) Metrics() *telemetry.Registry { return s.reg }
+
+// Stats exposes the server-lifetime engine statistics collector.
+func (s *Server) Stats() *telemetry.Collector { return s.col }
 
 // Store exposes the watchable job registry (List/Get/Watch).
 func (s *Server) Store() *Store { return s.store }
@@ -168,13 +247,17 @@ func (s *Server) Submit(e *run.Experiment) (*Job, error) {
 		entry := s.cache[hash]
 		s.mu.Unlock()
 		if entry != nil {
+			s.jobsSubmitted.Inc()
+			s.cacheHits.Inc()
 			return s.store.add(spec, hash, nil, func() {}, entry), nil
 		}
+		s.cacheMisses.Inc()
 	}
 	ctx, cancel := context.WithCancel(s.ctx)
 	job := s.store.add(spec, hash, ctx, cancel, nil)
 	select {
 	case s.queue <- job:
+		s.jobsSubmitted.Inc()
 		return job, nil
 	default:
 		job.Cancel()
@@ -205,23 +288,35 @@ func (s *Server) runJob(job *Job) {
 	if !job.setRunning() {
 		return // cancelled while queued
 	}
+	s.running.Add(1)
+	defer s.running.Add(-1)
 	var report bytes.Buffer
 	sinks := []run.Sink{
 		run.NewJSONLSink(&eventLog{job: job}),
 		run.NewMarkdownSink(&report),
 	}
 	s.runs.Add(1)
-	_, err := run.Run(job.ctx, job.spec, run.Options{
+	out, err := run.Run(job.ctx, job.spec, run.Options{
 		Parallelism: par.Workers(s.cfg.Parallelism, s.cfg.MaxJobs),
 		Sinks:       sinks,
+		Stats:       s.col,
 	})
+	if out != nil {
+		job.setResources(out.Telemetry)
+	}
 	switch {
 	case err == nil:
+		s.jobsDone.Inc()
+		if out != nil && out.Telemetry != nil {
+			s.jobWall.Observe(out.Telemetry.WallSeconds)
+		}
 		job.finish(StatusDone, "", report.Bytes())
 		s.remember(job)
 	case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
+		s.jobsCancelled.Inc()
 		job.finish(StatusCancelled, err.Error(), nil)
 	default:
+		s.jobsFailed.Inc()
 		job.finish(StatusFailed, err.Error(), nil)
 	}
 }
@@ -247,5 +342,6 @@ func (s *Server) remember(job *Job) {
 	for len(s.cacheOrder) > s.cfg.CacheSize {
 		delete(s.cache, s.cacheOrder[0])
 		s.cacheOrder = s.cacheOrder[1:]
+		s.cacheEvictions.Inc()
 	}
 }

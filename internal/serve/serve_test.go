@@ -5,7 +5,9 @@ import (
 	"context"
 	"io"
 	"net/http/httptest"
+	"regexp"
 	"runtime"
+	"strings"
 	"sync"
 	"testing"
 	"time"
@@ -13,6 +15,16 @@ import (
 	"hmscs/internal/run"
 	"hmscs/internal/serve"
 )
+
+// tsField matches the sink-stamped wall-clock timestamp on a JSONL line.
+// Content comparisons normalize it: two runs of the same spec emit the
+// same events with the same seq numbers but necessarily different wall
+// clocks (the cached *replay*, by contrast, is byte-identical as-is).
+var tsField = regexp.MustCompile(`"ts":"[^"]*"`)
+
+func stripTS(b []byte) []byte {
+	return tsField.ReplaceAll(b, []byte(`"ts":"X"`))
+}
 
 // smallSimulate is a simulate spec cheap enough for -race but with real
 // event traffic (three replications).
@@ -90,9 +102,84 @@ func TestCacheHitByteIdentical(t *testing.T) {
 			t.Errorf("submission %d: markdown report differs from local run.Run\ngot:\n%s\nwant:\n%s",
 				i, got[i].md.Bytes(), wantMD.Bytes())
 		}
-		if !bytes.Equal(got[i].events.Bytes(), wantEvents.Bytes()) {
+		if !bytes.Equal(stripTS(got[i].events.Bytes()), stripTS(wantEvents.Bytes())) {
 			t.Errorf("submission %d: event stream differs from local run.Run\ngot:\n%s\nwant:\n%s",
 				i, got[i].events.Bytes(), wantEvents.Bytes())
+		}
+	}
+	// The cached replay itself is byte-identical to the first run's
+	// stream, timestamps included: the cache replays recorded bytes.
+	if !bytes.Equal(got[1].events.Bytes(), got[0].events.Bytes()) {
+		t.Error("cached replay is not byte-identical to the recorded stream")
+	}
+}
+
+// TestMetricsAndJobResources covers the observability surface: an
+// executed job reports engine accounting in its snapshot, a cache-hit
+// job reports none (it did no work), /metrics moves the run and cache
+// counters, and /healthz carries the scheduler gauges.
+func TestMetricsAndJobResources(t *testing.T) {
+	srv := serve.New(serve.Config{Parallelism: 1, MaxJobs: 1})
+	ts := httptest.NewServer(srv.Handler())
+	defer func() { ts.Close(); srv.Close() }()
+	client := serve.NewClient(ts.URL)
+	ctx := context.Background()
+
+	info, err := client.Execute(ctx, smallSimulate(), nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := info.Resources
+	if r == nil {
+		t.Fatal("executed job reports no resources")
+	}
+	if r.SimEvents <= 0 || r.Generated <= 0 || r.Replications <= 0 || r.WallSeconds <= 0 {
+		t.Fatalf("implausible resources: %+v", *r)
+	}
+	hit, err := client.Execute(ctx, smallSimulate(), nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !hit.Cached {
+		t.Fatal("second identical submission did not hit the cache")
+	}
+	if hit.Resources != nil {
+		t.Errorf("cache-hit job reports resources %+v, want none", *hit.Resources)
+	}
+
+	resp, err := ts.Client().Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Errorf("metrics Content-Type = %q", ct)
+	}
+	for _, want := range []string{
+		"hmscs_runs_total 1",
+		"hmscs_jobs_submitted_total 2",
+		"hmscs_jobs_done_total 1",
+		"hmscs_cache_hits_total 1",
+		"hmscs_cache_misses_total 1",
+		"hmscs_cache_entries 1",
+		"# TYPE hmscs_job_wall_seconds histogram",
+		"hmscs_job_wall_seconds_count 1",
+	} {
+		if !strings.Contains(string(body), want) {
+			t.Errorf("/metrics missing %q\n%s", want, body)
+		}
+	}
+
+	resp, err = ts.Client().Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	health, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	for _, key := range []string{"queue_depth", "queued_jobs", "running_jobs", "cache_entries", "uptime_s", "runs"} {
+		if !strings.Contains(string(health), `"`+key+`"`) {
+			t.Errorf("/healthz missing %q field:\n%s", key, health)
 		}
 	}
 }

@@ -110,6 +110,14 @@ type Engine struct {
 	events  eventList
 	handler Handler
 	stopped bool
+
+	// Lifetime instrumentation (DESIGN.md §12): plain fields bumped in
+	// the event loop — no atomics, no time reads — and folded into a
+	// telemetry.Collector once per replication. Both are cumulative
+	// across RestoreState, so a sharded run's re-executed windows count
+	// as the real work they are.
+	executed   int64
+	maxPending int
 }
 
 // NewEngine returns an engine with the clock at zero, backed by the
@@ -138,6 +146,9 @@ func (e *Engine) Schedule(delay float64, kind EventKind, idx int32) {
 	}
 	e.seq++
 	e.events.push(event{at: e.now + delay, seq: e.seq, kind: kind, idx: idx})
+	if n := e.events.len(); n > e.maxPending {
+		e.maxPending = n
+	}
 }
 
 // Stop makes Run return after the current event completes.
@@ -172,9 +183,19 @@ func (e *Engine) Run(maxTime float64) int {
 		e.now = ev.at
 		e.handler.Handle(ev.kind, ev.idx)
 		executed++
+		e.executed++
 	}
 	return executed
 }
+
+// Executed returns the lifetime number of events dispatched, including
+// events re-executed after RestoreState — the total work the engine
+// did, not the net progress.
+func (e *Engine) Executed() int64 { return e.executed }
+
+// MaxPending returns the lifetime high-water mark of the future-event
+// set.
+func (e *Engine) MaxPending() int { return e.maxPending }
 
 // Pending returns the number of scheduled events.
 func (e *Engine) Pending() int { return e.events.len() }
@@ -199,6 +220,9 @@ func (e *Engine) ScheduleAt(at float64, kind EventKind, idx int32) {
 	}
 	e.seq++
 	e.events.push(event{at: at, seq: e.seq, kind: kind, idx: idx})
+	if n := e.events.len(); n > e.maxPending {
+		e.maxPending = n
+	}
 }
 
 // RunWindow dispatches every event with time strictly below horizon (at or
@@ -227,6 +251,7 @@ func (e *Engine) RunWindow(horizon float64, inclusive bool) int {
 		e.now = ev.at
 		e.handler.Handle(ev.kind, ev.idx)
 		executed++
+		e.executed++
 	}
 	if e.now < horizon && !math.IsInf(horizon, 1) {
 		e.now = horizon
@@ -245,6 +270,7 @@ func (e *Engine) StepSameTime(t float64) bool {
 	e.events.pop()
 	e.now = ev.at
 	e.handler.Handle(ev.kind, ev.idx)
+	e.executed++
 	return true
 }
 

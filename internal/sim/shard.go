@@ -4,10 +4,12 @@ import (
 	"fmt"
 	"math"
 	"slices"
+	"time"
 
 	"hmscs/internal/core"
 	"hmscs/internal/rng"
 	"hmscs/internal/scenario"
+	"hmscs/internal/telemetry"
 	"hmscs/internal/workload"
 )
 
@@ -183,6 +185,16 @@ type shardedSim struct {
 	cand [][]xfer // merge scratch, one buffer per receiving shard
 	sel  []bool
 	idx  []int // replay cursor per shard
+
+	// Shard-efficiency counters (DESIGN.md §12): windows executed,
+	// dirty-shard re-executions to fixed point, stop-cut rewinds, and
+	// committed hand-off volume (total and per (src, dst) shard pair).
+	// All are bumped by the coordinator goroutine only — the outcome of
+	// the deterministic fixed-point algorithm, so they are themselves
+	// deterministic for a given (spec, seed, shards).
+	windows, reruns, rewinds, handoffs int64
+	pairHandoffs                       [][]int64
+	profID                             int
 }
 
 // maxWindowIters bounds the fixed-point iteration per window. Convergence
@@ -360,6 +372,13 @@ func newSharded(cfg *core.Config, opts Options) (*shardedSim, error) {
 	o.cand = make([][]xfer, s)
 	o.sel = make([]bool, s)
 	o.idx = make([]int, s)
+	o.pairHandoffs = make([][]int64, s)
+	for i := range o.pairHandoffs {
+		o.pairHandoffs[i] = make([]int64, s)
+	}
+	if opts.Profile != nil {
+		o.profID = opts.Profile.Track(fmt.Sprintf("sim seed=%d shards=%d", opts.Seed, s))
+	}
 	return o, nil
 }
 
@@ -472,11 +491,12 @@ func (o *shardedSim) ownsEvent(s int, ev *scenario.SimEvent) bool {
 // repeatedly merge outboxes into candidate inboxes and re-execute (from
 // the snapshot) exactly the shards whose inbox changed.
 func (o *shardedSim) runOneWindow(horizon float64, inclusive bool) {
+	o.windows++
 	for _, sh := range o.shards {
 		sh.save()
 		sh.inbox = sh.inbox[:0]
 	}
-	o.pool.Run(nil, func(i int) { o.shards[i].runWindow(horizon, inclusive) })
+	o.poolWindow(nil, "window", horizon, inclusive)
 	for iter := 0; ; iter++ {
 		if iter >= maxWindowIters {
 			panic("sim: sharded window failed to converge (zero-latency cross-shard cycle?)")
@@ -495,17 +515,43 @@ func (o *shardedSim) runOneWindow(horizon float64, inclusive bool) {
 			any = any || sh.dirty
 		}
 		if !any {
+			// Fixed point: the inboxes are final, so this is the committed
+			// cross-shard hand-off volume for the window.
+			for r, sh := range o.shards {
+				o.handoffs += int64(len(sh.inbox))
+				for i := range sh.inbox {
+					o.pairHandoffs[sh.inbox[i].src][r]++
+				}
+			}
 			return
 		}
 		for r, sh := range o.shards {
 			o.sel[r] = sh.dirty
 			if sh.dirty {
 				sh.restore()
+				o.reruns++
 				sh.inbox, o.cand[r] = o.cand[r], sh.inbox
 			}
 		}
-		o.pool.Run(o.sel, func(i int) { o.shards[i].runWindow(horizon, inclusive) })
+		o.poolWindow(o.sel, "rerun", horizon, inclusive)
 	}
+}
+
+// poolWindow runs the selected shards' windows on the pool. With a trace
+// profile attached, each shard's execution is timed and recorded as a
+// Chrome-trace slice; time is recorded, never branched on, so the
+// profiled run computes exactly what the unprofiled one does.
+func (o *shardedSim) poolWindow(sel []bool, name string, horizon float64, inclusive bool) {
+	p := o.opts.Profile
+	if p == nil {
+		o.pool.Run(sel, func(i int) { o.shards[i].runWindow(horizon, inclusive) })
+		return
+	}
+	o.pool.Run(sel, func(i int) {
+		t0 := time.Now()
+		o.shards[i].runWindow(horizon, inclusive)
+		p.Span(o.profID, i, name, t0, time.Since(t0))
+	})
 }
 
 // commit replays the shards' merged delivery logs through the sequential
@@ -569,8 +615,18 @@ func (o *shardedSim) cut(tStop float64) {
 		}
 		sh.cutPre, sh.cutNeed = pre, n
 		sh.restore()
+		o.rewinds++
 	}
-	o.pool.Run(nil, func(i int) { o.shards[i].runCut(tStop) })
+	p := o.opts.Profile
+	if p == nil {
+		o.pool.Run(nil, func(i int) { o.shards[i].runCut(tStop) })
+		return
+	}
+	o.pool.Run(nil, func(i int) {
+		t0 := time.Now()
+		o.shards[i].runCut(tStop)
+		p.Span(o.profID, i, "cut", t0, time.Since(t0))
+	})
 }
 
 // finish assembles the Result exactly as the sequential Run does.
@@ -601,6 +657,29 @@ func (o *shardedSim) finish() *Result {
 			MaxQueueLength:  c.MaxQueueLength(),
 			Served:          c.Served(),
 		})
+	}
+	if o.opts.Stats != nil {
+		st := telemetry.SimStats{
+			Generated:    o.res.Generated,
+			Dropped:      o.res.Dropped,
+			Rerouted:     o.res.Rerouted,
+			Shards:       int64(len(o.shards)),
+			Windows:      o.windows,
+			Reruns:       o.reruns,
+			Rewinds:      o.rewinds,
+			Handoffs:     o.handoffs,
+			PairHandoffs: o.pairHandoffs,
+			ShardEvents:  make([]int64, len(o.shards)),
+		}
+		for i, sh := range o.shards {
+			ex := sh.eng.Executed()
+			st.Events += ex
+			st.ShardEvents[i] = ex
+			if mp := int64(sh.eng.MaxPending()); mp > st.MaxPending {
+				st.MaxPending = mp
+			}
+		}
+		o.opts.Stats.Add(st)
 	}
 	return &o.res
 }

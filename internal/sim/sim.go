@@ -9,6 +9,7 @@ import (
 	"hmscs/internal/rng"
 	"hmscs/internal/scenario"
 	"hmscs/internal/stats"
+	"hmscs/internal/telemetry"
 	"hmscs/internal/trace"
 	"hmscs/internal/workload"
 )
@@ -72,6 +73,16 @@ type Options struct {
 	// slices it afterwards) and the run never reports TimedOut. Results
 	// remain bit-identical at every shard count (DESIGN.md §11).
 	Scenario *scenario.CompiledSim
+	// Stats, when non-nil, receives one telemetry.SimStats record when
+	// the replication finishes — engine event counts, heap high-water
+	// mark and (sharded) window/re-run/hand-off totals. Purely
+	// observational: results are bit-identical with or without it
+	// (DESIGN.md §12).
+	Stats *telemetry.Collector
+	// Profile, when non-nil, records per-shard window occupancy spans
+	// into a Chrome-trace profile. Only sharded runs emit spans; time
+	// is recorded, never branched on.
+	Profile *telemetry.TraceProfile
 }
 
 // DefaultOptions mirrors the paper's experimental procedure with a warm-up
@@ -434,6 +445,16 @@ func (s *Simulator) Run() (*Result, error) {
 			MeanQueueLength: c.MeanQueueLength(),
 			MaxQueueLength:  c.MaxQueueLength(),
 			Served:          c.Served(),
+		})
+	}
+	if s.opts.Stats != nil {
+		s.opts.Stats.Add(telemetry.SimStats{
+			Events:     s.eng.Executed(),
+			MaxPending: int64(s.eng.MaxPending()),
+			Generated:  s.res.Generated,
+			Dropped:    s.res.Dropped,
+			Rerouted:   s.res.Rerouted,
+			Shards:     1,
 		})
 	}
 	return &s.res, nil
