@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race vet fmt-check bench bench-compare plan serve golden golden-check golden-plan golden-plan-check api api-check scenarios-check links-check clean
+.PHONY: all build test race vet fmt-check bench bench-compare plan serve cluster golden golden-check golden-plan golden-plan-check api api-check scenarios-check links-check clean
 
 all: build test
 
@@ -51,6 +51,19 @@ plan:
 # point any binary at it with -submit 127.0.0.1:8642 (docs/SERVER.md).
 serve:
 	$(GO) run ./cmd/hmscs-server
+
+# cluster starts the service plus WORKERS local hmscs-worker processes
+# attached to it, so any -submit invocation fans its units out across
+# them (docs/SERVER.md §worker protocol). Ctrl-C stops the fleet.
+WORKERS ?= 2
+cluster:
+	@trap 'kill 0' INT TERM EXIT; \
+	$(GO) run ./cmd/hmscs-server & \
+	sleep 1; \
+	for i in $$(seq $(WORKERS)); do \
+		$(GO) run ./cmd/hmscs-worker -connect 127.0.0.1:8642 -name local-w$$i & \
+	done; \
+	wait
 
 # The pinned command behind testdata/golden-figures.txt: Figures 4-7 with
 # a fixed seed and reduced replications, deterministic at any -parallel.

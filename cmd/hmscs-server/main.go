@@ -59,6 +59,7 @@ func runMain(args []string) error {
 	jobs := fs.Int("jobs", 2, "jobs running concurrently; queued jobs start in submission order")
 	cache := fs.Int("cache", 256, "completed outcomes kept for exact replay (-1 disables caching)")
 	queue := fs.Int("queue", 1024, "pending-job backlog bound; submissions beyond it are rejected")
+	leaseTTL := fs.Duration("lease-ttl", 0, "distributed unit lease TTL: how long an hmscs-worker may miss heartbeats before its units are re-offered (0 = 10s)")
 	drain := fs.Duration("drain", 10*time.Second, "graceful-shutdown budget for open streams and running jobs")
 	pprofOn := fs.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/ (CPU, heap, goroutine profiles; docs/OBSERVABILITY.md)")
 	if err := fs.Parse(args); err != nil {
@@ -66,10 +67,11 @@ func runMain(args []string) error {
 	}
 
 	srv := serve.New(serve.Config{
-		Parallelism: *parallel,
-		MaxJobs:     *jobs,
-		CacheSize:   *cache,
-		QueueDepth:  *queue,
+		Parallelism:  *parallel,
+		MaxJobs:      *jobs,
+		CacheSize:    *cache,
+		QueueDepth:   *queue,
+		DistLeaseTTL: *leaseTTL,
 	})
 	handler := srv.Handler()
 	if *pprofOn {

@@ -1,0 +1,348 @@
+package dist_test
+
+// End-to-end suite over the real wire: a serve.Server with its HTTP
+// handler, real dist.Worker clients attached over httptest, and the
+// serve.Client driving submissions — the same three processes
+// (hmscs-server, hmscs-worker, a -submit binary) a production cluster
+// runs, minus the network namespace. Every test pins the subsystem's
+// one contract: distributed output is byte-identical to a local run.
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"regexp"
+	"strings"
+	"testing"
+	"time"
+
+	"hmscs/internal/dist"
+	"hmscs/internal/run"
+	"hmscs/internal/scenario"
+	"hmscs/internal/serve"
+	"hmscs/internal/sim"
+)
+
+var tsRe = regexp.MustCompile(`"ts":"[^"]*"`)
+
+func normTS(s string) string { return tsRe.ReplaceAllString(s, `"ts":"X"`) }
+
+// clusterSpecs covers every distributable experiment kind across every
+// execution mode: fixed, precision-adaptive and scenario-dynamic.
+func clusterSpecs() map[string]*run.Experiment {
+	specs := map[string]*run.Experiment{}
+
+	simFixed := run.NewExperiment(run.KindSimulate)
+	simFixed.System.Clusters = 2
+	simFixed.System.Total = 8
+	simFixed.Run.Messages = 300
+	simFixed.Run.Reps = 2
+	specs["simulate-fixed"] = simFixed
+
+	simPrec := run.NewExperiment(run.KindSimulate)
+	simPrec.System.Clusters = 2
+	simPrec.System.Total = 8
+	simPrec.Run.Messages = 400
+	simPrec.Precision.RelWidth = 0.5
+	simPrec.Precision.MaxReps = 4
+	specs["simulate-precision"] = simPrec
+
+	simScen := run.NewExperiment(run.KindSimulate)
+	simScen.System.Clusters = 2
+	simScen.System.Total = 8
+	simScen.Run.Messages = 300
+	simScen.Run.Reps = 2
+	simScen.Scenario = &scenario.Spec{
+		HorizonS: 0.05,
+		Events: []scenario.Event{
+			{TS: 0.02, Action: "fail", Target: "node:0"},
+			{TS: 0.03, Action: "repair", Target: "node:0"},
+		},
+	}
+	specs["simulate-scenario"] = simScen
+
+	swp := run.NewExperiment(run.KindSweep)
+	swp.Sweep.Var = "clusters"
+	swp.Sweep.Ints = "1,2,4"
+	swp.Run.Messages = 300
+	swp.Run.Reps = 2
+	specs["sweep-fixed"] = swp
+
+	swpScen := run.NewExperiment(run.KindSweep)
+	swpScen.Sweep.Var = "clusters"
+	swpScen.Sweep.Ints = "2,4"
+	swpScen.Run.Messages = 300
+	swpScen.Run.Reps = 1
+	swpScen.Scenario = &scenario.Spec{
+		HorizonS: 0.05,
+		Events:   []scenario.Event{{TS: 0.02, Action: "fail", Target: "cluster:largest"}},
+	}
+	specs["sweep-scenario"] = swpScen
+
+	fig := run.NewExperiment(run.KindFigure)
+	fig.Figure.What = "fig4"
+	fig.Figure.Format = "csv"
+	fig.Run.Messages = 200
+	fig.Run.Reps = 1
+	specs["figure-fig4"] = fig
+
+	analyze := run.NewExperiment(run.KindAnalyze)
+	analyze.System.Clusters = 2
+	analyze.System.Total = 8
+	analyze.Run.Messages = 400
+	analyze.Precision.RelWidth = 0.5
+	analyze.Precision.MaxReps = 4
+	specs["analyze-precision"] = analyze
+
+	pln := run.NewExperiment(run.KindPlan)
+	pln.Plan.Top = 1
+	pln.Run.Messages = 400
+	pln.Precision.RelWidth = 0.5
+	pln.Precision.MaxReps = 4
+	specs["plan-top1"] = pln
+
+	return specs
+}
+
+// localRun is the baseline: the exact invocation serve.runJob performs,
+// minus the distribution hook.
+func localRun(t *testing.T, e *run.Experiment) (string, string) {
+	t.Helper()
+	var report, events strings.Builder
+	if _, err := run.Run(context.Background(), e, run.Options{
+		Parallelism: 1,
+		Sinks:       []run.Sink{run.NewMarkdownSink(&report), run.NewJSONLSink(&events)},
+	}); err != nil {
+		t.Fatalf("local run: %v", err)
+	}
+	return report.String(), normTS(events.String())
+}
+
+// cluster is one in-process deployment: a server, its HTTP listener,
+// and n attached workers.
+type cluster struct {
+	srv  *serve.Server
+	ts   *httptest.Server
+	stop []context.CancelFunc
+}
+
+func startCluster(t *testing.T, workers int, ttl time.Duration) *cluster {
+	t.Helper()
+	// Parallelism 1 + MaxJobs 1 keeps the consuming pool sequential, so
+	// the JSONL stream is byte-comparable (the strong -parallel 1 form);
+	// caching is off so resubmissions re-run instead of replaying.
+	srv := serve.New(serve.Config{Parallelism: 1, MaxJobs: 1, CacheSize: -1, DistLeaseTTL: ttl})
+	ts := httptest.NewServer(srv.Handler())
+	c := &cluster{srv: srv, ts: ts}
+	t.Cleanup(func() {
+		for _, stop := range c.stop {
+			stop()
+		}
+		ts.Close()
+		srv.Close()
+	})
+	for i := 0; i < workers; i++ {
+		c.addWorker(t, fmt.Sprintf("w%d", i), nil)
+	}
+	c.waitLive(t, workers)
+	return c
+}
+
+func (c *cluster) addWorker(t *testing.T, name string, hc *http.Client) context.CancelFunc {
+	t.Helper()
+	ctx, cancel := context.WithCancel(context.Background())
+	c.stop = append(c.stop, cancel)
+	w := &dist.Worker{Connect: c.ts.URL, Procs: 2, Name: name, HC: hc}
+	go w.Run(ctx) //nolint:errcheck // exits with ctx.Err on cancel
+	return cancel
+}
+
+func (c *cluster) waitLive(t *testing.T, n int) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for c.srv.Dist().Live() < n {
+		if time.Now().After(deadline) {
+			t.Fatalf("only %d of %d workers registered", c.srv.Dist().Live(), n)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// submit drives the spec through the cluster the way a -submit binary
+// would and returns (report, ts-normalized events).
+func (c *cluster) submit(t *testing.T, e *run.Experiment) (string, string) {
+	t.Helper()
+	client := serve.NewClient(c.ts.URL)
+	var report, events bytes.Buffer
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+	if _, err := client.Execute(ctx, e, &report, &events); err != nil {
+		t.Fatalf("remote execution: %v", err)
+	}
+	return report.String(), normTS(events.String())
+}
+
+// TestDistributedMatchesLocal is the acceptance pin: for every
+// distributable spec kind and worker count {1, 2, 4}, the remote
+// report and event stream are byte-identical to a plain local run.
+func TestDistributedMatchesLocal(t *testing.T) {
+	specs := clusterSpecs()
+	type baseline struct{ report, events string }
+	baselines := map[string]baseline{}
+	for name, e := range specs {
+		r, ev := localRun(t, e)
+		baselines[name] = baseline{r, ev}
+	}
+	counts := []int{1, 2, 4}
+	if testing.Short() {
+		counts = []int{2}
+	}
+	for _, workers := range counts {
+		t.Run(fmt.Sprintf("workers=%d", workers), func(t *testing.T) {
+			c := startCluster(t, workers, 0)
+			for name, e := range specs {
+				report, events := c.submit(t, e)
+				if report != baselines[name].report {
+					t.Errorf("%s: report differs from local run", name)
+				}
+				if events != baselines[name].events {
+					t.Errorf("%s: event stream differs from local run:\n--- local ---\n%s\n--- remote ---\n%s",
+						name, baselines[name].events, events)
+				}
+			}
+			if st := c.srv.Dist().Stats(); st.Completed == 0 {
+				t.Error("workers completed no units; nothing was actually distributed")
+			}
+		})
+	}
+}
+
+// blackholeComplete swallows result deliveries: the worker runs units
+// and holds its leases but its completions never arrive — the in-process
+// stand-in for a worker whose process is SIGKILLed mid-delivery.
+type blackholeComplete struct{ rt http.RoundTripper }
+
+func (b blackholeComplete) RoundTrip(req *http.Request) (*http.Response, error) {
+	if strings.HasSuffix(req.URL.Path, "/dist/complete") {
+		<-req.Context().Done()
+		return nil, req.Context().Err()
+	}
+	return b.rt.RoundTrip(req)
+}
+
+// TestWorkerDeathMidRun kills one of two workers while it holds leased
+// units of a running sweep: the units must reassign (units_reassigned
+// moves) and the job's output must still be byte-identical to a local
+// run.
+func TestWorkerDeathMidRun(t *testing.T) {
+	e := run.NewExperiment(run.KindSweep)
+	e.Sweep.Var = "clusters"
+	e.Sweep.Ints = "1,2,4,8"
+	e.Run.Messages = 500
+	e.Run.Reps = 2
+	wantReport, wantEvents := localRun(t, e)
+
+	c := startCluster(t, 1, 250*time.Millisecond)
+	killDoomed := c.addWorker(t, "doomed", &http.Client{
+		Transport: blackholeComplete{http.DefaultTransport},
+	})
+	c.waitLive(t, 2)
+
+	done := make(chan struct{})
+	var report, events string
+	go func() {
+		defer close(done)
+		report, events = c.submit(t, e)
+	}()
+
+	// Kill the doomed worker the moment it holds a lease. Its heartbeats
+	// stop, the lease expires after one TTL, and the unit re-offers.
+	deadline := time.Now().Add(30 * time.Second)
+	killed := false
+	for !killed {
+		if time.Now().After(deadline) {
+			t.Fatal("doomed worker never held a lease")
+		}
+		for _, w := range c.srv.Dist().Workers() {
+			if w.Name == "doomed" && w.Leased > 0 {
+				killDoomed()
+				killed = true
+				break
+			}
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	<-done
+
+	if report != wantReport {
+		t.Error("report differs from local run after worker death")
+	}
+	if events != wantEvents {
+		t.Errorf("event stream differs from local run after worker death:\n--- local ---\n%s\n--- remote ---\n%s",
+			wantEvents, events)
+	}
+	if st := c.srv.Dist().Stats(); st.Reassigned == 0 {
+		t.Error("killed worker's leases were never reassigned")
+	}
+}
+
+// TestHealthzReportsWorkers pins the /healthz worker fields.
+func TestHealthzReportsWorkers(t *testing.T) {
+	c := startCluster(t, 2, 0)
+	resp, err := http.Get(c.ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	buf.ReadFrom(resp.Body) //nolint:errcheck
+	body := buf.String()
+	for _, want := range []string{`"workers_attached": 2`, `"workers_live": 2`, `"leased_units": 0`} {
+		if !strings.Contains(body, want) {
+			t.Errorf("healthz missing %s:\n%s", want, body)
+		}
+	}
+	wresp, err := http.Get(c.ts.URL + "/dist/workers")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer wresp.Body.Close()
+	var wbuf bytes.Buffer
+	wbuf.ReadFrom(wresp.Body) //nolint:errcheck
+	if !strings.Contains(wbuf.String(), `"procs":2`) {
+		t.Errorf("GET /dist/workers missing worker detail:\n%s", wbuf.String())
+	}
+}
+
+// TestResultCodecRoundTrip pins the wire codec's bit-exactness on a
+// real engine result (Welford state, sample vector, per-center stats).
+func TestResultCodecRoundTrip(t *testing.T) {
+	e := run.NewExperiment(run.KindSimulate)
+	e.System.Clusters = 2
+	e.System.Total = 8
+	e.Run.Messages = 400
+	e.Normalize()
+	prog, err := run.NewProgram(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg, opts, err := prog.Unit(run.StageSim, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts.RecordSample = true
+	res, err := sim.Run(cfg, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := dist.RoundTripResult(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(res, got) {
+		t.Errorf("result changed across the wire:\nbefore: %+v\nafter:  %+v", res, got)
+	}
+}

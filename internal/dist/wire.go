@@ -1,0 +1,203 @@
+// Package dist is the distributed unit fan-out subsystem: a
+// coordinator that decomposes submitted experiments into
+// self-describing simulation units, a pull-based HTTP worker protocol
+// (register → lease → complete, with heartbeats), and a job-side
+// executor that plugs into run.Options.Units so a resident server
+// transparently spreads (point × replication) work across attached
+// hmscs-worker processes.
+//
+// The correctness contract is inherited, not invented: a unit is a pure
+// function of (normalized spec, stage, point, replication) — see
+// run.Program — and results merge by unit index, so the outcome of a
+// distributed run is byte-identical to a local run.Run of the same spec
+// regardless of worker count, completion order, or mid-run worker
+// death. Leases carry deadlines; a worker that misses its heartbeats
+// simply has its units re-offered, which is safe precisely because
+// units are deterministic and merging is positional.
+package dist
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"hmscs/internal/sim"
+	"hmscs/internal/stats"
+	"hmscs/internal/telemetry"
+)
+
+// WireUnit addresses one simulation unit of a registered spec. Seed is
+// the coordinator-derived replication seed, shipped redundantly so a
+// worker can cross-check its own derivation against the coordinator's
+// before running (a mismatch means version skew, which must surface as
+// an error rather than as silently different physics).
+type WireUnit struct {
+	Stage string `json:"stage"`
+	Point int    `json:"point"`
+	Rep   int    `json:"rep"`
+	Seed  uint64 `json:"seed"`
+}
+
+// Lease is one granted unit: the lease id the completion must quote,
+// the spec hash to fetch the experiment by, and the unit address.
+type Lease struct {
+	ID   string   `json:"id"`
+	Spec string   `json:"spec"`
+	Unit WireUnit `json:"unit"`
+}
+
+// registerRequest / registerResponse are the POST /dist/workers bodies.
+type registerRequest struct {
+	Name  string `json:"name,omitempty"`
+	Procs int    `json:"procs"`
+}
+
+type registerResponse struct {
+	Worker string `json:"worker"`
+	// LeaseTTLMS is how long a lease lives without a heartbeat; PollMS is
+	// the suggested long-poll and heartbeat interval.
+	LeaseTTLMS int64 `json:"lease_ttl_ms"`
+	PollMS     int64 `json:"poll_ms"`
+}
+
+// leaseRequest is the POST /dist/lease body: a long-poll for up to Max
+// units, waiting at most WaitMS for the first.
+type leaseRequest struct {
+	Worker string `json:"worker"`
+	Max    int    `json:"max"`
+	WaitMS int64  `json:"wait_ms"`
+}
+
+type leaseResponse struct {
+	// Status is empty on success and "unknown-worker" when the worker
+	// must re-register (e.g. after a coordinator restart).
+	Status string  `json:"status,omitempty"`
+	Leases []Lease `json:"leases"`
+}
+
+// completeRequest is the POST /dist/complete body. Exactly one of
+// Result and Error is set; Stats is the unit's engine record.
+type completeRequest struct {
+	Worker string              `json:"worker"`
+	Lease  string              `json:"lease"`
+	BusyNS int64               `json:"busy_ns"`
+	Error  string              `json:"error,omitempty"`
+	Result *wireResult         `json:"result,omitempty"`
+	Stats  *telemetry.SimStats `json:"stats,omitempty"`
+}
+
+// statusResponse answers complete and heartbeat: "ok", "stale" (the
+// lease is no longer held — expired, duplicated or cancelled), or
+// "unknown-worker" (re-register).
+type statusResponse struct {
+	Status string `json:"status"`
+}
+
+const (
+	statusOK            = "ok"
+	statusStale         = "stale"
+	statusUnknownWorker = "unknown-worker"
+)
+
+// heartbeatRequest extends every lease the worker holds.
+type heartbeatRequest struct {
+	Worker string `json:"worker"`
+}
+
+// WorkerInfo is one attached worker's snapshot (GET /dist/workers).
+type WorkerInfo struct {
+	ID     string `json:"id"`
+	Name   string `json:"name,omitempty"`
+	Procs  int    `json:"procs"`
+	Live   bool   `json:"live"`
+	Leased int    `json:"leased_units"`
+	// UnitsDone and BusySeconds are this worker's lifetime accounting —
+	// the per-worker detail behind the aggregate hmscs_dist_* families.
+	UnitsDone   int64   `json:"units_done"`
+	BusySeconds float64 `json:"busy_s"`
+	// IdleSeconds is the time since the worker was last heard from.
+	IdleSeconds float64 `json:"idle_s"`
+}
+
+// wireResult is sim.Result in wire form. The Welford accumulator
+// crosses as its exported state; Go's JSON float64 round-trip is exact
+// (shortest-representation encoding), so a decoded result is
+// bit-identical to the worker's — the property every downstream
+// aggregate relies on.
+type wireResult struct {
+	Latency         stats.WelfordState `json:"latency"`
+	Sample          []float64          `json:"sample,omitempty"`
+	SampleTimes     []float64          `json:"sample_times,omitempty"`
+	SimTime         float64            `json:"sim_time"`
+	Generated       int64              `json:"generated"`
+	Measured        int64              `json:"measured"`
+	Throughput      float64            `json:"throughput"`
+	EffectiveLambda float64            `json:"effective_lambda"`
+	Centers         []wireCenter       `json:"centers,omitempty"`
+	TimedOut        bool               `json:"timed_out,omitempty"`
+	Dropped         int64              `json:"dropped,omitempty"`
+	Rerouted        int64              `json:"rerouted,omitempty"`
+}
+
+type wireCenter struct {
+	Name            string  `json:"name"`
+	Utilization     float64 `json:"utilization"`
+	MeanQueueLength float64 `json:"mean_qlen"`
+	MaxQueueLength  float64 `json:"max_qlen"`
+	Served          int64   `json:"served"`
+}
+
+// encodeResult converts a simulation result to its wire form.
+func encodeResult(r *sim.Result) *wireResult {
+	w := &wireResult{
+		Latency:         r.Latency.State(),
+		Sample:          r.Sample,
+		SampleTimes:     r.SampleTimes,
+		SimTime:         r.SimTime,
+		Generated:       r.Generated,
+		Measured:        r.Measured,
+		Throughput:      r.Throughput,
+		EffectiveLambda: r.EffectiveLambda,
+		TimedOut:        r.TimedOut,
+		Dropped:         r.Dropped,
+		Rerouted:        r.Rerouted,
+	}
+	for _, c := range r.Centers {
+		w.Centers = append(w.Centers, wireCenter(c))
+	}
+	return w
+}
+
+// decodeResult reconstructs the simulation result.
+func (w *wireResult) decode() *sim.Result {
+	r := &sim.Result{
+		Latency:         stats.RestoreWelford(w.Latency),
+		Sample:          w.Sample,
+		SampleTimes:     w.SampleTimes,
+		SimTime:         w.SimTime,
+		Generated:       w.Generated,
+		Measured:        w.Measured,
+		Throughput:      w.Throughput,
+		EffectiveLambda: w.EffectiveLambda,
+		TimedOut:        w.TimedOut,
+		Dropped:         w.Dropped,
+		Rerouted:        w.Rerouted,
+	}
+	for _, c := range w.Centers {
+		r.Centers = append(r.Centers, sim.CenterStats(c))
+	}
+	return r
+}
+
+// RoundTripResult is the codec identity check used by tests: encode,
+// JSON-marshal, unmarshal, decode.
+func RoundTripResult(r *sim.Result) (*sim.Result, error) {
+	data, err := json.Marshal(encodeResult(r))
+	if err != nil {
+		return nil, fmt.Errorf("dist: encoding result: %w", err)
+	}
+	var w wireResult
+	if err := json.Unmarshal(data, &w); err != nil {
+		return nil, fmt.Errorf("dist: decoding result: %w", err)
+	}
+	return w.decode(), nil
+}

@@ -73,6 +73,7 @@ func runFigure(ctx context.Context, e *Experiment, opts Options, em *emitter) (*
 	}
 	simOpts.Stats = opts.Stats
 	simOpts.Profile = opts.Profile
+	simOpts.Exec = opts.unitRunner(StageFigures)
 	prec, err := e.Precision.Build()
 	if err != nil {
 		return nil, err
@@ -119,13 +120,17 @@ func runFigure(ctx context.Context, e *Experiment, opts Options, em *emitter) (*
 	if out.Results, err = sweep.RunFiguresCtx(ctx, specs, sweepOpts); err != nil {
 		return nil, err
 	}
+	// The ablation and future-work extras are outside the distributable
+	// figures stage (see StageFigures): run them locally.
+	extraOpts := sweepOpts
+	extraOpts.Sim.Exec = nil
 	if want("ablation") {
-		if out.Ablation, err = runAblation(ctx, sweepOpts); err != nil {
+		if out.Ablation, err = runAblation(ctx, extraOpts); err != nil {
 			return nil, err
 		}
 	}
 	if want("future") {
-		if out.Future, err = runFutureWork(ctx, sweepOpts); err != nil {
+		if out.Future, err = runFutureWork(ctx, extraOpts); err != nil {
 			return nil, err
 		}
 	}

@@ -50,6 +50,19 @@ type Options struct {
 	// Profile, when non-nil, records per-shard window occupancy of every
 	// sharded replication into a Chrome-trace profile (see -trace-profile).
 	Profile *telemetry.TraceProfile
+	// Units, when non-nil, supplies a sim.UnitRunner per batch stage (see
+	// StageCheck..StageVerify) — the seam a distributed executor uses to
+	// take over (point × replication) units. A nil return for a stage
+	// runs that stage locally. Results are bit-identical either way.
+	Units func(stage string) sim.UnitRunner
+}
+
+// unitRunner resolves the stage's executor; nil means run locally.
+func (o Options) unitRunner(stage string) sim.UnitRunner {
+	if o.Units == nil {
+		return nil
+	}
+	return o.Units(stage)
 }
 
 // Outcome is the structured result of one experiment: exactly one of
@@ -322,6 +335,7 @@ func runAnalyze(ctx context.Context, e *Experiment, opts Options, em *emitter) (
 		simOpts.Shards = e.Run.Shards
 		simOpts.Stats = opts.Stats
 		simOpts.Profile = opts.Profile
+		simOpts.Exec = opts.unitRunner(StageCheck)
 		units := []sim.PrecisionUnit{{Cfg: cfg, Opts: simOpts}}
 		res, err := sim.RunPrecisionUnitsCtx(ctx, units, *prec, opts.Parallelism, em.fn())
 		if err != nil {
@@ -343,6 +357,7 @@ func runSimulate(ctx context.Context, e *Experiment, opts Options, em *emitter) 
 	}
 	simOpts.Stats = opts.Stats
 	simOpts.Profile = opts.Profile
+	simOpts.Exec = opts.unitRunner(StageSim)
 	if e.Run.Reps < 1 {
 		return nil, fmt.Errorf("run: need at least 1 replication")
 	}
@@ -595,6 +610,7 @@ func runSweep(ctx context.Context, e *Experiment, opts Options, em *emitter) (*S
 	}
 	simOpts.Stats = opts.Stats
 	simOpts.Profile = opts.Profile
+	simOpts.Exec = opts.unitRunner(StageSweep)
 	labels, points, err := buildSweepJobs(e)
 	if err != nil {
 		return nil, err
@@ -788,6 +804,7 @@ func runPlan(ctx context.Context, e *Experiment, opts Options, em *emitter) (*Pl
 		simOpts.Shards = e.Run.Shards
 		simOpts.Stats = opts.Stats
 		simOpts.Profile = opts.Profile
+		simOpts.Exec = opts.unitRunner(StageVerify)
 		out.Verified, err = plan.VerifyTopKCtx(ctx, frontier, p.Top, slo, simOpts, *prec, opts.Parallelism, em.fn())
 		if err != nil {
 			return nil, err
@@ -795,8 +812,11 @@ func runPlan(ctx context.Context, e *Experiment, opts Options, em *emitter) (*Pl
 		if e.Scenario != nil {
 			// Dynamic check: every verified candidate additionally rides
 			// out the fault timeline, and its recovery time is judged
-			// against the SLO's recovery budget.
-			err = plan.VerifyScenarioCtx(ctx, out.Verified, e.Scenario, slo, simOpts, e.Run.Reps, opts.Parallelism, em.fn())
+			// against the SLO's recovery budget. It runs locally — its
+			// units are not part of the distributable verify stage.
+			scenOpts := simOpts
+			scenOpts.Exec = nil
+			err = plan.VerifyScenarioCtx(ctx, out.Verified, e.Scenario, slo, scenOpts, e.Run.Reps, opts.Parallelism, em.fn())
 			if err != nil {
 				return nil, err
 			}

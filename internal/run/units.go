@@ -1,0 +1,377 @@
+package run
+
+import (
+	"context"
+	"fmt"
+	"sync"
+
+	"hmscs/internal/core"
+	"hmscs/internal/plan"
+	"hmscs/internal/scenario"
+	"hmscs/internal/sim"
+	"hmscs/internal/sweep"
+)
+
+// The distributable batch stages of an experiment. Each names one batch
+// driver invocation inside a runner, so a (stage, point, replication)
+// triple addresses exactly one simulation unit of the experiment —
+// everything a remote worker needs, together with the spec, to execute
+// it bit-identically.
+const (
+	// StageCheck is the analyze kind's adaptive simulation validation.
+	StageCheck = "check"
+	// StageSim is the simulate kind's replication batch (all modes).
+	StageSim = "sim"
+	// StageSweep is the sweep kind's (point × replication) batch.
+	StageSweep = "sweep"
+	// StageFigures is the figure kind's main figure batch. The ablation
+	// and future-work extras run locally: they are a handful of cheap
+	// units, and keeping them out of the stage keeps the unit namespace
+	// unambiguous.
+	StageFigures = "figures"
+	// StageVerify is the plan kind's top-K candidate verification. The
+	// optional scenario check after it runs locally for the same reason
+	// the figure extras do.
+	StageVerify = "verify"
+)
+
+// UnitStage is one distributable batch of an experiment: the prepared
+// per-point units (sweep.Unit semantics — overrides applied, shards
+// capped, scenarios compiled) plus the replication schedule. In fixed
+// mode every point runs exactly Reps replications; with Precision set
+// the schedule is adaptive and rep indices are open-ended.
+type UnitStage struct {
+	Name  string
+	Units []sweep.Unit
+	// Reps is the fixed per-point replication count (0 in precision mode).
+	Reps int
+	// Precision marks the adaptive schedule: replication rep of a point
+	// derives via sim.PrecisionReplicationOptions instead of the plain
+	// ReplicationSeed transform.
+	Precision bool
+}
+
+// Unit derives one (point, rep) unit's configuration and fully resolved
+// simulation options. The returned options never carry execution-side
+// attachments (Exec, Stats, Profile); `sim.Run(cfg, opts)` on them is
+// the unit's reference semantics.
+func (s *UnitStage) Unit(point, rep int) (*core.Config, sim.Options, error) {
+	if point < 0 || point >= len(s.Units) {
+		return nil, sim.Options{}, fmt.Errorf("run: stage %q has %d points, not %d", s.Name, len(s.Units), point)
+	}
+	if rep < 0 || (!s.Precision && rep >= s.Reps) {
+		return nil, sim.Options{}, fmt.Errorf("run: stage %q runs %d replications, not %d", s.Name, s.Reps, rep)
+	}
+	u := s.Units[point]
+	o := u.Opts
+	o.Exec, o.Stats, o.Profile = nil, nil, nil
+	if s.Precision {
+		o = sim.PrecisionReplicationOptions(o, rep)
+	} else {
+		o.Seed = sim.ReplicationSeed(o.Seed, rep)
+	}
+	return u.Cfg, o, nil
+}
+
+// Program is the deterministic unit decomposition of one experiment:
+// the bridge between a spec and its distributable (stage, point, rep)
+// units. Both ends of the distribution protocol build one from the same
+// normalized spec — the coordinator to prefetch and locally execute
+// units, the worker to re-derive a leased unit — and because every
+// builder mirrors the corresponding runner exactly, the derived units
+// are the ones a local run.Run executes.
+//
+// Stages build lazily and are cached: the plan kind's verify stage
+// re-runs the (deterministic) screening pass, which only the party that
+// actually executes a verify unit should pay for.
+type Program struct {
+	spec *Experiment
+
+	mu     sync.Mutex
+	stages map[string]*UnitStage
+}
+
+// NewProgram returns the experiment's unit decomposition. The spec is
+// cloned and normalized; the caller's copy is never touched.
+func NewProgram(e *Experiment) (*Program, error) {
+	if e == nil {
+		return nil, fmt.Errorf("run: nil experiment")
+	}
+	if err := e.Validate(); err != nil {
+		return nil, err
+	}
+	spec := e.Clone()
+	spec.Normalize()
+	return &Program{spec: spec, stages: make(map[string]*UnitStage)}, nil
+}
+
+// Distributable reports whether the experiment kind has batch stages a
+// remote executor could run. Netsim experiments (their engine drives
+// replications itself) and pure-analytic runs do not.
+func Distributable(e *Experiment) bool {
+	switch e.Kind {
+	case KindSimulate, KindSweep, KindFigure, KindPlan:
+		return true
+	case KindAnalyze:
+		prec, err := e.Precision.Build()
+		return err == nil && prec != nil
+	}
+	return false
+}
+
+// Stage returns the named stage's decomposition, building it on first
+// use. Unknown stage names and stages the spec does not produce (e.g.
+// "verify" when plan.top is 0) return an error.
+func (p *Program) Stage(name string) (*UnitStage, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if st, ok := p.stages[name]; ok {
+		return st, nil
+	}
+	st, err := p.buildStage(name)
+	if err != nil {
+		return nil, err
+	}
+	p.stages[name] = st
+	return st, nil
+}
+
+// Unit derives one unit through the named stage.
+func (p *Program) Unit(stage string, point, rep int) (*core.Config, sim.Options, error) {
+	st, err := p.Stage(stage)
+	if err != nil {
+		return nil, sim.Options{}, err
+	}
+	return st.Unit(point, rep)
+}
+
+func (p *Program) buildStage(name string) (*UnitStage, error) {
+	e := p.spec
+	switch {
+	case name == StageCheck && e.Kind == KindAnalyze:
+		return p.buildCheck()
+	case name == StageSim && e.Kind == KindSimulate:
+		return p.buildSim()
+	case name == StageSweep && e.Kind == KindSweep:
+		return p.buildSweep()
+	case name == StageFigures && e.Kind == KindFigure:
+		return p.buildFigures()
+	case name == StageVerify && e.Kind == KindPlan:
+		return p.buildVerify()
+	}
+	return nil, fmt.Errorf("run: %s experiment has no %q stage", e.Kind, name)
+}
+
+// buildCheck mirrors runAnalyze's precision validation unit.
+func (p *Program) buildCheck() (*UnitStage, error) {
+	e := p.spec
+	prec, err := e.Precision.Build()
+	if err != nil {
+		return nil, err
+	}
+	if prec == nil {
+		return nil, fmt.Errorf("run: analyze experiment without a precision target has no %q stage", StageCheck)
+	}
+	arrival, err := e.Workload.BuildArrival()
+	if err != nil {
+		return nil, err
+	}
+	cfg, err := e.System.Build()
+	if err != nil {
+		return nil, err
+	}
+	simOpts := sim.DefaultOptions()
+	simOpts.Seed = e.Run.Seed
+	simOpts.Arrival = arrival
+	simOpts.Shards = e.Run.Shards
+	return &UnitStage{
+		Name:      StageCheck,
+		Units:     []sweep.Unit{{Cfg: cfg, Opts: simOpts}},
+		Precision: true,
+	}, nil
+}
+
+// buildSim mirrors runSimulate's replication batch for all three modes
+// (fixed, scenario, precision).
+func (p *Program) buildSim() (*UnitStage, error) {
+	e := p.spec
+	cfg, err := e.System.Build()
+	if err != nil {
+		return nil, err
+	}
+	simOpts, err := e.simOptions()
+	if err != nil {
+		return nil, err
+	}
+	prec, err := e.Precision.Build()
+	if err != nil {
+		return nil, err
+	}
+	st := &UnitStage{Name: StageSim, Units: []sweep.Unit{{Cfg: cfg, Opts: simOpts}}}
+	switch {
+	case prec != nil:
+		st.Precision = true
+	case e.Scenario != nil:
+		cs, err := scenario.CompileSim(e.Scenario, cfg)
+		if err != nil {
+			return nil, err
+		}
+		st.Units[0].Opts.Scenario = cs
+		st.Units[0].Opts.RecordSample = true
+		st.Reps = e.Run.Reps
+	default:
+		st.Reps = e.Run.Reps
+	}
+	return st, nil
+}
+
+// sweepOptions assembles the sweep.Options the sweep and figure runners
+// build, so the derivation and the execution cannot drift.
+func (p *Program) sweepOptions() (sweep.Options, error) {
+	e := p.spec
+	simOpts, err := e.simOptions()
+	if err != nil {
+		return sweep.Options{}, err
+	}
+	prec, err := e.Precision.Build()
+	if err != nil {
+		return sweep.Options{}, err
+	}
+	return sweep.Options{
+		Sim:          simOpts,
+		Replications: e.Run.Reps,
+		Precision:    prec,
+		Scenario:     e.Scenario,
+	}, nil
+}
+
+// buildSweep mirrors runSweep's point batch.
+func (p *Program) buildSweep() (*UnitStage, error) {
+	e := p.spec
+	opts, err := p.sweepOptions()
+	if err != nil {
+		return nil, err
+	}
+	st := &UnitStage{Name: StageSweep, Reps: e.Run.Reps, Precision: opts.Precision != nil}
+	if st.Reps < 1 {
+		st.Reps = 1 // RunPoints' floor
+	}
+	if st.Precision {
+		st.Reps = 0
+	}
+	if e.Sweep.Fast {
+		return st, nil // analytic-only: no simulation units
+	}
+	_, points, err := buildSweepJobs(e)
+	if err != nil {
+		return nil, err
+	}
+	if st.Units, err = sweep.PointUnits(points, opts); err != nil {
+		return nil, err
+	}
+	return st, nil
+}
+
+// figureSpecs reproduces runFigure's figure selection: the figures
+// named in the spec plus the ones a ratio selection pulls in.
+func figureSpecs(e *Experiment) ([]sweep.FigureSpec, error) {
+	selected := splitList(e.Figure.What)
+	want := func(key string) bool {
+		for _, s := range selected {
+			if s == key || s == "all" {
+				return true
+			}
+		}
+		return false
+	}
+	var specs []sweep.FigureSpec
+	for n := 4; n <= 7; n++ {
+		if !want(fmt.Sprintf("fig%d", n)) && !want("ratio") {
+			continue
+		}
+		spec, err := sweep.PaperFigure(n)
+		if err != nil {
+			return nil, err
+		}
+		specs = append(specs, spec)
+	}
+	return specs, nil
+}
+
+// buildFigures mirrors runFigure's main figure batch.
+func (p *Program) buildFigures() (*UnitStage, error) {
+	e := p.spec
+	opts, err := p.sweepOptions()
+	if err != nil {
+		return nil, err
+	}
+	opts.Scenario = nil // figures are stationary; runFigure never threads a timeline
+	if opts.Replications < 1 {
+		opts.Replications = 1 // RunFigures' floor
+	}
+	st := &UnitStage{Name: StageFigures, Reps: opts.Replications, Precision: opts.Precision != nil}
+	if st.Precision {
+		st.Reps = 0
+	}
+	if e.Figure.Fast {
+		return st, nil
+	}
+	specs, err := figureSpecs(e)
+	if err != nil {
+		return nil, err
+	}
+	if st.Units, err = sweep.FigureUnits(specs, opts); err != nil {
+		return nil, err
+	}
+	return st, nil
+}
+
+// buildVerify mirrors runPlan's top-K verification units, re-running the
+// deterministic screening pass to recover the frontier. Screening is
+// bit-identical at every parallelism, so the derived candidate list is
+// exactly the one the coordinator's runPlan verifies.
+func (p *Program) buildVerify() (*UnitStage, error) {
+	e := p.spec
+	if e.Plan.Top <= 0 {
+		return nil, fmt.Errorf("run: plan experiment with top=0 has no %q stage", StageVerify)
+	}
+	sp, err := e.Plan.BuildSpace()
+	if err != nil {
+		return nil, err
+	}
+	slo, err := e.Plan.BuildSLO()
+	if err != nil {
+		return nil, err
+	}
+	cost, err := e.Plan.BuildCost()
+	if err != nil {
+		return nil, err
+	}
+	arr, err := e.Workload.BuildArrival()
+	if err != nil {
+		return nil, err
+	}
+	screened, err := plan.ScreenCtx(context.Background(), sp, slo, cost, arr.SCV(), 0)
+	if err != nil {
+		return nil, err
+	}
+	frontier := plan.Frontier(screened)
+	k := e.Plan.Top
+	if k > len(frontier) {
+		k = len(frontier)
+	}
+	simOpts := sim.DefaultOptions()
+	simOpts.Seed = e.Run.Seed
+	simOpts.MeasuredMessages = e.Run.Messages
+	simOpts.Arrival = arr
+	simOpts.Shards = e.Run.Shards
+	st := &UnitStage{Name: StageVerify, Precision: true}
+	for i := 0; i < k; i++ {
+		uo := simOpts
+		if c := len(frontier[i].Cfg.Clusters); uo.Shards > c {
+			uo.Shards = c
+		}
+		st.Units = append(st.Units, sweep.Unit{Cfg: frontier[i].Cfg, Opts: uo})
+	}
+	return st, nil
+}

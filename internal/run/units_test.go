@@ -1,0 +1,231 @@
+package run
+
+import (
+	"context"
+	"math"
+	"reflect"
+	"strings"
+	"sync/atomic"
+	"testing"
+
+	"hmscs/internal/core"
+	"hmscs/internal/scenario"
+	"hmscs/internal/sim"
+)
+
+// coherenceExec is a sim.UnitRunner that pins the unit-derivation
+// contract: every unit a runner hands to the executor seam must be
+// re-derivable, bit for bit, from the spec alone through Program — the
+// property the distributed subsystem's correctness rests on.
+type coherenceExec struct {
+	t     *testing.T
+	prog  *Program
+	stage string
+	calls int64
+}
+
+func (c *coherenceExec) RunUnit(ctx context.Context, point, rep int, cfg *core.Config, opts sim.Options) (*sim.Result, error) {
+	atomic.AddInt64(&c.calls, 1)
+	dcfg, dopts, err := c.prog.Unit(c.stage, point, rep)
+	if err != nil {
+		c.t.Errorf("stage %q unit (%d,%d): derivation failed: %v", c.stage, point, rep, err)
+		return sim.Run(cfg, opts)
+	}
+	if !reflect.DeepEqual(cfg, dcfg) {
+		c.t.Errorf("stage %q unit (%d,%d): derived config differs from the runner's", c.stage, point, rep)
+	}
+	got := opts
+	got.Exec, got.Stats, got.Profile = nil, nil, nil
+	if !optionsEqual(got, dopts) {
+		c.t.Errorf("stage %q unit (%d,%d): derived options differ:\nrunner:  %+v\nderived: %+v", c.stage, point, rep, got, dopts)
+	}
+	// Execute the derived unit, not the handed-in one: the rendered
+	// report then proves the derivation end to end.
+	return sim.Run(dcfg, dopts)
+}
+
+// optionsEqual compares simulation options, treating the compiled
+// scenario's NaN sentinels (SLO, FaultAt) as equal to themselves.
+func optionsEqual(a, b sim.Options) bool {
+	sa, sb := a.Scenario, b.Scenario
+	a.Scenario, b.Scenario = nil, nil
+	if !reflect.DeepEqual(a, b) {
+		return false
+	}
+	if (sa == nil) != (sb == nil) {
+		return false
+	}
+	if sa == nil {
+		return true
+	}
+	ca, cb := *sa, *sb
+	if !nanEq(ca.SLO, cb.SLO) || !nanEq(ca.FaultAt, cb.FaultAt) {
+		return false
+	}
+	ca.SLO, ca.FaultAt, cb.SLO, cb.FaultAt = 0, 0, 0, 0
+	return reflect.DeepEqual(ca, cb)
+}
+
+func nanEq(a, b float64) bool {
+	return a == b || (math.IsNaN(a) && math.IsNaN(b))
+}
+
+// unitTestSpecs covers every distributable stage across every execution
+// mode: fixed, precision-adaptive and scenario-dynamic batches.
+func unitTestSpecs() map[string]struct {
+	e      *Experiment
+	stages []string
+} {
+	analyze := NewExperiment(KindAnalyze)
+	analyze.System.Clusters = 2
+	analyze.System.Total = 8
+	analyze.Run.Messages = 400
+	analyze.Precision.RelWidth = 0.5
+	analyze.Precision.MaxReps = 4
+
+	simFixed := NewExperiment(KindSimulate)
+	simFixed.System.Clusters = 2
+	simFixed.System.Total = 8
+	simFixed.Run.Messages = 300
+	simFixed.Run.Reps = 2
+
+	simPrec := NewExperiment(KindSimulate)
+	simPrec.System.Clusters = 2
+	simPrec.System.Total = 8
+	simPrec.Run.Messages = 400
+	simPrec.Precision.RelWidth = 0.5
+	simPrec.Precision.MaxReps = 4
+
+	simScen := NewExperiment(KindSimulate)
+	simScen.System.Clusters = 2
+	simScen.System.Total = 8
+	simScen.Run.Messages = 300
+	simScen.Run.Reps = 2
+	simScen.Scenario = &scenario.Spec{
+		HorizonS: 0.05,
+		Events: []scenario.Event{
+			{TS: 0.02, Action: "fail", Target: "node:0"},
+			{TS: 0.03, Action: "repair", Target: "node:0"},
+		},
+	}
+
+	swp := NewExperiment(KindSweep)
+	swp.Sweep.Var = "clusters"
+	swp.Sweep.Ints = "1,2"
+	swp.Run.Messages = 300
+	swp.Run.Reps = 2
+
+	swpScen := NewExperiment(KindSweep)
+	swpScen.Sweep.Var = "clusters"
+	swpScen.Sweep.Ints = "2"
+	swpScen.Run.Messages = 300
+	swpScen.Run.Reps = 1
+	swpScen.Scenario = &scenario.Spec{
+		HorizonS: 0.05,
+		Events:   []scenario.Event{{TS: 0.02, Action: "fail", Target: "cluster:largest"}},
+	}
+
+	fig := NewExperiment(KindFigure)
+	fig.Figure.What = "fig4"
+	fig.Figure.Format = "csv"
+	fig.Run.Messages = 200
+	fig.Run.Reps = 1
+
+	pln := NewExperiment(KindPlan)
+	pln.Plan.Top = 1
+	pln.Run.Messages = 400
+	pln.Precision.RelWidth = 0.5
+	pln.Precision.MaxReps = 4
+
+	return map[string]struct {
+		e      *Experiment
+		stages []string
+	}{
+		"analyze-precision": {analyze, []string{StageCheck}},
+		"simulate-fixed":    {simFixed, []string{StageSim}},
+		"simulate-prec":     {simPrec, []string{StageSim}},
+		"simulate-scenario": {simScen, []string{StageSim}},
+		"sweep-fixed":       {swp, []string{StageSweep}},
+		"sweep-scenario":    {swpScen, []string{StageSweep}},
+		"figure-fig4":       {fig, []string{StageFigures}},
+		"plan-top1":         {pln, []string{StageVerify}},
+	}
+}
+
+// TestProgramDerivationMatchesRunners is the distribution subsystem's
+// foundation pin: for every experiment kind and execution mode, each
+// unit the runner offers through Options.Units is re-derived from the
+// spec by Program bit-identically, and a run whose units all execute
+// through the derived (config, options) renders the same report as a
+// plain local run.
+func TestProgramDerivationMatchesRunners(t *testing.T) {
+	for name, tc := range unitTestSpecs() {
+		t.Run(name, func(t *testing.T) {
+			var base strings.Builder
+			if _, err := Run(context.Background(), tc.e, Options{
+				Parallelism: 2,
+				Sinks:       []Sink{NewMarkdownSink(&base)},
+			}); err != nil {
+				t.Fatalf("local run: %v", err)
+			}
+
+			prog, err := NewProgram(tc.e)
+			if err != nil {
+				t.Fatal(err)
+			}
+			execs := map[string]*coherenceExec{}
+			var viaExec strings.Builder
+			_, err = Run(context.Background(), tc.e, Options{
+				Parallelism: 2,
+				Sinks:       []Sink{NewMarkdownSink(&viaExec)},
+				Units: func(stage string) sim.UnitRunner {
+					c := &coherenceExec{t: t, prog: prog, stage: stage}
+					execs[stage] = c
+					return c
+				},
+			})
+			if err != nil {
+				t.Fatalf("executor run: %v", err)
+			}
+			for _, stage := range tc.stages {
+				c := execs[stage]
+				if c == nil {
+					t.Fatalf("stage %q executor was never requested", stage)
+				}
+				if atomic.LoadInt64(&c.calls) == 0 {
+					t.Fatalf("stage %q executor ran no units", stage)
+				}
+			}
+			if viaExec.String() != base.String() {
+				t.Errorf("report differs between local and executor runs:\n%s\n---\n%s", base.String(), viaExec.String())
+			}
+		})
+	}
+}
+
+// TestUnitStageBounds pins the derivation's index validation.
+func TestUnitStageBounds(t *testing.T) {
+	e := NewExperiment(KindSimulate)
+	e.Run.Reps = 2
+	prog, err := NewProgram(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := prog.Unit(StageSim, 0, 0); err != nil {
+		t.Fatalf("valid unit rejected: %v", err)
+	}
+	for _, bad := range [][2]int{{1, 0}, {-1, 0}, {0, 2}, {0, -1}} {
+		if _, _, err := prog.Unit(StageSim, bad[0], bad[1]); err == nil {
+			t.Errorf("unit (%d,%d) accepted, want out-of-range error", bad[0], bad[1])
+		}
+	}
+	if _, err := prog.Stage(StageSweep); err == nil {
+		t.Error("simulate experiment produced a sweep stage")
+	}
+	if Distributable(NewExperiment(KindNetsim)) {
+		t.Error("netsim reported distributable")
+	}
+	if !Distributable(e) {
+		t.Error("simulate reported not distributable")
+	}
+}

@@ -4,8 +4,11 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
+	"math/rand"
+	"net"
 	"net/http"
 	"strings"
 	"time"
@@ -33,6 +36,30 @@ func NewClient(addr string) *Client {
 	return &Client{base: strings.TrimSuffix(addr, "/"), hc: &http.Client{}}
 }
 
+// Retry policy for transient connection failures (a server mid-restart,
+// a briefly saturated listener). Idempotent GETs retry on any transport
+// error; Submit retries only when the connection never opened, since a
+// request that may have reached the server must not be replayed into a
+// duplicate job. Tunable for tests.
+var (
+	clientRetries      = 4
+	clientRetryBackoff = 100 * time.Millisecond
+)
+
+// retryWait sleeps out one backoff step (exponential plus up to one
+// step of jitter, so clients restarted together do not hammer the
+// listener in lockstep) unless the context ends first.
+func retryWait(ctx context.Context, attempt int) error {
+	d := clientRetryBackoff << attempt
+	d += time.Duration(rand.Int63n(int64(clientRetryBackoff) + 1))
+	select {
+	case <-time.After(d):
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
 // errorBody decodes the server's {"error": ...} payload.
 func errorBody(resp *http.Response) error {
 	body, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<16))
@@ -46,19 +73,32 @@ func errorBody(resp *http.Response) error {
 }
 
 func (c *Client) get(ctx context.Context, path string) (*http.Response, error) {
-	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+path, nil)
-	if err != nil {
-		return nil, err
+	var lastErr error
+	for attempt := 0; attempt <= clientRetries; attempt++ {
+		if attempt > 0 {
+			if err := retryWait(ctx, attempt-1); err != nil {
+				return nil, lastErr
+			}
+		}
+		req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+path, nil)
+		if err != nil {
+			return nil, err
+		}
+		resp, err := c.hc.Do(req)
+		if err != nil {
+			if ctx.Err() != nil {
+				return nil, err
+			}
+			lastErr = err // transport error on an idempotent GET: retry
+			continue
+		}
+		if resp.StatusCode != http.StatusOK {
+			defer resp.Body.Close()
+			return nil, errorBody(resp)
+		}
+		return resp, nil
 	}
-	resp, err := c.hc.Do(req)
-	if err != nil {
-		return nil, err
-	}
-	if resp.StatusCode != http.StatusOK {
-		defer resp.Body.Close()
-		return nil, errorBody(resp)
-	}
-	return resp, nil
+	return nil, fmt.Errorf("serve: giving up after %d attempts: %w", clientRetries+1, lastErr)
 }
 
 func (c *Client) getJSON(ctx context.Context, path string, v any) error {
@@ -79,14 +119,25 @@ func (c *Client) Submit(ctx context.Context, e *run.Experiment) (JobInfo, error)
 	if err != nil {
 		return info, err
 	}
-	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+"/jobs", bytes.NewReader(data))
-	if err != nil {
-		return info, err
-	}
-	req.Header.Set("Content-Type", "application/json")
-	resp, err := c.hc.Do(req)
-	if err != nil {
-		return info, err
+	var resp *http.Response
+	for attempt := 0; ; attempt++ {
+		req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+"/jobs", bytes.NewReader(data))
+		if err != nil {
+			return info, err
+		}
+		req.Header.Set("Content-Type", "application/json")
+		if resp, err = c.hc.Do(req); err == nil {
+			break
+		}
+		// Only a dial-phase failure is safe to retry: the request never
+		// reached the server, so a replay cannot create a duplicate job.
+		var opErr *net.OpError
+		if ctx.Err() != nil || attempt >= clientRetries || !errors.As(err, &opErr) || opErr.Op != "dial" {
+			return info, err
+		}
+		if werr := retryWait(ctx, attempt); werr != nil {
+			return info, err
+		}
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK && resp.StatusCode != http.StatusAccepted {

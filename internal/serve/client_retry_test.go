@@ -1,0 +1,121 @@
+package serve
+
+import (
+	"context"
+	"net"
+	"net/http"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"hmscs/internal/run"
+)
+
+// shortRetries compresses the retry schedule so the tests run in
+// milliseconds.
+func shortRetries(t *testing.T) {
+	t.Helper()
+	oldN, oldB := clientRetries, clientRetryBackoff
+	clientRetries, clientRetryBackoff = 3, 2*time.Millisecond
+	t.Cleanup(func() { clientRetries, clientRetryBackoff = oldN, oldB })
+}
+
+// TestSubmitRetriesDialFailures pins the Submit retry contract: a
+// connection-refused (dial-phase) error retries, so a client racing a
+// server restart wins once the listener is back.
+func TestSubmitRetriesDialFailures(t *testing.T) {
+	shortRetries(t)
+	// Reserve a port, then free it so the first dials are refused.
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := l.Addr().String()
+	l.Close()
+
+	srv := New(Config{MaxJobs: 1})
+	defer srv.Close()
+	started := make(chan *http.Server, 1)
+	go func() {
+		// Come up mid-retry-schedule.
+		time.Sleep(5 * time.Millisecond)
+		l, err := net.Listen("tcp", addr)
+		if err != nil {
+			return
+		}
+		hs := &http.Server{Handler: srv.Handler()}
+		started <- hs
+		hs.Serve(l) //nolint:errcheck
+	}()
+	defer func() {
+		if hs := <-started; hs != nil {
+			hs.Close()
+		}
+	}()
+
+	e := run.NewExperiment(run.KindAnalyze)
+	info, err := NewClient(addr).Submit(context.Background(), e)
+	if err != nil {
+		t.Fatalf("Submit did not survive the server's restart window: %v", err)
+	}
+	if info.ID == "" {
+		t.Fatal("Submit returned no job id")
+	}
+}
+
+// TestGetRetriesAreBounded pins the GET retry contract: transport
+// errors retry a bounded number of times, then surface with the
+// attempt count rather than hanging.
+func TestGetRetriesAreBounded(t *testing.T) {
+	shortRetries(t)
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := l.Addr().String()
+	l.Close() // nothing ever listens again
+
+	start := time.Now()
+	_, err = NewClient(addr).Jobs(context.Background())
+	if err == nil {
+		t.Fatal("Jobs succeeded against a dead address")
+	}
+	if !strings.Contains(err.Error(), "giving up after 4 attempts") {
+		t.Errorf("error does not surface the bounded retry: %v", err)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Errorf("bounded retry took %v; the schedule is not bounded", elapsed)
+	}
+}
+
+// TestSubmitDoesNotRetryAfterConnect pins the duplicate-job guard: once
+// a connection opened, a failed POST /jobs must NOT be replayed — the
+// server may have accepted the job.
+func TestSubmitDoesNotRetryAfterConnect(t *testing.T) {
+	shortRetries(t)
+	var accepts atomic.Int64
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	go func() {
+		for {
+			conn, err := l.Accept()
+			if err != nil {
+				return
+			}
+			accepts.Add(1)
+			conn.Close() // kill the request after the dial succeeded
+		}
+	}()
+
+	e := run.NewExperiment(run.KindAnalyze)
+	if _, err := NewClient(l.Addr().String()).Submit(context.Background(), e); err == nil {
+		t.Fatal("Submit succeeded against a connection-killing server")
+	}
+	if n := accepts.Load(); n > 2 {
+		t.Errorf("Submit replayed a possibly-delivered request %d times", n)
+	}
+}

@@ -27,6 +27,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /jobs/{id}/result", s.handleResult)
 	mux.HandleFunc("DELETE /jobs/{id}", s.handleCancel)
 	mux.HandleFunc("GET /watch", s.handleWatch)
+	s.dist.Mount(mux)
 	return mux
 }
 
@@ -63,15 +64,25 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 	s.mu.Lock()
 	cached := len(s.cache)
 	s.mu.Unlock()
+	workers := s.dist.Workers()
+	live := 0
+	for _, wk := range workers {
+		if wk.Live {
+			live++
+		}
+	}
 	writeJSON(w, http.StatusOK, map[string]any{
-		"status":        "ok",
-		"jobs":          len(jobs),
-		"runs":          s.Runs(),
-		"queue_depth":   len(s.queue),
-		"queued_jobs":   queued,
-		"running_jobs":  s.running.Load(),
-		"cache_entries": cached,
-		"uptime_s":      time.Since(s.started).Seconds(),
+		"status":           "ok",
+		"jobs":             len(jobs),
+		"runs":             s.Runs(),
+		"queue_depth":      len(s.queue),
+		"queued_jobs":      queued,
+		"running_jobs":     s.running.Load(),
+		"cache_entries":    cached,
+		"uptime_s":         time.Since(s.started).Seconds(),
+		"workers_attached": len(workers),
+		"workers_live":     live,
+		"leased_units":     s.dist.LeasedUnits(),
 	})
 }
 

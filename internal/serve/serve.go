@@ -37,6 +37,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"hmscs/internal/dist"
 	"hmscs/internal/par"
 	"hmscs/internal/run"
 	"hmscs/internal/telemetry"
@@ -61,6 +62,11 @@ type Config struct {
 	// QueueDepth bounds the pending-job backlog (0 = 1024); submissions
 	// beyond it are rejected rather than buffered without limit.
 	QueueDepth int
+	// DistLeaseTTL is how long a distributed unit lease survives missed
+	// worker heartbeats before its unit is re-offered (0 =
+	// dist.DefaultLeaseTTL). Short TTLs recover from worker death faster
+	// at the cost of more heartbeat traffic.
+	DistLeaseTTL time.Duration
 }
 
 func (c Config) withDefaults() Config {
@@ -108,6 +114,10 @@ type Server struct {
 	reg     *telemetry.Registry
 	col     *telemetry.Collector
 
+	// dist coordinates attached hmscs-worker processes; jobs whose spec
+	// decomposes into units fan out through it transparently.
+	dist *dist.Coordinator
+
 	jobsSubmitted  *telemetry.Counter
 	jobsDone       *telemetry.Counter
 	jobsFailed     *telemetry.Counter
@@ -133,6 +143,7 @@ func New(cfg Config) *Server {
 		started: time.Now(),
 		reg:     telemetry.NewRegistry(),
 		col:     telemetry.NewCollector(),
+		dist:    dist.NewCoordinator(cfg.DistLeaseTTL),
 	}
 	s.registerMetrics()
 	for i := 0; i < cfg.MaxJobs; i++ {
@@ -189,6 +200,7 @@ func (s *Server) registerMetrics() {
 		func() float64 { return float64(par.Stats().Units) })
 	r.CounterFunc("hmscs_pool_busy_seconds_total", "Summed wall time workers spent executing units.",
 		func() float64 { return par.Stats().Busy.Seconds() })
+	s.dist.RegisterMetrics(r)
 }
 
 // Metrics exposes the server's registry (the /metrics surface) so the
@@ -200,6 +212,10 @@ func (s *Server) Stats() *telemetry.Collector { return s.col }
 
 // Store exposes the watchable job registry (List/Get/Watch).
 func (s *Server) Store() *Store { return s.store }
+
+// Dist exposes the distributed-unit coordinator (worker registry, unit
+// accounting) for the /dist endpoints, /healthz and tests.
+func (s *Server) Dist() *dist.Coordinator { return s.dist }
 
 // Runs reports how many experiments the server actually executed —
 // cache hits do not count, which is what makes the counter useful for
@@ -214,6 +230,7 @@ func (s *Server) Runs() int64 { return s.runs.Load() }
 func (s *Server) Close() {
 	s.cancel()
 	s.wg.Wait()
+	s.dist.Close()
 	for {
 		select {
 		case job := <-s.queue:
@@ -295,12 +312,23 @@ func (s *Server) runJob(job *Job) {
 		run.NewJSONLSink(&eventLog{job: job}),
 		run.NewMarkdownSink(&report),
 	}
-	s.runs.Add(1)
-	out, err := run.Run(job.ctx, job.spec, run.Options{
+	ropts := run.Options{
 		Parallelism: par.Workers(s.cfg.Parallelism, s.cfg.MaxJobs),
 		Sinks:       sinks,
 		Stats:       s.col,
-	})
+	}
+	// With live workers attached, a decomposable job fans its units out
+	// through the coordinator. The outcome is byte-identical either way
+	// (units are pure functions of the spec and merge positionally), so
+	// attachment is transparent to the submitting client.
+	if run.Distributable(job.spec) && s.dist.Live() > 0 {
+		if ex, err := dist.NewExecutor(job.ctx, s.dist, job.hash, job.spec, ropts.Parallelism); err == nil {
+			ropts.Units = ex.Runner
+			defer ex.Close()
+		}
+	}
+	s.runs.Add(1)
+	out, err := run.Run(job.ctx, job.spec, ropts)
 	if out != nil {
 		job.setResources(out.Telemetry)
 	}

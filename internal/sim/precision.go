@@ -57,6 +57,25 @@ func precisionRepMessages(measured int) int {
 	return per
 }
 
+// PrecisionReplicationOptions derives replication rep's simulation
+// options from a precision unit's base options: the quarter-length
+// measurement window, no fixed warm-up (MSER-5 truncation replaces it),
+// a recorded sample for the per-replication analysis, and the derived
+// seed. It is the precision-mode half of the unit-derivation contract —
+// RunPrecisionUnitsCtx applies exactly this transform, and a distributed
+// worker re-deriving the unit from the spec must match it bit for bit.
+func PrecisionReplicationOptions(base Options, rep int) Options {
+	o := base
+	if o.MeasuredMessages <= 0 {
+		o.MeasuredMessages = DefaultOptions().MeasuredMessages
+	}
+	o.MeasuredMessages = precisionRepMessages(o.MeasuredMessages)
+	o.WarmupMessages = 0
+	o.RecordSample = true
+	o.Seed = ReplicationSeed(base.Seed, rep)
+	return o
+}
+
 // unitState tracks one unit's replication set between scheduling rounds.
 type unitState struct {
 	stopper  *output.Stopper
@@ -139,15 +158,14 @@ func RunPrecisionUnitsCtx(ctx context.Context, units []PrecisionUnit, prec outpu
 		err := par.ForEachCtx(ctx, len(items), parallelism, func(k int) error {
 			it := items[k]
 			u := units[it.ui]
-			o := u.Opts
-			if o.MeasuredMessages <= 0 {
-				o.MeasuredMessages = DefaultOptions().MeasuredMessages
+			o := PrecisionReplicationOptions(u.Opts, it.rep)
+			var r *Result
+			var err error
+			if o.Exec != nil {
+				r, err = o.Exec.RunUnit(ctx, it.ui, it.rep, u.Cfg, o)
+			} else {
+				r, err = Run(u.Cfg, o)
 			}
-			o.MeasuredMessages = precisionRepMessages(o.MeasuredMessages)
-			o.WarmupMessages = 0
-			o.RecordSample = true
-			o.Seed = ReplicationSeed(u.Opts.Seed, it.rep)
-			r, err := Run(u.Cfg, o)
 			if err != nil {
 				if u.Wrap != nil {
 					err = u.Wrap(err)

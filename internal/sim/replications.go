@@ -126,7 +126,11 @@ func RunReplicationResultsCtx(ctx context.Context, cfg *core.Config, opts Option
 		o := opts
 		o.Seed = ReplicationSeed(opts.Seed, i)
 		var err error
-		results[i], err = Run(cfg, o)
+		if o.Exec != nil {
+			results[i], err = o.Exec.RunUnit(ctx, 0, i, cfg, o)
+		} else {
+			results[i], err = Run(cfg, o)
+		}
 		if err == nil && prog != nil {
 			prog(progress.Event{Kind: progress.UnitFinished, Units: 1, Rep: i})
 		}

@@ -63,6 +63,29 @@ func (w *Welford) Merge(o *Welford) {
 // Count returns the number of observations.
 func (w *Welford) Count() int64 { return w.n }
 
+// WelfordState is a Welford accumulator's exact internal state, exposed
+// for serialisation: a distributed worker ships its per-replication
+// accumulator over the wire and the coordinator restores it bit for bit
+// (Go's JSON float64 round-trip is exact), so merged results are
+// byte-identical to a local run.
+type WelfordState struct {
+	N    int64   `json:"n"`
+	Mean float64 `json:"mean"`
+	M2   float64 `json:"m2"`
+	Min  float64 `json:"min"`
+	Max  float64 `json:"max"`
+}
+
+// State captures the accumulator's internal state for serialisation.
+func (w *Welford) State() WelfordState {
+	return WelfordState{N: w.n, Mean: w.mean, M2: w.m2, Min: w.min, Max: w.max}
+}
+
+// RestoreWelford reconstructs an accumulator from a captured state.
+func RestoreWelford(s WelfordState) Welford {
+	return Welford{n: s.N, mean: s.Mean, m2: s.M2, min: s.Min, max: s.Max}
+}
+
 // Mean returns the sample mean, or NaN when empty.
 func (w *Welford) Mean() float64 {
 	if w.n == 0 {

@@ -160,6 +160,88 @@ type simUnit struct {
 	wrap func(error) error
 }
 
+// Unit is one prepared point of a batch's deterministic decomposition —
+// the configuration and base options its replications derive from, after
+// per-point overrides, the shard cap, and scenario compilation. Exported
+// so a distributed worker can re-derive the exact (point × replication)
+// layout the local drivers execute from nothing but the experiment spec.
+type Unit struct {
+	Cfg  *core.Config
+	Opts sim.Options
+}
+
+// prepareUnits applies the in-place unit transforms the drivers share:
+// the per-unit shard cap, and (for dynamic batches) per-point scenario
+// compilation with sample recording. It returns the compiled timelines
+// (nil without a scenario) for the transient aggregation.
+//
+// The shard cap exists because a sweep crosses heterogeneous cluster
+// counts (figure axes start at C=1): a global shard request is capped at
+// each unit's cluster count — every shard still owns at least one
+// cluster, and sharded results are bit-identical to sequential, so the
+// cap changes how a unit executes, never what it computes. Direct
+// single-configuration runs keep sim.Run's pointed error instead.
+func prepareUnits(units []simUnit, opts Options) ([]*scenario.CompiledSim, error) {
+	for i := range units {
+		if c := len(units[i].cfg.Clusters); units[i].opts.Shards > c {
+			units[i].opts.Shards = c
+		}
+	}
+	if opts.Precision != nil || opts.Scenario == nil {
+		return nil, nil
+	}
+	compiled := make([]*scenario.CompiledSim, len(units))
+	for i := range units {
+		cs, err := scenario.CompileSim(opts.Scenario, units[i].cfg)
+		if err != nil {
+			return nil, units[i].wrap(err)
+		}
+		compiled[i] = cs
+		units[i].opts.Scenario = cs
+		units[i].opts.RecordSample = true
+	}
+	return compiled, nil
+}
+
+// exportUnits converts prepared simUnits to the exported shape.
+func exportUnits(units []simUnit) []Unit {
+	out := make([]Unit, len(units))
+	for i, u := range units {
+		out[i] = Unit{Cfg: u.cfg, Opts: u.opts}
+	}
+	return out
+}
+
+// PointUnits materialises the deterministic unit decomposition
+// RunPoints executes for the given points: per-point workload overrides
+// applied, shards capped, scenarios compiled. Units are in point order;
+// replication rep of unit i runs Opts with seed
+// sim.ReplicationSeed(Opts.Seed, rep) in fixed mode, or the
+// sim.PrecisionReplicationOptions transform under a precision target.
+func PointUnits(points []PointSpec, opts Options) ([]Unit, error) {
+	units := pointSimUnits(points, opts)
+	if _, err := prepareUnits(units, opts); err != nil {
+		return nil, err
+	}
+	return exportUnits(units), nil
+}
+
+// FigureUnits materialises the deterministic unit decomposition
+// RunFigures executes for the given figure batch, in the same
+// (figure, series, cluster-count) order. See PointUnits for the
+// per-replication derivation contract.
+func FigureUnits(specs []FigureSpec, opts Options) ([]Unit, error) {
+	pts, err := figurePoints(specs)
+	if err != nil {
+		return nil, err
+	}
+	units := figureSimUnits(pts, specs, opts)
+	if _, err := prepareUnits(units, opts); err != nil {
+		return nil, err
+	}
+	return exportUnits(units), nil
+}
+
 // runUnits executes every unit's replications as (unit × replication)
 // work items on the bounded pool and folds each unit's results in
 // replication order. With a fixed replication count every unit runs
@@ -168,19 +250,12 @@ type simUnit struct {
 // the single home of the decomposition / seed derivation / aggregation
 // contract that makes sweeps bit-identical at every parallelism level.
 func runUnits(ctx context.Context, units []simUnit, opts Options) ([]*sim.Replicated, []sim.Estimate, []*Dynamic, error) {
-	// A sweep crosses heterogeneous cluster counts (figure axes start at
-	// C=1), so a global shard request is capped at each unit's cluster
-	// count: every shard still owns at least one cluster, and sharded
-	// results are bit-identical to sequential, so the cap changes how a
-	// unit executes, never what it computes. Direct single-configuration
-	// runs keep sim.Run's pointed error instead.
-	for i := range units {
-		if c := len(units[i].cfg.Clusters); units[i].opts.Shards > c {
-			units[i].opts.Shards = c
-		}
-	}
 	if opts.Precision != nil && opts.Scenario != nil {
 		return nil, nil, nil, fmt.Errorf("sweep: precision stopping and a scenario timeline are mutually exclusive (the stopping rule assumes a stationary mean)")
+	}
+	compiled, err := prepareUnits(units, opts)
+	if err != nil {
+		return nil, nil, nil, err
 	}
 	if opts.Precision != nil {
 		pu := make([]sim.PrecisionUnit, len(units))
@@ -199,19 +274,6 @@ func runUnits(ctx context.Context, units []simUnit, opts Options) ([]*sim.Replic
 		}
 		return aggs, ests, nil, nil
 	}
-	var compiled []*scenario.CompiledSim
-	if opts.Scenario != nil {
-		compiled = make([]*scenario.CompiledSim, len(units))
-		for i := range units {
-			cs, err := scenario.CompileSim(opts.Scenario, units[i].cfg)
-			if err != nil {
-				return nil, nil, nil, units[i].wrap(err)
-			}
-			compiled[i] = cs
-			units[i].opts.Scenario = cs
-			units[i].opts.RecordSample = true
-		}
-	}
 	reps := opts.Replications
 	results := make([][]*sim.Result, len(units))
 	for i := range results {
@@ -229,11 +291,17 @@ func runUnits(ctx context.Context, units []simUnit, opts Options) ([]*sim.Replic
 	if maxShards > 1 {
 		pool = par.Workers(pool, maxShards)
 	}
-	err := par.ForEachCtx(ctx, len(units)*reps, pool, func(u int) error {
+	err = par.ForEachCtx(ctx, len(units)*reps, pool, func(u int) error {
 		ui, rep := u/reps, u%reps
 		o := units[ui].opts
 		o.Seed = sim.ReplicationSeed(units[ui].opts.Seed, rep)
-		r, err := sim.Run(units[ui].cfg, o)
+		var r *sim.Result
+		var err error
+		if o.Exec != nil {
+			r, err = o.Exec.RunUnit(ctx, ui, rep, units[ui].cfg, o)
+		} else {
+			r, err = sim.Run(units[ui].cfg, o)
+		}
 		if err != nil {
 			return units[ui].wrap(err)
 		}
@@ -345,53 +413,31 @@ func RunFigures(specs []FigureSpec, opts Options) ([]*FigureResult, error) {
 	return runFigures(context.Background(), specs, opts)
 }
 
-func runFigures(ctx context.Context, specs []FigureSpec, opts Options) ([]*FigureResult, error) {
-	if opts.Replications < 1 {
-		opts.Replications = 1
-	}
-	// Phase 1 (sequential, cheap): build configurations, evaluate the
-	// analytical model, and lay out the result structure.
-	arrival := opts.Sim.Arrival
-	if arrival == nil {
-		arrival = workload.Poisson{}
-	}
-	out := make([]*FigureResult, len(specs))
-	var points []*point
+// figurePoints enumerates a figure batch's simulation points in
+// execution order — (figure, series, cluster count), nested — building
+// each point's paper configuration. It is the single source of the
+// figure-batch point layout, consumed by runFigures and FigureUnits.
+func figurePoints(specs []FigureSpec) ([]*point, error) {
+	var pts []*point
 	for fi, spec := range specs {
-		fr := &FigureResult{Spec: spec, Series: make([]SeriesResult, len(spec.MessageSizes))}
-		out[fi] = fr
 		for si, msg := range spec.MessageSizes {
-			series := &fr.Series[si]
-			series.MsgSize = msg
-			series.Arrival = arrival.Name()
-			series.ArrivalSCV = arrival.SCV()
 			for pi, c := range spec.ClusterCounts {
 				cfg, err := core.PaperConfig(spec.Scenario, c, msg, spec.Arch)
 				if err != nil {
 					return nil, fmt.Errorf("sweep: %s C=%d: %w", spec.Name, c, err)
 				}
-				an, err := analyzePoint(cfg, arrival)
-				if err != nil {
-					return nil, fmt.Errorf("sweep: %s C=%d analysis: %w", spec.Name, c, err)
-				}
-				series.Clusters = append(series.Clusters, c)
-				series.Analytic = append(series.Analytic, an.MeanLatency)
-				series.Simulated = append(series.Simulated, 0)
-				series.SimCI = append(series.SimCI, 0)
-				series.Stats = append(series.Stats, sim.Estimate{})
-				if !opts.SkipSimulation {
-					points = append(points, &point{fig: fi, si: si, pi: pi, cfg: cfg})
-				}
+				pts = append(pts, &point{fig: fi, si: si, pi: pi, cfg: cfg})
 			}
 		}
 	}
-	if opts.SkipSimulation {
-		return out, nil
-	}
+	return pts, nil
+}
 
-	// Phase 2 (parallel): every (point, replication) is one pool unit.
-	units := make([]simUnit, len(points))
-	for i, pt := range points {
+// figureSimUnits builds the per-point simulation units of a figure
+// batch (error wrapping included), in figurePoints order.
+func figureSimUnits(pts []*point, specs []FigureSpec, opts Options) []simUnit {
+	units := make([]simUnit, len(pts))
+	for i, pt := range pts {
 		spec := specs[pt.fig]
 		c := spec.ClusterCounts[pt.pi]
 		units[i] = simUnit{
@@ -402,6 +448,56 @@ func runFigures(ctx context.Context, specs []FigureSpec, opts Options) ([]*Figur
 			},
 		}
 	}
+	return units
+}
+
+func runFigures(ctx context.Context, specs []FigureSpec, opts Options) ([]*FigureResult, error) {
+	if opts.Replications < 1 {
+		opts.Replications = 1
+	}
+	// Phase 1 (sequential, cheap): build configurations, evaluate the
+	// analytical model, and lay out the result structure.
+	arrival := opts.Sim.Arrival
+	if arrival == nil {
+		arrival = workload.Poisson{}
+	}
+	points, err := figurePoints(specs)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]*FigureResult, len(specs))
+	for fi, spec := range specs {
+		fr := &FigureResult{Spec: spec, Series: make([]SeriesResult, len(spec.MessageSizes))}
+		out[fi] = fr
+		for si, msg := range spec.MessageSizes {
+			series := &fr.Series[si]
+			series.MsgSize = msg
+			series.Arrival = arrival.Name()
+			series.ArrivalSCV = arrival.SCV()
+		}
+	}
+	// Points arrive in nested (figure, series, cluster) order, so plain
+	// appends reproduce the per-series axes.
+	for _, pt := range points {
+		spec := specs[pt.fig]
+		c := spec.ClusterCounts[pt.pi]
+		an, err := analyzePoint(pt.cfg, arrival)
+		if err != nil {
+			return nil, fmt.Errorf("sweep: %s C=%d analysis: %w", spec.Name, c, err)
+		}
+		series := &out[pt.fig].Series[pt.si]
+		series.Clusters = append(series.Clusters, c)
+		series.Analytic = append(series.Analytic, an.MeanLatency)
+		series.Simulated = append(series.Simulated, 0)
+		series.SimCI = append(series.SimCI, 0)
+		series.Stats = append(series.Stats, sim.Estimate{})
+	}
+	if opts.SkipSimulation {
+		return out, nil
+	}
+
+	// Phase 2 (parallel): every (point, replication) is one pool unit.
+	units := figureSimUnits(points, specs, opts)
 	aggs, ests, _, err := runUnits(ctx, units, opts)
 	if err != nil {
 		return nil, err
@@ -431,6 +527,30 @@ type PointSpec struct {
 	// (the model generalisation matching workload.LocalBias); negative
 	// uses the paper's uniform-destination model.
 	Locality float64
+}
+
+// pointSimUnits builds the per-point simulation units of a custom sweep
+// — workload overrides applied, error wrapping included — in point
+// order. Shared by RunPoints and the PointUnits derivation.
+func pointSimUnits(points []PointSpec, opts Options) []simUnit {
+	units := make([]simUnit, len(points))
+	for i, p := range points {
+		o := opts.Sim
+		if p.Pattern != nil {
+			o.Pattern = p.Pattern
+		}
+		if p.Arrival != nil {
+			o.Arrival = p.Arrival
+		}
+		units[i] = simUnit{
+			cfg:  p.Cfg,
+			opts: o,
+			wrap: func(err error) error {
+				return fmt.Errorf("sweep: config %d simulation: %w", i, err)
+			},
+		}
+	}
+	return units
 }
 
 // analyzePoint evaluates the analytic side of one point, applying the
@@ -499,23 +619,7 @@ func RunPointsCtx(ctx context.Context, points []PointSpec, opts Options) ([]Poin
 	if opts.SkipSimulation {
 		return out, nil
 	}
-	units := make([]simUnit, len(points))
-	for i, p := range points {
-		o := opts.Sim
-		if p.Pattern != nil {
-			o.Pattern = p.Pattern
-		}
-		if p.Arrival != nil {
-			o.Arrival = p.Arrival
-		}
-		units[i] = simUnit{
-			cfg:  p.Cfg,
-			opts: o,
-			wrap: func(err error) error {
-				return fmt.Errorf("sweep: config %d simulation: %w", i, err)
-			},
-		}
-	}
+	units := pointSimUnits(points, opts)
 	aggs, ests, dyn, err := runUnits(ctx, units, opts)
 	if err != nil {
 		return nil, err
